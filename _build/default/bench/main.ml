@@ -1,0 +1,586 @@
+(* Benchmark harness reproducing every table and figure of the paper's
+   evaluation (Section V), plus the ablations called out in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                  -- everything, default scale
+     dune exec bench/main.exe -- table1 table3 -- selected sections
+     dune exec bench/main.exe -- --quick       -- reduced simulated times
+
+   Simulated durations are scaled down from the paper's (100 ms / 10 s /
+   100 ms) so the whole suite runs in minutes; the scale multiplies all
+   rows of a table equally, so the orderings and ratios the paper
+   reports are preserved. Paper values are printed next to measured
+   ones; EXPERIMENTS.md records the comparison. *)
+
+module Circuits = Amsvp_netlist.Circuits
+module Engine = Amsvp_mna.Engine
+module Flow = Amsvp_core.Flow
+module Assemble = Amsvp_core.Assemble
+module Acquisition = Amsvp_core.Acquisition
+module Enrich = Amsvp_core.Enrich
+module Solve = Amsvp_core.Solve
+module Eqmap = Amsvp_core.Eqmap
+module Sfprogram = Amsvp_sf.Sfprogram
+module Wrap = Amsvp_sysc.Wrap
+module De = Amsvp_sysc.De
+module Codegen = Amsvp_codegen.Codegen
+module Platform = Amsvp_vp.Platform
+module Trace = Amsvp_util.Trace
+module Metrics = Amsvp_util.Metrics
+module Sources = Amsvp_vams.Sources
+module Elaborate = Amsvp_vams.Elaborate
+
+let dt = 50e-9 (* the paper's time step (Section V-A) *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+let line () = print_endline (String.make 100 '-')
+
+let header title =
+  print_newline ();
+  line ();
+  print_endline title;
+  line ()
+
+let nrmse_against ~reference trace ~t_stop =
+  let n = 999 in
+  let grid = t_stop /. float_of_int (n + 1) in
+  Metrics.nrmse_traces ~reference trace ~t0:0.0 ~dt:grid ~n
+
+(* Paper values. Table I: (time_s, nrmse); Table II: time_s;
+   Table III: times in row order. *)
+let paper_table1 =
+  [
+    ("2IN", [ ("Verilog-AMS", (525.76, 0.0)); ("SC-AMS/ELN", (3.15, 2.19e-8));
+              ("SC-AMS/TDF", (2.40, 2.41e-8)); ("SC-DE", (1.84, 2.41e-8));
+              ("C++", (0.04, 2.41e-8)) ]);
+    ("RC1", [ ("Verilog-AMS", (505.95, 0.0)); ("SC-AMS/ELN", (2.16, 2.10e-9));
+              ("SC-AMS/TDF", (1.60, 4.61e-7)); ("SC-DE", (1.55, 4.61e-7));
+              ("C++", (0.04, 4.61e-7)) ]);
+    ("RC20", [ ("Verilog-AMS", (596.44, 0.0)); ("SC-AMS/ELN", (5.88, 4.93e-7));
+               ("SC-AMS/TDF", (4.16, 1.06e-5)); ("SC-DE", (4.21, 1.01e-5));
+               ("C++", (0.14, 1.01e-5)) ]);
+    ("OA", [ ("Verilog-AMS", (543.23, 0.0)); ("SC-AMS/ELN", (2.57, 2.44e-7));
+             ("SC-AMS/TDF", (1.87, 1.04e-5)); ("SC-DE", (1.72, 1.04e-5));
+             ("C++", (0.05, 1.04e-5)) ]);
+  ]
+
+let paper_table2 =
+  [
+    ("2IN", [ ("SC-AMS/ELN", 31.11); ("SC-AMS/TDF", 25.02); ("SC-DE", 19.00);
+              ("C++", 0.54) ]);
+    ("RC1", [ ("SC-AMS/ELN", 21.35); ("SC-AMS/TDF", 16.27); ("SC-DE", 15.70);
+              ("C++", 0.44) ]);
+    ("RC20", [ ("SC-AMS/ELN", 60.15); ("SC-AMS/TDF", 42.99); ("SC-DE", 42.02);
+               ("C++", 1.33) ]);
+    ("OA", [ ("SC-AMS/ELN", 25.84); ("SC-AMS/TDF", 19.34); ("SC-DE", 18.51);
+             ("C++", 0.49) ]);
+  ]
+
+let paper_table3 =
+  [
+    ("2IN", [ 1067.33; 729.01; 57.76; 54.40; 49.19; 24.62 ]);
+    ("RC1", [ 1082.35; 734.16; 56.43; 53.25; 48.85; 26.96 ]);
+    ("RC20", [ 1242.29; 818.94; 65.91; 54.22; 51.44; 28.08 ]);
+    ("OA", [ 1165.52; 743.54; 57.23; 51.96; 50.86; 27.72 ]);
+  ]
+
+type row = {
+  lang : string;
+  method_ : string;
+  time_s : float;
+  nrmse : float option;
+}
+
+let measure_rows (tc : Circuits.testcase) ~t_stop ~with_vams =
+  let rep = Flow.abstract_testcase tc ~dt in
+  let p = rep.Flow.program in
+  let vams =
+    if with_vams then begin
+      let r, t = wall (fun () -> Engine.run_testcase_spice tc ~dt ~t_stop) in
+      Some (r.Engine.trace, t)
+    end
+    else None
+  in
+  let eln, t_eln =
+    wall (fun () ->
+        Wrap.run_eln tc.Circuits.circuit ~inputs:tc.Circuits.stimuli
+          ~output:tc.Circuits.output ~dt ~t_stop)
+  in
+  let tdf, t_tdf =
+    wall (fun () -> Wrap.run_tdf p ~stimuli:tc.Circuits.stimuli ~t_stop)
+  in
+  let de, t_de =
+    wall (fun () -> Wrap.run_de p ~stimuli:tc.Circuits.stimuli ~t_stop)
+  in
+  let cpp, t_cpp =
+    wall (fun () -> Wrap.run_cpp p ~stimuli:tc.Circuits.stimuli ~t_stop)
+  in
+  let reference =
+    match vams with Some (tr, _) -> tr | None -> eln.Wrap.trace
+  in
+  let err trace = Some (nrmse_against ~reference trace ~t_stop) in
+  (match vams with
+  | Some (_, t) ->
+      [ { lang = "Verilog-AMS"; method_ = "manual"; time_s = t; nrmse = Some 0.0 } ]
+  | None -> [])
+  @ [
+      { lang = "SC-AMS/ELN"; method_ = "manual"; time_s = t_eln;
+        nrmse = err eln.Wrap.trace };
+      { lang = "SC-AMS/TDF"; method_ = "algo"; time_s = t_tdf;
+        nrmse = err tdf.Wrap.trace };
+      { lang = "SC-DE"; method_ = "algo"; time_s = t_de;
+        nrmse = err de.Wrap.trace };
+      { lang = "C++"; method_ = "algo"; time_s = t_cpp;
+        nrmse = err cpp.Wrap.trace };
+    ]
+
+let table1 ~t_stop () =
+  header
+    (Printf.sprintf
+       "TABLE I -- performance and accuracy, models in isolation (simulated \
+        %g ms; paper: 100 ms; dt = 50 ns; 1 ms square wave)"
+       (t_stop *. 1e3));
+  Printf.printf "%-6s %-12s %-7s %10s %9s %11s | %10s %10s %12s\n" "Comp."
+    "Target" "Method" "Time(s)" "Speedup" "NRMSE" "Paper(s)" "PaperSpd"
+    "PaperNRMSE";
+  List.iter
+    (fun (tc : Circuits.testcase) ->
+      let rows = measure_rows tc ~t_stop ~with_vams:true in
+      let base = (List.hd rows).time_s in
+      let paper_rows =
+        Option.value ~default:[] (List.assoc_opt tc.Circuits.label paper_table1)
+      in
+      let paper_base =
+        match List.assoc_opt "Verilog-AMS" paper_rows with
+        | Some (t, _) -> t
+        | None -> nan
+      in
+      List.iter
+        (fun r ->
+          let speedup =
+            if r.lang = "Verilog-AMS" then "0x"
+            else Printf.sprintf "%.0fx" (base /. r.time_s)
+          in
+          let paper_t, paper_spd, paper_err =
+            match List.assoc_opt r.lang paper_rows with
+            | Some (t, e) ->
+                ( Printf.sprintf "%.2f" t,
+                  (if r.lang = "Verilog-AMS" then "0x"
+                   else Printf.sprintf "%.0fx" (paper_base /. t)),
+                  Printf.sprintf "%.2e" e )
+            | None -> ("-", "-", "-")
+          in
+          Printf.printf "%-6s %-12s %-7s %10.3f %9s %11s | %10s %10s %12s\n"
+            tc.Circuits.label r.lang r.method_ r.time_s speedup
+            (match r.nrmse with
+            | Some e -> Printf.sprintf "%.2e" e
+            | None -> "-")
+            paper_t paper_spd paper_err)
+        rows;
+      print_newline ())
+    (Circuits.all_paper_cases ())
+
+let table2 ~t_stop () =
+  header
+    (Printf.sprintf
+       "TABLE II -- abstracted models vs SystemC-AMS/ELN, longer run \
+        (simulated %g ms; paper: 10 s)"
+       (t_stop *. 1e3));
+  Printf.printf "%-6s %-12s %-7s %10s %9s | %10s %10s\n" "Comp." "Target"
+    "Method" "Time(s)" "Speedup" "Paper(s)" "PaperSpd";
+  List.iter
+    (fun (tc : Circuits.testcase) ->
+      let rows = measure_rows tc ~t_stop ~with_vams:false in
+      let base = (List.hd rows).time_s in
+      let paper_rows =
+        Option.value ~default:[] (List.assoc_opt tc.Circuits.label paper_table2)
+      in
+      let paper_base =
+        Option.value ~default:nan (List.assoc_opt "SC-AMS/ELN" paper_rows)
+      in
+      List.iter
+        (fun r ->
+          let speedup =
+            if r.lang = "SC-AMS/ELN" then "0x"
+            else Printf.sprintf "%.2fx" (base /. r.time_s)
+          in
+          let paper_t, paper_spd =
+            match List.assoc_opt r.lang paper_rows with
+            | Some t ->
+                ( Printf.sprintf "%.2f" t,
+                  if r.lang = "SC-AMS/ELN" then "0x"
+                  else Printf.sprintf "%.2fx" (paper_base /. t) )
+            | None -> ("-", "-")
+          in
+          Printf.printf "%-6s %-12s %-7s %10.3f %9s | %10s %10s\n"
+            tc.Circuits.label r.lang r.method_ r.time_s speedup paper_t
+            paper_spd)
+        rows;
+      print_newline ())
+    (Circuits.all_paper_cases ());
+  let tc = Circuits.rc_ladder 20 in
+  let rep, t = wall (fun () -> Flow.abstract_testcase tc ~dt) in
+  Printf.printf
+    "Abstraction tool on RC20 (%d nodes, %d branches): %.4f s wall (paper: \
+     7.67 s on the authors' machine)\n"
+    rep.Flow.nodes rep.Flow.branches t
+
+let table3 ~t_stop () =
+  header
+    (Printf.sprintf
+       "TABLE III -- analog models integrated in the virtual platform \
+        (simulated %g ms; paper: 100 ms; MIPS @ 200 MHz polling the ADC over \
+        the APB bus, UART logging)"
+       (t_stop *. 1e3));
+  Printf.printf "%-6s %-36s %10s %9s | %10s %10s\n" "Comp."
+    "Component model / VP binding" "Time(s)" "Speedup" "Paper(s)" "PaperSpd";
+  let bindings =
+    [
+      Platform.Cosim { rtl_grain = true; substeps = 8; iterations = 3 };
+      Platform.Cosim { rtl_grain = false; substeps = 8; iterations = 3 };
+      Platform.Eln;
+      Platform.Tdf;
+      Platform.De_model;
+      Platform.Cpp;
+    ]
+  in
+  List.iter
+    (fun (tc : Circuits.testcase) ->
+      let rep = Flow.abstract_testcase tc ~dt in
+      let program = Some rep.Flow.program in
+      let paper_rows =
+        Option.value ~default:[] (List.assoc_opt tc.Circuits.label paper_table3)
+      in
+      let paper_base = match paper_rows with [] -> nan | t :: _ -> t in
+      let times =
+        List.map
+          (fun binding ->
+            let r, t =
+              wall (fun () ->
+                  Platform.run ~cpu_hz:2e8 ~testcase:tc ~program ~binding ~dt
+                    ~t_stop ())
+            in
+            ignore r.Platform.uart_output;
+            (binding, t))
+          bindings
+      in
+      let base = snd (List.hd times) in
+      List.iteri
+        (fun i (binding, t) ->
+          let paper_t = List.nth_opt paper_rows i in
+          Printf.printf "%-6s %-36s %10.3f %8.2fx | %10s %10s\n"
+            tc.Circuits.label
+            (Platform.binding_label binding)
+            t (base /. t)
+            (match paper_t with Some v -> Printf.sprintf "%.2f" v | None -> "-")
+            (match paper_t with
+            | Some v -> Printf.sprintf "%.2fx" (paper_base /. v)
+            | None -> "-"))
+        times;
+      print_newline ())
+    (Circuits.all_paper_cases ())
+
+let tool_time () =
+  header
+    "TOOL PROCESSING TIME -- abstraction flow cost vs circuit size (paper \
+     Section V-B: 7.67 s for RC20 on the authors' machine)";
+  Printf.printf "%-6s %6s %8s %8s %6s %11s %11s %12s %10s\n" "Comp." "nodes"
+    "branches" "classes" "defs" "acquire(ms)" "enrich(ms)" "assemble(ms)"
+    "solve(ms)";
+  List.iter
+    (fun n ->
+      let tc = Circuits.rc_ladder n in
+      let rep = Flow.abstract_testcase tc ~dt in
+      Printf.printf "%-6s %6d %8d %8d %6d %11.3f %11.3f %12.3f %10.3f\n"
+        tc.Circuits.label rep.Flow.nodes rep.Flow.branches rep.Flow.classes
+        rep.Flow.definitions
+        (rep.Flow.acquisition_s *. 1e3)
+        (rep.Flow.enrichment_s *. 1e3)
+        (rep.Flow.assemble_s *. 1e3)
+        (rep.Flow.solve_s *. 1e3))
+    [ 1; 2; 4; 8; 16; 20; 32; 48; 64 ]
+
+let ablation ~t_stop () =
+  header
+    "ABLATION 1 -- solve mode: exact elimination vs relaxed state \
+     decoupling (RCn sweep)";
+  Printf.printf "%-6s %6s | %11s %12s | %11s %12s | %13s\n" "Comp." "defs"
+    "exact(ms)" "run(ns/step)" "relax(ms)" "run(ns/step)" "NRMSE(rel-ex)";
+  List.iter
+    (fun n ->
+      let tc = Circuits.rc_ladder n in
+      let acq = Acquisition.of_circuit tc.Circuits.circuit in
+      let map, _ = Enrich.enrich acq in
+      let asm =
+        Assemble.assemble map ~inputs:[ "in" ] ~outputs:[ tc.Circuits.output ]
+      in
+      let solve mode = wall (fun () -> Solve.solve ~mode ~name:"a" ~dt asm) in
+      let p_exact, t_exact = solve `Exact in
+      let p_relax, t_relax = solve `Relaxed in
+      let run p =
+        let r, t =
+          wall (fun () -> Wrap.run_cpp p ~stimuli:tc.Circuits.stimuli ~t_stop)
+        in
+        (r.Wrap.trace, t /. (t_stop /. dt) *. 1e9)
+      in
+      let tr_e, ns_e = run p_exact in
+      let tr_r, ns_r = run p_relax in
+      let err = nrmse_against ~reference:tr_e tr_r ~t_stop in
+      Printf.printf "%-6s %6d | %11.2f %12.1f | %11.2f %12.1f | %13.2e\n"
+        tc.Circuits.label
+        (List.length asm.Assemble.defs)
+        (t_exact *. 1e3) ns_e (t_relax *. 1e3) ns_r err)
+    [ 1; 4; 8; 16; 24; 32 ];
+  header
+    "ABLATION 2 -- SPICE-engine cost model: device re-evaluation and \
+     re-factorisation per solver pass (RC20)";
+  Printf.printf "%-10s %-10s %12s %10s\n" "substeps" "iterations" "time(s)"
+    "vs (1,1)";
+  let tc = Circuits.rc_ladder 20 in
+  let short = t_stop /. 4.0 in
+  let base = ref nan in
+  List.iter
+    (fun (substeps, iterations) ->
+      let _, t =
+        wall (fun () ->
+            Engine.run_testcase_spice ~substeps ~iterations tc ~dt
+              ~t_stop:short)
+      in
+      if Float.is_nan !base then base := t;
+      Printf.printf "%-10d %-10d %12.3f %9.1fx\n" substeps iterations t
+        (t /. !base))
+    [ (1, 1); (2, 1); (4, 1); (8, 1); (8, 3); (16, 3) ];
+  header
+    "ABLATION 3 -- kernel machinery per model step (same abstracted RC1 \
+     model under each MoC)";
+  Printf.printf "%-10s %12s %14s %14s %14s\n" "MoC" "ns/step" "activations"
+    "delta cycles" "sig updates";
+  let tc = Circuits.rc_ladder 1 in
+  let p = (Flow.abstract_testcase tc ~dt).Flow.program in
+  let steps = t_stop /. dt in
+  let report name (r : Wrap.result) t =
+    let st = r.Wrap.de_stats in
+    Printf.printf "%-10s %12.1f %14s %14s %14s\n" name
+      (t /. steps *. 1e9)
+      (match st with Some s -> string_of_int s.De.activations | None -> "-")
+      (match st with Some s -> string_of_int s.De.delta_cycles | None -> "-")
+      (match st with Some s -> string_of_int s.De.signal_updates | None -> "-")
+  in
+  let r, t = wall (fun () -> Wrap.run_cpp p ~stimuli:tc.Circuits.stimuli ~t_stop) in
+  report "C++" r t;
+  let r, t = wall (fun () -> Wrap.run_de p ~stimuli:tc.Circuits.stimuli ~t_stop) in
+  report "SC-DE" r t;
+  let r, t = wall (fun () -> Wrap.run_tdf p ~stimuli:tc.Circuits.stimuli ~t_stop) in
+  report "SC-AMS/TDF" r t;
+  let r, t =
+    wall (fun () ->
+        Wrap.run_eln tc.Circuits.circuit ~inputs:tc.Circuits.stimuli
+          ~output:tc.Circuits.output ~dt ~t_stop)
+  in
+  report "SC-AMS/ELN" r t
+
+let ablation_integration ~t_stop () =
+  header
+    "ABLATION 4 -- integration rule of the generated model (coarse step, \
+     smooth stimulus, error vs fine conservative reference)";
+  Printf.printf "%-6s %10s | %14s %14s | %8s\n" "Comp." "dt" "BE NRMSE"
+    "Trap NRMSE" "gain";
+  let sine = Amsvp_util.Stimulus.sine ~freq:1e3 ~amplitude:1.0 () in
+  List.iter
+    (fun (label, coarse) ->
+      let tc = Option.get (Circuits.by_name label) in
+      let reference =
+        Engine.spice_like ~substeps:64 ~iterations:1 tc.Circuits.circuit
+          ~inputs:(List.map (fun (n, _) -> (n, sine)) tc.Circuits.stimuli)
+          ~output:tc.Circuits.output ~dt:coarse ~t_stop
+      in
+      let err integration =
+        let rep =
+          Flow.abstract_testcase ~mode:`Exact ~integration tc ~dt:coarse
+        in
+        let runner = Sfprogram.Runner.create rep.Flow.program in
+        let stimuli =
+          Array.make (List.length tc.Circuits.stimuli) sine
+        in
+        let tr = Sfprogram.Runner.run runner ~stimuli ~t_stop () in
+        nrmse_against ~reference:reference.Engine.trace tr ~t_stop
+      in
+      let be = err `Backward_euler and trap = err `Trapezoidal in
+      Printf.printf "%-6s %10.2e | %14.3e %14.3e | %7.1fx\n" label coarse be
+        trap (be /. trap))
+    [ ("RC1", 5e-6); ("RC1", 1e-6); ("OA", 1e-6); ("RC4", 2e-6) ]
+
+let ablation_sparse () =
+  header
+    "ABLATION 5 -- dense vs sparse LU on the network matrix (the \
+     sparse-solver bottleneck of Section III-B): factor once, then per-step \
+     substitution cost";
+  Printf.printf "%-7s %6s | %11s %11s | %12s %12s | %8s\n" "Comp." "n"
+    "dense f(us)" "sparse f(us)" "dense s(ns)" "sparse s(ns)" "nnz";
+  List.iter
+    (fun n ->
+      let tc = Circuits.rc_ladder n in
+      let sys = Amsvp_mna.System.build tc.Circuits.circuit in
+      let size = Amsvp_mna.System.size sys in
+      let m = Amsvp_mna.System.stamp_matrix sys ~h:dt in
+      let trips = Amsvp_mna.System.stamp_triplets sys ~h:dt in
+      let reps = 50 in
+      let dense_lu = ref None in
+      let _, tdf =
+        wall (fun () ->
+            for _ = 1 to reps do
+              dense_lu := Some (Amsvp_mna.Matrix.lu_factor m)
+            done)
+      in
+      let sparse_lu = ref None in
+      let _, tsf =
+        wall (fun () ->
+            for _ = 1 to reps do
+              sparse_lu := Some (Amsvp_mna.Sparse.lu_factor ~n:size trips)
+            done)
+      in
+      let dense_lu = Option.get !dense_lu and sparse_lu = Option.get !sparse_lu in
+      let b = Array.init size (fun i -> float_of_int (i mod 5)) in
+      let x = Array.make size 0.0 in
+      let solve_reps = 2000 in
+      let _, tds =
+        wall (fun () ->
+            for _ = 1 to solve_reps do
+              Amsvp_mna.Matrix.lu_solve_into dense_lu ~b ~x
+            done)
+      in
+      let _, tss =
+        wall (fun () ->
+            for _ = 1 to solve_reps do
+              Amsvp_mna.Sparse.lu_solve_into sparse_lu ~b ~x
+            done)
+      in
+      Printf.printf "%-7s %6d | %11.1f %11.1f | %12.1f %12.1f | %8d\n"
+        tc.Circuits.label size
+        (tdf /. float_of_int reps *. 1e6)
+        (tsf /. float_of_int reps *. 1e6)
+        (tds /. float_of_int solve_reps *. 1e9)
+        (tss /. float_of_int solve_reps *. 1e9)
+        (Amsvp_mna.Sparse.nnz sparse_lu))
+    [ 5; 10; 20; 40; 80; 160 ]
+
+let figures () =
+  header "FIGURE 2 -- Verilog-AMS description with the three block kinds";
+  let design = Amsvp_vams.Parser.parse Sources.active_filter in
+  let flat = Elaborate.flatten design ~top:"active_filter" in
+  Printf.printf
+    "parsed %d modules; active_filter flattens to %d branch contributions \
+     over %d nets; classification: %s\n"
+    (List.length design)
+    (List.length flat.Elaborate.contributions)
+    (List.length flat.Elaborate.nets)
+    (match Elaborate.classify flat with
+    | `Conservative -> "conservative (Equation 2)"
+    | `Signal_flow -> "signal flow (Equation 1)");
+  let tc = Circuits.rc_ladder 1 in
+  let acq = Acquisition.of_circuit tc.Circuits.circuit in
+  let map, _ = Enrich.enrich acq in
+  header "FIGURE 5 -- enriched equation multimap with dependency classes (RC1)";
+  Format.printf "%a@." Eqmap.pp map;
+  let asm =
+    Assemble.assemble map ~inputs:[ "in" ] ~outputs:[ tc.Circuits.output ]
+  in
+  header
+    "FIGURE 6 -- assembled equation tree for V(out,gnd) (note the \
+     occurrences of the output on the right-hand side)";
+  let tree = Assemble.inline_tree asm tc.Circuits.output in
+  Format.printf "V(out,gnd) =@.%a@." Expr.pp_tree tree;
+  header "FIGURE 7 -- solved update rules and generated C++";
+  List.iter
+    (fun (v, e) ->
+      Format.printf "%s := %s@." (Expr.var_name v) (Expr.to_string e))
+    (Solve.solved_assignments ~dt asm);
+  print_newline ();
+  let p = Solve.solve ~name:"RC1" ~dt asm in
+  print_string (Codegen.emit Codegen.Cpp p)
+
+let micro () =
+  header "MICRO -- Bechamel per-step benchmarks (one group per table)";
+  let tc = Circuits.rc_ladder 1 in
+  let p = (Flow.abstract_testcase tc ~dt).Flow.program in
+  let runner = Sfprogram.Runner.create p in
+  let inputs = [| 1.0 |] in
+  let eln_stepper =
+    Engine.Eln_stepper.create tc.Circuits.circuit ~inputs:[ "in" ]
+      ~output:tc.Circuits.output ~dt
+  in
+  let spice_stepper =
+    Engine.Spice_stepper.create tc.Circuits.circuit ~inputs:[ "in" ]
+      ~output:tc.Circuits.output ~dt
+  in
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"paper"
+      [
+        Test.make ~name:"table1/cpp_model_step"
+          (Staged.stage (fun () -> Sfprogram.Runner.step runner ~inputs));
+        Test.make ~name:"table1/eln_solver_step"
+          (Staged.stage (fun () ->
+               ignore (Engine.Eln_stepper.step eln_stepper ~input_values:inputs)));
+        Test.make ~name:"table1/vams_solver_step"
+          (Staged.stage (fun () ->
+               ignore
+                 (Engine.Spice_stepper.step spice_stepper ~input_values:inputs)));
+        Test.make ~name:"table2/abstraction_flow_rc4"
+          (Staged.stage (fun () ->
+               ignore (Flow.abstract_testcase (Circuits.rc_ladder 4) ~dt)));
+        Test.make ~name:"table3/platform_slice_cpp"
+          (Staged.stage (fun () ->
+               ignore
+                 (Platform.run ~cpu_hz:2e8 ~testcase:tc ~program:(Some p)
+                    ~binding:Platform.Cpp ~dt ~t_stop:(dt *. 200.0) ())));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name r acc ->
+        match Analyze.OLS.estimates r with
+        | Some (e :: _) -> (name, e) :: acc
+        | Some [] | None -> acc)
+      results []
+  in
+  List.iter
+    (fun (name, e) -> Printf.printf "%-40s %14.1f ns/iter\n" name e)
+    (List.sort compare rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let sections =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let want s = sections = [] || List.mem s sections in
+  let scale x = if quick then x /. 10.0 else x in
+  let t1 = scale 10e-3 and t2 = scale 50e-3 and t3 = scale 1e-3 in
+  Printf.printf "amsvp benchmark harness -- Fraccaroli et al., DATE 2016\n";
+  if want "table1" then table1 ~t_stop:t1 ();
+  if want "table2" then table2 ~t_stop:t2 ();
+  if want "table3" then table3 ~t_stop:t3 ();
+  if want "tooltime" then tool_time ();
+  if want "ablation" then begin
+    ablation ~t_stop:(scale 5e-3) ();
+    ablation_integration ~t_stop:2e-3 ();
+    ablation_sparse ()
+  end;
+  if want "figures" then figures ();
+  if want "micro" then micro ();
+  print_newline ();
+  line ();
+  print_endline "benchmark harness done.";
+  line ()

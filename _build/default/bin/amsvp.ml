@@ -1,0 +1,391 @@
+(* amsvp: the command-line front-end of the abstraction tool.
+
+   Subcommands:
+     abstract  -- Verilog-AMS -> C++/SystemC-DE/SystemC-AMS-TDF source
+     simulate  -- run a model under a chosen MoC and dump samples
+     report    -- abstraction statistics (Fig. 4 pipeline timings)
+
+   Examples:
+     amsvp abstract model.vams --top rc1 --out 'V(out,gnd)' --target cpp
+     amsvp simulate model.vams --top rc1 --out 'V(out,gnd)' \
+           --moc eln --t-stop 2e-3 --square 1e-3,0,1 *)
+
+open Cmdliner
+
+module Velaborate = Amsvp_vhdlams.Velaborate
+module Vparser = Amsvp_vhdlams.Vparser
+module Ac = Amsvp_mna.Ac
+module Elaborate = Amsvp_vams.Elaborate
+module Parser = Amsvp_vams.Parser
+module Lexer = Amsvp_vams.Lexer
+module Codegen = Amsvp_codegen.Codegen
+module Flow = Amsvp_core.Flow
+module Sfprogram = Amsvp_sf.Sfprogram
+module Wrap = Amsvp_sysc.Wrap
+module Engine = Amsvp_mna.Engine
+module Stimulus = Amsvp_util.Stimulus
+module Trace = Amsvp_util.Trace
+
+(* "V(out,gnd)" / "V(out)" -> potential variable *)
+let parse_output s =
+  let s = String.trim s in
+  let fail () = Error (`Msg (Printf.sprintf "cannot parse output %S" s)) in
+  if String.length s > 3 && String.sub s 0 2 = "V(" && s.[String.length s - 1] = ')'
+  then begin
+    let body = String.sub s 2 (String.length s - 3) in
+    match String.split_on_char ',' body with
+    | [ a ] -> Ok (Expr.potential (String.trim a) "gnd")
+    | [ a; b ] -> Ok (Expr.potential (String.trim a) (String.trim b))
+    | _ -> fail ()
+  end
+  else fail ()
+
+let output_conv =
+  Arg.conv (parse_output, fun ppf v -> Format.pp_print_string ppf (Expr.var_name v))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"Verilog-AMS source file.")
+
+let top_arg =
+  Arg.(required & opt (some string) None & info [ "top" ] ~docv:"MODULE"
+       ~doc:"Top module to elaborate.")
+
+let out_arg =
+  Arg.(value & opt output_conv (Expr.potential "out" "gnd")
+       & info [ "out" ] ~docv:"ACCESS"
+         ~doc:"Output signal of interest, e.g. 'V(out,gnd)'.")
+
+let dt_arg =
+  Arg.(value & opt float 50e-9 & info [ "dt" ] ~docv:"SECONDS"
+       ~doc:"Discretisation time step (default 50 ns, as in the paper).")
+
+let mode_arg =
+  let modes = [ ("auto", `Auto); ("exact", `Exact); ("relaxed", `Relaxed) ] in
+  Arg.(value & opt (enum modes) `Auto & info [ "mode" ]
+       ~doc:"Solve mode: $(b,auto), $(b,exact) or $(b,relaxed).")
+
+let integration_arg =
+  let kinds =
+    [ ("backward-euler", `Backward_euler); ("trapezoidal", `Trapezoidal) ]
+  in
+  Arg.(value & opt (enum kinds) `Backward_euler & info [ "integration" ]
+       ~doc:"Integration rule: $(b,backward-euler) or $(b,trapezoidal).")
+
+let lang_arg =
+  let langs = [ ("verilog-ams", `Verilog); ("vhdl-ams", `Vhdl) ] in
+  Arg.(value & opt (enum langs) `Verilog & info [ "lang" ]
+       ~doc:"Input language: $(b,verilog-ams) or $(b,vhdl-ams).")
+
+let inputs_arg =
+  Arg.(value & opt (list string) [] & info [ "inputs" ] ~docv:"PORTS"
+       ~doc:"Externally driven ports of a VHDL-AMS top entity (VHDL \
+             terminals carry no direction; ignored for Verilog-AMS).")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_frontend_errors f =
+  try f () with
+  | Vparser.Parse_error (msg, line) ->
+      Printf.eprintf "syntax error at line %d: %s\n" line msg;
+      exit 1
+  | Velaborate.Elab_error msg ->
+      Printf.eprintf "elaboration error: %s\n" msg;
+      exit 1
+  | Lexer.Lex_error (msg, line, col) ->
+      Printf.eprintf "lexical error at %d:%d: %s\n" line col msg;
+      exit 1
+  | Parser.Parse_error (msg, line, col) ->
+      Printf.eprintf "syntax error at %d:%d: %s\n" line col msg;
+      exit 1
+  | Elaborate.Elab_error msg ->
+      Printf.eprintf "elaboration error: %s\n" msg;
+      exit 1
+  | Amsvp_core.Assemble.No_definition v ->
+      Printf.eprintf "abstraction error: no equation defines %s\n"
+        (Expr.var_name v);
+      exit 1
+  | Amsvp_core.Solve.Nonlinear v ->
+      Printf.eprintf
+        "abstraction error: nonlinear definition for %s (outside the linear \
+         scope)\n"
+        (Expr.var_name v);
+      exit 1
+  | Amsvp_core.Solve.Underdetermined msg ->
+      Printf.eprintf "abstraction error: underdetermined system (%s)\n" msg;
+      exit 1
+  | Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let flatten_any lang src top inputs =
+  match lang with
+  | `Verilog -> Elaborate.flatten (Parser.parse src) ~top
+  | `Vhdl -> Velaborate.flatten (Vparser.parse src) ~top ~inputs
+
+let abstract_model file top output dt mode integration lang inputs =
+  with_frontend_errors (fun () ->
+      let flat = flatten_any lang (read_file file) top inputs in
+      match Elaborate.classify flat with
+      | `Conservative ->
+          let circuit = Elaborate.to_circuit flat in
+          Flow.abstract_circuit ~name:top ~mode ~integration circuit
+            ~outputs:[ output ] ~dt
+      | `Signal_flow ->
+          let contributions = Elaborate.signal_flow_assignments flat in
+          let program =
+            Flow.convert_signal_flow ~name:top
+              ~inputs:flat.Elaborate.input_ports ~outputs:[ output ]
+              ~contributions ~dt
+          in
+          {
+            Flow.program;
+            nodes = List.length flat.Elaborate.nets;
+            branches = List.length flat.Elaborate.contributions;
+            classes = 0;
+            variants = 0;
+            definitions = List.length contributions;
+            acquisition_s = 0.0;
+            enrichment_s = 0.0;
+            assemble_s = 0.0;
+            solve_s = 0.0;
+          })
+
+(* abstract *)
+
+let target_arg =
+  let targets =
+    [ ("cpp", `Codegen Codegen.Cpp); ("sc-de", `Codegen Codegen.Systemc_de);
+      ("sc-tdf", `Codegen Codegen.Systemc_ams_tdf); ("program", `Program) ]
+  in
+  Arg.(value & opt (enum targets) (`Codegen Codegen.Cpp) & info [ "target" ]
+       ~doc:"Output: $(b,cpp), $(b,sc-de), $(b,sc-tdf) source, or the \
+             reloadable $(b,program) text format.")
+
+let abstract_cmd =
+  let run file top output dt mode integration lang inputs target =
+    let report = abstract_model file top output dt mode integration lang inputs in
+    match target with
+    | `Codegen t -> print_string (Codegen.emit t report.Flow.program)
+    | `Program ->
+        print_string (Amsvp_sf.Serialize.program_to_string report.Flow.program)
+  in
+  Cmd.v
+    (Cmd.info "abstract"
+       ~doc:"Abstract a Verilog-AMS or VHDL-AMS model and emit C++/SystemC \
+             source.")
+    Term.(const run $ file_arg $ top_arg $ out_arg $ dt_arg $ mode_arg
+          $ integration_arg $ lang_arg $ inputs_arg $ target_arg)
+
+(* simulate *)
+
+let moc_arg =
+  let mocs =
+    [ ("cpp", `Cpp); ("de", `De); ("tdf", `Tdf); ("eln", `Eln); ("vams", `Vams) ]
+  in
+  Arg.(value & opt (enum mocs) `Cpp & info [ "moc" ]
+       ~doc:"Model of computation: $(b,cpp), $(b,de), $(b,tdf), $(b,eln) or \
+             $(b,vams).")
+
+let t_stop_arg =
+  Arg.(value & opt float 2e-3 & info [ "t-stop" ] ~docv:"SECONDS"
+       ~doc:"Simulated duration.")
+
+let square_arg =
+  Arg.(value & opt (t3 float float float) (1e-3, 0.0, 1.0)
+       & info [ "square" ] ~docv:"PERIOD,LOW,HIGH"
+         ~doc:"Square-wave stimulus applied to every input port.")
+
+let samples_arg =
+  Arg.(value & opt int 20 & info [ "samples" ]
+       ~doc:"Number of equally spaced samples to print.")
+
+let from_program_arg =
+  Arg.(value & opt (some file) None & info [ "from-program" ] ~docv:"FILE"
+       ~doc:"Skip the abstraction flow and load a serialised program \
+             (written by $(b,abstract --target program)).")
+
+let simulate_cmd =
+  let run file top output dt mode integration lang inputs from_program moc
+      t_stop (period, low, high) samples =
+    with_frontend_errors (fun () ->
+        let p =
+          match from_program with
+          | Some path -> (
+              try Amsvp_sf.Serialize.program_of_string (read_file path)
+              with Amsvp_sf.Serialize.Parse_error (msg, line) ->
+                Printf.eprintf "program parse error at line %d: %s\n" line msg;
+                exit 1)
+          | None ->
+              (abstract_model file top output dt mode integration lang inputs)
+                .Flow.program
+        in
+        let stim = Stimulus.square ~period ~low ~high in
+        let stimuli = List.map (fun n -> (n, stim)) p.Sfprogram.inputs in
+        let trace =
+          match moc with
+          | `Cpp -> (Wrap.run_cpp p ~stimuli ~t_stop).Wrap.trace
+          | `De -> (Wrap.run_de p ~stimuli ~t_stop).Wrap.trace
+          | `Tdf -> (Wrap.run_tdf p ~stimuli ~t_stop).Wrap.trace
+          | `Eln | `Vams -> (
+              let flat = flatten_any lang (read_file file) top inputs in
+              match Elaborate.classify flat with
+              | `Signal_flow ->
+                  Printf.eprintf
+                    "error: %s is a signal-flow model; the conservative \
+                     solvers need a network\n"
+                    top;
+                  exit 1
+              | `Conservative -> (
+                  let circuit = Elaborate.to_circuit flat in
+                  let circuit = Flow.insert_probes circuit ~outputs:[ output ] in
+                  let inputs =
+                    List.map
+                      (fun n -> (n, stim))
+                      (Amsvp_netlist.Circuit.input_signals circuit)
+                  in
+                  match moc with
+                  | `Eln ->
+                      (Wrap.run_eln circuit ~inputs ~output ~dt ~t_stop)
+                        .Wrap.trace
+                  | _ ->
+                      (Engine.spice_like circuit ~inputs ~output ~dt ~t_stop)
+                        .Engine.trace))
+        in
+        Printf.printf "# time(s)  %s\n" (Expr.var_name output);
+        for i = 0 to samples - 1 do
+          let t = t_stop *. float_of_int i /. float_of_int (samples - 1) in
+          Printf.printf "%.9e  %.9e\n" t (Trace.sample_at trace t)
+        done)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate a Verilog-AMS or VHDL-AMS model under a chosen MoC.")
+    Term.(const run $ file_arg $ top_arg $ out_arg $ dt_arg $ mode_arg
+          $ integration_arg $ lang_arg $ inputs_arg $ from_program_arg
+          $ moc_arg $ t_stop_arg $ square_arg $ samples_arg)
+
+(* report *)
+
+let report_cmd =
+  let run file top output dt mode integration lang inputs =
+    let report = abstract_model file top output dt mode integration lang inputs in
+    Format.printf "%a@." Flow.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Print the abstraction pipeline report.")
+    Term.(const run $ file_arg $ top_arg $ out_arg $ dt_arg $ mode_arg
+          $ integration_arg $ lang_arg $ inputs_arg)
+
+(* op / netlist *)
+
+let conservative_circuit lang file top inputs output =
+  let flat = flatten_any lang (read_file file) top inputs in
+  (match Elaborate.classify flat with
+  | `Conservative -> ()
+  | `Signal_flow ->
+      Printf.eprintf "error: this analysis needs a conservative network\n";
+      exit 1);
+  let circuit = Elaborate.to_circuit flat in
+  match output with
+  | Some o -> Flow.insert_probes circuit ~outputs:[ o ]
+  | None -> circuit
+
+let op_cmd =
+  let run file top lang inputs levels =
+    with_frontend_errors (fun () ->
+        let circuit = conservative_circuit lang file top inputs None in
+        let sol = Amsvp_mna.Dc.operating_point ~inputs:levels circuit in
+        Format.printf "%a@." Amsvp_mna.Dc.pp sol)
+  in
+  let levels =
+    Arg.(value & opt (list (pair ~sep:'=' string float)) []
+         & info [ "set" ] ~docv:"IN=LEVEL"
+           ~doc:"DC level of each external input, e.g. --set in=1.0.")
+  in
+  Cmd.v
+    (Cmd.info "op" ~doc:"DC operating-point analysis (.op).")
+    Term.(const run $ file_arg $ top_arg $ lang_arg $ inputs_arg $ levels)
+
+let netlist_cmd =
+  let run file top lang inputs =
+    with_frontend_errors (fun () ->
+        let circuit = conservative_circuit lang file top inputs None in
+        print_string (Amsvp_netlist.Export.to_spice ~title:top circuit))
+  in
+  Cmd.v
+    (Cmd.info "netlist"
+       ~doc:"Export the elaborated network as a SPICE deck.")
+    Term.(const run $ file_arg $ top_arg $ lang_arg $ inputs_arg)
+
+(* ac *)
+
+let ac_cmd =
+  let run file top output lang inputs input fstart fstop points =
+    with_frontend_errors (fun () ->
+        let flat = flatten_any lang (read_file file) top inputs in
+        (match Elaborate.classify flat with
+        | `Conservative -> ()
+        | `Signal_flow ->
+            Printf.eprintf "error: AC analysis needs a conservative network\n";
+            exit 1);
+        let circuit = Elaborate.to_circuit flat in
+        let circuit = Flow.insert_probes circuit ~outputs:[ output ] in
+        let input =
+          match input with
+          | Some i -> i
+          | None -> (
+              match Amsvp_netlist.Circuit.input_signals circuit with
+              | [ i ] -> i
+              | _ ->
+                  Printf.eprintf
+                    "error: several inputs; choose one with --input\n";
+                  exit 1)
+        in
+        let freqs =
+          List.init points (fun i ->
+              fstart
+              *. ((fstop /. fstart)
+                 ** (float_of_int i /. float_of_int (max 1 (points - 1)))))
+        in
+        let pts = Ac.analyze circuit ~input ~output ~freqs in
+        Printf.printf "# freq(Hz)  |H|(dB)  phase(deg)\n";
+        List.iter
+          (fun p ->
+            Printf.printf "%12.3f  %9.3f  %9.3f\n" p.Ac.freq_hz
+              (Ac.magnitude_db p) (Ac.phase_deg p))
+          pts)
+  in
+  let input_opt =
+    Arg.(value & opt (some string) None & info [ "input" ]
+         ~doc:"Input signal carrying the AC excitation.")
+  in
+  let fstart =
+    Arg.(value & opt float 10.0 & info [ "fstart" ] ~doc:"Start frequency (Hz).")
+  in
+  let fstop =
+    Arg.(value & opt float 1e6 & info [ "fstop" ] ~doc:"Stop frequency (Hz).")
+  in
+  let points =
+    Arg.(value & opt int 25 & info [ "points" ] ~doc:"Points (log-spaced).")
+  in
+  Cmd.v
+    (Cmd.info "ac"
+       ~doc:"Small-signal AC analysis (Bode table) of a conservative model.")
+    Term.(const run $ file_arg $ top_arg $ out_arg $ lang_arg $ inputs_arg
+          $ input_opt $ fstart $ fstop $ points)
+
+let () =
+  let doc =
+    "integration of mixed-signal components into virtual platforms \
+     (Fraccaroli et al., DATE 2016)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "amsvp" ~version:"1.0.0" ~doc)
+          [ abstract_cmd; simulate_cmd; report_cmd; ac_cmd; op_cmd; netlist_cmd ]))

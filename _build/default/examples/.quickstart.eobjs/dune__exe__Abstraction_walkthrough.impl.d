@@ -1,0 +1,1 @@
+examples/abstraction_walkthrough.ml: Amsvp_codegen Amsvp_core Amsvp_netlist Eqn Expr Format List Printf String

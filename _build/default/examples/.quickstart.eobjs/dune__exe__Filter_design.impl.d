@@ -1,0 +1,1 @@
+examples/filter_design.ml: Amsvp_core Amsvp_mna Amsvp_netlist Amsvp_sf Amsvp_util Array Float List Printf String Unix

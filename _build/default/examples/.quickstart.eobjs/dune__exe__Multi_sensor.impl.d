@@ -1,0 +1,1 @@
+examples/multi_sensor.ml: Amsvp_core Amsvp_netlist Amsvp_sf Amsvp_sysc Amsvp_util Amsvp_vp Array Char Filename List Printf Seq String

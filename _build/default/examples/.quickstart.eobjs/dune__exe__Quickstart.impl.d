@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amsvp_codegen Amsvp_core Amsvp_sf Amsvp_util Amsvp_vams Expr Format List Printf

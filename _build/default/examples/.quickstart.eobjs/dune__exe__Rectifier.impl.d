@@ -1,0 +1,1 @@
+examples/rectifier.ml: Amsvp_codegen Amsvp_core Amsvp_mna Amsvp_netlist Amsvp_sf Amsvp_util Bytes Expr Filename Format Printf

@@ -1,0 +1,1 @@
+examples/smart_system.ml: Amsvp_core Amsvp_netlist Amsvp_util Amsvp_vp Char List Printf Seq String Unix

@@ -1,0 +1,131 @@
+(* A holistic smart system with several analog components (Fig. 1 shows
+   sensors *and* actuators around the digital core): two abstracted
+   front-ends — the OA active filter and an RC4 anti-aliasing chain —
+   feed two ADC channels; the MIPS firmware fuses both readings and
+   reports over the UART. Everything runs in one discrete-event kernel:
+   no co-simulation. Kernel signals are traced to a VCD file
+   (the sc_trace equivalent).
+
+   Run with: dune exec examples/multi_sensor.exe *)
+
+module De = Amsvp_sysc.De
+module Circuits = Amsvp_netlist.Circuits
+module Flow = Amsvp_core.Flow
+module Sfprogram = Amsvp_sf.Sfprogram
+module Stimulus = Amsvp_util.Stimulus
+module Bus = Amsvp_vp.Bus
+module Iss = Amsvp_vp.Iss
+module Asm = Amsvp_vp.Asm
+
+let firmware =
+  {asm|
+        li   $t0, 0x10001000    # ADC 0: OA front-end
+        li   $t1, 0x10002000    # ADC 1: RC4 chain
+        li   $t2, 0x10000000    # UART
+        li   $s0, 0             # last sequence number of ADC 0
+        li   $s1, 0             # fused-reading counter
+poll:
+        lw   $t3, 4($t0)
+        beq  $t3, $s0, poll
+        move $s0, $t3
+        lw   $t4, 0($t0)        # OA sample (microvolts)
+        lw   $t5, 0($t1)        # RC4 sample
+        subu $t6, $t5, $t4      # fused: difference of the two channels
+        addiu $s1, $s1, 1
+        andi $t7, $s1, 127
+        bne  $t7, $zero, poll
+        sra  $t8, $t6, 16
+        andi $t8, $t8, 255
+        sw   $t8, 0($t2)        # report byte
+        j    poll
+|asm}
+
+let () =
+  let dt = 1e-7 and t_stop = 3e-3 in
+  let kernel = De.create () in
+  let dt_ps = De.ps_of_seconds dt in
+  let until_ps = De.ps_of_seconds t_stop in
+
+  (* Digital core. *)
+  let bus = Bus.create () in
+  Bus.Ram.attach bus ~base:0 ~size_words:16384;
+  let uart = Bus.Uart.attach bus ~base:0x1000_0000 in
+  let adc0 = Bus.Adc.attach bus ~base:0x1000_1000 in
+  let adc1 = Bus.Adc.attach bus ~base:0x1000_2000 in
+  Bus.Ram.load bus ~base:0 (Asm.assemble firmware);
+  let cpu = Iss.create (Bus.iss_bus bus) in
+
+  (* Two abstracted analog components, each its own DE process. *)
+  let attach_analog name (tc : Circuits.testcase) adc sig_out =
+    let rep = Flow.abstract_testcase tc ~dt in
+    let runner = Sfprogram.Runner.create rep.Flow.program in
+    let stims =
+      Array.of_list
+        (List.map
+           (fun n -> List.assoc n tc.Circuits.stimuli)
+           rep.Flow.program.Sfprogram.inputs)
+    in
+    let inputs = Array.make (Array.length stims) 0.0 in
+    let step_index = ref 0 in
+    let tick = De.Event.create kernel (name ^ ".tick") in
+    let proc =
+      De.spawn kernel ~name (fun () ->
+          incr step_index;
+          let t = float_of_int !step_index *. dt in
+          Array.iteri (fun i f -> inputs.(i) <- f t) stims;
+          Sfprogram.Runner.step runner ~inputs;
+          let out = Sfprogram.Runner.output runner 0 in
+          Bus.Adc.set_sample adc ~volts:out;
+          De.Signal.write sig_out out;
+          if De.now_ps kernel + dt_ps <= until_ps then
+            De.Event.notify_delayed tick ~delay_ps:dt_ps)
+    in
+    De.Event.sensitize proc tick;
+    De.Event.notify_delayed tick ~delay_ps:dt_ps;
+    rep
+  in
+  let oa_sig = De.Signal.float_signal kernel ~name:"oa_out" 0.0 in
+  let rc_sig = De.Signal.float_signal kernel ~name:"rc4_out" 0.0 in
+  let rep0 = attach_analog "oa" (Circuits.opamp ()) adc0 oa_sig in
+  let rep1 = attach_analog "rc4" (Circuits.rc_ladder 4) adc1 rc_sig in
+  Printf.printf
+    "two analog components abstracted: OA (%d definitions), RC4 (%d \
+     definitions); both integrated in one kernel\n"
+    rep0.Flow.definitions rep1.Flow.definitions;
+
+  (* CPU, one instruction per 50 ns (20 MHz). *)
+  let cpu_ev = De.Event.create kernel "cpu.tick" in
+  let cpu_proc =
+    De.spawn kernel ~name:"cpu" (fun () ->
+        Iss.step cpu;
+        if De.now_ps kernel + 50_000 <= until_ps then
+          De.Event.notify_delayed cpu_ev ~delay_ps:50_000)
+  in
+  De.Event.sensitize cpu_proc cpu_ev;
+  De.Event.notify_delayed cpu_ev ~delay_ps:50_000;
+
+  (* sc_trace-style waveform recording of the two analog outputs. *)
+  let rec_ = De.Tracing.create kernel in
+  De.Tracing.watch rec_ ~name:"oa_out" oa_sig;
+  De.Tracing.watch rec_ ~name:"rc4_out" rc_sig;
+
+  De.run_until kernel ~ps:until_ps;
+
+  Printf.printf "simulated %.1f ms: %d instructions, %d+%d analog samples\n"
+    (t_stop *. 1e3)
+    (Iss.instructions_retired cpu)
+    (Bus.Adc.samples_pushed adc0) (Bus.Adc.samples_pushed adc1);
+  let bytes = Bus.Uart.output uart in
+  Printf.printf "uart (%d fused reports): %s\n" (String.length bytes)
+    (String.concat " "
+       (List.of_seq
+          (Seq.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+             (String.to_seq bytes))));
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "multi_sensor.vcd" in
+  let oc = open_out path in
+  output_string oc (De.Tracing.to_vcd rec_);
+  close_out oc;
+  Printf.printf "kernel waveforms traced to %s\n" path;
+  let st = De.stats kernel in
+  Printf.printf "kernel: %d activations, %d delta cycles, %d signal updates\n"
+    st.De.activations st.De.delta_cycles st.De.signal_updates

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Amsvp_sf Buffer Expr Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Amsvp_sf

@@ -1,0 +1,280 @@
+module Sfprogram = Amsvp_sf.Sfprogram
+
+type target = Cpp | Systemc_de | Systemc_ams_tdf
+
+let target_name = function
+  | Cpp -> "C++"
+  | Systemc_de -> "SC-DE"
+  | Systemc_ams_tdf -> "SC-AMS/TDF"
+
+let sanitize_ident s =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      then c
+      else '_')
+    s
+
+(* Every delayed sample of a quantity becomes a state member; the input
+   and target quantities of the current step are locals (C++/DE) or
+   port reads (TDF). *)
+let history_members (p : Sfprogram.t) =
+  let seen = Hashtbl.create 16 in
+  let members = ref [] in
+  List.iter
+    (fun (a : Sfprogram.assignment) ->
+      Expr.Var_set.iter
+        (fun v ->
+          if v.Expr.delay >= 1 then begin
+            (* All levels up to the deepest are needed for rotation. *)
+            for d = 1 to v.Expr.delay do
+              let dv = { v with Expr.delay = d } in
+              let key = Expr.var_c_name dv in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                members := dv :: !members
+              end
+            done
+          end)
+        (Expr.vars a.Sfprogram.expr))
+    p.Sfprogram.assignments;
+  List.rev !members
+
+(* Rotation statements, deepest level first per base quantity. *)
+let rotations p =
+  let members = history_members p in
+  let by_base = Hashtbl.create 16 in
+  List.iter
+    (fun (v : Expr.var) ->
+      let base = { v with Expr.delay = 0 } in
+      let key = Expr.var_c_name base in
+      let d =
+        match Hashtbl.find_opt by_base key with
+        | Some (_, d) -> max d v.Expr.delay
+        | None -> v.Expr.delay
+      in
+      Hashtbl.replace by_base key (base, d))
+    members;
+  Hashtbl.fold (fun _ (base, depth) acc -> (base, depth) :: acc) by_base []
+  |> List.sort (fun (a, _) (b, _) ->
+         String.compare (Expr.var_c_name a) (Expr.var_c_name b))
+  |> List.concat_map (fun (base, depth) ->
+         List.init depth (fun i ->
+             let k = depth - i in
+             Printf.sprintf "%s = %s;"
+               (Expr.var_c_name { base with Expr.delay = k })
+               (Expr.var_c_name { base with Expr.delay = k - 1 })))
+
+let emit_step_body p =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (a : Sfprogram.assignment) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s;\n"
+           (Expr.var_c_name a.Sfprogram.target)
+           (Expr.to_c ~name:Expr.var_c_name a.Sfprogram.expr)))
+    p.Sfprogram.assignments;
+  List.iter
+    (fun line -> Buffer.add_string buf (line ^ "\n"))
+    (rotations p);
+  Buffer.contents buf
+
+let indent n text =
+  let pad = String.make n ' ' in
+  String.split_on_char '\n' text
+  |> List.map (fun l -> if l = "" then l else pad ^ l)
+  |> String.concat "\n"
+
+let input_c_name s = Expr.var_c_name (Expr.signal s)
+
+let decl_members p =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  double %s = 0.0;\n" (Expr.var_c_name v)))
+    (history_members p);
+  List.iter
+    (fun (a : Sfprogram.assignment) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  double %s = 0.0;\n"
+           (Expr.var_c_name a.Sfprogram.target)))
+    p.Sfprogram.assignments;
+  Buffer.contents buf
+
+let header (p : Sfprogram.t) target =
+  Printf.sprintf
+    "// %s model generated from '%s' by the abstraction flow\n\
+     // (conservative -> signal-flow, discrete time, dt = %g s)\n"
+    (target_name target) p.Sfprogram.name p.Sfprogram.dt
+
+let emit_cpp (p : Sfprogram.t) =
+  let cname = sanitize_ident p.Sfprogram.name in
+  let params =
+    String.concat ", "
+      (List.map (fun s -> "double " ^ input_c_name s) p.Sfprogram.inputs)
+  in
+  let outputs =
+    String.concat "\n"
+      (List.map
+         (fun o ->
+           Printf.sprintf "  double %s_value() const { return %s; }"
+             (sanitize_ident (Expr.var_c_name o))
+             (Expr.var_c_name o))
+         p.Sfprogram.outputs)
+  in
+  String.concat ""
+    [
+      header p Cpp;
+      Printf.sprintf "class %s {\npublic:\n" cname;
+      decl_members p;
+      Printf.sprintf "\n  void step(%s) {\n" params;
+      indent 4 (emit_step_body p);
+      "  }\n\n";
+      outputs;
+      "\n};\n";
+    ]
+
+let emit_systemc_de (p : Sfprogram.t) =
+  let cname = sanitize_ident p.Sfprogram.name in
+  let in_ports =
+    String.concat ""
+      (List.map
+         (fun s -> Printf.sprintf "  sc_core::sc_in<double> %s;\n" (input_c_name s))
+         p.Sfprogram.inputs)
+  in
+  let out_ports =
+    String.concat ""
+      (List.map
+         (fun o ->
+           Printf.sprintf "  sc_core::sc_out<double> %s_out;\n"
+             (Expr.var_c_name o))
+         p.Sfprogram.outputs)
+  in
+  let reads =
+    String.concat ""
+      (List.map
+         (fun s ->
+           Printf.sprintf "    const double %s_v = %s.read();\n"
+             (input_c_name s) (input_c_name s))
+         p.Sfprogram.inputs)
+  in
+  (* In the DE module, inputs are read from ports: rename in the body. *)
+  let body =
+    let renamed =
+      List.map
+        (fun (a : Sfprogram.assignment) ->
+          let expr =
+            Expr.subst
+              (fun v ->
+                match v.Expr.base with
+                | Expr.Signal s
+                  when v.Expr.delay = 0 && List.mem s p.Sfprogram.inputs ->
+                    Some (Expr.var (Expr.signal (s ^ "_v")))
+                | _ -> None)
+              a.Sfprogram.expr
+          in
+          { a with Sfprogram.expr })
+        p.Sfprogram.assignments
+    in
+    emit_step_body { p with Sfprogram.assignments = renamed }
+  in
+  let writes =
+    String.concat ""
+      (List.map
+         (fun o ->
+           Printf.sprintf "    %s_out.write(%s);\n" (Expr.var_c_name o)
+             (Expr.var_c_name o))
+         p.Sfprogram.outputs)
+  in
+  String.concat ""
+    [
+      header p Systemc_de;
+      Printf.sprintf "SC_MODULE(%s) {\n" cname;
+      in_ports;
+      out_ports;
+      decl_members p;
+      "\n  void step() {\n";
+      reads;
+      indent 4 body;
+      writes;
+      Printf.sprintf
+        "    next_trigger(sc_core::sc_time(%g, sc_core::SC_SEC));\n"
+        p.Sfprogram.dt;
+      "  }\n\n";
+      Printf.sprintf "  SC_CTOR(%s) {\n    SC_METHOD(step);\n  }\n};\n" cname;
+    ]
+
+let emit_systemc_ams_tdf (p : Sfprogram.t) =
+  let cname = sanitize_ident p.Sfprogram.name in
+  let in_ports =
+    String.concat ""
+      (List.map
+         (fun s -> Printf.sprintf "  sca_tdf::sca_in<double> %s;\n" (input_c_name s))
+         p.Sfprogram.inputs)
+  in
+  let out_ports =
+    String.concat ""
+      (List.map
+         (fun o ->
+           Printf.sprintf "  sca_tdf::sca_out<double> %s_out;\n"
+             (Expr.var_c_name o))
+         p.Sfprogram.outputs)
+  in
+  let reads =
+    String.concat ""
+      (List.map
+         (fun s ->
+           Printf.sprintf "    const double %s_v = %s.read();\n"
+             (input_c_name s) (input_c_name s))
+         p.Sfprogram.inputs)
+  in
+  let body =
+    let renamed =
+      List.map
+        (fun (a : Sfprogram.assignment) ->
+          let expr =
+            Expr.subst
+              (fun v ->
+                match v.Expr.base with
+                | Expr.Signal s
+                  when v.Expr.delay = 0 && List.mem s p.Sfprogram.inputs ->
+                    Some (Expr.var (Expr.signal (s ^ "_v")))
+                | _ -> None)
+              a.Sfprogram.expr
+          in
+          { a with Sfprogram.expr })
+        p.Sfprogram.assignments
+    in
+    emit_step_body { p with Sfprogram.assignments = renamed }
+  in
+  let writes =
+    String.concat ""
+      (List.map
+         (fun o ->
+           Printf.sprintf "    %s_out.write(%s);\n" (Expr.var_c_name o)
+             (Expr.var_c_name o))
+         p.Sfprogram.outputs)
+  in
+  String.concat ""
+    [
+      header p Systemc_ams_tdf;
+      Printf.sprintf "SCA_TDF_MODULE(%s) {\n" cname;
+      in_ports;
+      out_ports;
+      decl_members p;
+      "\n  void set_attributes() {\n";
+      Printf.sprintf "    set_timestep(%g, sc_core::SC_SEC);\n" p.Sfprogram.dt;
+      "  }\n\n  void processing() {\n";
+      reads;
+      indent 4 body;
+      writes;
+      "  }\n\n";
+      Printf.sprintf "  SCA_CTOR(%s) {}\n};\n" cname;
+    ]
+
+let emit target p =
+  match target with
+  | Cpp -> emit_cpp p
+  | Systemc_de -> emit_systemc_de p
+  | Systemc_ams_tdf -> emit_systemc_ams_tdf p

@@ -1,0 +1,22 @@
+(** Step 4 — Code generation (paper §IV-D).
+
+    Emits a source-level rendering of a solved signal-flow program in
+    the three target languages of the paper: plain C++ (Fig. 7.b),
+    SystemC-DE (an [SC_MODULE] clocked at the model timestep) and
+    SystemC-AMS/TDF (an [SCA_TDF_MODULE] with [set_timestep] and
+    [processing]). The emitted text is a faithful rendering of the
+    update rules the OCaml back-ends execute; golden tests pin its
+    shape. *)
+
+type target = Cpp | Systemc_de | Systemc_ams_tdf
+
+val target_name : target -> string
+(** ["C++"], ["SC-DE"], ["SC-AMS/TDF"] — the labels used in the
+    paper's tables. *)
+
+val emit : target -> Amsvp_sf.Sfprogram.t -> string
+(** Complete compilation unit for the given target. *)
+
+val emit_step_body : Amsvp_sf.Sfprogram.t -> string
+(** Just the update statements plus the state rotation — the body
+    shared by all three targets (and the code shown in Fig. 7.b). *)

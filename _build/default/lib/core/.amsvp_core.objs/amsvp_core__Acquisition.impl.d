@@ -1,0 +1,1 @@
+lib/core/acquisition.ml: Amsvp_netlist Eqn Format

@@ -1,0 +1,1 @@
+lib/core/assemble.ml: Eqmap Eqn Expr Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/assemble.mli: Eqmap Expr Format

@@ -1,0 +1,1 @@
+lib/core/enrich.ml: Acquisition Amsvp_netlist Eqmap List

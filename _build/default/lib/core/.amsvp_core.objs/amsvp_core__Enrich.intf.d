@@ -1,0 +1,1 @@
+lib/core/enrich.mli: Acquisition Eqmap

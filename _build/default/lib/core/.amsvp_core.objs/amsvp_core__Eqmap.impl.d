@@ -1,0 +1,1 @@
+lib/core/eqmap.ml: Array Eqn Expr Format List Map

@@ -1,0 +1,1 @@
+lib/core/eqmap.mli: Eqn Expr Format

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Acquisition Amsvp_netlist Amsvp_sf Assemble Enrich Eqmap Expr Format List Printf Solve Unix

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Amsvp_netlist Amsvp_sf Expr Format Solve

@@ -1,0 +1,1 @@
+lib/core/solve.ml: Amsvp_sf Array Assemble Expr Hashtbl List Printf

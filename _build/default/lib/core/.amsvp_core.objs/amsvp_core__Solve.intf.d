@@ -1,0 +1,1 @@
+lib/core/solve.mli: Amsvp_sf Assemble Expr

@@ -1,0 +1,172 @@
+type definition = {
+  var : Expr.var;
+  raw : Expr.t;
+  via : int;
+  integrates : bool;
+  deriv : Expr.t option;
+}
+
+type result = {
+  defs : definition list;
+  outputs : Expr.var list;
+  inputs : string list;
+}
+
+exception No_definition of Expr.var
+
+type status = Not_visited | In_progress | Defined
+
+(* Undo journal for backtracking. *)
+type action =
+  | Status_set of Expr.var * status
+  | Class_disabled of int
+  | Def_pushed
+
+type state = {
+  map : Eqmap.t;
+  inputs : string list;
+  status : (Expr.var, status) Hashtbl.t;
+  mutable defs : definition list;  (* reverse completion order *)
+  mutable journal : action list;
+}
+
+let status_of st v =
+  match Hashtbl.find_opt st.status v with Some s -> s | None -> Not_visited
+
+let set_status st v s =
+  st.journal <- Status_set (v, status_of st v) :: st.journal;
+  Hashtbl.replace st.status v s
+
+let disable st id =
+  Eqmap.disable_class st.map id;
+  st.journal <- Class_disabled id :: st.journal
+
+let push_def st d =
+  st.defs <- d :: st.defs;
+  st.journal <- Def_pushed :: st.journal
+
+let rollback st checkpoint =
+  let rec go () =
+    if st.journal != checkpoint then begin
+      (match st.journal with
+      | [] -> assert false
+      | a :: rest ->
+          st.journal <- rest;
+          (match a with
+          | Status_set (v, prev) -> Hashtbl.replace st.status v prev
+          | Class_disabled id -> Eqmap.enable_class st.map id
+          | Def_pushed -> (
+              match st.defs with
+              | [] -> assert false
+              | _ :: tl -> st.defs <- tl)));
+      go ()
+    end
+  in
+  go ()
+
+let is_known st (v : Expr.var) =
+  match v.Expr.base with
+  | Expr.Signal s -> List.mem s st.inputs
+  | Expr.Param _ -> true
+  | Expr.Potential _ | Expr.Flow _ -> false
+
+(* Ensure every quantity read by [e] (at any delay) has a definition,
+   recursively. Returns false when some quantity cannot be defined with
+   the remaining equation classes. *)
+let rec cover st e =
+  Expr.Var_set.for_all
+    (fun v ->
+      let cur = { v with Expr.delay = 0 } in
+      define st cur)
+    (Expr.vars e)
+
+and define st x =
+  if is_known st x then true
+  else
+    match status_of st x with
+    | Defined | In_progress -> true
+    | Not_visited ->
+        set_status st x In_progress;
+        (* Prefer defining a state-bearing quantity through its
+           derivative (one-step integration): the resulting update has
+           the contraction structure that keeps the relaxed solving
+           mode stable, and in exact mode the choice is immaterial
+           (same linear system). *)
+        let candidates =
+          List.map (fun v -> (`Der, v)) (Eqmap.fetch_all st.map (Eqn.Der x))
+          @ List.map (fun v -> (`Cur, v)) (Eqmap.fetch_all st.map (Eqn.Cur x))
+        in
+        let rec try_candidates = function
+          | [] ->
+              (* No equation class can define x here: undo the
+                 In_progress mark and report failure upwards. *)
+              (match st.journal with
+              | Status_set (v, prev) :: rest when Expr.equal_var v x ->
+                  Hashtbl.replace st.status x prev;
+                  st.journal <- rest
+              | _ -> Hashtbl.replace st.status x Not_visited);
+              false
+          | (kind, (variant : Eqmap.variant)) :: rest ->
+              let checkpoint = st.journal in
+              disable st variant.class_id;
+              if cover st variant.rhs then begin
+                let raw, integrates, deriv =
+                  match kind with
+                  | `Cur -> (variant.rhs, false, None)
+                  | `Der ->
+                      (* x is defined through ddt(x) = rhs: integrate
+                         one step, x = x@-1 + __dt * rhs. *)
+                      ( Expr.(
+                          var (Expr.delayed x 1)
+                          + (var Expr.dt_param * variant.rhs)),
+                        true,
+                        Some variant.rhs )
+                in
+                push_def st
+                  { var = x; raw; via = variant.class_id; integrates; deriv };
+                set_status st x Defined;
+                true
+              end
+              else begin
+                rollback st checkpoint;
+                try_candidates rest
+              end
+        in
+        try_candidates candidates
+
+let assemble map ~inputs ~outputs =
+  let st =
+    { map; inputs; status = Hashtbl.create 64; defs = []; journal = [] }
+  in
+  List.iter
+    (fun out ->
+      if out.Expr.delay <> 0 then
+        invalid_arg "Assemble: outputs must be current-time quantities";
+      if not (define st out) then raise (No_definition out))
+    outputs;
+  { defs = List.rev st.defs; outputs; inputs }
+
+let inline_tree (r : result) out =
+  let defs = r.defs in
+  let find v =
+    List.find_opt (fun d -> Expr.equal_var d.var v) defs
+  in
+  let rec expand path e =
+    Expr.subst
+      (fun v ->
+        if v.Expr.delay > 0 then None
+        else if List.exists (Expr.equal_var v) path then None
+          (* recursion: leave the reference, as in Fig. 6 *)
+        else
+          match find v with
+          | Some d -> Some (expand (v :: path) d.raw)
+          | None -> None)
+      e
+  in
+  match find out with
+  | Some d -> expand [ out ] d.raw
+  | None -> raise Not_found
+
+let pp_definition ppf d =
+  Format.fprintf ppf "%s := %a  [class %d]" (Expr.var_name d.var) Expr.pp d.raw
+    d.via

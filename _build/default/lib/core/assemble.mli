@@ -1,0 +1,58 @@
+(** Step 3 — Assemble (paper §IV-C, Algorithm 2).
+
+    Builds one defining equation per quantity in the cone of influence
+    of the requested outputs, consuming one equation class per defined
+    quantity. Definitions are returned dependencies-first; a definition
+    may still reference quantities of the {e current} step — including
+    the defined variable itself through a discretised derivative — and
+    those occurrences are removed by the subsequent {!Solve} step
+    (Fig. 6 → Fig. 7).
+
+    The paper's [fetchEquation] takes the first available equation of a
+    dependency set; a greedy choice can dead-end (the only equation
+    able to define a later variable may already be consumed), so this
+    implementation backtracks over the candidate variants — a
+    conservative completion of the algorithm that preserves its
+    behaviour whenever the greedy choice succeeds. *)
+
+type definition = {
+  var : Expr.var;  (** the quantity being defined *)
+  raw : Expr.t;
+      (** defining expression; may contain [ddt] nodes and references
+          to the reserved parameter [__dt] (from integrations) *)
+  via : int;  (** id of the consumed equation class *)
+  integrates : bool;
+      (** the quantity was defined through its own derivative
+          ([x = x@-1 + dt * ddt_expr]) — a state update with the
+          contraction structure the relaxed solver may safely lag *)
+  deriv : Expr.t option;
+      (** for integrations, the defining derivative expression
+          ([ddt(var) = deriv]); lets the solver choose the integration
+          rule (backward Euler or trapezoidal) *)
+}
+
+type result = {
+  defs : definition list;  (** dependencies first *)
+  outputs : Expr.var list;
+  inputs : string list;
+}
+
+exception No_definition of Expr.var
+(** No consistent assignment of equation classes defines this
+    quantity — e.g. an output outside the modelled network. *)
+
+val assemble :
+  Eqmap.t -> inputs:string list -> outputs:Expr.var list -> result
+(** Consumes classes from the map (they are left disabled, so the same
+    map can be inspected afterwards to see the extracted sub-set of
+    Fig. 3; use {!Eqmap.reset} to run again). *)
+
+val inline_tree : result -> Expr.var -> Expr.t
+(** The nested equation tree of Fig. 6: the output's definition with
+    every defined quantity substituted recursively, stopping (leaving a
+    variable reference) when a quantity recurs along its own expansion
+    path — those are the "occurrences of the left value on the right
+    side" the Solve step removes.
+    @raise Not_found if the variable has no definition. *)
+
+val pp_definition : Format.formatter -> definition -> unit

@@ -1,0 +1,25 @@
+module Graph = Amsvp_netlist.Graph
+
+type stats = {
+  dipole_classes : int;
+  kcl_classes : int;
+  kvl_classes : int;
+  variants : int;
+}
+
+let enrich (a : Acquisition.t) =
+  let m = Eqmap.create () in
+  (* Dipole equations first: Algorithm 2 prefers constitutive
+     definitions, so insertion order doubles as fetch preference. *)
+  List.iter (Eqmap.add_equation m) a.dipoles;
+  let kcl = Graph.kcl_equations a.graph in
+  List.iter (Eqmap.add_equation m) kcl;
+  let kvl = Graph.kvl_equations a.graph in
+  List.iter (Eqmap.add_equation m) kvl;
+  ( m,
+    {
+      dipole_classes = List.length a.dipoles;
+      kcl_classes = List.length kcl;
+      kvl_classes = List.length kvl;
+      variants = Eqmap.variant_count m;
+    } )

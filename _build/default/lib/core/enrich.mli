@@ -1,0 +1,16 @@
+(** Step 2 — Enrichment (paper §IV-B, Algorithm 1).
+
+    Starting from the acquired dipole equations and the circuit graph,
+    adds the Kirchhoff current equations (nodal analysis) and voltage
+    equations (mesh analysis), then — for every equation — inserts the
+    variants obtained by solving it for each of its terms, chained into
+    dependency classes inside the multimap. *)
+
+type stats = {
+  dipole_classes : int;
+  kcl_classes : int;
+  kvl_classes : int;
+  variants : int;  (** total solved variants across all classes *)
+}
+
+val enrich : Acquisition.t -> Eqmap.t * stats

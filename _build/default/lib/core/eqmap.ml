@@ -1,0 +1,114 @@
+type variant = { class_id : int; defines : Eqn.pseudo; rhs : Expr.t }
+
+type clazz = {
+  id : int;
+  origin : Eqn.t;
+  variants : variant list;
+  mutable enabled : bool;
+}
+
+module Pmap = Map.Make (struct
+  type t = Eqn.pseudo
+
+  let compare = Eqn.compare_pseudo
+end)
+
+type t = {
+  mutable classes : clazz list;  (* reverse insertion order *)
+  mutable by_id : clazz array;  (* lazily rebuilt index *)
+  mutable index_dirty : bool;
+  mutable by_pseudo : variant list Pmap.t;  (* values in insertion order *)
+  mutable nclasses : int;
+  mutable nvariants : int;
+}
+
+let create () =
+  {
+    classes = [];
+    by_id = [||];
+    index_dirty = false;
+    by_pseudo = Pmap.empty;
+    nclasses = 0;
+    nvariants = 0;
+  }
+
+let add_equation m eqn =
+  let id = m.nclasses in
+  let variants =
+    Eqn.unknowns eqn
+    |> List.filter_map (fun p ->
+           match Eqn.solve_for p eqn with
+           | Some rhs -> Some { class_id = id; defines = p; rhs }
+           | None -> None)
+  in
+  let variants =
+    (* A nonlinear (e.g. piecewise-linear) equation whose left side is
+       a bare quantity still provides a direct definition for it; the
+       region handling happens in the Solve step. *)
+    match (variants, eqn.Eqn.lhs) with
+    | [], Expr.Var v when v.Expr.delay = 0 ->
+        [ { class_id = id; defines = Eqn.Cur v; rhs = eqn.Eqn.rhs } ]
+    | _ -> variants
+  in
+  let c = { id; origin = eqn; variants; enabled = true } in
+  m.classes <- c :: m.classes;
+  m.index_dirty <- true;
+  m.nclasses <- m.nclasses + 1;
+  m.nvariants <- m.nvariants + List.length variants;
+  List.iter
+    (fun v ->
+      let existing =
+        match Pmap.find_opt v.defines m.by_pseudo with
+        | Some l -> l
+        | None -> []
+      in
+      m.by_pseudo <- Pmap.add v.defines (existing @ [ v ]) m.by_pseudo)
+    variants
+
+let class_count m = m.nclasses
+let variant_count m = m.nvariants
+
+let index m =
+  if m.index_dirty && m.nclasses > 0 then begin
+    let arr = Array.make m.nclasses (List.hd m.classes) in
+    List.iter (fun c -> arr.(c.id) <- c) m.classes;
+    m.by_id <- arr;
+    m.index_dirty <- false
+  end;
+  m.by_id
+
+let clazz m id =
+  let arr = index m in
+  if id < 0 || id >= Array.length arr then
+    invalid_arg "Eqmap: unknown class id";
+  arr.(id)
+
+let is_enabled m id = (clazz m id).enabled
+let disable_class m id = (clazz m id).enabled <- false
+let enable_class m id = (clazz m id).enabled <- true
+let reset m = List.iter (fun c -> c.enabled <- true) m.classes
+
+let fetch_all m p =
+  match Pmap.find_opt p m.by_pseudo with
+  | None -> []
+  | Some l -> List.filter (fun v -> is_enabled m v.class_id) l
+
+let fetch m p = match fetch_all m p with [] -> None | v :: _ -> Some v
+
+let origin_of_class m id = (clazz m id).origin
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>equation map: %d classes, %d solved variants@,"
+    m.nclasses m.nvariants;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "[%d]%s %a@," c.id
+        (if c.enabled then "" else " (disabled)")
+        Eqn.pp c.origin;
+      List.iter
+        (fun v ->
+          Format.fprintf ppf "      -> %s = %a@," (Eqn.pseudo_name v.defines)
+            Expr.pp v.rhs)
+        c.variants)
+    (List.rev m.classes);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** The enriched equation multimap (paper, Fig. 5).
+
+    Equations are stored in equivalence classes: an original equation
+    together with every rearranged variant obtained by solving it for
+    each of its terms (Algorithm 1, lines 4–11). All members of a class
+    are linearly dependent, so using any one of them consumes the whole
+    class — "allowing to disable an entire set of equations if needed"
+    (§IV-B). Lookup is by the pseudo-variable a variant defines. *)
+
+type variant = {
+  class_id : int;
+  defines : Eqn.pseudo;
+  rhs : Expr.t;  (** the defining expression: [defines = rhs] *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_equation : t -> Eqn.t -> unit
+(** Insert an equation: creates a new class containing the original and
+    one solved variant per unknown of the equation. Nonlinear equations
+    are stored without variants (they can still be reported). *)
+
+val class_count : t -> int
+val variant_count : t -> int
+
+val fetch : t -> Eqn.pseudo -> variant option
+(** First enabled variant defining the pseudo-variable, scanning
+    classes in insertion order (the [fetchEquation] of Algorithm 2). *)
+
+val fetch_all : t -> Eqn.pseudo -> variant list
+(** Every enabled variant defining the pseudo-variable, in insertion
+    order — used by the backtracking assembler. *)
+
+val is_enabled : t -> int -> bool
+
+val disable_class : t -> int -> unit
+(** Mark a class as consumed (Algorithm 2, line 11). *)
+
+val enable_class : t -> int -> unit
+(** Undo a [disable_class] (used when the assembler backtracks). *)
+
+val reset : t -> unit
+(** Re-enable every class. *)
+
+val origin_of_class : t -> int -> Eqn.t
+(** The original equation of a class.
+    @raise Invalid_argument on an unknown id. *)
+
+val pp : Format.formatter -> t -> unit
+(** Dump in the style of Fig. 5: one line per class with its original
+    equation and the chained solved variants. *)

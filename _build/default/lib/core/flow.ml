@@ -1,0 +1,179 @@
+module Circuit = Amsvp_netlist.Circuit
+module Component = Amsvp_netlist.Component
+module Graph = Amsvp_netlist.Graph
+module Circuits = Amsvp_netlist.Circuits
+module Sfprogram = Amsvp_sf.Sfprogram
+
+type report = {
+  program : Sfprogram.t;
+  nodes : int;
+  branches : int;
+  classes : int;
+  variants : int;
+  definitions : int;
+  acquisition_s : float;
+  enrichment_s : float;
+  assemble_s : float;
+  solve_s : float;
+}
+
+let total_seconds r =
+  r.acquisition_s +. r.enrichment_s +. r.assemble_s +. r.solve_s
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+(* A potential that must be observable — an output of interest, or the
+   sensing pair of a controlled source — but is not the branch
+   potential of any device is observed through an ideal voltmeter: a
+   zero-current source between the two nodes, which adds the variable
+   to the equation system without disturbing the network. *)
+let with_probes circuit outputs =
+  let devices = Circuit.devices circuit in
+  let node_exists n = List.mem n (Circuit.nodes circuit) in
+  let present (a, b) =
+    List.exists (fun (d : Component.t) -> d.pos = a && d.neg = b) devices
+  in
+  let required_outputs =
+    List.filter_map
+      (fun (o : Expr.var) ->
+        match o.Expr.base with
+        | Expr.Potential (a, b) ->
+            if node_exists a && node_exists b then Some (a, b)
+            else
+              invalid_arg
+                (Printf.sprintf "Flow: output %s refers to unknown nodes"
+                   (Expr.var_name o))
+        | Expr.Flow _ | Expr.Signal _ | Expr.Param _ -> None)
+      outputs
+  in
+  let required_controls =
+    List.filter_map
+      (fun (d : Component.t) ->
+        match d.kind with
+        | Component.Vcvs { ctrl_pos; ctrl_neg; _ }
+        | Component.Vccs { ctrl_pos; ctrl_neg; _ } ->
+            Some (ctrl_pos, ctrl_neg)
+        | Component.Resistor _ | Component.Capacitor _ | Component.Inductor _
+        | Component.Vsource _ | Component.Isource _
+        | Component.Pwl_conductance _ ->
+            None)
+      devices
+  in
+  let missing =
+    List.filter (fun pair -> not (present pair))
+      (required_outputs @ required_controls)
+    |> List.sort_uniq compare
+  in
+  if missing = [] then circuit
+  else begin
+    let c = Circuit.create ~ground:(Circuit.ground circuit) () in
+    List.iter (Circuit.add c) devices;
+    List.iteri
+      (fun i (a, b) ->
+        Circuit.add_isource c
+          ~name:(Printf.sprintf "__probe%d" i)
+          ~pos:a ~neg:b (Component.Dc 0.0))
+      missing;
+    c
+  end
+
+let insert_probes circuit ~outputs = with_probes circuit outputs
+
+let abstract_circuit ?(name = "abstracted") ?(mode = `Auto)
+    ?(integration = `Backward_euler) circuit ~outputs ~dt =
+  if outputs = [] then invalid_arg "Flow: no outputs of interest";
+  let circuit = with_probes circuit outputs in
+  let inputs = Circuit.input_signals circuit in
+  let acq, acquisition_s = timed (fun () -> Acquisition.of_circuit circuit) in
+  let (map, stats), enrichment_s = timed (fun () -> Enrich.enrich acq) in
+  let asm, assemble_s =
+    timed (fun () -> Assemble.assemble map ~inputs ~outputs)
+  in
+  let program, solve_s =
+    timed (fun () -> Solve.solve ~mode ~integration ~name ~dt asm)
+  in
+  {
+    program;
+    nodes = Graph.node_count acq.Acquisition.graph;
+    branches = Graph.branch_count acq.Acquisition.graph;
+    classes = Eqmap.class_count map;
+    variants = stats.Enrich.variants;
+    definitions = List.length asm.Assemble.defs;
+    acquisition_s;
+    enrichment_s;
+    assemble_s;
+    solve_s;
+  }
+
+let abstract_testcase ?(mode = `Auto) ?(integration = `Backward_euler)
+    (tc : Circuits.testcase) ~dt =
+  abstract_circuit ~name:tc.Circuits.label ~mode ~integration
+    tc.Circuits.circuit ~outputs:[ tc.Circuits.output ] ~dt
+
+(* A discretised contribution may mention its own target at the current
+   time (e.g. [V(out) <+ V(in) - tau*ddt(V(out))]): interpreting [=] as
+   an assignment would be wrong, so the scalar linear equation is
+   solved for the target exactly as in Fig. 7. *)
+let solve_self_reference target expr =
+  if not (Expr.contains_var target expr) then expr
+  else
+    match Expr.linear_form expr with
+    | None -> raise (Solve.Nonlinear target)
+    | Some (items, k) ->
+        let a =
+          match List.find_opt (fun (v, _) -> Expr.equal_var v target) items with
+          | Some (_, c) -> c
+          | None -> 0.0
+        in
+        let denom = 1.0 -. a in
+        if abs_float denom < 1e-300 then
+          raise
+            (Solve.Underdetermined
+               ("self-reference with unit coefficient on "
+              ^ Expr.var_name target));
+        let rest =
+          List.filter (fun (v, _) -> not (Expr.equal_var v target)) items
+        in
+        Expr.simplify
+          (Expr.of_linear_form
+             (List.map (fun (v, c) -> (v, c /. denom)) rest, k /. denom))
+
+let convert_signal_flow ~name ~inputs ~outputs ~contributions ~dt =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "__idt%d" !counter
+  in
+  let assignments =
+    List.concat_map
+      (fun (target, e) ->
+        let e, accumulators = Expr.extract_idt ~fresh e in
+        let finish tgt expr =
+          let expr =
+            Expr.subst
+              (fun v ->
+                if Expr.equal_var v Expr.dt_param then Some (Expr.const dt)
+                else None)
+              expr
+          in
+          solve_self_reference tgt (Expr.simplify (Expr.discretize ~dt expr))
+        in
+        List.map
+          (fun (s, update) -> { Sfprogram.target = s; expr = finish s update })
+          accumulators
+        @ [ { Sfprogram.target; expr = finish target e } ])
+      contributions
+  in
+  Sfprogram.make ~name ~inputs ~outputs ~assignments ~dt
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>abstraction report: %d nodes, %d branches, %d classes, %d \
+     variants, %d definitions@,timings: acquisition %.3fms, enrichment \
+     %.3fms, assemble %.3fms, solve %.3fms@,%a@]"
+    r.nodes r.branches r.classes r.variants r.definitions
+    (r.acquisition_s *. 1e3) (r.enrichment_s *. 1e3) (r.assemble_s *. 1e3)
+    (r.solve_s *. 1e3) Sfprogram.pp r.program

@@ -1,0 +1,72 @@
+(** Solution of the linear equations (paper §IV-C, Fig. 7).
+
+    The assembled definitions still mention current-time quantities on
+    their right-hand sides — in particular the defined quantity itself,
+    introduced by discretised derivatives. Interpreting [=] as an
+    assignment would add a spurious one-step delay, so those
+    occurrences must be eliminated (§IV-C).
+
+    The definitions are first discretised (backward Euler), then the
+    graph of current-time references is decomposed into strongly
+    connected components. Each component is solved exactly: a single
+    self-referencing definition by the scalar rearrangement of Fig. 7,
+    a larger algebraic component (e.g. an op-amp feedback loop) by
+    Gaussian elimination over its members. Components are emitted in
+    dependency order, so the resulting program is a valid sequence of
+    assignments.
+
+    In [`Relaxed] mode, a derivative whose argument involves the
+    quantity being defined or a not-yet-computed one is discretised one
+    step behind ([ddt x ~ (x@-1 - x@-2)/dt]): this breaks the
+    state-to-state coupling, keeping the generated code's cost linear
+    in circuit size instead of quadratic, at a small accuracy cost —
+    the NRMSE degradation the paper reports for its generated models
+    against the conservative reference. Algebraic (derivative-free)
+    loops are always solved exactly, so high-gain feedback stays
+    stable. [`Auto] (the default) picks [`Exact] for small cones and
+    [`Relaxed] beyond {!auto_threshold} definitions. *)
+
+type mode = [ `Exact | `Relaxed | `Auto ]
+
+val auto_threshold : int
+(** Cone size above which [`Auto] switches to [`Relaxed] (16). *)
+
+val max_region_conditions : int
+(** Piecewise-linear models (paper §III-C, [7]): when the definitions
+    carry conditionals, the solver enumerates the truth assignments of
+    the distinct conditions (regions are selected on the previous
+    step's values), solves the linear system of every region exactly
+    and emits update rules that pick the solved region at run time. At
+    most this many distinct conditions (2^k regions) are supported;
+    beyond it, {!Nonlinear} is raised. *)
+
+exception Nonlinear of Expr.var
+(** A definition is not affine in the unknowns (outside the linear
+    scope of the methodology). *)
+
+exception Underdetermined of string
+(** The assembled system is numerically singular. *)
+
+type integration = [ `Backward_euler | `Trapezoidal ]
+(** Integration rule used when discretising (default backward Euler).
+    Trapezoidal integration gives second-order accuracy: state updates
+    become [x = x@-1 + dt/2 (f_t + f_{t-1})] and remaining derivatives
+    are computed by the trapezoidal differentiator
+    [s = (2/dt)(arg - arg@-1) - s@-1] through auxiliary quantities. *)
+
+val solve :
+  ?mode:mode ->
+  ?integration:integration ->
+  name:string ->
+  dt:float ->
+  Assemble.result ->
+  Amsvp_sf.Sfprogram.t
+
+val solved_assignments :
+  ?mode:mode ->
+  ?integration:integration ->
+  dt:float ->
+  Assemble.result ->
+  (Expr.var * Expr.t) list
+(** The explicit update rules without program packaging (used by the
+    Fig. 7 walkthrough and by tests). *)

@@ -1,0 +1,1 @@
+lib/expr/eqn.ml: Expr Format List Map Option Printf

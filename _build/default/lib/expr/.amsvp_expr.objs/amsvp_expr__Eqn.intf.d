@@ -1,0 +1,1 @@
+lib/expr/eqn.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Array Format Int List Map Option Printf Set String

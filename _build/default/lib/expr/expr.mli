@@ -1,0 +1,174 @@
+(** Symbolic expressions over electrical quantities.
+
+    This is the algebraic substrate of the abstraction methodology: the
+    right-hand sides of dipole equations are parsed into abstract syntax
+    trees whose leaves are values and variables and whose intermediate
+    nodes are operators (paper, §IV-A). The module provides the
+    manipulations every later step needs: substitution, linear-form
+    extraction, solving for a variable, backward-Euler discretisation of
+    [ddt]/[idt], evaluation and code-oriented printing. *)
+
+(** {1 Variables} *)
+
+(** The physical or signal quantity a leaf refers to. *)
+type base =
+  | Potential of string * string
+      (** [Potential (a, b)] is the branch potential [V(a,b)], the
+          potential of node [a] with respect to node [b]. *)
+  | Flow of string * string
+      (** [Flow (a, b)] is the branch flow [I(a,b)], oriented from [a]
+          to [b]. *)
+  | Signal of string  (** A named signal-flow quantity. *)
+  | Param of string  (** A symbolic parameter (e.g. [R], [C]). *)
+
+type var = { base : base; delay : int }
+(** A variable is a quantity sampled [delay] steps in the past;
+    [delay = 0] is the current time step. Delayed samples appear when
+    derivatives are discretised. *)
+
+val v : base -> var
+(** [v b] is the current-time variable over [b]. *)
+
+val potential : string -> string -> var
+val flow : string -> string -> var
+val signal : string -> var
+val param : string -> var
+
+val delayed : var -> int -> var
+(** [delayed x k] shifts [x] a further [k] steps into the past. *)
+
+val compare_var : var -> var -> int
+val equal_var : var -> var -> bool
+val var_name : var -> string
+(** Verilog-AMS-style rendering, e.g. ["V(out,gnd)"], with ["@-k"]
+    appended for delayed samples. *)
+
+val var_c_name : var -> string
+(** A C identifier for the variable, e.g. ["V_out_gnd"] or
+    ["V_out_gnd_m1"] for one step in the past. *)
+
+module Var_map : Map.S with type key = var
+module Var_set : Set.S with type elt = var
+
+(** {1 Expressions} *)
+
+type unary_fun = Sin | Cos | Exp | Ln | Sqrt | Abs | Tanh
+
+type cmp = Lt | Le | Gt | Ge
+
+type t =
+  | Const of float
+  | Var of var
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Ddt of t  (** time derivative, Verilog-AMS [ddt()] *)
+  | Idt of t  (** time integral, Verilog-AMS [idt()] *)
+  | App of unary_fun * t
+  | Cond of cond * t * t
+      (** [Cond (c, a, b)] is [a] when [c] holds, else [b]; models
+          if/else contributions and piecewise-linear devices. *)
+
+and cond =
+  | Cmp of cmp * t * t
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+val const : float -> t
+val var : var -> t
+val zero : t
+val one : t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+
+(** {1 Structure} *)
+
+val vars : t -> Var_set.t
+(** All variables occurring in the expression (including inside
+    conditions). *)
+
+val contains_var : var -> t -> bool
+
+val contains_ddt : t -> bool
+(** True if a [Ddt] or [Idt] node occurs anywhere — the "derivative
+    flag" the paper attaches to tree elements (§IV-A). *)
+
+val subst : (var -> t option) -> t -> t
+(** [subst f e] replaces each variable [x] with [f x] when it is
+    [Some _]. *)
+
+val delay_expr : int -> t -> t
+(** Shift every variable of the expression [k] steps into the past.
+    @raise Invalid_argument if the expression still contains
+    [Ddt]/[Idt] nodes (discretise first). *)
+
+val size : t -> int
+(** Number of AST nodes, used for complexity reporting. *)
+
+(** {1 Evaluation} *)
+
+val eval : (var -> float) -> t -> float
+(** Evaluate under an environment.
+    @raise Failure on [Ddt]/[Idt] nodes — continuous-time operators
+    cannot be evaluated pointwise; discretise first. *)
+
+val compile : (var -> int) -> t -> float array -> float
+(** [compile slot e] compiles [e] into a closure reading variable
+    values from an array at the indices given by [slot]. The closure
+    allocates nothing per call; this is the "plain C++" execution path.
+    @raise Failure on [Ddt]/[Idt] nodes. *)
+
+(** {1 Algebra} *)
+
+val simplify : t -> t
+(** Constant folding and neutral-element elimination. [simplify] never
+    changes the value of the expression under any environment. *)
+
+val linear_form : t -> ((var * float) list * float) option
+(** [linear_form e] writes [e] as [sum_i c_i * x_i + k] if [e] is an
+    affine combination of variables with constant coefficients.
+    Returns [None] for nonlinear expressions, conditionals or
+    un-discretised [Ddt]/[Idt]. Coefficients are merged per variable
+    and zero coefficients dropped. *)
+
+val of_linear_form : (var * float) list * float -> t
+(** Rebuild an expression from a linear form (simplified). *)
+
+val discretize : dt:float -> t -> t
+(** Backward-Euler discretisation: innermost-first,
+    [ddt(e)] becomes [(e - e@-1) / dt]. Nested derivatives yield
+    second-order differences. [Idt] nodes must be removed with
+    {!extract_idt} beforehand.
+    @raise Failure if an [Idt] node remains. *)
+
+val extract_idt : fresh:(unit -> string) -> t -> t * (var * t) list
+(** [extract_idt ~fresh e] replaces each [idt(u)] node with a fresh
+    signal variable [s] and returns the companion update equations
+    [s = s@-1 + dt_param * u] where [dt_param] is the parameter
+    ["__dt"]. The returned list is ordered innermost first. *)
+
+val dt_param : var
+(** The reserved parameter ["__dt"] denoting the discretisation step. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Verilog-AMS-flavoured rendering, parenthesised by precedence. *)
+
+val to_string : t -> string
+
+val pp_c : name:(var -> string) -> Format.formatter -> t -> unit
+(** C/C++ rendering; variables are printed through [name]. *)
+
+val to_c : name:(var -> string) -> t -> string
+
+val pp_tree : Format.formatter -> t -> unit
+(** Indented tree dump used to reproduce the paper's Fig. 6/7 views. *)

@@ -1,0 +1,1 @@
+lib/mna/ac.ml: Amsvp_netlist Array Complex Expr Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/mna/ac.mli: Amsvp_netlist Complex Expr

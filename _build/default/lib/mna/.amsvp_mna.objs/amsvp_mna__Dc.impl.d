@@ -1,0 +1,1 @@
+lib/mna/dc.ml: Amsvp_netlist Array Expr Format List Matrix System

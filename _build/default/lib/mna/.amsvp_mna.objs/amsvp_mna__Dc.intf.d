@@ -1,0 +1,1 @@
+lib/mna/dc.mli: Amsvp_netlist Expr Format

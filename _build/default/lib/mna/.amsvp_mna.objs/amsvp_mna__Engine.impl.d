@@ -1,0 +1,1 @@
+lib/mna/engine.ml: Amsvp_netlist Amsvp_util Array Expr Float Hashtbl List Matrix Sparse System

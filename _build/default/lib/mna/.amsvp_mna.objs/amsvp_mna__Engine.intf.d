@@ -1,0 +1,1 @@
+lib/mna/engine.mli: Amsvp_netlist Amsvp_util Expr

@@ -1,0 +1,1 @@
+lib/mna/matrix.mli:

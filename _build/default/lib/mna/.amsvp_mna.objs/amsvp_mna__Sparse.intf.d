@@ -1,0 +1,1 @@
+lib/mna/sparse.mli:

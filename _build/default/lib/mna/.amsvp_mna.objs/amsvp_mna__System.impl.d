@@ -1,0 +1,1 @@
+lib/mna/system.ml: Amsvp_netlist Array Expr Hashtbl List Matrix

@@ -1,0 +1,1 @@
+lib/mna/system.mli: Amsvp_netlist Expr Matrix

@@ -1,0 +1,196 @@
+module Circuit = Amsvp_netlist.Circuit
+module Component = Amsvp_netlist.Component
+
+type point = { freq_hz : float; response : Complex.t }
+
+(* Dense complex LU with partial pivoting (same scheme as Matrix). *)
+module Cmatrix = struct
+  open Complex
+
+  type t = { n : int; a : Complex.t array }
+
+  let create n = { n; a = Array.make (n * n) zero }
+
+  let add_to m i j v = m.a.((i * m.n) + j) <- add m.a.((i * m.n) + j) v
+
+  let solve m b =
+    let n = m.n in
+    let a = Array.copy m.a in
+    let x = Array.copy b in
+    for k = 0 to n - 1 do
+      let piv = ref k and mag = ref (norm a.((k * n) + k)) in
+      for i = k + 1 to n - 1 do
+        let m' = norm a.((i * n) + k) in
+        if m' > !mag then begin
+          mag := m';
+          piv := i
+        end
+      done;
+      if !mag < 1e-300 then invalid_arg "Ac: singular system";
+      if !piv <> k then begin
+        for j = 0 to n - 1 do
+          let t = a.((k * n) + j) in
+          a.((k * n) + j) <- a.((!piv * n) + j);
+          a.((!piv * n) + j) <- t
+        done;
+        let t = x.(k) in
+        x.(k) <- x.(!piv);
+        x.(!piv) <- t
+      end;
+      for i = k + 1 to n - 1 do
+        let f = div a.((i * n) + k) a.((k * n) + k) in
+        if f <> zero then begin
+          for j = k to n - 1 do
+            a.((i * n) + j) <- sub a.((i * n) + j) (mul f a.((k * n) + j))
+          done;
+          x.(i) <- sub x.(i) (mul f x.(k))
+        end
+      done
+    done;
+    for i = n - 1 downto 0 do
+      let s = ref x.(i) in
+      for j = i + 1 to n - 1 do
+        s := sub !s (mul a.((i * n) + j) x.(j))
+      done;
+      x.(i) <- div !s a.((i * n) + i)
+    done;
+    x
+end
+
+let analyze circuit ~input ~output ~freqs =
+  if Circuit.has_pwl circuit then
+    invalid_arg "Ac.analyze: no small-signal model for piecewise-linear devices";
+  (match Circuit.validate circuit with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ac.analyze: " ^ msg));
+  if not (List.mem input (Circuit.input_signals circuit)) then
+    invalid_arg ("Ac.analyze: unknown input signal " ^ input);
+  List.iter
+    (fun f -> if f <= 0.0 then invalid_arg "Ac.analyze: non-positive frequency")
+    freqs;
+  let ground = Circuit.ground circuit in
+  let node_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i n -> Hashtbl.add node_index n i)
+    (List.filter (fun n -> n <> ground) (Circuit.nodes circuit));
+  let nnodes = Hashtbl.length node_index in
+  let devices = Circuit.devices circuit in
+  let current_index = Hashtbl.create 8 in
+  let next = ref nnodes in
+  List.iter
+    (fun (d : Component.t) ->
+      match d.kind with
+      | Component.Vsource _ | Component.Inductor _ | Component.Vcvs _ ->
+          Hashtbl.add current_index d.name !next;
+          incr next
+      | Component.Resistor _ | Component.Capacitor _ | Component.Isource _
+      | Component.Vccs _ | Component.Pwl_conductance _ ->
+          ())
+    devices;
+  let size = !next in
+  let nid n = match Hashtbl.find_opt node_index n with Some i -> i | None -> -1 in
+  let solve_at freq_hz =
+    let w = 2.0 *. Float.pi *. freq_hz in
+    let m = Cmatrix.create size in
+    let b = Array.make size Complex.zero in
+    let real v = { Complex.re = v; im = 0.0 } in
+    let imag v = { Complex.re = 0.0; im = v } in
+    let stamp_admittance a bn y =
+      if a >= 0 then Cmatrix.add_to m a a y;
+      if bn >= 0 then Cmatrix.add_to m bn bn y;
+      if a >= 0 && bn >= 0 then begin
+        Cmatrix.add_to m a bn (Complex.neg y);
+        Cmatrix.add_to m bn a (Complex.neg y)
+      end
+    in
+    List.iter
+      (fun (d : Component.t) ->
+        let a = nid d.pos and bn = nid d.neg in
+        match d.kind with
+        | Component.Resistor r -> stamp_admittance a bn (real (1.0 /. r))
+        | Component.Capacitor c -> stamp_admittance a bn (imag (w *. c))
+        | Component.Vccs { gm; ctrl_pos; ctrl_neg } ->
+            let cp = nid ctrl_pos and cn = nid ctrl_neg in
+            let add i j v = if i >= 0 && j >= 0 then Cmatrix.add_to m i j v in
+            add a cp (real gm);
+            add a cn (real (-.gm));
+            add bn cp (real (-.gm));
+            add bn cn (real gm)
+        | Component.Isource src ->
+            (* AC excitation: unit phasor on the selected input, zero
+               elsewhere. *)
+            let amp =
+              match src with Component.Input u when u = input -> 1.0 | _ -> 0.0
+            in
+            if a >= 0 then b.(a) <- Complex.sub b.(a) (real amp);
+            if bn >= 0 then b.(bn) <- Complex.add b.(bn) (real amp)
+        | Component.Vsource src ->
+            let k = Hashtbl.find current_index d.name in
+            if a >= 0 then begin
+              Cmatrix.add_to m a k Complex.one;
+              Cmatrix.add_to m k a Complex.one
+            end;
+            if bn >= 0 then begin
+              Cmatrix.add_to m bn k (real (-1.0));
+              Cmatrix.add_to m k bn (real (-1.0))
+            end;
+            let amp =
+              match src with Component.Input u when u = input -> 1.0 | _ -> 0.0
+            in
+            b.(k) <- real amp
+        | Component.Vcvs { gain; ctrl_pos; ctrl_neg } ->
+            let k = Hashtbl.find current_index d.name in
+            if a >= 0 then begin
+              Cmatrix.add_to m a k Complex.one;
+              Cmatrix.add_to m k a Complex.one
+            end;
+            if bn >= 0 then begin
+              Cmatrix.add_to m bn k (real (-1.0));
+              Cmatrix.add_to m k bn (real (-1.0))
+            end;
+            let cp = nid ctrl_pos and cn = nid ctrl_neg in
+            if cp >= 0 then Cmatrix.add_to m k cp (real (-.gain));
+            if cn >= 0 then Cmatrix.add_to m k cn (real gain)
+        | Component.Inductor l ->
+            let k = Hashtbl.find current_index d.name in
+            if a >= 0 then begin
+              Cmatrix.add_to m a k Complex.one;
+              Cmatrix.add_to m k a Complex.one
+            end;
+            if bn >= 0 then begin
+              Cmatrix.add_to m bn k (real (-1.0));
+              Cmatrix.add_to m k bn (real (-1.0))
+            end;
+            Cmatrix.add_to m k k (imag (-.(w *. l)))
+        | Component.Pwl_conductance _ -> assert false)
+      devices;
+    let x = Cmatrix.solve m b in
+    let node_phasor n =
+      let i = nid n in
+      if i < 0 then Complex.zero else x.(i)
+    in
+    let response =
+      match output.Expr.base with
+      | Expr.Potential (p, q) when output.Expr.delay = 0 ->
+          Complex.sub (node_phasor p) (node_phasor q)
+      | Expr.Flow (name, "") when output.Expr.delay = 0 -> (
+          match Hashtbl.find_opt current_index name with
+          | Some k -> x.(k)
+          | None -> (
+              match Circuit.find circuit name with
+              | Some { Component.kind = Component.Resistor r; pos; neg; _ } ->
+                  Complex.div
+                    (Complex.sub (node_phasor pos) (node_phasor neg))
+                    { Complex.re = r; im = 0.0 }
+              | Some _ | None ->
+                  invalid_arg
+                    ("Ac.analyze: no phasor available for flow " ^ name)))
+      | Expr.Potential _ | Expr.Flow _ | Expr.Signal _ | Expr.Param _ ->
+          invalid_arg "Ac.analyze: unsupported output quantity"
+    in
+    { freq_hz; response }
+  in
+  List.map solve_at freqs
+
+let magnitude_db p = 20.0 *. log10 (Complex.norm p.response)
+let phase_deg p = Complex.arg p.response *. 180.0 /. Float.pi

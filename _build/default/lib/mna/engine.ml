@@ -1,0 +1,255 @@
+module Trace = Amsvp_util.Trace
+module Circuits = Amsvp_netlist.Circuits
+
+type stats = {
+  steps : int;
+  device_evals : int;
+  factorizations : int;
+  solves : int;
+}
+
+type result = { trace : Trace.t; stats : stats; matrix_dim : int }
+
+let check_args ~dt ~t_stop =
+  if dt <= 0.0 then invalid_arg "Engine: dt must be positive";
+  if t_stop < dt then invalid_arg "Engine: t_stop shorter than one step"
+
+let input_fun inputs =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (name, f) -> Hashtbl.replace tbl name f) inputs;
+  fun t name ->
+    match Hashtbl.find_opt tbl name with
+    | Some f -> f t
+    | None -> invalid_arg ("Engine: no stimulus bound to input " ^ name)
+
+let spice_like ?(substeps = 8) ?(iterations = 3) circuit ~inputs ~output ~dt
+    ~t_stop =
+  check_args ~dt ~t_stop;
+  if substeps < 1 || iterations < 1 then
+    invalid_arg "Engine.spice_like: substeps and iterations must be >= 1";
+  let sys = System.build circuit in
+  let n = System.size sys in
+  let input_at = input_fun inputs in
+  let h = dt /. float_of_int substeps in
+  let nsteps = int_of_float (Float.round (t_stop /. dt)) in
+  let x = ref (Array.make n 0.0) in
+  let rhs = Array.make n 0.0 in
+  let trace = Trace.create ~capacity:(nsteps + 1) () in
+  let device_evals = ref 0 and factorizations = ref 0 and solves = ref 0 in
+  Trace.add trace ~time:0.0 ~value:(System.output_value sys output !x);
+  for step = 1 to nsteps do
+    let t_base = float_of_int (step - 1) *. dt in
+    for sub = 1 to substeps do
+      (* The last substep lands exactly on the reporting instant so that
+         stimulus edges are sampled at the same points as the
+         fixed-step engines (no knife-edge drift on square waves). *)
+      let t =
+        if sub = substeps then float_of_int step *. dt
+        else t_base +. (float_of_int sub *. h)
+      in
+      let input = input_at t in
+      let x_next = ref !x in
+      for _iter = 1 to iterations do
+        (* Device evaluation: the full system is re-stamped (with
+           piecewise-linear regions selected by the latest estimate),
+           then re-factored, at every solver pass — the SPICE cost
+           model. *)
+        let m = System.stamp_matrix ~state:!x_next sys ~h in
+        incr device_evals;
+        System.stamp_rhs sys ~h ~state:!x ~input ~rhs;
+        let lu = Matrix.lu_factor m in
+        incr factorizations;
+        x_next := Matrix.lu_solve lu rhs;
+        incr solves
+      done;
+      x := !x_next
+    done;
+    Trace.add trace
+      ~time:(float_of_int step *. dt)
+      ~value:(System.output_value sys output !x)
+  done;
+  {
+    trace;
+    stats =
+      {
+        steps = nsteps;
+        device_evals = !device_evals;
+        factorizations = !factorizations;
+        solves = !solves;
+      };
+    matrix_dim = n;
+  }
+
+let eln_like ?(on_step = fun _ _ -> ()) circuit ~inputs ~output ~dt ~t_stop =
+  check_args ~dt ~t_stop;
+  if Amsvp_netlist.Circuit.has_pwl circuit then
+    invalid_arg "Engine.eln_like: the linear-network engine cannot simulate \
+                 piecewise-linear devices";
+  let sys = System.build circuit in
+  let n = System.size sys in
+  let input_at = input_fun inputs in
+  let nsteps = int_of_float (Float.round (t_stop /. dt)) in
+  (* Linear fixed-step network: assemble and factor exactly once. *)
+  let m = System.stamp_matrix sys ~h:dt in
+  let lu = Matrix.lu_factor m in
+  let x = Array.make n 0.0 in
+  let x_next = Array.make n 0.0 in
+  let rhs = Array.make n 0.0 in
+  let trace = Trace.create ~capacity:(nsteps + 1) () in
+  let solves = ref 0 in
+  Trace.add trace ~time:0.0 ~value:(System.output_value sys output x);
+  for step = 1 to nsteps do
+    let t = float_of_int step *. dt in
+    System.stamp_rhs sys ~h:dt ~state:x ~input:(input_at t) ~rhs;
+    Matrix.lu_solve_into lu ~b:rhs ~x:x_next;
+    incr solves;
+    Array.blit x_next 0 x 0 n;
+    let out = System.output_value sys output x in
+    Trace.add trace ~time:t ~value:out;
+    on_step t out
+  done;
+  {
+    trace;
+    stats =
+      { steps = nsteps; device_evals = 1; factorizations = 1; solves = !solves };
+    matrix_dim = n;
+  }
+
+module Eln_stepper = struct
+  type factors = Dense of Matrix.lu | Sparse_lu of Sparse.lu
+
+  type t = {
+    sys : System.t;
+    lu : factors;
+    dt : float;
+    inputs : string array;
+    output_var : Expr.var;
+    x : float array;
+    x_next : float array;
+    rhs : float array;
+    mutable out : float;
+  }
+
+  let create ?(solver = `Dense) circuit ~inputs ~output ~dt =
+    if dt <= 0.0 then invalid_arg "Eln_stepper: dt must be positive";
+    if Amsvp_netlist.Circuit.has_pwl circuit then
+      invalid_arg "Eln_stepper: the linear-network engine cannot simulate \
+                   piecewise-linear devices";
+    let sys = System.build circuit in
+    let n = System.size sys in
+    let lu =
+      match solver with
+      | `Dense -> Dense (Matrix.lu_factor (System.stamp_matrix sys ~h:dt))
+      | `Sparse -> Sparse_lu (Sparse.lu_factor ~n (System.stamp_triplets sys ~h:dt))
+    in
+    {
+      sys;
+      lu;
+      dt;
+      inputs = Array.of_list inputs;
+      output_var = output;
+      x = Array.make n 0.0;
+      x_next = Array.make n 0.0;
+      rhs = Array.make n 0.0;
+      out = 0.0;
+    }
+
+  let step st ~input_values =
+    if Array.length input_values <> Array.length st.inputs then
+      invalid_arg "Eln_stepper.step: input arity mismatch";
+    let input name =
+      let rec find i =
+        if i >= Array.length st.inputs then
+          invalid_arg ("Eln_stepper: unknown input " ^ name)
+        else if st.inputs.(i) = name then input_values.(i)
+        else find (i + 1)
+      in
+      find 0
+    in
+    System.stamp_rhs st.sys ~h:st.dt ~state:st.x ~input ~rhs:st.rhs;
+    (match st.lu with
+    | Dense lu -> Matrix.lu_solve_into lu ~b:st.rhs ~x:st.x_next
+    | Sparse_lu lu -> Sparse.lu_solve_into lu ~b:st.rhs ~x:st.x_next);
+    Array.blit st.x_next 0 st.x 0 (Array.length st.x);
+    st.out <- System.output_value st.sys st.output_var st.x;
+    st.out
+
+  let output st = st.out
+
+  let reset st =
+    Array.fill st.x 0 (Array.length st.x) 0.0;
+    st.out <- 0.0
+end
+
+module Spice_stepper = struct
+  type t = {
+    sys : System.t;
+    dt : float;
+    h : float;
+    substeps : int;
+    iterations : int;
+    inputs : string array;
+    output_var : Expr.var;
+    mutable x : float array;
+    rhs : float array;
+    mutable out : float;
+  }
+
+  let create ?(substeps = 8) ?(iterations = 3) circuit ~inputs ~output ~dt =
+    if dt <= 0.0 then invalid_arg "Spice_stepper: dt must be positive";
+    if substeps < 1 || iterations < 1 then
+      invalid_arg "Spice_stepper: substeps and iterations must be >= 1";
+    let sys = System.build circuit in
+    let n = System.size sys in
+    {
+      sys;
+      dt;
+      h = dt /. float_of_int substeps;
+      substeps;
+      iterations;
+      inputs = Array.of_list inputs;
+      output_var = output;
+      x = Array.make n 0.0;
+      rhs = Array.make n 0.0;
+      out = 0.0;
+    }
+
+  let step st ~input_values =
+    if Array.length input_values <> Array.length st.inputs then
+      invalid_arg "Spice_stepper.step: input arity mismatch";
+    let input name =
+      let rec find i =
+        if i >= Array.length st.inputs then
+          invalid_arg ("Spice_stepper: unknown input " ^ name)
+        else if st.inputs.(i) = name then input_values.(i)
+        else find (i + 1)
+      in
+      find 0
+    in
+    for _sub = 1 to st.substeps do
+      let x_next = ref st.x in
+      for _iter = 1 to st.iterations do
+        let m = System.stamp_matrix ~state:!x_next st.sys ~h:st.h in
+        System.stamp_rhs st.sys ~h:st.h ~state:st.x ~input ~rhs:st.rhs;
+        let lu = Matrix.lu_factor m in
+        x_next := Matrix.lu_solve lu st.rhs
+      done;
+      st.x <- !x_next
+    done;
+    st.out <- System.output_value st.sys st.output_var st.x;
+    st.out
+
+  let output st = st.out
+
+  let reset st =
+    Array.fill st.x 0 (Array.length st.x) 0.0;
+    st.out <- 0.0
+end
+
+let run_testcase_spice ?substeps ?iterations (tc : Circuits.testcase) ~dt
+    ~t_stop =
+  spice_like ?substeps ?iterations tc.circuit ~inputs:tc.stimuli
+    ~output:tc.output ~dt ~t_stop
+
+let run_testcase_eln (tc : Circuits.testcase) ~dt ~t_stop =
+  eln_like tc.circuit ~inputs:tc.stimuli ~output:tc.output ~dt ~t_stop

@@ -1,0 +1,115 @@
+(** Conservative transient simulation back-ends.
+
+    Two engines over the same MNA system, mirroring the cost structure
+    of the tools the paper measures:
+
+    - {!spice_like} — the Verilog-AMS/ELDO stand-in and accuracy
+      reference. It refines every reporting step into [substeps]
+      internal steps and, at each, re-evaluates all devices
+      (re-assembly) and re-factors the matrix for each of
+      [iterations] solver passes, like a SPICE engine re-linearising
+      at every Newton iteration. The sparse solve + device evaluation
+      are "the two most serious bottlenecks" (§III-B [5]).
+    - {!eln_like} — the SystemC-AMS/ELN stand-in: the network equations
+      are set up and factored {e once} (linear network, fixed step);
+      each step costs one RHS build plus one triangular solve, plus a
+      synchronisation callback so the caller can model the DE-kernel
+      boundary. *)
+
+type stats = {
+  steps : int;  (** reporting steps taken *)
+  device_evals : int;  (** full device-evaluation (assembly) passes *)
+  factorizations : int;
+  solves : int;
+}
+
+type result = { trace : Amsvp_util.Trace.t; stats : stats; matrix_dim : int }
+
+val spice_like :
+  ?substeps:int ->
+  ?iterations:int ->
+  Amsvp_netlist.Circuit.t ->
+  inputs:(string * Amsvp_util.Stimulus.t) list ->
+  output:Expr.var ->
+  dt:float ->
+  t_stop:float ->
+  result
+(** [spice_like ckt ~inputs ~output ~dt ~t_stop] simulates from 0 to
+    [t_stop], recording [output] every [dt]. Default [substeps = 8],
+    [iterations = 3].
+    @raise Invalid_argument on a missing input signal or bad step. *)
+
+val eln_like :
+  ?on_step:(float -> float -> unit) ->
+  Amsvp_netlist.Circuit.t ->
+  inputs:(string * Amsvp_util.Stimulus.t) list ->
+  output:Expr.var ->
+  dt:float ->
+  t_stop:float ->
+  result
+(** Fixed-step linear-network engine; [on_step time value] is invoked
+    once per step (the ELN-cluster to DE-kernel synchronisation
+    point). *)
+
+(** Step-wise interface to the ELN engine, for embedding the linear
+    network inside a discrete-event kernel (the SystemC-AMS use case):
+    the matrix is factored at creation, each [step] performs one RHS
+    build and one triangular solve. *)
+module Eln_stepper : sig
+  type t
+
+  val create :
+    ?solver:[ `Dense | `Sparse ] ->
+    Amsvp_netlist.Circuit.t ->
+    inputs:string list ->
+    output:Expr.var ->
+    dt:float ->
+    t
+  (** [inputs] declares the input signal order used by [step]; [solver]
+      selects the linear-algebra back-end (default [`Dense]; [`Sparse]
+      factors with {!Sparse} — the right choice for large networks, see
+      the dense-vs-sparse ablation). *)
+
+  val step : t -> input_values:float array -> float
+  (** Advance one timestep with the given input samples (ordered as the
+      [inputs] list) and return the output quantity. *)
+
+  val output : t -> float
+  (** Output value after the last [step] (0 before the first). *)
+
+  val reset : t -> unit
+end
+
+(** Step-wise interface to the SPICE-like engine, for lock-step
+    co-simulation with a digital simulator (the Questa-ADMS use case of
+    Table III): every [step] refines the reporting step into internal
+    substeps, re-evaluating devices and re-factoring at each solver
+    pass. *)
+module Spice_stepper : sig
+  type t
+
+  val create :
+    ?substeps:int ->
+    ?iterations:int ->
+    Amsvp_netlist.Circuit.t ->
+    inputs:string list ->
+    output:Expr.var ->
+    dt:float ->
+    t
+
+  val step : t -> input_values:float array -> float
+  val output : t -> float
+  val reset : t -> unit
+end
+
+val run_testcase_spice :
+  ?substeps:int ->
+  ?iterations:int ->
+  Amsvp_netlist.Circuits.testcase ->
+  dt:float ->
+  t_stop:float ->
+  result
+(** Convenience wrapper running a paper test case. *)
+
+val run_testcase_eln :
+  Amsvp_netlist.Circuits.testcase -> dt:float -> t_stop:float -> result

@@ -1,0 +1,137 @@
+type triplet = int * int * float
+
+type lu = {
+  n : int;
+  perm : int array;  (* permuted row i came from original row perm.(i) *)
+  lrows : (int * float) array array;  (* strictly lower, sorted by column *)
+  urows : (int * float) array array;  (* strictly upper, sorted by column *)
+  diag : float array;
+  nnz : int;
+}
+
+exception Singular of int
+
+let pivot_threshold = 1e-3
+
+let lu_factor ~n triplets =
+  let rows = Array.init n (fun _ -> Hashtbl.create 8) in
+  List.iter
+    (fun (i, j, v) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Sparse.lu_factor: index out of range";
+      if v <> 0.0 then
+        let cur = try Hashtbl.find rows.(i) j with Not_found -> 0.0 in
+        Hashtbl.replace rows.(i) j (cur +. v))
+    triplets;
+  let perm = Array.init n (fun i -> i) in
+  let lrows = Array.make n [] in
+  for k = 0 to n - 1 do
+    (* Candidate pivots: rows k..n-1 with an entry in column k. The
+       numerically admissible one with the sparsest row wins
+       (Markowitz-style fill control with threshold pivoting). *)
+    let colmax = ref 0.0 in
+    for i = k to n - 1 do
+      match Hashtbl.find_opt rows.(i) k with
+      | Some v -> if abs_float v > !colmax then colmax := abs_float v
+      | None -> ()
+    done;
+    if !colmax < 1e-300 then raise (Singular k);
+    let best = ref (-1) and best_nnz = ref max_int in
+    for i = k to n - 1 do
+      match Hashtbl.find_opt rows.(i) k with
+      | Some v
+        when abs_float v >= pivot_threshold *. !colmax
+             && Hashtbl.length rows.(i) < !best_nnz ->
+          best := i;
+          best_nnz := Hashtbl.length rows.(i)
+      | Some _ | None -> ()
+    done;
+    let r = !best in
+    if r <> k then begin
+      let t = rows.(k) in
+      rows.(k) <- rows.(r);
+      rows.(r) <- t;
+      let t = perm.(k) in
+      perm.(k) <- perm.(r);
+      perm.(r) <- t;
+      let t = lrows.(k) in
+      lrows.(k) <- lrows.(r);
+      lrows.(r) <- t
+    end;
+    let pivot_row = rows.(k) in
+    let pivot = Hashtbl.find pivot_row k in
+    for i = k + 1 to n - 1 do
+      match Hashtbl.find_opt rows.(i) k with
+      | None -> ()
+      | Some a_ik ->
+          let f = a_ik /. pivot in
+          Hashtbl.remove rows.(i) k;
+          lrows.(i) <- (k, f) :: lrows.(i);
+          Hashtbl.iter
+            (fun j v ->
+              if j > k then begin
+                let cur = try Hashtbl.find rows.(i) j with Not_found -> 0.0 in
+                let nv = cur -. (f *. v) in
+                if nv = 0.0 then Hashtbl.remove rows.(i) j
+                else Hashtbl.replace rows.(i) j nv
+              end)
+            pivot_row
+    done
+  done;
+  let compress_l l =
+    let arr = Array.of_list l in
+    Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+    arr
+  in
+  let diag = Array.make n 0.0 in
+  let urows =
+    Array.init n (fun i ->
+        let items =
+          Hashtbl.fold
+            (fun j v acc -> if j > i then (j, v) :: acc else acc)
+            rows.(i) []
+        in
+        diag.(i) <- (try Hashtbl.find rows.(i) i with Not_found -> 0.0);
+        if abs_float diag.(i) < 1e-300 then raise (Singular i);
+        let arr = Array.of_list items in
+        Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+        arr)
+  in
+  let lrows = Array.map compress_l lrows in
+  let nnz =
+    n
+    + Array.fold_left (fun acc r -> acc + Array.length r) 0 lrows
+    + Array.fold_left (fun acc r -> acc + Array.length r) 0 urows
+  in
+  { n; perm; lrows; urows; diag; nnz }
+
+let lu_solve_into f ~b ~x =
+  if Array.length b <> f.n || Array.length x <> f.n then
+    invalid_arg "Sparse.lu_solve_into: dimension mismatch";
+  (* Forward substitution on the permuted RHS (x doubles as y). *)
+  for i = 0 to f.n - 1 do
+    let s = ref b.(f.perm.(i)) in
+    let row = f.lrows.(i) in
+    for e = 0 to Array.length row - 1 do
+      let j, v = row.(e) in
+      s := !s -. (v *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* Backward substitution. *)
+  for i = f.n - 1 downto 0 do
+    let s = ref x.(i) in
+    let row = f.urows.(i) in
+    for e = 0 to Array.length row - 1 do
+      let j, v = row.(e) in
+      s := !s -. (v *. x.(j))
+    done;
+    x.(i) <- !s /. f.diag.(i)
+  done
+
+let lu_solve f b =
+  let x = Array.make f.n 0.0 in
+  lu_solve_into f ~b ~x;
+  x
+
+let nnz f = f.nnz

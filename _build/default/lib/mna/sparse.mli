@@ -1,0 +1,33 @@
+(** Sparse LU factorisation for MNA systems.
+
+    The paper notes that "the sparse linear solver and device evaluation
+    are two most serious bottlenecks in this kind of simulators"
+    (§III-B, citing DATE'15 work on fast sparse solvers). This module
+    provides the sparse counterpart of {!Matrix}: rows are kept as
+    hash-sparse vectors during elimination, pivots are chosen by a
+    Markowitz-style rule (fewest fill candidates) subject to a
+    numerical threshold against the column maximum, and the resulting
+    factors are stored compressed for repeated forward/backward solves
+    — the access pattern of a fixed-timestep linear network. *)
+
+type triplet = int * int * float
+(** [(row, col, value)]; duplicate entries accumulate. *)
+
+type lu
+
+exception Singular of int
+(** No admissible pivot in the given elimination step. *)
+
+val lu_factor : n:int -> triplet list -> lu
+(** Factor the [n x n] matrix given by its nonzero entries.
+    @raise Singular on structurally or numerically singular input
+    @raise Invalid_argument on out-of-range indices. *)
+
+val lu_solve_into : lu -> b:float array -> x:float array -> unit
+(** Allocation-free solve; [b] is not modified, [b] and [x] may not
+    alias. *)
+
+val lu_solve : lu -> float array -> float array
+
+val nnz : lu -> int
+(** Stored nonzeros of [L] + [U] (fill-in included), for reporting. *)

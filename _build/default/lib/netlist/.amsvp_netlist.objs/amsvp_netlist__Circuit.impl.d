@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Component Format Hashtbl List Printf Set String

@@ -1,0 +1,1 @@
+lib/netlist/circuits.ml: Amsvp_util Circuit Component Expr Printf String

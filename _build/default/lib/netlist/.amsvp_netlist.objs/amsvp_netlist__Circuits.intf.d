@@ -1,0 +1,1 @@
+lib/netlist/circuits.mli: Amsvp_util Circuit Expr

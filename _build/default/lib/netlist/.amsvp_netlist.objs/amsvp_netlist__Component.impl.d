@@ -1,0 +1,1 @@
+lib/netlist/component.ml: Eqn Expr Format Printf

@@ -1,0 +1,1 @@
+lib/netlist/component.mli: Eqn Expr Format

@@ -1,0 +1,1 @@
+lib/netlist/export.ml: Buffer Circuit Component List Printf

@@ -1,0 +1,1 @@
+lib/netlist/graph.ml: Array Circuit Component Eqn Expr Format Hashtbl List Queue

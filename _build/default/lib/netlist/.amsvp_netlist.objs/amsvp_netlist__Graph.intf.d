@@ -1,0 +1,1 @@
+lib/netlist/graph.mli: Circuit Eqn Format

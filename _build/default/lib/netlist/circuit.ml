@@ -1,0 +1,109 @@
+type t = {
+  ground : string;
+  mutable devs : Component.t list;  (* reverse insertion order *)
+  names : (string, Component.t) Hashtbl.t;
+}
+
+let create ?(ground = "gnd") () =
+  { ground; devs = []; names = Hashtbl.create 16 }
+
+let ground c = c.ground
+
+let add c (d : Component.t) =
+  if Hashtbl.mem c.names d.name then
+    invalid_arg (Printf.sprintf "Circuit.add: duplicate device name %s" d.name);
+  Hashtbl.add c.names d.name d;
+  c.devs <- d :: c.devs
+
+let add_resistor c ~name ~pos ~neg r =
+  add c (Component.make ~name ~pos ~neg (Component.Resistor r))
+
+let add_capacitor c ~name ~pos ~neg f =
+  add c (Component.make ~name ~pos ~neg (Component.Capacitor f))
+
+let add_inductor c ~name ~pos ~neg l =
+  add c (Component.make ~name ~pos ~neg (Component.Inductor l))
+
+let add_vsource c ~name ~pos ~neg s =
+  add c (Component.make ~name ~pos ~neg (Component.Vsource s))
+
+let add_isource c ~name ~pos ~neg s =
+  add c (Component.make ~name ~pos ~neg (Component.Isource s))
+
+let add_pwl_conductance c ~name ~pos ~neg ~g_on ~g_off ~threshold =
+  add c (Component.make ~name ~pos ~neg (Component.Pwl_conductance { g_on; g_off; threshold }))
+
+let has_pwl c =
+  List.exists
+    (fun (d : Component.t) ->
+      match d.kind with Component.Pwl_conductance _ -> true | _ -> false)
+    c.devs
+
+let add_vcvs c ~name ~pos ~neg ~gain ~ctrl_pos ~ctrl_neg =
+  add c (Component.make ~name ~pos ~neg (Component.Vcvs { gain; ctrl_pos; ctrl_neg }))
+
+let devices c = List.rev c.devs
+let find c name = Hashtbl.find_opt c.names name
+
+let nodes c =
+  let module S = Set.Make (String) in
+  let s =
+    List.fold_left
+      (fun acc (d : Component.t) -> S.add d.pos (S.add d.neg acc))
+      (S.singleton c.ground) c.devs
+  in
+  S.elements s
+
+let node_count c = List.length (nodes c)
+let device_count c = List.length c.devs
+
+let input_signals c =
+  let seen = Hashtbl.create 8 in
+  List.concat_map Component.input_signals (devices c)
+  |> List.filter (fun u ->
+         if Hashtbl.mem seen u then false
+         else begin
+           Hashtbl.add seen u ();
+           true
+         end)
+
+let dipole_equations c = List.map Component.dipole_equation (devices c)
+
+let validate c =
+  if c.devs = [] then Error "circuit has no devices"
+  else begin
+    (* Reachability from ground over device edges. *)
+    let adj = Hashtbl.create 16 in
+    let link a b =
+      let l = try Hashtbl.find adj a with Not_found -> [] in
+      Hashtbl.replace adj a (b :: l)
+    in
+    List.iter
+      (fun (d : Component.t) ->
+        link d.pos d.neg;
+        link d.neg d.pos)
+      c.devs;
+    let visited = Hashtbl.create 16 in
+    let rec visit n =
+      if not (Hashtbl.mem visited n) then begin
+        Hashtbl.add visited n ();
+        List.iter visit (try Hashtbl.find adj n with Not_found -> [])
+      end
+    in
+    visit c.ground;
+    let floating =
+      List.filter (fun n -> not (Hashtbl.mem visited n)) (nodes c)
+    in
+    match floating with
+    | [] -> Ok ()
+    | ns ->
+        Error
+          (Printf.sprintf "nodes not connected to ground: %s"
+             (String.concat ", " ns))
+  end
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>circuit (ground=%s, %d nodes, %d devices)@,%a@]"
+    c.ground (node_count c) (device_count c)
+    (Format.pp_print_list Component.pp)
+    (devices c)

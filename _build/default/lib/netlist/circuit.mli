@@ -1,0 +1,75 @@
+(** An electrical network: a set of named devices over named nodes.
+
+    This is the conservative representation of the paper (§III-B): a
+    graph of nodes connected by branches, each branch carrying a dipole
+    equation. The circuit is the input of both the MNA simulation
+    back-ends and the abstraction methodology. *)
+
+type t
+
+val create : ?ground:string -> unit -> t
+(** [create ()] is an empty circuit whose reference node is ["gnd"]. *)
+
+val ground : t -> string
+
+val add : t -> Component.t -> unit
+(** @raise Invalid_argument if a device with the same name exists. *)
+
+val add_resistor : t -> name:string -> pos:string -> neg:string -> float -> unit
+val add_capacitor : t -> name:string -> pos:string -> neg:string -> float -> unit
+val add_inductor : t -> name:string -> pos:string -> neg:string -> float -> unit
+
+val add_vsource :
+  t -> name:string -> pos:string -> neg:string -> Component.source -> unit
+
+val add_isource :
+  t -> name:string -> pos:string -> neg:string -> Component.source -> unit
+
+val add_pwl_conductance :
+  t ->
+  name:string ->
+  pos:string ->
+  neg:string ->
+  g_on:float ->
+  g_off:float ->
+  threshold:float ->
+  unit
+
+val has_pwl : t -> bool
+(** True when the network contains a piecewise-linear device (it is
+    then outside the scope of the linear fixed-matrix ELN engine). *)
+
+val add_vcvs :
+  t ->
+  name:string ->
+  pos:string ->
+  neg:string ->
+  gain:float ->
+  ctrl_pos:string ->
+  ctrl_neg:string ->
+  unit
+
+val devices : t -> Component.t list
+(** In insertion order. *)
+
+val find : t -> string -> Component.t option
+val nodes : t -> string list
+(** All node names, ground included, sorted. *)
+
+val node_count : t -> int
+val device_count : t -> int
+
+val input_signals : t -> string list
+(** External input signal names, in first-appearance order, without
+    duplicates. *)
+
+val dipole_equations : t -> Eqn.t list
+(** One constitutive equation per device, in insertion order — the
+    "arbitrary set of constitutive dipole equations" that parameterises
+    the abstraction algorithm (§IV). *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: at least one device, every node connected to the
+    ground component of the graph, no duplicate device names. *)
+
+val pp : Format.formatter -> t -> unit

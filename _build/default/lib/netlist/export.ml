@@ -1,0 +1,38 @@
+let spice_node ground n = if n = ground then "0" else n
+
+let to_spice ?(title = "amsvp export") circuit =
+  let ground = Circuit.ground circuit in
+  let node = spice_node ground in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("* " ^ title ^ "\n");
+  List.iter
+    (fun (d : Component.t) ->
+      let p = node d.pos and q = node d.neg in
+      let line =
+        match d.kind with
+        | Component.Resistor r -> Printf.sprintf "R%s %s %s %.9g" d.name p q r
+        | Component.Capacitor c -> Printf.sprintf "C%s %s %s %.9g" d.name p q c
+        | Component.Inductor l -> Printf.sprintf "L%s %s %s %.9g" d.name p q l
+        | Component.Vsource (Component.Dc v) ->
+            Printf.sprintf "V%s %s %s DC %.9g" d.name p q v
+        | Component.Vsource (Component.Input u) ->
+            Printf.sprintf "V%s %s %s DC 0 ; external input %s" d.name p q u
+        | Component.Isource (Component.Dc v) ->
+            Printf.sprintf "I%s %s %s DC %.9g" d.name p q v
+        | Component.Isource (Component.Input u) ->
+            Printf.sprintf "I%s %s %s DC 0 ; external input %s" d.name p q u
+        | Component.Vcvs { gain; ctrl_pos; ctrl_neg } ->
+            Printf.sprintf "E%s %s %s %s %s %.9g" d.name p q (node ctrl_pos)
+              (node ctrl_neg) gain
+        | Component.Vccs { gm; ctrl_pos; ctrl_neg } ->
+            Printf.sprintf "G%s %s %s %s %s %.9g" d.name p q (node ctrl_pos)
+              (node ctrl_neg) gm
+        | Component.Pwl_conductance { g_on; g_off; threshold } ->
+            Printf.sprintf
+              "B%s %s %s I=V(%s,%s)>=%.9g ? %.9g*V(%s,%s) : %.9g*V(%s,%s)"
+              d.name p q p q threshold g_on p q g_off p q
+      in
+      Buffer.add_string buf (line ^ "\n"))
+    (Circuit.devices circuit);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf

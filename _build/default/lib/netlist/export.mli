@@ -1,0 +1,10 @@
+(** SPICE netlist export.
+
+    Renders a circuit as a standard SPICE deck so the networks built or
+    elaborated here can be cross-checked in any external SPICE-class
+    simulator (the paper's reference tooling world). The ground node is
+    printed as [0]; external inputs become 0 V DC sources annotated
+    with the signal name; piecewise-linear conductances are emitted as
+    behavioural current sources. *)
+
+val to_spice : ?title:string -> Circuit.t -> string

@@ -1,0 +1,152 @@
+type t = {
+  circuit : Circuit.t;
+  nodes : string array;
+  index : (string, int) Hashtbl.t;
+  devices : Component.t array;
+  (* parent.(n) = Some (parent node, device, forward) once the BFS
+     spanning tree is built; forward is true when the device is
+     traversed pos -> neg walking from parent to n. *)
+  parent : (int * Component.t * bool) option array;
+  depth : int array;
+  tree_device : (string, unit) Hashtbl.t;
+}
+
+let of_circuit circuit =
+  (match Circuit.validate circuit with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Graph.of_circuit: " ^ msg));
+  let nodes = Array.of_list (Circuit.nodes circuit) in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i n -> Hashtbl.add index n i) nodes;
+  let devices = Array.of_list (Circuit.devices circuit) in
+  let n = Array.length nodes in
+  let parent = Array.make n None in
+  let depth = Array.make n (-1) in
+  let tree_device = Hashtbl.create 16 in
+  (* BFS from ground to build the spanning tree. *)
+  let adj = Array.make n [] in
+  Array.iter
+    (fun (d : Component.t) ->
+      let p = Hashtbl.find index d.pos and q = Hashtbl.find index d.neg in
+      adj.(p) <- (q, d, true) :: adj.(p);
+      adj.(q) <- (p, d, false) :: adj.(q))
+    devices;
+  let root = Hashtbl.find index (Circuit.ground circuit) in
+  let queue = Queue.create () in
+  depth.(root) <- 0;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    List.iter
+      (fun (v, (d : Component.t), forward) ->
+        if depth.(v) < 0 then begin
+          depth.(v) <- depth.(u) + 1;
+          parent.(v) <- Some (u, d, forward);
+          Hashtbl.replace tree_device d.name ();
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  { circuit; nodes; index; devices; parent; depth; tree_device }
+
+let node_count g = Array.length g.nodes
+let branch_count g = Array.length g.devices
+let loop_count g = branch_count g - node_count g + 1
+
+let kcl_equations g =
+  let ground = Circuit.ground g.circuit in
+  Array.to_list g.nodes
+  |> List.filter (fun n -> n <> ground)
+  |> List.map (fun n ->
+         let terms =
+           Array.to_list g.devices
+           |> List.concat_map (fun (d : Component.t) ->
+                  let i = Expr.var (Component.flow_var d) in
+                  if d.pos = n then [ i ]
+                  else if d.neg = n then [ Expr.neg i ]
+                  else [])
+         in
+         let sum = List.fold_left Expr.( + ) Expr.zero terms in
+         Eqn.make (Eqn.Kcl n) ~lhs:sum ~rhs:Expr.zero)
+
+(* Tree path from the root down to node [v], as (device, sign) pairs in
+   root -> node order; sign is +1 when the downward traversal crosses
+   the device in its pos -> neg direction. *)
+let path_terms g v =
+  let rec up v acc =
+    match g.parent.(v) with
+    | None -> acc
+    | Some (u, d, forward) ->
+        let sign = if forward then 1.0 else -1.0 in
+        up u ((d, sign) :: acc)
+  in
+  up v []
+
+let kvl_equations g =
+  let loops = ref [] in
+  let idx = ref 0 in
+  Array.iter
+    (fun (d : Component.t) ->
+      if not (Hashtbl.mem g.tree_device d.name) then begin
+        (* Fundamental loop: traverse d from pos to neg, then return
+           from neg to pos through the tree. Express the return path as
+           path(neg -> root) minus the common suffix with
+           path(pos -> root). *)
+        let p = Hashtbl.find g.index d.pos and q = Hashtbl.find g.index d.neg in
+        let to_root_p = path_terms g p and to_root_q = path_terms g q in
+        (* Both lists are root -> node ordered; strip the common prefix
+           (shared path from root), keeping the diverging parts. *)
+        let rec strip a b =
+          match (a, b) with
+          | (d1, _) :: ta, (d2, _) :: tb
+            when (d1 : Component.t).name = (d2 : Component.t).name ->
+              strip ta tb
+          | _ -> (a, b)
+        in
+        let branch_p, branch_q = strip to_root_p to_root_q in
+        (* Loop = d (pos->neg), then q up to the meeting point
+           (reverse of root->q direction), then meeting point down to p
+           (same as root->p direction). *)
+        let terms =
+          (Component.potential_var d, 1.0)
+          :: (List.rev_map
+                (fun ((dev : Component.t), s) ->
+                  (Component.potential_var dev, -.s))
+                branch_q
+             @ List.map
+                 (fun ((dev : Component.t), s) ->
+                   (Component.potential_var dev, s))
+                 branch_p)
+        in
+        (* Merge coefficients of shared potentials; drop trivial loops. *)
+        let merged =
+          List.fold_left
+            (fun acc (v, s) ->
+              let prev =
+                match
+                  List.find_opt (fun (w, _) -> Expr.equal_var v w) acc
+                with
+                | Some (_, c) -> c
+                | None -> 0.0
+              in
+              (v, prev +. s)
+              :: List.filter (fun (w, _) -> not (Expr.equal_var v w)) acc)
+            [] terms
+          |> List.filter (fun (_, c) -> c <> 0.0)
+        in
+        if merged <> [] then begin
+          let sum =
+            List.fold_left
+              (fun acc (pv, c) -> Expr.( + ) acc (Expr.scale c (Expr.var pv)))
+              Expr.zero merged
+          in
+          incr idx;
+          loops := Eqn.make (Eqn.Kvl !idx) ~lhs:sum ~rhs:Expr.zero :: !loops
+        end
+      end)
+    g.devices;
+  List.rev !loops
+
+let pp ppf g =
+  Format.fprintf ppf "graph: %d nodes, %d branches, %d fundamental loops"
+    (node_count g) (branch_count g) (loop_count g)

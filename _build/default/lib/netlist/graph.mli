@@ -1,0 +1,31 @@
+(** Topology of a circuit: the graph [G = (N, B)] of §IV-A.
+
+    Provides the implicit energy-conservation equations the enrichment
+    step adds to the dipole equations: Kirchhoff's current law at every
+    non-reference node (nodal analysis) and Kirchhoff's voltage law
+    around every fundamental loop of a spanning tree (mesh analysis). *)
+
+type t
+
+val of_circuit : Circuit.t -> t
+(** @raise Invalid_argument if the circuit fails {!Circuit.validate}. *)
+
+val node_count : t -> int
+val branch_count : t -> int
+
+val loop_count : t -> int
+(** Number of fundamental loops, [|B| - |N| + 1] for a connected
+    graph. *)
+
+val kcl_equations : t -> Eqn.t list
+(** One equation per non-ground node: the signed sum of branch flows
+    leaving the node is zero (flow orientation: positive from the
+    device's [pos] to [neg]). *)
+
+val kvl_equations : t -> Eqn.t list
+(** One equation per fundamental loop: the signed sum of branch
+    potentials around the loop is zero. Loops whose equation is
+    trivially [0 = 0] (e.g. two parallel devices sharing the same
+    oriented node pair) are dropped. *)
+
+val pp : Format.formatter -> t -> unit

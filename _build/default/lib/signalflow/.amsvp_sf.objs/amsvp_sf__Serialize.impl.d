@@ -1,0 +1,1 @@
+lib/signalflow/serialize.ml: Array Buffer Expr List Printf Sfprogram String

@@ -1,0 +1,1 @@
+lib/signalflow/serialize.mli: Sfprogram

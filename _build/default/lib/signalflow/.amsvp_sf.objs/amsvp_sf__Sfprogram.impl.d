@@ -1,0 +1,1 @@
+lib/signalflow/sfprogram.ml: Amsvp_util Array Expr Float Format Hashtbl List Printf String

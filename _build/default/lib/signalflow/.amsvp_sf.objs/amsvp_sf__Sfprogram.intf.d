@@ -1,0 +1,1 @@
+lib/signalflow/sfprogram.mli: Amsvp_util Expr Format

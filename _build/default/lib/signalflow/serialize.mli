@@ -1,0 +1,29 @@
+(** Textual serialisation of signal-flow programs.
+
+    Lets an abstracted model be saved as a standalone artifact and
+    reloaded later (or shipped to another process) without re-running
+    the abstraction flow — the workflow of a model library. The format
+    is line-oriented and human-readable:
+
+    {v
+    sfprogram 1
+    name RC1
+    dt 5e-08
+    inputs in
+    outputs V(out,gnd)
+    assign V(in,gnd) := in
+    assign V(out,gnd) := 0.00039984 * V(in,gnd) + 0.9996 * V(out,gnd)@-1
+    v}
+
+    Expressions use the library's own rendering: accesses [V(a,b)] /
+    [I(d)], [@-k] history suffixes, arithmetic operators, unary
+    functions and parenthesised ternaries [(c ? a : b)]. *)
+
+exception Parse_error of string * int
+(** message, 1-based line *)
+
+val program_to_string : Sfprogram.t -> string
+
+val program_of_string : string -> Sfprogram.t
+(** @raise Parse_error on malformed input; the reconstructed program is
+    re-validated by {!Sfprogram.make}. *)

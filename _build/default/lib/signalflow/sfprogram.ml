@@ -1,0 +1,218 @@
+module Trace = Amsvp_util.Trace
+
+type assignment = { target : Expr.var; expr : Expr.t }
+
+type t = {
+  name : string;
+  inputs : string list;
+  outputs : Expr.var list;
+  assignments : assignment list;
+  dt : float;
+}
+
+let is_input p name = List.mem name p.inputs
+
+let validate p =
+  if p.dt <= 0.0 then invalid_arg "Sfprogram: dt must be positive";
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let targets = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      if a.target.Expr.delay <> 0 then
+        fail "Sfprogram: assignment to delayed variable %s"
+          (Expr.var_name a.target);
+      if Hashtbl.mem targets a.target.Expr.base then
+        fail "Sfprogram: duplicate assignment to %s" (Expr.var_name a.target);
+      Hashtbl.add targets a.target.Expr.base ())
+    p.assignments;
+  let assigned_so_far = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      if Expr.contains_ddt a.expr then
+        fail "Sfprogram: %s has an un-discretised ddt/idt"
+          (Expr.var_name a.target);
+      Expr.Var_set.iter
+        (fun v ->
+          match v.Expr.base with
+          | Expr.Param name -> fail "Sfprogram: unresolved parameter %s" name
+          | Expr.Signal s when v.Expr.delay = 0 && is_input p s -> ()
+          | base when v.Expr.delay >= 1 ->
+              let input_history =
+                match base with
+                | Expr.Signal s -> is_input p s
+                | Expr.Potential _ | Expr.Flow _ | Expr.Param _ -> false
+              in
+              if not (input_history || Hashtbl.mem targets base) then
+                fail "Sfprogram: %s reads history of unknown quantity %s"
+                  (Expr.var_name a.target) (Expr.var_name v)
+          | base ->
+              if not (Hashtbl.mem assigned_so_far base) then
+                fail
+                  "Sfprogram: %s reads %s before it is assigned in this step"
+                  (Expr.var_name a.target) (Expr.var_name v))
+        (Expr.vars a.expr);
+      Hashtbl.add assigned_so_far a.target.Expr.base ())
+    p.assignments;
+  List.iter
+    (fun o ->
+      if not (Hashtbl.mem targets o.Expr.base) then
+        fail "Sfprogram: output %s is never assigned" (Expr.var_name o))
+    p.outputs
+
+let make ~name ~inputs ~outputs ~assignments ~dt =
+  let p = { name; inputs; outputs; assignments; dt } in
+  validate p;
+  p
+
+let fold_read_vars p f acc =
+  List.fold_left
+    (fun acc a -> Expr.Var_set.fold (fun v acc -> f acc v) (Expr.vars a.expr) acc)
+    acc p.assignments
+
+let max_delay p = fold_read_vars p (fun acc v -> max acc v.Expr.delay) 0
+
+let state_vars p =
+  let bases =
+    fold_read_vars p
+      (fun acc v ->
+        if v.Expr.delay >= 1 then
+          Expr.Var_set.add { v with Expr.delay = 0 } acc
+        else acc)
+      Expr.Var_set.empty
+  in
+  (* Keep only assigned targets (input histories are tracked separately). *)
+  List.filter
+    (fun (a : assignment) -> Expr.Var_set.mem a.target bases)
+    p.assignments
+  |> List.map (fun a -> a.target)
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>program %s (dt=%g)@," p.name p.dt;
+  Format.fprintf ppf "inputs: %s@," (String.concat ", " p.inputs);
+  Format.fprintf ppf "outputs: %s@,"
+    (String.concat ", " (List.map Expr.var_name p.outputs));
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "  %s := %a@," (Expr.var_name a.target) Expr.pp a.expr)
+    p.assignments;
+  Format.fprintf ppf "@]"
+
+module Runner = struct
+  type program = t
+
+  type t = {
+    program : program;
+    slots : float array;
+    slot_of : Expr.var -> int;
+    input_slots : int array;
+    output_slots : int array;
+    steps : (int * (float array -> float)) array;
+        (** target slot, compiled expression *)
+    rotations : (int * int) array;
+        (** dst, src pairs applied (in order) after each step *)
+  }
+
+  let create (p : program) =
+    let table : (Expr.var, int) Hashtbl.t = Hashtbl.create 64 in
+    let next = ref 0 in
+    let slot v =
+      match Hashtbl.find_opt table v with
+      | Some i -> i
+      | None ->
+          let i = !next in
+          incr next;
+          Hashtbl.add table v i;
+          i
+    in
+    (* Reserve slots: inputs first, then every variable read or written,
+       then every intermediate delay level so histories can rotate. *)
+    let input_slots =
+      Array.of_list (List.map (fun s -> slot (Expr.signal s)) p.inputs)
+    in
+    List.iter (fun a -> ignore (slot a.target)) p.assignments;
+    let depth : (Expr.base, int) Hashtbl.t = Hashtbl.create 16 in
+    fold_read_vars p
+      (fun () v ->
+        if v.Expr.delay >= 1 then begin
+          let d =
+            match Hashtbl.find_opt depth v.Expr.base with
+            | Some d -> max d v.Expr.delay
+            | None -> v.Expr.delay
+          in
+          Hashtbl.replace depth v.Expr.base d
+        end)
+      ();
+    let rotations = ref [] in
+    Hashtbl.iter
+      (fun base d ->
+        for k = d downto 1 do
+          let dst = slot { Expr.base; delay = k }
+          and src = slot { Expr.base; delay = k - 1 } in
+          rotations := (dst, src) :: !rotations
+        done)
+      depth;
+    (* Rotation order: deepest level first for each base; the list was
+       built deepest-first per base, and bases are independent, but the
+       Hashtbl.iter interleaving preserves per-base order only if we
+       keep the construction order. Reversing restores it. *)
+    let rotations = Array.of_list (List.rev !rotations) in
+    let steps =
+      Array.of_list
+        (List.map
+           (fun a -> (slot a.target, Expr.compile slot a.expr))
+           p.assignments)
+    in
+    let output_slots = Array.of_list (List.map slot p.outputs) in
+    let slots = Array.make (max 1 !next) 0.0 in
+    {
+      program = p;
+      slots;
+      slot_of =
+        (fun v ->
+          match Hashtbl.find_opt table v with
+          | Some i -> i
+          | None ->
+              invalid_arg ("Sfprogram.Runner: unknown variable " ^ Expr.var_name v));
+      input_slots;
+      output_slots;
+      steps;
+      rotations;
+    }
+
+  let reset r = Array.fill r.slots 0 (Array.length r.slots) 0.0
+
+  let step r ~inputs =
+    if Array.length inputs <> Array.length r.input_slots then
+      invalid_arg "Sfprogram.Runner.step: input arity mismatch";
+    for i = 0 to Array.length inputs - 1 do
+      r.slots.(r.input_slots.(i)) <- inputs.(i)
+    done;
+    for i = 0 to Array.length r.steps - 1 do
+      let tgt, f = r.steps.(i) in
+      r.slots.(tgt) <- f r.slots
+    done;
+    for i = 0 to Array.length r.rotations - 1 do
+      let dst, src = r.rotations.(i) in
+      r.slots.(dst) <- r.slots.(src)
+    done
+
+  let output r i = r.slots.(r.output_slots.(i))
+  let read r v = r.slots.(r.slot_of v)
+
+  let run r ~stimuli ~t_stop ?(probe = 0) () =
+    reset r;
+    let dt = r.program.dt in
+    let nsteps = int_of_float (Float.round (t_stop /. dt)) in
+    let trace = Trace.create ~capacity:(nsteps + 1) () in
+    let inputs = Array.make (Array.length stimuli) 0.0 in
+    Trace.add trace ~time:0.0 ~value:(output r probe);
+    for i = 1 to nsteps do
+      let t = float_of_int i *. dt in
+      for k = 0 to Array.length stimuli - 1 do
+        inputs.(k) <- stimuli.(k) t
+      done;
+      step r ~inputs;
+      Trace.add trace ~time:t ~value:(output r probe)
+    done;
+    trace
+end

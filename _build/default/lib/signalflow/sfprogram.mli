@@ -1,0 +1,81 @@
+(** Signal-flow programs: the output of the abstraction methodology.
+
+    A program is an ordered list of explicit assignments computing the
+    outputs of interest from the inputs and from past values of the
+    computed quantities (Equation 1 of the paper, in discrete time).
+    The same program is executed by the plain tight-loop runner (the
+    "C++" rows of Tables I–III), wrapped into discrete-event or TDF
+    modules by [amsvp_sysc], and pretty-printed by [amsvp_codegen]. *)
+
+type assignment = { target : Expr.var; expr : Expr.t }
+(** [expr] may reference input signals, previously assigned targets of
+    the same step, and delayed samples of any target. It must be free
+    of [ddt]/[idt] (already discretised) and of unresolved parameters. *)
+
+type t = {
+  name : string;
+  inputs : string list;  (** external input signal names *)
+  outputs : Expr.var list;  (** in declaration order *)
+  assignments : assignment list;  (** in execution order *)
+  dt : float;  (** the discretisation step baked into coefficients *)
+}
+
+val make :
+  name:string ->
+  inputs:string list ->
+  outputs:Expr.var list ->
+  assignments:assignment list ->
+  dt:float ->
+  t
+(** Validates the program: every variable read by an assignment must be
+    an input, a previously assigned target (current time), or a delayed
+    sample of some target; outputs must be assigned.
+    @raise Invalid_argument describing the first violation. *)
+
+val max_delay : t -> int
+(** Deepest history referenced by any assignment (0 when the program is
+    purely combinational). *)
+
+val state_vars : t -> Expr.var list
+(** Targets whose past samples are referenced (the discrete state X of
+    Equation 1). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable listing of the program. *)
+
+(** {1 Execution} *)
+
+module Runner : sig
+  type program = t
+
+  type t
+  (** A compiled instance with its own mutable state, all slots
+      preallocated; stepping allocates nothing. *)
+
+  val create : program -> t
+
+  val reset : t -> unit
+  (** Zero all state (initial condition [X0 = 0]). *)
+
+  val step : t -> inputs:float array -> unit
+  (** Advance one step of [dt]; [inputs] are ordered like
+      [program.inputs].
+      @raise Invalid_argument on an input arity mismatch. *)
+
+  val output : t -> int -> float
+  (** Value of the i-th output after the last [step]. *)
+
+  val read : t -> Expr.var -> float
+  (** Read any assigned target (current value). *)
+
+  val run :
+    t ->
+    stimuli:(float -> float) array ->
+    t_stop:float ->
+    ?probe:int ->
+    unit ->
+    Amsvp_util.Trace.t
+  (** Run from time 0 to [t_stop], sampling the stimuli at each step
+      and recording output [probe] (default 0). The runner is reset
+      first. This tight loop is the "plain C++" execution model. *)
+end

@@ -1,0 +1,1 @@
+lib/sysc/de.ml: Amsvp_util Array Effect Float List Printf

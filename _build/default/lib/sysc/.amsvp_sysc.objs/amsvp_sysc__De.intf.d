@@ -1,0 +1,1 @@
+lib/sysc/de.mli: Amsvp_util

@@ -1,0 +1,1 @@
+lib/sysc/tdf.ml: Array De List Option Printf Queue

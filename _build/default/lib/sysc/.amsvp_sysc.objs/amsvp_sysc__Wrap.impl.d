@@ -1,0 +1,1 @@
+lib/sysc/wrap.ml: Amsvp_mna Amsvp_sf Amsvp_util Array De Float List Printf Tdf

@@ -1,0 +1,1 @@
+lib/sysc/wrap.mli: Amsvp_netlist Amsvp_sf Amsvp_util De Expr

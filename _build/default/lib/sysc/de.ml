@@ -1,0 +1,362 @@
+type process = {
+  pname : string;
+  run : unit -> unit;
+  mutable queued : bool;  (* already in the runnable queue of this delta *)
+}
+
+type event = {
+  ename : string;
+  mutable subscribers : process list;
+  mutable scheduled_at : int;  (* earliest pending timed notification, -1 none *)
+  mutable delta_pending : bool;
+  owner : t;
+}
+
+and t = {
+  mutable time_ps : int;
+  mutable heap : (int * event) array;  (* binary min-heap on time *)
+  mutable heap_len : int;
+  mutable delta_queue : event list;
+  mutable runnable : process list;  (* reverse activation order *)
+  mutable updates : (unit -> unit) list;
+  mutable activations : int;
+  mutable delta_cycles : int;
+  mutable timed_notifications : int;
+  mutable signal_updates : int;
+}
+
+let create () =
+  {
+    time_ps = 0;
+    heap = [||];
+    heap_len = 0;
+    delta_queue = [];
+    runnable = [];
+    updates = [];
+    activations = 0;
+    delta_cycles = 0;
+    timed_notifications = 0;
+    signal_updates = 0;
+  }
+
+let now_ps k = k.time_ps
+let ps_of_seconds s = int_of_float (Float.round (s *. 1e12))
+let seconds_of_ps ps = float_of_int ps *. 1e-12
+let now k = seconds_of_ps k.time_ps
+
+(* Binary min-heap on notification time. *)
+let heap_push k entry =
+  if k.heap_len = Array.length k.heap then begin
+    let bigger = Array.make (max 64 (2 * Array.length k.heap)) entry in
+    Array.blit k.heap 0 bigger 0 k.heap_len;
+    k.heap <- bigger
+  end;
+  k.heap.(k.heap_len) <- entry;
+  let i = ref k.heap_len in
+  k.heap_len <- k.heap_len + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if fst k.heap.(!i) < fst k.heap.(parent) then begin
+      let tmp = k.heap.(!i) in
+      k.heap.(!i) <- k.heap.(parent);
+      k.heap.(parent) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let heap_pop k =
+  assert (k.heap_len > 0);
+  let top = k.heap.(0) in
+  k.heap_len <- k.heap_len - 1;
+  if k.heap_len > 0 then begin
+    k.heap.(0) <- k.heap.(k.heap_len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < k.heap_len && fst k.heap.(l) < fst k.heap.(!smallest) then
+        smallest := l;
+      if r < k.heap_len && fst k.heap.(r) < fst k.heap.(!smallest) then
+        smallest := r;
+      if !smallest <> !i then begin
+        let tmp = k.heap.(!i) in
+        k.heap.(!i) <- k.heap.(!smallest);
+        k.heap.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  top
+
+let heap_peek k = if k.heap_len = 0 then None else Some k.heap.(0)
+
+let spawn _k ~name run = { pname = name; run; queued = false }
+
+module Event = struct
+  type nonrec event = event
+
+  let create owner ename =
+    { ename; subscribers = []; scheduled_at = -1; delta_pending = false; owner }
+
+  let sensitize p ev = ev.subscribers <- p :: ev.subscribers
+
+  let notify_delayed ev ~delay_ps =
+    if delay_ps < 0 then invalid_arg "Event.notify_delayed: negative delay";
+    let k = ev.owner in
+    let t = k.time_ps + delay_ps in
+    (* Same-instant duplicates collapse; an earlier pending time wins. *)
+    if ev.scheduled_at < 0 || t < ev.scheduled_at then begin
+      ev.scheduled_at <- t;
+      k.timed_notifications <- k.timed_notifications + 1;
+      heap_push k (t, ev)
+    end
+
+  let notify_delta ev =
+    if not ev.delta_pending then begin
+      ev.delta_pending <- true;
+      ev.owner.delta_queue <- ev :: ev.owner.delta_queue
+    end
+end
+
+let enqueue_subscribers k ev =
+  List.iter
+    (fun p ->
+      if not p.queued then begin
+        p.queued <- true;
+        k.runnable <- p :: k.runnable
+      end)
+    ev.subscribers
+
+(* One delta cycle: run every runnable process (evaluation phase), then
+   apply the signal updates (update phase), which may prime the next
+   delta cycle. *)
+let run_delta_cycle k =
+  k.delta_cycles <- k.delta_cycles + 1;
+  let ps = List.rev k.runnable in
+  k.runnable <- [];
+  List.iter
+    (fun p ->
+      p.queued <- false;
+      k.activations <- k.activations + 1;
+      p.run ())
+    ps;
+  let ups = List.rev k.updates in
+  k.updates <- [];
+  List.iter (fun u -> u ()) ups
+
+(* Process every delta cycle pending at the current instant. *)
+let drain_instant k =
+  let rec loop () =
+    if k.delta_queue <> [] || k.runnable <> [] then begin
+      let fired = List.rev k.delta_queue in
+      k.delta_queue <- [];
+      List.iter
+        (fun ev ->
+          ev.delta_pending <- false;
+          enqueue_subscribers k ev)
+        fired;
+      run_delta_cycle k;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Fire all timed events scheduled for the current time. *)
+let fire_current_time k =
+  let rec loop () =
+    match heap_peek k with
+    | Some (t, _) when t = k.time_ps ->
+        let _, ev = heap_pop k in
+        (* Stale entries (event re-collapsed to another time) are
+           skipped. *)
+        if ev.scheduled_at = k.time_ps then begin
+          ev.scheduled_at <- -1;
+          enqueue_subscribers k ev
+        end;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let run_until k ~ps =
+  let rec loop () =
+    fire_current_time k;
+    drain_instant k;
+    (* Advance to the next non-stale timed notification. *)
+    let rec next_time () =
+      match heap_peek k with
+      | None -> None
+      | Some (t, ev) ->
+          if ev.scheduled_at <> t then begin
+            ignore (heap_pop k);
+            next_time ()
+          end
+          else Some t
+    in
+    match next_time () with
+    | Some t when t <= ps ->
+        k.time_ps <- t;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let run k = run_until k ~ps:max_int
+
+module Signal = struct
+  type 'a signal = {
+    mutable cur : 'a;
+    mutable next : 'a;
+    mutable update_pending : bool;
+    eq : 'a -> 'a -> bool;
+    ev : Event.event;
+    k : t;
+  }
+
+  let create k ~name ~eq init =
+    {
+      cur = init;
+      next = init;
+      update_pending = false;
+      eq;
+      ev = Event.create k (name ^ ".changed");
+      k;
+    }
+
+  let float_signal k ~name init =
+    create k ~name ~eq:(fun (a : float) b -> a = b) init
+
+  let bool_signal k ~name init =
+    create k ~name ~eq:(fun (a : bool) b -> a = b) init
+
+  let int_signal k ~name init = create k ~name ~eq:(fun (a : int) b -> a = b) init
+
+  let read s = s.cur
+
+  let write s v =
+    s.next <- v;
+    if not s.update_pending then begin
+      s.update_pending <- true;
+      s.k.updates <-
+        (fun () ->
+          s.update_pending <- false;
+          s.k.signal_updates <- s.k.signal_updates + 1;
+          if not (s.eq s.cur s.next) then begin
+            s.cur <- s.next;
+            Event.notify_delta s.ev
+          end)
+        :: s.k.updates
+    end
+
+  let change_event s = s.ev
+end
+
+module Tracing = struct
+  module Trace = Amsvp_util.Trace
+  module Vcd = Amsvp_util.Vcd
+
+  type recorder = {
+    kernel : t;
+    mutable entries : (string * Trace.t) list;  (* reverse registration *)
+  }
+
+  let create kernel = { kernel; entries = [] }
+
+  let watch r ~name s =
+    let tr = Trace.create () in
+    Trace.add tr ~time:(now r.kernel) ~value:(Signal.read s);
+    let p =
+      spawn r.kernel ~name:("trace." ^ name) (fun () ->
+          Trace.add tr ~time:(now r.kernel) ~value:(Signal.read s))
+    in
+    Event.sensitize p (Signal.change_event s);
+    r.entries <- (name, tr) :: r.entries
+
+  let traces r = List.rev r.entries
+  let to_vcd r = Vcd.to_string (traces r)
+end
+
+module Thread = struct
+  type suspend = Wait_time of int | Wait_event of Event.event
+
+  type _ Effect.t += Suspend : suspend -> unit Effect.t
+
+  let outside_thread what =
+    invalid_arg (Printf.sprintf "De.Thread.%s: not inside a thread body" what)
+
+  let wait_ps _k d =
+    if d < 0 then invalid_arg "De.Thread.wait_ps: negative delay";
+    try Effect.perform (Suspend (Wait_time d))
+    with Effect.Unhandled _ -> outside_thread "wait_ps"
+
+  let wait_event _k ev =
+    try Effect.perform (Suspend (Wait_event ev))
+    with Effect.Unhandled _ -> outside_thread "wait_event"
+
+  (* Arm a one-shot resumption of the suspended thread. For timed waits
+     a private event is used; for event waits the process unsubscribes
+     itself on its first activation, so repeated waits on a long-lived
+     event do not accumulate subscribers. *)
+  let arm k ~name how resume =
+    match how with
+    | Wait_time d ->
+        let ev = Event.create k (name ^ ".timeout") in
+        let p = spawn k ~name resume in
+        Event.sensitize p ev;
+        if d = 0 then Event.notify_delta ev
+        else Event.notify_delayed ev ~delay_ps:d
+    | Wait_event ev ->
+        let fired = ref false in
+        let self = ref None in
+        let p =
+          spawn k ~name (fun () ->
+              if not !fired then begin
+                fired := true;
+                (match !self with
+                | Some p ->
+                    ev.subscribers <- List.filter (fun q -> q != p) ev.subscribers
+                | None -> ());
+                resume ()
+              end)
+        in
+        self := Some p;
+        Event.sensitize p ev
+
+  let spawn k ~name body =
+    let open Effect.Deep in
+    let handler =
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend how ->
+                Some
+                  (fun (cont : (a, unit) continuation) ->
+                    arm k ~name how (fun () -> continue cont ()))
+            | _ -> None);
+      }
+    in
+    (* The body starts in the first delta cycle of the current time. *)
+    arm k ~name (Wait_time 0) (fun () -> match_with body () handler)
+end
+
+type stats = {
+  activations : int;
+  delta_cycles : int;
+  timed_notifications : int;
+  signal_updates : int;
+}
+
+let stats (k : t) =
+  {
+    activations = k.activations;
+    delta_cycles = k.delta_cycles;
+    timed_notifications = k.timed_notifications;
+    signal_updates = k.signal_updates;
+  }

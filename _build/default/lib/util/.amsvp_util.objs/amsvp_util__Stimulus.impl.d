@@ -1,0 +1,1 @@
+lib/util/stimulus.ml: Array Float

@@ -1,0 +1,1 @@
+lib/util/vcd.ml: Array Buffer Char Float List Printf String Trace

@@ -1,0 +1,45 @@
+let check_same_length a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Metrics: arrays of different lengths";
+  if Array.length a = 0 then invalid_arg "Metrics: empty arrays"
+
+let rmse a b =
+  check_same_length a b;
+  let n = Array.length a in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int n)
+
+let value_range a =
+  let vmin = ref a.(0) and vmax = ref a.(0) in
+  Array.iter
+    (fun v ->
+      if v < !vmin then vmin := v;
+      if v > !vmax then vmax := v)
+    a;
+  !vmax -. !vmin
+
+let nrmse ~reference measured =
+  let e = rmse reference measured in
+  if e = 0.0 then 0.0
+  else
+    let range = value_range reference in
+    if range = 0.0 then infinity else e /. range
+
+let nrmse_traces ~reference measured ~t0 ~dt ~n =
+  let a = Trace.resample reference ~t0 ~dt ~n in
+  let b = Trace.resample measured ~t0 ~dt ~n in
+  nrmse ~reference:a b
+
+let max_abs_error a b =
+  check_same_length a b;
+  let m = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let d = abs_float (v -. b.(i)) in
+      if d > !m then m := d)
+    a;
+  !m

@@ -1,0 +1,30 @@
+(** Stimulus waveform generators.
+
+    The paper stimulates every model with a square-wave generator
+    "modeled by using the same MoC of the component under test"
+    (§V-A); these generators are shared by every back-end so that no
+    MoC pays an artificial interface penalty. *)
+
+type t = float -> float
+(** A stimulus is a pure function of simulated time (seconds). *)
+
+(** [square ~period ~low ~high t] is [high] during the first half of
+    each period and [low] during the second half. [period] must be
+    positive. *)
+val square : period:float -> low:float -> high:float -> t
+
+(** [sine ~freq ~amplitude ?offset ?phase ()] is a sinusoid. *)
+val sine :
+  freq:float -> amplitude:float -> ?offset:float -> ?phase:float -> unit -> t
+
+(** [step ~at ~low ~high] switches from [low] to [high] at time [at]. *)
+val step : at:float -> low:float -> high:float -> t
+
+(** [pwl points] linearly interpolates a piecewise-linear waveform given
+    as [(time, value)] pairs sorted by time; constant extrapolation
+    outside the span.
+    @raise Invalid_argument on an empty or unsorted list. *)
+val pwl : (float * float) list -> t
+
+(** [constant v] is the constant waveform [v]. *)
+val constant : float -> t

@@ -1,0 +1,1 @@
+lib/vams/ast.ml: Format List String

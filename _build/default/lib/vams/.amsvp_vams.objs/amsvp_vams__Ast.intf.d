@@ -1,0 +1,1 @@
+lib/vams/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/vams/elaborate.ml: Amsvp_core Amsvp_netlist Ast Eqn Expr Hashtbl List Parser Printf Set String

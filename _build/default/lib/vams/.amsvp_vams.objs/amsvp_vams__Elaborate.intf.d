@@ -1,0 +1,1 @@
+lib/vams/elaborate.mli: Amsvp_core Amsvp_netlist Ast Expr

@@ -1,0 +1,1 @@
+lib/vams/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/vams/lexer.mli:

@@ -1,0 +1,1 @@
+lib/vams/parser.ml: Array Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/vams/sources.ml: Buffer Printf String

@@ -1,0 +1,1 @@
+lib/vams/sources.mli:

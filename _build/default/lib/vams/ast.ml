@@ -1,0 +1,89 @@
+type unop = Neg | Not
+
+type binop = Add | Sub | Mul | Div | Lt | Le | Gt | Ge | And | Or
+
+type expr =
+  | Number of float
+  | Ident of string
+  | Access of string * string list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Ternary of expr * expr * expr
+
+type stmt =
+  | Contribution of expr * expr
+  | Assign of string * expr
+  | If of expr * stmt list * stmt list
+
+type direction = Inout | Input | Output
+
+type item =
+  | Port_direction of direction * string list
+  | Net_decl of string * string list
+  | Ground_decl of string list
+  | Branch_decl of (string * string) * string list
+  | Parameter of string * expr
+  | Analog of stmt list
+  | Instance of {
+      module_name : string;
+      instance_name : string;
+      overrides : (string * expr) list;
+      connections : (string * string) list;
+    }
+
+type module_def = { name : string; ports : string list; items : item list }
+
+type design = module_def list
+
+let find_module design name =
+  List.find_opt (fun m -> m.name = name) design
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp_expr ppf = function
+  | Number f -> Format.fprintf ppf "%g" f
+  | Ident s -> Format.pp_print_string ppf s
+  | Access (f, args) -> Format.fprintf ppf "%s(%s)" f (String.concat "," args)
+  | Unop (Neg, e) -> Format.fprintf ppf "-(%a)" pp_expr e
+  | Unop (Not, e) -> Format.fprintf ppf "!(%a)" pp_expr e
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_expr)
+        args
+  | Ternary (c, a, b) ->
+      Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+let rec pp_stmt ppf = function
+  | Contribution (lhs, rhs) ->
+      Format.fprintf ppf "%a <+ %a;" pp_expr lhs pp_expr rhs
+  | Assign (name, rhs) -> Format.fprintf ppf "%s = %a;" name pp_expr rhs
+  | If (c, ts, []) ->
+      Format.fprintf ppf "if (%a) %a" pp_expr c
+        (Format.pp_print_list pp_stmt)
+        ts
+  | If (c, ts, es) ->
+      Format.fprintf ppf "if (%a) %a else %a" pp_expr c
+        (Format.pp_print_list pp_stmt)
+        ts
+        (Format.pp_print_list pp_stmt)
+        es
+
+let pp_module ppf m =
+  Format.fprintf ppf "@[<v>module %s (%s);@,...%d items@,endmodule@]" m.name
+    (String.concat ", " m.ports)
+    (List.length m.items)

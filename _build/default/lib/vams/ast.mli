@@ -1,0 +1,70 @@
+(** Abstract syntax for the supported Verilog-AMS subset.
+
+    The subset covers what the paper's models exercise (§III, Fig. 2):
+    modules with electrical ports and internal nets, named branches,
+    real parameters (with scale-factor literals), analog blocks made of
+    contribution statements ([<+]) over potential and flow accesses,
+    [ddt]/[idt] and math functions, conditionals, and hierarchical
+    instantiation with parameter overrides. *)
+
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Number of float
+  | Ident of string  (** parameter or net reference *)
+  | Access of string * string list
+      (** [Access ("V", [a; b])] is [V(a,b)]; [Access ("I", [br])] may
+          name a single net (flow to ground), a named branch, or a
+          pair. *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list  (** [ddt], [idt], [sin], [exp], ... *)
+  | Ternary of expr * expr * expr
+
+type stmt =
+  | Contribution of expr * expr  (** [access <+ rhs] *)
+  | Assign of string * expr
+      (** [x = rhs;] — a procedural (analog real) variable assignment;
+          the elaborator substitutes the value symbolically at use
+          sites, folding enclosing conditions in *)
+  | If of expr * stmt list * stmt list
+      (** [if (c) ...; else ...] — both branches are statement lists *)
+
+type direction = Inout | Input | Output
+
+type item =
+  | Port_direction of direction * string list  (** [inout a, b;] *)
+  | Net_decl of string * string list  (** [electrical n1, n2;] *)
+  | Ground_decl of string list  (** [ground gnd;] *)
+  | Branch_decl of (string * string) * string list
+      (** [branch (a,b) br1, br2;] *)
+  | Parameter of string * expr  (** [parameter real r = 5k;] *)
+  | Analog of stmt list  (** [analog begin ... end] *)
+  | Instance of {
+      module_name : string;
+      instance_name : string;
+      overrides : (string * expr) list;  (** [#(.r(5k))] *)
+      connections : (string * string) list;  (** [.p(in)] *)
+    }
+
+type module_def = { name : string; ports : string list; items : item list }
+
+type design = module_def list
+
+val find_module : design -> string -> module_def option
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_module : Format.formatter -> module_def -> unit

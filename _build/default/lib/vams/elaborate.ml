@@ -1,0 +1,563 @@
+module Circuit = Amsvp_netlist.Circuit
+module Component = Amsvp_netlist.Component
+
+exception Elab_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+
+type branch_ref = { flow_id : string; pos : string; neg : string }
+
+type contribution = { branch : branch_ref; is_flow : bool; rhs : Expr.t }
+
+type flat = {
+  top : string;
+  ground : string;
+  nets : string list;
+  input_ports : string list;
+  output_ports : string list;
+  contributions : contribution list;
+}
+
+(* Elaboration context of one module instance. *)
+type ctx = {
+  design : Ast.design;
+  path : string;  (* hierarchical prefix, "" for top *)
+  bindings : (string * string) list;  (* port -> global net *)
+  params : (string * float) list;
+  branches : (string * (string * string)) list;  (* named branch -> pair *)
+  ground_nets : (string, unit) Hashtbl.t;  (* global ground aliases *)
+  mutable acc : (branch_ref * bool * Expr.t) list;  (* reverse order *)
+  mutable nets : string list;
+  mutable locals : (string * Expr.t) list;  (* analog real variables *)
+}
+
+let qualify ctx name = if ctx.path = "" then name else ctx.path ^ "." ^ name
+
+let resolve_net ctx name =
+  match List.assoc_opt name ctx.bindings with
+  | Some net -> net
+  | None ->
+      let g = qualify ctx name in
+      if Hashtbl.mem ctx.ground_nets g then "gnd" else g
+
+let note_net ctx net =
+  if not (List.mem net ctx.nets) then ctx.nets <- net :: ctx.nets
+
+(* Evaluate a constant expression (parameter values, overrides). *)
+let rec const_eval ctx (e : Ast.expr) =
+  match e with
+  | Ast.Number f -> f
+  | Ast.Ident p -> (
+      match List.assoc_opt p ctx.params with
+      | Some v -> v
+      | None -> fail "unknown parameter %s in %s" p ctx.path)
+  | Ast.Unop (Ast.Neg, a) -> -.const_eval ctx a
+  | Ast.Unop (Ast.Not, _) -> fail "boolean in constant expression"
+  | Ast.Binop (op, a, b) -> (
+      let x = const_eval ctx a and y = const_eval ctx b in
+      match op with
+      | Ast.Add -> x +. y
+      | Ast.Sub -> x -. y
+      | Ast.Mul -> x *. y
+      | Ast.Div -> x /. y
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or ->
+          fail "comparison in constant expression")
+  | Ast.Call _ | Ast.Access _ | Ast.Ternary _ ->
+      fail "unsupported constant expression"
+
+(* Branch resolution: named branches, single nets (to ground) and net
+   pairs. Unnamed branches are unique per (instance, oriented pair). *)
+let branch_of_access ctx (args : string list) =
+  match args with
+  | [ x ] -> (
+      match List.assoc_opt x ctx.branches with
+      | Some (a, b) ->
+          let pos = resolve_net ctx a and neg = resolve_net ctx b in
+          { flow_id = qualify ctx x; pos; neg }
+      | None ->
+          let pos = resolve_net ctx x in
+          {
+            flow_id = qualify ctx (Printf.sprintf "br_%s_gnd" x);
+            pos;
+            neg = "gnd";
+          })
+  | [ a; b ] ->
+      let pos = resolve_net ctx a and neg = resolve_net ctx b in
+      {
+        flow_id = qualify ctx (Printf.sprintf "br_%s_%s" a b);
+        pos;
+        neg;
+      }
+  | _ -> fail "access takes one or two nets"
+
+let unary_fun_of_name = function
+  | "sin" -> Some Expr.Sin
+  | "cos" -> Some Expr.Cos
+  | "exp" -> Some Expr.Exp
+  | "ln" | "log" -> Some Expr.Ln
+  | "sqrt" -> Some Expr.Sqrt
+  | "abs" -> Some Expr.Abs
+  | "tanh" -> Some Expr.Tanh
+  | _ -> None
+
+let rec expr_of_ast ctx (e : Ast.expr) =
+  match e with
+  | Ast.Number f -> Expr.const f
+  | Ast.Ident p -> (
+      match List.assoc_opt p ctx.locals with
+      | Some e -> e
+      | None -> (
+          match List.assoc_opt p ctx.params with
+          | Some v -> Expr.const v
+          | None ->
+              fail "unresolved identifier %s (nets need V()/I() access)" p))
+  | Ast.Access ("V", args) -> (
+      match args with
+      | [ x ] when not (List.mem_assoc x ctx.branches) ->
+          let net = resolve_net ctx x in
+          note_net ctx net;
+          if net = "gnd" then Expr.zero
+          else Expr.var (Expr.potential net "gnd")
+      | _ ->
+          let br = branch_of_access ctx args in
+          note_net ctx br.pos;
+          note_net ctx br.neg;
+          if br.pos = br.neg then Expr.zero
+          else Expr.var (Expr.potential br.pos br.neg))
+  | Ast.Access ("I", args) ->
+      let br = branch_of_access ctx args in
+      note_net ctx br.pos;
+      note_net ctx br.neg;
+      Expr.var (Expr.flow br.flow_id "")
+  | Ast.Access (f, _) -> fail "unknown access function %s" f
+  | Ast.Unop (Ast.Neg, a) -> Expr.neg (expr_of_ast ctx a)
+  | Ast.Unop (Ast.Not, _) -> fail "boolean operator outside a condition"
+  | Ast.Binop (op, a, b) -> (
+      match op with
+      | Ast.Add -> Expr.( + ) (expr_of_ast ctx a) (expr_of_ast ctx b)
+      | Ast.Sub -> Expr.( - ) (expr_of_ast ctx a) (expr_of_ast ctx b)
+      | Ast.Mul -> Expr.( * ) (expr_of_ast ctx a) (expr_of_ast ctx b)
+      | Ast.Div -> Expr.( / ) (expr_of_ast ctx a) (expr_of_ast ctx b)
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or ->
+          fail "comparison outside a condition")
+  | Ast.Call ("ddt", [ a ]) -> Expr.Ddt (expr_of_ast ctx a)
+  | Ast.Call ("idt", [ a ]) -> Expr.Idt (expr_of_ast ctx a)
+  | Ast.Call (f, [ a ]) -> (
+      match unary_fun_of_name f with
+      | Some fn -> Expr.App (fn, expr_of_ast ctx a)
+      | None -> fail "unsupported function %s" f)
+  | Ast.Call (f, _) -> fail "unsupported function %s or arity" f
+  | Ast.Ternary (c, a, b) ->
+      Expr.Cond (cond_of_ast ctx c, expr_of_ast ctx a, expr_of_ast ctx b)
+
+and cond_of_ast ctx (e : Ast.expr) =
+  match e with
+  | Ast.Binop (Ast.Lt, a, b) ->
+      Expr.Cmp (Expr.Lt, expr_of_ast ctx a, expr_of_ast ctx b)
+  | Ast.Binop (Ast.Le, a, b) ->
+      Expr.Cmp (Expr.Le, expr_of_ast ctx a, expr_of_ast ctx b)
+  | Ast.Binop (Ast.Gt, a, b) ->
+      Expr.Cmp (Expr.Gt, expr_of_ast ctx a, expr_of_ast ctx b)
+  | Ast.Binop (Ast.Ge, a, b) ->
+      Expr.Cmp (Expr.Ge, expr_of_ast ctx a, expr_of_ast ctx b)
+  | Ast.Binop (Ast.And, a, b) ->
+      Expr.And (cond_of_ast ctx a, cond_of_ast ctx b)
+  | Ast.Binop (Ast.Or, a, b) -> Expr.Or (cond_of_ast ctx a, cond_of_ast ctx b)
+  | Ast.Unop (Ast.Not, a) -> Expr.Not (cond_of_ast ctx a)
+  | _ -> fail "expected a comparison in condition"
+
+(* Symbolic execution of an analog block: contributions under an [if]
+   apply only when the condition holds, and multiple contributions to
+   the same branch accumulate (Verilog-AMS [<+] semantics). *)
+let rec exec_stmts ctx guard stmts =
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.Contribution (Ast.Access (f, args), rhs) ->
+          let is_flow =
+            match f with
+            | "I" -> true
+            | "V" -> false
+            | _ -> fail "contribution target must be V or I"
+          in
+          let br = branch_of_access ctx args in
+          note_net ctx br.pos;
+          note_net ctx br.neg;
+          let rhs = expr_of_ast ctx rhs in
+          let rhs =
+            match guard with
+            | None -> rhs
+            | Some c -> Expr.Cond (c, rhs, Expr.zero)
+          in
+          ctx.acc <- (br, is_flow, rhs) :: ctx.acc
+      | Ast.Contribution _ -> fail "contribution target must be an access"
+      | Ast.Assign (name, rhs) ->
+          (* Symbolic execution of the procedural assignment: under a
+             guard, the variable keeps its previous value in the other
+             region. *)
+          let rhs = expr_of_ast ctx rhs in
+          let value =
+            match guard with
+            | None -> rhs
+            | Some c ->
+                let previous =
+                  match List.assoc_opt name ctx.locals with
+                  | Some e -> e
+                  | None -> Expr.zero
+                in
+                Expr.Cond (c, rhs, previous)
+          in
+          ctx.locals <-
+            (name, Expr.simplify value)
+            :: List.remove_assoc name ctx.locals
+      | Ast.If (c, then_b, else_b) ->
+          let c = cond_of_ast ctx c in
+          let combined g extra =
+            match g with None -> Some extra | Some g0 -> Some (Expr.And (g0, extra))
+          in
+          exec_stmts ctx (combined guard c) then_b;
+          if else_b <> [] then exec_stmts ctx (combined guard (Expr.Not c)) else_b)
+    stmts
+
+let rec elaborate_module design ~path ~bindings ~overrides ~ground_nets ~acc_ctx
+    (m : Ast.module_def) =
+  (* Parameter environment: defaults overridden by the instance. *)
+  let base_ctx =
+    {
+      design;
+      path;
+      bindings;
+      params = [];
+      branches = [];
+      ground_nets;
+      acc = [];
+      nets = [];
+      locals = [];
+    }
+  in
+  let params =
+    List.filter_map
+      (fun item ->
+        match item with
+        | Ast.Parameter (name, default) ->
+            let v =
+              match List.assoc_opt name overrides with
+              | Some v -> v
+              | None -> const_eval { base_ctx with params = base_ctx.params } default
+            in
+            Some (name, v)
+        | _ -> None)
+      m.Ast.items
+  in
+  let branches =
+    List.concat_map
+      (fun item ->
+        match item with
+        | Ast.Branch_decl (pair, names) -> List.map (fun n -> (n, pair)) names
+        | _ -> [])
+      m.Ast.items
+  in
+  (* Ground declarations become global aliases. *)
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.Ground_decl names ->
+          List.iter
+            (fun n ->
+              let g =
+                match List.assoc_opt n bindings with
+                | Some net -> net
+                | None -> if path = "" then n else path ^ "." ^ n
+              in
+              Hashtbl.replace ground_nets g ())
+            names
+      | _ -> ())
+    m.Ast.items;
+  let ctx = { base_ctx with params; branches } in
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.Analog stmts ->
+          exec_stmts ctx None stmts;
+          (* chronological order: earlier chunks first *)
+          acc_ctx := !acc_ctx @ List.rev ctx.acc;
+          ctx.acc <- []
+      | Ast.Instance { module_name; instance_name; overrides = ovr; connections }
+        -> (
+          match Ast.find_module design module_name with
+          | None -> fail "unknown module %s" module_name
+          | Some child ->
+              let child_path =
+                if path = "" then instance_name else path ^ "." ^ instance_name
+              in
+              let connections =
+                (* Positional connections get port names by position. *)
+                if List.for_all (fun (p, _) -> p = "") connections then
+                  List.mapi
+                    (fun i (_, net) ->
+                      match List.nth_opt child.Ast.ports i with
+                      | Some port -> (port, net)
+                      | None -> fail "too many connections for %s" module_name)
+                    connections
+                else connections
+              in
+              let child_bindings =
+                List.map
+                  (fun (port, net) ->
+                    if not (List.mem port child.Ast.ports) then
+                      fail "module %s has no port %s" module_name port;
+                    (port, resolve_net ctx net))
+                  connections
+              in
+              let child_overrides =
+                List.map (fun (name, e) -> (name, const_eval ctx e)) ovr
+              in
+              elaborate_module design ~path:child_path ~bindings:child_bindings
+                ~overrides:child_overrides ~ground_nets ~acc_ctx child)
+      | Ast.Port_direction _ | Ast.Net_decl _ | Ast.Ground_decl _
+      | Ast.Branch_decl _ | Ast.Parameter _ ->
+          ())
+    m.Ast.items
+
+let flatten design ~top =
+  match Ast.find_module design top with
+  | None -> fail "unknown top module %s" top
+  | Some m ->
+      let ground_nets = Hashtbl.create 4 in
+      (* The conventional ground names at top level. *)
+      Hashtbl.replace ground_nets "gnd" ();
+      Hashtbl.replace ground_nets "0" ();
+      let acc_ctx = ref [] in
+      (* Top-level ports are bound to nets of the same name. *)
+      let bindings = List.map (fun p -> (p, p)) m.Ast.ports in
+      elaborate_module design ~path:"" ~bindings ~overrides:[] ~ground_nets
+        ~acc_ctx m;
+      let raw = !acc_ctx in
+      (* Rewrite ground aliases and collect nets. *)
+      let canon net = if Hashtbl.mem ground_nets net then "gnd" else net in
+      let raw =
+        List.map
+          (fun (br, is_flow, rhs) ->
+            let br = { br with pos = canon br.pos; neg = canon br.neg } in
+            let rhs =
+              Expr.subst
+                (fun v ->
+                  match v.Expr.base with
+                  | Expr.Potential (a, b) ->
+                      let a = canon a and b = canon b in
+                      if a = b then Some Expr.zero
+                      else Some (Expr.var { v with Expr.base = Expr.Potential (a, b) })
+                  | Expr.Flow _ | Expr.Signal _ | Expr.Param _ -> None)
+                rhs
+            in
+            (br, is_flow, rhs))
+          raw
+      in
+      (* Merge contributions per (branch, kind). *)
+      let merged = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun (br, is_flow, rhs) ->
+          let key = (br.flow_id, is_flow) in
+          match Hashtbl.find_opt merged key with
+          | Some (br0, acc) -> Hashtbl.replace merged key (br0, Expr.( + ) acc rhs)
+          | None ->
+              Hashtbl.replace merged key (br, rhs);
+              order := key :: !order)
+        raw;
+      let contributions =
+        List.rev_map
+          (fun key ->
+            let br, rhs = Hashtbl.find merged key in
+            { branch = br; is_flow = snd key; rhs = Expr.simplify rhs })
+          !order
+      in
+      let nets =
+        let module S = Set.Make (String) in
+        let s =
+          List.fold_left
+            (fun s c ->
+              let s = S.add c.branch.pos (S.add c.branch.neg s) in
+              Expr.Var_set.fold
+                (fun v s ->
+                  match v.Expr.base with
+                  | Expr.Potential (a, b) -> S.add a (S.add b s)
+                  | Expr.Flow _ | Expr.Signal _ | Expr.Param _ -> s)
+                (Expr.vars c.rhs) s)
+            (S.singleton "gnd") contributions
+        in
+        S.elements s
+      in
+      let direction d =
+        List.concat_map
+          (fun item ->
+            match item with
+            | Ast.Port_direction (dd, names) when dd = d -> names
+            | _ -> [])
+          m.Ast.items
+      in
+      {
+        top;
+        ground = "gnd";
+        nets;
+        input_ports = direction Ast.Input;
+        output_ports = direction Ast.Output;
+        contributions;
+      }
+
+let accesses_flow flat =
+  List.exists
+    (fun c ->
+      c.is_flow
+      || Expr.Var_set.exists
+           (fun v ->
+             match v.Expr.base with
+             | Expr.Flow _ -> true
+             | Expr.Potential _ | Expr.Signal _ | Expr.Param _ -> false)
+           (Expr.vars c.rhs))
+    flat.contributions
+
+let classify flat =
+  let all_to_ground =
+    List.for_all (fun c -> (not c.is_flow) && c.branch.neg = "gnd") flat.contributions
+  in
+  if all_to_ground && not (accesses_flow flat) then `Signal_flow
+  else `Conservative
+
+(* Device recognition over the summed branch contribution. *)
+let recognise (c : contribution) =
+  let br = c.branch in
+  let self_flow = Expr.flow br.flow_id "" in
+  let self_pot = Expr.potential br.pos br.neg in
+  let name =
+    String.map
+      (fun ch -> if ch = '(' || ch = ')' || ch = ',' || ch = '.' then '_' else ch)
+      br.flow_id
+  in
+  let mk kind = Component.make ~name ~pos:br.pos ~neg:br.neg kind in
+  let is p v = Eqn.compare_pseudo p v = 0 in
+  (* Conductance coefficient of a per-region branch: g * V(self). *)
+  let region_conductance e =
+    match Eqn.plinear_form e with
+    | Some ([ (p, g) ], 0.0) when is p (Eqn.Cur self_pot) -> Some g
+    | Some _ | None -> None
+  in
+  (* An if/else pair of guarded contributions accumulates to
+     [Cond(c,a,0) + Cond(not c,b,0)]: normalise it to the canonical
+     ternary before recognition. *)
+  let rhs =
+    match c.rhs with
+    | Expr.Add
+        ( Expr.Cond (c1, a, Expr.Const 0.0),
+          Expr.Cond (Expr.Not c2, b, Expr.Const 0.0) )
+      when compare c1 c2 = 0 ->
+        Expr.Cond (c1, a, b)
+    | e -> e
+  in
+  match rhs with
+  (* I(a,b) <+ V(a,b) >= thr ? g_on*V(a,b) : g_off*V(a,b) :
+     two-segment piecewise-linear conductance (Section III-C). *)
+  | Expr.Cond
+      ( Expr.Cmp (cmp, Expr.Var v, Expr.Const threshold),
+        then_branch,
+        else_branch )
+    when c.is_flow
+         && Expr.equal_var v self_pot
+         && (cmp = Expr.Ge || cmp = Expr.Gt) -> (
+      match (region_conductance then_branch, region_conductance else_branch) with
+      | Some g_on, Some g_off ->
+          mk (Component.Pwl_conductance { g_on; g_off; threshold })
+      | _ ->
+          fail "unsupported piecewise-linear contribution on branch %s"
+            br.flow_id)
+  | _ -> (
+  match Eqn.plinear_form rhs with
+  | None -> fail "nonlinear contribution on branch %s" br.flow_id
+  | Some (items, k) -> (
+      match (c.is_flow, items, k) with
+      (* V(a,b) <+ r * I(self) : resistor *)
+      | false, [ (p, r) ], 0.0 when is p (Eqn.Cur self_flow) -> mk (Component.Resistor r)
+      (* V(a,b) <+ l * ddt(I(self)) : inductor *)
+      | false, [ (p, l) ], 0.0 when is p (Eqn.Der self_flow) -> mk (Component.Inductor l)
+      (* V(a,b) <+ const : voltage source *)
+      | false, [], v -> mk (Component.Vsource (Component.Dc v))
+      (* V(a,b) <+ g*V(c,d) [+ g*(V(c)-V(d))] : controlled source *)
+      | false, [ (Eqn.Cur { Expr.base = Expr.Potential (cp, cn); delay = 0 }, g) ], 0.0 ->
+          mk (Component.Vcvs { gain = g; ctrl_pos = cp; ctrl_neg = cn })
+      | ( false,
+          [
+            (Eqn.Cur { Expr.base = Expr.Potential (a1, g1); delay = 0 }, ga);
+            (Eqn.Cur { Expr.base = Expr.Potential (a2, g2); delay = 0 }, gb);
+          ],
+          0.0 )
+        when g1 = "gnd" && g2 = "gnd" && ga = -.gb ->
+          (* g*(V(a1) - V(a2)) written over ground-referenced accesses *)
+          mk (Component.Vcvs { gain = ga; ctrl_pos = a1; ctrl_neg = a2 })
+      (* I(a,b) <+ c * ddt(V(self)) : capacitor *)
+      | true, [ (p, cap) ], 0.0 when is p (Eqn.Der self_pot) -> mk (Component.Capacitor cap)
+      (* I(a,b) <+ g * V(self) : conductance *)
+      | true, [ (p, g) ], 0.0 when is p (Eqn.Cur self_pot) && g <> 0.0 ->
+          mk (Component.Resistor (1.0 /. g))
+      (* I(a,b) <+ const : current source *)
+      | true, [], v -> mk (Component.Isource (Component.Dc v))
+      (* I(a,b) <+ gm * V(c,d) : transconductance *)
+      | true, [ (Eqn.Cur { Expr.base = Expr.Potential (cp, cn); delay = 0 }, gm) ], 0.0 ->
+          mk (Component.Vccs { gm; ctrl_pos = cp; ctrl_neg = cn })
+      | _ ->
+          fail "unrecognised constitutive equation on branch %s: %s" br.flow_id
+            (Expr.to_string c.rhs)))
+
+let to_circuit flat =
+  let circuit = Circuit.create ~ground:flat.ground () in
+  List.iter (fun c -> Circuit.add circuit (recognise c)) flat.contributions;
+  (* External drive: each input-direction top port is driven by a
+     voltage source carrying the homonymous input signal. *)
+  List.iter
+    (fun p ->
+      Circuit.add_vsource circuit ~name:("__drv_" ^ p) ~pos:p ~neg:flat.ground
+        (Component.Input p))
+    flat.input_ports;
+  circuit
+
+let signal_flow_assignments flat =
+  (match classify flat with
+  | `Signal_flow -> ()
+  | `Conservative -> fail "model %s is not in signal-flow form" flat.top);
+  let rewrite_inputs e =
+    Expr.subst
+      (fun v ->
+        match v.Expr.base with
+        | Expr.Potential (a, "gnd") when List.mem a flat.input_ports ->
+            Some (Expr.var { v with Expr.base = Expr.Signal a })
+        | Expr.Potential _ | Expr.Flow _ | Expr.Signal _ | Expr.Param _ -> None)
+      e
+  in
+  List.map
+    (fun c -> (Expr.potential c.branch.pos "gnd", rewrite_inputs c.rhs))
+    flat.contributions
+
+let parse_and_abstract src ~top ~outputs ~dt =
+  let design = Parser.parse src in
+  let flat = flatten design ~top in
+  match classify flat with
+  | `Conservative ->
+      let circuit = to_circuit flat in
+      Amsvp_core.Flow.abstract_circuit ~name:top circuit ~outputs ~dt
+  | `Signal_flow ->
+      let contributions = signal_flow_assignments flat in
+      let program =
+        Amsvp_core.Flow.convert_signal_flow ~name:top ~inputs:flat.input_ports
+          ~outputs ~contributions ~dt
+      in
+      {
+        Amsvp_core.Flow.program;
+        nodes = List.length flat.nets;
+        branches = List.length flat.contributions;
+        classes = 0;
+        variants = 0;
+        definitions = List.length contributions;
+        acquisition_s = 0.0;
+        enrichment_s = 0.0;
+        assemble_s = 0.0;
+        solve_s = 0.0;
+      }

@@ -1,0 +1,70 @@
+(** Elaboration: hierarchy flattening and model extraction.
+
+    Flattening instantiates every module instance (substituting
+    parameter overrides and binding ports to parent nets), executes the
+    analog blocks symbolically — contributions accumulate per branch,
+    [if]/ternary conditions wrap their contribution in a conditional —
+    and yields one summed contribution per accessed branch, over global
+    net names.
+
+    A flat model is then consumed along the paper's two routes:
+    {!to_circuit} recognises the constitutive equation of each branch
+    (resistor, capacitor, inductor, sources, controlled sources) and
+    builds the conservative network for the abstraction flow, while
+    {!signal_flow_assignments} translates a purely signal-flow model
+    directly (§III-A/C). *)
+
+exception Elab_error of string
+
+type branch_ref = {
+  flow_id : string;  (** unique flow identifier (device name) *)
+  pos : string;
+  neg : string;  (** global net names *)
+}
+
+type contribution = {
+  branch : branch_ref;
+  is_flow : bool;  (** [I(...) <+ ...] vs [V(...) <+ ...] *)
+  rhs : Expr.t;  (** summed, condition-wrapped, parameters substituted *)
+}
+
+type flat = {
+  top : string;
+  ground : string;
+  nets : string list;  (** global nets, ground included *)
+  input_ports : string list;  (** input-direction ports of the top module *)
+  output_ports : string list;  (** output-direction ports of the top module *)
+  contributions : contribution list;  (** in source order *)
+}
+
+val flatten : Ast.design -> top:string -> flat
+(** @raise Elab_error on unknown modules/ports, arity mismatches,
+    unresolved identifiers or unsupported constructs. *)
+
+val classify : flat -> [ `Signal_flow | `Conservative ]
+(** [`Signal_flow] when every contribution drives a potential to
+    ground and no flow is accessed anywhere (Equation 1 models);
+    [`Conservative] otherwise (Equation 2 models). *)
+
+val to_circuit : flat -> Amsvp_netlist.Circuit.t
+(** Recognise each branch contribution as a circuit device; every
+    input-direction top port [p] is driven by an implicit voltage
+    source carrying the external signal [p].
+    @raise Elab_error on a contribution that matches no supported
+    device pattern. *)
+
+val signal_flow_assignments : flat -> (Expr.var * Expr.t) list
+(** The ordered contribution list of a signal-flow model, with
+    top-level input-port potentials rewritten to input signals, ready
+    for [Flow.convert_signal_flow].
+    @raise Elab_error if the model is not signal-flow. *)
+
+val parse_and_abstract :
+  string ->
+  top:string ->
+  outputs:Expr.var list ->
+  dt:float ->
+  Amsvp_core.Flow.report
+(** One-call front door: parse Verilog-AMS source text, elaborate the
+    top module and run the abstraction flow (conservative route) or the
+    direct conversion (signal-flow route). *)

@@ -1,0 +1,163 @@
+type token = Ident of string | Number of float | Punct of string | Eof
+
+type positioned = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let scale_factor = function
+  | 'T' -> Some 1e12
+  | 'G' -> Some 1e9
+  | 'M' -> Some 1e6
+  | 'K' | 'k' -> Some 1e3
+  | 'm' -> Some 1e-3
+  | 'u' -> Some 1e-6
+  | 'n' -> Some 1e-9
+  | 'p' -> Some 1e-12
+  | 'f' -> Some 1e-15
+  | 'a' -> Some 1e-18
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let out = ref [] in
+  let emit token l c = out := { token; line = l; col = c } :: !out in
+  let i = ref 0 in
+  let advance () =
+    (if !i < n then
+       if src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr i
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    let l0 = !line and c0 = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then raise (Lex_error ("unterminated comment", l0, c0))
+    end
+    else if c = '`' then
+      (* Compiler directive: skip to end of line. *)
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '"' then begin
+      (* String literal (only used in includes/attributes): skipped as
+         part of directives, but tolerate stray strings by consuming
+         them as an identifier-ish token. *)
+      advance ();
+      let b = Buffer.create 8 in
+      while !i < n && src.[!i] <> '"' do
+        Buffer.add_char b src.[!i];
+        advance ()
+      done;
+      if !i >= n then raise (Lex_error ("unterminated string", l0, c0));
+      advance ();
+      emit (Ident (Buffer.contents b)) l0 c0
+    end
+    else if is_digit c
+            || (c = '.' && match peek 1 with Some d -> is_digit d | None -> false)
+    then begin
+      let b = Buffer.create 8 in
+      let seen_dot = ref false and seen_exp = ref false in
+      let continue = ref true in
+      while !continue && !i < n do
+        let ch = src.[!i] in
+        if is_digit ch then begin
+          Buffer.add_char b ch;
+          advance ()
+        end
+        else if ch = '.' && (not !seen_dot) && not !seen_exp then begin
+          seen_dot := true;
+          Buffer.add_char b ch;
+          advance ()
+        end
+        else if (ch = 'e' || ch = 'E') && not !seen_exp then begin
+          seen_exp := true;
+          Buffer.add_char b ch;
+          advance ();
+          match peek 0 with
+          | Some ('+' | '-') ->
+              Buffer.add_char b src.[!i];
+              advance ()
+          | _ -> ()
+        end
+        else continue := false
+      done;
+      let base =
+        match float_of_string_opt (Buffer.contents b) with
+        | Some f -> f
+        | None -> raise (Lex_error ("malformed number " ^ Buffer.contents b, l0, c0))
+      in
+      (* Scale-factor suffix, not followed by more identifier chars
+         (else it is the start of an identifier, e.g. a unit). *)
+      let value =
+        match peek 0 with
+        | Some ch -> (
+            match scale_factor ch with
+            | Some f
+              when match peek 1 with
+                   | Some next -> not (is_ident_char next)
+                   | None -> true ->
+                advance ();
+                base *. f
+            | Some _ | None -> base)
+        | None -> base
+      in
+      emit (Number value) l0 c0
+    end
+    else if is_ident_start c then begin
+      let b = Buffer.create 8 in
+      while !i < n && is_ident_char src.[!i] do
+        Buffer.add_char b src.[!i];
+        advance ()
+      done;
+      emit (Ident (Buffer.contents b)) l0 c0
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.init 2 (fun k -> src.[!i + k])) else None
+      in
+      match two with
+      | Some (("<+" | "<=" | ">=" | "&&" | "||" | "==" | "!=") as p) ->
+          advance ();
+          advance ();
+          emit (Punct p) l0 c0
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | ';' | '=' | '.' | '#' | '?' | ':' | '+' | '-'
+          | '*' | '/' | '<' | '>' | '!' | '%' | '[' | ']' ->
+              advance ();
+              emit (Punct (String.make 1 c)) l0 c0
+          | _ ->
+              raise
+                (Lex_error (Printf.sprintf "unexpected character %c" c, l0, c0)))
+    end
+  done;
+  emit Eof !line !col;
+  List.rev !out

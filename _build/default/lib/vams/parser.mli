@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the Verilog-AMS subset.
+
+    Positional instance connections are recorded with an empty port
+    name and resolved against the instantiated module's port order
+    during elaboration. *)
+
+exception Parse_error of string * int * int
+(** message, line, column *)
+
+val parse : string -> Ast.design
+(** Parse source text.
+    @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression (used by tests). *)

@@ -1,0 +1,144 @@
+let primitives =
+  {vams|
+`include "disciplines.vams"
+
+// Constitutive dipole primitives (paper, Section III-B).
+
+module resistor(p, n);
+  inout electrical p, n;
+  parameter real r = 1k;
+  analog V(p,n) <+ r * I(p,n);
+endmodule
+
+module capacitor(p, n);
+  inout electrical p, n;
+  parameter real c = 1n;
+  analog I(p,n) <+ c * ddt(V(p,n));
+endmodule
+
+module inductor(p, n);
+  inout electrical p, n;
+  parameter real l = 1u;
+  analog V(p,n) <+ l * ddt(I(p,n));
+endmodule
+
+// Single-pole ideal op-amp output stage: a voltage-controlled voltage
+// source with a large open-loop gain.
+module opamp_vcvs(out, inp, inn);
+  inout electrical out, inp, inn;
+  parameter real gain = 100K;
+  analog V(out) <+ gain * (V(inp) - V(inn));
+endmodule
+|vams}
+
+let rc_ladder n =
+  if n < 1 then invalid_arg "Sources.rc_ladder";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf primitives;
+  Buffer.add_string buf (Printf.sprintf "\nmodule rc%d(in, out);\n" n);
+  Buffer.add_string buf "  input electrical in;\n  output electrical out;\n";
+  if n > 1 then begin
+    Buffer.add_string buf "  electrical ";
+    for i = 1 to n - 1 do
+      Buffer.add_string buf (Printf.sprintf "n%d%s" i (if i < n - 1 then ", " else ";\n"))
+    done
+  end;
+  let node i = if i = 0 then "in" else if i = n then "out" else Printf.sprintf "n%d" i in
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "  resistor #(.r(5K)) r%d (.p(%s), .n(%s));\n" i
+         (node (i - 1)) (node i));
+    Buffer.add_string buf
+      (Printf.sprintf "  capacitor #(.c(25n)) c%d (.p(%s), .n(gnd));\n" i (node i))
+  done;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let two_input =
+  primitives
+  ^ {vams|
+// Two-inputs summing amplifier (Fig. 8.a): R1 = 3k, R2 = 14k, R3 = 10k.
+module two_in(in1, in2, out);
+  input electrical in1, in2;
+  output electrical out;
+  electrical x;
+  resistor #(.r(3K))  r1 (.p(in1), .n(x));
+  resistor #(.r(14K)) r2 (.p(in2), .n(x));
+  resistor #(.r(10K)) r3 (.p(x), .n(out));
+  opamp_vcvs op (.out(out), .inp(gnd), .inn(x));
+endmodule
+|vams}
+
+let opamp =
+  primitives
+  ^ {vams|
+// Operational amplifier stage (Fig. 8.b): R1 = 400, R2 = 1.6k,
+// C1 = 40n, Rin = 1M, Rout = 20.
+module oa(in, out);
+  input electrical in;
+  output electrical out;
+  electrical ninv, e;
+  resistor  #(.r(400))  r1   (.p(in), .n(ninv));
+  resistor  #(.r(1.6K)) r2   (.p(ninv), .n(out));
+  capacitor #(.c(40n))  c1   (.p(ninv), .n(out));
+  resistor  #(.r(1M))   rin  (.p(ninv), .n(gnd));
+  opamp_vcvs op (.out(e), .inp(gnd), .inn(ninv));
+  resistor  #(.r(20))   rout (.p(e), .n(out));
+endmodule
+|vams}
+
+let active_filter =
+  primitives
+  ^ {vams|
+// Fig. 2: an active filter description mixing the three block kinds —
+// (a) declarations, (b) a signal-flow block, (c) conservative
+// contributions.
+module active_filter(in, out);
+  // (a) declarations
+  input electrical in;
+  output electrical out;
+  electrical ninv, e;
+  parameter real rf = 1.6K;
+  parameter real cf = 40n;
+  parameter real gain = 100K;
+
+  // (b) signal-flow style: the op-amp output stage computed from the
+  // sensed input potential through an intermediate analog variable
+  real vd;
+  analog begin
+    vd = V(ninv);
+    V(e) <+ -gain * vd;
+  end
+
+  // (c) conservative: the feedback network around the virtual ground
+  resistor  #(.r(400))  r1   (.p(in), .n(ninv));
+  resistor  #(.r(1.6K)) r2   (.p(ninv), .n(out));
+  capacitor #(.c(40n))  c1   (.p(ninv), .n(out));
+  resistor  #(.r(1M))   rin  (.p(ninv), .n(gnd));
+  resistor  #(.r(20))   rout (.p(e), .n(out));
+endmodule
+|vams}
+
+let signal_flow_filter =
+  {vams|
+`include "disciplines.vams"
+
+// First-order low-pass in pure signal-flow form (Equation 1): the
+// output is driven directly from the input and the output's own
+// derivative; no flow quantity is ever accessed.
+module sf_lowpass(in, out);
+  input electrical in;
+  output electrical out;
+  parameter real tau = 125u;
+  analog V(out) <+ V(in) - tau * ddt(V(out));
+endmodule
+|vams}
+
+let top_name_of label =
+  match label with
+  | "2IN" -> "two_in"
+  | "OA" -> "oa"
+  | _ ->
+      if String.length label > 2 && String.sub label 0 2 = "RC" then
+        "rc" ^ String.sub label 2 (String.length label - 2)
+      else invalid_arg ("Sources.top_name_of: unknown label " ^ label)

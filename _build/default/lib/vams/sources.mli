@@ -1,0 +1,34 @@
+(** Verilog-AMS source text for the paper's models.
+
+    These are the descriptions the tool consumes in the evaluation:
+    the RCn ladder (built by cascading n RC stages, §V-A), the
+    two-input summing amplifier and the operational amplifier of
+    Fig. 8, plus the mixed-block active filter of Fig. 2 (declaration,
+    signal-flow and conservative blocks) and a purely signal-flow
+    filter exercising the direct conversion route. *)
+
+val primitives : string
+(** Leaf modules: [resistor], [capacitor], [inductor], [opamp_vcvs]. *)
+
+val rc_ladder : int -> string
+(** [rc_ladder n] is the full source (primitives + top module [rcN])
+    for the n-stage ladder with the paper's parameters. *)
+
+val two_input : string
+(** Top module [two_in] (Fig. 8.a with the paper's resistances). *)
+
+val opamp : string
+(** Top module [oa] (Fig. 8.b with the paper's parameters). *)
+
+val active_filter : string
+(** Fig. 2-style module [active_filter] mixing declaration,
+    signal-flow and conservative blocks. *)
+
+val signal_flow_filter : string
+(** A first-order low-pass written in signal-flow form (module
+    [sf_lowpass]) for the direct conversion path. *)
+
+val top_name_of : string -> string
+(** Top module name used by each source above, keyed by the paper's
+    circuit label (["RC7"] -> ["rc7"], ["2IN"] -> ["two_in"],
+    ["OA"] -> ["oa"]). *)

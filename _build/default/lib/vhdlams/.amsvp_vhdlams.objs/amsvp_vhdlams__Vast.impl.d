@@ -1,0 +1,1 @@
+lib/vhdlams/vast.ml: List

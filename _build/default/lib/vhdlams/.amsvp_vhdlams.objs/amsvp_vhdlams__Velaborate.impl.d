@@ -1,0 +1,1 @@
+lib/vhdlams/velaborate.ml: Amsvp_core Amsvp_vams Expr Hashtbl List Printf Set String Vast Vparser

@@ -1,0 +1,1 @@
+lib/vhdlams/velaborate.mli: Amsvp_core Amsvp_vams Expr Vast

@@ -1,0 +1,1 @@
+lib/vhdlams/vparser.ml: Array Buffer Char List Printf String Vast

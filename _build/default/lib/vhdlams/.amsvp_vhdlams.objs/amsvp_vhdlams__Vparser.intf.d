@@ -1,0 +1,1 @@
+lib/vhdlams/vparser.mli: Vast

@@ -1,0 +1,59 @@
+type expr =
+  | Number of float
+  | Name of string
+  | Dot of string
+  | Unop of [ `Neg | `Not ] * expr
+  | Binop of
+      [ `Add | `Sub | `Mul | `Div | `Lt | `Le | `Gt | `Ge | `And | `Or ]
+      * expr
+      * expr
+  | Call of string * expr list
+
+type stmt =
+  | Simult of string * expr
+  | If_use of expr * stmt list * stmt list
+
+type decl =
+  | Quantity of {
+      across : string;
+      through : string option;
+      pos : string;
+      neg : string;
+    }
+  | Terminal of string list
+  | Constant of string * expr
+
+type instance = {
+  label : string;
+  entity : string;
+  generic_map : (string * expr) list;
+  port_map : (string * string) list;
+}
+
+type concurrent = Stmt of stmt | Instance of instance
+
+type generic = { gname : string; default : expr option }
+
+type entity = { ename : string; generics : generic list; ports : string list }
+
+type architecture = {
+  aname : string;
+  of_entity : string;
+  decls : decl list;
+  body : concurrent list;
+}
+
+type unit_ = Entity of entity | Architecture of architecture
+
+type design = unit_ list
+
+let find_entity design name =
+  List.find_map
+    (function Entity e when e.ename = name -> Some e | _ -> None)
+    design
+
+let find_architecture design entity_name =
+  List.find_map
+    (function
+      | Architecture a when a.of_entity = entity_name -> Some a | _ -> None)
+    design

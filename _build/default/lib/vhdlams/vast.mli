@@ -1,0 +1,67 @@
+(** Abstract syntax for the supported VHDL-AMS subset.
+
+    The paper works in Verilog-AMS syntax but notes that "despite of
+    the syntactic differences, both languages represent the same
+    systems and constructs ... all considerations are applicable to
+    VHDL-AMS" (§II-A). This front-end accepts the VHDL-AMS rendering
+    of the same subset — entities/architectures, terminal ports,
+    across/through quantity pairs, simultaneous statements ([==]) with
+    the ['dot] derivative attribute, conditional [if ... use]
+    statements and component instantiation with generic/port maps —
+    and elaborates onto the same flat model as the Verilog-AMS
+    elaborator, so every downstream step is shared. *)
+
+type expr =
+  | Number of float
+  | Name of string  (** quantity, generic or constant reference *)
+  | Dot of string  (** [q'dot] — time derivative of a quantity *)
+  | Unop of [ `Neg | `Not ] * expr
+  | Binop of
+      [ `Add | `Sub | `Mul | `Div | `Lt | `Le | `Gt | `Ge | `And | `Or ]
+      * expr
+      * expr
+  | Call of string * expr list  (** [sin], [exp], ... *)
+
+type stmt =
+  | Simult of string * expr
+      (** [q == rhs;] — a simultaneous statement defining quantity [q] *)
+  | If_use of expr * stmt list * stmt list
+      (** [if cond use ... else ... end use;] *)
+
+type decl =
+  | Quantity of {
+      across : string;
+      through : string option;
+      pos : string;
+      neg : string;
+    }  (** [quantity v across i through p to n;] *)
+  | Terminal of string list  (** [terminal a, b : electrical;] *)
+  | Constant of string * expr  (** [constant k : real := 2.0;] *)
+
+type instance = {
+  label : string;
+  entity : string;
+  generic_map : (string * expr) list;
+  port_map : (string * string) list;  (** formal -> actual terminal *)
+}
+
+type concurrent = Stmt of stmt | Instance of instance
+
+type generic = { gname : string; default : expr option }
+
+type entity = { ename : string; generics : generic list; ports : string list }
+
+type architecture = {
+  aname : string;
+  of_entity : string;
+  decls : decl list;
+  body : concurrent list;
+}
+
+type unit_ = Entity of entity | Architecture of architecture
+
+type design = unit_ list
+
+val find_entity : design -> string -> entity option
+val find_architecture : design -> string -> architecture option
+(** First architecture of the named entity. *)

@@ -1,0 +1,32 @@
+(** Elaboration of the VHDL-AMS subset onto the shared flat model.
+
+    Entities/architectures are flattened exactly like Verilog-AMS
+    modules: instances are expanded with generic substitution and port
+    binding, across/through quantity pairs become branches, and
+    simultaneous statements become per-branch contributions. The result
+    is an {!Amsvp_vams.Elaborate.flat}, so classification, device
+    recognition and both conversion routes are shared with the
+    Verilog-AMS front-end.
+
+    VHDL-AMS terminals carry no direction, so the externally driven
+    ports of the top entity are given explicitly ([~inputs]). The
+    actual name [ground] (or [gnd]) in a port map denotes the reference
+    node. *)
+
+exception Elab_error of string
+
+val flatten :
+  Vast.design -> top:string -> inputs:string list -> Amsvp_vams.Elaborate.flat
+(** @raise Elab_error on unknown entities/ports/quantities, arity or
+    binding problems. *)
+
+val parse_and_abstract :
+  string ->
+  top:string ->
+  inputs:string list ->
+  outputs:Expr.var list ->
+  dt:float ->
+  Amsvp_core.Flow.report
+(** Parse VHDL-AMS source, elaborate the top entity and run the
+    abstraction flow (conservative route) or the direct conversion
+    (signal-flow route), exactly as the Verilog-AMS front door does. *)

@@ -1,0 +1,14 @@
+(** Lexer and recursive-descent parser for the VHDL-AMS subset.
+
+    VHDL is case-insensitive: identifiers and keywords are lowercased
+    during lexing. [--] comments are skipped; [library]/[use] clauses
+    are accepted and ignored. *)
+
+exception Parse_error of string * int
+(** message, 1-based source line *)
+
+val parse : string -> Vast.design
+(** @raise Parse_error on malformed input. *)
+
+val parse_expr_string : string -> Vast.expr
+(** Parse a single expression (for tests). *)

@@ -1,0 +1,121 @@
+let primitives =
+  {vhdl|
+library IEEE;
+use IEEE.electrical_systems.all;
+
+entity resistor is
+  generic (r : real := 1.0e3);
+  port (terminal p, n : electrical);
+end entity;
+
+architecture behav of resistor is
+  quantity v across i through p to n;
+begin
+  v == r * i;
+end architecture;
+
+entity capacitor is
+  generic (c : real := 1.0e-9);
+  port (terminal p, n : electrical);
+end entity;
+
+architecture behav of capacitor is
+  quantity v across i through p to n;
+begin
+  i == c * v'dot;
+end architecture;
+
+entity inductor is
+  generic (l : real := 1.0e-6);
+  port (terminal p, n : electrical);
+end entity;
+
+architecture behav of inductor is
+  quantity v across i through p to n;
+begin
+  v == l * i'dot;
+end architecture;
+
+entity opamp_vcvs is
+  generic (gain : real := 1.0e5);
+  port (terminal tout, inp, inn : electrical);
+end entity;
+
+architecture behav of opamp_vcvs is
+  quantity vout across iout through tout to ground;
+  quantity vd across inp to inn;
+begin
+  vout == gain * vd;
+end architecture;
+|vhdl}
+
+let rc_ladder n =
+  if n < 1 then invalid_arg "Vsources.rc_ladder";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf primitives;
+  Buffer.add_string buf
+    (Printf.sprintf "\nentity rc%d is\n  port (terminal tin, tout : electrical);\nend entity;\n\n" n);
+  Buffer.add_string buf
+    (Printf.sprintf "architecture struct of rc%d is\n" n);
+  if n > 1 then begin
+    Buffer.add_string buf "  terminal ";
+    for i = 1 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "m%d%s" i (if i < n - 1 then ", " else " : electrical;\n"))
+    done
+  end;
+  Buffer.add_string buf "begin\n";
+  let node i =
+    if i = 0 then "tin" else if i = n then "tout" else Printf.sprintf "m%d" i
+  in
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  r%d : entity work.resistor generic map (r => 5.0e3) port map (p \
+          => %s, n => %s);\n"
+         i (node (i - 1)) (node i));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  c%d : entity work.capacitor generic map (c => 25.0e-9) port map \
+          (p => %s, n => ground);\n"
+         i (node i))
+  done;
+  Buffer.add_string buf "end architecture;\n";
+  Buffer.contents buf
+
+let opamp =
+  primitives
+  ^ {vhdl|
+entity oa is
+  port (terminal tin, tout : electrical);
+end entity;
+
+architecture struct of oa is
+  terminal ninv, e : electrical;
+begin
+  r1   : entity work.resistor generic map (r => 400.0)   port map (p => tin,  n => ninv);
+  r2   : entity work.resistor generic map (r => 1.6e3)   port map (p => ninv, n => tout);
+  c1   : entity work.capacitor generic map (c => 40.0e-9) port map (p => ninv, n => tout);
+  rin  : entity work.resistor generic map (r => 1.0e6)   port map (p => ninv, n => ground);
+  op   : entity work.opamp_vcvs generic map (gain => -1.0e5) port map (tout => e, inp => ninv, inn => ground);
+  rout : entity work.resistor generic map (r => 20.0)    port map (p => e,   n => tout);
+end architecture;
+|vhdl}
+
+let signal_flow_filter =
+  {vhdl|
+library IEEE;
+use IEEE.electrical_systems.all;
+
+entity sf_lowpass is
+  generic (tau : real := 125.0e-6);
+  port (terminal tin, tout : electrical);
+end entity;
+
+architecture sflow of sf_lowpass is
+  quantity vin across tin to ground;
+  quantity vout across tout to ground;
+begin
+  vout == vin - tau * vout'dot;
+end architecture;
+|vhdl}

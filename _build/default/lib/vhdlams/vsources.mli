@@ -1,0 +1,15 @@
+(** VHDL-AMS renderings of the paper's models (the same systems as
+    {!Amsvp_vams.Sources}, in the other language of §II-A). *)
+
+val primitives : string
+(** Entities [resistor], [capacitor], [inductor], [opamp_vcvs] with
+    behavioural architectures. *)
+
+val rc_ladder : int -> string
+(** Primitives + structural top entity [rcN] ([tin]/[tout] ports). *)
+
+val opamp : string
+(** The OA stage of Fig. 8.b as entity [oa]. *)
+
+val signal_flow_filter : string
+(** First-order low-pass in signal-flow form, entity [sf_lowpass]. *)

@@ -1,0 +1,1 @@
+lib/vp/asm.ml: Array Hashtbl List Printf String

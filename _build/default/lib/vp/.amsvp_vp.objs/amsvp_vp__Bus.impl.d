@@ -1,0 +1,1 @@
+lib/vp/bus.ml: Array Buffer Char Float Iss List Printf

@@ -1,0 +1,1 @@
+lib/vp/bus.mli: Iss

@@ -1,0 +1,1 @@
+lib/vp/platform.ml: Amsvp_mna Amsvp_netlist Amsvp_sf Amsvp_sysc Amsvp_util Array Asm Bus Float Iss List Marshal Option Printf Uart_rtl

@@ -1,0 +1,1 @@
+lib/vp/platform.mli: Amsvp_netlist Amsvp_sf Amsvp_sysc Amsvp_util

@@ -1,0 +1,1 @@
+lib/vp/uart_rtl.ml: Amsvp_sysc Buffer Bus Char Queue

@@ -1,0 +1,1 @@
+lib/vp/uart_rtl.mli: Amsvp_sysc Bus

@@ -1,0 +1,318 @@
+exception Asm_error of string * int
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Asm_error (s, line))) fmt
+
+let reg_names =
+  [|
+    "zero"; "at"; "v0"; "v1"; "a0"; "a1"; "a2"; "a3";
+    "t0"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7";
+    "s0"; "s1"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7";
+    "t8"; "t9"; "k0"; "k1"; "gp"; "sp"; "fp"; "ra";
+  |]
+
+let parse_reg line s =
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '$' then fail line "bad register %s" s;
+  let body = String.sub s 1 (String.length s - 1) in
+  match int_of_string_opt body with
+  | Some n when n >= 0 && n < 32 -> n
+  | Some n -> fail line "register $%d out of range" n
+  | None -> (
+      let rec find i =
+        if i >= 32 then fail line "unknown register %s" s
+        else if reg_names.(i) = body then i
+        else find (i + 1)
+      in
+      find 0)
+
+let parse_int line s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "bad integer %s" s
+
+(* Strip comments, split into (line_number, label list, mnemonic, operands). *)
+type stmt = {
+  line : int;
+  label : string option;
+  mnemonic : string option;
+  operands : string list;
+}
+
+let parse_line idx raw =
+  let cut sep s =
+    match String.index_opt s sep with Some i -> String.sub s 0 i | None -> s
+  in
+  let s = cut '#' raw in
+  let s = cut ';' s in
+  let s =
+    (* strip a // comment *)
+    let n = String.length s in
+    let rec find i =
+      if i + 1 >= n then s
+      else if s.[i] = '/' && s.[i + 1] = '/' then String.sub s 0 i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let s = String.trim s in
+  if s = "" then []
+  else begin
+    let label, rest =
+      match String.index_opt s ':' with
+      | Some i
+        when String.for_all
+               (fun c ->
+                 (c >= 'a' && c <= 'z')
+                 || (c >= 'A' && c <= 'Z')
+                 || (c >= '0' && c <= '9')
+                 || c = '_')
+               (String.sub s 0 i) ->
+          ( Some (String.sub s 0 i),
+            String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+      | _ -> (None, s)
+    in
+    if rest = "" then [ { line = idx; label; mnemonic = None; operands = [] } ]
+    else begin
+      let mnemonic, args =
+        match String.index_opt rest ' ' with
+        | None -> (rest, "")
+        | Some i ->
+            ( String.sub rest 0 i,
+              String.sub rest (i + 1) (String.length rest - i - 1) )
+      in
+      let operands =
+        if String.trim args = "" then []
+        else String.split_on_char ',' args |> List.map String.trim
+      in
+      [ { line = idx; label; mnemonic = Some (String.lowercase_ascii mnemonic); operands } ]
+    end
+  end
+
+(* Width in words of one statement (pseudo-instructions expand). *)
+let width st =
+  match st.mnemonic with
+  | None -> 0
+  | Some m -> (
+      match m with
+      | "li" | "la" -> 2
+      | ".word" -> List.length st.operands
+      | ".org" -> -1 (* resolved in the passes *)
+      | _ -> 1)
+
+let r_type funct rd rs rt shamt =
+  (0 lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor (rd lsl 11) lor (shamt lsl 6)
+  lor funct
+
+let i_type op rs rt imm = (op lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor (imm land 0xFFFF)
+let j_type op target = (op lsl 26) lor ((target lsr 2) land 0x3FFFFFF)
+
+(* mem operand: "offset($reg)" *)
+let parse_mem line s =
+  match String.index_opt s '(' with
+  | None -> fail line "expected offset($reg), got %s" s
+  | Some i ->
+      let off = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      (match String.index_opt rest ')' with
+      | None -> fail line "missing ')' in %s" s
+      | Some j ->
+          let reg = String.sub rest 0 j in
+          let off = if String.trim off = "" then 0 else parse_int line off in
+          (off, parse_reg line reg))
+
+let assemble ?(base = 0) src =
+  let stmts =
+    String.split_on_char '\n' src
+    |> List.mapi (fun i l -> parse_line (i + 1) l)
+    |> List.concat
+  in
+  (* Pass 1: label addresses. *)
+  let labels = Hashtbl.create 16 in
+  let addr = ref base in
+  List.iter
+    (fun st ->
+      (match st.label with
+      | Some l ->
+          if Hashtbl.mem labels l then fail st.line "duplicate label %s" l;
+          Hashtbl.add labels l !addr
+      | None -> ());
+      match st.mnemonic with
+      | Some ".org" -> (
+          match st.operands with
+          | [ target ] ->
+              let target = parse_int st.line target in
+              if target < !addr then fail st.line ".org going backwards";
+              addr := target
+          | _ -> fail st.line ".org takes one operand")
+      | _ -> addr := !addr + (4 * width st))
+    stmts;
+  let resolve line s =
+    match Hashtbl.find_opt labels s with
+    | Some a -> a
+    | None -> parse_int line s
+  in
+  (* Pass 2: encoding. *)
+  let words = ref [] in
+  let emit w = words := (w land 0xFFFFFFFF) :: !words in
+  let addr = ref base in
+  List.iter
+    (fun st ->
+      let line = st.line in
+      let pc = !addr in
+      (match st.mnemonic with
+      | None -> ()
+      | Some ".org" -> (
+          match st.operands with
+          | [ target ] ->
+              let target = parse_int line target in
+              while !addr + 4 <= target do
+                emit 0;
+                addr := !addr + 4
+              done
+          | _ -> fail line ".org takes one operand")
+      | Some m -> (
+          let ops = Array.of_list st.operands in
+          let nth i =
+            if i < Array.length ops then ops.(i)
+            else fail line "missing operand %d for %s" (i + 1) m
+          in
+          let rrr funct =
+            emit
+              (r_type funct (parse_reg line (nth 0)) (parse_reg line (nth 1))
+                 (parse_reg line (nth 2)) 0)
+          in
+          let shift funct =
+            emit
+              (r_type funct (parse_reg line (nth 0)) 0 (parse_reg line (nth 1))
+                 (parse_int line (nth 2)))
+          in
+          let imm_arith op =
+            emit
+              (i_type op (parse_reg line (nth 1)) (parse_reg line (nth 0))
+                 (resolve line (nth 2)))
+          in
+          let branch op =
+            let target = resolve line (nth 2) in
+            let off = (target - (pc + 4)) asr 2 in
+            if off < -32768 || off > 32767 then fail line "branch out of range";
+            emit (i_type op (parse_reg line (nth 0)) (parse_reg line (nth 1)) off)
+          in
+          match m with
+          | "nop" -> emit 0
+          | "add" -> rrr 32
+          | "addu" -> rrr 33
+          | "sub" -> rrr 34
+          | "subu" -> rrr 35
+          | "and" -> rrr 36
+          | "or" -> rrr 37
+          | "xor" -> rrr 38
+          | "nor" -> rrr 39
+          | "slt" -> rrr 42
+          | "sltu" -> rrr 43
+          | "sll" -> shift 0
+          | "srl" -> shift 2
+          | "sra" -> shift 3
+          | "jr" -> emit (r_type 8 0 (parse_reg line (nth 0)) 0 0)
+          | "mfhi" -> emit (r_type 16 (parse_reg line (nth 0)) 0 0 0)
+          | "mflo" -> emit (r_type 18 (parse_reg line (nth 0)) 0 0 0)
+          | "mult" ->
+              emit (r_type 24 0 (parse_reg line (nth 0)) (parse_reg line (nth 1)) 0)
+          | "multu" ->
+              emit (r_type 25 0 (parse_reg line (nth 0)) (parse_reg line (nth 1)) 0)
+          | "div" ->
+              emit (r_type 26 0 (parse_reg line (nth 0)) (parse_reg line (nth 1)) 0)
+          | "divu" ->
+              emit (r_type 27 0 (parse_reg line (nth 0)) (parse_reg line (nth 1)) 0)
+          | "bltz" | "bgez" ->
+              let rt = if m = "bltz" then 0 else 1 in
+              let target = resolve line (nth 1) in
+              let off = (target - (pc + 4)) asr 2 in
+              if off < -32768 || off > 32767 then fail line "branch out of range";
+              emit (i_type 1 (parse_reg line (nth 0)) rt off)
+          | "blez" | "bgtz" ->
+              let op = if m = "blez" then 6 else 7 in
+              let target = resolve line (nth 1) in
+              let off = (target - (pc + 4)) asr 2 in
+              if off < -32768 || off > 32767 then fail line "branch out of range";
+              emit (i_type op (parse_reg line (nth 0)) 0 off)
+          | "mfc0" ->
+              emit
+                ((16 lsl 26) lor (0 lsl 21)
+                lor (parse_reg line (nth 0) lsl 16)
+                lor (parse_reg line (nth 1) lsl 11))
+          | "mtc0" ->
+              emit
+                ((16 lsl 26) lor (4 lsl 21)
+                lor (parse_reg line (nth 0) lsl 16)
+                lor (parse_reg line (nth 1) lsl 11))
+          | "eret" -> emit ((16 lsl 26) lor (16 lsl 21) lor 0x18)
+          | "lb" ->
+              let off, rs = parse_mem line (nth 1) in
+              emit (i_type 32 rs (parse_reg line (nth 0)) off)
+          | "lbu" ->
+              let off, rs = parse_mem line (nth 1) in
+              emit (i_type 36 rs (parse_reg line (nth 0)) off)
+          | "sb" ->
+              let off, rs = parse_mem line (nth 1) in
+              emit (i_type 40 rs (parse_reg line (nth 0)) off)
+          | "move" ->
+              emit (r_type 33 (parse_reg line (nth 0)) (parse_reg line (nth 1)) 0 0)
+          | "addi" -> imm_arith 8
+          | "addiu" -> imm_arith 9
+          | "slti" -> imm_arith 10
+          | "sltiu" -> imm_arith 11
+          | "andi" -> imm_arith 12
+          | "ori" -> imm_arith 13
+          | "xori" -> imm_arith 14
+          | "lui" ->
+              emit (i_type 15 0 (parse_reg line (nth 0)) (resolve line (nth 1)))
+          | "li" | "la" ->
+              let rt = parse_reg line (nth 0) in
+              let v = resolve line (nth 1) land 0xFFFFFFFF in
+              emit (i_type 15 0 rt (v lsr 16));
+              emit (i_type 13 rt rt (v land 0xFFFF))
+          | "lw" ->
+              let off, rs = parse_mem line (nth 1) in
+              emit (i_type 35 rs (parse_reg line (nth 0)) off)
+          | "sw" ->
+              let off, rs = parse_mem line (nth 1) in
+              emit (i_type 43 rs (parse_reg line (nth 0)) off)
+          | "beq" -> branch 4
+          | "bne" -> branch 5
+          | "j" -> emit (j_type 2 (resolve line (nth 0)))
+          | "jal" -> emit (j_type 3 (resolve line (nth 0)))
+          | ".word" -> List.iter (fun o -> emit (resolve line o)) st.operands
+          | _ -> fail line "unknown mnemonic %s" m));
+      (match st.mnemonic with
+      | Some ".org" -> ()
+      | _ -> addr := !addr + (4 * width st)))
+    stmts;
+  Array.of_list (List.rev !words)
+
+let disassemble_word w =
+  let opcode = (w lsr 26) land 0x3F in
+  let rs = (w lsr 21) land 0x1F and rt = (w lsr 16) land 0x1F in
+  let rd = (w lsr 11) land 0x1F in
+  let imm = w land 0xFFFF in
+  let funct = w land 0x3F in
+  let r i = "$" ^ reg_names.(i) in
+  match opcode with
+  | 0 -> (
+      match funct with
+      | 0 when w = 0 -> "nop"
+      | 0 -> Printf.sprintf "sll %s, %s, %d" (r rd) (r rt) ((w lsr 6) land 31)
+      | 8 -> Printf.sprintf "jr %s" (r rs)
+      | 33 -> Printf.sprintf "addu %s, %s, %s" (r rd) (r rs) (r rt)
+      | 35 -> Printf.sprintf "subu %s, %s, %s" (r rd) (r rs) (r rt)
+      | 42 -> Printf.sprintf "slt %s, %s, %s" (r rd) (r rs) (r rt)
+      | _ -> Printf.sprintf "r-type funct=%d" funct)
+  | 4 -> Printf.sprintf "beq %s, %s, %d" (r rs) (r rt) imm
+  | 5 -> Printf.sprintf "bne %s, %s, %d" (r rs) (r rt) imm
+  | 9 -> Printf.sprintf "addiu %s, %s, %d" (r rt) (r rs) imm
+  | 13 -> Printf.sprintf "ori %s, %s, %d" (r rt) (r rs) imm
+  | 15 -> Printf.sprintf "lui %s, %d" (r rt) imm
+  | 35 -> Printf.sprintf "lw %s, %d(%s)" (r rt) imm (r rs)
+  | 43 -> Printf.sprintf "sw %s, %d(%s)" (r rt) imm (r rs)
+  | 2 -> Printf.sprintf "j 0x%x" ((w land 0x3FFFFFF) lsl 2)
+  | _ -> Printf.sprintf "op=%d" opcode

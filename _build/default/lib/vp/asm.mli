@@ -1,0 +1,23 @@
+(** A small two-pass MIPS assembler.
+
+    Supports the ISS instruction subset (ALU, shifts, [mult]/[div] with
+    [mfhi]/[mflo], loads/stores including bytes, branches including the
+    REGIMM relative forms, jumps, and the COP0 subset [mfc0]/[mtc0]/
+    [eret] for interrupt handling) plus the pseudo-instructions [nop],
+    [move], [li] (always expanded to [lui]+[ori] so label addresses are
+    stable) and [la]; labels, [.word] and [.org] directives,
+    decimal/hex immediates, and [#]/[;]/[//] comments. Register names
+    accept both [$3] and symbolic ([$t0], [$sp], ...). *)
+
+exception Asm_error of string * int
+(** message, 1-based source line *)
+
+val assemble : ?base:int -> string -> int array
+(** [assemble src] returns the program as 32-bit words starting at
+    address [base] (default 0).
+    @raise Asm_error on syntax errors, unknown mnemonics/registers or
+    out-of-range operands. *)
+
+val disassemble_word : int -> string
+(** Best-effort disassembly of one instruction word (used in error
+    messages and tests). *)

@@ -1,0 +1,66 @@
+(** APB-style memory-mapped bus with the platform peripherals.
+
+    The paper's digital platform is "a MIPS-based CPU ..., a UART and
+    the APB bus" (§V-B). Devices are attached at base addresses; the
+    bus decodes word accesses from the CPU and counts transfers.
+    Besides RAM and the UART, an ADC bridge exposes the analog output
+    of interest to the software as a memory-mapped register. *)
+
+type t
+
+val create : unit -> t
+
+type device = {
+  base : int;
+  size : int;  (** bytes *)
+  read : int -> int;  (** offset (bytes) -> value *)
+  write : int -> int -> unit;  (** offset, value *)
+}
+
+val attach : t -> name:string -> device -> unit
+(** @raise Invalid_argument on an overlapping mapping. *)
+
+val iss_bus : t -> Iss.bus
+val transfers : t -> int
+
+exception Bus_error of int
+(** Raised on an access that decodes to no device. *)
+
+(** {1 Peripherals} *)
+
+module Ram : sig
+  val attach : t -> base:int -> size_words:int -> unit
+
+  val load : t -> base:int -> int array -> unit
+  (** Copy a program image into RAM through the bus. *)
+end
+
+module Uart : sig
+  type uart
+
+  val attach : t -> base:int -> uart
+  (** Register map: +0 write = transmit byte (low 8 bits); +4 read =
+      line status (always 1: transmitter ready); +0 read = number of
+      bytes transmitted so far. *)
+
+  val output : uart -> string
+  val tx_count : uart -> int
+end
+
+module Adc : sig
+  type adc
+
+  val attach : t -> base:int -> adc
+  (** Register map: +0 read = latest sample in microvolts (signed,
+      32-bit two's complement), reading it acknowledges a pending
+      interrupt; +4 read = sample sequence number; +8 write = interrupt
+      enable (bit 0). *)
+
+  val set_sample : adc -> volts:float -> unit
+  (** Latch a new sample; raises the interrupt line when enabled. *)
+
+  val samples_pushed : adc -> int
+
+  val irq_pending : adc -> bool
+  (** Level of the ADC interrupt line (cleared by reading +0). *)
+end

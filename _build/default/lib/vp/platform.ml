@@ -1,0 +1,352 @@
+module De = Amsvp_sysc.De
+module Tdf_moc = Amsvp_sysc.Tdf
+module Engine = Amsvp_mna.Engine
+module Circuits = Amsvp_netlist.Circuits
+module Sfprogram = Amsvp_sf.Sfprogram
+module Trace = Amsvp_util.Trace
+
+type analog_binding =
+  | Cosim of { rtl_grain : bool; substeps : int; iterations : int }
+  | Eln
+  | Tdf
+  | De_model
+  | Cpp
+
+let binding_label = function
+  | Cosim { rtl_grain = true; _ } -> "Verilog-AMS / Verilog VP (co-sim)"
+  | Cosim { rtl_grain = false; _ } -> "Verilog-AMS / SystemC VP (co-sim)"
+  | Eln -> "SC-AMS/ELN"
+  | Tdf -> "SC-AMS/TDF"
+  | De_model -> "SC-DE"
+  | Cpp -> "C++"
+
+type result = {
+  uart_output : string;
+  instructions : int;
+  interrupts : int;
+  bus_transfers : int;
+  analog_samples : int;
+  cosim_syncs : int;
+  trace : Trace.t;
+  de_stats : De.stats option;
+}
+
+let ram_base = 0x0000_0000
+let uart_base = 0x1000_0000
+let adc_base = 0x1000_1000
+
+let default_program =
+  Printf.sprintf
+    {asm|
+        li   $t0, 0x%08x      # ADC base
+        li   $t1, 0x%08x      # UART base
+        li   $s0, 0             # last sample sequence number
+        li   $s1, 0             # accumulator
+loop:
+        lw   $t2, 4($t0)        # sample sequence number
+        beq  $t2, $s0, loop     # busy-wait for a fresh sample
+        move $s0, $t2
+        lw   $t3, 0($t0)        # sample value (microvolts)
+        addu $s1, $s1, $t3
+        andi $t4, $t2, 255
+        bne  $t4, $zero, loop
+        srl  $t5, $s1, 8        # every 256 samples: report a byte
+        andi $t5, $t5, 255
+        sw   $t5, 0($t1)        # UART transmit
+        j    loop
+|asm}
+    adc_base uart_base
+
+(* Build the bus with RAM, ADC and the loaded firmware; the UART
+   flavour (transaction-level or bit-serial RTL) is attached by the
+   caller. *)
+let make_digital asm_src =
+  let bus = Bus.create () in
+  Bus.Ram.attach bus ~base:ram_base ~size_words:16384;
+  let adc = Bus.Adc.attach bus ~base:adc_base in
+  let image = Asm.assemble ~base:ram_base asm_src in
+  Bus.Ram.load bus ~base:ram_base image;
+  let cpu = Iss.create ~pc:ram_base (Bus.iss_bus bus) in
+  (bus, adc, cpu)
+
+(* One serial bit on the RTL UART line (1 us: a frame comfortably fits
+   between the firmware's reporting instants). *)
+let uart_bit_ps = 1_000_000
+
+let stimuli_values stims t dst =
+  for i = 0 to Array.length stims - 1 do
+    dst.(i) <- stims.(i) t
+  done
+
+(* The co-simulation boundary: values cross between the two simulators
+   through explicit serialisation, as over the Questa-ADMS lock-step
+   channel. *)
+module Channel = struct
+  type t = { mutable syncs : int }
+
+  let create () = { syncs = 0 }
+
+  let exchange ch (time : float) (values : float array) : float array =
+    ch.syncs <- ch.syncs + 1;
+    let packet = Marshal.to_string (time, values) [] in
+    let _, decoded = (Marshal.from_string packet 0 : float * float array) in
+    decoded
+end
+
+let run ?(cpu_hz = 20.0e6) ?(asm_src = default_program)
+    ~(testcase : Circuits.testcase) ~program ~binding ~dt ~t_stop () =
+  if dt <= 0.0 || t_stop < dt then invalid_arg "Platform.run: bad timing";
+  let bus, adc, cpu = make_digital asm_src in
+  let nsteps = int_of_float (Float.round (t_stop /. dt)) in
+  let trace = Trace.create ~capacity:(nsteps + 1) () in
+  let stims = Array.of_list (List.map snd testcase.Circuits.stimuli) in
+  let input_names = List.map fst testcase.Circuits.stimuli in
+  let inputs = Array.make (Array.length stims) 0.0 in
+  let cosim_syncs = ref 0 in
+  let finish ?de_stats ~uart_output () =
+    {
+      uart_output;
+      instructions = Iss.instructions_retired cpu;
+      interrupts = Iss.interrupts_taken cpu;
+      bus_transfers = Bus.transfers bus;
+      analog_samples = Bus.Adc.samples_pushed adc;
+      cosim_syncs = !cosim_syncs;
+      trace;
+      de_stats;
+    }
+  in
+  let require_program () =
+    match program with
+    | Some p -> p
+    | None -> invalid_arg "Platform.run: this binding needs an abstracted program"
+  in
+  let tlm_uart = ref None in
+  let attach_tlm_uart () = tlm_uart := Some (Bus.Uart.attach bus ~base:uart_base) in
+  match binding with
+  | Cpp ->
+      (* Whole platform as one compiled loop: no simulation kernel. *)
+      attach_tlm_uart ();
+      let p = require_program () in
+      let order =
+        Array.of_list
+          (List.map
+             (fun n -> List.assoc n testcase.Circuits.stimuli)
+             p.Sfprogram.inputs)
+      in
+      let runner = Sfprogram.Runner.create p in
+      let instr_per_step =
+        max 1 (int_of_float (Float.round (cpu_hz *. dt)))
+      in
+      Trace.add trace ~time:0.0 ~value:0.0;
+      for step = 1 to nsteps do
+        let t = float_of_int step *. dt in
+        stimuli_values order t inputs;
+        Sfprogram.Runner.step runner ~inputs;
+        let out = Sfprogram.Runner.output runner 0 in
+        Bus.Adc.set_sample adc ~volts:out;
+        Trace.add trace ~time:t ~value:out;
+        for _ = 1 to instr_per_step do
+          Iss.set_irq cpu (Bus.Adc.irq_pending adc);
+          Iss.step cpu
+        done
+      done;
+      let uart = Option.get !tlm_uart in
+      finish ~uart_output:(Bus.Uart.output uart) ()
+  | Eln | Tdf | De_model | Cosim _ ->
+      let kernel = De.create () in
+      let dt_ps = De.ps_of_seconds dt in
+      let until_ps = De.ps_of_seconds t_stop in
+      let cycle_ps =
+        max 1 (int_of_float (Float.round (1e12 /. cpu_hz)))
+      in
+      (* Digital side. *)
+      let rtl_grain =
+        match binding with Cosim { rtl_grain; _ } -> rtl_grain | _ -> false
+      in
+      (* UART flavour: the Verilog-grain platform transmits real 8N1
+         frames over a serial line (bit-accurate RTL model); the
+         SystemC-grain platforms use the transaction-level UART. *)
+      let rtl_uart =
+        if rtl_grain then
+          Some (Uart_rtl.attach kernel bus ~base:uart_base ~bit_ps:uart_bit_ps)
+        else begin
+          attach_tlm_uart ();
+          None
+        end
+      in
+      (if rtl_grain then begin
+         (* RTL grain: an explicit clock signal toggles through the
+            kernel's request/update machinery; the CPU and a bus
+            monitor are separate processes sensitive to the clock
+            edge. *)
+         let clk = De.Signal.bool_signal kernel ~name:"clk" false in
+         let clk_ev = De.Event.create kernel "clkgen" in
+         let gen =
+           De.spawn kernel ~name:"clkgen" (fun () ->
+               De.Signal.write clk (not (De.Signal.read clk));
+               if De.now_ps kernel + (cycle_ps / 2) <= until_ps then
+                 De.Event.notify_delayed clk_ev ~delay_ps:(cycle_ps / 2))
+         in
+         De.Event.sensitize gen clk_ev;
+         De.Event.notify_delayed clk_ev ~delay_ps:(cycle_ps / 2);
+         let cpu_proc =
+           De.spawn kernel ~name:"cpu" (fun () ->
+               if De.Signal.read clk then begin
+                 Iss.set_irq cpu (Bus.Adc.irq_pending adc);
+                 Iss.step cpu
+               end)
+         in
+         De.Event.sensitize cpu_proc (De.Signal.change_event clk);
+         let monitor =
+           De.spawn kernel ~name:"bus_monitor" (fun () -> ignore (Bus.transfers bus))
+         in
+         De.Event.sensitize monitor (De.Signal.change_event clk)
+       end
+       else begin
+         (* SystemC VP grain: one self-scheduled CPU process per cycle. *)
+         let cpu_ev = De.Event.create kernel "cpu.tick" in
+         let cpu_proc =
+           De.spawn kernel ~name:"cpu" (fun () ->
+               Iss.set_irq cpu (Bus.Adc.irq_pending adc);
+               Iss.step cpu;
+               if De.now_ps kernel + cycle_ps <= until_ps then
+                 De.Event.notify_delayed cpu_ev ~delay_ps:cycle_ps)
+         in
+         De.Event.sensitize cpu_proc cpu_ev;
+         De.Event.notify_delayed cpu_ev ~delay_ps:cycle_ps
+       end);
+      (* Analog side. *)
+      Trace.add trace ~time:0.0 ~value:0.0;
+      (match binding with
+      | Cosim { substeps; iterations; _ } ->
+          let stepper =
+            Engine.Spice_stepper.create ~substeps ~iterations
+              testcase.Circuits.circuit ~inputs:input_names
+              ~output:testcase.Circuits.output ~dt
+          in
+          let channel = Channel.create () in
+          let tick = De.Event.create kernel "cosim.tick" in
+          (* Stimuli sampled at exact step multiples; see Wrap. *)
+          let step_index = ref 0 in
+          let proc =
+            De.spawn kernel ~name:"cosim" (fun () ->
+                incr step_index;
+                let t = float_of_int !step_index *. dt in
+                stimuli_values stims t inputs;
+                (* Digital -> analog hand-off. *)
+                let remote_inputs = Channel.exchange channel t inputs in
+                let out = Engine.Spice_stepper.step stepper ~input_values:remote_inputs in
+                (* Analog -> digital hand-off. *)
+                let back = Channel.exchange channel t [| out |] in
+                Bus.Adc.set_sample adc ~volts:back.(0);
+                Trace.add trace ~time:t ~value:back.(0);
+                if De.now_ps kernel + dt_ps <= until_ps then
+                  De.Event.notify_delayed tick ~delay_ps:dt_ps)
+          in
+          De.Event.sensitize proc tick;
+          De.Event.notify_delayed tick ~delay_ps:dt_ps;
+          De.run_until kernel ~ps:until_ps;
+          cosim_syncs := channel.Channel.syncs
+      | Eln ->
+          let stepper =
+            Engine.Eln_stepper.create testcase.Circuits.circuit
+              ~inputs:input_names ~output:testcase.Circuits.output ~dt
+          in
+          let tick = De.Event.create kernel "eln.tick" in
+          let step_index = ref 0 in
+          let proc =
+            De.spawn kernel ~name:"eln" (fun () ->
+                incr step_index;
+                let t = float_of_int !step_index *. dt in
+                stimuli_values stims t inputs;
+                let out = Engine.Eln_stepper.step stepper ~input_values:inputs in
+                Bus.Adc.set_sample adc ~volts:out;
+                Trace.add trace ~time:t ~value:out;
+                if De.now_ps kernel + dt_ps <= until_ps then
+                  De.Event.notify_delayed tick ~delay_ps:dt_ps)
+          in
+          De.Event.sensitize proc tick;
+          De.Event.notify_delayed tick ~delay_ps:dt_ps;
+          De.run_until kernel ~ps:until_ps
+      | De_model ->
+          let p = require_program () in
+          let order =
+            Array.of_list
+              (List.map
+                 (fun n -> List.assoc n testcase.Circuits.stimuli)
+                 p.Sfprogram.inputs)
+          in
+          let runner = Sfprogram.Runner.create p in
+          let out_sig = De.Signal.float_signal kernel ~name:"analog.out" 0.0 in
+          let tick = De.Event.create kernel "model.tick" in
+          let step_index = ref 0 in
+          let proc =
+            De.spawn kernel ~name:"analog" (fun () ->
+                incr step_index;
+                let t = float_of_int !step_index *. dt in
+                stimuli_values order t inputs;
+                Sfprogram.Runner.step runner ~inputs;
+                let out = Sfprogram.Runner.output runner 0 in
+                De.Signal.write out_sig out;
+                Bus.Adc.set_sample adc ~volts:out;
+                Trace.add trace ~time:t ~value:out;
+                if De.now_ps kernel + dt_ps <= until_ps then
+                  De.Event.notify_delayed tick ~delay_ps:dt_ps)
+          in
+          De.Event.sensitize proc tick;
+          De.Event.notify_delayed tick ~delay_ps:dt_ps;
+          De.run_until kernel ~ps:until_ps
+      | Tdf ->
+          let p = require_program () in
+          let order =
+            Array.of_list
+              (List.map
+                 (fun n -> List.assoc n testcase.Circuits.stimuli)
+                 p.Sfprogram.inputs)
+          in
+          let runner = Sfprogram.Runner.create p in
+          let cluster =
+            Tdf_moc.create_cluster kernel ~name:"analog" ~timestep_ps:dt_ps
+          in
+          let n_in = Array.length order in
+          let in_ports =
+            Array.init n_in (fun i ->
+                Tdf_moc.port cluster (Printf.sprintf "u%d" i) ~rate:1)
+          in
+          let out_port = Tdf_moc.port cluster "y" ~rate:1 in
+          let step_index = ref 0 in
+          let _src =
+            Tdf_moc.add_module cluster ~name:"source" ~reads:[]
+              ~writes:(Array.to_list in_ports) (fun () ->
+                incr step_index;
+                let t = float_of_int !step_index *. dt in
+                for i = 0 to n_in - 1 do
+                  Tdf_moc.write in_ports.(i) 0 (order.(i) t)
+                done)
+          in
+          let _model =
+            Tdf_moc.add_module cluster ~name:"model"
+              ~reads:(Array.to_list in_ports) ~writes:[ out_port ] (fun () ->
+                for i = 0 to n_in - 1 do
+                  inputs.(i) <- Tdf_moc.read in_ports.(i) 0
+                done;
+                Sfprogram.Runner.step runner ~inputs;
+                Tdf_moc.write out_port 0 (Sfprogram.Runner.output runner 0))
+          in
+          let _sink =
+            Tdf_moc.add_module cluster ~name:"adc_bridge" ~reads:[ out_port ]
+              ~writes:[] (fun () ->
+                let out = Tdf_moc.read out_port 0 in
+                Bus.Adc.set_sample adc ~volts:out;
+                Trace.add trace ~time:(De.now kernel) ~value:out)
+          in
+          let _out_sig = Tdf_moc.to_de cluster ~name:"y2de" out_port in
+          Tdf_moc.start cluster ~until_ps;
+          De.run_until kernel ~ps:until_ps
+      | Cpp -> assert false);
+      let uart_output =
+        match rtl_uart with
+        | Some u -> Uart_rtl.decoded u
+        | None -> Bus.Uart.output (Option.get !tlm_uart)
+      in
+      finish ~de_stats:(De.stats kernel) ~uart_output ()

@@ -1,0 +1,60 @@
+(** The complete smart-system virtual platform of Table III.
+
+    Digital side: the MIPS ISS running a polling/IO program out of RAM,
+    a UART and an ADC bridge on the APB bus. Analog side: one of the
+    paper's six integration bindings. The digital and analog sides
+    advance together to [t_stop]; the run reports simulation statistics
+    and the UART output so correctness is observable end-to-end.
+
+    Bindings (one per Table III row):
+    - [Cosim { rtl_grain = true; _ }] — Verilog-AMS co-simulation with
+      the VP in Verilog: the digital side is clock-signal driven at RTL
+      grain, the analog side is the SPICE-like stepper in a separate
+      solver, synchronised in lock-step with value marshalling at every
+      analog timestep (the Questa-ADMS cost structure).
+    - [Cosim { rtl_grain = false; _ }] — same co-simulation with the
+      VP in SystemC (lighter digital processes).
+    - [Eln] — the linear network solved in-kernel (SystemC-AMS/ELN).
+    - [Tdf] — the abstracted model in a TDF cluster (SystemC-AMS/TDF).
+    - [De_model] — the abstracted model as a DE process (SystemC-DE).
+    - [Cpp] — the whole platform as a plain loop, no kernel ("C++"). *)
+
+type analog_binding =
+  | Cosim of { rtl_grain : bool; substeps : int; iterations : int }
+  | Eln
+  | Tdf
+  | De_model
+  | Cpp
+
+val binding_label : analog_binding -> string
+(** Row labels as in Table III. *)
+
+type result = {
+  uart_output : string;
+  instructions : int;
+  interrupts : int;  (** external interrupts taken by the CPU *)
+  bus_transfers : int;
+  analog_samples : int;
+  cosim_syncs : int;  (** lock-step exchanges (0 for integrated rows) *)
+  trace : Amsvp_util.Trace.t;  (** analog output as sampled by the ADC *)
+  de_stats : Amsvp_sysc.De.stats option;
+}
+
+val default_program : string
+(** Polling firmware: waits for fresh ADC samples, accumulates them and
+    transmits a byte on the UART every 256 samples. *)
+
+val run :
+  ?cpu_hz:float ->
+  ?asm_src:string ->
+  testcase:Amsvp_netlist.Circuits.testcase ->
+  program:Amsvp_sf.Sfprogram.t option ->
+  binding:analog_binding ->
+  dt:float ->
+  t_stop:float ->
+  unit ->
+  result
+(** [program] is required for the [Tdf], [De_model] and [Cpp] bindings
+    (the abstracted model); [Cosim]/[Eln] simulate the conservative
+    circuit directly.
+    @raise Invalid_argument on a missing program or bad parameters. *)

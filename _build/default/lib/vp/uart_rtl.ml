@@ -1,0 +1,94 @@
+module De = Amsvp_sysc.De
+
+type t = {
+  fifo : int Queue.t;
+  kick : De.Event.event;
+  line : bool De.Signal.signal;
+  decoded : Buffer.t;
+  mutable frames : int;
+  mutable busy : bool;
+}
+
+let attach kernel bus ~base ~bit_ps =
+  if bit_ps <= 0 then invalid_arg "Uart_rtl.attach: bit duration must be positive";
+  let u =
+    {
+      fifo = Queue.create ();
+      kick = De.Event.create kernel "uart_rtl.kick";
+      line = De.Signal.bool_signal kernel ~name:"uart_rtl.tx" true;
+      decoded = Buffer.create 64;
+      frames = 0;
+      busy = false;
+    }
+  in
+  Bus.attach bus ~name:"uart_rtl"
+    {
+      Bus.base;
+      size = 16;
+      read =
+        (fun off ->
+          match off with
+          | 0 -> u.frames
+          | 4 -> if u.busy || not (Queue.is_empty u.fifo) then 1 else 0
+          | _ -> 0);
+      write =
+        (fun off v ->
+          match off with
+          | 0 ->
+              Queue.add (v land 0xFF) u.fifo;
+              De.Event.notify_delta u.kick
+          | _ -> ());
+    };
+  (* Transmitter: an RTL thread shifting 8N1 frames onto the line. *)
+  De.Thread.spawn kernel ~name:"uart_rtl.tx" (fun () ->
+      let rec serve () =
+        if Queue.is_empty u.fifo then begin
+          u.busy <- false;
+          De.Thread.wait_event kernel u.kick;
+          serve ()
+        end
+        else begin
+          u.busy <- true;
+          let byte = Queue.take u.fifo in
+          De.Signal.write u.line false (* start bit *);
+          De.Thread.wait_ps kernel bit_ps;
+          for bit = 0 to 7 do
+            De.Signal.write u.line ((byte lsr bit) land 1 = 1);
+            De.Thread.wait_ps kernel bit_ps
+          done;
+          De.Signal.write u.line true (* stop bit *);
+          De.Thread.wait_ps kernel bit_ps;
+          u.frames <- u.frames + 1;
+          serve ()
+        end
+      in
+      serve ());
+  (* Line monitor: detects the start edge, samples bit centres and
+     rebuilds the byte (a bit-accurate receiver). *)
+  De.Thread.spawn kernel ~name:"uart_rtl.rx" (fun () ->
+      let rec frames () =
+        (* wait for a falling edge (start bit) *)
+        let rec wait_start () =
+          De.Thread.wait_event kernel (De.Signal.change_event u.line);
+          if De.Signal.read u.line then wait_start ()
+        in
+        wait_start ();
+        (* move to the centre of bit 0 *)
+        De.Thread.wait_ps kernel (bit_ps + (bit_ps / 2));
+        let byte = ref 0 in
+        for bit = 0 to 7 do
+          if De.Signal.read u.line then byte := !byte lor (1 lsl bit);
+          if bit < 7 then De.Thread.wait_ps kernel bit_ps
+        done;
+        (* into the stop bit *)
+        De.Thread.wait_ps kernel bit_ps;
+        Buffer.add_char u.decoded (Char.chr (!byte land 0xFF));
+        frames ()
+      in
+      frames ());
+  u
+
+let line u = u.line
+let decoded u = Buffer.contents u.decoded
+let frames_sent u = u.frames
+let queued u = Queue.length u.fifo

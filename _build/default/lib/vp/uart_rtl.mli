@@ -1,0 +1,31 @@
+(** A bit-serial RTL UART transmitter on the discrete-event kernel.
+
+    The paper's digital components are "described at RTL" (§V-B); this
+    model transmits each byte as a real 8N1 frame (start bit, eight
+    data bits LSB-first, stop bit) over a boolean line signal, driven
+    by an SC_THREAD-style process at the configured baud rate. A
+    monitor process samples the line at bit centres and reconstructs
+    the byte stream, so the observable output stays comparable with
+    the transaction-level UART.
+
+    Register map (same as {!Bus.Uart}): +0 write = transmit byte;
+    +0 read = bytes queued so far; +4 read = line status (bit 0 set
+    while the transmitter FIFO is non-empty or a frame is on the
+    wire... cleared when idle). *)
+
+type t
+
+val attach :
+  Amsvp_sysc.De.t -> Bus.t -> base:int -> bit_ps:int -> t
+(** Attach the device; [bit_ps] is the duration of one bit on the
+    line. *)
+
+val line : t -> bool Amsvp_sysc.De.Signal.signal
+(** The serial line (idle high). *)
+
+val decoded : t -> string
+(** Bytes reconstructed by the line monitor so far. *)
+
+val frames_sent : t -> int
+val queued : t -> int
+(** Bytes still waiting in the transmitter FIFO. *)

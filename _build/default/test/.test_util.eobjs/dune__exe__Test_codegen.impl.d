@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Amsvp_codegen Amsvp_core Amsvp_netlist Amsvp_sf Expr List Printf String

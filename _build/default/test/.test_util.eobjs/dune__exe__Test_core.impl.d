@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Amsvp_core Amsvp_mna Amsvp_netlist Amsvp_sf Amsvp_util Array Eqn Expr Float List Option Printf QCheck QCheck_alcotest

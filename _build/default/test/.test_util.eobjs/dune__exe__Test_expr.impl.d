@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Eqn Expr Format Gen List Printf QCheck QCheck_alcotest String

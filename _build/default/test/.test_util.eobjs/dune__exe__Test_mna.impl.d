@@ -1,0 +1,1 @@
+test/test_mna.ml: Alcotest Amsvp_core Amsvp_mna Amsvp_netlist Amsvp_sf Amsvp_util Array Complex Eqn Expr Float Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Amsvp_netlist Eqn List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sf.ml: Alcotest Amsvp_core Amsvp_netlist Amsvp_sf Amsvp_util Expr List QCheck QCheck_alcotest

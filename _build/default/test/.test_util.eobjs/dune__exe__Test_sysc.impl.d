@@ -1,0 +1,1 @@
+test/test_sysc.ml: Alcotest Amsvp_core Amsvp_mna Amsvp_netlist Amsvp_sysc Amsvp_util List Printf String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Amsvp_util Array Gen List QCheck QCheck_alcotest String

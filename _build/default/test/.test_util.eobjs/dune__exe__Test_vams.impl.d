@@ -1,0 +1,1 @@
+test/test_vams.ml: Alcotest Amsvp_core Amsvp_mna Amsvp_netlist Amsvp_sf Amsvp_util Amsvp_vams Array Expr Format List Option Printf QCheck QCheck_alcotest

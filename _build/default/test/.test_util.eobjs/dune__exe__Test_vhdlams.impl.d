@@ -1,0 +1,1 @@
+test/test_vhdlams.ml: Alcotest Amsvp_core Amsvp_netlist Amsvp_sf Amsvp_util Amsvp_vams Amsvp_vhdlams Expr List Printf

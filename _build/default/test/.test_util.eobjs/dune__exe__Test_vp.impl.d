@@ -1,0 +1,1 @@
+test/test_vp.ml: Alcotest Amsvp_core Amsvp_netlist Amsvp_sysc Amsvp_vp Array Char Printf String

@@ -1,0 +1,151 @@
+(* Golden-shape tests for the three code-generation targets. *)
+
+module Codegen = Amsvp_codegen.Codegen
+module Circuits = Amsvp_netlist.Circuits
+module Flow = Amsvp_core.Flow
+module Sfprogram = Amsvp_sf.Sfprogram
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  m = 0 || go 0
+
+let check_contains what text needle =
+  if not (contains text needle) then
+    Alcotest.failf "%s should contain %S, got:\n%s" what needle text
+
+let rc1_program () =
+  let tc = Circuits.rc_ladder 1 in
+  (Flow.abstract_testcase tc ~dt:50e-9).Flow.program
+
+let test_target_names () =
+  Alcotest.(check string) "cpp" "C++" (Codegen.target_name Codegen.Cpp);
+  Alcotest.(check string) "de" "SC-DE" (Codegen.target_name Codegen.Systemc_de);
+  Alcotest.(check string) "tdf" "SC-AMS/TDF"
+    (Codegen.target_name Codegen.Systemc_ams_tdf)
+
+let test_cpp_shape () =
+  let p = rc1_program () in
+  let src = Codegen.emit Codegen.Cpp p in
+  check_contains "C++" src "class RC1 {";
+  check_contains "C++" src "void step(double in)";
+  check_contains "C++" src "double V_out_gnd = 0.0;";
+  check_contains "C++" src "double V_out_gnd_m1 = 0.0;";
+  (* State rotation after the update statements. *)
+  check_contains "C++" src "V_out_gnd_m1 = V_out_gnd;";
+  check_contains "C++" src "V_out_gnd_value()"
+
+let test_systemc_de_shape () =
+  let p = rc1_program () in
+  let src = Codegen.emit Codegen.Systemc_de p in
+  check_contains "SC-DE" src "SC_MODULE(RC1)";
+  check_contains "SC-DE" src "sc_core::sc_in<double> in;";
+  check_contains "SC-DE" src "sc_core::sc_out<double> V_out_gnd_out;";
+  check_contains "SC-DE" src "SC_METHOD(step);";
+  check_contains "SC-DE" src "next_trigger(sc_core::sc_time(5e-08, sc_core::SC_SEC));";
+  check_contains "SC-DE" src "V_out_gnd_out.write(V_out_gnd);"
+
+let test_systemc_tdf_shape () =
+  let p = rc1_program () in
+  let src = Codegen.emit Codegen.Systemc_ams_tdf p in
+  check_contains "TDF" src "SCA_TDF_MODULE(RC1)";
+  check_contains "TDF" src "sca_tdf::sca_in<double> in;";
+  check_contains "TDF" src "set_timestep(5e-08, sc_core::SC_SEC);";
+  check_contains "TDF" src "void processing()";
+  check_contains "TDF" src "SCA_CTOR(RC1)"
+
+let test_step_body_is_executable_shape () =
+  (* Fig. 7.b: assignments followed by the history rotation, every line
+     terminated by a semicolon. *)
+  let p = rc1_program () in
+  let body = Codegen.emit_step_body p in
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         if String.trim line <> "" then
+           Alcotest.(check bool)
+             (Printf.sprintf "line %S is a statement" line)
+             true
+             (String.length line > 1 && line.[String.length line - 1] = ';'))
+
+let test_rotation_depth_order () =
+  (* A two-level history must rotate deepest-first. *)
+  let y = Expr.potential "y" "gnd" in
+  let p =
+    Sfprogram.make ~name:"deep" ~inputs:[ "u" ] ~outputs:[ y ]
+      ~assignments:
+        [
+          {
+            Sfprogram.target = y;
+            expr =
+              Expr.(
+                var (Expr.delayed y 2)
+                + var (Expr.signal "u"));
+          };
+        ]
+      ~dt:1.0
+  in
+  let body = Codegen.emit_step_body p in
+  let idx s =
+    let rec go i =
+      if i + String.length s > String.length body then -1
+      else if String.sub body i (String.length s) = s then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let m2 = idx "V_y_gnd_m2 = V_y_gnd_m1;" in
+  let m1 = idx "V_y_gnd_m1 = V_y_gnd;" in
+  Alcotest.(check bool) "both rotations present" true (m1 >= 0 && m2 >= 0);
+  Alcotest.(check bool) "deepest first" true (m2 < m1)
+
+let test_pwl_model_emits_ternary () =
+  (* Region-switching generated code renders as C ternaries over the
+     previous step's values. *)
+  let ckt = Amsvp_netlist.Circuit.create () in
+  Amsvp_netlist.Circuit.add_vsource ckt ~name:"vin" ~pos:"in" ~neg:"gnd"
+    (Amsvp_netlist.Component.Input "in");
+  Amsvp_netlist.Circuit.add_resistor ckt ~name:"r1" ~pos:"in" ~neg:"a" 1.0e3;
+  Amsvp_netlist.Circuit.add_pwl_conductance ckt ~name:"d1" ~pos:"a" ~neg:"gnd"
+    ~g_on:0.01 ~g_off:1e-9 ~threshold:0.0;
+  let rep =
+    Flow.abstract_circuit ckt ~outputs:[ Expr.potential "a" "gnd" ] ~dt:1e-6
+  in
+  let src = Codegen.emit Codegen.Cpp rep.Flow.program in
+  check_contains "PWL C++" src "?";
+  check_contains "PWL C++ lagged condition" src "V_a_gnd_m1 >= 0"
+
+let test_emitted_for_all_paper_circuits () =
+  List.iter
+    (fun (tc : Circuits.testcase) ->
+      let p = (Flow.abstract_testcase tc ~dt:50e-9).Flow.program in
+      List.iter
+        (fun target ->
+          let src = Codegen.emit target p in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s nonempty" tc.Circuits.label
+               (Codegen.target_name target))
+            true
+            (String.length src > 100))
+        [ Codegen.Cpp; Codegen.Systemc_de; Codegen.Systemc_ams_tdf ])
+    (Circuits.all_paper_cases ())
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "targets",
+        [
+          Alcotest.test_case "names" `Quick test_target_names;
+          Alcotest.test_case "C++ shape" `Quick test_cpp_shape;
+          Alcotest.test_case "SystemC-DE shape" `Quick test_systemc_de_shape;
+          Alcotest.test_case "SystemC-AMS/TDF shape" `Quick test_systemc_tdf_shape;
+        ] );
+      ( "body",
+        [
+          Alcotest.test_case "statement shape" `Quick
+            test_step_body_is_executable_shape;
+          Alcotest.test_case "rotation order" `Quick test_rotation_depth_order;
+          Alcotest.test_case "PWL ternary" `Quick test_pwl_model_emits_ternary;
+          Alcotest.test_case "all circuits emit" `Quick
+            test_emitted_for_all_paper_circuits;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* Tests for components, circuits and the Kirchhoff topology layer. *)
+
+module Component = Amsvp_netlist.Component
+module Circuit = Amsvp_netlist.Circuit
+module Graph = Amsvp_netlist.Graph
+module Circuits = Amsvp_netlist.Circuits
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Components *)
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Component.make: device r is a self-loop on node a")
+    (fun () ->
+      ignore (Component.make ~name:"r" ~pos:"a" ~neg:"a" (Component.Resistor 1.0)))
+
+let test_dipole_equations () =
+  let r = Component.make ~name:"r1" ~pos:"a" ~neg:"b" (Component.Resistor 2.0) in
+  Alcotest.(check string) "resistor" "V(a,b) = 2 * I(r1)  (dipole[r1])"
+    (Eqn.to_string (Component.dipole_equation r));
+  let c = Component.make ~name:"c1" ~pos:"a" ~neg:"gnd" (Component.Capacitor 3.0) in
+  Alcotest.(check string) "capacitor" "I(c1) = 3 * ddt(V(a,gnd))  (dipole[c1])"
+    (Eqn.to_string (Component.dipole_equation c));
+  let v =
+    Component.make ~name:"vs" ~pos:"a" ~neg:"gnd" (Component.Vsource (Component.Input "u"))
+  in
+  Alcotest.(check string) "source" "V(a,gnd) = u  (dipole[vs])"
+    (Eqn.to_string (Component.dipole_equation v))
+
+(* Circuits *)
+
+let test_duplicate_device () =
+  let c = Circuit.create () in
+  Circuit.add_resistor c ~name:"r1" ~pos:"a" ~neg:"gnd" 1.0;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Circuit.add: duplicate device name r1") (fun () ->
+      Circuit.add_resistor c ~name:"r1" ~pos:"b" ~neg:"gnd" 1.0)
+
+let test_floating_node_detected () =
+  let c = Circuit.create () in
+  Circuit.add_resistor c ~name:"r1" ~pos:"a" ~neg:"gnd" 1.0;
+  Circuit.add_resistor c ~name:"r2" ~pos:"b" ~neg:"c" 1.0;
+  match Circuit.validate c with
+  | Ok () -> Alcotest.fail "expected floating-node error"
+  | Error msg ->
+      Alcotest.(check bool) "mentions floating nodes" true
+        (contains_substring msg "b" && contains_substring msg "c")
+
+let test_input_signals_dedup () =
+  let c = Circuit.create () in
+  Circuit.add_vsource c ~name:"v1" ~pos:"a" ~neg:"gnd" (Component.Input "u");
+  Circuit.add_vsource c ~name:"v2" ~pos:"b" ~neg:"gnd" (Component.Input "u");
+  Circuit.add_vsource c ~name:"v3" ~pos:"c" ~neg:"gnd" (Component.Input "w");
+  Alcotest.(check (list string)) "dedup keeps order" [ "u"; "w" ]
+    (Circuit.input_signals c)
+
+(* Graph / Kirchhoff *)
+
+let test_rc20_dimensions () =
+  (* The paper reports RC20 as "22 nodes and 41 branches" (§V-A). *)
+  let tc = Circuits.rc_ladder 20 in
+  let g = Graph.of_circuit tc.circuit in
+  Alcotest.(check int) "nodes" 22 (Graph.node_count g);
+  Alcotest.(check int) "branches" 41 (Graph.branch_count g);
+  Alcotest.(check int) "loops" 20 (Graph.loop_count g);
+  Alcotest.(check int) "KCL count" 21 (List.length (Graph.kcl_equations g));
+  Alcotest.(check int) "KVL count" 20 (List.length (Graph.kvl_equations g))
+
+let test_kirchhoff_equations_linear () =
+  List.iter
+    (fun (tc : Circuits.testcase) ->
+      let g = Graph.of_circuit tc.circuit in
+      List.iter
+        (fun eq ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s linear" tc.label (Eqn.to_string eq))
+            true (Eqn.is_linear eq))
+        (Graph.kcl_equations g @ Graph.kvl_equations g))
+    (Circuits.all_paper_cases ())
+
+let test_kvl_nontrivial () =
+  List.iter
+    (fun (tc : Circuits.testcase) ->
+      let g = Graph.of_circuit tc.circuit in
+      List.iter
+        (fun eq ->
+          match Eqn.unknowns eq with
+          | [] -> Alcotest.failf "%s: trivial KVL %s" tc.label (Eqn.to_string eq)
+          | _ -> ())
+        (Graph.kvl_equations g))
+    (Circuits.all_paper_cases ())
+
+let test_parallel_branch_loop_dropped () =
+  (* Two same-oriented parallel resistors share the potential variable:
+     their fundamental loop is trivially 0 = 0 and must be dropped. *)
+  let c = Circuit.create () in
+  Circuit.add_vsource c ~name:"vs" ~pos:"a" ~neg:"gnd" (Component.Dc 1.0);
+  Circuit.add_resistor c ~name:"r1" ~pos:"a" ~neg:"gnd" 1.0;
+  Circuit.add_resistor c ~name:"r2" ~pos:"a" ~neg:"gnd" 1.0;
+  let g = Graph.of_circuit c in
+  Alcotest.(check int) "two cotree branches" 2 (Graph.loop_count g);
+  (* All three devices share V(a,gnd): every fundamental loop is trivial. *)
+  Alcotest.(check int) "all loops trivial" 0 (List.length (Graph.kvl_equations g))
+
+let test_testcase_lookup () =
+  (match Circuits.by_name "RC7" with
+  | Some tc -> Alcotest.(check string) "rc7" "RC7" tc.label
+  | None -> Alcotest.fail "RC7 should resolve");
+  Alcotest.(check bool) "bogus" true (Circuits.by_name "RCx" = None);
+  Alcotest.(check bool) "2IN" true (Circuits.by_name "2IN" <> None)
+
+(* Properties *)
+
+let prop_ladder_euler_formula =
+  QCheck.Test.make ~name:"RC ladders satisfy |loops| = |B| - |N| + 1" ~count:30
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let tc = Circuits.rc_ladder n in
+      let g = Graph.of_circuit tc.circuit in
+      Graph.loop_count g = Graph.branch_count g - Graph.node_count g + 1
+      && Graph.node_count g = n + 2
+      && Graph.branch_count g = (2 * n) + 1)
+
+let prop_kcl_covers_every_nonground_node =
+  QCheck.Test.make ~name:"one KCL equation per non-ground node" ~count:30
+    QCheck.(int_range 1 30)
+    (fun n ->
+      let tc = Circuits.rc_ladder n in
+      let g = Graph.of_circuit tc.circuit in
+      List.length (Graph.kcl_equations g) = Graph.node_count g - 1)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "netlist"
+    [
+      ( "components",
+        [
+          Alcotest.test_case "self loop rejected" `Quick test_self_loop_rejected;
+          Alcotest.test_case "dipole equations" `Quick test_dipole_equations;
+        ] );
+      ( "circuits",
+        [
+          Alcotest.test_case "duplicate device" `Quick test_duplicate_device;
+          Alcotest.test_case "floating node" `Quick test_floating_node_detected;
+          Alcotest.test_case "input signal dedup" `Quick test_input_signals_dedup;
+          Alcotest.test_case "testcase lookup" `Quick test_testcase_lookup;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "RC20 dimensions" `Quick test_rc20_dimensions;
+          Alcotest.test_case "Kirchhoff equations linear" `Quick
+            test_kirchhoff_equations_linear;
+          Alcotest.test_case "KVL nontrivial" `Quick test_kvl_nontrivial;
+          Alcotest.test_case "parallel-branch loop dropped" `Quick
+            test_parallel_branch_loop_dropped;
+        ] );
+      ("properties", qt [ prop_ladder_euler_formula; prop_kcl_covers_every_nonground_node ]);
+    ]

@@ -1,0 +1,264 @@
+(* Tests for signal-flow programs and their tight-loop runner. *)
+
+module Sfprogram = Amsvp_sf.Sfprogram
+module Trace = Amsvp_util.Trace
+module Stimulus = Amsvp_util.Stimulus
+
+let y = Expr.potential "y" "gnd"
+let z = Expr.signal "z"
+let input = Expr.signal "u"
+
+let mk ?(inputs = [ "u" ]) ?(outputs = [ y ]) assignments =
+  Sfprogram.make ~name:"t" ~inputs ~outputs ~assignments ~dt:1.0
+
+let asg target expr = { Sfprogram.target; expr }
+
+(* Validation *)
+
+let expect_invalid name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_duplicate_target () =
+  expect_invalid "duplicate target" (fun () ->
+      mk [ asg y (Expr.var input); asg y Expr.zero ])
+
+let test_unassigned_output () =
+  expect_invalid "unassigned output" (fun () -> mk [ asg z (Expr.var input) ])
+
+let test_forward_reference () =
+  expect_invalid "forward read" (fun () ->
+      mk ~outputs:[ y ] [ asg y (Expr.var z); asg z (Expr.var input) ])
+
+let test_unknown_history () =
+  expect_invalid "history of unknown quantity" (fun () ->
+      mk [ asg y (Expr.var (Expr.delayed (Expr.signal "ghost") 1)) ])
+
+let test_parameter_rejected () =
+  expect_invalid "unresolved parameter" (fun () ->
+      mk [ asg y (Expr.var (Expr.param "R")) ])
+
+let test_ddt_rejected () =
+  expect_invalid "ddt leak" (fun () -> mk [ asg y (Expr.Ddt (Expr.var input)) ])
+
+let test_assignment_to_delayed () =
+  expect_invalid "delayed target" (fun () ->
+      mk [ asg (Expr.delayed y 1) (Expr.var input) ])
+
+(* Structure *)
+
+let test_state_and_delay () =
+  let p =
+    mk
+      [
+        asg z Expr.(var (Expr.delayed z 1) + var input);
+        asg y Expr.(var z + var (Expr.delayed z 2));
+      ]
+  in
+  Alcotest.(check int) "max delay" 2 (Sfprogram.max_delay p);
+  let states = Sfprogram.state_vars p in
+  Alcotest.(check int) "one state-bearing target" 1 (List.length states);
+  Alcotest.(check string) "state is z" "z" (Expr.var_name (List.hd states))
+
+(* Runner semantics *)
+
+let test_accumulator () =
+  let p = mk ~outputs:[ z ] [ asg z Expr.(var (Expr.delayed z 1) + var input) ] in
+  let r = Sfprogram.Runner.create p in
+  Sfprogram.Runner.reset r;
+  Sfprogram.Runner.step r ~inputs:[| 2.0 |];
+  Sfprogram.Runner.step r ~inputs:[| 3.0 |];
+  Sfprogram.Runner.step r ~inputs:[| 4.0 |];
+  Alcotest.(check (float 0.0)) "sum" 9.0 (Sfprogram.Runner.output r 0)
+
+let test_two_level_history () =
+  (* y_t = u_{t-2}: a two-step delay line on the input. *)
+  let p = mk [ asg y (Expr.var (Expr.delayed input 2)) ] in
+  let r = Sfprogram.Runner.create p in
+  let feed v = Sfprogram.Runner.step r ~inputs:[| v |] in
+  feed 1.0;
+  feed 2.0;
+  Alcotest.(check (float 0.0)) "initially zero-padded" 0.0
+    (Sfprogram.Runner.output r 0);
+  feed 3.0;
+  Alcotest.(check (float 0.0)) "sees first input" 1.0
+    (Sfprogram.Runner.output r 0);
+  feed 4.0;
+  Alcotest.(check (float 0.0)) "sees second input" 2.0
+    (Sfprogram.Runner.output r 0)
+
+let test_same_step_chaining () =
+  (* z computed first, y reads it in the same step. *)
+  let p =
+    mk
+      [
+        asg z Expr.(scale 2.0 (var input));
+        asg y Expr.(var z + Expr.const 1.0);
+      ]
+  in
+  let r = Sfprogram.Runner.create p in
+  Sfprogram.Runner.step r ~inputs:[| 5.0 |];
+  Alcotest.(check (float 0.0)) "chained" 11.0 (Sfprogram.Runner.output r 0)
+
+let test_reset_clears_state () =
+  let p = mk ~outputs:[ z ] [ asg z Expr.(var (Expr.delayed z 1) + var input) ] in
+  let r = Sfprogram.Runner.create p in
+  Sfprogram.Runner.step r ~inputs:[| 7.0 |];
+  Sfprogram.Runner.reset r;
+  Sfprogram.Runner.step r ~inputs:[| 1.0 |];
+  Alcotest.(check (float 0.0)) "state cleared" 1.0 (Sfprogram.Runner.output r 0)
+
+let test_input_arity_checked () =
+  let p = mk [ asg y (Expr.var input) ] in
+  let r = Sfprogram.Runner.create p in
+  expect_invalid "arity mismatch" (fun () -> Sfprogram.Runner.step r ~inputs:[||])
+
+let test_read_by_name () =
+  let p =
+    mk [ asg z Expr.(scale 3.0 (var input)); asg y Expr.(var z - Expr.one) ]
+  in
+  let r = Sfprogram.Runner.create p in
+  Sfprogram.Runner.step r ~inputs:[| 2.0 |];
+  Alcotest.(check (float 0.0)) "read z" 6.0 (Sfprogram.Runner.read r z);
+  Alcotest.(check (float 0.0)) "read y" 5.0 (Sfprogram.Runner.read r y)
+
+let test_run_records_trace () =
+  let p = mk [ asg y (Expr.var input) ] in
+  let r = Sfprogram.Runner.create p in
+  let tr = Sfprogram.Runner.run r ~stimuli:[| (fun t -> t) |] ~t_stop:5.0 () in
+  Alcotest.(check int) "samples" 6 (Trace.length tr);
+  Alcotest.(check (float 1e-12)) "identity at t=3" 3.0 (Trace.sample_at tr 3.0)
+
+(* Serialisation *)
+
+module Serialize = Amsvp_sf.Serialize
+module Circuits = Amsvp_netlist.Circuits
+module Flow = Amsvp_core.Flow
+module Metrics = Amsvp_util.Metrics
+
+let roundtrip_equal_traces p stimuli t_stop =
+  let text = Serialize.program_to_string p in
+  let p' = Serialize.program_of_string text in
+  let run prog =
+    let r = Sfprogram.Runner.create prog in
+    Sfprogram.Runner.run r ~stimuli ~t_stop ()
+  in
+  let a = run p and b = run p' in
+  Alcotest.(check int) "same sample count" (Trace.length a) (Trace.length b);
+  for i = 0 to Trace.length a - 1 do
+    let va = Trace.value a i and vb = Trace.value b i in
+    if not (va = vb || abs_float (va -. vb) <= 1e-15 *. abs_float va) then
+      Alcotest.failf "sample %d differs: %.17g vs %.17g" i va vb
+  done
+
+let test_serialize_rc_program () =
+  let tc = Circuits.rc_ladder 2 in
+  let p = (Flow.abstract_testcase tc ~dt:1e-6).Flow.program in
+  roundtrip_equal_traces p
+    [| Stimulus.square ~period:1e-3 ~low:0.0 ~high:1.0 |]
+    2e-3
+
+let test_serialize_pwl_program () =
+  (* Conditions and ternaries must survive the round-trip. *)
+  let ckt = Amsvp_netlist.Circuit.create () in
+  Amsvp_netlist.Circuit.add_vsource ckt ~name:"vin" ~pos:"in" ~neg:"gnd"
+    (Amsvp_netlist.Component.Input "in");
+  Amsvp_netlist.Circuit.add_resistor ckt ~name:"r1" ~pos:"in" ~neg:"a" 1.0e3;
+  Amsvp_netlist.Circuit.add_pwl_conductance ckt ~name:"d1" ~pos:"a" ~neg:"gnd"
+    ~g_on:0.01 ~g_off:1e-9 ~threshold:0.0;
+  let p =
+    (Flow.abstract_circuit ckt ~outputs:[ Expr.potential "a" "gnd" ] ~dt:1e-6)
+      .Flow.program
+  in
+  roundtrip_equal_traces p
+    [| Stimulus.sine ~freq:1e3 ~amplitude:1.0 () |]
+    2e-3
+
+let test_serialize_header_roundtrip () =
+  let p = mk ~outputs:[ y ] [ asg y (Expr.var input) ] in
+  let p' = Serialize.program_of_string (Serialize.program_to_string p) in
+  Alcotest.(check string) "name" p.Sfprogram.name p'.Sfprogram.name;
+  Alcotest.(check (float 0.0)) "dt" p.Sfprogram.dt p'.Sfprogram.dt;
+  Alcotest.(check (list string)) "inputs" p.Sfprogram.inputs p'.Sfprogram.inputs;
+  Alcotest.(check int) "outputs" 1 (List.length p'.Sfprogram.outputs)
+
+let test_serialize_errors () =
+  let expect name text =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Serialize.program_of_string text);
+         false
+       with Serialize.Parse_error _ -> true)
+  in
+  expect "missing header" "assign x := 1";
+  expect "bad version" "sfprogram 9\nname t\ndt 1\ninputs\noutputs x\n";
+  expect "bad expression"
+    "sfprogram 1\nname t\ndt 1\ninputs u\noutputs x\nassign x := 1 +\n";
+  expect "unknown directive"
+    "sfprogram 1\nname t\ndt 1\nfrobnicate\n"
+
+(* Properties *)
+
+let prop_linear_program_superposition =
+  (* For a program with linear assignments, scaling the input scales the
+     output (zero initial state). *)
+  QCheck.Test.make ~name:"linear programs scale with their input" ~count:50
+    QCheck.(pair (float_range 0.1 10.0) (int_range 1 40))
+    (fun (k, steps) ->
+      let p =
+        mk ~outputs:[ z ]
+          [ asg z Expr.(scale 0.5 (var (Expr.delayed z 1)) + var input) ]
+      in
+      let run scale =
+        let r = Sfprogram.Runner.create p in
+        Sfprogram.Runner.reset r;
+        for i = 1 to steps do
+          Sfprogram.Runner.step r ~inputs:[| scale *. float_of_int i |]
+        done;
+        Sfprogram.Runner.output r 0
+      in
+      let a = run 1.0 and b = run k in
+      abs_float (b -. (k *. a)) <= 1e-9 *. (1.0 +. abs_float b))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "signalflow"
+    [
+      ( "validation",
+        [
+          Alcotest.test_case "duplicate target" `Quick test_duplicate_target;
+          Alcotest.test_case "unassigned output" `Quick test_unassigned_output;
+          Alcotest.test_case "forward reference" `Quick test_forward_reference;
+          Alcotest.test_case "unknown history" `Quick test_unknown_history;
+          Alcotest.test_case "parameter rejected" `Quick test_parameter_rejected;
+          Alcotest.test_case "ddt rejected" `Quick test_ddt_rejected;
+          Alcotest.test_case "delayed target rejected" `Quick
+            test_assignment_to_delayed;
+        ] );
+      ( "structure",
+        [ Alcotest.test_case "state and delay" `Quick test_state_and_delay ] );
+      ( "runner",
+        [
+          Alcotest.test_case "accumulator" `Quick test_accumulator;
+          Alcotest.test_case "two-level history" `Quick test_two_level_history;
+          Alcotest.test_case "same-step chaining" `Quick test_same_step_chaining;
+          Alcotest.test_case "reset" `Quick test_reset_clears_state;
+          Alcotest.test_case "input arity" `Quick test_input_arity_checked;
+          Alcotest.test_case "read by variable" `Quick test_read_by_name;
+          Alcotest.test_case "trace recording" `Quick test_run_records_trace;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "RC program round-trip" `Quick
+            test_serialize_rc_program;
+          Alcotest.test_case "PWL program round-trip" `Quick
+            test_serialize_pwl_program;
+          Alcotest.test_case "header round-trip" `Quick
+            test_serialize_header_roundtrip;
+          Alcotest.test_case "errors" `Quick test_serialize_errors;
+        ] );
+      ("properties", qt [ prop_linear_program_superposition ]);
+    ]

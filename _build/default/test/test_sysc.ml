@@ -1,0 +1,458 @@
+(* Tests for the discrete-event kernel, the TDF layer and the MoC
+   wrappers. *)
+
+module De = Amsvp_sysc.De
+module Tdf = Amsvp_sysc.Tdf
+module Wrap = Amsvp_sysc.Wrap
+module Circuits = Amsvp_netlist.Circuits
+module Engine = Amsvp_mna.Engine
+module Flow = Amsvp_core.Flow
+module Trace = Amsvp_util.Trace
+module Metrics = Amsvp_util.Metrics
+
+(* DE kernel *)
+
+let test_timed_ordering () =
+  let k = De.create () in
+  let log = ref [] in
+  let mark name = log := name :: !log in
+  let e1 = De.Event.create k "e1" and e2 = De.Event.create k "e2" in
+  let p1 = De.spawn k ~name:"p1" (fun () -> mark "p1") in
+  let p2 = De.spawn k ~name:"p2" (fun () -> mark "p2") in
+  De.Event.sensitize p1 e1;
+  De.Event.sensitize p2 e2;
+  De.Event.notify_delayed e2 ~delay_ps:100;
+  De.Event.notify_delayed e1 ~delay_ps:50;
+  De.run k;
+  Alcotest.(check (list string)) "time order wins over notify order"
+    [ "p1"; "p2" ] (List.rev !log);
+  Alcotest.(check int) "time advanced" 100 (De.now_ps k)
+
+let test_signal_update_semantics () =
+  (* A write is not visible within the same delta cycle. *)
+  let k = De.create () in
+  let s = De.Signal.int_signal k ~name:"s" 0 in
+  let seen_same_delta = ref (-1) in
+  let seen_next_delta = ref (-1) in
+  let e = De.Event.create k "go" in
+  let writer =
+    De.spawn k ~name:"writer" (fun () ->
+        De.Signal.write s 42;
+        seen_same_delta := De.Signal.read s)
+  in
+  De.Event.sensitize writer e;
+  let reader =
+    De.spawn k ~name:"reader" (fun () -> seen_next_delta := De.Signal.read s)
+  in
+  De.Event.sensitize reader (De.Signal.change_event s);
+  De.Event.notify_delayed e ~delay_ps:10;
+  De.run k;
+  Alcotest.(check int) "old value in same delta" 0 !seen_same_delta;
+  Alcotest.(check int) "new value next delta" 42 !seen_next_delta
+
+let test_no_event_on_unchanged_write () =
+  let k = De.create () in
+  let s = De.Signal.int_signal k ~name:"s" 7 in
+  let fired = ref 0 in
+  let watcher = De.spawn k ~name:"w" (fun () -> incr fired) in
+  De.Event.sensitize watcher (De.Signal.change_event s);
+  let e = De.Event.create k "go" in
+  let writer = De.spawn k ~name:"writer" (fun () -> De.Signal.write s 7) in
+  De.Event.sensitize writer e;
+  De.Event.notify_delayed e ~delay_ps:5;
+  De.run k;
+  Alcotest.(check int) "no change event" 0 !fired
+
+let test_notify_collapse () =
+  let k = De.create () in
+  let e = De.Event.create k "e" in
+  let count = ref 0 in
+  let p = De.spawn k ~name:"p" (fun () -> incr count) in
+  De.Event.sensitize p e;
+  De.Event.notify_delayed e ~delay_ps:10;
+  De.Event.notify_delayed e ~delay_ps:10;
+  De.Event.notify_delayed e ~delay_ps:20;
+  De.run k;
+  (* Same-instant duplicates collapse; the later (20 ps) notification
+     was overridden by the pending earlier one. *)
+  Alcotest.(check int) "single activation" 1 !count
+
+let test_run_until_boundary () =
+  let k = De.create () in
+  let e = De.Event.create k "e" in
+  let count = ref 0 in
+  let p =
+    De.spawn k ~name:"p" (fun () ->
+        incr count;
+        De.Event.notify_delayed e ~delay_ps:10)
+  in
+  De.Event.sensitize p e;
+  De.Event.notify_delayed e ~delay_ps:10;
+  De.run_until k ~ps:55;
+  (* Activations at 10,20,30,40,50. *)
+  Alcotest.(check int) "five activations" 5 !count;
+  Alcotest.(check int) "clock at last event" 50 (De.now_ps k)
+
+let test_stats_counted () =
+  let k = De.create () in
+  let s = De.Signal.float_signal k ~name:"s" 0.0 in
+  let e = De.Event.create k "e" in
+  let p =
+    De.spawn k ~name:"p" (fun () ->
+        De.Signal.write s (De.now k);
+        if De.now_ps k < 100 then De.Event.notify_delayed e ~delay_ps:10)
+  in
+  De.Event.sensitize p e;
+  De.Event.notify_delayed e ~delay_ps:10;
+  De.run k;
+  let st = De.stats k in
+  Alcotest.(check int) "activations" 10 st.De.activations;
+  Alcotest.(check bool) "updates counted" true (st.De.signal_updates >= 10)
+
+(* Thread processes (SC_THREAD style, via effects) *)
+
+let test_thread_clock_generator () =
+  (* A thread toggles a signal with timed waits; a method process
+     counts rising edges. *)
+  let k = De.create () in
+  let clk = De.Signal.bool_signal k ~name:"clk" false in
+  De.Thread.spawn k ~name:"clkgen" (fun () ->
+      for _ = 1 to 10 do
+        De.Thread.wait_ps k 50;
+        De.Signal.write clk (not (De.Signal.read clk))
+      done);
+  let edges = ref 0 in
+  let counter =
+    De.spawn k ~name:"counter" (fun () -> if De.Signal.read clk then incr edges)
+  in
+  De.Event.sensitize counter (De.Signal.change_event clk);
+  De.run k;
+  Alcotest.(check int) "five rising edges" 5 !edges;
+  Alcotest.(check int) "stopped after ten half-periods" 500 (De.now_ps k)
+
+let test_thread_event_handshake () =
+  (* Two threads ping-pong through events. *)
+  let k = De.create () in
+  let ping = De.Event.create k "ping" and pong = De.Event.create k "pong" in
+  let log = ref [] in
+  De.Thread.spawn k ~name:"a" (fun () ->
+      for i = 1 to 3 do
+        log := Printf.sprintf "a%d" i :: !log;
+        De.Event.notify_delta ping;
+        De.Thread.wait_event k pong
+      done);
+  De.Thread.spawn k ~name:"b" (fun () ->
+      for i = 1 to 3 do
+        De.Thread.wait_event k ping;
+        log := Printf.sprintf "b%d" i :: !log;
+        De.Event.notify_delta pong
+      done);
+  De.run k;
+  Alcotest.(check (list string)) "alternation"
+    [ "a1"; "b1"; "a2"; "b2"; "a3"; "b3" ]
+    (List.rev !log)
+
+let test_thread_sequencing_with_time () =
+  let k = De.create () in
+  let samples = ref [] in
+  De.Thread.spawn k ~name:"seq" (fun () ->
+      De.Thread.wait_ps k 100;
+      samples := De.now_ps k :: !samples;
+      De.Thread.wait_ps k 250;
+      samples := De.now_ps k :: !samples;
+      De.Thread.wait_ps k 0;
+      (* delta wait: same time *)
+      samples := De.now_ps k :: !samples);
+  De.run k;
+  Alcotest.(check (list int)) "timeline" [ 100; 350; 350 ] (List.rev !samples)
+
+let test_wait_outside_thread_rejected () =
+  let k = De.create () in
+  Alcotest.(check bool) "wait outside thread" true
+    (try
+       De.Thread.wait_ps k 10;
+       false
+     with Invalid_argument _ -> true)
+
+let test_thread_repeated_event_waits_no_leak () =
+  (* Waiting many times on the same event must keep exactly one live
+     subscriber at a time (the one-shot resumes unsubscribe). *)
+  let k = De.create () in
+  let tick = De.Event.create k "tick" in
+  let count = ref 0 in
+  De.Thread.spawn k ~name:"w" (fun () ->
+      for _ = 1 to 50 do
+        De.Thread.wait_event k tick;
+        incr count
+      done);
+  let driver =
+    De.spawn k ~name:"driver" (fun () ->
+        if De.now_ps k < 5000 then De.Event.notify_delayed tick ~delay_ps:100)
+  in
+  De.Event.sensitize driver tick;
+  De.Event.notify_delayed tick ~delay_ps:100;
+  De.run k;
+  Alcotest.(check int) "all ticks seen" 50 !count
+
+(* TDF *)
+
+let test_tdf_schedule_order () =
+  let k = De.create () in
+  let c = Tdf.create_cluster k ~name:"c" ~timestep_ps:10 in
+  let p1 = Tdf.port c "p1" ~rate:1 in
+  let p2 = Tdf.port c "p2" ~rate:1 in
+  let order = ref [] in
+  (* Register consumer first: the schedule must still run producers
+     first. *)
+  let _sink =
+    Tdf.add_module c ~name:"sink" ~reads:[ p2 ] ~writes:[] (fun () ->
+        order := "sink" :: !order)
+  in
+  let _mid =
+    Tdf.add_module c ~name:"mid" ~reads:[ p1 ] ~writes:[ p2 ] (fun () ->
+        order := "mid" :: !order;
+        Tdf.write p2 0 (Tdf.read p1 0 +. 1.0))
+  in
+  let _src =
+    Tdf.add_module c ~name:"src" ~reads:[] ~writes:[ p1 ] (fun () ->
+        order := "src" :: !order;
+        Tdf.write p1 0 5.0)
+  in
+  Tdf.start c ~until_ps:10;
+  De.run_until k ~ps:10;
+  Alcotest.(check (list string)) "topological order" [ "src"; "mid"; "sink" ]
+    (List.rev !order);
+  Alcotest.(check (float 0.0)) "token flowed" 6.0 (Tdf.read p2 0)
+
+let test_tdf_cycle_rejected () =
+  let k = De.create () in
+  let c = Tdf.create_cluster k ~name:"c" ~timestep_ps:10 in
+  let a = Tdf.port c "a" ~rate:1 and b = Tdf.port c "b" ~rate:1 in
+  let _m1 = Tdf.add_module c ~name:"m1" ~reads:[ a ] ~writes:[ b ] (fun () -> ()) in
+  let _m2 = Tdf.add_module c ~name:"m2" ~reads:[ b ] ~writes:[ a ] (fun () -> ()) in
+  Alcotest.(check bool) "combinational cycle rejected" true
+    (try
+       Tdf.start c ~until_ps:10;
+       false
+     with Invalid_argument _ -> true)
+
+let test_tdf_double_producer_rejected () =
+  let k = De.create () in
+  let c = Tdf.create_cluster k ~name:"c" ~timestep_ps:10 in
+  let a = Tdf.port c "a" ~rate:1 in
+  let _m1 = Tdf.add_module c ~name:"m1" ~reads:[] ~writes:[ a ] (fun () -> ()) in
+  Alcotest.(check bool) "double producer rejected" true
+    (try
+       ignore (Tdf.add_module c ~name:"m2" ~reads:[] ~writes:[ a ] (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_tdf_activation_count () =
+  let k = De.create () in
+  let c = Tdf.create_cluster k ~name:"c" ~timestep_ps:100 in
+  let a = Tdf.port c "a" ~rate:1 in
+  let _m = Tdf.add_module c ~name:"m" ~reads:[] ~writes:[ a ] (fun () -> ()) in
+  Tdf.start c ~until_ps:1000;
+  De.run_until k ~ps:1000;
+  let st = Tdf.cluster_stats c in
+  Alcotest.(check int) "ten activations" 10 st.Tdf.activations
+
+let test_tdf_multirate_decimation () =
+  (* Source fires twice per activation (rate-1 writes), a 2:1 decimator
+     averages each pair, the sink sees one token per activation. *)
+  let k = De.create () in
+  let c = Tdf.create_cluster k ~name:"deci" ~timestep_ps:100 in
+  let hi = Tdf.port c "hi" ~rate:1 in
+  let lo = Tdf.port c "lo" ~rate:1 in
+  let counter = ref 0.0 in
+  let _src =
+    Tdf.add_module_rated c ~name:"src" ~reads:[] ~writes:[ (hi, 1) ]
+      (fun _rep ->
+        counter := !counter +. 1.0;
+        Tdf.write hi 0 !counter)
+  in
+  let _decim =
+    Tdf.add_module_rated c ~name:"decim" ~reads:[ (hi, 2) ]
+      ~writes:[ (lo, 1) ] (fun _rep ->
+        Tdf.write lo 0 ((Tdf.read hi 0 +. Tdf.read hi 1) /. 2.0))
+  in
+  let seen = ref [] in
+  let _sink =
+    Tdf.add_module_rated c ~name:"sink" ~reads:[ (lo, 1) ] ~writes:[]
+      (fun _rep -> seen := Tdf.read lo 0 :: !seen)
+  in
+  Tdf.start c ~until_ps:300;
+  De.run_until k ~ps:300;
+  (* Activations at 100/200/300: pairs (1,2) (3,4) (5,6). *)
+  Alcotest.(check (list (float 1e-12))) "decimated averages"
+    [ 1.5; 3.5; 5.5 ] (List.rev !seen);
+  let st = Tdf.cluster_stats c in
+  Alcotest.(check int) "firings per activation: 2+1+1" 4 st.Tdf.schedule_length
+
+let test_tdf_multirate_interpolation () =
+  (* 1:3 expander: one input token, three output tokens. *)
+  let k = De.create () in
+  let c = Tdf.create_cluster k ~name:"interp" ~timestep_ps:100 in
+  let a = Tdf.port c "a" ~rate:1 in
+  let b = Tdf.port c "b" ~rate:1 in
+  let _src =
+    Tdf.add_module_rated c ~name:"src" ~reads:[] ~writes:[ (a, 1) ]
+      (fun _ -> Tdf.write a 0 10.0)
+  in
+  let _expand =
+    Tdf.add_module_rated c ~name:"expand" ~reads:[ (a, 1) ] ~writes:[ (b, 3) ]
+      (fun _ ->
+        let v = Tdf.read a 0 in
+        Tdf.write b 0 v;
+        Tdf.write b 1 (v +. 1.0);
+        Tdf.write b 2 (v +. 2.0))
+  in
+  let seen = ref [] in
+  let _sink =
+    Tdf.add_module_rated c ~name:"sink" ~reads:[ (b, 1) ] ~writes:[]
+      (fun _ -> seen := Tdf.read b 0 :: !seen)
+  in
+  Tdf.start c ~until_ps:100;
+  De.run_until k ~ps:100;
+  Alcotest.(check (list (float 1e-12))) "expanded stream" [ 10.0; 11.0; 12.0 ]
+    (List.rev !seen)
+
+let test_tdf_inconsistent_rates () =
+  (* A rate loop that cannot be balanced must be rejected. *)
+  let k = De.create () in
+  let c = Tdf.create_cluster k ~name:"bad" ~timestep_ps:100 in
+  let a = Tdf.port c "a" ~rate:1 in
+  let b = Tdf.port c "b" ~rate:1 in
+  (* m1 -> a -> m2 -> b -> m3, and m1 -> b' ... build inconsistency with
+     two paths of different rate products between the same modules. *)
+  let cport = Tdf.port c "c" ~rate:1 in
+  let _m1 =
+    Tdf.add_module_rated c ~name:"m1" ~reads:[] ~writes:[ (a, 1); (b, 2) ]
+      (fun _ -> ())
+  in
+  let _m2 =
+    Tdf.add_module_rated c ~name:"m2" ~reads:[ (a, 1) ] ~writes:[ (cport, 1) ]
+      (fun _ -> ())
+  in
+  let _m3 =
+    Tdf.add_module_rated c ~name:"m3" ~reads:[ (b, 1); (cport, 1) ] ~writes:[]
+      (fun _ -> ())
+  in
+  Alcotest.(check bool) "inconsistent rates rejected" true
+    (try
+       Tdf.start c ~until_ps:100;
+       false
+     with Invalid_argument _ -> true)
+
+(* Tracing *)
+
+let test_tracing_vcd () =
+  let k = De.create () in
+  let s = De.Signal.float_signal k ~name:"s" 0.0 in
+  let rec_ = De.Tracing.create k in
+  De.Tracing.watch rec_ ~name:"sig_s" s;
+  let e = De.Event.create k "e" in
+  let p =
+    De.spawn k ~name:"driver" (fun () ->
+        De.Signal.write s (De.now k *. 1e12);
+        if De.now_ps k < 3000 then De.Event.notify_delayed e ~delay_ps:1000)
+  in
+  De.Event.sensitize p e;
+  De.Event.notify_delayed e ~delay_ps:1000;
+  De.run k;
+  let traces = De.Tracing.traces rec_ in
+  Alcotest.(check int) "one signal" 1 (List.length traces);
+  let _, tr = List.hd traces in
+  (* initial sample + three changes *)
+  Alcotest.(check int) "samples" 4 (Amsvp_util.Trace.length tr);
+  let doc = De.Tracing.to_vcd rec_ in
+  Alcotest.(check bool) "vcd var" true
+    (let rec contains i =
+       i + 5 <= String.length doc
+       && (String.sub doc i 5 = "sig_s" || contains (i + 1))
+     in
+     contains 0)
+
+(* Wrappers: the same abstracted model must produce identical traces
+   under every MoC (only the machinery differs). *)
+
+let test_wrappers_agree () =
+  let dt = 1e-6 in
+  let tc = Circuits.rc_ladder 1 in
+  let rep = Flow.abstract_testcase tc ~dt in
+  let p = rep.Flow.program in
+  let t_stop = 1e-3 in
+  let cpp = Wrap.run_cpp p ~stimuli:tc.Circuits.stimuli ~t_stop in
+  let de = Wrap.run_de p ~stimuli:tc.Circuits.stimuli ~t_stop in
+  let tdf = Wrap.run_tdf p ~stimuli:tc.Circuits.stimuli ~t_stop in
+  let check_equal name a b =
+    Alcotest.(check int) (name ^ " length") (Trace.length a) (Trace.length b);
+    for i = 0 to Trace.length a - 1 do
+      if abs_float (Trace.value a i -. Trace.value b i) > 1e-12 then
+        Alcotest.failf "%s differs at sample %d" name i
+    done
+  in
+  check_equal "de vs cpp" cpp.Wrap.trace de.Wrap.trace;
+  check_equal "tdf vs cpp" cpp.Wrap.trace tdf.Wrap.trace
+
+let test_eln_wrapper_matches_engine () =
+  let dt = 1e-6 and t_stop = 1e-3 in
+  let tc = Circuits.rc_ladder 2 in
+  let wrapped =
+    Wrap.run_eln tc.Circuits.circuit ~inputs:tc.Circuits.stimuli
+      ~output:tc.Circuits.output ~dt ~t_stop
+  in
+  let direct = Engine.run_testcase_eln tc ~dt ~t_stop in
+  let err =
+    Metrics.nrmse_traces ~reference:direct.Engine.trace wrapped.Wrap.trace
+      ~t0:0.0 ~dt:(2.0 *. dt) ~n:499
+  in
+  Alcotest.(check bool) "identical dynamics" true (err < 1e-12)
+
+let () =
+  Alcotest.run "sysc"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "timed ordering" `Quick test_timed_ordering;
+          Alcotest.test_case "signal request/update" `Quick
+            test_signal_update_semantics;
+          Alcotest.test_case "no event on unchanged write" `Quick
+            test_no_event_on_unchanged_write;
+          Alcotest.test_case "notification collapse" `Quick test_notify_collapse;
+          Alcotest.test_case "run_until boundary" `Quick test_run_until_boundary;
+          Alcotest.test_case "stats" `Quick test_stats_counted;
+        ] );
+      ( "threads",
+        [
+          Alcotest.test_case "clock generator" `Quick test_thread_clock_generator;
+          Alcotest.test_case "event handshake" `Quick test_thread_event_handshake;
+          Alcotest.test_case "timed sequencing" `Quick
+            test_thread_sequencing_with_time;
+          Alcotest.test_case "wait outside thread" `Quick
+            test_wait_outside_thread_rejected;
+          Alcotest.test_case "no subscriber leak" `Quick
+            test_thread_repeated_event_waits_no_leak;
+        ] );
+      ( "tdf",
+        [
+          Alcotest.test_case "static schedule order" `Quick test_tdf_schedule_order;
+          Alcotest.test_case "cycle rejected" `Quick test_tdf_cycle_rejected;
+          Alcotest.test_case "double producer rejected" `Quick
+            test_tdf_double_producer_rejected;
+          Alcotest.test_case "activation count" `Quick test_tdf_activation_count;
+          Alcotest.test_case "multirate decimation" `Quick
+            test_tdf_multirate_decimation;
+          Alcotest.test_case "multirate interpolation" `Quick
+            test_tdf_multirate_interpolation;
+          Alcotest.test_case "inconsistent rates" `Quick
+            test_tdf_inconsistent_rates;
+        ] );
+      ("tracing", [ Alcotest.test_case "vcd export" `Quick test_tracing_vcd ]);
+      ( "wrappers",
+        [
+          Alcotest.test_case "MoCs agree on the model" `Quick test_wrappers_agree;
+          Alcotest.test_case "ELN wrapper vs engine" `Quick
+            test_eln_wrapper_matches_engine;
+        ] );
+    ]
