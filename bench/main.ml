@@ -29,8 +29,55 @@ module Trace = Amsvp_util.Trace
 module Metrics = Amsvp_util.Metrics
 module Sources = Amsvp_vams.Sources
 module Elaborate = Amsvp_vams.Elaborate
+module Obs = Amsvp_obs.Obs
 
 let dt = 50e-9 (* the paper's time step (Section V-A) *)
+
+(* Machine-readable results, one row per (table, component, target):
+   written to BENCH_results.json so the perf trajectory can be compared
+   across commits without scraping the human-readable tables. *)
+type bench_row = {
+  row_table : string;
+  row_comp : string;
+  row_target : string;
+  row_method : string;
+  row_time_s : float;
+  row_nrmse : float option;
+}
+
+let bench_rows : bench_row list ref = ref []
+
+let record ~table ~comp ~target ?(meth = "") ?nrmse time_s =
+  bench_rows :=
+    {
+      row_table = table;
+      row_comp = comp;
+      row_target = target;
+      row_method = meth;
+      row_time_s = time_s;
+      row_nrmse = nrmse;
+    }
+    :: !bench_rows
+
+let results_json ~quick ~total_wall_s =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\n  \"bench\": \"amsvp\",\n  \"quick\": %b,\n  \"dt\": %g,\n  \
+     \"total_wall_s\": %.6f,\n  \"rows\": [" quick dt total_wall_s;
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "\n    {\"table\": %S, \"comp\": %S, \"target\": %S, \"method\": %S, \
+         \"time_s\": %.9g"
+        r.row_table r.row_comp r.row_target r.row_method r.row_time_s;
+      (match r.row_nrmse with
+      | Some e when Float.is_finite e -> Printf.bprintf b ", \"nrmse\": %.9g" e
+      | Some _ | None -> ());
+      Buffer.add_char b '}')
+    (List.rev !bench_rows);
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -150,6 +197,11 @@ let table1 ~t_stop () =
   List.iter
     (fun (tc : Circuits.testcase) ->
       let rows = measure_rows tc ~t_stop ~with_vams:true in
+      List.iter
+        (fun r ->
+          record ~table:"table1" ~comp:tc.Circuits.label ~target:r.lang
+            ~meth:r.method_ ?nrmse:r.nrmse r.time_s)
+        rows;
       let base = (List.hd rows).time_s in
       let paper_rows =
         Option.value ~default:[] (List.assoc_opt tc.Circuits.label paper_table1)
@@ -195,6 +247,11 @@ let table2 ~t_stop () =
   List.iter
     (fun (tc : Circuits.testcase) ->
       let rows = measure_rows tc ~t_stop ~with_vams:false in
+      List.iter
+        (fun r ->
+          record ~table:"table2" ~comp:tc.Circuits.label ~target:r.lang
+            ~meth:r.method_ ?nrmse:r.nrmse r.time_s)
+        rows;
       let base = (List.hd rows).time_s in
       let paper_rows =
         Option.value ~default:[] (List.assoc_opt tc.Circuits.label paper_table2)
@@ -224,6 +281,7 @@ let table2 ~t_stop () =
     (Circuits.all_paper_cases ());
   let tc = Circuits.rc_ladder 20 in
   let rep, t = wall (fun () -> Flow.abstract_testcase tc ~dt) in
+  record ~table:"table2" ~comp:tc.Circuits.label ~target:"abstraction-tool" t;
   Printf.printf
     "Abstraction tool on RC20 (%d nodes, %d branches): %.4f s wall (paper: \
      7.67 s on the authors' machine)\n"
@@ -265,6 +323,8 @@ let table3 ~t_stop () =
                     ~t_stop ())
             in
             ignore r.Platform.uart_output;
+            record ~table:"table3" ~comp:tc.Circuits.label
+              ~target:(Platform.binding_label binding) t;
             (binding, t))
           bindings
       in
@@ -295,6 +355,8 @@ let tool_time () =
     (fun n ->
       let tc = Circuits.rc_ladder n in
       let rep = Flow.abstract_testcase tc ~dt in
+      record ~table:"tooltime" ~comp:tc.Circuits.label
+        ~target:"abstraction-flow" (Flow.total_seconds rep);
       Printf.printf "%-6s %6d %8d %8d %6d %11.3f %11.3f %12.3f %10.3f\n"
         tc.Circuits.label rep.Flow.nodes rep.Flow.branches rep.Flow.classes
         rep.Flow.definitions
@@ -559,27 +621,99 @@ let micro () =
     (fun (name, e) -> Printf.printf "%-40s %14.1f ns/iter\n" name e)
     (List.sort compare rows)
 
-let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "--quick" args in
-  let sections =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+type cli = {
+  quick : bool;
+  obs : bool;
+  trace_out : string option;
+  metrics_out : string option;
+  results_out : string option;
+  sections : string list;
+}
+
+let all_sections =
+  [ "table1"; "table2"; "table3"; "tooltime"; "ablation"; "figures"; "micro" ]
+
+let parse_cli argv =
+  let usage () =
+    prerr_endline
+      "usage: bench [--quick] [--obs] [--trace-out FILE] [--metrics-out \
+       FILE]\n\
+      \             [--results-out FILE | --no-results] [SECTION...]\n\
+       sections: table1 table2 table3 tooltime ablation figures micro";
+    exit 2
   in
-  let want s = sections = [] || List.mem s sections in
+  let rec go acc = function
+    | [] -> acc
+    | "--quick" :: rest -> go { acc with quick = true } rest
+    | "--obs" :: rest -> go { acc with obs = true } rest
+    | "--trace-out" :: f :: rest -> go { acc with trace_out = Some f } rest
+    | "--metrics-out" :: f :: rest -> go { acc with metrics_out = Some f } rest
+    | "--results-out" :: f :: rest -> go { acc with results_out = Some f } rest
+    | [ (("--trace-out" | "--metrics-out" | "--results-out") as a) ] ->
+        Printf.eprintf "bench: %s requires a FILE argument\n" a;
+        usage ()
+    | "--no-results" :: rest -> go { acc with results_out = None } rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+        Printf.eprintf "bench: unknown option %s\n" a;
+        usage ()
+    | a :: rest when List.mem a all_sections ->
+        go { acc with sections = acc.sections @ [ a ] } rest
+    | a :: _ ->
+        Printf.eprintf "bench: unknown section %s\n" a;
+        usage ()
+  in
+  go
+    {
+      quick = false;
+      obs = false;
+      trace_out = None;
+      metrics_out = None;
+      results_out = Some "BENCH_results.json";
+      sections = [];
+    }
+    (Array.to_list argv |> List.tl)
+
+let () =
+  let cli = parse_cli Sys.argv in
+  let quick = cli.quick in
+  if cli.obs || cli.trace_out <> None || cli.metrics_out <> None then
+    Obs.enable ();
+  let want s = cli.sections = [] || List.mem s cli.sections in
+  let section name f =
+    if want name then Obs.with_span ~cat:"bench" ("bench." ^ name) f
+  in
   let scale x = if quick then x /. 10.0 else x in
   let t1 = scale 10e-3 and t2 = scale 50e-3 and t3 = scale 1e-3 in
+  let wall_start = Unix.gettimeofday () in
   Printf.printf "amsvp benchmark harness -- Fraccaroli et al., DATE 2016\n";
-  if want "table1" then table1 ~t_stop:t1 ();
-  if want "table2" then table2 ~t_stop:t2 ();
-  if want "table3" then table3 ~t_stop:t3 ();
-  if want "tooltime" then tool_time ();
-  if want "ablation" then begin
-    ablation ~t_stop:(scale 5e-3) ();
-    ablation_integration ~t_stop:2e-3 ();
-    ablation_sparse ()
-  end;
-  if want "figures" then figures ();
-  if want "micro" then micro ();
+  section "table1" (fun () -> table1 ~t_stop:t1 ());
+  section "table2" (fun () -> table2 ~t_stop:t2 ());
+  section "table3" (fun () -> table3 ~t_stop:t3 ());
+  section "tooltime" (fun () -> tool_time ());
+  section "ablation" (fun () ->
+      ablation ~t_stop:(scale 5e-3) ();
+      ablation_integration ~t_stop:2e-3 ();
+      ablation_sparse ());
+  section "figures" (fun () -> figures ());
+  section "micro" (fun () -> micro ());
+  let total_wall_s = Unix.gettimeofday () -. wall_start in
+  (match cli.results_out with
+  | Some path ->
+      Obs.write_file path (results_json ~quick ~total_wall_s);
+      Printf.printf "bench results written to %s\n" path
+  | None -> ());
+  (match cli.trace_out with
+  | Some path ->
+      Obs.write_file path (Obs.chrome_trace ());
+      Printf.printf "chrome trace written to %s\n" path
+  | None -> ());
+  (match cli.metrics_out with
+  | Some path ->
+      Obs.write_file path (Obs.prometheus ());
+      Printf.printf "metrics written to %s\n" path
+  | None -> ());
+  if cli.obs then prerr_string (Obs.summary ());
   print_newline ();
   line ();
   print_endline "benchmark harness done.";

@@ -25,6 +25,56 @@ module Wrap = Amsvp_sysc.Wrap
 module Engine = Amsvp_mna.Engine
 module Stimulus = Amsvp_util.Stimulus
 module Trace = Amsvp_util.Trace
+module Obs = Amsvp_obs.Obs
+
+(* Observability flags, shared by the flow-running subcommands: --obs
+   prints a summary to stderr on exit, --trace-out/--metrics-out write
+   the Chrome trace / Prometheus dumps (and imply recording). *)
+let obs_flags =
+  let obs =
+    Arg.(value & flag
+         & info [ "obs" ]
+             ~doc:"Record spans and metrics; print a summary to stderr on \
+                   exit.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON (open in Perfetto or \
+                   chrome://tracing) to $(docv). Implies recording.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write a Prometheus-style metrics dump to $(docv). Implies \
+                   recording.")
+  in
+  Term.(const (fun obs trace_out metrics_out -> (obs, trace_out, metrics_out))
+        $ obs $ trace_out $ metrics_out)
+
+let with_obs (obs, trace_out, metrics_out) f =
+  if obs || trace_out <> None || metrics_out <> None then Obs.enable ();
+  (* The sinks dump even when [f] fails, but a sink-write failure must
+     not mask [f]'s outcome — report it cleanly and exit non-zero. *)
+  let write_failed = ref false in
+  let dump path contents =
+    try Obs.write_file path contents
+    with Sys_error msg ->
+      Printf.eprintf "amsvp: cannot write %s: %s\n" path msg;
+      write_failed := true
+  in
+  let result =
+    Fun.protect f ~finally:(fun () ->
+        (match trace_out with
+        | Some path -> dump path (Obs.chrome_trace ())
+        | None -> ());
+        (match metrics_out with
+        | Some path -> dump path (Obs.prometheus ())
+        | None -> ());
+        if obs then prerr_string (Obs.summary ()))
+  in
+  if !write_failed then exit 1;
+  result
 
 (* "V(out,gnd)" / "V(out)" -> potential variable *)
 let parse_output s =
@@ -168,19 +218,23 @@ let target_arg =
              reloadable $(b,program) text format.")
 
 let abstract_cmd =
-  let run file top output dt mode integration lang inputs target =
-    let report = abstract_model file top output dt mode integration lang inputs in
-    match target with
-    | `Codegen t -> print_string (Codegen.emit t report.Flow.program)
-    | `Program ->
-        print_string (Amsvp_sf.Serialize.program_to_string report.Flow.program)
+  let run obscfg file top output dt mode integration lang inputs target =
+    with_obs obscfg (fun () ->
+        let report =
+          abstract_model file top output dt mode integration lang inputs
+        in
+        match target with
+        | `Codegen t -> print_string (Codegen.emit t report.Flow.program)
+        | `Program ->
+            print_string
+              (Amsvp_sf.Serialize.program_to_string report.Flow.program))
   in
   Cmd.v
     (Cmd.info "abstract"
        ~doc:"Abstract a Verilog-AMS or VHDL-AMS model and emit C++/SystemC \
              source.")
-    Term.(const run $ file_arg $ top_arg $ out_arg $ dt_arg $ mode_arg
-          $ integration_arg $ lang_arg $ inputs_arg $ target_arg)
+    Term.(const run $ obs_flags $ file_arg $ top_arg $ out_arg $ dt_arg
+          $ mode_arg $ integration_arg $ lang_arg $ inputs_arg $ target_arg)
 
 (* simulate *)
 
@@ -211,8 +265,9 @@ let from_program_arg =
              (written by $(b,abstract --target program)).")
 
 let simulate_cmd =
-  let run file top output dt mode integration lang inputs from_program moc
-      t_stop (period, low, high) samples =
+  let run obscfg file top output dt mode integration lang inputs from_program
+      moc t_stop (period, low, high) samples =
+    with_obs obscfg @@ fun () ->
     with_frontend_errors (fun () ->
         let p =
           match from_program with
@@ -266,21 +321,24 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Simulate a Verilog-AMS or VHDL-AMS model under a chosen MoC.")
-    Term.(const run $ file_arg $ top_arg $ out_arg $ dt_arg $ mode_arg
-          $ integration_arg $ lang_arg $ inputs_arg $ from_program_arg
-          $ moc_arg $ t_stop_arg $ square_arg $ samples_arg)
+    Term.(const run $ obs_flags $ file_arg $ top_arg $ out_arg $ dt_arg
+          $ mode_arg $ integration_arg $ lang_arg $ inputs_arg
+          $ from_program_arg $ moc_arg $ t_stop_arg $ square_arg $ samples_arg)
 
 (* report *)
 
 let report_cmd =
-  let run file top output dt mode integration lang inputs =
-    let report = abstract_model file top output dt mode integration lang inputs in
-    Format.printf "%a@." Flow.pp_report report
+  let run obscfg file top output dt mode integration lang inputs =
+    with_obs obscfg (fun () ->
+        let report =
+          abstract_model file top output dt mode integration lang inputs
+        in
+        Format.printf "%a@." Flow.pp_report report)
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Print the abstraction pipeline report.")
-    Term.(const run $ file_arg $ top_arg $ out_arg $ dt_arg $ mode_arg
-          $ integration_arg $ lang_arg $ inputs_arg)
+    Term.(const run $ obs_flags $ file_arg $ top_arg $ out_arg $ dt_arg
+          $ mode_arg $ integration_arg $ lang_arg $ inputs_arg)
 
 (* op / netlist *)
 

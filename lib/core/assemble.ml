@@ -37,7 +37,13 @@ let set_status st v s =
   st.journal <- Status_set (v, status_of st v) :: st.journal;
   Hashtbl.replace st.status v s
 
+let c_class_disables =
+  Amsvp_obs.Obs.Counter.make
+    ~help:"equation classes disabled while assembling (incl. backtracked)"
+    "amsvp_flow_class_disables_total"
+
 let disable st id =
+  Amsvp_obs.Obs.Counter.incr c_class_disables;
   Eqmap.disable_class st.map id;
   st.journal <- Class_disabled id :: st.journal
 

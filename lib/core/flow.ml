@@ -3,6 +3,10 @@ module Component = Amsvp_netlist.Component
 module Graph = Amsvp_netlist.Graph
 module Circuits = Amsvp_netlist.Circuits
 module Sfprogram = Amsvp_sf.Sfprogram
+module Obs = Amsvp_obs.Obs
+
+let c_abstractions =
+  Obs.Counter.make ~help:"abstraction flow runs" "amsvp_flow_abstractions_total"
 
 type report = {
   program : Sfprogram.t;
@@ -20,10 +24,10 @@ type report = {
 let total_seconds r =
   r.acquisition_s +. r.enrichment_s +. r.assemble_s +. r.solve_s
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let y = f () in
-  (y, Unix.gettimeofday () -. t0)
+(* Stage timings come from the span recorder's monotonic clock; the
+   duration is returned even with the recorder off so [report] is always
+   populated, and the span event is recorded when it is on. *)
+let timed name f = Obs.timed ~cat:"flow" name f
 
 (* A potential that must be observable — an output of interest, or the
    sensing pair of a controlled source — but is not the branch
@@ -85,15 +89,22 @@ let insert_probes circuit ~outputs = with_probes circuit outputs
 let abstract_circuit ?(name = "abstracted") ?(mode = `Auto)
     ?(integration = `Backward_euler) circuit ~outputs ~dt =
   if outputs = [] then invalid_arg "Flow: no outputs of interest";
+  Obs.with_span ~cat:"flow" ~args:[ ("model", name) ] "flow.abstract"
+  @@ fun () ->
+  Obs.Counter.incr c_abstractions;
   let circuit = with_probes circuit outputs in
   let inputs = Circuit.input_signals circuit in
-  let acq, acquisition_s = timed (fun () -> Acquisition.of_circuit circuit) in
-  let (map, stats), enrichment_s = timed (fun () -> Enrich.enrich acq) in
+  let acq, acquisition_s =
+    timed "flow.acquisition" (fun () -> Acquisition.of_circuit circuit)
+  in
+  let (map, stats), enrichment_s =
+    timed "flow.enrich" (fun () -> Enrich.enrich acq)
+  in
   let asm, assemble_s =
-    timed (fun () -> Assemble.assemble map ~inputs ~outputs)
+    timed "flow.assemble" (fun () -> Assemble.assemble map ~inputs ~outputs)
   in
   let program, solve_s =
-    timed (fun () -> Solve.solve ~mode ~integration ~name ~dt asm)
+    timed "flow.solve" (fun () -> Solve.solve ~mode ~integration ~name ~dt asm)
   in
   {
     program;

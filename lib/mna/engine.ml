@@ -1,5 +1,34 @@
 module Trace = Amsvp_util.Trace
 module Circuits = Amsvp_netlist.Circuits
+module Obs = Amsvp_obs.Obs
+
+(* Registry-backed solver counters: the per-run [stats] record is still
+   returned (tests and callers depend on the per-run values); the global
+   counters accumulate across runs and feed the metrics sinks. *)
+let c_steps = Obs.Counter.make ~help:"MNA reporting steps" "amsvp_mna_steps_total"
+
+let c_device_evals =
+  Obs.Counter.make ~help:"full device-evaluation (re-stamp) passes"
+    "amsvp_mna_device_evals_total"
+
+let c_factorizations =
+  Obs.Counter.make ~help:"LU factorisations" "amsvp_mna_factorizations_total"
+
+let c_solves =
+  Obs.Counter.make ~help:"triangular solves" "amsvp_mna_solves_total"
+
+let c_rhs_builds =
+  Obs.Counter.make ~help:"RHS vector builds" "amsvp_mna_rhs_builds_total"
+
+let h_solver_passes =
+  Obs.Histogram.make
+    ~help:"solver passes (substeps x Newton iterations) per reporting step"
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 24.; 32.; 48.; 64.; 128. |]
+    "amsvp_mna_solver_passes_per_step"
+
+let g_matrix_dim =
+  Obs.Gauge.make ~help:"dimension of the last MNA system built"
+    "amsvp_mna_matrix_dim"
 
 type stats = {
   steps : int;
@@ -27,6 +56,7 @@ let spice_like ?(substeps = 8) ?(iterations = 3) circuit ~inputs ~output ~dt
   check_args ~dt ~t_stop;
   if substeps < 1 || iterations < 1 then
     invalid_arg "Engine.spice_like: substeps and iterations must be >= 1";
+  Obs.with_span ~cat:"mna" "mna.spice_like" @@ fun () ->
   let sys = System.build circuit in
   let n = System.size sys in
   let input_at = input_fun inputs in
@@ -64,10 +94,18 @@ let spice_like ?(substeps = 8) ?(iterations = 3) circuit ~inputs ~output ~dt
       done;
       x := !x_next
     done;
+    Obs.Histogram.observe h_solver_passes
+      (float_of_int (substeps * iterations));
     Trace.add trace
       ~time:(float_of_int step *. dt)
       ~value:(System.output_value sys output !x)
   done;
+  Obs.Counter.add c_steps nsteps;
+  Obs.Counter.add c_device_evals !device_evals;
+  Obs.Counter.add c_factorizations !factorizations;
+  Obs.Counter.add c_solves !solves;
+  Obs.Counter.add c_rhs_builds !solves;
+  Obs.Gauge.set g_matrix_dim (float_of_int n);
   {
     trace;
     stats =
@@ -85,6 +123,7 @@ let eln_like ?(on_step = fun _ _ -> ()) circuit ~inputs ~output ~dt ~t_stop =
   if Amsvp_netlist.Circuit.has_pwl circuit then
     invalid_arg "Engine.eln_like: the linear-network engine cannot simulate \
                  piecewise-linear devices";
+  Obs.with_span ~cat:"mna" "mna.eln_like" @@ fun () ->
   let sys = System.build circuit in
   let n = System.size sys in
   let input_at = input_fun inputs in
@@ -108,6 +147,12 @@ let eln_like ?(on_step = fun _ _ -> ()) circuit ~inputs ~output ~dt ~t_stop =
     Trace.add trace ~time:t ~value:out;
     on_step t out
   done;
+  Obs.Counter.add c_steps nsteps;
+  Obs.Counter.add c_device_evals 1;
+  Obs.Counter.add c_factorizations 1;
+  Obs.Counter.add c_solves !solves;
+  Obs.Counter.add c_rhs_builds !solves;
+  Obs.Gauge.set g_matrix_dim (float_of_int n);
   {
     trace;
     stats =
@@ -170,6 +215,9 @@ module Eln_stepper = struct
     (match st.lu with
     | Dense lu -> Matrix.lu_solve_into lu ~b:st.rhs ~x:st.x_next
     | Sparse_lu lu -> Sparse.lu_solve_into lu ~b:st.rhs ~x:st.x_next);
+    Obs.Counter.incr c_steps;
+    Obs.Counter.incr c_solves;
+    Obs.Counter.incr c_rhs_builds;
     Array.blit st.x_next 0 st.x 0 (Array.length st.x);
     st.out <- System.output_value st.sys st.output_var st.x;
     st.out
@@ -236,6 +284,13 @@ module Spice_stepper = struct
       done;
       st.x <- !x_next
     done;
+    let passes = st.substeps * st.iterations in
+    Obs.Counter.incr c_steps;
+    Obs.Counter.add c_device_evals passes;
+    Obs.Counter.add c_factorizations passes;
+    Obs.Counter.add c_solves passes;
+    Obs.Counter.add c_rhs_builds passes;
+    Obs.Histogram.observe h_solver_passes (float_of_int passes);
     st.out <- System.output_value st.sys st.output_var st.x;
     st.out
 

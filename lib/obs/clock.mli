@@ -1,0 +1,6 @@
+(** Monotonic time source for the instrumentation layer. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the system monotonic clock, rebased to the first
+    read of the process so timestamps stay small (exact microsecond
+    floats in the Chrome trace export). Never decreases. *)

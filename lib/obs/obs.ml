@@ -1,0 +1,404 @@
+(* Span recorder + metrics registry + sinks. See obs.mli for the cost
+   model: spans are gated by [on], metrics are always live. *)
+
+type span = {
+  name : string;
+  cat : string;
+  start_ns : int;
+  dur_ns : int;
+  depth : int;
+  args : (string * string) list;
+}
+
+(* ---- enable flag ---- *)
+
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+let enable () = on := true
+let disable () = on := false
+let now_ns = Clock.now_ns
+
+(* ---- span storage: a growable buffer of completed spans ---- *)
+
+let dummy_span =
+  { name = ""; cat = ""; start_ns = 0; dur_ns = 0; depth = 0; args = [] }
+
+let buf = ref (Array.make 1024 dummy_span)
+let len = ref 0
+let depth = ref 0
+
+let push s =
+  if !len = Array.length !buf then begin
+    let bigger = Array.make (2 * !len) dummy_span in
+    Array.blit !buf 0 bigger 0 !len;
+    buf := bigger
+  end;
+  !buf.(!len) <- s;
+  incr len
+
+let span_count () = !len
+let spans () = Array.to_list (Array.sub !buf 0 !len)
+
+let close ~cat ~args name t0 =
+  let t1 = now_ns () in
+  decr depth;
+  push { name; cat; start_ns = t0; dur_ns = t1 - t0; depth = !depth; args }
+
+let with_span ?(cat = "") ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    incr depth;
+    let t0 = now_ns () in
+    match f () with
+    | y ->
+        close ~cat ~args name t0;
+        y
+    | exception e ->
+        close ~cat ~args name t0;
+        raise e
+  end
+
+let timed ?(cat = "") name f =
+  let recording = !on in
+  if recording then incr depth;
+  let t0 = now_ns () in
+  match f () with
+  | y ->
+      let t1 = now_ns () in
+      if recording then begin
+        decr depth;
+        push
+          { name; cat; start_ns = t0; dur_ns = t1 - t0; depth = !depth; args = [] }
+      end;
+      (y, float_of_int (t1 - t0) *. 1e-9)
+  | exception e ->
+      if recording then begin
+        decr depth;
+        push
+          {
+            name;
+            cat;
+            start_ns = t0;
+            dur_ns = now_ns () - t0;
+            depth = !depth;
+            args = [];
+          }
+      end;
+      raise e
+
+let instant ?(cat = "") ?(args = []) name =
+  if !on then
+    push { name; cat; start_ns = now_ns (); dur_ns = 0; depth = !depth; args }
+
+(* ---- metrics registry ---- *)
+
+type counter = { c_name : string; c_help : string; mutable c_value : int }
+type gauge = { g_name : string; g_help : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  bounds : float array;  (* ascending upper bounds; +Inf is implicit *)
+  counts : int array;  (* length = Array.length bounds + 1 *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let reg_order : string list ref = ref [] (* reverse registration order *)
+
+let register name m =
+  Hashtbl.replace registry name m;
+  reg_order := name :: !reg_order
+
+let kind_clash name =
+  invalid_arg
+    (Printf.sprintf "Obs: metric %s is already registered with another kind"
+       name)
+
+module Counter = struct
+  type t = counter
+
+  let make ?(help = "") name =
+    match Hashtbl.find_opt registry name with
+    | Some (Counter c) -> c
+    | Some _ -> kind_clash name
+    | None ->
+        let c = { c_name = name; c_help = help; c_value = 0 } in
+        register name (Counter c);
+        c
+
+  let incr c = c.c_value <- c.c_value + 1
+
+  let add c n =
+    if n < 0 then invalid_arg "Obs.Counter.add: negative increment";
+    c.c_value <- c.c_value + n
+
+  let value c = c.c_value
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make ?(help = "") name =
+    match Hashtbl.find_opt registry name with
+    | Some (Gauge g) -> g
+    | Some _ -> kind_clash name
+    | None ->
+        let g = { g_name = name; g_help = help; g_value = 0.0 } in
+        register name (Gauge g);
+        g
+
+  let set g v = g.g_value <- v
+  let value g = g.g_value
+  let name g = g.g_name
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let default_buckets =
+    [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 1e5; 1e6 |]
+
+  let make ?(help = "") ?(buckets = default_buckets) name =
+    match Hashtbl.find_opt registry name with
+    | Some (Histogram h) -> h
+    | Some _ -> kind_clash name
+    | None ->
+        if Array.length buckets = 0 then
+          invalid_arg "Obs.Histogram.make: empty bucket list";
+        Array.iteri
+          (fun i b ->
+            if i > 0 && b <= buckets.(i - 1) then
+              invalid_arg "Obs.Histogram.make: buckets must be ascending")
+          buckets;
+        let h =
+          {
+            h_name = name;
+            h_help = help;
+            bounds = Array.copy buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            h_sum = 0.0;
+            h_count = 0;
+          }
+        in
+        register name (Histogram h);
+        h
+
+  let observe h v =
+    let n = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < n && v > h.bounds.(!i) do
+      incr i
+    done;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+
+  let bucket_counts h =
+    let acc = ref 0 in
+    let cumulative =
+      Array.to_list
+        (Array.mapi
+           (fun i b ->
+             acc := !acc + h.counts.(i);
+             (b, !acc))
+           h.bounds)
+    in
+    cumulative @ [ (infinity, h.h_count) ]
+
+  let name h = h.h_name
+end
+
+let reset () =
+  len := 0;
+  depth := 0;
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.h_sum <- 0.0;
+          h.h_count <- 0)
+    registry
+
+(* ---- span aggregation (shared by the prometheus/summary sinks) ---- *)
+
+(* name -> (calls, total_ns), in first-completion order *)
+let span_aggregate () =
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  for i = 0 to !len - 1 do
+    let s = (!buf).(i) in
+    (match Hashtbl.find_opt tbl s.name with
+    | None ->
+        order := s.name :: !order;
+        Hashtbl.replace tbl s.name (1, s.dur_ns)
+    | Some (calls, total) ->
+        Hashtbl.replace tbl s.name (calls + 1, total + s.dur_ns));
+    ()
+  done;
+  List.rev_map (fun n -> (n, Hashtbl.find tbl n)) !order
+
+(* ---- sinks ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let chrome_trace () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"amsvp\"}}";
+  for i = 0 to !len - 1 do
+    let s = (!buf).(i) in
+    let cat = if s.cat = "" then "amsvp" else s.cat in
+    Buffer.add_char b ',';
+    if s.dur_ns = 0 then
+      Printf.bprintf b
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":1"
+        (json_escape s.name) (json_escape cat)
+        (float_of_int s.start_ns /. 1e3)
+    else
+      Printf.bprintf b
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1"
+        (json_escape s.name) (json_escape cat)
+        (float_of_int s.start_ns /. 1e3)
+        (float_of_int s.dur_ns /. 1e3);
+    if s.args <> [] then begin
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+        s.args;
+      Buffer.add_char b '}'
+    end;
+    Buffer.add_char b '}'
+  done;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+(* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]* *)
+let prom_name s =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    s
+
+let prometheus () =
+  let b = Buffer.create 4096 in
+  let header name help kind =
+    if help <> "" then Printf.bprintf b "# HELP %s %s\n" name help;
+    Printf.bprintf b "# TYPE %s %s\n" name kind
+  in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt registry name with
+      | None -> ()
+      | Some (Counter c) ->
+          let n = prom_name c.c_name in
+          header n c.c_help "counter";
+          Printf.bprintf b "%s %d\n" n c.c_value
+      | Some (Gauge g) ->
+          let n = prom_name g.g_name in
+          header n g.g_help "gauge";
+          Printf.bprintf b "%s %.9g\n" n g.g_value
+      | Some (Histogram h) ->
+          let n = prom_name h.h_name in
+          header n h.h_help "histogram";
+          List.iter
+            (fun (le, count) ->
+              let le_s =
+                if le = infinity then "+Inf" else Printf.sprintf "%.9g" le
+              in
+              Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" n le_s count)
+            (Histogram.bucket_counts h);
+          Printf.bprintf b "%s_sum %.9g\n" n h.h_sum;
+          Printf.bprintf b "%s_count %d\n" n h.h_count)
+    (List.rev !reg_order);
+  (* Per-span-name aggregates, so flow-stage and kernel spans show up in
+     the same scrape as the counters. *)
+  List.iter
+    (fun (name, (calls, total_ns)) ->
+      let n = "amsvp_span_" ^ prom_name name in
+      header (n ^ "_calls_total") ("completions of span " ^ name) "counter";
+      Printf.bprintf b "%s_calls_total %d\n" n calls;
+      header (n ^ "_seconds_total") ("total wall time in span " ^ name) "counter";
+      Printf.bprintf b "%s_seconds_total %.9g\n" n
+        (float_of_int total_ns *. 1e-9))
+    (span_aggregate ());
+  Buffer.contents b
+
+let summary () =
+  let b = Buffer.create 2048 in
+  let aggr = span_aggregate () in
+  if aggr <> [] then begin
+    Buffer.add_string b "spans (name, calls, total, mean):\n";
+    List.iter
+      (fun (name, (calls, total_ns)) ->
+        Printf.bprintf b "  %-40s %8d %10.3f ms %10.1f us\n" name calls
+          (float_of_int total_ns /. 1e6)
+          (float_of_int total_ns /. 1e3 /. float_of_int calls))
+      aggr
+  end;
+  let counters = ref [] and gauges = ref [] and histos = ref [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> counters := c :: !counters
+      | Some (Gauge g) -> gauges := g :: !gauges
+      | Some (Histogram h) -> histos := h :: !histos
+      | None -> ())
+    (List.rev !reg_order);
+  if !counters <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter
+      (fun (c : counter) -> Printf.bprintf b "  %-40s %12d\n" c.c_name c.c_value)
+      (List.rev !counters)
+  end;
+  if !gauges <> [] then begin
+    Buffer.add_string b "gauges:\n";
+    List.iter
+      (fun (g : gauge) -> Printf.bprintf b "  %-40s %12.6g\n" g.g_name g.g_value)
+      (List.rev !gauges)
+  end;
+  if !histos <> [] then begin
+    Buffer.add_string b "histograms:\n";
+    List.iter
+      (fun (h : histogram) ->
+        Printf.bprintf b "  %-40s count %d sum %.6g mean %.6g\n" h.h_name
+          h.h_count h.h_sum
+          (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count))
+      (List.rev !histos)
+  end;
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,132 @@
+(** Structured instrumentation: spans, counters, gauges, histograms.
+
+    Two halves, with different cost models:
+
+    - {b Spans} — nested wall-clock intervals on the monotonic clock,
+      recorded into a global in-memory buffer. Gated by a single enable
+      flag: when the recorder is off, {!with_span} costs one branch and
+      performs no clock read or allocation.
+    - {b Metrics} — a process-wide registry of named counters, gauges
+      and fixed-bucket histograms. Always live; an increment is a
+      single unboxed field update, the same cost as the ad-hoc [ref]
+      counters it replaces, so hot loops need no gating.
+
+    Three sinks export the recorded data: {!chrome_trace} (trace-event
+    JSON loadable in Perfetto / chrome://tracing), {!prometheus}
+    (text exposition format) and {!summary} (human-readable). *)
+
+(** {1 Enable flag} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+val enable : unit -> unit
+val disable : unit -> unit
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since the first clock read (see {!Clock}). *)
+
+(** {1 Spans} *)
+
+type span = {
+  name : string;
+  cat : string;  (** Chrome trace-event category ("" shows as "amsvp") *)
+  start_ns : int;
+  dur_ns : int;  (** 0 for instant events *)
+  depth : int;  (** nesting depth at entry, outermost = 0 *)
+  args : (string * string) list;
+}
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span. When the recorder is
+    disabled this is just [f ()]. The span is recorded on completion,
+    including exceptional exit (the exception is re-raised). *)
+
+val timed : ?cat:string -> string -> (unit -> 'a) -> 'a * float
+(** [timed name f] is [with_span name f] that {e always} measures and
+    returns the elapsed seconds — even when the recorder is off — so
+    callers can populate reports from one code path. The span event
+    itself is only recorded when enabled. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** Record a zero-duration event (no-op when disabled). *)
+
+val span_count : unit -> int
+
+val spans : unit -> span list
+(** Completed spans, in completion order (a nested span precedes its
+    parent). *)
+
+(** {1 Metrics registry}
+
+    Metrics are registered process-wide by name: [make] returns the
+    existing instance when called twice with the same name, and raises
+    [Invalid_argument] if the name is already bound to a different
+    metric kind. *)
+
+module Counter : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+  (** @raise Invalid_argument on a negative increment. *)
+
+  val value : t -> int
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+  val name : t -> string
+end
+
+module Histogram : sig
+  type t
+
+  val make : ?help:string -> ?buckets:float array -> string -> t
+  (** [buckets] are ascending upper bounds (["le"] semantics, an
+      implicit [+Inf] bucket is always appended). The default covers
+      1 .. 10^6 in 1-2-5 steps.
+      @raise Invalid_argument if [buckets] is empty or not strictly
+      ascending. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val bucket_counts : t -> (float * int) list
+  (** Cumulative counts per upper bound, Prometheus-style; the final
+      entry is [(infinity, count)]. *)
+
+  val name : t -> string
+end
+
+val reset : unit -> unit
+(** Clear all recorded spans and zero every registered metric (the
+    registrations themselves persist). Does not change the enable
+    flag. *)
+
+(** {1 Sinks} *)
+
+val chrome_trace : unit -> string
+(** The recorded spans as a Chrome trace-event JSON document
+    ([{"traceEvents": [...]}]), timestamps in microseconds. Open in
+    Perfetto ({:https://ui.perfetto.dev}) or chrome://tracing. *)
+
+val prometheus : unit -> string
+(** Every registered metric in the Prometheus text exposition format,
+    followed by per-span-name aggregates
+    ([amsvp_span_<name>_calls_total] / [..._seconds_total]). *)
+
+val summary : unit -> string
+(** Human-readable dump: span aggregates (calls, total, mean), then
+    counters, gauges and histograms. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — tiny helper shared by the CLI sinks. *)

@@ -98,7 +98,17 @@ let pp ppf p =
   Format.fprintf ppf "@]"
 
 module Runner = struct
+  module Obs = Amsvp_obs.Obs
+
   type program = t
+
+  (* Signal-flow interpreter counters: one tick = one [step] call, one
+     op = one compiled assignment evaluated. *)
+  let c_ticks = Obs.Counter.make ~help:"signal-flow steps" "amsvp_sf_ticks_total"
+
+  let c_ops =
+    Obs.Counter.make ~help:"signal-flow assignments evaluated"
+      "amsvp_sf_ops_total"
 
   type t = {
     program : program;
@@ -194,12 +204,16 @@ module Runner = struct
     for i = 0 to Array.length r.rotations - 1 do
       let dst, src = r.rotations.(i) in
       r.slots.(dst) <- r.slots.(src)
-    done
+    done;
+    Obs.Counter.incr c_ticks;
+    Obs.Counter.add c_ops (Array.length r.steps)
 
   let output r i = r.slots.(r.output_slots.(i))
   let read r v = r.slots.(r.slot_of v)
 
   let run r ~stimuli ~t_stop ?(probe = 0) () =
+    Obs.with_span ~cat:"sf" ~args:[ ("program", r.program.name) ] "sf.run"
+    @@ fun () ->
     reset r;
     let dt = r.program.dt in
     let nsteps = int_of_float (Float.round (t_stop /. dt)) in

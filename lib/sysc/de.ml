@@ -182,7 +182,31 @@ let fire_current_time k =
   in
   loop ()
 
+(* Kernel counters mirrored into the metrics registry: [run_until] adds
+   the delta accumulated by this kernel instance on exit, so repeated
+   runs and multiple kernels aggregate correctly. *)
+let c_activations =
+  Amsvp_obs.Obs.Counter.make ~help:"DE process activations"
+    "amsvp_de_activations_total"
+
+let c_delta_cycles =
+  Amsvp_obs.Obs.Counter.make ~help:"DE delta cycles"
+    "amsvp_de_delta_cycles_total"
+
+let c_timed_notifications =
+  Amsvp_obs.Obs.Counter.make ~help:"DE timed event notifications"
+    "amsvp_de_timed_notifications_total"
+
+let c_signal_updates =
+  Amsvp_obs.Obs.Counter.make ~help:"DE signal update-phase evaluations"
+    "amsvp_de_signal_updates_total"
+
 let run_until k ~ps =
+  Amsvp_obs.Obs.with_span ~cat:"sysc" "de.run_until" @@ fun () ->
+  let activations0 = k.activations
+  and delta_cycles0 = k.delta_cycles
+  and timed0 = k.timed_notifications
+  and updates0 = k.signal_updates in
   let rec loop () =
     fire_current_time k;
     drain_instant k;
@@ -203,7 +227,12 @@ let run_until k ~ps =
         loop ()
     | Some _ | None -> ()
   in
-  loop ()
+  loop ();
+  Amsvp_obs.Obs.Counter.add c_activations (k.activations - activations0);
+  Amsvp_obs.Obs.Counter.add c_delta_cycles (k.delta_cycles - delta_cycles0);
+  Amsvp_obs.Obs.Counter.add c_timed_notifications
+    (k.timed_notifications - timed0);
+  Amsvp_obs.Obs.Counter.add c_signal_updates (k.signal_updates - updates0)
 
 let run k = run_until k ~ps:max_int
 

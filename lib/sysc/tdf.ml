@@ -221,13 +221,27 @@ let compute_schedule c =
     c.ports;
   Array.of_list (List.rev !order)
 
+let c_cluster_activations =
+  Amsvp_obs.Obs.Counter.make ~help:"TDF cluster schedule replays"
+    "amsvp_tdf_cluster_activations_total"
+
+let c_module_activations =
+  Amsvp_obs.Obs.Counter.make
+    ~help:"TDF module body invocations (incl. repetitions)"
+    "amsvp_tdf_module_activations_total"
+
 let start c ~until_ps =
   if c.started then invalid_arg "Tdf.start: already started";
   c.schedule <- compute_schedule c;
   c.started <- true;
+  let schedule_length =
+    Array.fold_left (fun acc (_, reps) -> acc + reps) 0 c.schedule
+  in
   let proc =
     De.spawn c.kernel ~name:(c.cname ^ ".cluster") (fun () ->
         c.activations <- c.activations + 1;
+        Amsvp_obs.Obs.Counter.incr c_cluster_activations;
+        Amsvp_obs.Obs.Counter.add c_module_activations schedule_length;
         (* Replay the static schedule with repetition counts. *)
         for i = 0 to Array.length c.schedule - 1 do
           let m, reps = c.schedule.(i) in

@@ -1,5 +1,6 @@
 module Trace = Amsvp_util.Trace
 module Sfprogram = Amsvp_sf.Sfprogram
+module Obs = Amsvp_obs.Obs
 
 type result = { trace : Trace.t; de_stats : De.stats option }
 
@@ -15,12 +16,18 @@ let stimuli_for (p : Sfprogram.t) bindings =
 let steps_of ~dt ~t_stop = int_of_float (Float.round (t_stop /. dt))
 
 let run_cpp p ~stimuli ~t_stop =
+  Obs.with_span ~cat:"sysc" ~args:[ ("program", p.Sfprogram.name) ]
+    "wrap.run_cpp"
+  @@ fun () ->
   let runner = Sfprogram.Runner.create p in
   let stims = stimuli_for p stimuli in
   let trace = Sfprogram.Runner.run runner ~stimuli:stims ~t_stop () in
   { trace; de_stats = None }
 
 let run_de p ~stimuli ~t_stop =
+  Obs.with_span ~cat:"sysc" ~args:[ ("program", p.Sfprogram.name) ]
+    "wrap.run_de"
+  @@ fun () ->
   let kernel = De.create () in
   let runner = Sfprogram.Runner.create p in
   let stims = stimuli_for p stimuli in
@@ -57,6 +64,9 @@ let run_de p ~stimuli ~t_stop =
   { trace; de_stats = Some (De.stats kernel) }
 
 let run_tdf p ~stimuli ~t_stop =
+  Obs.with_span ~cat:"sysc" ~args:[ ("program", p.Sfprogram.name) ]
+    "wrap.run_tdf"
+  @@ fun () ->
   let kernel = De.create () in
   let runner = Sfprogram.Runner.create p in
   let stims = stimuli_for p stimuli in
@@ -108,6 +118,7 @@ let run_tdf p ~stimuli ~t_stop =
   { trace; de_stats = Some (De.stats kernel) }
 
 let run_eln circuit ~inputs ~output ~dt ~t_stop =
+  Obs.with_span ~cat:"sysc" "wrap.run_eln" @@ fun () ->
   let kernel = De.create () in
   let names = List.map fst inputs in
   let stims = Array.of_list (List.map snd inputs) in

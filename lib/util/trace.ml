@@ -18,7 +18,10 @@ let grow tr =
 
 let add tr ~time ~value =
   if tr.len = Array.length tr.times then grow tr;
-  assert (tr.len = 0 || time >= tr.times.(tr.len - 1));
+  (* Not an assert: the check must survive release builds, or a
+     non-monotonic sample silently corrupts every later interpolation. *)
+  if tr.len > 0 && time < tr.times.(tr.len - 1) then
+    invalid_arg "Trace.add: non-monotonic time";
   tr.times.(tr.len) <- time;
   tr.values.(tr.len) <- value;
   tr.len <- tr.len + 1

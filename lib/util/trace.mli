@@ -12,7 +12,8 @@ type t
 val create : ?capacity:int -> unit -> t
 
 (** [add trace ~time ~value] appends one sample. Samples must be appended
-    in non-decreasing time order; this is checked with an assertion. *)
+    in non-decreasing time order.
+    @raise Invalid_argument when [time] precedes the last sample. *)
 val add : t -> time:float -> value:float -> unit
 
 (** Number of samples recorded so far. *)

@@ -4,6 +4,31 @@ module Engine = Amsvp_mna.Engine
 module Circuits = Amsvp_netlist.Circuits
 module Sfprogram = Amsvp_sf.Sfprogram
 module Trace = Amsvp_util.Trace
+module Obs = Amsvp_obs.Obs
+
+let c_instructions =
+  Obs.Counter.make ~help:"ISS instructions retired"
+    "amsvp_vp_instructions_retired_total"
+
+let c_interrupts =
+  Obs.Counter.make ~help:"interrupts taken by the ISS"
+    "amsvp_vp_interrupts_total"
+
+let c_bus_transfers =
+  Obs.Counter.make ~help:"bus read/write transactions"
+    "amsvp_vp_bus_transfers_total"
+
+let c_adc_samples =
+  Obs.Counter.make ~help:"analog samples pushed into the ADC"
+    "amsvp_vp_adc_samples_total"
+
+let c_cosim_syncs =
+  Obs.Counter.make ~help:"co-simulation channel synchronisations"
+    "amsvp_vp_cosim_syncs_total"
+
+let c_uart_bytes =
+  Obs.Counter.make ~help:"bytes received on the UART"
+    "amsvp_vp_uart_bytes_total"
 
 type analog_binding =
   | Cosim of { rtl_grain : bool; substeps : int; iterations : int }
@@ -96,6 +121,14 @@ end
 let run ?(cpu_hz = 20.0e6) ?(asm_src = default_program)
     ~(testcase : Circuits.testcase) ~program ~binding ~dt ~t_stop () =
   if dt <= 0.0 || t_stop < dt then invalid_arg "Platform.run: bad timing";
+  Obs.with_span ~cat:"vp"
+    ~args:
+      [
+        ("binding", binding_label binding);
+        ("testcase", testcase.Circuits.label);
+      ]
+    "vp.run"
+  @@ fun () ->
   let bus, adc, cpu = make_digital asm_src in
   let nsteps = int_of_float (Float.round (t_stop /. dt)) in
   let trace = Trace.create ~capacity:(nsteps + 1) () in
@@ -104,6 +137,12 @@ let run ?(cpu_hz = 20.0e6) ?(asm_src = default_program)
   let inputs = Array.make (Array.length stims) 0.0 in
   let cosim_syncs = ref 0 in
   let finish ?de_stats ~uart_output () =
+    Obs.Counter.add c_instructions (Iss.instructions_retired cpu);
+    Obs.Counter.add c_interrupts (Iss.interrupts_taken cpu);
+    Obs.Counter.add c_bus_transfers (Bus.transfers bus);
+    Obs.Counter.add c_adc_samples (Bus.Adc.samples_pushed adc);
+    Obs.Counter.add c_cosim_syncs !cosim_syncs;
+    Obs.Counter.add c_uart_bytes (String.length uart_output);
     {
       uart_output;
       instructions = Iss.instructions_retired cpu;

@@ -55,6 +55,18 @@ let test_trace_bounds_checked () =
        false
      with Invalid_argument _ -> true)
 
+let test_trace_monotonic_time () =
+  let tr = Trace.create () in
+  Trace.add tr ~time:1.0 ~value:1.0;
+  (* Equal timestamps are allowed (DE tracing records coincident samples). *)
+  Trace.add tr ~time:1.0 ~value:2.0;
+  Alcotest.check_raises "rewinding time rejected"
+    (Invalid_argument "Trace.add: non-monotonic time") (fun () ->
+      Trace.add tr ~time:0.5 ~value:3.0);
+  Alcotest.(check int) "rejected sample not stored" 2 (Trace.length tr);
+  Trace.add tr ~time:2.0 ~value:4.0;
+  Alcotest.(check int) "usable after rejection" 3 (Trace.length tr)
+
 (* Metrics *)
 
 let test_metrics_rmse () =
@@ -173,6 +185,7 @@ let () =
           Alcotest.test_case "interpolation" `Quick test_trace_interpolation;
           Alcotest.test_case "resample" `Quick test_trace_resample;
           Alcotest.test_case "bounds" `Quick test_trace_bounds_checked;
+          Alcotest.test_case "monotonic time" `Quick test_trace_monotonic_time;
         ] );
       ( "metrics",
         [
