@@ -565,6 +565,76 @@ let figures () =
   let p = Solve.solve ~name:"RC1" ~dt asm in
   print_string (Codegen.emit Codegen.Cpp p)
 
+module Spec = Amsvp_sweep.Spec
+module Sweep_runner = Amsvp_sweep.Runner
+module Sweep_stats = Amsvp_sweep.Stats
+
+let sweep_bench ~t_stop ~seed ~jobs () =
+  let max_jobs =
+    match jobs with
+    | Some j -> j
+    | None -> min 4 (Domain.recommended_domain_count ())
+  in
+  header
+    (Printf.sprintf
+       "SWEEP -- 64-point Monte Carlo tolerance sweep of the rectifier \
+        (seed %d): domain-pool scaling, 1 vs %d workers, plan-replay \
+        abstraction cache"
+       seed max_jobs);
+  let spec =
+    {
+      Spec.default with
+      Spec.name = "rect_mc";
+      circuit = Some "RECT";
+      t_stop = Some t_stop;
+      samples = 64;
+      seed;
+      axes =
+        [
+          { Spec.param = "d1.g_on";
+            range = Spec.Uniform { lo = 5e-3; hi = 2e-2 } };
+          { Spec.param = "r1.r"; range = Spec.Normal { mean = 1e3; sigma = 50.0 } };
+        ];
+    }
+  in
+  let tc = Option.get (Circuits.by_name "RECT") in
+  let run jobs = Sweep_runner.run ~jobs spec tc in
+  Printf.printf "%-8s %10s %12s %14s %12s\n" "jobs" "time(s)" "points/s"
+    "cache hit/miss" "NRMSE mean";
+  let report (s : Sweep_runner.summary) =
+    record ~table:"sweep" ~comp:"RECT"
+      ~target:(Printf.sprintf "jobs%d" s.Sweep_runner.jobs)
+      ?nrmse:
+        (Option.map
+           (fun (st : Sweep_stats.t) -> st.Sweep_stats.mean)
+           s.Sweep_runner.nrmse_stats)
+      s.Sweep_runner.total_s;
+    Printf.printf "%-8d %10.3f %12.1f %8d/%-5d %12s\n" s.Sweep_runner.jobs
+      s.Sweep_runner.total_s
+      (float_of_int (Array.length s.Sweep_runner.points)
+      /. s.Sweep_runner.total_s)
+      s.Sweep_runner.cache_hits s.Sweep_runner.cache_misses
+      (match s.Sweep_runner.nrmse_stats with
+      | Some st -> Printf.sprintf "%.3e" st.Sweep_stats.mean
+      | None -> "-")
+  in
+  let s1 = run 1 in
+  report s1;
+  let sn = if max_jobs > 1 then run max_jobs else s1 in
+  if max_jobs > 1 then report sn;
+  (* Value results must not depend on the worker count. *)
+  let values (s : Sweep_runner.summary) =
+    Array.map
+      (fun (r : Sweep_runner.point_result) ->
+        (r.Sweep_runner.point.Amsvp_sweep.Sampler.overrides,
+         r.Sweep_runner.out_final, r.Sweep_runner.out_rms,
+         r.Sweep_runner.nrmse))
+      s.Sweep_runner.points
+  in
+  Printf.printf "determinism (jobs=1 vs jobs=%d): %s\n" sn.Sweep_runner.jobs
+    (if values s1 = values sn then "byte-identical point results"
+     else "MISMATCH")
+
 let micro () =
   header "MICRO -- Bechamel per-step benchmarks (one group per table)";
   let tc = Circuits.rc_ladder 1 in
@@ -627,20 +697,31 @@ type cli = {
   trace_out : string option;
   metrics_out : string option;
   results_out : string option;
+  seed : int;
+  jobs : int option;
   sections : string list;
 }
 
 let all_sections =
-  [ "table1"; "table2"; "table3"; "tooltime"; "ablation"; "figures"; "micro" ]
+  [ "table1"; "table2"; "table3"; "tooltime"; "ablation"; "sweep"; "figures";
+    "micro" ]
 
 let parse_cli argv =
   let usage () =
     prerr_endline
       "usage: bench [--quick] [--obs] [--trace-out FILE] [--metrics-out \
        FILE]\n\
-      \             [--results-out FILE | --no-results] [SECTION...]\n\
-       sections: table1 table2 table3 tooltime ablation figures micro";
+      \             [--results-out FILE | --no-results] [--seed N] [--jobs N]\n\
+      \             [SECTION...]\n\
+       sections: table1 table2 table3 tooltime ablation sweep figures micro";
     exit 2
+  in
+  let int_arg name v rest k =
+    match int_of_string_opt v with
+    | Some n -> k n rest
+    | None ->
+        Printf.eprintf "bench: %s requires an integer argument\n" name;
+        usage ()
   in
   let rec go acc = function
     | [] -> acc
@@ -649,8 +730,14 @@ let parse_cli argv =
     | "--trace-out" :: f :: rest -> go { acc with trace_out = Some f } rest
     | "--metrics-out" :: f :: rest -> go { acc with metrics_out = Some f } rest
     | "--results-out" :: f :: rest -> go { acc with results_out = Some f } rest
-    | [ (("--trace-out" | "--metrics-out" | "--results-out") as a) ] ->
-        Printf.eprintf "bench: %s requires a FILE argument\n" a;
+    | "--seed" :: v :: rest ->
+        int_arg "--seed" v rest (fun n rest -> go { acc with seed = n } rest)
+    | "--jobs" :: v :: rest ->
+        int_arg "--jobs" v rest (fun n rest ->
+            go { acc with jobs = Some n } rest)
+    | [ (("--trace-out" | "--metrics-out" | "--results-out" | "--seed"
+         | "--jobs") as a) ] ->
+        Printf.eprintf "bench: %s requires an argument\n" a;
         usage ()
     | "--no-results" :: rest -> go { acc with results_out = None } rest
     | ("--help" | "-h") :: _ -> usage ()
@@ -670,6 +757,8 @@ let parse_cli argv =
       trace_out = None;
       metrics_out = None;
       results_out = Some "BENCH_results.json";
+      seed = 0;
+      jobs = None;
       sections = [];
     }
     (Array.to_list argv |> List.tl)
@@ -695,6 +784,8 @@ let () =
       ablation ~t_stop:(scale 5e-3) ();
       ablation_integration ~t_stop:2e-3 ();
       ablation_sparse ());
+  section "sweep" (fun () ->
+      sweep_bench ~t_stop:(scale 2e-3) ~seed:cli.seed ~jobs:cli.jobs ());
   section "figures" (fun () -> figures ());
   section "micro" (fun () -> micro ());
   let total_wall_s = Unix.gettimeofday () -. wall_start in

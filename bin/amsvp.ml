@@ -381,6 +381,241 @@ let netlist_cmd =
        ~doc:"Export the elaborated network as a SPICE deck.")
     Term.(const run $ file_arg $ top_arg $ lang_arg $ inputs_arg)
 
+(* sweep *)
+
+module Spec = Amsvp_sweep.Spec
+module Sweep_runner = Amsvp_sweep.Runner
+module Sweep_report = Amsvp_sweep.Report
+
+(* "dev.p:grid:1e3,2e3,5" | "dev.p:values:1,2,3" | "dev.p:uniform:1,2"
+   | "dev.p:normal:1e3,50" *)
+let parse_axis s =
+  let fail () = Error (`Msg (Printf.sprintf "cannot parse axis %S" s)) in
+  let float_or_fail t =
+    match float_of_string_opt t with Some v -> v | None -> raise Exit
+  in
+  match String.split_on_char ':' s with
+  | [ param; kind; args ] -> (
+      try
+        let args = List.map float_or_fail (String.split_on_char ',' args) in
+        match (kind, args) with
+        | "grid", [ lo; hi; n ] ->
+            Ok { Spec.param; range = Spec.Grid { lo; hi; n = int_of_float n } }
+        | "values", (_ :: _ as vs) -> Ok { Spec.param; range = Spec.Values vs }
+        | "uniform", [ lo; hi ] ->
+            Ok { Spec.param; range = Spec.Uniform { lo; hi } }
+        | "normal", [ mean; sigma ] ->
+            Ok { Spec.param; range = Spec.Normal { mean; sigma } }
+        | _ -> fail ()
+      with Exit -> fail ())
+  | _ -> fail ()
+
+let axis_conv =
+  Arg.conv
+    ( parse_axis,
+      fun ppf (a : Spec.axis) -> Format.pp_print_string ppf a.Spec.param )
+
+let sweep_cmd =
+  let run obscfg spec_file circuit file top lang inputs out_str axes samples
+      seed jobs t_stop dt square sine mode integration no_reference
+      report_out =
+    with_obs obscfg @@ fun () ->
+    with_frontend_errors @@ fun () ->
+    let spec =
+      match spec_file with
+      | None -> Spec.default
+      | Some path -> (
+          match Spec.of_string (read_file path) with
+          | Ok s -> s
+          | Error msg ->
+              Printf.eprintf "%s: %s\n" path msg;
+              exit 1)
+    in
+    let opt_override v current = match v with Some _ -> v | None -> current in
+    let stimulus =
+      match (square, sine) with
+      | Some (period, low, high), _ -> Some (Spec.Square { period; low; high })
+      | None, Some (freq, amplitude) -> Some (Spec.Sine { freq; amplitude })
+      | None, None -> spec.Spec.stimulus
+    in
+    let spec =
+      {
+        spec with
+        Spec.circuit = opt_override circuit spec.Spec.circuit;
+        output = opt_override out_str spec.Spec.output;
+        stimulus;
+        t_stop = opt_override t_stop spec.Spec.t_stop;
+        dt = opt_override dt spec.Spec.dt;
+        mode = (match mode with Some m -> m | None -> spec.Spec.mode);
+        integration =
+          (match integration with
+          | Some i -> i
+          | None -> spec.Spec.integration);
+        samples =
+          (match samples with Some n -> n | None -> spec.Spec.samples);
+        seed = (match seed with Some n -> n | None -> spec.Spec.seed);
+        jobs = opt_override jobs spec.Spec.jobs;
+        reference = (if no_reference then false else spec.Spec.reference);
+        axes = spec.Spec.axes @ axes;
+      }
+    in
+    let tc =
+      match file with
+      | Some path ->
+          let top =
+            match top with
+            | Some t -> t
+            | None ->
+                Printf.eprintf "error: --file needs --top\n";
+                exit 1
+          in
+          let flat = flatten_any lang (read_file path) top inputs in
+          (match Elaborate.classify flat with
+          | `Conservative -> ()
+          | `Signal_flow ->
+              Printf.eprintf "error: sweeps need a conservative network\n";
+              exit 1);
+          let circuit = Elaborate.to_circuit flat in
+          let output =
+            match spec.Spec.output with
+            | Some s -> (
+                match Sweep_runner.output_of_string s with
+                | Ok v -> v
+                | Error m ->
+                    Printf.eprintf "error: %s\n" m;
+                    exit 1)
+            | None -> Expr.potential "out" "gnd"
+          in
+          let stim = Stimulus.square ~period:1e-3 ~low:0.0 ~high:1.0 in
+          {
+            Amsvp_netlist.Circuits.label = top;
+            circuit;
+            output;
+            stimuli =
+              List.map
+                (fun n -> (n, stim))
+                (Amsvp_netlist.Circuit.input_signals circuit);
+          }
+      | None -> (
+          match Sweep_runner.resolve spec with
+          | Ok tc -> tc
+          | Error m ->
+              Printf.eprintf "error: %s\n" m;
+              exit 1)
+    in
+    let summary = Sweep_runner.run spec tc in
+    (match report_out with
+    | Some basename ->
+        List.iter
+          (fun p -> Printf.printf "report written to %s\n" p)
+          (Sweep_report.write ~basename summary)
+    | None -> ());
+    Printf.printf
+      "sweep %s over %s: %d points, jobs=%d, %.3fs (cache: %d replayed, %d \
+       full)\n"
+      spec.Spec.name summary.Sweep_runner.label
+      (Array.length summary.Sweep_runner.points)
+      summary.Sweep_runner.jobs summary.Sweep_runner.total_s
+      summary.Sweep_runner.cache_hits summary.Sweep_runner.cache_misses;
+    let show name = function
+      | Some st -> Format.printf "  %-8s %a@." name Amsvp_sweep.Stats.pp st
+      | None -> ()
+    in
+    show "nrmse" summary.Sweep_runner.nrmse_stats;
+    show "out_rms" summary.Sweep_runner.rms_stats;
+    show "wall_s" summary.Sweep_runner.wall_stats
+  in
+  let spec_file_arg =
+    Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE"
+         ~doc:"Sweep specification file (see lib/sweep/spec.mli).")
+  in
+  let circuit_arg =
+    Arg.(value & opt (some string) None & info [ "circuit" ] ~docv:"LABEL"
+         ~doc:"Built-in test case: $(b,RECT), $(b,RC<n>), $(b,2IN), \
+               $(b,OA), $(b,RLC).")
+  in
+  let sweep_file_arg =
+    Arg.(value & opt (some file) None & info [ "file" ] ~docv:"FILE"
+         ~doc:"Sweep an elaborated Verilog-AMS/VHDL-AMS model instead of a \
+               built-in test case (needs $(b,--top)).")
+  in
+  let sweep_top_arg =
+    Arg.(value & opt (some string) None & info [ "top" ] ~docv:"MODULE"
+         ~doc:"Top module to elaborate (with $(b,--file)).")
+  in
+  let sweep_out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"ACCESS"
+         ~doc:"Output of interest, e.g. 'V(out,gnd)'.")
+  in
+  let params_arg =
+    Arg.(value & opt_all axis_conv [] & info [ "param" ] ~docv:"AXIS"
+         ~doc:"Sweep axis: $(i,dev.p):$(b,grid):$(i,lo,hi,n), \
+               $(b,values):$(i,v1,v2,...), $(b,uniform):$(i,lo,hi) or \
+               $(b,normal):$(i,mean,sigma). Repeatable; grid axes combine \
+               by cartesian product.")
+  in
+  let samples_arg =
+    Arg.(value & opt (some int) None & info [ "samples" ] ~docv:"N"
+         ~doc:"Monte Carlo draws per grid point.")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+         ~doc:"RNG seed; results are byte-identical for a fixed seed, \
+               independent of $(b,--jobs).")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains executing the points.")
+  in
+  let t_stop_opt =
+    Arg.(value & opt (some float) None & info [ "t-stop" ] ~docv:"SECONDS"
+         ~doc:"Simulated duration per point.")
+  in
+  let dt_opt =
+    Arg.(value & opt (some float) None & info [ "dt" ] ~docv:"SECONDS"
+         ~doc:"Discretisation step.")
+  in
+  let square_opt =
+    Arg.(value & opt (some (t3 float float float)) None
+         & info [ "square" ] ~docv:"PERIOD,LOW,HIGH"
+           ~doc:"Square-wave stimulus applied to every input.")
+  in
+  let sine_opt =
+    Arg.(value & opt (some (pair float float)) None
+         & info [ "sine" ] ~docv:"FREQ,AMPLITUDE"
+           ~doc:"Sine stimulus applied to every input.")
+  in
+  let mode_opt =
+    let modes = [ ("auto", `Auto); ("exact", `Exact); ("relaxed", `Relaxed) ] in
+    Arg.(value & opt (some (enum modes)) None & info [ "mode" ]
+         ~doc:"Solve mode: $(b,auto), $(b,exact) or $(b,relaxed).")
+  in
+  let integration_opt =
+    let kinds =
+      [ ("backward-euler", `Backward_euler); ("trapezoidal", `Trapezoidal) ]
+    in
+    Arg.(value & opt (some (enum kinds)) None & info [ "integration" ]
+         ~doc:"Integration rule.")
+  in
+  let no_reference_arg =
+    Arg.(value & flag
+         & info [ "no-reference" ]
+             ~doc:"Skip the MNA reference simulation (no NRMSE).")
+  in
+  let report_out_arg =
+    Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"BASE"
+         ~doc:"Write $(docv).json and $(docv).csv reports.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a parameter sweep (grid, Monte Carlo, corners) over a \
+             circuit across worker domains.")
+    Term.(const run $ obs_flags $ spec_file_arg $ circuit_arg $ sweep_file_arg
+          $ sweep_top_arg $ lang_arg $ inputs_arg $ sweep_out_arg $ params_arg
+          $ samples_arg $ seed_arg $ jobs_arg $ t_stop_opt $ dt_opt
+          $ square_opt $ sine_opt $ mode_opt $ integration_opt
+          $ no_reference_arg $ report_out_arg)
+
 (* ac *)
 
 let ac_cmd =
@@ -446,4 +681,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "amsvp" ~version:"1.0.0" ~doc)
-          [ abstract_cmd; simulate_cmd; report_cmd; ac_cmd; op_cmd; netlist_cmd ]))
+          [ abstract_cmd; simulate_cmd; report_cmd; sweep_cmd; ac_cmd; op_cmd;
+            netlist_cmd ]))

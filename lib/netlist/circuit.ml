@@ -69,6 +69,53 @@ let input_signals c =
 
 let dipole_equations c = List.map Component.dipole_equation (devices c)
 
+let params c =
+  List.concat_map
+    (fun (d : Component.t) ->
+      List.map (fun (p, v) -> (d.name ^ "." ^ p, v)) (Component.params d))
+    (devices c)
+
+(* "dev.param" -> (dev, param); parameter names contain no dot, so the
+   split is on the last one (device names are unrestricted). *)
+let split_key key =
+  match String.rindex_opt key '.' with
+  | Some i when i > 0 && i < String.length key - 1 ->
+      (String.sub key 0 i, String.sub key (i + 1) (String.length key - i - 1))
+  | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf "Circuit.override: malformed key %S (want dev.param)"
+           key)
+
+let override c bindings =
+  let by_dev = Hashtbl.create (List.length bindings) in
+  List.iter
+    (fun (key, v) ->
+      let dev, p = split_key key in
+      if not (Hashtbl.mem c.names dev) then
+        invalid_arg
+          (Printf.sprintf "Circuit.override: unknown device %s in key %s (have: %s)"
+             dev key
+             (String.concat ", " (List.map (fun (d : Component.t) -> d.name)
+                (devices c))));
+      Hashtbl.add by_dev dev (p, v))
+    bindings;
+  let c' = create ~ground:c.ground () in
+  List.iter
+    (fun (d : Component.t) ->
+      let d =
+        List.fold_left
+          (fun d (p, v) -> Component.with_param d p v)
+          d
+          (List.rev (Hashtbl.find_all by_dev d.name))
+      in
+      add c' d)
+    (devices c);
+  c'
+
+let structure_key c =
+  String.concat ";"
+    (("gnd=" ^ c.ground) :: List.map Component.structure_tag (devices c))
+
 let validate c =
   if c.devs = [] then Error "circuit has no devices"
   else begin

@@ -68,6 +68,29 @@ val dipole_equations : t -> Eqn.t list
     "arbitrary set of constitutive dipole equations" that parameterises
     the abstraction algorithm (§IV). *)
 
+(** {1 Parameter overrides}
+
+    A sweep point is a set of [device.parameter -> value] bindings over
+    a fixed structure; these hooks expose the circuit's parameter space
+    and apply such bindings without mutating the original circuit. *)
+
+val params : t -> (string * float) list
+(** All numeric parameters as [("device.param", value)] pairs, devices
+    in insertion order (see {!Component.params} for the names). *)
+
+val override : t -> (string * float) list -> t
+(** [override c bindings] is a fresh circuit in which each
+    ["device.param"] key is rebound to its value; device order, names
+    and topology are preserved, so {!structure_key} is unchanged.
+    @raise Invalid_argument on an unknown device, an unknown parameter
+    name, or a malformed key (no dot). *)
+
+val structure_key : t -> string
+(** A value-free fingerprint of the circuit: ground, device order,
+    kinds and connectivity, with every numeric parameter elided. Two
+    circuits with equal keys differ at most in parameter values —
+    the cache key of the sweep engine's abstraction cache. *)
+
 val validate : t -> (unit, string) result
 (** Structural checks: at least one device, every node connected to the
     ground component of the graph, no duplicate device names. *)

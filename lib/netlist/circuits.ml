@@ -88,10 +88,26 @@ let rlc_series ?(r = 100.0) ?(l = 10.0e-3) ?(c = 1.0e-6) () =
     stimuli = [ ("in", square_1ms) ];
   }
 
+let rectifier ?(r = 1.0e3) ?(g_on = 1.0 /. 100.0) ?(g_off = 1e-6) () =
+  let ckt = Circuit.create () in
+  Circuit.add_vsource ckt ~name:"vin" ~pos:"in" ~neg:"gnd"
+    (Component.Input "in");
+  Circuit.add_resistor ckt ~name:"r1" ~pos:"in" ~neg:"out" r;
+  Circuit.add_pwl_conductance ckt ~name:"d1" ~pos:"out" ~neg:"gnd" ~g_on ~g_off
+    ~threshold:0.0;
+  {
+    label = "RECT";
+    circuit = ckt;
+    output = Expr.potential "out" "gnd";
+    stimuli = [ ("in", Stimulus.sine ~freq:1e3 ~amplitude:1.0 ()) ];
+  }
+
 let by_name label =
   match label with
   | "2IN" -> Some (two_input ())
   | "OA" -> Some (opamp ())
+  | "RLC" -> Some (rlc_series ())
+  | "RECT" -> Some (rectifier ())
   | _ ->
       if String.length label > 2 && String.sub label 0 2 = "RC" then
         match int_of_string_opt (String.sub label 2 (String.length label - 2)) with

@@ -35,9 +35,17 @@ val rlc_series : ?r:float -> ?l:float -> ?c:float -> unit -> testcase
     C = 1 µF by default (f0 ≈ 1.6 kHz, damping ratio 0.5), driven by a
     1 ms square wave, output [V(out,gnd)] across the capacitor. *)
 
+val rectifier : ?r:float -> ?g_on:float -> ?g_off:float -> unit -> testcase
+(** The half-wave rectifier of the piecewise-linear extension (§III-C,
+    and [examples/rectifier.ml]): a 1 kHz sine through a series
+    resistor (1 kΩ) into a two-segment PWL diode clamp, output
+    [V(out,gnd)] across the diode. The tolerance-sweep workhorse of
+    the sweep engine. *)
+
 val by_name : string -> testcase option
 (** Lookup by the paper's labels: ["2IN"], ["RC1"], ["RC20"], ["OA"],
-    and more generally ["RC<n>"]. *)
+    and more generally ["RC<n>"]; plus the extras ["RLC"] and
+    ["RECT"]. *)
 
 val all_paper_cases : unit -> testcase list
 (** [2IN; RC1; RC20; OA], the rows of Tables I–III. *)

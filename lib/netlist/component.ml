@@ -51,6 +51,58 @@ let dipole_equation d =
 
 let is_source d = match d.kind with Vsource _ | Isource _ -> true | _ -> false
 
+let params d =
+  match d.kind with
+  | Resistor r -> [ ("r", r) ]
+  | Capacitor c -> [ ("c", c) ]
+  | Inductor l -> [ ("l", l) ]
+  | Vsource (Dc v) | Isource (Dc v) -> [ ("dc", v) ]
+  | Vsource (Input _) | Isource (Input _) -> []
+  | Vcvs { gain; _ } -> [ ("gain", gain) ]
+  | Vccs { gm; _ } -> [ ("gm", gm) ]
+  | Pwl_conductance { g_on; g_off; threshold } ->
+      [ ("g_on", g_on); ("g_off", g_off); ("threshold", threshold) ]
+
+let with_param d p v =
+  let unknown () =
+    invalid_arg
+      (Printf.sprintf "Component.with_param: device %s has no parameter %s"
+         d.name p)
+  in
+  let kind =
+    match (d.kind, p) with
+    | Resistor _, "r" -> Resistor v
+    | Capacitor _, "c" -> Capacitor v
+    | Inductor _, "l" -> Inductor v
+    | Vsource (Dc _), "dc" -> Vsource (Dc v)
+    | Isource (Dc _), "dc" -> Isource (Dc v)
+    | Vcvs c, "gain" -> Vcvs { c with gain = v }
+    | Vccs c, "gm" -> Vccs { c with gm = v }
+    | Pwl_conductance c, "g_on" -> Pwl_conductance { c with g_on = v }
+    | Pwl_conductance c, "g_off" -> Pwl_conductance { c with g_off = v }
+    | Pwl_conductance c, "threshold" -> Pwl_conductance { c with threshold = v }
+    | _ -> unknown ()
+  in
+  { d with kind }
+
+let structure_tag d =
+  let kind =
+    match d.kind with
+    | Resistor _ -> "R"
+    | Capacitor _ -> "C"
+    | Inductor _ -> "L"
+    | Vsource (Dc _) -> "Vdc"
+    | Vsource (Input u) -> "Vin:" ^ u
+    | Isource (Dc _) -> "Idc"
+    | Isource (Input u) -> "Iin:" ^ u
+    | Vcvs { ctrl_pos; ctrl_neg; _ } ->
+        Printf.sprintf "E(%s,%s)" ctrl_pos ctrl_neg
+    | Vccs { ctrl_pos; ctrl_neg; _ } ->
+        Printf.sprintf "G(%s,%s)" ctrl_pos ctrl_neg
+    | Pwl_conductance _ -> "PWL"
+  in
+  Printf.sprintf "%s[%s](%s,%s)" d.name kind d.pos d.neg
+
 let input_signals d =
   match d.kind with
   | Vsource (Input u) | Isource (Input u) -> [ u ]

@@ -49,4 +49,28 @@ val dipole_equation : t -> Eqn.t
 val is_source : t -> bool
 val input_signals : t -> string list
 
+(** {1 Parameter access}
+
+    Every numeric value a device carries is a named parameter, so sweep
+    and optimisation layers can rebind values without knowing the
+    device kinds: a resistor exposes ["r"], a capacitor ["c"], an
+    inductor ["l"], DC sources ["dc"], controlled sources ["gain"] /
+    ["gm"], and a PWL conductance ["g_on"], ["g_off"] and
+    ["threshold"]. Sources driven by an external input expose no
+    parameters. *)
+
+val params : t -> (string * float) list
+(** Named numeric parameters of the device, in a fixed order. *)
+
+val with_param : t -> string -> float -> t
+(** [with_param d p v] is [d] with parameter [p] rebound to [v]; the
+    nodes and name are unchanged.
+    @raise Invalid_argument if the device has no parameter [p]. *)
+
+val structure_tag : t -> string
+(** A value-free fingerprint of the device: name, kind, terminals and
+    control nodes, with every numeric parameter elided. Two devices
+    with equal tags differ at most in parameter values, so any
+    abstraction plan keyed on the tag can be re-bound across them. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,14 @@
 (* Span recorder + metrics registry + sinks. See obs.mli for the cost
-   model: spans are gated by [on], metrics are always live. *)
+   model: spans are gated by [on], metrics are always live.
+
+   Domain safety: the sweep engine runs flows on a pool of OCaml 5
+   domains, so every mutable cell here must tolerate concurrent use.
+   Metrics are plain [Atomic.t] cells (an increment stays a single
+   atomic RMW — no locks on the hot path); the span buffer is guarded
+   by a mutex taken only when a span {e completes} (spans are orders of
+   magnitude rarer than metric increments); span nesting depth is
+   domain-local state, since interleaving unrelated domains' depths
+   would be meaningless. *)
 
 type span = {
   name : string;
@@ -12,11 +21,11 @@ type span = {
 
 (* ---- enable flag ---- *)
 
-let on = ref false
-let enabled () = !on
-let set_enabled b = on := b
-let enable () = on := true
-let disable () = on := false
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
 let now_ns = Clock.now_ns
 
 (* ---- span storage: a growable buffer of completed spans ---- *)
@@ -24,31 +33,52 @@ let now_ns = Clock.now_ns
 let dummy_span =
   { name = ""; cat = ""; start_ns = 0; dur_ns = 0; depth = 0; args = [] }
 
+let buf_mutex = Mutex.create ()
 let buf = ref (Array.make 1024 dummy_span)
 let len = ref 0
-let depth = ref 0
+
+(* Nesting depth is tracked per domain: spans opened on one domain are
+   unrelated to spans running concurrently on another. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let depth () = Domain.DLS.get depth_key
+
+let locked f =
+  Mutex.lock buf_mutex;
+  match f () with
+  | y ->
+      Mutex.unlock buf_mutex;
+      y
+  | exception e ->
+      Mutex.unlock buf_mutex;
+      raise e
 
 let push s =
-  if !len = Array.length !buf then begin
-    let bigger = Array.make (2 * !len) dummy_span in
-    Array.blit !buf 0 bigger 0 !len;
-    buf := bigger
-  end;
-  !buf.(!len) <- s;
-  incr len
+  locked (fun () ->
+      if !len = Array.length !buf then begin
+        let bigger = Array.make (2 * !len) dummy_span in
+        Array.blit !buf 0 bigger 0 !len;
+        buf := bigger
+      end;
+      !buf.(!len) <- s;
+      incr len)
 
-let span_count () = !len
-let spans () = Array.to_list (Array.sub !buf 0 !len)
+let span_count () = locked (fun () -> !len)
+let spans () = locked (fun () -> Array.to_list (Array.sub !buf 0 !len))
+
+(* A consistent snapshot for the sinks (they iterate while other
+   domains may still be recording). *)
+let span_snapshot () = locked (fun () -> Array.sub !buf 0 !len)
 
 let close ~cat ~args name t0 =
   let t1 = now_ns () in
-  decr depth;
-  push { name; cat; start_ns = t0; dur_ns = t1 - t0; depth = !depth; args }
+  let d = depth () in
+  decr d;
+  push { name; cat; start_ns = t0; dur_ns = t1 - t0; depth = !d; args }
 
 let with_span ?(cat = "") ?(args = []) name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
-    incr depth;
+    incr (depth ());
     let t0 = now_ns () in
     match f () with
     | y ->
@@ -60,55 +90,75 @@ let with_span ?(cat = "") ?(args = []) name f =
   end
 
 let timed ?(cat = "") name f =
-  let recording = !on in
-  if recording then incr depth;
+  let recording = Atomic.get on in
+  if recording then incr (depth ());
   let t0 = now_ns () in
   match f () with
   | y ->
       let t1 = now_ns () in
       if recording then begin
-        decr depth;
+        let d = depth () in
+        decr d;
         push
-          { name; cat; start_ns = t0; dur_ns = t1 - t0; depth = !depth; args = [] }
+          { name; cat; start_ns = t0; dur_ns = t1 - t0; depth = !d; args = [] }
       end;
       (y, float_of_int (t1 - t0) *. 1e-9)
   | exception e ->
       if recording then begin
-        decr depth;
+        let d = depth () in
+        decr d;
         push
           {
             name;
             cat;
             start_ns = t0;
             dur_ns = now_ns () - t0;
-            depth = !depth;
+            depth = !d;
             args = [];
           }
       end;
       raise e
 
 let instant ?(cat = "") ?(args = []) name =
-  if !on then
-    push { name; cat; start_ns = now_ns (); dur_ns = 0; depth = !depth; args }
+  if Atomic.get on then
+    push
+      { name; cat; start_ns = now_ns (); dur_ns = 0; depth = !(depth ()); args }
 
 (* ---- metrics registry ---- *)
 
-type counter = { c_name : string; c_help : string; mutable c_value : int }
-type gauge = { g_name : string; g_help : string; mutable g_value : float }
+type counter = { c_name : string; c_help : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_help : string; g_value : float Atomic.t }
 
 type histogram = {
   h_name : string;
   h_help : string;
   bounds : float array;  (* ascending upper bounds; +Inf is implicit *)
-  counts : int array;  (* length = Array.length bounds + 1 *)
-  mutable h_sum : float;
-  mutable h_count : int;
+  counts : int Atomic.t array;  (* length = Array.length bounds + 1 *)
+  h_sum : float Atomic.t;
+  h_count : int Atomic.t;
 }
+
+(* Lock-free accumulation for the float sum: CAS on the boxed value we
+   read, retrying on contention. *)
+let rec atomic_add_float a x =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (cur +. x)) then atomic_add_float a x
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
+let reg_mutex = Mutex.create ()
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 let reg_order : string list ref = ref [] (* reverse registration order *)
+
+let reg_locked f =
+  Mutex.lock reg_mutex;
+  match f () with
+  | y ->
+      Mutex.unlock reg_mutex;
+      y
+  | exception e ->
+      Mutex.unlock reg_mutex;
+      raise e
 
 let register name m =
   Hashtbl.replace registry name m;
@@ -119,25 +169,35 @@ let kind_clash name =
     (Printf.sprintf "Obs: metric %s is already registered with another kind"
        name)
 
+(* Find-or-create under the registry lock, so two domains racing on the
+   same name share one instance. *)
+let make_metric name ~fresh ~recover =
+  reg_locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match recover m with Some x -> x | None -> kind_clash name)
+      | None ->
+          let x, m = fresh () in
+          register name m;
+          x)
+
 module Counter = struct
   type t = counter
 
   let make ?(help = "") name =
-    match Hashtbl.find_opt registry name with
-    | Some (Counter c) -> c
-    | Some _ -> kind_clash name
-    | None ->
-        let c = { c_name = name; c_help = help; c_value = 0 } in
-        register name (Counter c);
-        c
+    make_metric name
+      ~fresh:(fun () ->
+        let c = { c_name = name; c_help = help; c_value = Atomic.make 0 } in
+        (c, Counter c))
+      ~recover:(function Counter c -> Some c | _ -> None)
 
-  let incr c = c.c_value <- c.c_value + 1
+  let incr c = Atomic.incr c.c_value
 
   let add c n =
     if n < 0 then invalid_arg "Obs.Counter.add: negative increment";
-    c.c_value <- c.c_value + n
+    ignore (Atomic.fetch_and_add c.c_value n)
 
-  let value c = c.c_value
+  let value c = Atomic.get c.c_value
   let name c = c.c_name
 end
 
@@ -145,16 +205,14 @@ module Gauge = struct
   type t = gauge
 
   let make ?(help = "") name =
-    match Hashtbl.find_opt registry name with
-    | Some (Gauge g) -> g
-    | Some _ -> kind_clash name
-    | None ->
-        let g = { g_name = name; g_help = help; g_value = 0.0 } in
-        register name (Gauge g);
-        g
+    make_metric name
+      ~fresh:(fun () ->
+        let g = { g_name = name; g_help = help; g_value = Atomic.make 0.0 } in
+        (g, Gauge g))
+      ~recover:(function Gauge g -> Some g | _ -> None)
 
-  let set g v = g.g_value <- v
-  let value g = g.g_value
+  let set g v = Atomic.set g.g_value v
+  let value g = Atomic.get g.g_value
   let name g = g.g_name
 end
 
@@ -165,29 +223,27 @@ module Histogram = struct
     [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 1e5; 1e6 |]
 
   let make ?(help = "") ?(buckets = default_buckets) name =
-    match Hashtbl.find_opt registry name with
-    | Some (Histogram h) -> h
-    | Some _ -> kind_clash name
-    | None ->
-        if Array.length buckets = 0 then
-          invalid_arg "Obs.Histogram.make: empty bucket list";
-        Array.iteri
-          (fun i b ->
-            if i > 0 && b <= buckets.(i - 1) then
-              invalid_arg "Obs.Histogram.make: buckets must be ascending")
-          buckets;
+    if Array.length buckets = 0 then
+      invalid_arg "Obs.Histogram.make: empty bucket list";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= buckets.(i - 1) then
+          invalid_arg "Obs.Histogram.make: buckets must be ascending")
+      buckets;
+    make_metric name
+      ~fresh:(fun () ->
         let h =
           {
             h_name = name;
             h_help = help;
             bounds = Array.copy buckets;
-            counts = Array.make (Array.length buckets + 1) 0;
-            h_sum = 0.0;
-            h_count = 0;
+            counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+            h_sum = Atomic.make 0.0;
+            h_count = Atomic.make 0;
           }
         in
-        register name (Histogram h);
-        h
+        (h, Histogram h))
+      ~recover:(function Histogram h -> Some h | _ -> None)
 
   let observe h v =
     let n = Array.length h.bounds in
@@ -195,12 +251,12 @@ module Histogram = struct
     while !i < n && v > h.bounds.(!i) do
       incr i
     done;
-    h.counts.(!i) <- h.counts.(!i) + 1;
-    h.h_sum <- h.h_sum +. v;
-    h.h_count <- h.h_count + 1
+    Atomic.incr h.counts.(!i);
+    atomic_add_float h.h_sum v;
+    Atomic.incr h.h_count
 
-  let count h = h.h_count
-  let sum h = h.h_sum
+  let count h = Atomic.get h.h_count
+  let sum h = Atomic.get h.h_sum
 
   let bucket_counts h =
     let acc = ref 0 in
@@ -208,44 +264,46 @@ module Histogram = struct
       Array.to_list
         (Array.mapi
            (fun i b ->
-             acc := !acc + h.counts.(i);
+             acc := !acc + Atomic.get h.counts.(i);
              (b, !acc))
            h.bounds)
     in
-    cumulative @ [ (infinity, h.h_count) ]
+    cumulative @ [ (infinity, Atomic.get h.h_count) ]
 
   let name h = h.h_name
 end
 
 let reset () =
-  len := 0;
-  depth := 0;
-  Hashtbl.iter
-    (fun _ -> function
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
-      | Histogram h ->
-          Array.fill h.counts 0 (Array.length h.counts) 0;
-          h.h_sum <- 0.0;
-          h.h_count <- 0)
-    registry
+  locked (fun () ->
+      len := 0;
+      Domain.DLS.get depth_key := 0);
+  reg_locked (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | Counter c -> Atomic.set c.c_value 0
+          | Gauge g -> Atomic.set g.g_value 0.0
+          | Histogram h ->
+              Array.iter (fun a -> Atomic.set a 0) h.counts;
+              Atomic.set h.h_sum 0.0;
+              Atomic.set h.h_count 0)
+        registry)
 
 (* ---- span aggregation (shared by the prometheus/summary sinks) ---- *)
 
 (* name -> (calls, total_ns), in first-completion order *)
 let span_aggregate () =
+  let snapshot = span_snapshot () in
   let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 32 in
   let order = ref [] in
-  for i = 0 to !len - 1 do
-    let s = (!buf).(i) in
-    (match Hashtbl.find_opt tbl s.name with
-    | None ->
-        order := s.name :: !order;
-        Hashtbl.replace tbl s.name (1, s.dur_ns)
-    | Some (calls, total) ->
-        Hashtbl.replace tbl s.name (calls + 1, total + s.dur_ns));
-    ()
-  done;
+  Array.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl s.name with
+      | None ->
+          order := s.name :: !order;
+          Hashtbl.replace tbl s.name (1, s.dur_ns)
+      | Some (calls, total) ->
+          Hashtbl.replace tbl s.name (calls + 1, total + s.dur_ns))
+    snapshot;
   List.rev_map (fun n -> (n, Hashtbl.find tbl n)) !order
 
 (* ---- sinks ---- *)
@@ -267,36 +325,37 @@ let json_escape s =
   Buffer.contents b
 
 let chrome_trace () =
+  let snapshot = span_snapshot () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   Buffer.add_string b
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"amsvp\"}}";
-  for i = 0 to !len - 1 do
-    let s = (!buf).(i) in
-    let cat = if s.cat = "" then "amsvp" else s.cat in
-    Buffer.add_char b ',';
-    if s.dur_ns = 0 then
-      Printf.bprintf b
-        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":1"
-        (json_escape s.name) (json_escape cat)
-        (float_of_int s.start_ns /. 1e3)
-    else
-      Printf.bprintf b
-        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1"
-        (json_escape s.name) (json_escape cat)
-        (float_of_int s.start_ns /. 1e3)
-        (float_of_int s.dur_ns /. 1e3);
-    if s.args <> [] then begin
-      Buffer.add_string b ",\"args\":{";
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char b ',';
-          Printf.bprintf b "\"%s\":\"%s\"" (json_escape k) (json_escape v))
-        s.args;
-      Buffer.add_char b '}'
-    end;
-    Buffer.add_char b '}'
-  done;
+  Array.iter
+    (fun s ->
+      let cat = if s.cat = "" then "amsvp" else s.cat in
+      Buffer.add_char b ',';
+      if s.dur_ns = 0 then
+        Printf.bprintf b
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":1"
+          (json_escape s.name) (json_escape cat)
+          (float_of_int s.start_ns /. 1e3)
+      else
+        Printf.bprintf b
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1"
+          (json_escape s.name) (json_escape cat)
+          (float_of_int s.start_ns /. 1e3)
+          (float_of_int s.dur_ns /. 1e3);
+      if s.args <> [] then begin
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Printf.bprintf b "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+          s.args;
+        Buffer.add_char b '}'
+      end;
+      Buffer.add_char b '}')
+    snapshot;
   Buffer.add_string b "]}\n";
   Buffer.contents b
 
@@ -310,6 +369,12 @@ let prom_name s =
       | _ -> '_')
     s
 
+let registered_in_order () =
+  reg_locked (fun () ->
+      List.rev_map
+        (fun name -> (name, Hashtbl.find_opt registry name))
+        !reg_order)
+
 let prometheus () =
   let b = Buffer.create 4096 in
   let header name help kind =
@@ -317,17 +382,17 @@ let prometheus () =
     Printf.bprintf b "# TYPE %s %s\n" name kind
   in
   List.iter
-    (fun name ->
-      match Hashtbl.find_opt registry name with
+    (fun (_, m) ->
+      match m with
       | None -> ()
       | Some (Counter c) ->
           let n = prom_name c.c_name in
           header n c.c_help "counter";
-          Printf.bprintf b "%s %d\n" n c.c_value
+          Printf.bprintf b "%s %d\n" n (Atomic.get c.c_value)
       | Some (Gauge g) ->
           let n = prom_name g.g_name in
           header n g.g_help "gauge";
-          Printf.bprintf b "%s %.9g\n" n g.g_value
+          Printf.bprintf b "%s %.9g\n" n (Atomic.get g.g_value)
       | Some (Histogram h) ->
           let n = prom_name h.h_name in
           header n h.h_help "histogram";
@@ -338,9 +403,9 @@ let prometheus () =
               in
               Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" n le_s count)
             (Histogram.bucket_counts h);
-          Printf.bprintf b "%s_sum %.9g\n" n h.h_sum;
-          Printf.bprintf b "%s_count %d\n" n h.h_count)
-    (List.rev !reg_order);
+          Printf.bprintf b "%s_sum %.9g\n" n (Atomic.get h.h_sum);
+          Printf.bprintf b "%s_count %d\n" n (Atomic.get h.h_count))
+    (registered_in_order ());
   (* Per-span-name aggregates, so flow-stage and kernel spans show up in
      the same scrape as the counters. *)
   List.iter
@@ -368,32 +433,35 @@ let summary () =
   end;
   let counters = ref [] and gauges = ref [] and histos = ref [] in
   List.iter
-    (fun name ->
-      match Hashtbl.find_opt registry name with
+    (fun (_, m) ->
+      match m with
       | Some (Counter c) -> counters := c :: !counters
       | Some (Gauge g) -> gauges := g :: !gauges
       | Some (Histogram h) -> histos := h :: !histos
       | None -> ())
-    (List.rev !reg_order);
+    (registered_in_order ());
   if !counters <> [] then begin
     Buffer.add_string b "counters:\n";
     List.iter
-      (fun (c : counter) -> Printf.bprintf b "  %-40s %12d\n" c.c_name c.c_value)
+      (fun (c : counter) ->
+        Printf.bprintf b "  %-40s %12d\n" c.c_name (Atomic.get c.c_value))
       (List.rev !counters)
   end;
   if !gauges <> [] then begin
     Buffer.add_string b "gauges:\n";
     List.iter
-      (fun (g : gauge) -> Printf.bprintf b "  %-40s %12.6g\n" g.g_name g.g_value)
+      (fun (g : gauge) ->
+        Printf.bprintf b "  %-40s %12.6g\n" g.g_name (Atomic.get g.g_value))
       (List.rev !gauges)
   end;
   if !histos <> [] then begin
     Buffer.add_string b "histograms:\n";
     List.iter
       (fun (h : histogram) ->
-        Printf.bprintf b "  %-40s count %d sum %.6g mean %.6g\n" h.h_name
-          h.h_count h.h_sum
-          (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count))
+        let count = Atomic.get h.h_count and sum = Atomic.get h.h_sum in
+        Printf.bprintf b "  %-40s count %d sum %.6g mean %.6g\n" h.h_name count
+          sum
+          (if count = 0 then 0.0 else sum /. float_of_int count))
       (List.rev !histos)
   end;
   Buffer.contents b

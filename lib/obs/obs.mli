@@ -13,7 +13,13 @@
 
     Three sinks export the recorded data: {!chrome_trace} (trace-event
     JSON loadable in Perfetto / chrome://tracing), {!prometheus}
-    (text exposition format) and {!summary} (human-readable). *)
+    (text exposition format) and {!summary} (human-readable).
+
+    Every operation is safe under concurrent use from several OCaml 5
+    domains: metric updates are single atomic read-modify-writes, span
+    completion takes a short lock, and span nesting depth is tracked
+    per domain (spans from different domains never nest into each
+    other). *)
 
 (** {1 Enable flag} *)
 

@@ -1,0 +1,40 @@
+let chunk = 4
+
+let run ~jobs f items =
+  if jobs < 1 then invalid_arg "Pool.run: jobs < 1";
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failed : exn option Atomic.t = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo >= n then continue := false
+        else
+          let hi = min n (lo + chunk) in
+          for i = lo to hi - 1 do
+            if Atomic.get failed = None then
+              match f items.(i) with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                  (* Keep only the first failure; losing the race means
+                     another worker already recorded one. *)
+                  ignore (Atomic.compare_and_set failed None (Some e))
+          done
+      done
+    in
+    let domains =
+      List.init (jobs - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get failed with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Pool.run: missing result slot")
+      results
+  end

@@ -1,0 +1,20 @@
+(** Fixed-size domain worker pool over an indexed work list.
+
+    [run ~jobs f items] applies [f] to every element of [items] exactly
+    once and returns the results in input order.  Work is distributed
+    through a shared chunked index queue ([Atomic.fetch_and_add] on a
+    cursor, {!chunk} indices per claim); the calling domain participates
+    as one of the [jobs] workers, so [jobs = 1] runs everything inline
+    with no domain spawned.
+
+    Each result is written to a disjoint slot of a preallocated array,
+    so no synchronisation is needed on the output side.  If any [f]
+    raises, the first exception (by claim order) is captured, remaining
+    workers drain the queue without calling [f] again, and the exception
+    is re-raised on the calling domain after all workers are joined. *)
+
+val chunk : int
+(** Indices claimed per queue operation. *)
+
+val run : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** @raise Invalid_argument if [jobs < 1]. *)

@@ -1,0 +1,140 @@
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jfloat v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+let jstats (s : Stats.t) =
+  Printf.sprintf
+    "{\"n\":%d,\"min\":%s,\"max\":%s,\"mean\":%s,\"stddev\":%s,\"p50\":%s,\"p95\":%s}"
+    s.n (jfloat s.min) (jfloat s.max) (jfloat s.mean) (jfloat s.stddev)
+    (jfloat s.p50) (jfloat s.p95)
+
+let json (s : Runner.summary) =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"sweep\": %s,\n" (jstr s.spec.Spec.name);
+  add "  \"circuit\": %s,\n" (jstr s.label);
+  add "  \"seed\": %d,\n" s.spec.Spec.seed;
+  add "  \"jobs\": %d,\n" s.jobs;
+  add "  \"points\": %d,\n" (Array.length s.points);
+  add "  \"cache_hits\": %d,\n" s.cache_hits;
+  add "  \"cache_misses\": %d,\n" s.cache_misses;
+  add "  \"total_s\": %s,\n" (jfloat s.total_s);
+  add "  \"stats\": {";
+  let stats =
+    List.filter_map
+      (fun (k, v) -> Option.map (fun st -> (k, st)) v)
+      [
+        ("nrmse", s.nrmse_stats);
+        ("wall_s", s.wall_stats);
+        ("out_rms", s.rms_stats);
+      ]
+  in
+  add "%s"
+    (String.concat ","
+       (List.map
+          (fun (k, st) -> Printf.sprintf "\n    %s: %s" (jstr k) (jstats st))
+          stats));
+  if stats <> [] then add "\n  ";
+  add "},\n";
+  add "  \"results\": [";
+  Array.iteri
+    (fun i (r : Runner.point_result) ->
+      if i > 0 then add ",";
+      add "\n    {\"index\":%d,\"label\":%s,\"overrides\":{%s}"
+        r.point.Sampler.index (jstr r.point.Sampler.label)
+        (String.concat ","
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s:%s" (jstr k) (jfloat v))
+              r.point.Sampler.overrides));
+      add ",\"out_final\":%s,\"out_rms\":%s" (jfloat r.out_final)
+        (jfloat r.out_rms);
+      (match r.nrmse with
+      | Some e -> add ",\"nrmse\":%s" (jfloat e)
+      | None -> ());
+      add ",\"cached\":%b,\"wall_s\":%s}" r.cached (jfloat r.wall_s))
+    s.points;
+  add "\n  ]\n}\n";
+  Buffer.contents b
+
+(* Override keys in first-appearance order across all points (corners
+   may bind a subset of the axis parameters). *)
+let override_columns (s : Runner.summary) =
+  let seen = Hashtbl.create 8 in
+  let cols = ref [] in
+  Array.iter
+    (fun (r : Runner.point_result) ->
+      List.iter
+        (fun (k, _) ->
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.add seen k ();
+            cols := k :: !cols
+          end)
+        r.point.Sampler.overrides)
+    s.points;
+  List.rev !cols
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv (s : Runner.summary) =
+  let b = Buffer.create 4096 in
+  let cols = override_columns s in
+  let cell v = if Float.is_finite v then Printf.sprintf "%.17g" v else "" in
+  Buffer.add_string b
+    (String.concat ","
+       ([ "index"; "label" ]
+       @ List.map csv_escape cols
+       @ [ "out_final"; "out_rms"; "nrmse"; "cached"; "wall_s" ]));
+  Buffer.add_char b '\n';
+  Array.iter
+    (fun (r : Runner.point_result) ->
+      let over k =
+        match List.assoc_opt k r.point.Sampler.overrides with
+        | Some v -> cell v
+        | None -> ""
+      in
+      Buffer.add_string b
+        (String.concat ","
+           ([
+              string_of_int r.point.Sampler.index;
+              csv_escape r.point.Sampler.label;
+            ]
+           @ List.map over cols
+           @ [
+               cell r.out_final;
+               cell r.out_rms;
+               (match r.nrmse with Some e -> cell e | None -> "");
+               string_of_bool r.cached;
+               cell r.wall_s;
+             ]));
+      Buffer.add_char b '\n')
+    s.points;
+  Buffer.contents b
+
+let write ~basename s =
+  let out path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    path
+  in
+  [ out (basename ^ ".json") (json s); out (basename ^ ".csv") (csv s) ]

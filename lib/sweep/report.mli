@@ -1,0 +1,15 @@
+(** Report sinks for sweep summaries.
+
+    Self-contained emitters in the style of the {!Amsvp_obs.Obs} sinks:
+    a JSON document with the spec echo, aggregate statistics and every
+    per-point result, and a flat CSV table (one row per point, one
+    column per overridden parameter) for spreadsheet-side analysis.
+    Non-finite numbers are emitted as [null] in JSON and as empty cells
+    in CSV. *)
+
+val json : Runner.summary -> string
+val csv : Runner.summary -> string
+
+val write : basename:string -> Runner.summary -> string list
+(** [write ~basename summary] writes [basename ^ ".json"] and
+    [basename ^ ".csv"]; returns the paths written. *)

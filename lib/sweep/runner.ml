@@ -1,0 +1,198 @@
+module Circuit = Amsvp_netlist.Circuit
+module Circuits = Amsvp_netlist.Circuits
+module Flow = Amsvp_core.Flow
+module Engine = Amsvp_mna.Engine
+module Sfprogram = Amsvp_sf.Sfprogram
+module Stimulus = Amsvp_util.Stimulus
+module Metrics = Amsvp_util.Metrics
+module Trace = Amsvp_util.Trace
+module Obs = Amsvp_obs.Obs
+
+type point_result = {
+  point : Sampler.point;
+  out_final : float;
+  out_rms : float;
+  nrmse : float option;
+  cached : bool;
+  wall_s : float;
+}
+
+type summary = {
+  spec : Spec.t;
+  label : string;
+  jobs : int;
+  points : point_result array;
+  nrmse_stats : Stats.t option;
+  wall_stats : Stats.t option;
+  rms_stats : Stats.t option;
+  cache_hits : int;
+  cache_misses : int;
+  total_s : float;
+}
+
+let default_dt = 1e-6
+let default_t_stop = 3e-3
+
+let c_points =
+  Obs.Counter.make ~help:"sweep points executed" "amsvp_sweep_points_total"
+
+let c_cache_hits =
+  Obs.Counter.make ~help:"sweep points served by abstraction-plan replay"
+    "amsvp_sweep_cache_hits_total"
+
+let c_cache_misses =
+  Obs.Counter.make ~help:"sweep points needing a full per-point abstraction"
+    "amsvp_sweep_cache_misses_total"
+
+let h_point_seconds =
+  Obs.Histogram.make ~help:"wall-clock seconds per sweep point"
+    ~buckets:[| 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+    "amsvp_sweep_point_seconds"
+
+let output_of_string s =
+  let pair body =
+    match String.index_opt body ',' with
+    | Some i ->
+        Some
+          ( String.sub body 0 i,
+            String.sub body (i + 1) (String.length body - i - 1) )
+    | None -> None
+  in
+  let n = String.length s in
+  if n >= 4 && s.[1] = '(' && s.[n - 1] = ')' then
+    match (s.[0], pair (String.sub s 2 (n - 3))) with
+    | 'V', Some (a, b) -> Ok (Expr.potential a b)
+    | 'I', Some (a, b) -> Ok (Expr.flow a b)
+    | _ -> Error (Printf.sprintf "bad output %S (want V(a,b), I(a,b))" s)
+  else if n > 0 then Ok (Expr.signal s)
+  else Error "empty output"
+
+let resolve (spec : Spec.t) =
+  let label = Option.value spec.circuit ~default:"RECT" in
+  match Circuits.by_name label with
+  | Some tc -> Ok tc
+  | None -> Error (Printf.sprintf "unknown circuit %S" label)
+
+let stimulus_fn = function
+  | Spec.Square { period; low; high } -> Stimulus.square ~period ~low ~high
+  | Spec.Sine { freq; amplitude } -> Stimulus.sine ~freq ~amplitude ()
+
+let run ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Sweep: " ^ m));
+  let jobs =
+    match (jobs, spec.jobs) with
+    | Some j, _ -> j
+    | None, Some j -> j
+    | None, None -> 1
+  in
+  if jobs < 1 then invalid_arg "Sweep: jobs < 1";
+  let output =
+    match spec.output with
+    | None -> tc.Circuits.output
+    | Some s -> (
+        match output_of_string s with
+        | Ok v -> v
+        | Error m -> invalid_arg ("Sweep: " ^ m))
+  in
+  let dt = Option.value spec.dt ~default:default_dt in
+  let t_stop = Option.value spec.t_stop ~default:default_t_stop in
+  let probed = Flow.insert_probes tc.Circuits.circuit ~outputs:[ output ] in
+  let input_names = Circuit.input_signals probed in
+  let stim_of name =
+    match spec.stimulus with
+    | Some st -> stimulus_fn st
+    | None -> (
+        match List.assoc_opt name tc.Circuits.stimuli with
+        | Some f -> f
+        | None -> Stimulus.constant 0.0)
+  in
+  let stim_assoc = List.map (fun n -> (n, stim_of n)) input_names in
+  (* The plan is recorded once, on this domain, before any worker
+     starts: the cache is immutable afterwards, so replaying it from
+     several domains needs no synchronisation and every point sees the
+     same plan no matter the schedule. *)
+  let cache =
+    Abscache.build ~mode:spec.mode ~integration:spec.integration
+      ~name:(tc.Circuits.label ^ "_sweep") ~dt probed ~outputs:[ output ]
+  in
+  let points = Array.of_list (Sampler.points spec) in
+  let exec (p : Sampler.point) =
+    Obs.with_span ~cat:"sweep" ~args:[ ("point", p.Sampler.label) ]
+      "sweep.point"
+    @@ fun () ->
+    let t0 = Obs.now_ns () in
+    let circuit = Circuit.override probed p.Sampler.overrides in
+    let program, cached =
+      match Abscache.rebind cache circuit with
+      | Some program ->
+          Obs.Counter.incr c_cache_hits;
+          (program, true)
+      | None ->
+          Obs.Counter.incr c_cache_misses;
+          let rep =
+            Flow.abstract_circuit
+              ~name:(tc.Circuits.label ^ "_sweep")
+              ~mode:spec.mode ~integration:spec.integration circuit
+              ~outputs:[ output ] ~dt
+          in
+          (rep.Flow.program, false)
+    in
+    let runner = Sfprogram.Runner.create program in
+    let stimuli =
+      Array.of_list
+        (List.map
+           (fun n -> List.assoc n stim_assoc)
+           program.Sfprogram.inputs)
+    in
+    let trace = Sfprogram.Runner.run runner ~stimuli ~t_stop () in
+    let values = Trace.values trace in
+    let n = Array.length values in
+    let out_final = if n = 0 then 0.0 else values.(n - 1) in
+    let out_rms =
+      if n = 0 then 0.0
+      else
+        sqrt
+          (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 values
+          /. float_of_int n)
+    in
+    let nrmse =
+      if not spec.reference then None
+      else begin
+        let reference =
+          Engine.spice_like ~substeps:1 ~iterations:3 circuit
+            ~inputs:stim_assoc ~output ~dt ~t_stop
+        in
+        Some
+          (Metrics.nrmse_traces ~reference:reference.Engine.trace trace
+             ~t0:0.0 ~dt:(t_stop /. 1000.0) ~n:999)
+      end
+    in
+    let wall_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
+    Obs.Counter.incr c_points;
+    Obs.Histogram.observe h_point_seconds wall_s;
+    { point = p; out_final; out_rms; nrmse; cached; wall_s }
+  in
+  let t0 = Obs.now_ns () in
+  let results = Pool.run ~jobs exec points in
+  let total_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
+  let series f =
+    Stats.of_array
+      (Array.of_list (List.filter_map f (Array.to_list results)))
+  in
+  let hits =
+    Array.fold_left (fun n r -> if r.cached then n + 1 else n) 0 results
+  in
+  {
+    spec;
+    label = tc.Circuits.label;
+    jobs;
+    points = results;
+    nrmse_stats = series (fun r -> r.nrmse);
+    wall_stats = series (fun r -> Some r.wall_s);
+    rms_stats = series (fun r -> Some r.out_rms);
+    cache_hits = hits;
+    cache_misses = Array.length results - hits;
+    total_s;
+  }

@@ -1,0 +1,51 @@
+(** Sweep execution: expand a spec, run every point, aggregate.
+
+    Each point applies its parameter overrides to the (probe-carrying)
+    circuit, obtains a signal-flow program — through the {!Abscache}
+    replay when possible, the full {!Flow.abstract_circuit} otherwise —
+    simulates it with the tight-loop runner, and optionally runs the
+    Newton-based MNA reference to report the NRMSE, as in the paper's
+    Tables I–III but over a population of parameter variations.
+
+    Points are executed by a {!Pool} of worker domains.  All inputs to
+    a point (its overrides, the shared plan, the stimuli) are computed
+    upfront on the calling domain, so the per-point value results are a
+    pure function of the spec: identical for any [jobs]. *)
+
+type point_result = {
+  point : Sampler.point;
+  out_final : float;  (** output value at [t_stop] *)
+  out_rms : float;  (** RMS of the output trace *)
+  nrmse : float option;  (** vs the MNA reference; [None] when off *)
+  cached : bool;  (** program obtained by cache replay *)
+  wall_s : float;  (** wall-clock seconds for this point *)
+}
+
+type summary = {
+  spec : Spec.t;
+  label : string;  (** circuit label *)
+  jobs : int;
+  points : point_result array;  (** in expansion order *)
+  nrmse_stats : Stats.t option;
+  wall_stats : Stats.t option;
+  rms_stats : Stats.t option;
+  cache_hits : int;
+  cache_misses : int;
+  total_s : float;  (** wall-clock seconds for the whole sweep *)
+}
+
+val default_dt : float
+val default_t_stop : float
+
+val output_of_string : string -> (Expr.var, string) result
+(** Parse ["V(a,b)"] / ["I(a,b)"] / a bare signal name. *)
+
+val resolve : Spec.t -> (Amsvp_netlist.Circuits.testcase, string) result
+(** The built-in test case named by the spec ([circuit] directive,
+    default ["RECT"]). *)
+
+val run :
+  ?jobs:int -> Spec.t -> Amsvp_netlist.Circuits.testcase -> summary
+(** Execute the sweep over the given test case.  [jobs] defaults to the
+    spec's [jobs] directive, then to 1.
+    @raise Invalid_argument on an invalid spec or output. *)

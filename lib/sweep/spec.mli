@@ -1,0 +1,71 @@
+(** Declarative scenario specifications for parameter sweeps.
+
+    A spec names a circuit (or is paired with one programmatically) and
+    describes a set of scenario points over its component parameters
+    (see {!Amsvp_netlist.Circuit.params} for the ["device.param"] key
+    space):
+
+    - {e grid} / {e values} axes combine by cartesian product;
+    - {e uniform} / {e normal} axes are Monte Carlo tolerances, drawn
+      [samples] times per grid point from a seeded deterministic RNG;
+    - {e corners} are named explicit bindings, appended as one point
+      each.
+
+    Specs have a line-oriented text form ([key value...] lines, [#]
+    comments) that round-trips through {!to_string} / {!of_string}. *)
+
+type range =
+  | Grid of { lo : float; hi : float; n : int }
+      (** [n] linearly spaced values, endpoints included. *)
+  | Values of float list  (** explicit list *)
+  | Uniform of { lo : float; hi : float }  (** Monte Carlo, uniform *)
+  | Normal of { mean : float; sigma : float }  (** Monte Carlo, Gaussian *)
+
+type axis = { param : string; range : range }
+
+type corner = { corner_name : string; binds : (string * float) list }
+
+type stimulus =
+  | Square of { period : float; low : float; high : float }
+  | Sine of { freq : float; amplitude : float }
+
+type t = {
+  name : string;
+  circuit : string option;  (** built-in test-case label, e.g. ["RECT"] *)
+  output : string option;  (** e.g. ["V(out,gnd)"]; test-case default *)
+  stimulus : stimulus option;  (** applied to every input when given *)
+  t_stop : float option;
+  dt : float option;
+  mode : [ `Auto | `Exact | `Relaxed ];
+  integration : [ `Backward_euler | `Trapezoidal ];
+  samples : int;  (** Monte Carlo draws per grid point *)
+  seed : int;
+  jobs : int option;  (** worker domains; CLI/runner may override *)
+  reference : bool;  (** run the MNA reference and report NRMSE *)
+  axes : axis list;
+  corners : corner list;
+}
+
+val default : t
+(** Empty spec: name ["sweep"], 1 sample, seed 0, [`Auto] mode,
+    backward Euler, reference on, no axes or corners. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: at least one axis or corner, positive counts,
+    ordered ranges, no duplicate axis parameters. *)
+
+val is_random : t -> bool
+(** True when some axis is Monte Carlo ([Uniform]/[Normal]). *)
+
+val point_count : t -> int
+(** Number of scenario points the spec expands to (grid product x
+    samples-if-random + corners). *)
+
+val of_string : string -> (t, string) result
+(** Parse the text form; the error message carries the line number. *)
+
+val to_string : t -> string
+(** Canonical text form; floats are printed with enough digits to
+    round-trip, so [of_string (to_string s) = Ok s] for valid specs. *)
+
+val pp : Format.formatter -> t -> unit

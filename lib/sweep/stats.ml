@@ -1,0 +1,50 @@
+type t = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  p50 : float;
+  p95 : float;
+}
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Stats.quantile: q outside [0,1]";
+  (* Linear interpolation between closest ranks: h = (n-1) q, the value
+     is x_lo + (h - lo) (x_hi - x_lo). *)
+  let h = float_of_int (n - 1) *. q in
+  let lo = int_of_float (Float.floor h) in
+  let hi = min (n - 1) (lo + 1) in
+  sorted.(lo) +. ((h -. float_of_int lo) *. (sorted.(hi) -. sorted.(lo)))
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then None
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let sum = Array.fold_left ( +. ) 0.0 xs in
+    let mean = sum /. float_of_int n in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 xs
+      /. float_of_int n
+    in
+    Some
+      {
+        n;
+        min = sorted.(0);
+        max = sorted.(n - 1);
+        mean;
+        stddev = sqrt var;
+        p50 = quantile sorted 0.5;
+        p95 = quantile sorted 0.95;
+      }
+  end
+
+let pp ppf s =
+  Format.fprintf ppf
+    "n=%d min=%.6g max=%.6g mean=%.6g stddev=%.6g p50=%.6g p95=%.6g" s.n s.min
+    s.max s.mean s.stddev s.p50 s.p95

@@ -1,0 +1,27 @@
+(** Summary statistics over sweep results.
+
+    The reporting layer condenses each per-point series (NRMSE, wall
+    time, output RMS, ...) into the summary the paper-style tolerance
+    analysis needs: extremes, first two moments and the 50th/95th
+    percentiles. *)
+
+type t = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;  (** population standard deviation (divide by [n]) *)
+  p50 : float;
+  p95 : float;
+}
+
+val of_array : float array -> t option
+(** [None] on an empty array; NaNs propagate into the summary (filter
+    first if the series may contain failed points). *)
+
+val quantile : float array -> float -> float
+(** [quantile sorted q] with [q] in [0,1]: linear interpolation between
+    the closest ranks ([h = (n-1) q]), over an ascending-sorted array.
+    @raise Invalid_argument on an empty array or [q] outside [0,1]. *)
+
+val pp : Format.formatter -> t -> unit

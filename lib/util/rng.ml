@@ -1,0 +1,51 @@
+(* splitmix64 (Steele, Lea, Flood 2014): a tiny, fast, well-distributed
+   generator with a trivially splittable seed space — exactly what the
+   per-point substream scheme of the sweep engine needs. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+(* Mixing the stream index through one splitmix step before combining
+   decorrelates (seed, stream) pairs that differ in low bits only. *)
+let derive seed ~stream =
+  let s = Int64.of_int seed in
+  let k = mix (Int64.add (Int64.of_int stream) golden) in
+  { state = mix (Int64.logxor (mix s) k) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let float t =
+  (* Top 53 bits scaled into [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let uniform t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let normal t ~mean ~sigma =
+  (* Box-Muller: two uniforms per draw, no rejection, so the stream
+     position after a draw is deterministic. u1 is shifted away from 0
+     so the log is finite. *)
+  let u1 = 1.0 -. float t and u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (sigma *. z)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free modulo; the bias is < bound/2^64, irrelevant for
+     scenario sampling. *)
+  let m = Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int bound) in
+  Int64.to_int m

@@ -1,0 +1,412 @@
+(* Tests for the sweep engine: spec round-trip, deterministic sampling,
+   the domain worker pool, summary statistics, the plan-replay
+   abstraction cache and end-to-end sweep determinism. *)
+
+module Circuits = Amsvp_netlist.Circuits
+module Circuit = Amsvp_netlist.Circuit
+module Flow = Amsvp_core.Flow
+module Sfprogram = Amsvp_sf.Sfprogram
+module Spec = Amsvp_sweep.Spec
+module Sampler = Amsvp_sweep.Sampler
+module Pool = Amsvp_sweep.Pool
+module Stats = Amsvp_sweep.Stats
+module Abscache = Amsvp_sweep.Abscache
+module Runner = Amsvp_sweep.Runner
+module Report = Amsvp_sweep.Report
+module Obs = Amsvp_obs.Obs
+
+let rich_spec =
+  {
+    Spec.name = "mc_rect";
+    circuit = Some "RECT";
+    output = Some "V(out,gnd)";
+    stimulus = Some (Spec.Sine { freq = 1e3; amplitude = 1.0 });
+    t_stop = Some 2e-3;
+    dt = Some 1e-6;
+    mode = `Exact;
+    integration = `Trapezoidal;
+    samples = 8;
+    seed = 42;
+    jobs = Some 2;
+    reference = false;
+    axes =
+      [
+        { Spec.param = "r1.r"; range = Spec.Grid { lo = 0.5e3; hi = 2e3; n = 3 } };
+        { Spec.param = "d1.g_on";
+          range = Spec.Uniform { lo = 5e-3; hi = 2e-2 } };
+        { Spec.param = "d1.g_off";
+          range = Spec.Normal { mean = 1e-6; sigma = 1e-7 } };
+      ];
+    corners =
+      [
+        { Spec.corner_name = "worst";
+          binds = [ ("r1.r", 2.2e3); ("d1.g_on", 4e-3) ] };
+      ];
+  }
+
+(* Spec *)
+
+let test_spec_roundtrip () =
+  let text = Spec.to_string rich_spec in
+  (match Spec.of_string text with
+  | Ok s -> Alcotest.(check bool) "round-trips" true (s = rich_spec)
+  | Error m -> Alcotest.failf "reparse failed: %s" m);
+  match Spec.of_string (Spec.to_string Spec.default) with
+  | Ok s -> Alcotest.(check bool) "default round-trips" true (s = Spec.default)
+  | Error m -> Alcotest.failf "default reparse failed: %s" m
+
+let test_spec_parse_errors () =
+  let err text =
+    match Spec.of_string text with
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+    | Error m -> m
+  in
+  let m = err "sweep ok\nbogus directive\n" in
+  Alcotest.(check bool) "line number" true
+    (String.length m >= 7 && String.sub m 0 7 = "line 2:");
+  ignore (err "param r1.r grid 1 2\n" : string);
+  ignore (err "t_stop nope\n" : string);
+  ignore (err "corner c r1.r\n" : string);
+  (* Comments and blank lines are transparent. *)
+  match Spec.of_string "# comment only\n\n  \t\nseed 9 # trailing\n" with
+  | Ok s -> Alcotest.(check int) "seed" 9 s.Spec.seed
+  | Error m -> Alcotest.failf "comment handling: %s" m
+
+let test_spec_validate () =
+  (match Spec.validate rich_spec with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "valid spec rejected: %s" m);
+  let bad axes = { rich_spec with Spec.axes } in
+  let rejected s =
+    match Spec.validate s with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty spec" true (rejected Spec.default);
+  Alcotest.(check bool) "duplicate axis" true
+    (rejected
+       (bad
+          [
+            { Spec.param = "r1.r"; range = Spec.Values [ 1.0 ] };
+            { Spec.param = "r1.r"; range = Spec.Values [ 2.0 ] };
+          ]));
+  Alcotest.(check bool) "inverted grid" true
+    (rejected
+       (bad [ { Spec.param = "r1.r"; range = Spec.Grid { lo = 2.0; hi = 1.0; n = 2 } } ]));
+  Alcotest.(check bool) "bad samples" true
+    (rejected { rich_spec with Spec.samples = 0 })
+
+let test_point_count () =
+  (* 3 grid values x 8 samples + 1 corner. *)
+  Alcotest.(check int) "count" 25 (Spec.point_count rich_spec);
+  let grid_only =
+    {
+      Spec.default with
+      Spec.axes =
+        [
+          { Spec.param = "a.r"; range = Spec.Grid { lo = 0.; hi = 1.; n = 4 } };
+          { Spec.param = "b.r"; range = Spec.Values [ 1.; 2.; 3. ] };
+        ];
+    }
+  in
+  (* No Monte Carlo axis: samples is ignored. *)
+  Alcotest.(check int) "grid product" 12
+    (Spec.point_count { grid_only with Spec.samples = 100 })
+
+(* Sampler *)
+
+let test_sampler_deterministic () =
+  let p1 = Sampler.points rich_spec and p2 = Sampler.points rich_spec in
+  Alcotest.(check bool) "same spec, same points" true (p1 = p2);
+  Alcotest.(check int) "length = point_count"
+    (Spec.point_count rich_spec)
+    (List.length p1);
+  let p3 = Sampler.points { rich_spec with Spec.seed = 43 } in
+  Alcotest.(check bool) "different seed, different draws" true (p1 <> p3);
+  (* Grid coordinates are seed-independent. *)
+  List.iter2
+    (fun (a : Sampler.point) (b : Sampler.point) ->
+      Alcotest.(check (float 0.0))
+        "grid coordinate"
+        (List.assoc "r1.r" a.Sampler.overrides)
+        (List.assoc "r1.r" b.Sampler.overrides))
+    p1 p3
+
+let test_sampler_expansion () =
+  let spec =
+    {
+      Spec.default with
+      Spec.axes =
+        [
+          { Spec.param = "a.r"; range = Spec.Grid { lo = 0.0; hi = 1.0; n = 3 } };
+          { Spec.param = "b.r"; range = Spec.Values [ 10.0; 20.0 ] };
+        ];
+      corners = [ { Spec.corner_name = "hot"; binds = [ ("a.r", 9.0) ] } ];
+    }
+  in
+  let pts = Array.of_list (Sampler.points spec) in
+  Alcotest.(check int) "6 grid + 1 corner" 7 (Array.length pts);
+  (* First axis slowest, endpoints included. *)
+  let coord i k = List.assoc k pts.(i).Sampler.overrides in
+  Alcotest.(check (float 1e-12)) "a[0]" 0.0 (coord 0 "a.r");
+  Alcotest.(check (float 1e-12)) "b[0]" 10.0 (coord 0 "b.r");
+  Alcotest.(check (float 1e-12)) "b[1]" 20.0 (coord 1 "b.r");
+  Alcotest.(check (float 1e-12)) "a[2]" 0.5 (coord 2 "a.r");
+  Alcotest.(check (float 1e-12)) "a[5]" 1.0 (coord 5 "a.r");
+  Alcotest.(check string) "corner label" "hot" pts.(6).Sampler.label;
+  Array.iteri
+    (fun i (p : Sampler.point) ->
+      Alcotest.(check int) "index" i p.Sampler.index)
+    pts;
+  (* Monte Carlo draws stay inside the declared range. *)
+  let mc =
+    {
+      Spec.default with
+      Spec.samples = 200;
+      seed = 7;
+      axes =
+        [ { Spec.param = "a.r"; range = Spec.Uniform { lo = 2.0; hi = 3.0 } } ];
+    }
+  in
+  List.iter
+    (fun (p : Sampler.point) ->
+      let v = List.assoc "a.r" p.Sampler.overrides in
+      Alcotest.(check bool) "in range" true (v >= 2.0 && v < 3.0))
+    (Sampler.points mc)
+
+(* Pool *)
+
+let test_pool_exactly_once () =
+  let n = 1000 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  let items = Array.init n (fun i -> i) in
+  let results =
+    Pool.run ~jobs:4
+      (fun i ->
+        Atomic.incr hits.(i);
+        i * i)
+      items
+  in
+  Alcotest.(check int) "all results" n (Array.length results);
+  Array.iteri
+    (fun i r -> Alcotest.(check int) "in order" (i * i) r)
+    results;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "hit %d" i) 1 (Atomic.get c))
+    hits
+
+let test_pool_single_job_inline () =
+  let results = Pool.run ~jobs:1 (fun i -> i + 1) (Array.init 10 Fun.id) in
+  Alcotest.(check (array int)) "inline" (Array.init 10 (fun i -> i + 1)) results
+
+let test_pool_exception () =
+  (match Pool.run ~jobs:4 (fun i -> if i = 17 then failwith "boom" else i)
+           (Array.init 100 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+  match Pool.run ~jobs:0 Fun.id [| 1 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_counters_under_contention () =
+  (* Satellite check: Obs counters accumulate exactly under domain
+     contention (they are single atomic RMWs). *)
+  let c = Obs.Counter.make "test_sweep_contention_total" in
+  let before = Obs.Counter.value c in
+  let _ =
+    Pool.run ~jobs:4
+      (fun _ ->
+        for _ = 1 to 1000 do
+          Obs.Counter.incr c
+        done)
+      (Array.make 8 ())
+  in
+  Alcotest.(check int) "8000 increments" (before + 8000) (Obs.Counter.value c)
+
+(* Stats *)
+
+let test_stats_fixture () =
+  let xs = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  match Stats.of_array xs with
+  | None -> Alcotest.fail "stats of non-empty array"
+  | Some s ->
+      Alcotest.(check int) "n" 10 s.Stats.n;
+      Alcotest.(check (float 1e-12)) "min" 1.0 s.Stats.min;
+      Alcotest.(check (float 1e-12)) "max" 10.0 s.Stats.max;
+      Alcotest.(check (float 1e-12)) "mean" 5.5 s.Stats.mean;
+      Alcotest.(check (float 1e-12)) "stddev" (sqrt 8.25) s.Stats.stddev;
+      Alcotest.(check (float 1e-12)) "p50" 5.5 s.Stats.p50;
+      Alcotest.(check (float 1e-12)) "p95" 9.55 s.Stats.p95
+
+let test_stats_edge () =
+  Alcotest.(check bool) "empty" true (Stats.of_array [||] = None);
+  (match Stats.of_array [| 3.0 |] with
+  | Some s ->
+      Alcotest.(check (float 0.0)) "single p95" 3.0 s.Stats.p95;
+      Alcotest.(check (float 0.0)) "single stddev" 0.0 s.Stats.stddev
+  | None -> Alcotest.fail "singleton");
+  match Stats.quantile [| 1.0; 2.0 |] 1.5 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* Abstraction cache *)
+
+let dt = 1e-6
+
+let probed_testcase label =
+  let tc = Option.get (Circuits.by_name label) in
+  (tc, Flow.insert_probes tc.Circuits.circuit ~outputs:[ tc.Circuits.output ])
+
+let test_cache_replay_matches_full () =
+  List.iter
+    (fun (label, overrides) ->
+      let tc, probed = probed_testcase label in
+      let cache =
+        Abscache.build ~name:"replay" ~dt probed
+          ~outputs:[ tc.Circuits.output ]
+      in
+      let circuit = Circuit.override probed overrides in
+      let full =
+        (Flow.abstract_circuit ~name:"replay" circuit
+           ~outputs:[ tc.Circuits.output ] ~dt)
+          .Flow.program
+      in
+      match Abscache.rebind cache circuit with
+      | None -> Alcotest.failf "%s: replay failed" label
+      | Some replayed ->
+          Alcotest.(check bool)
+            (label ^ ": replayed program = full abstraction")
+            true (replayed = full))
+    [
+      ("RC1", [ ("r1.r", 7.5e3); ("c1.c", 10e-9) ]);
+      ("RC4", [ ("r3.r", 1e3) ]);
+      ("RLC", [ ("l1.l", 4.7e-3); ("c1.c", 2.2e-6) ]);
+      (* PWL device: exercises the direct-definition fallback. *)
+      ("RECT", [ ("d1.g_on", 2e-2); ("d1.g_off", 5e-7) ]);
+      ("2IN", [ ("r2.r", 12e3) ]);
+    ]
+
+let test_cache_rejects_other_structure () =
+  let _, probed = probed_testcase "RC1" in
+  let cache =
+    Abscache.build ~name:"k" ~dt probed
+      ~outputs:[ Expr.potential "out" "gnd" ]
+  in
+  Alcotest.(check bool) "definitions recorded" true
+    (Abscache.definitions cache > 0);
+  let _, other = probed_testcase "RC4" in
+  Alcotest.(check bool) "different structure" true
+    (Abscache.rebind cache other = None)
+
+(* Runner + report *)
+
+let small_spec jobs =
+  {
+    Spec.default with
+    Spec.name = "t";
+    circuit = Some "RECT";
+    t_stop = Some 1e-3;
+    samples = 6;
+    seed = 5;
+    jobs = Some jobs;
+    axes =
+      [
+        { Spec.param = "d1.g_on"; range = Spec.Uniform { lo = 5e-3; hi = 2e-2 } };
+      ];
+    corners =
+      [ { Spec.corner_name = "nom"; binds = [ ("d1.g_on", 1e-2) ] } ];
+  }
+
+let run_small jobs =
+  let spec = small_spec jobs in
+  let tc = Option.get (Circuits.by_name "RECT") in
+  Runner.run spec tc
+
+let point_values (s : Runner.summary) =
+  Array.map
+    (fun (r : Runner.point_result) ->
+      (r.Runner.point.Sampler.overrides, r.Runner.out_final, r.Runner.out_rms,
+       r.Runner.nrmse, r.Runner.cached))
+    s.Runner.points
+
+let test_runner_jobs_invariant () =
+  let s1 = run_small 1 and s2 = run_small 2 in
+  Alcotest.(check int) "7 points" 7 (Array.length s1.Runner.points);
+  Alcotest.(check bool) "values identical across jobs" true
+    (point_values s1 = point_values s2);
+  Alcotest.(check int) "all points replayed from the cache" 7
+    s1.Runner.cache_hits;
+  Alcotest.(check int) "no full abstractions" 0 s1.Runner.cache_misses;
+  match s1.Runner.nrmse_stats with
+  | None -> Alcotest.fail "reference on, nrmse expected"
+  | Some st ->
+      (* The region-switching model lags the Newton reference by one
+         sample around each diode transition; anything beyond ~1e-2
+         would mean a genuinely wrong waveform. *)
+      Alcotest.(check bool) "nrmse small" true (st.Stats.max < 1e-2)
+
+let test_report_outputs () =
+  let s = run_small 1 in
+  let json = Report.json s in
+  Alcotest.(check bool) "json object" true
+    (String.length json > 2 && json.[0] = '{'
+    && json.[String.length json - 2] = '}');
+  let count_char c str =
+    String.fold_left (fun n x -> if x = c then n + 1 else n) 0 str
+  in
+  Alcotest.(check int) "balanced braces" (count_char '{' json)
+    (count_char '}' json);
+  Alcotest.(check int) "balanced brackets" (count_char '[' json)
+    (count_char ']' json);
+  let csv = Report.csv s in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  Alcotest.(check int) "header + one row per point" 8 (List.length lines);
+  let cols l = List.length (String.split_on_char ',' l) in
+  let width = cols (List.hd lines) in
+  List.iter
+    (fun l -> Alcotest.(check int) "rectangular csv" width (cols l))
+    lines
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_spec_parse_errors;
+          Alcotest.test_case "validate" `Quick test_spec_validate;
+          Alcotest.test_case "point count" `Quick test_point_count;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "deterministic" `Quick test_sampler_deterministic;
+          Alcotest.test_case "expansion" `Quick test_sampler_expansion;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "exactly once" `Quick test_pool_exactly_once;
+          Alcotest.test_case "single job inline" `Quick
+            test_pool_single_job_inline;
+          Alcotest.test_case "exception" `Quick test_pool_exception;
+          Alcotest.test_case "counters under contention" `Quick
+            test_pool_counters_under_contention;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "fixture" `Quick test_stats_fixture;
+          Alcotest.test_case "edge cases" `Quick test_stats_edge;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "replay matches full" `Quick
+            test_cache_replay_matches_full;
+          Alcotest.test_case "rejects other structure" `Quick
+            test_cache_rejects_other_structure;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "jobs invariant" `Quick test_runner_jobs_invariant;
+          Alcotest.test_case "report outputs" `Quick test_report_outputs;
+        ] );
+    ]
