@@ -30,6 +30,7 @@ module Metrics = Amsvp_util.Metrics
 module Sources = Amsvp_vams.Sources
 module Elaborate = Amsvp_vams.Elaborate
 module Obs = Amsvp_obs.Obs
+module Probe = Amsvp_probe.Probe
 
 let dt = 50e-9 (* the paper's time step (Section V-A) *)
 
@@ -59,6 +60,64 @@ let record ~table ~comp ~target ?(meth = "") ?nrmse time_s =
     }
     :: !bench_rows
 
+(* Per-section span accounting, written as "sections" in
+   BENCH_results.json. The recorder runs for the whole harness; each
+   section remembers the [Obs.span_count] interval it produced. Self
+   time is a span's duration minus the total duration of its direct
+   children, computed over the completion-ordered span list with a
+   per-(domain, depth) pending table -- a child always completes
+   before its parent, and depth only nests within one domain. *)
+let section_spans : (string * int * int) list ref = ref []
+
+let self_times (spans : Obs.span array) =
+  let pending : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let get k = Option.value ~default:0 (Hashtbl.find_opt pending k) in
+  Array.map
+    (fun (s : Obs.span) ->
+      let child = (s.Obs.dom, s.Obs.depth + 1) in
+      let self = s.Obs.dur_ns - get child in
+      Hashtbl.remove pending child;
+      let mine = (s.Obs.dom, s.Obs.depth) in
+      Hashtbl.replace pending mine (get mine + s.Obs.dur_ns);
+      self)
+    spans
+
+let sections_json b =
+  let spans = Array.of_list (Obs.spans ()) in
+  let selfs = self_times spans in
+  Buffer.add_string b ",\n  \"sections\": [";
+  List.iteri
+    (fun i (name, lo, hi) ->
+      if i > 0 then Buffer.add_char b ',';
+      let agg : (string, int * int * int) Hashtbl.t = Hashtbl.create 16 in
+      let order = ref [] in
+      for j = lo to min hi (Array.length spans) - 1 do
+        let s = spans.(j) in
+        if s.Obs.dur_ns > 0 then begin
+          let calls, tot, slf =
+            Option.value ~default:(0, 0, 0) (Hashtbl.find_opt agg s.Obs.name)
+          in
+          if calls = 0 then order := s.Obs.name :: !order;
+          Hashtbl.replace agg s.Obs.name
+            (calls + 1, tot + s.Obs.dur_ns, slf + selfs.(j))
+        end
+      done;
+      Printf.bprintf b "\n    {\"section\": %S, \"spans\": [" name;
+      List.iteri
+        (fun k n ->
+          let calls, tot, slf = Hashtbl.find agg n in
+          if k > 0 then Buffer.add_char b ',';
+          Printf.bprintf b
+            "\n      {\"name\": %S, \"calls\": %d, \"total_s\": %.9g, \
+             \"self_s\": %.9g}"
+            n calls
+            (float_of_int tot *. 1e-9)
+            (float_of_int slf *. 1e-9))
+        (List.rev !order);
+      Buffer.add_string b "\n    ]}")
+    (List.rev !section_spans);
+  Buffer.add_string b "\n  ]"
+
 let results_json ~quick ~total_wall_s =
   let b = Buffer.create 4096 in
   Printf.bprintf b
@@ -76,7 +135,9 @@ let results_json ~quick ~total_wall_s =
       | Some _ | None -> ());
       Buffer.add_char b '}')
     (List.rev !bench_rows);
-  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.add_string b "\n  ]";
+  sections_json b;
+  Buffer.add_string b "\n}\n";
   Buffer.contents b
 
 let wall f =
@@ -691,6 +752,43 @@ let micro () =
     (fun (name, e) -> Printf.printf "%-40s %14.1f ns/iter\n" name e)
     (List.sort compare rows)
 
+let probe_overhead ~t_stop () =
+  header
+    (Printf.sprintf
+       "PROBE OVERHEAD -- abstracted RC1 hot loop (Table II row, simulated \
+        %g ms): observe hook absent vs a tap + health monitor attached"
+       (t_stop *. 1e3));
+  let tc = Circuits.rc_ladder 1 in
+  let p = (Flow.abstract_testcase tc ~dt).Flow.program in
+  let run ?observe () =
+    ignore (Wrap.run_cpp ?observe p ~stimuli:tc.Circuits.stimuli ~t_stop)
+  in
+  run ();
+  (* Best-of-5 so a stray scheduler hiccup does not decide the verdict. *)
+  let best f =
+    let t = ref infinity in
+    for _ = 1 to 5 do
+      let _, ti = wall f in
+      if ti < !t then t := ti
+    done;
+    !t
+  in
+  let t_off = best (fun () -> run ()) in
+  let t_on =
+    best (fun () ->
+        let probes = Probe.create ~capacity:4096 () in
+        ignore (Probe.tap probes tc.Circuits.output);
+        ignore (Probe.watch probes tc.Circuits.output);
+        run ~observe:(Probe.observer probes) ())
+  in
+  record ~table:"probes" ~comp:tc.Circuits.label ~target:"probes-off" t_off;
+  record ~table:"probes" ~comp:tc.Circuits.label ~target:"probes-on" t_on;
+  Printf.printf
+    "%-6s probes off: %.4f s   probes on (1 tap + 1 monitor): %.4f s   \
+     attached cost: %+.2f%%\n"
+    tc.Circuits.label t_off t_on
+    ((t_on /. t_off -. 1.0) *. 100.0)
+
 type cli = {
   quick : bool;
   obs : bool;
@@ -703,8 +801,8 @@ type cli = {
 }
 
 let all_sections =
-  [ "table1"; "table2"; "table3"; "tooltime"; "ablation"; "sweep"; "figures";
-    "micro" ]
+  [ "table1"; "table2"; "table3"; "tooltime"; "ablation"; "sweep"; "probes";
+    "figures"; "micro" ]
 
 let parse_cli argv =
   let usage () =
@@ -713,7 +811,8 @@ let parse_cli argv =
        FILE]\n\
       \             [--results-out FILE | --no-results] [--seed N] [--jobs N]\n\
       \             [SECTION...]\n\
-       sections: table1 table2 table3 tooltime ablation sweep figures micro";
+       sections: table1 table2 table3 tooltime ablation sweep probes figures \
+       micro";
     exit 2
   in
   let int_arg name v rest k =
@@ -766,11 +865,17 @@ let parse_cli argv =
 let () =
   let cli = parse_cli Sys.argv in
   let quick = cli.quick in
-  if cli.obs || cli.trace_out <> None || cli.metrics_out <> None then
-    Obs.enable ();
+  (* Always on: the "sections" block of BENCH_results.json is built
+     from recorded spans. Library spans are per run, not per step, so
+     the recorder does not perturb the hot loops being measured. *)
+  Obs.enable ();
   let want s = cli.sections = [] || List.mem s cli.sections in
   let section name f =
-    if want name then Obs.with_span ~cat:"bench" ("bench." ^ name) f
+    if want name then begin
+      let before = Obs.span_count () in
+      Obs.with_span ~cat:"bench" ("bench." ^ name) f;
+      section_spans := (name, before, Obs.span_count ()) :: !section_spans
+    end
   in
   let scale x = if quick then x /. 10.0 else x in
   let t1 = scale 10e-3 and t2 = scale 50e-3 and t3 = scale 1e-3 in
@@ -786,6 +891,7 @@ let () =
       ablation_sparse ());
   section "sweep" (fun () ->
       sweep_bench ~t_stop:(scale 2e-3) ~seed:cli.seed ~jobs:cli.jobs ());
+  section "probes" (fun () -> probe_overhead ~t_stop:(scale 50e-3) ());
   section "figures" (fun () -> figures ());
   section "micro" (fun () -> micro ());
   let total_wall_s = Unix.gettimeofday () -. wall_start in

@@ -20,9 +20,11 @@ module Parser = Amsvp_vams.Parser
 module Lexer = Amsvp_vams.Lexer
 module Codegen = Amsvp_codegen.Codegen
 module Flow = Amsvp_core.Flow
+module Explain = Amsvp_core.Explain
 module Sfprogram = Amsvp_sf.Sfprogram
 module Wrap = Amsvp_sysc.Wrap
 module Engine = Amsvp_mna.Engine
+module Probe = Amsvp_probe.Probe
 module Stimulus = Amsvp_util.Stimulus
 module Trace = Amsvp_util.Trace
 module Obs = Amsvp_obs.Obs
@@ -200,6 +202,7 @@ let abstract_model file top output dt mode integration lang inputs =
             classes = 0;
             variants = 0;
             definitions = List.length contributions;
+            explain = Explain.of_signal_flow program;
             acquisition_s = 0.0;
             enrichment_s = 0.0;
             assemble_s = 0.0;
@@ -264,9 +267,68 @@ let from_program_arg =
        ~doc:"Skip the abstraction flow and load a serialised program \
              (written by $(b,abstract --target program)).")
 
+let probe_args =
+  let probe =
+    Arg.(value & opt_all string []
+         & info [ "probe" ] ~docv:"SIG"
+             ~doc:"Tap a signal for waveform capture: $(b,V(a,b)), \
+                   $(b,I(a,b)) or a bare quantity name. Repeatable. \
+                   Defaults to the $(b,--out) signal when only \
+                   $(b,--vcd-out)/$(b,--wave-out) is given.")
+  in
+  let vcd_out =
+    Arg.(value & opt (some string) None
+         & info [ "vcd-out" ] ~docv:"FILE"
+             ~doc:"Write the tapped waveforms as a VCD file (GTKWave, \
+                   Surfer).")
+  in
+  let wave_out =
+    Arg.(value & opt (some string) None
+         & info [ "wave-out" ] ~docv:"FILE"
+             ~doc:"Write the tapped waveforms as long-format CSV \
+                   (signal,time,value).")
+  in
+  let every =
+    Arg.(value & opt int 1
+         & info [ "probe-every" ] ~docv:"N"
+             ~doc:"Retain one probe sample out of every $(docv) steps.")
+  in
+  Term.(const (fun probe vcd_out wave_out every ->
+            (probe, vcd_out, wave_out, every))
+        $ probe $ vcd_out $ wave_out $ every)
+
+(* Build the probe set for [--probe]/[--vcd-out]/[--wave-out]: [None]
+   when nothing was asked for, so the runners take their probe-free
+   fast path. *)
+let probe_set (sigs, vcd_out, wave_out, every) ~default =
+  if sigs = [] && vcd_out = None && wave_out = None then None
+  else begin
+    let set = Probe.create ~every () in
+    let sigs = if sigs = [] then [ default ] else sigs in
+    List.iter
+      (fun s ->
+        match Amsvp_sweep.Runner.output_of_string s with
+        | Ok v -> ignore (Probe.tap set v)
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            exit 1)
+      sigs;
+    Some set
+  end
+
+let probe_export (_, vcd_out, wave_out, _) = function
+  | None -> ()
+  | Some set ->
+      (match vcd_out with
+      | Some path -> Probe.write_vcd set path
+      | None -> ());
+      (match wave_out with
+      | Some path -> Probe.write_csv set path
+      | None -> ())
+
 let simulate_cmd =
   let run obscfg file top output dt mode integration lang inputs from_program
-      moc t_stop (period, low, high) samples =
+      moc t_stop (period, low, high) samples probecfg =
     with_obs obscfg @@ fun () ->
     with_frontend_errors (fun () ->
         let p =
@@ -280,13 +342,15 @@ let simulate_cmd =
               (abstract_model file top output dt mode integration lang inputs)
                 .Flow.program
         in
+        let probes = probe_set probecfg ~default:(Expr.var_name output) in
+        let observe = Option.map Probe.observer probes in
         let stim = Stimulus.square ~period ~low ~high in
         let stimuli = List.map (fun n -> (n, stim)) p.Sfprogram.inputs in
         let trace =
           match moc with
-          | `Cpp -> (Wrap.run_cpp p ~stimuli ~t_stop).Wrap.trace
-          | `De -> (Wrap.run_de p ~stimuli ~t_stop).Wrap.trace
-          | `Tdf -> (Wrap.run_tdf p ~stimuli ~t_stop).Wrap.trace
+          | `Cpp -> (Wrap.run_cpp ?observe p ~stimuli ~t_stop).Wrap.trace
+          | `De -> (Wrap.run_de ?observe p ~stimuli ~t_stop).Wrap.trace
+          | `Tdf -> (Wrap.run_tdf ?observe p ~stimuli ~t_stop).Wrap.trace
           | `Eln | `Vams -> (
               let flat = flatten_any lang (read_file file) top inputs in
               match Elaborate.classify flat with
@@ -306,12 +370,15 @@ let simulate_cmd =
                   in
                   match moc with
                   | `Eln ->
-                      (Wrap.run_eln circuit ~inputs ~output ~dt ~t_stop)
+                      (Wrap.run_eln ?observe circuit ~inputs ~output ~dt
+                         ~t_stop)
                         .Wrap.trace
                   | _ ->
-                      (Engine.spice_like circuit ~inputs ~output ~dt ~t_stop)
+                      (Engine.spice_like ?observe circuit ~inputs ~output ~dt
+                         ~t_stop)
                         .Engine.trace))
         in
+        probe_export probecfg probes;
         Printf.printf "# time(s)  %s\n" (Expr.var_name output);
         for i = 0 to samples - 1 do
           let t = t_stop *. float_of_int i /. float_of_int (samples - 1) in
@@ -323,7 +390,8 @@ let simulate_cmd =
        ~doc:"Simulate a Verilog-AMS or VHDL-AMS model under a chosen MoC.")
     Term.(const run $ obs_flags $ file_arg $ top_arg $ out_arg $ dt_arg
           $ mode_arg $ integration_arg $ lang_arg $ inputs_arg
-          $ from_program_arg $ moc_arg $ t_stop_arg $ square_arg $ samples_arg)
+          $ from_program_arg $ moc_arg $ t_stop_arg $ square_arg $ samples_arg
+          $ probe_args)
 
 (* report *)
 
@@ -339,6 +407,45 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Print the abstraction pipeline report.")
     Term.(const run $ obs_flags $ file_arg $ top_arg $ out_arg $ dt_arg
           $ mode_arg $ integration_arg $ lang_arg $ inputs_arg)
+
+(* explain *)
+
+let explain_cmd =
+  let run obscfg file top output dt mode integration lang inputs json out =
+    with_obs obscfg (fun () ->
+        let report =
+          abstract_model file top output dt mode integration lang inputs
+        in
+        let contents =
+          if json then Explain.to_json report.Flow.explain ^ "\n"
+          else Explain.to_text report.Flow.explain ^ "\n"
+        in
+        match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc contents;
+            close_out oc
+        | None -> print_string contents)
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the plan as JSON instead of pretty text.")
+  in
+  let out_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out-file" ] ~docv:"FILE"
+             ~doc:"Write the plan to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain the abstraction plan: the defining equation chosen \
+             for each solved variable, the disabled members of its \
+             equivalence class, discretisation and elimination decisions, \
+             and the cone of influence.")
+    Term.(const run $ obs_flags $ file_arg $ top_arg $ out_arg $ dt_arg
+          $ mode_arg $ integration_arg $ lang_arg $ inputs_arg $ json_arg
+          $ out_file_arg)
 
 (* op / netlist *)
 
@@ -517,6 +624,10 @@ let sweep_cmd =
       (Array.length summary.Sweep_runner.points)
       summary.Sweep_runner.jobs summary.Sweep_runner.total_s
       summary.Sweep_runner.cache_hits summary.Sweep_runner.cache_misses;
+    if summary.Sweep_runner.unhealthy > 0 then
+      Printf.printf "  UNHEALTHY: %d point(s) flagged by the watchdogs (see \
+                     the report's health column)\n"
+        summary.Sweep_runner.unhealthy;
     let show name = function
       | Some st -> Format.printf "  %-8s %a@." name Amsvp_sweep.Stats.pp st
       | None -> ()
@@ -681,5 +792,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "amsvp" ~version:"1.0.0" ~doc)
-          [ abstract_cmd; simulate_cmd; report_cmd; sweep_cmd; ac_cmd; op_cmd;
-            netlist_cmd ]))
+          [ abstract_cmd; simulate_cmd; report_cmd; explain_cmd; sweep_cmd;
+            ac_cmd; op_cmd; netlist_cmd ]))

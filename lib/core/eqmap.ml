@@ -96,6 +96,7 @@ let fetch_all m p =
 let fetch m p = match fetch_all m p with [] -> None | v :: _ -> Some v
 
 let origin_of_class m id = (clazz m id).origin
+let variants_of_class m id = (clazz m id).variants
 
 let pp ppf m =
   Format.fprintf ppf "@[<v>equation map: %d classes, %d solved variants@,"

@@ -48,6 +48,12 @@ val origin_of_class : t -> int -> Eqn.t
 (** The original equation of a class.
     @raise Invalid_argument on an unknown id. *)
 
+val variants_of_class : t -> int -> variant list
+(** All solved variants of a class (enabled or not), in insertion
+    order — the full equivalence set consumed when any one member is
+    used.
+    @raise Invalid_argument on an unknown id. *)
+
 val pp : Format.formatter -> t -> unit
 (** Dump in the style of Fig. 5: one line per class with its original
     equation and the chained solved variants. *)

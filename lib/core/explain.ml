@@ -1,0 +1,276 @@
+module Sfprogram = Amsvp_sf.Sfprogram
+
+type provenance =
+  | From_class of {
+      class_id : int;
+      origin : Eqn.t;
+      defines : Eqn.pseudo;
+      disabled : Eqmap.variant list;
+    }
+  | Direct
+
+type choice = {
+  target : Expr.var;
+  rhs : Expr.t;
+  integrates : bool;
+  provenance : provenance;
+}
+
+type t = {
+  model : string;
+  dt : float;
+  requested_mode : Solve.mode;
+  plan : Solve.plan;
+  inputs : string list;
+  outputs : Expr.var list;
+  classes_total : int;
+  choices : choice list;
+}
+
+let of_abstraction ~name ~dt ~mode map (asm : Assemble.result)
+    (plan : Solve.plan) =
+  let choices =
+    List.map
+      (fun (d : Assemble.definition) ->
+        let defines =
+          if d.Assemble.integrates then Eqn.Der d.Assemble.var
+          else Eqn.Cur d.Assemble.var
+        in
+        let disabled =
+          List.filter
+            (fun (v : Eqmap.variant) ->
+              Eqn.compare_pseudo v.Eqmap.defines defines <> 0)
+            (Eqmap.variants_of_class map d.Assemble.via)
+        in
+        {
+          target = d.Assemble.var;
+          rhs =
+            (match d.Assemble.deriv with
+            | Some rhs when d.Assemble.integrates -> rhs
+            | _ -> d.Assemble.raw);
+          integrates = d.Assemble.integrates;
+          provenance =
+            From_class
+              {
+                class_id = d.Assemble.via;
+                origin = Eqmap.origin_of_class map d.Assemble.via;
+                defines;
+                disabled;
+              };
+        })
+      asm.Assemble.defs
+  in
+  {
+    model = name;
+    dt;
+    requested_mode = mode;
+    plan;
+    inputs = asm.Assemble.inputs;
+    outputs = asm.Assemble.outputs;
+    classes_total = Eqmap.class_count map;
+    choices;
+  }
+
+let of_signal_flow (p : Sfprogram.t) =
+  {
+    model = p.Sfprogram.name;
+    dt = p.Sfprogram.dt;
+    requested_mode = `Exact;
+    plan =
+      {
+        Solve.effective_mode = `Exact;
+        integration_used = `Backward_euler;
+        lagged = [];
+        eliminations = [];
+        regions = 1;
+        ddt_aux = 0;
+      };
+    inputs = p.Sfprogram.inputs;
+    outputs = p.Sfprogram.outputs;
+    classes_total = 0;
+    choices =
+      List.map
+        (fun (a : Sfprogram.assignment) ->
+          {
+            target = a.Sfprogram.target;
+            rhs = a.Sfprogram.expr;
+            integrates = false;
+            provenance = Direct;
+          })
+        p.Sfprogram.assignments;
+  }
+
+let cone e = List.length e.choices
+
+let mode_label : Solve.mode -> string = function
+  | `Auto -> "auto"
+  | `Exact -> "exact"
+  | `Relaxed -> "relaxed"
+
+let integration_label : Solve.integration -> string = function
+  | `Backward_euler -> "backward-euler"
+  | `Trapezoidal -> "trapezoidal"
+
+let origin_label (o : Eqn.origin) =
+  match o with
+  | Eqn.Dipole d -> "dipole " ^ d
+  | Eqn.Kcl n -> "kcl " ^ n
+  | Eqn.Kvl i -> Printf.sprintf "kvl %d" i
+  | Eqn.Derived -> "derived"
+  | Eqn.Explicit -> "explicit"
+
+(* ---- JSON ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let jlist items = "[" ^ String.concat "," items ^ "]"
+
+let to_json e =
+  let b = Buffer.create 4096 in
+  let plan = e.plan in
+  Printf.bprintf b
+    "{\"model\":%s,\"dt\":%.17g,\"mode\":%s,\"effective_mode\":%s,\
+     \"integration\":%s,\"regions\":%d,\"ddt_aux\":%d,\"classes\":%d,\
+     \"cone\":%d,"
+    (jstr e.model) e.dt
+    (jstr (mode_label e.requested_mode))
+    (jstr (mode_label (plan.Solve.effective_mode :> Solve.mode)))
+    (jstr (integration_label plan.Solve.integration_used))
+    plan.Solve.regions plan.Solve.ddt_aux e.classes_total (cone e);
+  Printf.bprintf b "\"inputs\":%s,"
+    (jlist (List.map jstr e.inputs));
+  Printf.bprintf b "\"outputs\":%s,"
+    (jlist (List.map (fun v -> jstr (Expr.var_name v)) e.outputs));
+  Printf.bprintf b "\"lagged\":%s,"
+    (jlist (List.map (fun v -> jstr (Expr.var_name v)) plan.Solve.lagged));
+  Printf.bprintf b "\"eliminations\":%s,"
+    (jlist
+       (List.map
+          (fun (el : Solve.elimination) ->
+            Printf.sprintf "{\"members\":%s,\"pivots\":%s}"
+              (jlist
+                 (List.map
+                    (fun v -> jstr (Expr.var_name v))
+                    el.Solve.members))
+              (jlist
+                 (List.map
+                    (fun (p : Solve.pivot) ->
+                      Printf.sprintf "{\"var\":%s,\"magnitude\":%.9g}"
+                        (jstr (Expr.var_name p.Solve.pivot_var))
+                        p.Solve.pivot_mag)
+                    el.Solve.pivots)))
+          plan.Solve.eliminations));
+  Printf.bprintf b "\"variables\":%s}"
+    (jlist
+       (List.map
+          (fun c ->
+            let common =
+              Printf.sprintf
+                "\"var\":%s,\"integrates\":%b,\"equation\":%s"
+                (jstr (Expr.var_name c.target))
+                c.integrates
+                (jstr
+                   (Printf.sprintf "%s = %s"
+                      (if c.integrates then
+                         "ddt(" ^ Expr.var_name c.target ^ ")"
+                       else Expr.var_name c.target)
+                      (Expr.to_string c.rhs)))
+            in
+            match c.provenance with
+            | Direct -> Printf.sprintf "{%s,\"source\":\"direct\"}" common
+            | From_class { class_id; origin; defines; disabled } ->
+                Printf.sprintf
+                  "{%s,\"source\":\"class\",\"class\":%d,\"origin\":%s,\
+                   \"defines\":%s,\"disabled\":%s}"
+                  common class_id
+                  (jstr (origin_label origin.Eqn.origin))
+                  (jstr (Eqn.pseudo_name defines))
+                  (jlist
+                     (List.map
+                        (fun (v : Eqmap.variant) ->
+                          Printf.sprintf "{\"defines\":%s,\"rhs\":%s}"
+                            (jstr (Eqn.pseudo_name v.Eqmap.defines))
+                            (jstr (Expr.to_string v.Eqmap.rhs)))
+                        disabled)))
+          e.choices));
+  Buffer.contents b
+
+(* ---- pretty text ---- *)
+
+let pp ppf e =
+  let plan = e.plan in
+  Format.fprintf ppf "@[<v>abstraction plan for %s (dt=%g)@," e.model e.dt;
+  Format.fprintf ppf
+    "mode: %s (effective %s), integration: %s, regions: %d%s@,"
+    (mode_label e.requested_mode)
+    (mode_label (plan.Solve.effective_mode :> Solve.mode))
+    (integration_label plan.Solve.integration_used)
+    plan.Solve.regions
+    (if plan.Solve.ddt_aux > 0 then
+       Printf.sprintf ", ddt auxiliaries: %d" plan.Solve.ddt_aux
+     else "");
+  Format.fprintf ppf "cone of influence: %d of %d equation classes@," (cone e)
+    e.classes_total;
+  Format.fprintf ppf "inputs: %s@," (String.concat ", " e.inputs);
+  Format.fprintf ppf "outputs: %s@,"
+    (String.concat ", " (List.map Expr.var_name e.outputs));
+  if plan.Solve.lagged <> [] then
+    Format.fprintf ppf "relaxation lagged: %s@,"
+      (String.concat ", " (List.map Expr.var_name plan.Solve.lagged));
+  List.iter
+    (fun (el : Solve.elimination) ->
+      Format.fprintf ppf "eliminated component {%s} pivots [%s]@,"
+        (String.concat ", " (List.map Expr.var_name el.Solve.members))
+        (String.concat ", "
+           (List.map
+              (fun (p : Solve.pivot) ->
+                Printf.sprintf "%s:%.3g"
+                  (Expr.var_name p.Solve.pivot_var)
+                  p.Solve.pivot_mag)
+              el.Solve.pivots)))
+    plan.Solve.eliminations;
+  List.iter
+    (fun c ->
+      let lhs =
+        if c.integrates then "ddt(" ^ Expr.var_name c.target ^ ")"
+        else Expr.var_name c.target
+      in
+      (match c.provenance with
+      | Direct ->
+          Format.fprintf ppf "@,%s = %a@,  (explicit signal-flow)" lhs
+            Expr.pp c.rhs
+      | From_class { class_id; origin; defines; disabled } ->
+          Format.fprintf ppf "@,%s = %a@,  chosen for %s from class %d (%s)"
+            lhs Expr.pp c.rhs
+            (Eqn.pseudo_name defines)
+            class_id
+            (origin_label origin.Eqn.origin);
+          if disabled <> [] then
+            Format.fprintf ppf "@,  disables: %s"
+              (String.concat "; "
+                 (List.map
+                    (fun (v : Eqmap.variant) ->
+                      Printf.sprintf "%s = %s"
+                        (Eqn.pseudo_name v.Eqmap.defines)
+                        (Expr.to_string v.Eqmap.rhs))
+                    disabled))))
+    e.choices;
+  Format.fprintf ppf "@]"
+
+let to_text e = Format.asprintf "%a" pp e

@@ -15,6 +15,7 @@ type report = {
   classes : int;
   variants : int;
   definitions : int;
+  explain : Explain.t;
   acquisition_s : float;
   enrichment_s : float;
   assemble_s : float;
@@ -103,9 +104,11 @@ let abstract_circuit ?(name = "abstracted") ?(mode = `Auto)
   let asm, assemble_s =
     timed "flow.assemble" (fun () -> Assemble.assemble map ~inputs ~outputs)
   in
-  let program, solve_s =
-    timed "flow.solve" (fun () -> Solve.solve ~mode ~integration ~name ~dt asm)
+  let (program, plan), solve_s =
+    timed "flow.solve" (fun () ->
+        Solve.solve_with_plan ~mode ~integration ~name ~dt asm)
   in
+  let explain = Explain.of_abstraction ~name ~dt ~mode map asm plan in
   {
     program;
     nodes = Graph.node_count acq.Acquisition.graph;
@@ -113,6 +116,7 @@ let abstract_circuit ?(name = "abstracted") ?(mode = `Auto)
     classes = Eqmap.class_count map;
     variants = stats.Enrich.variants;
     definitions = List.length asm.Assemble.defs;
+    explain;
     acquisition_s;
     enrichment_s;
     assemble_s;

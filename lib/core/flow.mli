@@ -10,6 +10,8 @@ type report = {
   classes : int;  (** equation classes after enrichment *)
   variants : int;  (** solved variants in the multimap *)
   definitions : int;  (** quantities in the cone of influence *)
+  explain : Explain.t;
+      (** the structured plan account ([amsvp explain]) *)
   acquisition_s : float;
   enrichment_s : float;
   assemble_s : float;

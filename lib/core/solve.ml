@@ -7,6 +7,23 @@ let auto_threshold = 16
 exception Nonlinear of Expr.var
 exception Underdetermined of string
 
+(* The solver's decision record, kept for explainability: which
+   concrete mode [`Auto] resolved to, which state variables the
+   relaxation lagged, the Gauss-Jordan pivots of every eliminated
+   component, how many PWL regions were enumerated and how many
+   trapezoidal-differentiator auxiliaries were introduced. *)
+type pivot = { pivot_var : Expr.var; pivot_mag : float }
+type elimination = { members : Expr.var list; pivots : pivot list }
+
+type plan = {
+  effective_mode : [ `Exact | `Relaxed ];
+  integration_used : integration;
+  lagged : Expr.var list;
+  eliminations : elimination list;
+  regions : int;
+  ddt_aux : int;
+}
+
 (* Substitute the reserved __dt parameter. *)
 let bake_dt ~dt e =
   Expr.subst
@@ -107,6 +124,7 @@ let eliminate_component vars exprs members =
             items)
     members;
   (* Gauss-Jordan with partial pivoting. *)
+  let pivots = ref [] in
   for col = 0 to m - 1 do
     let piv = ref col in
     for i = col + 1 to m - 1 do
@@ -117,6 +135,12 @@ let eliminate_component vars exprs members =
         (Underdetermined
            (Printf.sprintf "no pivot for %s"
               (Expr.var_name vars.(List.nth members col))));
+    pivots :=
+      {
+        pivot_var = vars.(List.nth members col);
+        pivot_mag = abs_float a.(!piv).(col);
+      }
+      :: !pivots;
     if !piv <> col then begin
       let t = a.(col) in
       a.(col) <- a.(!piv);
@@ -148,13 +172,17 @@ let eliminate_component vars exprs members =
     (fun row j ->
       let r = rhs.(row) in
       let scale = Array.fold_left (fun acc v -> max acc (abs_float v)) 1.0 r in
+      (* A non-finite coefficient means a poisoned parameter; keep it so it
+         surfaces in the trace instead of being zeroed as "insignificant". *)
+      let significant v = not (abs_float v <= 1e-12 *. scale) in
       let items = ref [] in
       for c = nk - 1 downto 0 do
-        if abs_float r.(c) > 1e-12 *. scale then items := (knowns.(c), r.(c)) :: !items
+        if significant r.(c) then items := (knowns.(c), r.(c)) :: !items
       done;
-      let const = if abs_float r.(nk) > 1e-12 *. scale then r.(nk) else 0.0 in
+      let const = if significant r.(nk) then r.(nk) else 0.0 in
       exprs.(j) <- Expr.simplify (Expr.of_linear_form (!items, const)))
-    members
+    members;
+  { members = List.map (fun j -> vars.(j)) members; pivots = List.rev !pivots }
 
 (* Piecewise-linear support: regions are the truth assignments of the
    distinct conditions occurring in the definitions. *)
@@ -256,8 +284,8 @@ let extract_ddts ~dt ~fresh e =
   let e' = go e in
   (e', List.rev !aux)
 
-let solved_assignments ?(mode = `Auto) ?(integration = `Backward_euler) ~dt
-    (r : Assemble.result) =
+let solved_assignments_plan ?(mode = `Auto) ?(integration = `Backward_euler)
+    ~dt (r : Assemble.result) =
   (* Expand the assembled definitions according to the integration
      rule: backward Euler keeps them as-is; trapezoidal rewrites
      integrations to x = x@-1 + dt/2 (f_t + f_{t-1}) and turns every
@@ -306,6 +334,11 @@ let solved_assignments ?(mode = `Auto) ?(integration = `Backward_euler) ~dt
     if v.Expr.delay <> 0 then None
     else Hashtbl.find_opt pos_of (Expr.var_name v)
   in
+  let lagged_tbl = Hashtbl.create 8 in
+  let note_lagged v =
+    let v0 = { v with Expr.delay = 0 } in
+    Hashtbl.replace lagged_tbl (Expr.var_name v0) v0
+  in
   let exprs =
     Array.of_list
       (List.mapi
@@ -326,12 +359,29 @@ let solved_assignments ?(mode = `Auto) ?(integration = `Backward_euler) ~dt
                 (fun v ->
                   match def_index { v with Expr.delay = 0 } with
                   | Some j when j > i && integrates.(j) ->
+                      note_lagged v;
                       Some (Expr.var (Expr.delayed v 1))
                   | Some _ | None -> None)
                 e
         in
         Expr.simplify e)
          expanded)
+  in
+  let lagged =
+    Hashtbl.fold (fun _ v acc -> v :: acc) lagged_tbl []
+    |> List.sort (fun a b -> compare (Expr.var_name a) (Expr.var_name b))
+  in
+  let eliminations = ref [] in
+  let finish assignments ~regions =
+    ( assignments,
+      {
+        effective_mode = mode;
+        integration_used = integration;
+        lagged;
+        eliminations = List.rev !eliminations;
+        regions;
+        ddt_aux = !counter;
+      } )
   in
   let conditions = collect_conditions exprs in
   if conditions = [] then begin
@@ -354,12 +404,16 @@ let solved_assignments ?(mode = `Auto) ?(integration = `Backward_euler) ~dt
         | [ j ] when not (List.exists (fun k -> k = j) (succ j)) ->
             (* No self-reference: already explicit. *)
             ()
-        | members -> eliminate_component vars exprs members)
+        | members ->
+            eliminations := eliminate_component vars exprs members :: !eliminations)
       sccs;
     (* Emission order: components in dependency order, members in their
        original assembly order within each. *)
-    List.concat_map (fun members -> List.sort compare members) sccs
-    |> List.map (fun j -> (vars.(j), exprs.(j)))
+    let assignments =
+      List.concat_map (fun members -> List.sort compare members) sccs
+      |> List.map (fun j -> (vars.(j), exprs.(j)))
+    in
+    finish assignments ~regions:1
   end
   else begin
     (* Piecewise-linear extension (paper Section III-C, via [7]): the
@@ -382,9 +436,12 @@ let solved_assignments ?(mode = `Auto) ?(integration = `Backward_euler) ~dt
     in
     let lagged = List.map lag_unknowns_in_condition conditions in
     let all = Array.to_list (Array.init n (fun i -> i)) in
+    (* Pivot bookkeeping would be 2^k near-copies; keep the first
+       solved region's (all conditions true) as the representative. *)
     let solve_region choice =
       let specialized = Array.map (specialize_conditions choice) exprs in
-      eliminate_component vars specialized all;
+      let elim = eliminate_component vars specialized all in
+      if !eliminations = [] then eliminations := [ elim ];
       specialized
     in
     let rec regions chosen = function
@@ -403,14 +460,25 @@ let solved_assignments ?(mode = `Auto) ?(integration = `Backward_euler) ~dt
           Expr.Cond (lc, merge i rest yes, merge i rest no)
       | `Leaf _, _ :: _ | `Node _, [] -> assert false
     in
-    List.map (fun i -> (vars.(i), Expr.simplify (merge i lagged tree))) all
+    let assignments =
+      List.map (fun i -> (vars.(i), Expr.simplify (merge i lagged tree))) all
+    in
+    finish assignments ~regions:(1 lsl k)
   end
 
-let solve ?mode ?integration ~name ~dt (r : Assemble.result) =
+let solved_assignments ?mode ?integration ~dt r =
+  fst (solved_assignments_plan ?mode ?integration ~dt r)
+
+let solve_with_plan ?mode ?integration ~name ~dt (r : Assemble.result) =
+  let solved, plan = solved_assignments_plan ?mode ?integration ~dt r in
   let assignments =
     List.map
       (fun (var, e) -> { Amsvp_sf.Sfprogram.target = var; expr = e })
-      (solved_assignments ?mode ?integration ~dt r)
+      solved
   in
-  Amsvp_sf.Sfprogram.make ~name ~inputs:r.Assemble.inputs
-    ~outputs:r.Assemble.outputs ~assignments ~dt
+  ( Amsvp_sf.Sfprogram.make ~name ~inputs:r.Assemble.inputs
+      ~outputs:r.Assemble.outputs ~assignments ~dt,
+    plan )
+
+let solve ?mode ?integration ~name ~dt r =
+  fst (solve_with_plan ?mode ?integration ~name ~dt r)

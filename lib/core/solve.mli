@@ -54,6 +54,35 @@ type integration = [ `Backward_euler | `Trapezoidal ]
     are computed by the trapezoidal differentiator
     [s = (2/dt)(arg - arg@-1) - s@-1] through auxiliary quantities. *)
 
+(** {1 Solver plan}
+
+    Every solve also produces a record of the decisions taken, consumed
+    by {!Explain} / [amsvp explain]: nothing here affects the generated
+    program, it only makes the solution auditable. *)
+
+type pivot = { pivot_var : Expr.var; pivot_mag : float }
+(** One Gauss-Jordan pivot: the member variable the column solves for
+    and the magnitude of the chosen pivot element (after partial
+    pivoting) — small magnitudes flag near-singular components. *)
+
+type elimination = { members : Expr.var list; pivots : pivot list }
+(** One eliminated strongly-connected component. *)
+
+type plan = {
+  effective_mode : [ `Exact | `Relaxed ];
+      (** what [`Auto] resolved to (or the explicit request) *)
+  integration_used : integration;
+  lagged : Expr.var list;
+      (** state variables whose forward references the relaxation
+          turned into previous-step reads, sorted by name *)
+  eliminations : elimination list;
+      (** in solve order; for a piecewise-linear model, the
+          all-conditions-true region stands in for all regions *)
+  regions : int;  (** 1 for linear models, 2^k for PWL *)
+  ddt_aux : int;
+      (** trapezoidal-differentiator auxiliaries introduced *)
+}
+
 val solve :
   ?mode:mode ->
   ?integration:integration ->
@@ -61,6 +90,15 @@ val solve :
   dt:float ->
   Assemble.result ->
   Amsvp_sf.Sfprogram.t
+
+val solve_with_plan :
+  ?mode:mode ->
+  ?integration:integration ->
+  name:string ->
+  dt:float ->
+  Assemble.result ->
+  Amsvp_sf.Sfprogram.t * plan
+(** [solve] plus the decision record. *)
 
 val solved_assignments :
   ?mode:mode ->
@@ -70,3 +108,10 @@ val solved_assignments :
   (Expr.var * Expr.t) list
 (** The explicit update rules without program packaging (used by the
     Fig. 7 walkthrough and by tests). *)
+
+val solved_assignments_plan :
+  ?mode:mode ->
+  ?integration:integration ->
+  dt:float ->
+  Assemble.result ->
+  (Expr.var * Expr.t) list * plan

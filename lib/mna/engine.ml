@@ -51,8 +51,8 @@ let input_fun inputs =
     | Some f -> f t
     | None -> invalid_arg ("Engine: no stimulus bound to input " ^ name)
 
-let spice_like ?(substeps = 8) ?(iterations = 3) circuit ~inputs ~output ~dt
-    ~t_stop =
+let spice_like ?(substeps = 8) ?(iterations = 3) ?observe circuit ~inputs
+    ~output ~dt ~t_stop =
   check_args ~dt ~t_stop;
   if substeps < 1 || iterations < 1 then
     invalid_arg "Engine.spice_like: substeps and iterations must be >= 1";
@@ -66,7 +66,9 @@ let spice_like ?(substeps = 8) ?(iterations = 3) circuit ~inputs ~output ~dt
   let rhs = Array.make n 0.0 in
   let trace = Trace.create ~capacity:(nsteps + 1) () in
   let device_evals = ref 0 and factorizations = ref 0 and solves = ref 0 in
+  let reader v = System.output_value sys v !x in
   Trace.add trace ~time:0.0 ~value:(System.output_value sys output !x);
+  (match observe with None -> () | Some f -> f 0.0 reader);
   for step = 1 to nsteps do
     let t_base = float_of_int (step - 1) *. dt in
     for sub = 1 to substeps do
@@ -96,9 +98,10 @@ let spice_like ?(substeps = 8) ?(iterations = 3) circuit ~inputs ~output ~dt
     done;
     Obs.Histogram.observe h_solver_passes
       (float_of_int (substeps * iterations));
-    Trace.add trace
-      ~time:(float_of_int step *. dt)
-      ~value:(System.output_value sys output !x)
+    let t_report = float_of_int step *. dt in
+    Trace.add trace ~time:t_report
+      ~value:(System.output_value sys output !x);
+    match observe with None -> () | Some f -> f t_report reader
   done;
   Obs.Counter.add c_steps nsteps;
   Obs.Counter.add c_device_evals !device_evals;
@@ -118,7 +121,8 @@ let spice_like ?(substeps = 8) ?(iterations = 3) circuit ~inputs ~output ~dt
     matrix_dim = n;
   }
 
-let eln_like ?(on_step = fun _ _ -> ()) circuit ~inputs ~output ~dt ~t_stop =
+let eln_like ?(on_step = fun _ _ -> ()) ?observe circuit ~inputs ~output ~dt
+    ~t_stop =
   check_args ~dt ~t_stop;
   if Amsvp_netlist.Circuit.has_pwl circuit then
     invalid_arg "Engine.eln_like: the linear-network engine cannot simulate \
@@ -136,7 +140,9 @@ let eln_like ?(on_step = fun _ _ -> ()) circuit ~inputs ~output ~dt ~t_stop =
   let rhs = Array.make n 0.0 in
   let trace = Trace.create ~capacity:(nsteps + 1) () in
   let solves = ref 0 in
+  let reader v = System.output_value sys v x in
   Trace.add trace ~time:0.0 ~value:(System.output_value sys output x);
+  (match observe with None -> () | Some f -> f 0.0 reader);
   for step = 1 to nsteps do
     let t = float_of_int step *. dt in
     System.stamp_rhs sys ~h:dt ~state:x ~input:(input_at t) ~rhs;
@@ -145,7 +151,8 @@ let eln_like ?(on_step = fun _ _ -> ()) circuit ~inputs ~output ~dt ~t_stop =
     Array.blit x_next 0 x 0 n;
     let out = System.output_value sys output x in
     Trace.add trace ~time:t ~value:out;
-    on_step t out
+    on_step t out;
+    match observe with None -> () | Some f -> f t reader
   done;
   Obs.Counter.add c_steps nsteps;
   Obs.Counter.add c_device_evals 1;
@@ -201,7 +208,10 @@ module Eln_stepper = struct
 
   let step st ~input_values =
     if Array.length input_values <> Array.length st.inputs then
-      invalid_arg "Eln_stepper.step: input arity mismatch";
+      invalid_arg
+        (Printf.sprintf "Eln_stepper.step: expected %d input(s), got %d"
+           (Array.length st.inputs)
+           (Array.length input_values));
     let input name =
       let rec find i =
         if i >= Array.length st.inputs then
@@ -223,6 +233,7 @@ module Eln_stepper = struct
     st.out
 
   let output st = st.out
+  let read st v = System.output_value st.sys v st.x
 
   let reset st =
     Array.fill st.x 0 (Array.length st.x) 0.0;
@@ -264,7 +275,10 @@ module Spice_stepper = struct
 
   let step st ~input_values =
     if Array.length input_values <> Array.length st.inputs then
-      invalid_arg "Spice_stepper.step: input arity mismatch";
+      invalid_arg
+        (Printf.sprintf "Spice_stepper.step: expected %d input(s), got %d"
+           (Array.length st.inputs)
+           (Array.length input_values));
     let input name =
       let rec find i =
         if i >= Array.length st.inputs then
@@ -295,6 +309,7 @@ module Spice_stepper = struct
     st.out
 
   let output st = st.out
+  let read st v = System.output_value st.sys v st.x
 
   let reset st =
     Array.fill st.x 0 (Array.length st.x) 0.0;

@@ -28,6 +28,7 @@ type result = { trace : Amsvp_util.Trace.t; stats : stats; matrix_dim : int }
 val spice_like :
   ?substeps:int ->
   ?iterations:int ->
+  ?observe:(float -> (Expr.var -> float) -> unit) ->
   Amsvp_netlist.Circuit.t ->
   inputs:(string * Amsvp_util.Stimulus.t) list ->
   output:Expr.var ->
@@ -36,11 +37,15 @@ val spice_like :
   result
 (** [spice_like ckt ~inputs ~output ~dt ~t_stop] simulates from 0 to
     [t_stop], recording [output] every [dt]. Default [substeps = 8],
-    [iterations = 3].
+    [iterations = 3]. [observe] is called at every reporting instant
+    (including t = 0) with a reader over the solved MNA state — the
+    waveform-probe attachment point; absent, it costs one branch per
+    reporting step.
     @raise Invalid_argument on a missing input signal or bad step. *)
 
 val eln_like :
   ?on_step:(float -> float -> unit) ->
+  ?observe:(float -> (Expr.var -> float) -> unit) ->
   Amsvp_netlist.Circuit.t ->
   inputs:(string * Amsvp_util.Stimulus.t) list ->
   output:Expr.var ->
@@ -49,7 +54,8 @@ val eln_like :
   result
 (** Fixed-step linear-network engine; [on_step time value] is invoked
     once per step (the ELN-cluster to DE-kernel synchronisation
-    point). *)
+    point). [observe] is the probe attachment point, as in
+    {!spice_like}. *)
 
 (** Step-wise interface to the ELN engine, for embedding the linear
     network inside a discrete-event kernel (the SystemC-AMS use case):
@@ -72,10 +78,16 @@ module Eln_stepper : sig
 
   val step : t -> input_values:float array -> float
   (** Advance one timestep with the given input samples (ordered as the
-      [inputs] list) and return the output quantity. *)
+      [inputs] list) and return the output quantity.
+      @raise Invalid_argument on an arity mismatch, naming the expected
+      and actual input counts. *)
 
   val output : t -> float
   (** Output value after the last [step] (0 before the first). *)
+
+  val read : t -> Expr.var -> float
+  (** Evaluate any circuit quantity (node potential or branch flow)
+      from the current state — used by waveform probes. *)
 
   val reset : t -> unit
 end
@@ -98,7 +110,14 @@ module Spice_stepper : sig
     t
 
   val step : t -> input_values:float array -> float
+  (** @raise Invalid_argument on an arity mismatch, naming the expected
+      and actual input counts. *)
+
   val output : t -> float
+
+  val read : t -> Expr.var -> float
+  (** Evaluate any circuit quantity from the current state. *)
+
   val reset : t -> unit
 end
 

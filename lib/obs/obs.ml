@@ -16,6 +16,7 @@ type span = {
   start_ns : int;
   dur_ns : int;
   depth : int;
+  dom : int;
   args : (string * string) list;
 }
 
@@ -31,7 +32,9 @@ let now_ns = Clock.now_ns
 (* ---- span storage: a growable buffer of completed spans ---- *)
 
 let dummy_span =
-  { name = ""; cat = ""; start_ns = 0; dur_ns = 0; depth = 0; args = [] }
+  { name = ""; cat = ""; start_ns = 0; dur_ns = 0; depth = 0; dom = 0; args = [] }
+
+let self_dom () = (Domain.self () :> int)
 
 let buf_mutex = Mutex.create ()
 let buf = ref (Array.make 1024 dummy_span)
@@ -73,7 +76,16 @@ let close ~cat ~args name t0 =
   let t1 = now_ns () in
   let d = depth () in
   decr d;
-  push { name; cat; start_ns = t0; dur_ns = t1 - t0; depth = !d; args }
+  push
+    {
+      name;
+      cat;
+      start_ns = t0;
+      dur_ns = t1 - t0;
+      depth = !d;
+      dom = self_dom ();
+      args;
+    }
 
 let with_span ?(cat = "") ?(args = []) name f =
   if not (Atomic.get on) then f ()
@@ -100,7 +112,15 @@ let timed ?(cat = "") name f =
         let d = depth () in
         decr d;
         push
-          { name; cat; start_ns = t0; dur_ns = t1 - t0; depth = !d; args = [] }
+          {
+            name;
+            cat;
+            start_ns = t0;
+            dur_ns = t1 - t0;
+            depth = !d;
+            dom = self_dom ();
+            args = [];
+          }
       end;
       (y, float_of_int (t1 - t0) *. 1e-9)
   | exception e ->
@@ -114,6 +134,7 @@ let timed ?(cat = "") name f =
             start_ns = t0;
             dur_ns = now_ns () - t0;
             depth = !d;
+            dom = self_dom ();
             args = [];
           }
       end;
@@ -122,7 +143,15 @@ let timed ?(cat = "") name f =
 let instant ?(cat = "") ?(args = []) name =
   if Atomic.get on then
     push
-      { name; cat; start_ns = now_ns (); dur_ns = 0; depth = !(depth ()); args }
+      {
+        name;
+        cat;
+        start_ns = now_ns ();
+        dur_ns = 0;
+        depth = !(depth ());
+        dom = self_dom ();
+        args;
+      }
 
 (* ---- metrics registry ---- *)
 
@@ -248,7 +277,9 @@ module Histogram = struct
   let observe h v =
     let n = Array.length h.bounds in
     let i = ref 0 in
-    while !i < n && v > h.bounds.(!i) do
+    (* [v <= b] is false for NaN against every bound, so a NaN walks
+       past all of them into the overflow bucket. *)
+    while !i < n && not (v <= h.bounds.(!i)) do
       incr i
     done;
     Atomic.incr h.counts.(!i);
@@ -336,15 +367,17 @@ let chrome_trace () =
       Buffer.add_char b ',';
       if s.dur_ns = 0 then
         Printf.bprintf b
-          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":1"
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
           (json_escape s.name) (json_escape cat)
           (float_of_int s.start_ns /. 1e3)
+          (s.dom + 1)
       else
         Printf.bprintf b
-          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1"
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
           (json_escape s.name) (json_escape cat)
           (float_of_int s.start_ns /. 1e3)
-          (float_of_int s.dur_ns /. 1e3);
+          (float_of_int s.dur_ns /. 1e3)
+          (s.dom + 1);
       if s.args <> [] then begin
         Buffer.add_string b ",\"args\":{";
         List.iteri

@@ -39,6 +39,11 @@ type span = {
   start_ns : int;
   dur_ns : int;  (** 0 for instant events *)
   depth : int;  (** nesting depth at entry, outermost = 0 *)
+  dom : int;
+      (** id of the domain that recorded the span ([Domain.self] as an
+          int). [depth] is only meaningful between spans with the same
+          [dom]; the Chrome sink maps [dom] to the trace [tid] so each
+          worker domain gets its own row. *)
   args : (string * string) list;
 }
 
@@ -99,6 +104,17 @@ module Histogram : sig
   (** [buckets] are ascending upper bounds (["le"] semantics, an
       implicit [+Inf] bucket is always appended). The default covers
       1 .. 10^6 in 1-2-5 steps.
+
+      Boundary semantics: each bound is an {e inclusive} upper edge,
+      Prometheus "less-or-equal" style. A value [v] lands in the first
+      bucket whose bound [b] satisfies [v <= b]; in particular a value
+      {e exactly equal} to a bound is counted in that bound's bucket,
+      not the next one. Equivalently, bucket [i] covers the half-open
+      interval (bounds[i-1], bounds[i]] — exclusive on the left,
+      inclusive on the right — with bucket 0 covering (-inf, bounds[0]]
+      and the implicit overflow bucket (bounds[n-1], +inf). NaN
+      observations fall into the overflow bucket (every comparison with
+      a bound is false) and still count towards [count] and [sum].
       @raise Invalid_argument if [buckets] is empty or not strictly
       ascending. *)
 

@@ -1,0 +1,176 @@
+module Obs = Amsvp_obs.Obs
+
+type kind = Nan_or_inf | Amplitude | Stuck | Nrmse_budget
+
+let kind_label = function
+  | Nan_or_inf -> "nan"
+  | Amplitude -> "amplitude"
+  | Stuck -> "stuck"
+  | Nrmse_budget -> "nrmse-budget"
+
+type issue = { kind : kind; time : float; value : float }
+
+type config = {
+  amplitude_limit : float option;
+  stuck_after : int option;
+  nrmse_budget : float option;
+  nrmse_warmup : int;
+}
+
+let default_config =
+  {
+    amplitude_limit = None;
+    stuck_after = None;
+    nrmse_budget = None;
+    nrmse_warmup = 8;
+  }
+
+type t = {
+  signal : string;
+  config : config;
+  (* streaming statistics over finite samples *)
+  mutable n_total : int;
+  mutable n_finite : int;
+  mutable v_min : float;
+  mutable v_max : float;
+  mutable mean : float;
+  mutable m2 : float;  (* Welford sum of squared deviations *)
+  mutable sum_sq : float;  (* for RMS *)
+  (* streaming NRMSE against a reference *)
+  mutable n_ref : int;
+  mutable err_sq : float;
+  mutable ref_min : float;
+  mutable ref_max : float;
+  (* stuck-at run tracking *)
+  mutable last : float;
+  mutable run : int;
+  (* fired watchdogs, newest first *)
+  mutable fired : issue list;
+}
+
+let create ?(config = default_config) signal =
+  (match config.amplitude_limit with
+  | Some l when not (l > 0.0) ->
+      invalid_arg "Health.create: amplitude_limit must be positive"
+  | _ -> ());
+  (match config.stuck_after with
+  | Some k when k < 2 -> invalid_arg "Health.create: stuck_after must be >= 2"
+  | _ -> ());
+  (match config.nrmse_budget with
+  | Some b when not (b > 0.0) ->
+      invalid_arg "Health.create: nrmse_budget must be positive"
+  | _ -> ());
+  {
+    signal;
+    config;
+    n_total = 0;
+    n_finite = 0;
+    v_min = infinity;
+    v_max = neg_infinity;
+    mean = 0.0;
+    m2 = 0.0;
+    sum_sq = 0.0;
+    n_ref = 0;
+    err_sq = 0.0;
+    ref_min = infinity;
+    ref_max = neg_infinity;
+    last = nan;
+    run = 0;
+    fired = [];
+  }
+
+let signal m = m.signal
+
+let already_fired m kind = List.exists (fun i -> i.kind = kind) m.fired
+
+let fire m kind ~time ~value =
+  if not (already_fired m kind) then begin
+    m.fired <- { kind; time; value } :: m.fired;
+    Obs.instant ~cat:"health"
+      ~args:
+        [
+          ("signal", m.signal);
+          ("time", Printf.sprintf "%.9g" time);
+          ("value", Printf.sprintf "%.9g" value);
+        ]
+      ("health." ^ kind_label kind)
+  end
+
+let nrmse m =
+  if m.n_ref = 0 then None
+  else
+    let range = m.ref_max -. m.ref_min in
+    if range > 0.0 then Some (sqrt (m.err_sq /. float_of_int m.n_ref) /. range)
+    else None
+
+let observe m ~time v =
+  m.n_total <- m.n_total + 1;
+  if Float.is_finite v then begin
+    m.n_finite <- m.n_finite + 1;
+    if v < m.v_min then m.v_min <- v;
+    if v > m.v_max then m.v_max <- v;
+    let d = v -. m.mean in
+    m.mean <- m.mean +. (d /. float_of_int m.n_finite);
+    m.m2 <- m.m2 +. (d *. (v -. m.mean));
+    m.sum_sq <- m.sum_sq +. (v *. v);
+    (match m.config.amplitude_limit with
+    | Some limit when abs_float v > limit -> fire m Amplitude ~time ~value:v
+    | _ -> ());
+    match m.config.stuck_after with
+    | None -> ()
+    | Some k ->
+        if v = m.last then begin
+          m.run <- m.run + 1;
+          if m.run >= k then fire m Stuck ~time ~value:v
+        end
+        else begin
+          m.last <- v;
+          m.run <- 1
+        end
+  end
+  else fire m Nan_or_inf ~time ~value:v
+
+let observe_ref m ~time ~value ~reference =
+  observe m ~time value;
+  if Float.is_finite reference then begin
+    if reference < m.ref_min then m.ref_min <- reference;
+    if reference > m.ref_max then m.ref_max <- reference;
+    m.n_ref <- m.n_ref + 1;
+    let e = value -. reference in
+    (* A non-finite sample would make every later NRMSE reading NaN;
+       the NaN watchdog already reports it, so keep the error stream
+       clean by clamping the contribution. *)
+    if Float.is_finite e then m.err_sq <- m.err_sq +. (e *. e);
+    match m.config.nrmse_budget with
+    | Some budget when m.n_ref >= m.config.nrmse_warmup -> (
+        match nrmse m with
+        | Some e when e > budget -> fire m Nrmse_budget ~time ~value:e
+        | _ -> ())
+    | _ -> ()
+  end
+
+let samples m = m.n_total
+let min_value m = if m.n_finite = 0 then nan else m.v_min
+let max_value m = if m.n_finite = 0 then nan else m.v_max
+let mean m = if m.n_finite = 0 then nan else m.mean
+
+let variance m =
+  if m.n_finite = 0 then nan else m.m2 /. float_of_int m.n_finite
+
+let stddev m = sqrt (variance m)
+
+let rms m =
+  if m.n_finite = 0 then nan else sqrt (m.sum_sq /. float_of_int m.n_finite)
+
+let issues m = List.rev m.fired
+let healthy m = m.fired = []
+
+type verdict = { v_signal : string; v_healthy : bool; v_issues : issue list }
+
+let verdict m =
+  { v_signal = m.signal; v_healthy = healthy m; v_issues = issues m }
+
+let issue_to_string i =
+  Printf.sprintf "%s at t=%.9g (value=%.9g)" (kind_label i.kind) i.time i.value
+
+let pp_issue ppf i = Format.pp_print_string ppf (issue_to_string i)

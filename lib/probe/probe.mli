@@ -1,0 +1,84 @@
+(** Waveform probes: named taps over a running simulation.
+
+    A probe set is attached to any runner exposing the generic observe
+    hook ([Sfprogram.Runner.run ?observe], [Engine.spice_like ?observe],
+    [Engine.eln_like ?observe], the [Amsvp_sysc.Wrap.run_*] kernels) by
+    passing {!observer}. At every simulated step the hook samples each
+    tapped variable through the runner's reader into a preallocated
+    ring buffer, optionally decimated; afterwards the retained samples
+    export as VCD (loadable in GTKWave / Surfer) or CSV.
+
+    A ring buffer keeps the {e last} [capacity] retained samples: a run
+    longer than the buffer drops the oldest samples, never the newest,
+    and allocates nothing while stepping. *)
+
+module Tap : sig
+  type t
+
+  val name : t -> string
+  val var : t -> Expr.var
+
+  val seen : t -> int
+  (** Samples offered to the tap (before decimation and wrap-around). *)
+
+  val count : t -> int
+  (** Samples currently retained, [<= capacity]. *)
+
+  val times : t -> float array
+  (** Retained sample times, oldest first (fresh array). *)
+
+  val values : t -> float array
+
+  val to_trace : t -> Amsvp_util.Trace.t
+  (** Retained samples as a trace (the repo's common waveform
+      currency). *)
+end
+
+type t
+(** A set of taps sampled together, plus optional health monitors. *)
+
+val create : ?capacity:int -> ?every:int -> unit -> t
+(** Defaults for taps subsequently added to this set:
+    [capacity = 65536] retained samples, [every = 1] (no decimation).
+    @raise Invalid_argument on [capacity < 1] or [every < 1]. *)
+
+val tap : t -> ?name:string -> ?capacity:int -> ?every:int -> Expr.var -> Tap.t
+(** Attach a tap for a variable. [name] defaults to [Expr.var_name];
+    [every = k] retains one sample out of every [k] offered.
+    @raise Invalid_argument on a duplicate tap name. *)
+
+val watch : t -> ?config:Health.config -> Expr.var -> Health.t
+(** Attach a health monitor fed by the same observe hook as the taps.
+    The variable does not need a tap of its own. *)
+
+val taps : t -> Tap.t list
+(** In attachment order. *)
+
+val monitors : t -> Health.t list
+val is_empty : t -> bool
+
+val sample : t -> time:float -> (Expr.var -> float) -> unit
+(** Feed one step: reads every tapped / watched variable through the
+    reader. Raises whatever the reader raises on an unknown variable
+    (so a typo in a probe name fails loudly on the first step). *)
+
+val observer : t -> float -> (Expr.var -> float) -> unit
+(** [observer set] is [fun time read -> sample set ~time read] — the
+    value to pass as [?observe] to a runner. *)
+
+(** {1 Export} *)
+
+val traces : t -> (string * Amsvp_util.Trace.t) list
+
+val to_vcd : ?timescale_ps:int -> t -> string
+(** All taps as a VCD document ({!Amsvp_util.Vcd}).
+    @raise Invalid_argument on an empty set. *)
+
+val write_vcd : ?timescale_ps:int -> t -> string -> unit
+
+val to_csv : t -> string
+(** Long-format CSV, one row per retained sample:
+    [signal,time,value] — unambiguous even when taps use different
+    decimation. Rows are grouped by tap in attachment order. *)
+
+val write_csv : t -> string -> unit

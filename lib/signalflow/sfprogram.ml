@@ -193,7 +193,12 @@ module Runner = struct
 
   let step r ~inputs =
     if Array.length inputs <> Array.length r.input_slots then
-      invalid_arg "Sfprogram.Runner.step: input arity mismatch";
+      invalid_arg
+        (Printf.sprintf
+           "Sfprogram.Runner.step(%s): expected %d input(s), got %d"
+           r.program.name
+           (Array.length r.input_slots)
+           (Array.length inputs));
     for i = 0 to Array.length inputs - 1 do
       r.slots.(r.input_slots.(i)) <- inputs.(i)
     done;
@@ -211,7 +216,7 @@ module Runner = struct
   let output r i = r.slots.(r.output_slots.(i))
   let read r v = r.slots.(r.slot_of v)
 
-  let run r ~stimuli ~t_stop ?(probe = 0) () =
+  let run r ~stimuli ~t_stop ?(probe = 0) ?observe () =
     Obs.with_span ~cat:"sf" ~args:[ ("program", r.program.name) ] "sf.run"
     @@ fun () ->
     reset r;
@@ -219,14 +224,19 @@ module Runner = struct
     let nsteps = int_of_float (Float.round (t_stop /. dt)) in
     let trace = Trace.create ~capacity:(nsteps + 1) () in
     let inputs = Array.make (Array.length stimuli) 0.0 in
+    (* The reader closure is built once, outside the loop; when no
+       observer is attached the per-step cost is a single branch. *)
+    let reader = read r in
     Trace.add trace ~time:0.0 ~value:(output r probe);
+    (match observe with None -> () | Some f -> f 0.0 reader);
     for i = 1 to nsteps do
       let t = float_of_int i *. dt in
       for k = 0 to Array.length stimuli - 1 do
         inputs.(k) <- stimuli.(k) t
       done;
       step r ~inputs;
-      Trace.add trace ~time:t ~value:(output r probe)
+      Trace.add trace ~time:t ~value:(output r probe);
+      match observe with None -> () | Some f -> f t reader
     done;
     trace
 end

@@ -60,7 +60,8 @@ module Runner : sig
   val step : t -> inputs:float array -> unit
   (** Advance one step of [dt]; [inputs] are ordered like
       [program.inputs].
-      @raise Invalid_argument on an input arity mismatch. *)
+      @raise Invalid_argument on an input arity mismatch, naming the
+      program and the expected/actual arities. *)
 
   val output : t -> int -> float
   (** Value of the i-th output after the last [step]. *)
@@ -73,9 +74,17 @@ module Runner : sig
     stimuli:(float -> float) array ->
     t_stop:float ->
     ?probe:int ->
+    ?observe:(float -> (Expr.var -> float) -> unit) ->
     unit ->
     Amsvp_util.Trace.t
   (** Run from time 0 to [t_stop], sampling the stimuli at each step
       and recording output [probe] (default 0). The runner is reset
-      first. This tight loop is the "plain C++" execution model. *)
+      first. This tight loop is the "plain C++" execution model.
+
+      [observe] is called once per step (including the initial state at
+      t = 0) with the current time and a reader over the runner's
+      variables; it is how waveform probes ([Amsvp_probe]) attach
+      without touching the hot loop — when absent, the per-step cost is
+      one branch. The reader raises [Invalid_argument] on variables the
+      program does not compute. *)
 end

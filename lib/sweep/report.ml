@@ -1,3 +1,5 @@
+module Health = Amsvp_probe.Health
+
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -33,6 +35,7 @@ let json (s : Runner.summary) =
   add "  \"seed\": %d,\n" s.spec.Spec.seed;
   add "  \"jobs\": %d,\n" s.jobs;
   add "  \"points\": %d,\n" (Array.length s.points);
+  add "  \"unhealthy\": %d,\n" s.unhealthy;
   add "  \"cache_hits\": %d,\n" s.cache_hits;
   add "  \"cache_misses\": %d,\n" s.cache_misses;
   add "  \"total_s\": %s,\n" (jfloat s.total_s);
@@ -68,6 +71,19 @@ let json (s : Runner.summary) =
       (match r.nrmse with
       | Some e -> add ",\"nrmse\":%s" (jfloat e)
       | None -> ());
+      (let v = r.health in
+       if v.Health.v_healthy then add ",\"health\":\"ok\""
+       else
+         add ",\"health\":{\"signal\":%s,\"issues\":[%s]}"
+           (jstr v.Health.v_signal)
+           (String.concat ","
+              (List.map
+                 (fun (i : Health.issue) ->
+                   Printf.sprintf
+                     "{\"kind\":%s,\"time\":%s,\"value\":%s}"
+                     (jstr (Health.kind_label i.Health.kind))
+                     (jfloat i.Health.time) (jfloat i.Health.value))
+                 v.Health.v_issues)));
       add ",\"cached\":%b,\"wall_s\":%s}" r.cached (jfloat r.wall_s))
     s.points;
   add "\n  ]\n}\n";
@@ -103,7 +119,7 @@ let csv (s : Runner.summary) =
     (String.concat ","
        ([ "index"; "label" ]
        @ List.map csv_escape cols
-       @ [ "out_final"; "out_rms"; "nrmse"; "cached"; "wall_s" ]));
+       @ [ "out_final"; "out_rms"; "nrmse"; "health"; "cached"; "wall_s" ]));
   Buffer.add_char b '\n';
   Array.iter
     (fun (r : Runner.point_result) ->
@@ -123,6 +139,16 @@ let csv (s : Runner.summary) =
                cell r.out_final;
                cell r.out_rms;
                (match r.nrmse with Some e -> cell e | None -> "");
+               (if r.health.Health.v_healthy then "ok"
+                else
+                  csv_escape
+                    (String.concat ";"
+                       (List.map
+                          (fun (i : Health.issue) ->
+                            Printf.sprintf "%s@%.9g"
+                              (Health.kind_label i.Health.kind)
+                              i.Health.time)
+                          r.health.Health.v_issues)));
                string_of_bool r.cached;
                cell r.wall_s;
              ]));

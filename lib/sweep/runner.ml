@@ -7,12 +7,14 @@ module Stimulus = Amsvp_util.Stimulus
 module Metrics = Amsvp_util.Metrics
 module Trace = Amsvp_util.Trace
 module Obs = Amsvp_obs.Obs
+module Health = Amsvp_probe.Health
 
 type point_result = {
   point : Sampler.point;
   out_final : float;
   out_rms : float;
   nrmse : float option;
+  health : Health.verdict;
   cached : bool;
   wall_s : float;
 }
@@ -25,6 +27,7 @@ type summary = {
   nrmse_stats : Stats.t option;
   wall_stats : Stats.t option;
   rms_stats : Stats.t option;
+  unhealthy : int;
   cache_hits : int;
   cache_misses : int;
   total_s : float;
@@ -157,22 +160,49 @@ let run ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
           (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 values
           /. float_of_int n)
     in
-    let nrmse =
+    let reference =
       if not spec.reference then None
-      else begin
-        let reference =
-          Engine.spice_like ~substeps:1 ~iterations:3 circuit
-            ~inputs:stim_assoc ~output ~dt ~t_stop
-        in
+      else
         Some
-          (Metrics.nrmse_traces ~reference:reference.Engine.trace trace
-             ~t0:0.0 ~dt:(t_stop /. 1000.0) ~n:999)
-      end
+          (Engine.spice_like ~substeps:1 ~iterations:3 circuit
+             ~inputs:stim_assoc ~output ~dt ~t_stop)
+    in
+    let nrmse =
+      match reference with
+      | None -> None
+      | Some r ->
+          Some
+            (Metrics.nrmse_traces ~reference:r.Engine.trace trace ~t0:0.0
+               ~dt:(t_stop /. 1000.0) ~n:999)
+    in
+    (* The recorded trace is replayed through a health monitor after the
+       run: same verdict as a live probe would give, with zero cost on
+       the stepping loop. With a reference engine on, the monitor also
+       streams the NRMSE watchdog against the interpolated reference. *)
+    let health =
+      let config =
+        { Health.default_config with nrmse_budget = spec.nrmse_budget }
+      in
+      let mon = Health.create ~config (Expr.var_name output) in
+      let n = Trace.length trace in
+      (match reference with
+      | None ->
+          for i = 0 to n - 1 do
+            Health.observe mon ~time:(Trace.time trace i)
+              (Trace.value trace i)
+          done
+      | Some r ->
+          for i = 0 to n - 1 do
+            let t = Trace.time trace i in
+            Health.observe_ref mon ~time:t ~value:(Trace.value trace i)
+              ~reference:(Trace.sample_at r.Engine.trace t)
+          done);
+      Health.verdict mon
     in
     let wall_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
     Obs.Counter.incr c_points;
     Obs.Histogram.observe h_point_seconds wall_s;
-    { point = p; out_final; out_rms; nrmse; cached; wall_s }
+    { point = p; out_final; out_rms; nrmse; health; cached; wall_s }
   in
   let t0 = Obs.now_ns () in
   let results = Pool.run ~jobs exec points in
@@ -192,6 +222,10 @@ let run ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
     nrmse_stats = series (fun r -> r.nrmse);
     wall_stats = series (fun r -> Some r.wall_s);
     rms_stats = series (fun r -> Some r.out_rms);
+    unhealthy =
+      Array.fold_left
+        (fun n r -> if r.health.Health.v_healthy then n else n + 1)
+        0 results;
     cache_hits = hits;
     cache_misses = Array.length results - hits;
     total_s;

@@ -17,6 +17,12 @@ type point_result = {
   out_final : float;  (** output value at [t_stop] *)
   out_rms : float;  (** RMS of the output trace *)
   nrmse : float option;  (** vs the MNA reference; [None] when off *)
+  health : Amsvp_probe.Health.verdict;
+      (** per-point watchdog verdict over the output trace: NaN/Inf,
+          amplitude and stuck-at detection always run; the NRMSE-budget
+          watchdog additionally runs when the spec enables the reference
+          and sets [nrmse_budget].  A single bad Monte-Carlo point is
+          identifiable from the report without rerunning. *)
   cached : bool;  (** program obtained by cache replay *)
   wall_s : float;  (** wall-clock seconds for this point *)
 }
@@ -29,6 +35,7 @@ type summary = {
   nrmse_stats : Stats.t option;
   wall_stats : Stats.t option;
   rms_stats : Stats.t option;
+  unhealthy : int;  (** points whose health verdict flagged an issue *)
   cache_hits : int;
   cache_misses : int;
   total_s : float;  (** wall-clock seconds for the whole sweep *)

@@ -25,6 +25,7 @@ type t = {
   seed : int;
   jobs : int option;
   reference : bool;
+  nrmse_budget : float option;
   axes : axis list;
   corners : corner list;
 }
@@ -43,6 +44,7 @@ let default =
     seed = 0;
     jobs = None;
     reference = true;
+    nrmse_budget = None;
     axes = [];
     corners = [];
   }
@@ -70,6 +72,8 @@ let validate s =
   if s.axes = [] && s.corners = [] then
     err "spec %s has no axes and no corners" s.name
   else if s.samples < 1 then err "samples must be >= 1"
+  else if (match s.nrmse_budget with Some b -> not (b > 0.0) | None -> false)
+  then err "nrmse_budget must be positive"
   else begin
     let rec check_axes seen = function
       | [] -> Ok ()
@@ -140,6 +144,9 @@ let to_string s =
   (match s.jobs with Some j -> line "jobs %d" j | None -> ());
   if s.reference <> default.reference then
     line "reference %s" (if s.reference then "on" else "off");
+  (match s.nrmse_budget with
+  | Some v -> line "nrmse_budget %s" (fl v)
+  | None -> ());
   List.iter
     (fun a -> line "param %s %s" a.param (range_to_string a.range))
     s.axes;
@@ -234,6 +241,7 @@ let parse_line spec tokens =
         | _ -> failf "bad reference %S (on|off)" v
       in
       { spec with reference }
+  | "nrmse_budget" :: v :: [] -> { spec with nrmse_budget = Some (float_of v) }
   | "param" :: param :: range ->
       { spec with axes = spec.axes @ [ { param; range = parse_range range } ] }
   | "corner" :: corner_name :: (_ :: _ as binds) ->

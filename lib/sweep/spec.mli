@@ -42,6 +42,10 @@ type t = {
   seed : int;
   jobs : int option;  (** worker domains; CLI/runner may override *)
   reference : bool;  (** run the MNA reference and report NRMSE *)
+  nrmse_budget : float option;
+      (** accuracy watchdog: a point whose streaming NRMSE against the
+          reference exceeds this budget is flagged unhealthy in the
+          report (needs [reference]) *)
   axes : axis list;
   corners : corner list;
 }

@@ -15,21 +15,22 @@ let stimuli_for (p : Sfprogram.t) bindings =
 
 let steps_of ~dt ~t_stop = int_of_float (Float.round (t_stop /. dt))
 
-let run_cpp p ~stimuli ~t_stop =
+let run_cpp ?observe p ~stimuli ~t_stop =
   Obs.with_span ~cat:"sysc" ~args:[ ("program", p.Sfprogram.name) ]
     "wrap.run_cpp"
   @@ fun () ->
   let runner = Sfprogram.Runner.create p in
   let stims = stimuli_for p stimuli in
-  let trace = Sfprogram.Runner.run runner ~stimuli:stims ~t_stop () in
+  let trace = Sfprogram.Runner.run runner ~stimuli:stims ~t_stop ?observe () in
   { trace; de_stats = None }
 
-let run_de p ~stimuli ~t_stop =
+let run_de ?observe p ~stimuli ~t_stop =
   Obs.with_span ~cat:"sysc" ~args:[ ("program", p.Sfprogram.name) ]
     "wrap.run_de"
   @@ fun () ->
   let kernel = De.create () in
   let runner = Sfprogram.Runner.create p in
+  let reader = Sfprogram.Runner.read runner in
   let stims = stimuli_for p stimuli in
   let dt_ps = De.ps_of_seconds p.Sfprogram.dt in
   let until_ps = De.ps_of_seconds t_stop in
@@ -39,6 +40,7 @@ let run_de p ~stimuli ~t_stop =
   let inputs = Array.make (Array.length stims) 0.0 in
   let tick = De.Event.create kernel "model.tick" in
   Trace.add trace ~time:0.0 ~value:0.0;
+  (match observe with None -> () | Some f -> f 0.0 reader);
   (* Stimuli are sampled at exact step multiples (k * dt) so square-wave
      edges land on the same instants as in the fixed-step engines; the
      kernel's picosecond clock and the float product can differ by one
@@ -55,6 +57,7 @@ let run_de p ~stimuli ~t_stop =
         let out = Sfprogram.Runner.output runner 0 in
         De.Signal.write out_sig out;
         Trace.add trace ~time:t ~value:out;
+        (match observe with None -> () | Some f -> f t reader);
         if De.now_ps kernel + dt_ps <= until_ps then
           De.Event.notify_delayed tick ~delay_ps:dt_ps)
   in
@@ -63,12 +66,13 @@ let run_de p ~stimuli ~t_stop =
   De.run_until kernel ~ps:until_ps;
   { trace; de_stats = Some (De.stats kernel) }
 
-let run_tdf p ~stimuli ~t_stop =
+let run_tdf ?observe p ~stimuli ~t_stop =
   Obs.with_span ~cat:"sysc" ~args:[ ("program", p.Sfprogram.name) ]
     "wrap.run_tdf"
   @@ fun () ->
   let kernel = De.create () in
   let runner = Sfprogram.Runner.create p in
+  let reader = Sfprogram.Runner.read runner in
   let stims = stimuli_for p stimuli in
   let dt = p.Sfprogram.dt in
   let dt_ps = De.ps_of_seconds dt in
@@ -103,6 +107,9 @@ let run_tdf p ~stimuli ~t_stop =
         done;
         Sfprogram.Runner.step runner ~inputs;
         timestamps.(n_in) <- De.now kernel;
+        (match observe with
+        | None -> ()
+        | Some f -> f (De.now kernel) reader);
         Tdf.write out_port 0 (Sfprogram.Runner.output runner 0))
   in
   let _sink =
@@ -113,11 +120,12 @@ let run_tdf p ~stimuli ~t_stop =
      signal, as it would be inside a virtual platform. *)
   let _out_sig = Tdf.to_de cluster ~name:"y2de" out_port in
   Trace.add trace ~time:0.0 ~value:0.0;
+  (match observe with None -> () | Some f -> f 0.0 reader);
   Tdf.start cluster ~until_ps;
   De.run_until kernel ~ps:until_ps;
   { trace; de_stats = Some (De.stats kernel) }
 
-let run_eln circuit ~inputs ~output ~dt ~t_stop =
+let run_eln ?observe circuit ~inputs ~output ~dt ~t_stop =
   Obs.with_span ~cat:"sysc" "wrap.run_eln" @@ fun () ->
   let kernel = De.create () in
   let names = List.map fst inputs in
@@ -125,6 +133,7 @@ let run_eln circuit ~inputs ~output ~dt ~t_stop =
   let stepper =
     Amsvp_mna.Engine.Eln_stepper.create circuit ~inputs:names ~output ~dt
   in
+  let reader = Amsvp_mna.Engine.Eln_stepper.read stepper in
   let dt_ps = De.ps_of_seconds dt in
   let until_ps = De.ps_of_seconds t_stop in
   let nsteps = steps_of ~dt ~t_stop in
@@ -133,6 +142,7 @@ let run_eln circuit ~inputs ~output ~dt ~t_stop =
   let input_values = Array.make (Array.length stims) 0.0 in
   let tick = De.Event.create kernel "eln.tick" in
   Trace.add trace ~time:0.0 ~value:0.0;
+  (match observe with None -> () | Some f -> f 0.0 reader);
   let step_index = ref 0 in
   let proc =
     De.spawn kernel ~name:"eln" (fun () ->
@@ -144,6 +154,7 @@ let run_eln circuit ~inputs ~output ~dt ~t_stop =
         let out = Amsvp_mna.Engine.Eln_stepper.step stepper ~input_values in
         De.Signal.write out_sig out;
         Trace.add trace ~time:t ~value:out;
+        (match observe with None -> () | Some f -> f t reader);
         if De.now_ps kernel + dt_ps <= until_ps then
           De.Event.notify_delayed tick ~delay_ps:dt_ps)
   in

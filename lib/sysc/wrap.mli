@@ -25,25 +25,33 @@ type result = {
 }
 
 val run_cpp :
+  ?observe:(float -> (Expr.var -> float) -> unit) ->
   Amsvp_sf.Sfprogram.t ->
   stimuli:(string * Amsvp_util.Stimulus.t) list ->
   t_stop:float ->
   result
-(** @raise Invalid_argument if a program input has no stimulus. *)
+(** [observe] (on every runner) is called once per simulated step with
+    the current time and a reader over the model's quantities — the
+    attachment point for [Amsvp_probe] waveform taps. It costs one
+    branch per step when absent.
+    @raise Invalid_argument if a program input has no stimulus. *)
 
 val run_de :
+  ?observe:(float -> (Expr.var -> float) -> unit) ->
   Amsvp_sf.Sfprogram.t ->
   stimuli:(string * Amsvp_util.Stimulus.t) list ->
   t_stop:float ->
   result
 
 val run_tdf :
+  ?observe:(float -> (Expr.var -> float) -> unit) ->
   Amsvp_sf.Sfprogram.t ->
   stimuli:(string * Amsvp_util.Stimulus.t) list ->
   t_stop:float ->
   result
 
 val run_eln :
+  ?observe:(float -> (Expr.var -> float) -> unit) ->
   Amsvp_netlist.Circuit.t ->
   inputs:(string * Amsvp_util.Stimulus.t) list ->
   output:Expr.var ->

@@ -556,6 +556,7 @@ let parse_and_abstract src ~top ~outputs ~dt =
         classes = 0;
         variants = 0;
         definitions = List.length contributions;
+        explain = Amsvp_core.Explain.of_signal_flow program;
         acquisition_s = 0.0;
         enrichment_s = 0.0;
         assemble_s = 0.0;

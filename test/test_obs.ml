@@ -290,6 +290,29 @@ let test_histogram_semantics () =
        false
      with Invalid_argument _ -> true)
 
+let test_histogram_boundaries () =
+  (* Regression pin for the documented bucket-boundary semantics:
+     bucket i covers (bounds[i-1], bounds[i]] — a value exactly on an
+     upper bound counts in that bucket, one ulp above spills into the
+     next, and NaN lands in the +Inf overflow bucket. *)
+  fresh ();
+  let h =
+    Obs.Histogram.make ~buckets:[| 1.0; 2.0 |] "test_obs_histogram_bounds"
+  in
+  let just_above x = x +. (x *. epsilon_float) in
+  List.iter (Obs.Histogram.observe h)
+    [ 1.0; just_above 1.0; 2.0; just_above 2.0; nan ];
+  match Obs.Histogram.bucket_counts h with
+  | [ (_, le1); (_, le2); (binf, leinf) ] ->
+      (* le 1: exactly the sample sitting on the bound. *)
+      Alcotest.(check int) "value on bound 1 is inclusive" 1 le1;
+      (* le 2: adds 1+eps and the sample on bound 2, not 2+eps. *)
+      Alcotest.(check int) "value on bound 2 is inclusive" 3 le2;
+      Alcotest.(check bool) "+Inf bound" true (binf = infinity);
+      (* 2+eps and NaN only reach the overflow bucket. *)
+      Alcotest.(check int) "overflow gets the rest" 5 leinf
+  | l -> Alcotest.failf "expected 3 buckets, got %d" (List.length l)
+
 let test_reset () =
   fresh ();
   Obs.enable ();
@@ -421,6 +444,8 @@ let () =
           Alcotest.test_case "kind clash" `Quick test_metric_kind_clash;
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram" `Quick test_histogram_semantics;
+          Alcotest.test_case "histogram boundaries" `Quick
+            test_histogram_boundaries;
           Alcotest.test_case "reset" `Quick test_reset;
         ] );
       ( "sinks",

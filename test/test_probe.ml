@@ -1,0 +1,339 @@
+(* Tests for the observability layer: waveform taps (ring buffers,
+   decimation, VCD/CSV export) and the online health monitors, plus the
+   generic observe hook on the runners they attach to. *)
+
+module Probe = Amsvp_probe.Probe
+module Health = Amsvp_probe.Health
+module Sfprogram = Amsvp_sf.Sfprogram
+module Stimulus = Amsvp_util.Stimulus
+module Trace = Amsvp_util.Trace
+module Circuits = Amsvp_netlist.Circuits
+module Engine = Amsvp_mna.Engine
+module Wrap = Amsvp_sysc.Wrap
+
+let y = Expr.potential "y" "gnd"
+let u = Expr.signal "u"
+
+let expect_invalid name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Tap ring buffers ---- *)
+
+let feed set samples =
+  List.iteri
+    (fun i v -> Probe.sample set ~time:(float_of_int i) (fun _ -> v))
+    samples
+
+let test_tap_basic () =
+  let set = Probe.create () in
+  let tap = Probe.tap set y in
+  feed set [ 1.0; 2.0; 3.0 ];
+  Alcotest.(check int) "seen" 3 (Probe.Tap.seen tap);
+  Alcotest.(check int) "count" 3 (Probe.Tap.count tap);
+  Alcotest.(check (array (float 0.0))) "values" [| 1.0; 2.0; 3.0 |]
+    (Probe.Tap.values tap);
+  Alcotest.(check (array (float 0.0))) "times" [| 0.0; 1.0; 2.0 |]
+    (Probe.Tap.times tap)
+
+let test_tap_wraparound () =
+  (* Capacity 4, 10 samples: only the last 4 survive, oldest first. *)
+  let set = Probe.create ~capacity:4 () in
+  let tap = Probe.tap set y in
+  feed set (List.init 10 (fun i -> float_of_int i));
+  Alcotest.(check int) "seen" 10 (Probe.Tap.seen tap);
+  Alcotest.(check int) "count" 4 (Probe.Tap.count tap);
+  Alcotest.(check (array (float 0.0))) "last 4, oldest first"
+    [| 6.0; 7.0; 8.0; 9.0 |]
+    (Probe.Tap.values tap)
+
+let test_tap_decimation () =
+  (* every=3 over 10 offers retains offers 0,3,6,9. *)
+  let set = Probe.create () in
+  let tap = Probe.tap set ~every:3 y in
+  feed set (List.init 10 (fun i -> float_of_int i));
+  Alcotest.(check int) "retained" 4 (Probe.Tap.count tap);
+  Alcotest.(check (array (float 0.0))) "decimated" [| 0.0; 3.0; 6.0; 9.0 |]
+    (Probe.Tap.values tap)
+
+let test_duplicate_tap_rejected () =
+  let set = Probe.create () in
+  ignore (Probe.tap set y);
+  expect_invalid "duplicate tap name" (fun () -> Probe.tap set y)
+
+let test_invalid_params () =
+  expect_invalid "capacity 0" (fun () -> Probe.create ~capacity:0 ());
+  expect_invalid "every 0" (fun () -> Probe.create ~every:0 ())
+
+(* ---- Export ---- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let test_vcd_well_formed () =
+  let set = Probe.create () in
+  ignore (Probe.tap set y);
+  ignore (Probe.tap set u);
+  feed set [ 0.0; 0.5; 0.5; 1.0 ];
+  let vcd = Probe.to_vcd set in
+  let has s = Alcotest.(check bool) s true (contains vcd s) in
+  has "$timescale";
+  has "$enddefinitions";
+  has "V(y,gnd)";
+  has "u";
+  (* Timestamps strictly increase. *)
+  let last = ref (-1) in
+  String.split_on_char '\n' vcd
+  |> List.iter (fun line ->
+         if String.length line > 1 && line.[0] = '#' then begin
+           let t = int_of_string (String.sub line 1 (String.length line - 1)) in
+           Alcotest.(check bool) "monotonic timestamps" true (t > !last);
+           last := t
+         end)
+
+let test_vcd_empty_rejected () =
+  expect_invalid "empty probe set" (fun () -> Probe.to_vcd (Probe.create ()))
+
+let test_csv_long_format () =
+  let set = Probe.create () in
+  ignore (Probe.tap set y);
+  feed set [ 1.5; 2.5 ];
+  let lines =
+    String.split_on_char '\n' (String.trim (Probe.to_csv set))
+  in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "signal,time,value" (List.hd lines);
+  Alcotest.(check bool) "row shape" true
+    (String.length (List.nth lines 1) > 0
+    && String.sub (List.nth lines 1) 0 9 = "V(y,gnd),")
+
+(* ---- Health monitors ---- *)
+
+let test_health_stats () =
+  let m = Health.create "sig" in
+  List.iteri
+    (fun i v -> Health.observe m ~time:(float_of_int i) v)
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "samples" 4 (Health.samples m);
+  Alcotest.(check (float 1e-12)) "min" 1.0 (Health.min_value m);
+  Alcotest.(check (float 1e-12)) "max" 4.0 (Health.max_value m);
+  Alcotest.(check (float 1e-12)) "mean" 2.5 (Health.mean m);
+  Alcotest.(check (float 1e-12)) "variance" 1.25 (Health.variance m);
+  Alcotest.(check (float 1e-12)) "rms"
+    (sqrt ((1.0 +. 4.0 +. 9.0 +. 16.0) /. 4.0))
+    (Health.rms m);
+  Alcotest.(check bool) "healthy" true (Health.healthy m)
+
+let test_health_nan_watchdog () =
+  let m = Health.create "sig" in
+  Health.observe m ~time:0.0 1.0;
+  Health.observe m ~time:1.0 nan;
+  Health.observe m ~time:2.0 infinity;
+  (match Health.issues m with
+  | [ { Health.kind = Health.Nan_or_inf; time; _ } ] ->
+      Alcotest.(check (float 0.0)) "first offending time" 1.0 time
+  | _ -> Alcotest.fail "expected exactly one nan issue");
+  (* NaN did not poison the aggregates. *)
+  Alcotest.(check (float 1e-12)) "mean over finite" 1.0 (Health.mean m);
+  Alcotest.(check bool) "unhealthy" false (Health.healthy m)
+
+let test_health_amplitude () =
+  let config =
+    { Health.default_config with amplitude_limit = Some 10.0 }
+  in
+  let m = Health.create ~config "sig" in
+  Health.observe m ~time:0.0 9.0;
+  Health.observe m ~time:1.0 (-11.0);
+  match Health.issues m with
+  | [ { Health.kind = Health.Amplitude; time; value } ] ->
+      Alcotest.(check (float 0.0)) "time" 1.0 time;
+      Alcotest.(check (float 0.0)) "value" (-11.0) value
+  | _ -> Alcotest.fail "expected one amplitude issue"
+
+let test_health_stuck () =
+  let config = { Health.default_config with stuck_after = Some 3 } in
+  let m = Health.create ~config "sig" in
+  Health.observe m ~time:0.0 1.0;
+  Health.observe m ~time:1.0 2.0;
+  Health.observe m ~time:2.0 2.0;
+  Alcotest.(check bool) "two repeats fine" true (Health.healthy m);
+  Health.observe m ~time:3.0 2.0;
+  match Health.issues m with
+  | [ { Health.kind = Health.Stuck; time; _ } ] ->
+      Alcotest.(check (float 0.0)) "fires on 3rd repeat" 3.0 time
+  | _ -> Alcotest.fail "expected one stuck issue"
+
+let test_health_nrmse_budget () =
+  let config =
+    { Health.default_config with nrmse_budget = Some 0.1; nrmse_warmup = 2 }
+  in
+  let m = Health.create ~config "sig" in
+  (* Perfect tracking through warm-up and beyond: healthy. *)
+  for i = 0 to 9 do
+    let v = float_of_int i in
+    Health.observe_ref m ~time:v ~value:v ~reference:v
+  done;
+  Alcotest.(check bool) "tracking" true (Health.healthy m);
+  (match Health.nrmse m with
+  | Some e -> Alcotest.(check (float 1e-12)) "zero error" 0.0 e
+  | None -> Alcotest.fail "nrmse expected");
+  (* A diverging signal breaches the 10% budget. *)
+  let m2 = Health.create ~config "sig" in
+  for i = 0 to 9 do
+    let v = float_of_int i in
+    Health.observe_ref m2 ~time:v ~value:(v +. 5.0) ~reference:v
+  done;
+  match Health.issues m2 with
+  | [ { Health.kind = Health.Nrmse_budget; _ } ] -> ()
+  | _ -> Alcotest.fail "expected an nrmse-budget issue"
+
+let test_health_config_validation () =
+  expect_invalid "stuck_after 1" (fun () ->
+      Health.create
+        ~config:{ Health.default_config with stuck_after = Some 1 }
+        "s");
+  expect_invalid "negative amplitude" (fun () ->
+      Health.create
+        ~config:{ Health.default_config with amplitude_limit = Some (-1.0) }
+        "s")
+
+(* ---- Observe hook on the runners ---- *)
+
+let test_observe_through_runner () =
+  (* y_t = u_t over 10 steps of dt=1: the tap sees the initial sample
+     plus one sample per step, all equal to the stimulus. *)
+  let p =
+    Sfprogram.make ~name:"t" ~inputs:[ "u" ] ~outputs:[ y ]
+      ~assignments:[ { Sfprogram.target = y; expr = Expr.var u } ]
+      ~dt:1.0
+  in
+  let set = Probe.create () in
+  let tap = Probe.tap set y in
+  let r = Sfprogram.Runner.create p in
+  let trace =
+    Sfprogram.Runner.run r
+      ~stimuli:[| Stimulus.constant 2.0 |]
+      ~t_stop:10.0 ~observe:(Probe.observer set) ()
+  in
+  Alcotest.(check int) "one sample per trace point" (Trace.length trace)
+    (Probe.Tap.count tap);
+  (* The t=0 sample is the runner's initial state (0); every stepped
+     sample equals the constant stimulus. *)
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 0.0)) "stimulus value"
+        (if i = 0 then 0.0 else 2.0)
+        v)
+    (Probe.Tap.values tap)
+
+let test_observe_through_spice_engine () =
+  (* The MNA reader evaluates any circuit quantity: tap both the output
+     potential and the input-source potential of the rectifier. *)
+  let tc = Option.get (Circuits.by_name "RECT") in
+  let set = Probe.create () in
+  let out_tap = Probe.tap set tc.Circuits.output in
+  let in_tap = Probe.tap set (Expr.potential "in" "gnd") in
+  let res =
+    Engine.spice_like tc.Circuits.circuit ~inputs:tc.Circuits.stimuli
+      ~output:tc.Circuits.output ~dt:1e-5 ~t_stop:1e-3
+      ~observe:(Probe.observer set)
+  in
+  let n = Trace.length res.Engine.trace in
+  Alcotest.(check int) "out tap follows the trace" n
+    (Probe.Tap.count out_tap);
+  Alcotest.(check int) "in tap too" n (Probe.Tap.count in_tap);
+  (* The tapped output equals the recorded trace sample for sample. *)
+  let vals = Probe.Tap.values out_tap in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-12)) "tap = trace" (Trace.value res.Engine.trace i) v)
+    vals;
+  (* The input tap saw the sine swing both ways. *)
+  let swing =
+    Array.fold_left (fun acc v -> max acc (abs_float v)) 0.0
+      (Probe.Tap.values in_tap)
+  in
+  Alcotest.(check bool) "input amplitude" true (swing > 0.5)
+
+let test_observe_through_eln () =
+  let tc = Option.get (Circuits.by_name "RC1") in
+  let set = Probe.create () in
+  let tap = Probe.tap set tc.Circuits.output in
+  let res =
+    Wrap.run_eln tc.Circuits.circuit ~inputs:tc.Circuits.stimuli
+      ~output:tc.Circuits.output ~dt:1e-5 ~t_stop:1e-3
+      ~observe:(Probe.observer set)
+  in
+  Alcotest.(check int) "tap follows the trace"
+    (Trace.length res.Wrap.trace)
+    (Probe.Tap.count tap)
+
+let test_watch_via_observer () =
+  (* A monitor attached to the probe set is fed by the same hook. *)
+  let p =
+    Sfprogram.make ~name:"t" ~inputs:[ "u" ] ~outputs:[ y ]
+      ~assignments:[ { Sfprogram.target = y; expr = Expr.var u } ]
+      ~dt:1.0
+  in
+  let set = Probe.create () in
+  let mon =
+    Probe.watch set
+      ~config:{ Health.default_config with amplitude_limit = Some 1.5 }
+      y
+  in
+  let r = Sfprogram.Runner.create p in
+  ignore
+    (Sfprogram.Runner.run r
+       ~stimuli:[| Stimulus.constant 2.0 |]
+       ~t_stop:5.0 ~observe:(Probe.observer set) ());
+  match Health.issues mon with
+  | [ { Health.kind = Health.Amplitude; _ } ] -> ()
+  | _ -> Alcotest.fail "expected the amplitude watchdog to fire"
+
+let () =
+  Alcotest.run "probe"
+    [
+      ( "taps",
+        [
+          Alcotest.test_case "basic" `Quick test_tap_basic;
+          Alcotest.test_case "wrap-around" `Quick test_tap_wraparound;
+          Alcotest.test_case "decimation" `Quick test_tap_decimation;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_duplicate_tap_rejected;
+          Alcotest.test_case "invalid params" `Quick test_invalid_params;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "vcd well-formed" `Quick test_vcd_well_formed;
+          Alcotest.test_case "vcd empty rejected" `Quick
+            test_vcd_empty_rejected;
+          Alcotest.test_case "csv long format" `Quick test_csv_long_format;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "streaming stats" `Quick test_health_stats;
+          Alcotest.test_case "nan watchdog" `Quick test_health_nan_watchdog;
+          Alcotest.test_case "amplitude" `Quick test_health_amplitude;
+          Alcotest.test_case "stuck-at" `Quick test_health_stuck;
+          Alcotest.test_case "nrmse budget" `Quick test_health_nrmse_budget;
+          Alcotest.test_case "config validation" `Quick
+            test_health_config_validation;
+        ] );
+      ( "observe hook",
+        [
+          Alcotest.test_case "signal-flow runner" `Quick
+            test_observe_through_runner;
+          Alcotest.test_case "spice engine" `Quick
+            test_observe_through_spice_engine;
+          Alcotest.test_case "eln kernel" `Quick test_observe_through_eln;
+          Alcotest.test_case "watch via observer" `Quick
+            test_watch_via_observer;
+        ] );
+    ]

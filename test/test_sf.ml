@@ -63,6 +63,32 @@ let test_state_and_delay () =
   Alcotest.(check int) "one state-bearing target" 1 (List.length states);
   Alcotest.(check string) "state is z" "z" (Expr.var_name (List.hd states))
 
+let test_combinational_no_state () =
+  (* Purely combinational: no history anywhere. *)
+  let p = mk [ asg z Expr.(scale 2.0 (var input)); asg y (Expr.var z) ] in
+  Alcotest.(check int) "max delay" 0 (Sfprogram.max_delay p);
+  Alcotest.(check int) "no state vars" 0 (List.length (Sfprogram.state_vars p))
+
+let test_transitive_delay_reference () =
+  (* Only y's assignment references history, and of the *input*: the
+     delay still counts towards max_delay, but state_vars lists only
+     assigned targets — input histories are tracked separately by the
+     runner, so they must not show up here. *)
+  let p = mk [ asg y (Expr.var (Expr.delayed input 1)) ] in
+  Alcotest.(check int) "max delay" 1 (Sfprogram.max_delay p);
+  Alcotest.(check int) "input history is not a state var" 0
+    (List.length (Sfprogram.state_vars p))
+
+let test_output_is_state_var () =
+  (* The output itself is delayed-referenced: it must appear in
+     state_vars exactly once even though it is also an output. *)
+  let p = mk [ asg y Expr.(var (Expr.delayed y 1) + var input) ] in
+  Alcotest.(check int) "max delay" 1 (Sfprogram.max_delay p);
+  let states = Sfprogram.state_vars p in
+  Alcotest.(check int) "one state var" 1 (List.length states);
+  Alcotest.(check string) "output doubles as state" "V(y,gnd)"
+    (Expr.var_name (List.hd states))
+
 (* Runner semantics *)
 
 let test_accumulator () =
@@ -115,6 +141,17 @@ let test_input_arity_checked () =
   let p = mk [ asg y (Expr.var input) ] in
   let r = Sfprogram.Runner.create p in
   expect_invalid "arity mismatch" (fun () -> Sfprogram.Runner.step r ~inputs:[||])
+
+let test_input_arity_message () =
+  (* The error names the program and both arities, so a mis-wired
+     stimulus table is diagnosable without a debugger. *)
+  let p = mk [ asg y (Expr.var input) ] in
+  let r = Sfprogram.Runner.create p in
+  match Sfprogram.Runner.step r ~inputs:[| 1.0; 2.0 |] with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      Alcotest.(check string) "names program and arities"
+        "Sfprogram.Runner.step(t): expected 1 input(s), got 2" msg
 
 let test_read_by_name () =
   let p =
@@ -239,7 +276,14 @@ let () =
             test_assignment_to_delayed;
         ] );
       ( "structure",
-        [ Alcotest.test_case "state and delay" `Quick test_state_and_delay ] );
+        [
+          Alcotest.test_case "state and delay" `Quick test_state_and_delay;
+          Alcotest.test_case "combinational" `Quick test_combinational_no_state;
+          Alcotest.test_case "transitive delay" `Quick
+            test_transitive_delay_reference;
+          Alcotest.test_case "output doubles as state" `Quick
+            test_output_is_state_var;
+        ] );
       ( "runner",
         [
           Alcotest.test_case "accumulator" `Quick test_accumulator;
@@ -247,6 +291,8 @@ let () =
           Alcotest.test_case "same-step chaining" `Quick test_same_step_chaining;
           Alcotest.test_case "reset" `Quick test_reset_clears_state;
           Alcotest.test_case "input arity" `Quick test_input_arity_checked;
+          Alcotest.test_case "input arity message" `Quick
+            test_input_arity_message;
           Alcotest.test_case "read by variable" `Quick test_read_by_name;
           Alcotest.test_case "trace recording" `Quick test_run_records_trace;
         ] );

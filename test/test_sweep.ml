@@ -14,6 +14,7 @@ module Abscache = Amsvp_sweep.Abscache
 module Runner = Amsvp_sweep.Runner
 module Report = Amsvp_sweep.Report
 module Obs = Amsvp_obs.Obs
+module Health = Amsvp_probe.Health
 
 let rich_spec =
   {
@@ -29,6 +30,7 @@ let rich_spec =
     seed = 42;
     jobs = Some 2;
     reference = false;
+    nrmse_budget = Some 0.25;
     axes =
       [
         { Spec.param = "r1.r"; range = Spec.Grid { lo = 0.5e3; hi = 2e3; n = 3 } };
@@ -92,7 +94,9 @@ let test_spec_validate () =
     (rejected
        (bad [ { Spec.param = "r1.r"; range = Spec.Grid { lo = 2.0; hi = 1.0; n = 2 } } ]));
   Alcotest.(check bool) "bad samples" true
-    (rejected { rich_spec with Spec.samples = 0 })
+    (rejected { rich_spec with Spec.samples = 0 });
+  Alcotest.(check bool) "non-positive nrmse budget" true
+    (rejected { rich_spec with Spec.nrmse_budget = Some 0.0 })
 
 let test_point_count () =
   (* 3 grid values x 8 samples + 1 corner. *)
@@ -368,6 +372,95 @@ let test_report_outputs () =
     (fun l -> Alcotest.(check int) "rectangular csv" width (cols l))
     lines
 
+(* Health verdicts *)
+
+let test_healthy_points_reported_ok () =
+  let s = run_small 1 in
+  Alcotest.(check int) "no unhealthy point" 0 s.Runner.unhealthy;
+  Array.iter
+    (fun (r : Runner.point_result) ->
+      Alcotest.(check bool) "verdict healthy" true
+        r.Runner.health.Health.v_healthy)
+    s.Runner.points
+
+let test_nan_point_flagged () =
+  (* A deliberately poisoned point: r1.r = NaN propagates through the
+     replayed program's coefficients into the output trace, and the
+     watchdog must name the offending signal and instant while the
+     companion point stays healthy. *)
+  let spec =
+    {
+      Spec.default with
+      Spec.name = "nan_inject";
+      circuit = Some "RECT";
+      t_stop = Some 2e-4;
+      reference = false;
+      axes = [ { Spec.param = "r1.r"; range = Spec.Values [ 1e3; nan ] } ];
+    }
+  in
+  let tc = Option.get (Circuits.by_name "RECT") in
+  let s = Runner.run spec tc in
+  Alcotest.(check int) "two points" 2 (Array.length s.Runner.points);
+  Alcotest.(check int) "one unhealthy" 1 s.Runner.unhealthy;
+  let good = s.Runner.points.(0) and bad = s.Runner.points.(1) in
+  Alcotest.(check bool) "nominal point healthy" true
+    good.Runner.health.Health.v_healthy;
+  Alcotest.(check bool) "poisoned point flagged" false
+    bad.Runner.health.Health.v_healthy;
+  (match bad.Runner.health.Health.v_issues with
+  | [ { Health.kind = Health.Nan_or_inf; time; value } ] ->
+      Alcotest.(check string) "offending signal" "V(out,gnd)"
+        bad.Runner.health.Health.v_signal;
+      Alcotest.(check bool) "timestamp inside the run" true
+        (time >= 0.0 && time <= 2e-4);
+      Alcotest.(check bool) "offending value is non-finite" false
+        (Float.is_finite value)
+  | issues ->
+      Alcotest.failf "expected exactly the nan issue, got %d" (List.length issues));
+  (* The verdict reaches both report formats. *)
+  let json = Report.json s in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json summary counts it" true
+    (contains json "\"unhealthy\": 1");
+  Alcotest.(check bool) "json verdict object" true
+    (contains json "\"health\":{\"signal\":\"V(out,gnd)\"");
+  Alcotest.(check bool) "json ok for the good point" true
+    (contains json "\"health\":\"ok\"");
+  let csv = Report.csv s in
+  Alcotest.(check bool) "csv health column" true
+    (contains csv ",health,");
+  Alcotest.(check bool) "csv flags the nan" true (contains csv "nan@")
+
+let test_nrmse_budget_watchdog () =
+  (* With the reference on and a budget tighter than the actual error,
+     every point trips the nrmse-budget watchdog; with a loose budget,
+     none does. *)
+  let base = small_spec 1 in
+  let tc = Option.get (Circuits.by_name "RECT") in
+  let run budget =
+    Runner.run { base with Spec.nrmse_budget = Some budget } tc
+  in
+  let tight = run 1e-9 in
+  Alcotest.(check int) "tight budget flags all points"
+    (Array.length tight.Runner.points)
+    tight.Runner.unhealthy;
+  Array.iter
+    (fun (r : Runner.point_result) ->
+      match
+        List.find_opt
+          (fun (i : Health.issue) -> i.Health.kind = Health.Nrmse_budget)
+          r.Runner.health.Health.v_issues
+      with
+      | Some _ -> ()
+      | None -> Alcotest.fail "expected an nrmse-budget issue")
+    tight.Runner.points;
+  let loose = run 0.5 in
+  Alcotest.(check int) "loose budget is quiet" 0 loose.Runner.unhealthy
+
 let () =
   Alcotest.run "sweep"
     [
@@ -408,5 +501,13 @@ let () =
         [
           Alcotest.test_case "jobs invariant" `Quick test_runner_jobs_invariant;
           Alcotest.test_case "report outputs" `Quick test_report_outputs;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "healthy points ok" `Quick
+            test_healthy_points_reported_ok;
+          Alcotest.test_case "nan point flagged" `Quick test_nan_point_flagged;
+          Alcotest.test_case "nrmse budget watchdog" `Quick
+            test_nrmse_budget_watchdog;
         ] );
     ]
