@@ -4,6 +4,7 @@
      abstract  -- Verilog-AMS -> C++/SystemC-DE/SystemC-AMS-TDF source
      simulate  -- run a model under a chosen MoC and dump samples
      report    -- abstraction statistics (Fig. 4 pipeline timings)
+     lint      -- multi-pass static analysis with located diagnostics
 
    Examples:
      amsvp abstract model.vams --top rc1 --out 'V(out,gnd)' --target cpp
@@ -28,6 +29,8 @@ module Probe = Amsvp_probe.Probe
 module Stimulus = Amsvp_util.Stimulus
 module Trace = Amsvp_util.Trace
 module Obs = Amsvp_obs.Obs
+module Diag = Amsvp_diag.Diag
+module Lint = Amsvp_analysis.Lint
 
 (* Observability flags, shared by the flow-running subcommands: --obs
    prints a summary to stderr on exit, --trace-out/--metrics-out write
@@ -141,48 +144,49 @@ let read_file path =
   close_in ic;
   s
 
-let with_frontend_errors f =
+(* Front-end and flow exceptions all render as one located diagnostic
+   line (the same [Diag] scheme `amsvp lint` reports through). *)
+let fatal_finding f =
+  prerr_endline (Diag.to_text f);
+  exit 1
+
+let with_frontend_errors ?file f =
+  let span line col = Diag.span ?file line col in
   try f () with
-  | Vparser.Parse_error (msg, line) ->
-      Printf.eprintf "syntax error at line %d: %s\n" line msg;
-      exit 1
-  | Velaborate.Elab_error msg ->
-      Printf.eprintf "elaboration error: %s\n" msg;
-      exit 1
+  | Diag.Rejected finding -> fatal_finding finding
   | Lexer.Lex_error (msg, line, col) ->
-      Printf.eprintf "lexical error at %d:%d: %s\n" line col msg;
-      exit 1
-  | Parser.Parse_error (msg, line, col) ->
-      Printf.eprintf "syntax error at %d:%d: %s\n" line col msg;
-      exit 1
-  | Elaborate.Elab_error msg ->
-      Printf.eprintf "elaboration error: %s\n" msg;
-      exit 1
+      fatal_finding (Diag.error ~span:(span line col) "AMS001" msg)
+  | Parser.Parse_error (msg, line, col) | Vparser.Parse_error (msg, line, col)
+    ->
+      fatal_finding (Diag.error ~span:(span line col) "AMS002" msg)
+  | Elaborate.Elab_error (msg, sp) | Velaborate.Elab_error (msg, sp) ->
+      fatal_finding (Diag.finding ?span:sp Diag.Error "AMS003" msg)
   | Amsvp_core.Assemble.No_definition v ->
-      Printf.eprintf "abstraction error: no equation defines %s\n"
-        (Expr.var_name v);
-      exit 1
+      fatal_finding
+        (Diag.error "AMS030"
+           (Printf.sprintf "no equation defines %s" (Expr.var_name v)))
   | Amsvp_core.Solve.Nonlinear v ->
-      Printf.eprintf
-        "abstraction error: nonlinear definition for %s (outside the linear \
-         scope)\n"
-        (Expr.var_name v);
-      exit 1
+      fatal_finding
+        (Diag.error "AMS042"
+           (Printf.sprintf "nonlinear definition for %s (outside the linear \
+                            scope)"
+              (Expr.var_name v)))
   | Amsvp_core.Solve.Underdetermined msg ->
-      Printf.eprintf "abstraction error: underdetermined system (%s)\n" msg;
-      exit 1
+      fatal_finding
+        (Diag.error "AMS030"
+           (Printf.sprintf "underdetermined system (%s)" msg))
   | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
 
-let flatten_any lang src top inputs =
+let flatten_any lang src ~file top inputs =
   match lang with
-  | `Verilog -> Elaborate.flatten (Parser.parse src) ~top
-  | `Vhdl -> Velaborate.flatten (Vparser.parse src) ~top ~inputs
+  | `Verilog -> Elaborate.flatten (Parser.parse ~file src) ~top
+  | `Vhdl -> Velaborate.flatten (Vparser.parse ~file src) ~top ~inputs
 
 let abstract_model file top output dt mode integration lang inputs =
-  with_frontend_errors (fun () ->
-      let flat = flatten_any lang (read_file file) top inputs in
+  with_frontend_errors ~file (fun () ->
+      let flat = flatten_any lang (read_file file) ~file top inputs in
       match Elaborate.classify flat with
       | `Conservative ->
           let circuit = Elaborate.to_circuit flat in
@@ -330,7 +334,7 @@ let simulate_cmd =
   let run obscfg file top output dt mode integration lang inputs from_program
       moc t_stop (period, low, high) samples probecfg =
     with_obs obscfg @@ fun () ->
-    with_frontend_errors (fun () ->
+    with_frontend_errors ~file (fun () ->
         let p =
           match from_program with
           | Some path -> (
@@ -352,7 +356,7 @@ let simulate_cmd =
           | `De -> (Wrap.run_de ?observe p ~stimuli ~t_stop).Wrap.trace
           | `Tdf -> (Wrap.run_tdf ?observe p ~stimuli ~t_stop).Wrap.trace
           | `Eln | `Vams -> (
-              let flat = flatten_any lang (read_file file) top inputs in
+              let flat = flatten_any lang (read_file file) ~file top inputs in
               match Elaborate.classify flat with
               | `Signal_flow ->
                   Printf.eprintf
@@ -450,7 +454,7 @@ let explain_cmd =
 (* op / netlist *)
 
 let conservative_circuit lang file top inputs output =
-  let flat = flatten_any lang (read_file file) top inputs in
+  let flat = flatten_any lang (read_file file) ~file top inputs in
   (match Elaborate.classify flat with
   | `Conservative -> ()
   | `Signal_flow ->
@@ -463,7 +467,7 @@ let conservative_circuit lang file top inputs output =
 
 let op_cmd =
   let run file top lang inputs levels =
-    with_frontend_errors (fun () ->
+    with_frontend_errors ~file (fun () ->
         let circuit = conservative_circuit lang file top inputs None in
         let sol = Amsvp_mna.Dc.operating_point ~inputs:levels circuit in
         Format.printf "%a@." Amsvp_mna.Dc.pp sol)
@@ -479,7 +483,7 @@ let op_cmd =
 
 let netlist_cmd =
   let run file top lang inputs =
-    with_frontend_errors (fun () ->
+    with_frontend_errors ~file (fun () ->
         let circuit = conservative_circuit lang file top inputs None in
         print_string (Amsvp_netlist.Export.to_spice ~title:top circuit))
   in
@@ -576,7 +580,7 @@ let sweep_cmd =
                 Printf.eprintf "error: --file needs --top\n";
                 exit 1
           in
-          let flat = flatten_any lang (read_file path) top inputs in
+          let flat = flatten_any lang (read_file path) ~file:path top inputs in
           (match Elaborate.classify flat with
           | `Conservative -> ()
           | `Signal_flow ->
@@ -727,12 +731,57 @@ let sweep_cmd =
           $ square_opt $ sine_opt $ mode_opt $ integration_opt
           $ no_reference_arg $ report_out_arg)
 
+(* lint *)
+
+let lint_cmd =
+  let run file top lang inputs dt format werror suppress =
+    let lang =
+      match lang with `Verilog -> `Verilog_ams | `Vhdl -> `Vhdl_ams
+    in
+    let findings = Lint.lint ~lang ?top ~inputs ~dt ~file (read_file file) in
+    let config = { Diag.werror; suppress } in
+    let findings = Diag.apply config findings in
+    (match format with
+    | `Text -> print_string (Diag.report_to_text findings)
+    | `Json -> print_string (Diag.report_to_json ~file findings));
+    if Diag.error_count findings > 0 then exit 1
+  in
+  let top_opt =
+    Arg.(value & opt (some string) None & info [ "top" ] ~docv:"MODULE"
+         ~doc:"Top module (entity) for the elaboration passes; defaults to \
+               the last one in the file. AST passes always cover every \
+               module.")
+  in
+  let format_arg =
+    let formats = [ ("text", `Text); ("json", `Json) ] in
+    Arg.(value & opt (enum formats) `Text & info [ "format" ]
+         ~doc:"Report format: $(b,text) (compiler-style lines) or \
+               $(b,json).")
+  in
+  let werror_arg =
+    Arg.(value & flag
+         & info [ "werror" ] ~doc:"Treat warnings as errors.")
+  in
+  let suppress_arg =
+    Arg.(value & opt_all string []
+         & info [ "suppress" ] ~docv:"CODE"
+             ~doc:"Drop findings with this code (e.g. AMS011). Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyse an AMS model: front-end, AST, topology, \
+             structural-solvability and abstraction-safety passes, \
+             reported as source-located diagnostics. Exits non-zero when \
+             any error-severity finding remains.")
+    Term.(const run $ file_arg $ top_opt $ lang_arg $ inputs_arg $ dt_arg
+          $ format_arg $ werror_arg $ suppress_arg)
+
 (* ac *)
 
 let ac_cmd =
   let run file top output lang inputs input fstart fstop points =
-    with_frontend_errors (fun () ->
-        let flat = flatten_any lang (read_file file) top inputs in
+    with_frontend_errors ~file (fun () ->
+        let flat = flatten_any lang (read_file file) ~file top inputs in
         (match Elaborate.classify flat with
         | `Conservative -> ()
         | `Signal_flow ->
@@ -792,5 +841,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "amsvp" ~version:"1.0.0" ~doc)
-          [ abstract_cmd; simulate_cmd; report_cmd; explain_cmd; sweep_cmd;
-            ac_cmd; op_cmd; netlist_cmd ]))
+          [ abstract_cmd; simulate_cmd; report_cmd; explain_cmd; lint_cmd;
+            sweep_cmd; ac_cmd; op_cmd; netlist_cmd ]))

@@ -1,0 +1,18 @@
+library IEEE;
+use IEEE.electrical_systems.all;
+
+-- The RC low-pass as a VHDL-AMS architecture: branch quantities carry
+-- the same conservative semantics, elaborated onto the same network.
+-- Lint with:
+--   amsvp lint examples/rc_lowpass.vhd --lang vhdl-ams --inputs tin
+entity rc_lowpass is
+  port (terminal tin, tout : electrical);
+end entity;
+
+architecture behav of rc_lowpass is
+  quantity vr across ir through tin to tout;
+  quantity vc across ic through tout to ground;
+begin
+  vr == 5.0e3 * ir;
+  ic == 25.0e-9 * vc'dot;
+end architecture;

@@ -1,0 +1,235 @@
+type severity = Error | Warning | Info
+
+type span = { file : string; line : int; col : int }
+
+let span ?(file = "<input>") line col = { file; line; col }
+
+let pp_span ppf s = Format.fprintf ppf "%s:%d:%d" s.file s.line s.col
+
+type finding = {
+  code : string;
+  severity : severity;
+  message : string;
+  span : span option;
+  subject : string option;
+}
+
+exception Rejected of finding
+
+type code_info = { id : string; default_severity : severity; title : string }
+
+(* The registry is the single source of truth: the README table is
+   generated from it and [finding] refuses unknown codes, so a typo in
+   a pass cannot silently mint a new code. *)
+let codes =
+  [
+    { id = "AMS001"; default_severity = Error; title = "lexical error" };
+    { id = "AMS002"; default_severity = Error; title = "syntax error" };
+    { id = "AMS003"; default_severity = Error; title = "elaboration error" };
+    { id = "AMS010"; default_severity = Warning; title = "undeclared net" };
+    { id = "AMS011"; default_severity = Warning; title = "unused declaration" };
+    {
+      id = "AMS012";
+      default_severity = Error;
+      title = "discipline or direction mismatch";
+    };
+    {
+      id = "AMS013";
+      default_severity = Warning;
+      title = "duplicate contribution";
+    };
+    {
+      id = "AMS014";
+      default_severity = Warning;
+      title = "self-referential contribution";
+    };
+    {
+      id = "AMS015";
+      default_severity = Error;
+      title = "nested ddt/idt beyond first order";
+    };
+    {
+      id = "AMS016";
+      default_severity = Error;
+      title = "parameter with zero default used as divisor";
+    };
+    { id = "AMS020"; default_severity = Error; title = "floating node" };
+    {
+      id = "AMS021";
+      default_severity = Error;
+      title = "devices unreachable from ground";
+    };
+    { id = "AMS022"; default_severity = Error; title = "voltage-source loop" };
+    {
+      id = "AMS023";
+      default_severity = Error;
+      title = "current-source cutset";
+    };
+    { id = "AMS024"; default_severity = Error; title = "empty circuit" };
+    {
+      id = "AMS030";
+      default_severity = Error;
+      title = "under-determined system";
+    };
+    {
+      id = "AMS031";
+      default_severity = Warning;
+      title = "over-determined system";
+    };
+    {
+      id = "AMS040";
+      default_severity = Warning;
+      title = "zero-delay algebraic loop";
+    };
+    {
+      id = "AMS041";
+      default_severity = Warning;
+      title = "timestep exceeds estimated time constant";
+    };
+    {
+      id = "AMS042";
+      default_severity = Error;
+      title = "nonlinear definition outside the linear scope";
+    };
+    { id = "AMS050"; default_severity = Error; title = "empty sweep spec" };
+    {
+      id = "AMS051";
+      default_severity = Error;
+      title = "malformed sweep axis or corner";
+    };
+    {
+      id = "AMS052";
+      default_severity = Error;
+      title = "duplicate sweep axis parameter";
+    };
+  ]
+
+let is_code id = List.exists (fun c -> c.id = id) codes
+
+let finding ?span ?subject severity code message =
+  if not (is_code code) then
+    invalid_arg (Printf.sprintf "Diag.finding: unregistered code %s" code);
+  { code; severity; message; span; subject }
+
+let error ?span ?subject code message =
+  finding ?span ?subject Error code message
+
+let warning ?span ?subject code message =
+  finding ?span ?subject Warning code message
+
+let info ?span ?subject code message = finding ?span ?subject Info code message
+
+let with_span f s = match f.span with Some _ -> f | None -> { f with span = Some s }
+
+type config = { werror : bool; suppress : string list }
+
+let default_config = { werror = false; suppress = [] }
+
+let apply cfg findings =
+  let kept =
+    List.filter (fun f -> not (List.mem f.code cfg.suppress)) findings
+  in
+  let kept =
+    if cfg.werror then
+      List.map
+        (fun f ->
+          match f.severity with
+          | Warning -> { f with severity = Error }
+          | Error | Info -> f)
+        kept
+    else kept
+  in
+  List.stable_sort
+    (fun a b ->
+      let key f =
+        match f.span with
+        | Some s -> (s.file, s.line, s.col, f.code)
+        | None -> ("~", max_int, max_int, f.code)
+      in
+      compare (key a) (key b))
+    kept
+
+let error_count findings =
+  List.length (List.filter (fun f -> f.severity = Error) findings)
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let to_text f =
+  let loc =
+    match f.span with
+    | Some s -> Printf.sprintf "%s:%d:%d: " s.file s.line s.col
+    | None -> ""
+  in
+  Printf.sprintf "%s%s[%s]: %s" loc (severity_name f.severity) f.code f.message
+
+let report_to_text findings =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (to_text f);
+      Buffer.add_char b '\n')
+    findings;
+  let count sev =
+    List.length (List.filter (fun f -> f.severity = sev) findings)
+  in
+  Buffer.add_string b
+    (Printf.sprintf "%d error(s), %d warning(s), %d info\n" (count Error)
+       (count Warning) (count Info));
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let report_to_json ?file findings =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{";
+  (match file with
+  | Some f -> Buffer.add_string b (Printf.sprintf "\"file\": %s, " (jstr f))
+  | None -> ());
+  Buffer.add_string b "\"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "{\"code\": %s, \"severity\": %s, \"message\": %s"
+           (jstr f.code)
+           (jstr (severity_name f.severity))
+           (jstr f.message));
+      (match f.span with
+      | Some s ->
+          Buffer.add_string b
+            (Printf.sprintf ", \"file\": %s, \"line\": %d, \"col\": %d"
+               (jstr s.file) s.line s.col)
+      | None -> ());
+      (match f.subject with
+      | Some s -> Buffer.add_string b (Printf.sprintf ", \"subject\": %s" (jstr s))
+      | None -> ());
+      Buffer.add_string b "}")
+    findings;
+  let count sev =
+    List.length (List.filter (fun f -> f.severity = sev) findings)
+  in
+  Buffer.add_string b
+    (Printf.sprintf "], \"errors\": %d, \"warnings\": %d}" (count Error)
+       (count Warning));
+  Buffer.contents b
+
+let pp ppf f = Format.pp_print_string ppf (to_text f)

@@ -1,0 +1,87 @@
+(** Source-located diagnostics for AMS models and the abstraction flow.
+
+    Every front-end, topology, solvability and abstraction-safety check
+    reports through this one scheme: a stable code ([AMS001]...), a
+    severity, a message and — whenever the finding can be traced back
+    to the source text — a [file:line:col] span. Findings render both
+    as compiler-style text and as machine-readable JSON ([amsvp lint
+    --format json]), and a configuration controls per-code suppression
+    and warnings-as-errors. *)
+
+type severity = Error | Warning | Info
+
+type span = { file : string; line : int; col : int }
+(** A source position. [file] is ["<input>"] for in-memory sources. *)
+
+val span : ?file:string -> int -> int -> span
+val pp_span : Format.formatter -> span -> unit
+(** Rendered as [file:line:col]. *)
+
+type finding = {
+  code : string;  (** stable diagnostic code, e.g. ["AMS020"] *)
+  severity : severity;
+  message : string;
+  span : span option;  (** source anchor, when one is known *)
+  subject : string option;
+      (** the offending object in machine-readable form — a net, device,
+          parameter or quantity name — letting later passes attach a
+          span the reporting layer did not know *)
+}
+
+exception Rejected of finding
+(** Raised by pre-flight gates (e.g. {!val:Amsvp_core.Flow} via its
+    checks) instead of a deep solver exception. *)
+
+val finding :
+  ?span:span -> ?subject:string -> severity -> string -> string -> finding
+(** [finding sev code message]. @raise Invalid_argument on an unknown
+    code (codes must be registered in {!codes}). *)
+
+val error : ?span:span -> ?subject:string -> string -> string -> finding
+val warning : ?span:span -> ?subject:string -> string -> string -> finding
+val info : ?span:span -> ?subject:string -> string -> string -> finding
+
+val with_span : finding -> span -> finding
+(** Attach a span to a finding that lacks one (no-op when present). *)
+
+(** {1 The code registry} *)
+
+type code_info = { id : string; default_severity : severity; title : string }
+
+val codes : code_info list
+(** Every registered diagnostic code, sorted by id — the reference
+    table rendered in the README. *)
+
+val is_code : string -> bool
+
+(** {1 Reports} *)
+
+type config = {
+  werror : bool;  (** treat warnings as errors *)
+  suppress : string list;  (** codes to drop entirely *)
+}
+
+val default_config : config
+
+val apply : config -> finding list -> finding list
+(** Drop suppressed codes, upgrade warnings under [werror], and sort by
+    (file, line, col, code). *)
+
+val error_count : finding list -> int
+(** Findings with [Error] severity (after {!apply}, this is what decides
+    a non-zero exit). *)
+
+val severity_name : severity -> string
+
+val to_text : finding -> string
+(** One compiler-style line:
+    [file:line:col: severity[CODE]: message]. *)
+
+val report_to_text : finding list -> string
+(** One line per finding plus a trailing summary line. *)
+
+val report_to_json : ?file:string -> finding list -> string
+(** [{ "file": ..., "findings": [ {code, severity, message, file, line,
+    col, subject} ], "errors": n, "warnings": n }]. *)
+
+val pp : Format.formatter -> finding -> unit

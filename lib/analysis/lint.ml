@@ -1,0 +1,637 @@
+module Diag = Amsvp_diag.Diag
+module Ast = Amsvp_vams.Ast
+module Lexer = Amsvp_vams.Lexer
+module Parser = Amsvp_vams.Parser
+module Elaborate = Amsvp_vams.Elaborate
+module Vast = Amsvp_vhdlams.Vast
+module Vparser = Amsvp_vhdlams.Vparser
+module Velaborate = Amsvp_vhdlams.Velaborate
+module Circuit = Amsvp_netlist.Circuit
+module Component = Amsvp_netlist.Component
+module Flow = Amsvp_core.Flow
+module Check = Amsvp_core.Check
+module Acquisition = Amsvp_core.Acquisition
+module Enrich = Amsvp_core.Enrich
+module Assemble = Amsvp_core.Assemble
+module Solve = Amsvp_core.Solve
+
+type lang = [ `Verilog_ams | `Vhdl_ams ]
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* AST passes (Verilog-AMS)                                            *)
+(* ------------------------------------------------------------------ *)
+
+type decl_kind = Knet | Kreal | Kbranch | Kparam | Kground
+
+(* Every parameter overridden on some instance, design-wide:
+   [(module, param)] keys. A parameter only consumed through overrides
+   is not unused. *)
+let overridden_params design =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Ast.module_def) ->
+      List.iter
+        (fun (it : Ast.item) ->
+          match it.Ast.idesc with
+          | Ast.Instance { module_name; overrides; _ } ->
+              List.iter
+                (fun (p, _) -> Hashtbl.replace tbl (module_name, p) ())
+                overrides
+          | _ -> ())
+        m.Ast.items)
+    design;
+  tbl
+
+let ast_module_findings ~overridden (m : Ast.module_def) =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let decls = Hashtbl.create 16 in
+  let declare name kind span =
+    if not (Hashtbl.mem decls name) then Hashtbl.add decls name (kind, span)
+  in
+  let dirs = Hashtbl.create 8 in
+  let grounds = Hashtbl.create 4 in
+  Hashtbl.replace grounds "gnd" ();
+  List.iter
+    (fun (it : Ast.item) ->
+      let sp = it.Ast.ispan in
+      match it.Ast.idesc with
+      | Ast.Port_direction (d, ids) ->
+          List.iter
+            (fun n ->
+              Hashtbl.replace dirs n d;
+              declare n Knet sp)
+            ids
+      | Ast.Net_decl ("real", ids) -> List.iter (fun n -> declare n Kreal sp) ids
+      | Ast.Net_decl (_, ids) -> List.iter (fun n -> declare n Knet sp) ids
+      | Ast.Ground_decl ids ->
+          List.iter
+            (fun n ->
+              Hashtbl.replace grounds n ();
+              declare n Kground sp)
+            ids
+      | Ast.Branch_decl (_, names) ->
+          List.iter (fun n -> declare n Kbranch sp) names
+      | Ast.Parameter (name, _) -> declare name Kparam sp
+      | Ast.Analog _ | Ast.Instance _ -> ())
+    m.Ast.items;
+  (* Usage collection. *)
+  let net_uses = ref [] in
+  let net_used = Hashtbl.create 16 in
+  let ident_used = Hashtbl.create 16 in
+  let use_net n sp =
+    net_uses := (n, sp) :: !net_uses;
+    Hashtbl.replace net_used n ()
+  in
+  let all_exprs = ref [] in
+  let contribs = ref [] in
+  let rec walk_expr (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.Number _ -> ()
+    | Ast.Ident x -> Hashtbl.replace ident_used x ()
+    | Ast.Access (_, args) -> List.iter (fun a -> use_net a e.Ast.espan) args
+    | Ast.Unop (_, a) -> walk_expr a
+    | Ast.Binop (_, a, b) ->
+        walk_expr a;
+        walk_expr b
+    | Ast.Call (_, args) -> List.iter walk_expr args
+    | Ast.Ternary (c, a, b) ->
+        walk_expr c;
+        walk_expr a;
+        walk_expr b
+  in
+  let note e =
+    all_exprs := e :: !all_exprs;
+    walk_expr e
+  in
+  let rec walk_stmt ~cond (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Ast.Contribution (t, rhs) ->
+        contribs := (t, rhs, cond, s.Ast.sspan) :: !contribs;
+        note t;
+        note rhs
+    | Ast.Assign (_, e) -> note e
+    | Ast.If (c, a, b) ->
+        note c;
+        List.iter (walk_stmt ~cond:true) a;
+        List.iter (walk_stmt ~cond:true) b
+  in
+  List.iter
+    (fun (it : Ast.item) ->
+      match it.Ast.idesc with
+      | Ast.Analog stmts -> List.iter (walk_stmt ~cond:false) stmts
+      | Ast.Parameter (_, e) -> note e
+      | Ast.Branch_decl ((a, b), _) ->
+          use_net a it.Ast.ispan;
+          use_net b it.Ast.ispan
+      | Ast.Instance { connections; overrides; _ } ->
+          List.iter (fun (_, net) -> use_net net it.Ast.ispan) connections;
+          List.iter (fun (_, e) -> note e) overrides
+      | Ast.Port_direction _ | Ast.Net_decl _ | Ast.Ground_decl _ -> ())
+    m.Ast.items;
+  let contribs = List.rev !contribs in
+  (* AMS010: branch accesses and instance connections over undeclared
+     nets. One finding per name, at its first use. *)
+  let reported = Hashtbl.create 8 in
+  List.iter
+    (fun (n, sp) ->
+      if
+        (not (Hashtbl.mem decls n))
+        && (not (Hashtbl.mem grounds n))
+        && not (Hashtbl.mem reported n)
+      then begin
+        Hashtbl.replace reported n ();
+        add
+          (Diag.warning ~span:sp ~subject:n "AMS010"
+             (Printf.sprintf "net %s is not declared in module %s" n
+                m.Ast.name))
+      end)
+    (List.rev !net_uses);
+  (* AMS011: declared but never used. *)
+  Hashtbl.iter
+    (fun name (kind, sp) ->
+      let used =
+        match kind with
+        | Kground -> true
+        | Knet -> Hashtbl.mem net_used name || List.mem name m.Ast.ports
+        | Kbranch -> Hashtbl.mem net_used name
+        | Kreal -> Hashtbl.mem ident_used name
+        | Kparam ->
+            Hashtbl.mem ident_used name
+            || Hashtbl.mem overridden (m.Ast.name, name)
+      in
+      if not used then
+        let what =
+          match kind with
+          | Knet -> "net"
+          | Kreal -> "analog variable"
+          | Kbranch -> "branch"
+          | Kparam -> "parameter"
+          | Kground -> "ground"
+        in
+        add
+          (Diag.warning ~span:sp ~subject:name "AMS011"
+             (Printf.sprintf "%s %s is declared but never used" what name)))
+    decls;
+  (* AMS012/013/014 over contribution statements. *)
+  let contrib_seen = Hashtbl.create 8 in
+  List.iter
+    (fun ((t : Ast.expr), (rhs : Ast.expr), cond, ssp) ->
+      match t.Ast.edesc with
+      | Ast.Access (fn, args) ->
+          let target_name =
+            Printf.sprintf "%s(%s)" fn (String.concat "," args)
+          in
+          if fn <> "V" && fn <> "I" then
+            add
+              (Diag.error ~span:t.Ast.espan ~subject:fn "AMS012"
+                 (Printf.sprintf
+                    "cannot contribute to %s: only V(...) and I(...) branch \
+                     accesses are contribution targets"
+                    target_name))
+          else if args = [] || List.length args > 2 then
+            add
+              (Diag.error ~span:t.Ast.espan ~subject:target_name "AMS012"
+                 (Printf.sprintf "branch access %s takes one or two nets"
+                    target_name))
+          else if fn = "V" then
+            (* Only potential contributions conflict with an external
+               driver; sourcing a current into a driven port is the
+               normal conservative idiom (the driver absorbs it). *)
+            List.iter
+              (fun a ->
+                match Hashtbl.find_opt dirs a with
+                | Some Ast.Input ->
+                    add
+                      (Diag.error ~span:t.Ast.espan ~subject:a "AMS012"
+                         (Printf.sprintf
+                            "contribution to %s drives input-direction port %s"
+                            target_name a))
+                | _ -> ())
+              args;
+          (if not cond then
+             match Hashtbl.find_opt contrib_seen target_name with
+             | Some _ ->
+                 add
+                   (Diag.warning ~span:ssp ~subject:target_name "AMS013"
+                      (Printf.sprintf
+                         "duplicate contribution to %s; contributions \
+                          accumulate"
+                         target_name))
+             | None -> Hashtbl.replace contrib_seen target_name ssp);
+          (* AMS014: the target read back outside ddt/idt. *)
+          let rec self ~under (e : Ast.expr) =
+            match e.Ast.edesc with
+            | Ast.Access (fn', args') when fn' = fn && args' = args ->
+                not under
+            | Ast.Number _ | Ast.Ident _ | Ast.Access _ -> false
+            | Ast.Unop (_, a) -> self ~under a
+            | Ast.Binop (_, a, b) -> self ~under a || self ~under b
+            | Ast.Call (f, es) ->
+                let under = under || f = "ddt" || f = "idt" in
+                List.exists (self ~under) es
+            | Ast.Ternary (c, a, b) ->
+                self ~under c || self ~under a || self ~under b
+          in
+          if self ~under:false rhs then
+            add
+              (Diag.warning ~span:ssp ~subject:target_name "AMS014"
+                 (Printf.sprintf
+                    "contribution to %s reads its own target outside \
+                     ddt/idt; the implicit equation is solved simultaneously"
+                    target_name))
+      | _ ->
+          add
+            (Diag.error ~span:t.Ast.espan "AMS012"
+               "contribution target must be a V(...) or I(...) branch access"))
+    contribs;
+  (* AMS015: nested ddt/idt. *)
+  let rec nested ~depth (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.Call (("ddt" | "idt") as f, es) ->
+        if depth >= 1 then
+          add
+            (Diag.error ~span:e.Ast.espan ~subject:f "AMS015"
+               (Printf.sprintf
+                  "%s nested inside another derivative/integral: only \
+                   first-order operators are supported"
+                  f));
+        List.iter (nested ~depth:(depth + 1)) es
+    | Ast.Number _ | Ast.Ident _ | Ast.Access _ -> ()
+    | Ast.Unop (_, a) -> nested ~depth a
+    | Ast.Binop (_, a, b) ->
+        nested ~depth a;
+        nested ~depth b
+    | Ast.Call (_, es) -> List.iter (nested ~depth) es
+    | Ast.Ternary (c, a, b) ->
+        nested ~depth c;
+        nested ~depth a;
+        nested ~depth b
+  in
+  List.iter (nested ~depth:0) !all_exprs;
+  (* AMS016: a parameter whose declared default is 0 used as divisor. *)
+  let zero_params = Hashtbl.create 4 in
+  List.iter
+    (fun (it : Ast.item) ->
+      match it.Ast.idesc with
+      | Ast.Parameter (name, { Ast.edesc = Ast.Number 0.0; _ })
+      | Ast.Parameter
+          ( name,
+            {
+              Ast.edesc =
+                Ast.Unop (Ast.Neg, { Ast.edesc = Ast.Number 0.0; _ });
+              _;
+            } ) ->
+          Hashtbl.replace zero_params name ()
+      | _ -> ())
+    m.Ast.items;
+  let rec divcheck (e : Ast.expr) =
+    (match e.Ast.edesc with
+    | Ast.Binop (Ast.Div, _, ({ Ast.edesc = Ast.Ident p; _ } as den))
+      when Hashtbl.mem zero_params p ->
+        add
+          (Diag.error ~span:den.Ast.espan ~subject:p "AMS016"
+             (Printf.sprintf
+                "parameter %s has declared default 0 and is used as a divisor"
+                p))
+    | _ -> ());
+    match e.Ast.edesc with
+    | Ast.Number _ | Ast.Ident _ | Ast.Access _ -> ()
+    | Ast.Unop (_, a) -> divcheck a
+    | Ast.Binop (_, a, b) ->
+        divcheck a;
+        divcheck b
+    | Ast.Call (_, es) -> List.iter divcheck es
+    | Ast.Ternary (c, a, b) ->
+        divcheck c;
+        divcheck a;
+        divcheck b
+  in
+  List.iter divcheck !all_exprs;
+  List.rev !findings
+
+let ast_findings (design : Ast.design) =
+  let overridden = overridden_params design in
+  List.concat_map (ast_module_findings ~overridden) design
+
+(* ------------------------------------------------------------------ *)
+(* Elaborated-model passes (shared by both front-ends)                 *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize =
+  String.map (fun ch ->
+      if ch = '(' || ch = ')' || ch = ',' || ch = '.' then '_' else ch)
+
+let has_error fs = List.exists (fun f -> f.Diag.severity = Diag.Error) fs
+
+let ams003 (msg, sp) = Diag.finding ?span:sp Diag.Error "AMS003" msg
+
+(* The ground-connected part of a circuit: devices with both terminals
+   reachable from ground. Lets the deeper passes run even when a
+   floating island was diagnosed. *)
+let grounded_subcircuit circuit =
+  let devices = Circuit.devices circuit in
+  let adj = Hashtbl.create 16 in
+  let link a b =
+    Hashtbl.replace adj a (b :: (try Hashtbl.find adj a with Not_found -> []))
+  in
+  List.iter
+    (fun (d : Component.t) ->
+      link d.Component.pos d.Component.neg;
+      link d.Component.neg d.Component.pos)
+    devices;
+  let visited = Hashtbl.create 16 in
+  let rec visit n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.replace visited n ();
+      List.iter visit (try Hashtbl.find adj n with Not_found -> [])
+    end
+  in
+  visit (Circuit.ground circuit);
+  let keep =
+    List.filter
+      (fun (d : Component.t) ->
+        Hashtbl.mem visited d.Component.pos
+        && Hashtbl.mem visited d.Component.neg)
+      devices
+  in
+  if List.length keep = List.length devices then circuit
+  else begin
+    let c = Circuit.create ~ground:(Circuit.ground circuit) () in
+    List.iter (Circuit.add c) keep;
+    c
+  end
+
+let conservative_findings ~outputs ~dt (flat : Elaborate.flat) =
+  match Elaborate.to_circuit flat with
+  | exception Elaborate.Elab_error (msg, sp) -> [ ams003 (msg, sp) ]
+  | circuit ->
+      (* Span resolution: a topology or solvability finding names a
+         device or node; point it at the first contribution that
+         created that device (device names are the sanitised flow id)
+         or touched that node. *)
+      let dev_span = Hashtbl.create 16 and node_span = Hashtbl.create 16 in
+      List.iter
+        (fun (c : Elaborate.contribution) ->
+          let name = sanitize c.Elaborate.branch.Elaborate.flow_id in
+          if not (Hashtbl.mem dev_span name) then
+            Hashtbl.add dev_span name c.Elaborate.span;
+          let note_node n =
+            if not (Hashtbl.mem node_span n) then
+              Hashtbl.add node_span n c.Elaborate.span
+          in
+          note_node c.Elaborate.branch.Elaborate.pos;
+          note_node c.Elaborate.branch.Elaborate.neg;
+          (* Sensed-only nets (controlled-source references) appear in
+             the rhs but on no branch; map them too so a solvability
+             finding about them points at the sensing contribution. *)
+          Expr.Var_set.iter
+            (fun (v : Expr.var) ->
+              match v.Expr.base with
+              | Expr.Potential (a, b) ->
+                  note_node a;
+                  note_node b
+              | Expr.Flow _ | Expr.Signal _ | Expr.Param _ -> ())
+            (Expr.vars c.Elaborate.rhs))
+        flat.Elaborate.contributions;
+      let span_of_subject s =
+        match Hashtbl.find_opt dev_span s with
+        | Some sp -> Some sp
+        | None -> Hashtbl.find_opt node_span s
+      in
+      let span_of_var (v : Expr.var) =
+        match v.Expr.base with
+        | Expr.Flow (n, _) -> Hashtbl.find_opt dev_span n
+        | Expr.Potential (a, b) -> (
+            match Hashtbl.find_opt node_span a with
+            | Some sp -> Some sp
+            | None -> Hashtbl.find_opt node_span b)
+        | Expr.Signal _ | Expr.Param _ -> None
+      in
+      let attach f =
+        match (f.Diag.span, f.Diag.subject) with
+        | None, Some s -> (
+            match span_of_subject s with
+            | Some sp -> Diag.with_span f sp
+            | None -> f)
+        | _ -> f
+      in
+      let topo = List.map attach (Circuit.diagnose circuit) in
+      (* Degrade gracefully: a floating island (AMS020/021) does not
+         block the solvability passes — they run on the grounded part
+         of the network. Source loops/cutsets (AMS022/023) make the
+         remaining system singular by construction, so deeper passes
+         would only repeat them. *)
+      let blocking =
+        List.exists
+          (fun f ->
+            f.Diag.severity = Diag.Error
+            && (f.Diag.code = "AMS022" || f.Diag.code = "AMS023"))
+          topo
+      in
+      let circuit = grounded_subcircuit circuit in
+      if blocking || Circuit.device_count circuit = 0 then topo
+      else begin
+        match
+          let probed = Flow.insert_probes circuit ~outputs in
+          let acq = Acquisition.of_circuit probed in
+          let map, _stats = Enrich.enrich acq in
+          let solv = Check.solvability ~span_of:span_of_var map ~outputs in
+          if has_error solv then solv
+          else begin
+            let asm_outputs =
+              (* Default to the ground-referenced node voltages: asking
+                 for every branch potential forces Assemble to define
+                 the floating ones algebraically, which hides the state
+                 form (and its time constants) from the safety pass. *)
+              if outputs <> [] then outputs
+              else begin
+                let g = Circuit.ground probed in
+                let all =
+                  List.map Component.potential_var (Circuit.devices probed)
+                  |> List.sort_uniq Expr.compare_var
+                in
+                let grounded =
+                  List.filter
+                    (fun (v : Expr.var) ->
+                      match v.Expr.base with
+                      | Expr.Potential (_, b) -> b = g
+                      | _ -> false)
+                    all
+                in
+                if grounded <> [] then grounded else all
+              end
+            in
+            let inputs = Circuit.input_signals probed in
+            match Assemble.assemble map ~inputs ~outputs:asm_outputs with
+            | exception Assemble.No_definition v ->
+                solv
+                @ [
+                    Diag.error ?span:(span_of_var v)
+                      ~subject:(Expr.var_name v) "AMS030"
+                      (Printf.sprintf
+                         "no consistent set of equations defines %s"
+                         (Expr.var_name v));
+                  ]
+            | asm ->
+                (* Matching is necessary, not sufficient: run the solver
+                   to catch a rank-deficient definition choice the same
+                   way the flow's own gate does. *)
+                let late =
+                  match
+                    Solve.solve_with_plan ~mode:`Auto
+                      ~integration:`Backward_euler ~name:"lint" ~dt asm
+                  with
+                  | _ -> []
+                  | exception Solve.Underdetermined msg ->
+                      [
+                        Diag.error "AMS030"
+                          (Printf.sprintf "underdetermined system (%s)" msg);
+                      ]
+                  | exception Solve.Nonlinear v ->
+                      [
+                        Diag.error
+                          ?span:(span_of_var v)
+                          ~subject:(Expr.var_name v) "AMS042"
+                          (Printf.sprintf
+                             "nonlinear definition for %s (outside the \
+                              linear scope)"
+                             (Expr.var_name v));
+                      ]
+                in
+                solv @ late
+                @ Check.abstraction_safety ~span_of:span_of_var ~dt asm
+          end
+        with
+        | deep -> topo @ deep
+        | exception Invalid_argument msg -> topo @ [ Diag.error "AMS030" msg ]
+      end
+
+let signal_flow_findings ~outputs ~dt top (flat : Elaborate.flat) =
+  match Elaborate.signal_flow_assignments flat with
+  | exception Elaborate.Elab_error (msg, sp) -> [ ams003 (msg, sp) ]
+  | assigns ->
+      let spans =
+        List.map
+          (fun (c : Elaborate.contribution) -> c.Elaborate.span)
+          flat.Elaborate.contributions
+      in
+      let pairs = List.combine assigns spans in
+      let inputs = flat.Elaborate.input_ports in
+      let target_bases =
+        List.map (fun ((v : Expr.var), _) -> v.Expr.base) assigns
+      in
+      let is_defined (v : Expr.var) =
+        match v.Expr.base with
+        | Expr.Signal s -> List.mem s inputs
+        | Expr.Param _ -> true
+        | base -> List.mem base target_bases
+      in
+      (* AMS030: a quantity read but neither an input nor a target. *)
+      let seen = Hashtbl.create 8 in
+      let undefined =
+        List.concat_map
+          (fun ((_, rhs), sp) ->
+            Expr.Var_set.elements (Expr.vars rhs)
+            |> List.filter_map (fun (v : Expr.var) ->
+                   let name = Expr.var_name { v with Expr.delay = 0 } in
+                   if is_defined v || Hashtbl.mem seen name then None
+                   else begin
+                     Hashtbl.replace seen name ();
+                     Some
+                       (Diag.error ~span:sp ~subject:name "AMS030"
+                          (Printf.sprintf
+                             "quantity %s is read but never defined" name))
+                   end))
+          pairs
+      in
+      if undefined <> [] then undefined
+      else begin
+        let outs = if outputs <> [] then outputs else List.map fst assigns in
+        match
+          Flow.convert_signal_flow ~name:top ~inputs ~outputs:outs
+            ~contributions:assigns ~dt
+        with
+        | _program -> []
+        | exception Solve.Nonlinear v ->
+            [
+              Diag.error ~subject:(Expr.var_name v) "AMS042"
+                (Printf.sprintf
+                   "nonlinear self-reference on %s is outside the linear \
+                    abstraction scope"
+                   (Expr.var_name v));
+            ]
+        | exception Solve.Underdetermined msg -> [ Diag.error "AMS030" msg ]
+        | exception Invalid_argument msg ->
+            let code =
+              if
+                contains_substring msg "never assigned"
+                || contains_substring msg "unknown quantity"
+              then "AMS030"
+              else "AMS040"
+            in
+            (* Fatal on this route: the direct conversion has no
+               simultaneous solve to fall back on. *)
+            [ Diag.error code msg ]
+      end
+
+let flat_findings ~outputs ~dt top (flat : Elaborate.flat) =
+  match Elaborate.classify flat with
+  | `Conservative -> conservative_findings ~outputs ~dt flat
+  | `Signal_flow -> signal_flow_findings ~outputs ~dt top flat
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lint ?(lang = `Verilog_ams) ?top ?(inputs = []) ?(outputs = [])
+    ?(dt = 50e-9) ~file src =
+  match lang with
+  | `Verilog_ams -> (
+      match Parser.parse ~file src with
+      | exception Lexer.Lex_error (msg, line, col) ->
+          [ Diag.error ~span:(Diag.span ~file line col) "AMS001" msg ]
+      | exception Parser.Parse_error (msg, line, col) ->
+          [ Diag.error ~span:(Diag.span ~file line col) "AMS002" msg ]
+      | [] -> [ Diag.error "AMS003" "design contains no modules" ]
+      | design ->
+          let ast = ast_findings design in
+          let top =
+            match top with
+            | Some t -> t
+            | None -> (List.hd (List.rev design)).Ast.name
+          in
+          let deep =
+            match Elaborate.flatten design ~top with
+            | exception Elaborate.Elab_error (msg, sp) -> [ ams003 (msg, sp) ]
+            | flat -> flat_findings ~outputs ~dt top flat
+          in
+          ast @ deep)
+  | `Vhdl_ams -> (
+      match Vparser.parse ~file src with
+      | exception Vparser.Parse_error (msg, line, col) ->
+          [ Diag.error ~span:(Diag.span ~file line col) "AMS002" msg ]
+      | design -> (
+          let entities =
+            List.filter_map
+              (function Vast.Entity e -> Some e.Vast.ename | _ -> None)
+              design
+          in
+          let top =
+            match (top, List.rev entities) with
+            | Some t, _ -> Some t
+            | None, e :: _ -> Some e
+            | None, [] -> None
+          in
+          match top with
+          | None -> [ Diag.error "AMS003" "design contains no entities" ]
+          | Some top -> (
+              match Velaborate.flatten design ~top ~inputs with
+              | exception Velaborate.Elab_error (msg, sp) ->
+                  [ ams003 (msg, sp) ]
+              | flat -> flat_findings ~outputs ~dt top flat)))

@@ -1,0 +1,49 @@
+(** The multi-pass static analyzer behind [amsvp lint].
+
+    One entry point runs every pass the source admits, in pipeline
+    order, accumulating {!Amsvp_diag.Diag} findings instead of raising:
+
+    + {b front-end} — lexing ([AMS001]) and parsing ([AMS002]) errors,
+      with their [file:line:col];
+    + {b AST passes} (Verilog-AMS only — the VHDL-AMS subset declares
+      quantities implicitly, so the equivalent mistakes surface during
+      elaboration): undeclared nets ([AMS010]), unused declarations
+      ([AMS011]), malformed or direction-violating branch accesses
+      ([AMS012]), duplicate ([AMS013]) and self-referential ([AMS014])
+      contributions, nested [ddt]/[idt] ([AMS015]) and parameters with
+      default 0 used as divisors ([AMS016]);
+    + {b elaboration} — hierarchy errors become located [AMS003]
+      findings;
+    + {b topology} — {!Amsvp_netlist.Circuit.diagnose} over the
+      recognised network ([AMS020]–[AMS024]), with each finding's
+      subject resolved back to the span of the contribution that
+      created the device or node;
+    + {b structural solvability} — {!Amsvp_core.Check.solvability} over
+      the enriched equation map ([AMS030]/[AMS031]);
+    + {b abstraction safety} — {!Amsvp_core.Check.abstraction_safety}
+      over the assembled definitions ([AMS040]/[AMS041]); on the
+      signal-flow route, reads of never-defined quantities are
+      [AMS030] and zero-delay ordering violations are [AMS040] errors
+      (they are fatal to the direct conversion).
+
+    Passes degrade gracefully: an error at one stage skips the stages
+    that depend on it but never the independent ones, so one run
+    reports as much as the model admits. *)
+
+type lang = [ `Verilog_ams | `Vhdl_ams ]
+
+val lint :
+  ?lang:lang ->
+  ?top:string ->
+  ?inputs:string list ->
+  ?outputs:Expr.var list ->
+  ?dt:float ->
+  file:string ->
+  string ->
+  Amsvp_diag.Diag.finding list
+(** [lint ~file src] analyses the source text. [lang] defaults to
+    [`Verilog_ams]; [top] to the last module (entity) of the design;
+    [inputs] (VHDL-AMS only) to []]; [outputs] to every branch
+    potential of the recognised network; [dt] to [50e-9]. The result is
+    unfiltered and unsorted — pass it through {!Amsvp_diag.Diag.apply}
+    with the desired configuration. *)

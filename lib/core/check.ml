@@ -1,0 +1,241 @@
+module Diag = Amsvp_diag.Diag
+
+(* The unknown quantities of an equation, merged over pseudo-variables:
+   [x] and [ddt(x)] collapse into the single unknown [x] (they stop
+   being independent at discretisation). Nonlinear equations have no
+   pseudo-linear view, so they participate with the Potential/Flow
+   variables of their residual. *)
+let is_quantity (v : Expr.var) =
+  v.Expr.delay = 0
+  &&
+  match v.Expr.base with
+  | Expr.Potential _ | Expr.Flow _ -> true
+  | Expr.Signal _ | Expr.Param _ -> false
+
+let eq_unknowns eq =
+  match Eqn.unknowns eq with
+  | [] ->
+      Expr.Var_set.elements (Expr.vars (Eqn.residual eq))
+      |> List.filter is_quantity
+  | ps ->
+      List.map (function Eqn.Cur v | Eqn.Der v -> v) ps
+      |> List.filter is_quantity
+      |> List.sort_uniq Expr.compare_var
+
+let solvability ?(span_of = fun _ -> None) map ~outputs =
+  let eqs = Eqmap.origins map in
+  let eq_vars = List.map eq_unknowns eqs in
+  (* Intern the unknowns, first-appearance order. *)
+  let index = Hashtbl.create 32 in
+  let unknowns = ref [] in
+  let intern v =
+    if not (Hashtbl.mem index v) then begin
+      Hashtbl.add index v (Hashtbl.length index);
+      unknowns := v :: !unknowns
+    end
+  in
+  List.iter (List.iter intern) eq_vars;
+  List.iter (fun o -> if is_quantity o then intern o) outputs;
+  let unknowns = Array.of_list (List.rev !unknowns) in
+  let n_unknowns = Array.length unknowns in
+  let n_eqs = List.length eqs in
+  (* unknown -> indices of the equations that mention it *)
+  let adj = Array.make n_unknowns [] in
+  List.iteri
+    (fun ei vars ->
+      List.iter
+        (fun v ->
+          let ui = Hashtbl.find index v in
+          adj.(ui) <- ei :: adj.(ui))
+        vars)
+    eq_vars;
+  (* Kuhn's augmenting paths: match every unknown to a distinct
+     equation mentioning it. An unmatched unknown witnesses structural
+     under-determination (Dulmage–Mendelsohn: it lies in the
+     underdetermined block). *)
+  let eq_match = Array.make (max n_eqs 1) (-1) in
+  let rec augment visited u =
+    List.exists
+      (fun e ->
+        if visited.(e) then false
+        else begin
+          visited.(e) <- true;
+          if eq_match.(e) < 0 || augment visited eq_match.(e) then begin
+            eq_match.(e) <- u;
+            true
+          end
+          else false
+        end)
+      adj.(u)
+  in
+  let unmatched = ref [] in
+  Array.iteri
+    (fun u _ ->
+      if not (augment (Array.make (max n_eqs 1) false) u) then
+        unmatched := u :: !unmatched)
+    unknowns;
+  let under =
+    List.rev_map
+      (fun u ->
+        let name = Expr.var_name unknowns.(u) in
+        Diag.error ?span:(span_of unknowns.(u)) ~subject:name "AMS030"
+          (Printf.sprintf
+             "structurally under-determined: no equation left to define %s"
+             name))
+      !unmatched
+  in
+  let over =
+    if n_eqs > n_unknowns then
+      [ Diag.warning "AMS031"
+          (Printf.sprintf
+             "structurally over-determined: %d independent equations for %d \
+              unknowns"
+             n_eqs n_unknowns)
+      ]
+    else []
+  in
+  under @ over
+
+(* Variables read algebraically — i.e. outside any ddt/idt node. A
+   dependency through a derivative is state-like (the discretised form
+   reads mostly history), so it does not constitute a zero-delay
+   algebraic coupling; without this distinction every RC network would
+   report a loop through its capacitor currents. *)
+let rec algebraic_vars acc (e : Expr.t) =
+  match e with
+  | Expr.Const _ -> acc
+  | Expr.Var v -> Expr.Var_set.add v acc
+  | Expr.Neg a -> algebraic_vars acc a
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Div (a, b) ->
+      algebraic_vars (algebraic_vars acc a) b
+  | Expr.Ddt _ | Expr.Idt _ -> acc
+  | Expr.App (_, a) -> algebraic_vars acc a
+  | Expr.Cond (c, a, b) ->
+      algebraic_vars (algebraic_vars (algebraic_cond_vars acc c) a) b
+
+and algebraic_cond_vars acc = function
+  | Expr.Cmp (_, a, b) -> algebraic_vars (algebraic_vars acc a) b
+  | Expr.And (a, b) | Expr.Or (a, b) ->
+      algebraic_cond_vars (algebraic_cond_vars acc a) b
+  | Expr.Not c -> algebraic_cond_vars acc c
+
+(* Zero-delay algebraic loops: cycles in the reads-at-current-step
+   relation between definitions the solver cannot eliminate. Linear
+   definitions are excluded — a cycle of linear equations (every
+   resistive divider forms one through its KCL/KVL identities) is
+   dissolved by substitution during [Solve]. Integrating definitions
+   are excluded too: they read their own past through the discretised
+   derivative. What remains — a cycle of nonlinear, non-integrating
+   definitions — must be iterated within the time step, and the relaxed
+   solver may lag or diverge on it. *)
+let algebraic_loops ~span_of (asm : Assemble.result) =
+  let defs =
+    List.filter
+      (fun (d : Assemble.definition) ->
+        (not d.Assemble.integrates)
+        && Expr.linear_form d.Assemble.raw = None)
+      asm.Assemble.defs
+  in
+  let by_var = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Assemble.definition) -> Hashtbl.replace by_var d.Assemble.var d)
+    defs;
+  let deps (d : Assemble.definition) =
+    Expr.Var_set.elements (algebraic_vars Expr.Var_set.empty d.Assemble.raw)
+    |> List.filter (fun v -> v.Expr.delay = 0 && Hashtbl.mem by_var v)
+  in
+  (* DFS with colouring; report each cycle once, by its entry variable. *)
+  let state = Hashtbl.create 16 in
+  (* 1 = on stack, 2 = done *)
+  let findings = ref [] in
+  let rec visit path v =
+    match Hashtbl.find_opt state v with
+    | Some 2 -> ()
+    | Some _ ->
+        let rec from_entry = function
+          | [] -> [ v ]
+          | w :: _ as l when Expr.equal_var w v -> l
+          | _ :: tl -> from_entry tl
+        in
+        let cycle = from_entry (List.rev path) in
+        let names = List.map Expr.var_name cycle in
+        findings :=
+          Diag.warning ?span:(span_of v)
+            ~subject:(Expr.var_name v)
+            "AMS040"
+            (Printf.sprintf "zero-delay algebraic loop: %s"
+               (String.concat " -> " (names @ [ List.hd names ])))
+          :: !findings
+    | None ->
+        Hashtbl.replace state v 1;
+        let d = Hashtbl.find by_var v in
+        List.iter (visit (v :: path)) (deps d);
+        Hashtbl.replace state v 2
+  in
+  List.iter
+    (fun (d : Assemble.definition) -> visit [] d.Assemble.var)
+    defs;
+  List.rev !findings
+
+(* Discretisation-stability estimate: a state update [ddt x = f(...)]
+   with linear [f] has its own time constant [tau = 1/|df/dx|]; the
+   backward-Euler step stays stable but loses accuracy once [dt]
+   overtakes the fastest [tau]. The derivative is usually phrased
+   through intermediate currents ([ddt v = k * I(br)]), so the
+   non-integrating definitions are expanded into it first — only then
+   does the state's own coefficient appear. *)
+let stability ~span_of ~dt (asm : Assemble.result) =
+  let algebraic = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Assemble.definition) ->
+      if not d.Assemble.integrates then
+        Hashtbl.replace algebraic d.Assemble.var d.Assemble.raw)
+    asm.Assemble.defs;
+  let expand e =
+    (* bounded fixpoint; cycles cannot loop past the definition count *)
+    let rec go k e =
+      if k = 0 then e
+      else
+        let e' = Expr.subst (fun v -> Hashtbl.find_opt algebraic v) e in
+        if e' = e then e else go (k - 1) e'
+    in
+    Expr.simplify (go (List.length asm.Assemble.defs + 1) e)
+  in
+  List.filter_map
+    (fun (d : Assemble.definition) ->
+      match d.Assemble.deriv with
+      | Some e when d.Assemble.integrates -> (
+          match Expr.linear_form (expand e) with
+          | None -> None
+          | Some (items, _) -> (
+              match
+                List.find_opt
+                  (fun (v, _) -> Expr.equal_var v d.Assemble.var)
+                  items
+              with
+              | Some (_, a) when a <> 0.0 && dt > 1.0 /. abs_float a ->
+                  let name = Expr.var_name d.Assemble.var in
+                  Some
+                    (Diag.warning
+                       ?span:(span_of d.Assemble.var)
+                       ~subject:name "AMS041"
+                       (Printf.sprintf
+                          "time step %g exceeds the estimated time constant \
+                           %g of %s; the discretised model will be heavily \
+                           damped"
+                          dt
+                          (1.0 /. abs_float a)
+                          name))
+              | _ -> None))
+      | _ -> None)
+    asm.Assemble.defs
+
+let abstraction_safety ?(span_of = fun _ -> None) ~dt asm =
+  algebraic_loops ~span_of asm @ stability ~span_of ~dt asm
+
+let gate findings =
+  match
+    List.find_opt (fun f -> f.Diag.severity = Diag.Error) findings
+  with
+  | Some f -> raise (Diag.Rejected f)
+  | None -> ()

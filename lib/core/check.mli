@@ -1,0 +1,51 @@
+(** Pre-flight checks over the abstraction pipeline.
+
+    Two families of findings, both reported through {!Amsvp_diag.Diag}:
+
+    - {!solvability} runs on the enriched equation map, {e before}
+      {!Assemble}, and decides structural solvability by maximum
+      bipartite matching of equation classes against unknown quantities
+      (a Dulmage–Mendelsohn-style argument: a perfect matching of the
+      unknowns is necessary for the system to determine them). It names
+      the unmatched variables — turning a later [No_definition] or
+      singular-solve crash into a located diagnostic.
+
+    - {!abstraction_safety} runs on the assembled definitions and warns
+      about properties that survive abstraction but degrade the
+      discrete-time model: zero-delay algebraic loops between
+      non-integrating definitions, and a time step larger than the
+      smallest estimated time constant of the system. *)
+
+val solvability :
+  ?span_of:(Expr.var -> Amsvp_diag.Diag.span option) ->
+  Eqmap.t ->
+  outputs:Expr.var list ->
+  Amsvp_diag.Diag.finding list
+(** Codes:
+    - [AMS030] (error) — an unknown quantity (or requested output) that
+      no distinct equation can define; [subject] is the variable name.
+    - [AMS031] (warning) — strictly more equation classes than unknown
+      quantities (structurally over-determined).
+
+    A quantity and its time derivative count as one unknown (they
+    collapse at discretisation); nonlinear equations participate with
+    the quantities of their residual. *)
+
+val abstraction_safety :
+  ?span_of:(Expr.var -> Amsvp_diag.Diag.span option) ->
+  dt:float ->
+  Assemble.result ->
+  Amsvp_diag.Diag.finding list
+(** Codes:
+    - [AMS040] (warning) — a zero-delay algebraic loop: a cycle of
+      nonlinear, non-integrating definitions each referencing the next
+      at the current time step (linear cycles dissolve by substitution
+      during solving and are not reported); [subject] is a variable on
+      the cycle.
+    - [AMS041] (warning) — [dt] exceeds the smallest time constant
+      estimated from the state-update definitions
+      ([tau = 1/|d(ddt x)/dx|]); [subject] is the state variable. *)
+
+val gate : Amsvp_diag.Diag.finding list -> unit
+(** Raise {!Amsvp_diag.Diag.Rejected} on the first error finding of the
+    list, in report order; warnings pass. *)

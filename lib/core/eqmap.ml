@@ -95,6 +95,7 @@ let fetch_all m p =
 
 let fetch m p = match fetch_all m p with [] -> None | v :: _ -> Some v
 
+let origins m = List.rev_map (fun c -> c.origin) m.classes
 let origin_of_class m id = (clazz m id).origin
 let variants_of_class m id = (clazz m id).variants
 

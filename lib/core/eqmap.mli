@@ -44,6 +44,11 @@ val enable_class : t -> int -> unit
 val reset : t -> unit
 (** Re-enable every class. *)
 
+val origins : t -> Eqn.t list
+(** The original equation of every class, in insertion order (enabled
+    or not) — the full system a structural-solvability pass matches
+    against its unknowns. *)
+
 val origin_of_class : t -> int -> Eqn.t
 (** The original equation of a class.
     @raise Invalid_argument on an unknown id. *)

@@ -4,6 +4,7 @@ module Graph = Amsvp_netlist.Graph
 module Circuits = Amsvp_netlist.Circuits
 module Sfprogram = Amsvp_sf.Sfprogram
 module Obs = Amsvp_obs.Obs
+module Diag = Amsvp_diag.Diag
 
 let c_abstractions =
   Obs.Counter.make ~help:"abstraction flow runs" "amsvp_flow_abstractions_total"
@@ -94,6 +95,10 @@ let abstract_circuit ?(name = "abstracted") ?(mode = `Auto)
   @@ fun () ->
   Obs.Counter.incr c_abstractions;
   let circuit = with_probes circuit outputs in
+  (* Pre-flight gates: reject a malformed topology or a structurally
+     singular system with a located Diag finding instead of letting a
+     deep solver exception surface. *)
+  Check.gate (Circuit.diagnose circuit);
   let inputs = Circuit.input_signals circuit in
   let acq, acquisition_s =
     timed "flow.acquisition" (fun () -> Acquisition.of_circuit circuit)
@@ -101,12 +106,38 @@ let abstract_circuit ?(name = "abstracted") ?(mode = `Auto)
   let (map, stats), enrichment_s =
     timed "flow.enrich" (fun () -> Enrich.enrich acq)
   in
+  Check.gate (Check.solvability map ~outputs);
+  (* Structural matching is necessary but not sufficient: a degenerate
+     topology can pass the gates and still leave Assemble or Solve
+     without a usable pivot. Those late failures become located Diag
+     rejections too, so every way abstraction can fail speaks the same
+     language. *)
   let asm, assemble_s =
-    timed "flow.assemble" (fun () -> Assemble.assemble map ~inputs ~outputs)
+    timed "flow.assemble" (fun () ->
+        try Assemble.assemble map ~inputs ~outputs
+        with Assemble.No_definition v ->
+          raise
+            (Diag.Rejected
+               (Diag.error ~subject:(Expr.var_name v) "AMS030"
+                  (Printf.sprintf "no consistent set of equations defines %s"
+                     (Expr.var_name v)))))
   in
   let (program, plan), solve_s =
     timed "flow.solve" (fun () ->
-        Solve.solve_with_plan ~mode ~integration ~name ~dt asm)
+        try Solve.solve_with_plan ~mode ~integration ~name ~dt asm with
+        | Solve.Underdetermined msg ->
+            raise
+              (Diag.Rejected
+                 (Diag.error "AMS030"
+                    (Printf.sprintf "underdetermined system (%s)" msg)))
+        | Solve.Nonlinear v ->
+            raise
+              (Diag.Rejected
+                 (Diag.error ~subject:(Expr.var_name v) "AMS042"
+                    (Printf.sprintf
+                       "nonlinear definition for %s (outside the linear \
+                        scope)"
+                       (Expr.var_name v)))))
   in
   let explain = Explain.of_abstraction ~name ~dt ~mode map asm plan in
   {

@@ -116,38 +116,168 @@ let structure_key c =
   String.concat ";"
     (("gnd=" ^ c.ground) :: List.map Component.structure_tag (devices c))
 
-let validate c =
-  if c.devs = [] then Error "circuit has no devices"
-  else begin
-    (* Reachability from ground over device edges. *)
-    let adj = Hashtbl.create 16 in
-    let link a b =
-      let l = try Hashtbl.find adj a with Not_found -> [] in
-      Hashtbl.replace adj a (b :: l)
-    in
-    List.iter
-      (fun (d : Component.t) ->
+(* Topology diagnostics (lint passes over the elaborated network).
+
+   All passes work on the undirected device graph; each returns Diag
+   findings so that the lint driver can attach source spans (via the
+   contribution that created the device) and the legacy [validate]
+   below can keep its string interface. *)
+
+module Diag = Amsvp_diag.Diag
+
+(* Reachability from [c.ground] over the edges selected by [keep].
+   Returns the visited-set membership test. *)
+let reach c keep =
+  let adj = Hashtbl.create 16 in
+  let link a b =
+    let l = try Hashtbl.find adj a with Not_found -> [] in
+    Hashtbl.replace adj a (b :: l)
+  in
+  List.iter
+    (fun (d : Component.t) ->
+      if keep d then begin
         link d.pos d.neg;
-        link d.neg d.pos)
-      c.devs;
-    let visited = Hashtbl.create 16 in
-    let rec visit n =
-      if not (Hashtbl.mem visited n) then begin
-        Hashtbl.add visited n ();
-        List.iter visit (try Hashtbl.find adj n with Not_found -> [])
-      end
+        link d.neg d.pos
+      end)
+    c.devs;
+  let visited = Hashtbl.create 16 in
+  let rec visit n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      List.iter visit (try Hashtbl.find adj n with Not_found -> [])
+    end
+  in
+  visit c.ground;
+  fun n -> Hashtbl.mem visited n
+
+let is_vsource_like (d : Component.t) =
+  match d.kind with
+  | Component.Vsource _ | Component.Vcvs _ -> true
+  | _ -> false
+
+(* A zero-valued DC current source is an ideal voltmeter (the probes
+   [Flow.insert_probes] adds): it carries no current, so it is exempt
+   from the return-path requirement of a real current source. *)
+let is_isource_like (d : Component.t) =
+  match d.kind with
+  | Component.Isource (Component.Dc 0.0) -> false
+  | Component.Isource _ | Component.Vccs _ -> true
+  | _ -> false
+
+(* A cycle made only of voltage-defined branches fixes the same node
+   potential twice: detected with union-find over the V-edge subgraph —
+   an edge whose endpoints are already connected closes a loop. *)
+let vsource_loops c =
+  let parent = Hashtbl.create 16 in
+  let rec root n =
+    match Hashtbl.find_opt parent n with
+    | None -> n
+    | Some p ->
+        let r = root p in
+        Hashtbl.replace parent n r;
+        r
+  in
+  List.filter_map
+    (fun (d : Component.t) ->
+      if not (is_vsource_like d) then None
+      else
+        let rp = root d.pos and rn = root d.neg in
+        if rp = rn then Some d.name
+        else begin
+          Hashtbl.replace parent rp rn;
+          None
+        end)
+    (devices c)
+
+let diagnose c =
+  if c.devs = [] then
+    [ Diag.error "AMS024" "circuit has no devices" ]
+  else begin
+    let connected = reach c (fun _ -> true) in
+    let floating = List.filter (fun n -> not (connected n)) (nodes c) in
+    let floating_findings =
+      List.map
+        (fun n ->
+          Diag.error ~subject:n "AMS020"
+            (Printf.sprintf "node %s is not connected to ground" n))
+        floating
     in
-    visit c.ground;
-    let floating =
-      List.filter (fun n -> not (Hashtbl.mem visited n)) (nodes c)
+    let stranded_devs =
+      List.filter
+        (fun (d : Component.t) -> not (connected d.pos || connected d.neg))
+        (devices c)
     in
-    match floating with
-    | [] -> Ok ()
-    | ns ->
-        Error
-          (Printf.sprintf "nodes not connected to ground: %s"
-             (String.concat ", " ns))
+    let stranded_findings =
+      match stranded_devs with
+      | [] -> []
+      | ds ->
+          [ Diag.error
+              ~subject:(List.hd ds).Component.name "AMS021"
+              (Printf.sprintf "devices unreachable from ground: %s"
+                 (String.concat ", "
+                    (List.map (fun (d : Component.t) -> d.Component.name) ds)))
+          ]
+    in
+    let loop_findings =
+      List.map
+        (fun name ->
+          Diag.error ~subject:name "AMS022"
+            (Printf.sprintf
+               "voltage source %s closes a loop of voltage-defined branches"
+               name))
+        (vsource_loops c)
+    in
+    (* A current-defined branch whose endpoints have no other return
+       path to ground forms a cutset of current sources: KCL at the cut
+       then fixes the source current twice. Detect by removing the
+       I-defined edges and looking for current sources that bridge the
+       now-disconnected region (ignore endpoints that were floating
+       outright — those are already AMS020). *)
+    let reach_no_i = reach c (fun d -> not (is_isource_like d)) in
+    let cutset_findings =
+      List.filter_map
+        (fun (d : Component.t) ->
+          if
+            is_isource_like d
+            && connected d.pos && connected d.neg
+            && not (reach_no_i d.pos && reach_no_i d.neg)
+          then
+            Some
+              (Diag.error ~subject:d.name "AMS023"
+                 (Printf.sprintf
+                    "current source %s has no conductive return path (current-source cutset)"
+                    d.name))
+          else None)
+        (devices c)
+    in
+    floating_findings @ stranded_findings @ loop_findings @ cutset_findings
   end
+
+let validate c =
+  let findings = diagnose c in
+  let errors = List.filter (fun f -> f.Diag.severity = Diag.Error) findings in
+  match errors with
+  | [] -> Ok ()
+  | fs ->
+      (* Keep the historical phrasing for floating nodes; other findings
+         fall back to their Diag messages. *)
+      let floating =
+        List.filter_map
+          (fun f -> if f.Diag.code = "AMS020" then f.Diag.subject else None)
+          fs
+      in
+      let msgs =
+        (if floating = [] then []
+         else
+           [ Printf.sprintf "nodes not connected to ground: %s"
+               (String.concat ", " floating)
+           ])
+        @ List.filter_map
+            (fun f ->
+              if f.Diag.code = "AMS020" then None else Some f.Diag.message)
+            fs
+      in
+      Error (String.concat "; " msgs)
 
 let pp ppf c =
   Format.fprintf ppf "@[<v>circuit (ground=%s, %d nodes, %d devices)@,%a@]"

@@ -91,8 +91,25 @@ val structure_key : t -> string
     circuits with equal keys differ at most in parameter values —
     the cache key of the sweep engine's abstraction cache. *)
 
+val diagnose : t -> Amsvp_diag.Diag.finding list
+(** Topology lint passes over the elaborated network. Findings carry no
+    source spans (the lint driver attaches them via the contribution
+    that created each device); [subject] names the offending node or
+    device. Codes:
+    - [AMS024] — the circuit has no devices;
+    - [AMS020] — a node with no path to ground (one finding per node,
+      [subject] = node name);
+    - [AMS021] — an island of devices none of whose terminals reach
+      ground ([subject] = first such device);
+    - [AMS022] — a cycle of voltage-defined branches
+      (Vsource/VCVS; [subject] = the device closing the loop);
+    - [AMS023] — a current-defined branch (Isource/VCCS) with no
+      conductive return path, i.e. a current-source cutset. *)
+
 val validate : t -> (unit, string) result
 (** Structural checks: at least one device, every node connected to the
-    ground component of the graph, no duplicate device names. *)
+    ground component of the graph, no duplicate device names. Now a
+    thin wrapper over {!diagnose} that joins error findings into one
+    message. *)
 
 val pp : Format.formatter -> t -> unit

@@ -67,38 +67,75 @@ let point_count s =
   let per_grid = if is_random s then s.samples else 1 in
   (grid_size s * per_grid) + List.length s.corners
 
-let validate s =
-  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
-  if s.axes = [] && s.corners = [] then
-    err "spec %s has no axes and no corners" s.name
-  else if s.samples < 1 then err "samples must be >= 1"
-  else if (match s.nrmse_budget with Some b -> not (b > 0.0) | None -> false)
-  then err "nrmse_budget must be positive"
-  else begin
-    let rec check_axes seen = function
-      | [] -> Ok ()
+(* Structural diagnosis, one finding per defect so a sweep file with
+   several mistakes reports them all at once. [validate] keeps the
+   first-error result shape for existing callers. *)
+let diagnose s =
+  let module Diag = Amsvp_diag.Diag in
+  let err ?subject code fmt =
+    Printf.ksprintf (fun m -> Some (Diag.error ?subject code m)) fmt
+  in
+  let empty =
+    if s.axes = [] && s.corners = [] then
+      err ~subject:s.name "AMS050" "sweep spec %s has no axes and no corners"
+        s.name
+    else None
+  in
+  let counts =
+    [
+      (if s.samples < 1 then err "AMS051" "samples must be >= 1" else None);
+      (match s.nrmse_budget with
+      | Some b when not (b > 0.0) ->
+          err "AMS051" "nrmse_budget must be positive"
+      | Some _ | None -> None);
+    ]
+  in
+  let axes =
+    List.map
+      (fun a ->
+        match a.range with
+        | Grid { n; _ } when n < 1 ->
+            err ~subject:a.param "AMS051" "grid axis %s: n < 1" a.param
+        | Grid { lo; hi; _ } when lo > hi ->
+            err ~subject:a.param "AMS051" "grid axis %s: lo > hi" a.param
+        | Values [] ->
+            err ~subject:a.param "AMS051" "values axis %s is empty" a.param
+        | Uniform { lo; hi } when lo > hi ->
+            err ~subject:a.param "AMS051" "uniform axis %s: lo > hi" a.param
+        | Normal { sigma; _ } when sigma < 0.0 ->
+            err ~subject:a.param "AMS051" "normal axis %s: negative sigma"
+              a.param
+        | Grid _ | Values _ | Uniform _ | Normal _ -> None)
+      s.axes
+  in
+  let duplicates =
+    let rec go seen = function
+      | [] -> []
       | a :: rest ->
-          if List.mem a.param seen then err "duplicate axis parameter %s" a.param
-          else begin
-            match a.range with
-            | Grid { n; _ } when n < 1 -> err "grid axis %s: n < 1" a.param
-            | Grid { lo; hi; _ } when lo > hi ->
-                err "grid axis %s: lo > hi" a.param
-            | Values [] -> err "values axis %s is empty" a.param
-            | Uniform { lo; hi } when lo > hi ->
-                err "uniform axis %s: lo > hi" a.param
-            | Normal { sigma; _ } when sigma < 0.0 ->
-                err "normal axis %s: negative sigma" a.param
-            | _ -> check_axes (a.param :: seen) rest
-          end
+          if List.mem a.param seen then
+            err ~subject:a.param "AMS052" "duplicate axis parameter %s" a.param
+            :: go seen rest
+          else go (a.param :: seen) rest
     in
-    match check_axes [] s.axes with
-    | Error _ as e -> e
-    | Ok () ->
-        if List.exists (fun c -> c.binds = []) s.corners then
-          err "a corner of %s has no bindings" s.name
-        else Ok ()
-  end
+    go [] s.axes
+  in
+  let corners =
+    List.map
+      (fun c ->
+        if c.binds = [] then
+          err ~subject:c.corner_name "AMS051" "corner %s of %s has no bindings"
+            c.corner_name s.name
+        else None)
+      s.corners
+  in
+  List.filter_map
+    (fun x -> x)
+    ((empty :: counts) @ axes @ duplicates @ corners)
+
+let validate s =
+  match diagnose s with
+  | [] -> Ok ()
+  | f :: _ -> Error f.Amsvp_diag.Diag.message
 
 (* ---- text form ---- *)
 

@@ -54,9 +54,18 @@ val default : t
 (** Empty spec: name ["sweep"], 1 sample, seed 0, [`Auto] mode,
     backward Euler, reference on, no axes or corners. *)
 
+val diagnose : t -> Amsvp_diag.Diag.finding list
+(** Structural checks, one finding per defect. Codes:
+    - [AMS050] (error) — no axes and no corners;
+    - [AMS051] (error) — malformed axis, corner or count (grid with
+      [n < 1] or [lo > hi], empty values, negative sigma, cornerless
+      bindings, non-positive samples / budget); [subject] names the
+      axis parameter or corner where applicable;
+    - [AMS052] (error) — duplicate axis parameter. *)
+
 val validate : t -> (unit, string) result
-(** Structural checks: at least one axis or corner, positive counts,
-    ordered ranges, no duplicate axis parameters. *)
+(** [Error] with the first {!diagnose} finding's message, [Ok] when
+    none. *)
 
 val is_random : t -> bool
 (** True when some axis is Monte Carlo ([Uniform]/[Normal]). *)

@@ -1,8 +1,12 @@
+type span = Amsvp_diag.Diag.span
+
 type unop = Neg | Not
 
 type binop = Add | Sub | Mul | Div | Lt | Le | Gt | Ge | And | Or
 
-type expr =
+type expr = { edesc : expr_desc; espan : span }
+
+and expr_desc =
   | Number of float
   | Ident of string
   | Access of string * string list
@@ -11,14 +15,18 @@ type expr =
   | Call of string * expr list
   | Ternary of expr * expr * expr
 
-type stmt =
+type stmt = { sdesc : stmt_desc; sspan : span }
+
+and stmt_desc =
   | Contribution of expr * expr
   | Assign of string * expr
   | If of expr * stmt list * stmt list
 
 type direction = Inout | Input | Output
 
-type item =
+type item = { idesc : item_desc; ispan : span }
+
+and item_desc =
   | Port_direction of direction * string list
   | Net_decl of string * string list
   | Ground_decl of string list
@@ -32,7 +40,12 @@ type item =
       connections : (string * string) list;
     }
 
-type module_def = { name : string; ports : string list; items : item list }
+type module_def = {
+  name : string;
+  ports : string list;
+  items : item list;
+  mspan : span;
+}
 
 type design = module_def list
 
@@ -51,7 +64,8 @@ let binop_name = function
   | And -> "&&"
   | Or -> "||"
 
-let rec pp_expr ppf = function
+let rec pp_expr ppf e =
+  match e.edesc with
   | Number f -> Format.fprintf ppf "%g" f
   | Ident s -> Format.pp_print_string ppf s
   | Access (f, args) -> Format.fprintf ppf "%s(%s)" f (String.concat "," args)
@@ -68,7 +82,8 @@ let rec pp_expr ppf = function
   | Ternary (c, a, b) ->
       Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
 
-let rec pp_stmt ppf = function
+let rec pp_stmt ppf s =
+  match s.sdesc with
   | Contribution (lhs, rhs) ->
       Format.fprintf ppf "%a <+ %a;" pp_expr lhs pp_expr rhs
   | Assign (name, rhs) -> Format.fprintf ppf "%s = %a;" name pp_expr rhs

@@ -5,7 +5,13 @@
     real parameters (with scale-factor literals), analog blocks made of
     contribution statements ([<+]) over potential and flow accesses,
     [ddt]/[idt] and math functions, conditionals, and hierarchical
-    instantiation with parameter overrides. *)
+    instantiation with parameter overrides.
+
+    Every node carries the {!Amsvp_diag.Diag.span} of the token that
+    opened it, so elaboration errors and lint findings can point at
+    [file:line:col]. *)
+
+type span = Amsvp_diag.Diag.span
 
 type unop = Neg | Not
 
@@ -21,7 +27,9 @@ type binop =
   | And
   | Or
 
-type expr =
+type expr = { edesc : expr_desc; espan : span }
+
+and expr_desc =
   | Number of float
   | Ident of string  (** parameter or net reference *)
   | Access of string * string list
@@ -33,7 +41,9 @@ type expr =
   | Call of string * expr list  (** [ddt], [idt], [sin], [exp], ... *)
   | Ternary of expr * expr * expr
 
-type stmt =
+type stmt = { sdesc : stmt_desc; sspan : span }
+
+and stmt_desc =
   | Contribution of expr * expr  (** [access <+ rhs] *)
   | Assign of string * expr
       (** [x = rhs;] — a procedural (analog real) variable assignment;
@@ -44,7 +54,9 @@ type stmt =
 
 type direction = Inout | Input | Output
 
-type item =
+type item = { idesc : item_desc; ispan : span }
+
+and item_desc =
   | Port_direction of direction * string list  (** [inout a, b;] *)
   | Net_decl of string * string list  (** [electrical n1, n2;] *)
   | Ground_decl of string list  (** [ground gnd;] *)
@@ -59,7 +71,12 @@ type item =
       connections : (string * string) list;  (** [.p(in)] *)
     }
 
-type module_def = { name : string; ports : string list; items : item list }
+type module_def = {
+  name : string;
+  ports : string list;
+  items : item list;
+  mspan : span;
+}
 
 type design = module_def list
 

@@ -1,13 +1,20 @@
 module Circuit = Amsvp_netlist.Circuit
 module Component = Amsvp_netlist.Component
+module Diag = Amsvp_diag.Diag
 
-exception Elab_error of string
+exception Elab_error of string * Diag.span option
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+let fail ?span fmt =
+  Printf.ksprintf (fun s -> raise (Elab_error (s, span))) fmt
 
 type branch_ref = { flow_id : string; pos : string; neg : string }
 
-type contribution = { branch : branch_ref; is_flow : bool; rhs : Expr.t }
+type contribution = {
+  branch : branch_ref;
+  is_flow : bool;
+  rhs : Expr.t;
+  span : Diag.span;
+}
 
 type flat = {
   top : string;
@@ -26,7 +33,7 @@ type ctx = {
   params : (string * float) list;
   branches : (string * (string * string)) list;  (* named branch -> pair *)
   ground_nets : (string, unit) Hashtbl.t;  (* global ground aliases *)
-  mutable acc : (branch_ref * bool * Expr.t) list;  (* reverse order *)
+  mutable acc : (branch_ref * bool * Expr.t * Diag.span) list;  (* reverse *)
   mutable nets : string list;
   mutable locals : (string * Expr.t) list;  (* analog real variables *)
 }
@@ -45,14 +52,15 @@ let note_net ctx net =
 
 (* Evaluate a constant expression (parameter values, overrides). *)
 let rec const_eval ctx (e : Ast.expr) =
-  match e with
+  let span = e.Ast.espan in
+  match e.Ast.edesc with
   | Ast.Number f -> f
   | Ast.Ident p -> (
       match List.assoc_opt p ctx.params with
       | Some v -> v
-      | None -> fail "unknown parameter %s in %s" p ctx.path)
+      | None -> fail ~span "unknown parameter %s in %s" p ctx.path)
   | Ast.Unop (Ast.Neg, a) -> -.const_eval ctx a
-  | Ast.Unop (Ast.Not, _) -> fail "boolean in constant expression"
+  | Ast.Unop (Ast.Not, _) -> fail ~span "boolean in constant expression"
   | Ast.Binop (op, a, b) -> (
       let x = const_eval ctx a and y = const_eval ctx b in
       match op with
@@ -61,13 +69,13 @@ let rec const_eval ctx (e : Ast.expr) =
       | Ast.Mul -> x *. y
       | Ast.Div -> x /. y
       | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or ->
-          fail "comparison in constant expression")
+          fail ~span "comparison in constant expression")
   | Ast.Call _ | Ast.Access _ | Ast.Ternary _ ->
-      fail "unsupported constant expression"
+      fail ~span "unsupported constant expression"
 
 (* Branch resolution: named branches, single nets (to ground) and net
    pairs. Unnamed branches are unique per (instance, oriented pair). *)
-let branch_of_access ctx (args : string list) =
+let branch_of_access ctx ~span (args : string list) =
   match args with
   | [ x ] -> (
       match List.assoc_opt x ctx.branches with
@@ -88,7 +96,7 @@ let branch_of_access ctx (args : string list) =
         pos;
         neg;
       }
-  | _ -> fail "access takes one or two nets"
+  | _ -> fail ~span "access takes one or two nets"
 
 let unary_fun_of_name = function
   | "sin" -> Some Expr.Sin
@@ -101,7 +109,8 @@ let unary_fun_of_name = function
   | _ -> None
 
 let rec expr_of_ast ctx (e : Ast.expr) =
-  match e with
+  let span = e.Ast.espan in
+  match e.Ast.edesc with
   | Ast.Number f -> Expr.const f
   | Ast.Ident p -> (
       match List.assoc_opt p ctx.locals with
@@ -110,7 +119,8 @@ let rec expr_of_ast ctx (e : Ast.expr) =
           match List.assoc_opt p ctx.params with
           | Some v -> Expr.const v
           | None ->
-              fail "unresolved identifier %s (nets need V()/I() access)" p))
+              fail ~span "unresolved identifier %s (nets need V()/I() access)"
+                p))
   | Ast.Access ("V", args) -> (
       match args with
       | [ x ] when not (List.mem_assoc x ctx.branches) ->
@@ -119,19 +129,19 @@ let rec expr_of_ast ctx (e : Ast.expr) =
           if net = "gnd" then Expr.zero
           else Expr.var (Expr.potential net "gnd")
       | _ ->
-          let br = branch_of_access ctx args in
+          let br = branch_of_access ctx ~span args in
           note_net ctx br.pos;
           note_net ctx br.neg;
           if br.pos = br.neg then Expr.zero
           else Expr.var (Expr.potential br.pos br.neg))
   | Ast.Access ("I", args) ->
-      let br = branch_of_access ctx args in
+      let br = branch_of_access ctx ~span args in
       note_net ctx br.pos;
       note_net ctx br.neg;
       Expr.var (Expr.flow br.flow_id "")
-  | Ast.Access (f, _) -> fail "unknown access function %s" f
+  | Ast.Access (f, _) -> fail ~span "unknown access function %s" f
   | Ast.Unop (Ast.Neg, a) -> Expr.neg (expr_of_ast ctx a)
-  | Ast.Unop (Ast.Not, _) -> fail "boolean operator outside a condition"
+  | Ast.Unop (Ast.Not, _) -> fail ~span "boolean operator outside a condition"
   | Ast.Binop (op, a, b) -> (
       match op with
       | Ast.Add -> Expr.( + ) (expr_of_ast ctx a) (expr_of_ast ctx b)
@@ -139,19 +149,19 @@ let rec expr_of_ast ctx (e : Ast.expr) =
       | Ast.Mul -> Expr.( * ) (expr_of_ast ctx a) (expr_of_ast ctx b)
       | Ast.Div -> Expr.( / ) (expr_of_ast ctx a) (expr_of_ast ctx b)
       | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or ->
-          fail "comparison outside a condition")
+          fail ~span "comparison outside a condition")
   | Ast.Call ("ddt", [ a ]) -> Expr.Ddt (expr_of_ast ctx a)
   | Ast.Call ("idt", [ a ]) -> Expr.Idt (expr_of_ast ctx a)
   | Ast.Call (f, [ a ]) -> (
       match unary_fun_of_name f with
       | Some fn -> Expr.App (fn, expr_of_ast ctx a)
-      | None -> fail "unsupported function %s" f)
-  | Ast.Call (f, _) -> fail "unsupported function %s or arity" f
+      | None -> fail ~span "unsupported function %s" f)
+  | Ast.Call (f, _) -> fail ~span "unsupported function %s or arity" f
   | Ast.Ternary (c, a, b) ->
       Expr.Cond (cond_of_ast ctx c, expr_of_ast ctx a, expr_of_ast ctx b)
 
 and cond_of_ast ctx (e : Ast.expr) =
-  match e with
+  match e.Ast.edesc with
   | Ast.Binop (Ast.Lt, a, b) ->
       Expr.Cmp (Expr.Lt, expr_of_ast ctx a, expr_of_ast ctx b)
   | Ast.Binop (Ast.Le, a, b) ->
@@ -164,7 +174,7 @@ and cond_of_ast ctx (e : Ast.expr) =
       Expr.And (cond_of_ast ctx a, cond_of_ast ctx b)
   | Ast.Binop (Ast.Or, a, b) -> Expr.Or (cond_of_ast ctx a, cond_of_ast ctx b)
   | Ast.Unop (Ast.Not, a) -> Expr.Not (cond_of_ast ctx a)
-  | _ -> fail "expected a comparison in condition"
+  | _ -> fail ~span:e.Ast.espan "expected a comparison in condition"
 
 (* Symbolic execution of an analog block: contributions under an [if]
    apply only when the condition holds, and multiple contributions to
@@ -172,15 +182,16 @@ and cond_of_ast ctx (e : Ast.expr) =
 let rec exec_stmts ctx guard stmts =
   List.iter
     (fun (s : Ast.stmt) ->
-      match s with
-      | Ast.Contribution (Ast.Access (f, args), rhs) ->
+      let sspan = s.Ast.sspan in
+      match s.Ast.sdesc with
+      | Ast.Contribution ({ Ast.edesc = Ast.Access (f, args); espan }, rhs) ->
           let is_flow =
             match f with
             | "I" -> true
             | "V" -> false
-            | _ -> fail "contribution target must be V or I"
+            | _ -> fail ~span:espan "contribution target must be V or I"
           in
-          let br = branch_of_access ctx args in
+          let br = branch_of_access ctx ~span:espan args in
           note_net ctx br.pos;
           note_net ctx br.neg;
           let rhs = expr_of_ast ctx rhs in
@@ -189,8 +200,9 @@ let rec exec_stmts ctx guard stmts =
             | None -> rhs
             | Some c -> Expr.Cond (c, rhs, Expr.zero)
           in
-          ctx.acc <- (br, is_flow, rhs) :: ctx.acc
-      | Ast.Contribution _ -> fail "contribution target must be an access"
+          ctx.acc <- (br, is_flow, rhs, sspan) :: ctx.acc
+      | Ast.Contribution _ ->
+          fail ~span:sspan "contribution target must be an access"
       | Ast.Assign (name, rhs) ->
           (* Symbolic execution of the procedural assignment: under a
              guard, the variable keeps its previous value in the other
@@ -237,8 +249,8 @@ let rec elaborate_module design ~path ~bindings ~overrides ~ground_nets ~acc_ctx
   in
   let params =
     List.filter_map
-      (fun item ->
-        match item with
+      (fun (item : Ast.item) ->
+        match item.Ast.idesc with
         | Ast.Parameter (name, default) ->
             let v =
               match List.assoc_opt name overrides with
@@ -251,16 +263,16 @@ let rec elaborate_module design ~path ~bindings ~overrides ~ground_nets ~acc_ctx
   in
   let branches =
     List.concat_map
-      (fun item ->
-        match item with
+      (fun (item : Ast.item) ->
+        match item.Ast.idesc with
         | Ast.Branch_decl (pair, names) -> List.map (fun n -> (n, pair)) names
         | _ -> [])
       m.Ast.items
   in
   (* Ground declarations become global aliases. *)
   List.iter
-    (fun item ->
-      match item with
+    (fun (item : Ast.item) ->
+      match item.Ast.idesc with
       | Ast.Ground_decl names ->
           List.iter
             (fun n ->
@@ -275,8 +287,9 @@ let rec elaborate_module design ~path ~bindings ~overrides ~ground_nets ~acc_ctx
     m.Ast.items;
   let ctx = { base_ctx with params; branches } in
   List.iter
-    (fun item ->
-      match item with
+    (fun (item : Ast.item) ->
+      let ispan = item.Ast.ispan in
+      match item.Ast.idesc with
       | Ast.Analog stmts ->
           exec_stmts ctx None stmts;
           (* chronological order: earlier chunks first *)
@@ -285,7 +298,7 @@ let rec elaborate_module design ~path ~bindings ~overrides ~ground_nets ~acc_ctx
       | Ast.Instance { module_name; instance_name; overrides = ovr; connections }
         -> (
           match Ast.find_module design module_name with
-          | None -> fail "unknown module %s" module_name
+          | None -> fail ~span:ispan "unknown module %s" module_name
           | Some child ->
               let child_path =
                 if path = "" then instance_name else path ^ "." ^ instance_name
@@ -297,7 +310,9 @@ let rec elaborate_module design ~path ~bindings ~overrides ~ground_nets ~acc_ctx
                     (fun i (_, net) ->
                       match List.nth_opt child.Ast.ports i with
                       | Some port -> (port, net)
-                      | None -> fail "too many connections for %s" module_name)
+                      | None ->
+                          fail ~span:ispan "too many connections for %s"
+                            module_name)
                     connections
                 else connections
               in
@@ -305,7 +320,8 @@ let rec elaborate_module design ~path ~bindings ~overrides ~ground_nets ~acc_ctx
                 List.map
                   (fun (port, net) ->
                     if not (List.mem port child.Ast.ports) then
-                      fail "module %s has no port %s" module_name port;
+                      fail ~span:ispan "module %s has no port %s" module_name
+                        port;
                     (port, resolve_net ctx net))
                   connections
               in
@@ -337,7 +353,7 @@ let flatten design ~top =
       let canon net = if Hashtbl.mem ground_nets net then "gnd" else net in
       let raw =
         List.map
-          (fun (br, is_flow, rhs) ->
+          (fun (br, is_flow, rhs, span) ->
             let br = { br with pos = canon br.pos; neg = canon br.neg } in
             let rhs =
               Expr.subst
@@ -350,26 +366,28 @@ let flatten design ~top =
                   | Expr.Flow _ | Expr.Signal _ | Expr.Param _ -> None)
                 rhs
             in
-            (br, is_flow, rhs))
+            (br, is_flow, rhs, span))
           raw
       in
-      (* Merge contributions per (branch, kind). *)
+      (* Merge contributions per (branch, kind); the merged contribution
+         keeps the span of its first statement. *)
       let merged = Hashtbl.create 16 in
       let order = ref [] in
       List.iter
-        (fun (br, is_flow, rhs) ->
+        (fun (br, is_flow, rhs, span) ->
           let key = (br.flow_id, is_flow) in
           match Hashtbl.find_opt merged key with
-          | Some (br0, acc) -> Hashtbl.replace merged key (br0, Expr.( + ) acc rhs)
+          | Some (br0, acc, span0) ->
+              Hashtbl.replace merged key (br0, Expr.( + ) acc rhs, span0)
           | None ->
-              Hashtbl.replace merged key (br, rhs);
+              Hashtbl.replace merged key (br, rhs, span);
               order := key :: !order)
         raw;
       let contributions =
         List.rev_map
           (fun key ->
-            let br, rhs = Hashtbl.find merged key in
-            { branch = br; is_flow = snd key; rhs = Expr.simplify rhs })
+            let br, rhs, span = Hashtbl.find merged key in
+            { branch = br; is_flow = snd key; rhs = Expr.simplify rhs; span })
           !order
       in
       let nets =
@@ -390,8 +408,8 @@ let flatten design ~top =
       in
       let direction d =
         List.concat_map
-          (fun item ->
-            match item with
+          (fun (item : Ast.item) ->
+            match item.Ast.idesc with
             | Ast.Port_direction (dd, names) when dd = d -> names
             | _ -> [])
           m.Ast.items
@@ -427,6 +445,7 @@ let classify flat =
 (* Device recognition over the summed branch contribution. *)
 let recognise (c : contribution) =
   let br = c.branch in
+  let span = c.span in
   let self_flow = Expr.flow br.flow_id "" in
   let self_pot = Expr.potential br.pos br.neg in
   let name =
@@ -468,11 +487,11 @@ let recognise (c : contribution) =
       | Some g_on, Some g_off ->
           mk (Component.Pwl_conductance { g_on; g_off; threshold })
       | _ ->
-          fail "unsupported piecewise-linear contribution on branch %s"
+          fail ~span "unsupported piecewise-linear contribution on branch %s"
             br.flow_id)
   | _ -> (
   match Eqn.plinear_form rhs with
-  | None -> fail "nonlinear contribution on branch %s" br.flow_id
+  | None -> fail ~span "nonlinear contribution on branch %s" br.flow_id
   | Some (items, k) -> (
       match (c.is_flow, items, k) with
       (* V(a,b) <+ r * I(self) : resistor *)
@@ -504,7 +523,8 @@ let recognise (c : contribution) =
       | true, [ (Eqn.Cur { Expr.base = Expr.Potential (cp, cn); delay = 0 }, gm) ], 0.0 ->
           mk (Component.Vccs { gm; ctrl_pos = cp; ctrl_neg = cn })
       | _ ->
-          fail "unrecognised constitutive equation on branch %s: %s" br.flow_id
+          fail ~span "unrecognised constitutive equation on branch %s: %s"
+            br.flow_id
             (Expr.to_string c.rhs)))
 
 let to_circuit flat =

@@ -14,7 +14,9 @@
     {!signal_flow_assignments} translates a purely signal-flow model
     directly (§III-A/C). *)
 
-exception Elab_error of string
+exception Elab_error of string * Amsvp_diag.Diag.span option
+(** message and, when the error traces back to a source construct, its
+    [file:line:col] span. *)
 
 type branch_ref = {
   flow_id : string;  (** unique flow identifier (device name) *)
@@ -26,6 +28,8 @@ type contribution = {
   branch : branch_ref;
   is_flow : bool;  (** [I(...) <+ ...] vs [V(...) <+ ...] *)
   rhs : Expr.t;  (** summed, condition-wrapped, parameters substituted *)
+  span : Amsvp_diag.Diag.span;
+      (** the first contribution statement targeting this branch *)
 }
 
 type flat = {

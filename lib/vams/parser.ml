@@ -1,13 +1,22 @@
+module Diag = Amsvp_diag.Diag
+
 exception Parse_error of string * int * int
 
-type state = { toks : Lexer.positioned array; mutable pos : int }
+type state = {
+  toks : Lexer.positioned array;
+  mutable pos : int;
+  file : string;
+}
 
 let peek st = st.toks.(st.pos).Lexer.token
-let here st = (st.toks.(st.pos).Lexer.line, st.toks.(st.pos).Lexer.col)
+
+let here st =
+  let t = st.toks.(st.pos) in
+  Diag.span ~file:st.file t.Lexer.line t.Lexer.col
 
 let fail st msg =
-  let line, col = here st in
-  raise (Parse_error (msg, line, col))
+  let s = here st in
+  raise (Parse_error (msg, s.Diag.line, s.Diag.col))
 
 let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
 
@@ -47,32 +56,42 @@ let ident_list st =
   in
   go []
 
-(* Expressions, precedence climbing. *)
+let mk span edesc = { Ast.edesc; espan = span }
+
+(* Expressions, precedence climbing. Compound nodes inherit the span of
+   their leftmost constituent, so a finding on [a + b/c] points at [a]'s
+   position — the start of the expression as written. *)
 let rec parse_ternary st =
+  let sp = here st in
   let c = parse_or st in
   if accept_punct st "?" then begin
     let a = parse_ternary st in
     eat_punct st ":";
     let b = parse_ternary st in
-    Ast.Ternary (c, a, b)
+    mk sp (Ast.Ternary (c, a, b))
   end
   else c
 
 and parse_or st =
+  let sp = here st in
   let rec go acc =
-    if accept_punct st "||" then go (Ast.Binop (Ast.Or, acc, parse_and st))
+    if accept_punct st "||" then
+      go (mk sp (Ast.Binop (Ast.Or, acc, parse_and st)))
     else acc
   in
   go (parse_and st)
 
 and parse_and st =
+  let sp = here st in
   let rec go acc =
-    if accept_punct st "&&" then go (Ast.Binop (Ast.And, acc, parse_cmp st))
+    if accept_punct st "&&" then
+      go (mk sp (Ast.Binop (Ast.And, acc, parse_cmp st)))
     else acc
   in
   go (parse_cmp st)
 
 and parse_cmp st =
+  let sp = here st in
   let a = parse_add st in
   let op =
     match peek st with
@@ -86,35 +105,43 @@ and parse_cmp st =
   | None -> a
   | Some op ->
       advance st;
-      Ast.Binop (op, a, parse_add st)
+      mk sp (Ast.Binop (op, a, parse_add st))
 
 and parse_add st =
+  let sp = here st in
   let rec go acc =
-    if accept_punct st "+" then go (Ast.Binop (Ast.Add, acc, parse_mul st))
-    else if accept_punct st "-" then go (Ast.Binop (Ast.Sub, acc, parse_mul st))
+    if accept_punct st "+" then
+      go (mk sp (Ast.Binop (Ast.Add, acc, parse_mul st)))
+    else if accept_punct st "-" then
+      go (mk sp (Ast.Binop (Ast.Sub, acc, parse_mul st)))
     else acc
   in
   go (parse_mul st)
 
 and parse_mul st =
+  let sp = here st in
   let rec go acc =
-    if accept_punct st "*" then go (Ast.Binop (Ast.Mul, acc, parse_unary st))
-    else if accept_punct st "/" then go (Ast.Binop (Ast.Div, acc, parse_unary st))
+    if accept_punct st "*" then
+      go (mk sp (Ast.Binop (Ast.Mul, acc, parse_unary st)))
+    else if accept_punct st "/" then
+      go (mk sp (Ast.Binop (Ast.Div, acc, parse_unary st)))
     else acc
   in
   go (parse_unary st)
 
 and parse_unary st =
-  if accept_punct st "-" then Ast.Unop (Ast.Neg, parse_unary st)
-  else if accept_punct st "!" then Ast.Unop (Ast.Not, parse_unary st)
+  let sp = here st in
+  if accept_punct st "-" then mk sp (Ast.Unop (Ast.Neg, parse_unary st))
+  else if accept_punct st "!" then mk sp (Ast.Unop (Ast.Not, parse_unary st))
   else if accept_punct st "+" then parse_unary st
   else parse_primary st
 
 and parse_primary st =
+  let sp = here st in
   match peek st with
   | Lexer.Number f ->
       advance st;
-      Ast.Number f
+      mk sp (Ast.Number f)
   | Lexer.Punct "(" ->
       advance st;
       let e = parse_ternary st in
@@ -128,7 +155,7 @@ and parse_primary st =
         if name = "V" || name = "I" then begin
           let args = ident_list st in
           eat_punct st ")";
-          Ast.Access (name, args)
+          mk sp (Ast.Access (name, args))
         end
         else begin
           let args =
@@ -145,15 +172,16 @@ and parse_primary st =
               go []
             end
           in
-          Ast.Call (name, args)
+          mk sp (Ast.Call (name, args))
         end
       end
-      else Ast.Ident name
+      else mk sp (Ast.Ident name)
   | Lexer.Punct p -> fail st (Printf.sprintf "unexpected '%s'" p)
   | Lexer.Eof -> fail st "unexpected end of input"
 
 (* Statements. *)
 let rec parse_stmt st =
+  let sp = here st in
   if accept_keyword st "if" then begin
     eat_punct st "(";
     let c = parse_ternary st in
@@ -162,20 +190,20 @@ let rec parse_stmt st =
     let else_branch =
       if accept_keyword st "else" then parse_block_or_stmt st else []
     in
-    Ast.If (c, then_branch, else_branch)
+    { Ast.sdesc = Ast.If (c, then_branch, else_branch); sspan = sp }
   end
   else begin
     let lhs = parse_primary st in
-    match lhs with
+    match lhs.Ast.edesc with
     | Ast.Access _ ->
         eat_punct st "<+";
         let rhs = parse_ternary st in
         eat_punct st ";";
-        Ast.Contribution (lhs, rhs)
+        { Ast.sdesc = Ast.Contribution (lhs, rhs); sspan = sp }
     | Ast.Ident name when accept_punct st "=" ->
         let rhs = parse_ternary st in
         eat_punct st ";";
-        Ast.Assign (name, rhs)
+        { Ast.sdesc = Ast.Assign (name, rhs); sspan = sp }
     | _ -> fail st "expected a contribution (<+) or an assignment (=)"
   end
 
@@ -189,7 +217,7 @@ and parse_block_or_stmt st =
   end
   else [ parse_stmt st ]
 
-let parse_parameter st =
+let parse_parameter st sp =
   (* parameter [real|integer] name = expr ; *)
   (match peek st with
   | Lexer.Ident ("real" | "integer") -> advance st
@@ -198,7 +226,7 @@ let parse_parameter st =
   eat_punct st "=";
   let e = parse_ternary st in
   eat_punct st ";";
-  Ast.Parameter (name, e)
+  { Ast.idesc = Ast.Parameter (name, e); ispan = sp }
 
 let parse_overrides st =
   (* #(.name(expr), ...) *)
@@ -249,6 +277,8 @@ let parse_connections st =
   end
 
 let parse_item st =
+  let sp = here st in
+  let item idesc = { Ast.idesc; ispan = sp } in
   let direction =
     if accept_keyword st "inout" then Some Ast.Inout
     else if accept_keyword st "input" then Some Ast.Input
@@ -261,17 +291,17 @@ let parse_item st =
       ignore (accept_keyword st "electrical");
       let ids = ident_list st in
       eat_punct st ";";
-      Ast.Port_direction (d, ids)
+      item (Ast.Port_direction (d, ids))
   | None ->
       if accept_keyword st "electrical" then begin
         let ids = ident_list st in
         eat_punct st ";";
-        Ast.Net_decl ("electrical", ids)
+        item (Ast.Net_decl ("electrical", ids))
       end
       else if accept_keyword st "ground" then begin
         let ids = ident_list st in
         eat_punct st ";";
-        Ast.Ground_decl ids
+        item (Ast.Ground_decl ids)
       end
       else if accept_keyword st "branch" then begin
         eat_punct st "(";
@@ -281,7 +311,7 @@ let parse_item st =
         eat_punct st ")";
         let names = ident_list st in
         eat_punct st ";";
-        Ast.Branch_decl ((a, b), names)
+        item (Ast.Branch_decl ((a, b), names))
       end
       else if accept_keyword st "real" then begin
         (* analog real variable declaration: names are brought into
@@ -289,12 +319,12 @@ let parse_item st =
            carries no information we need *)
         let ids = ident_list st in
         eat_punct st ";";
-        Ast.Net_decl ("real", ids)
+        item (Ast.Net_decl ("real", ids))
       end
-      else if accept_keyword st "parameter" then parse_parameter st
+      else if accept_keyword st "parameter" then parse_parameter st sp
       else if accept_keyword st "analog" then begin
         let stmts = parse_block_or_stmt st in
-        Ast.Analog stmts
+        item (Ast.Analog stmts)
       end
       else begin
         (* Instance: module_name [#(...)] inst_name ( connections ) ; *)
@@ -303,10 +333,11 @@ let parse_item st =
         let instance_name = eat_ident st in
         let connections = parse_connections st in
         eat_punct st ";";
-        Ast.Instance { module_name; instance_name; overrides; connections }
+        item (Ast.Instance { module_name; instance_name; overrides; connections })
       end
 
 let parse_module st =
+  let sp = here st in
   eat_keyword st "module";
   let name = eat_ident st in
   let ports =
@@ -326,10 +357,13 @@ let parse_module st =
     else items (parse_item st :: acc)
   in
   let items = items [] in
-  { Ast.name; ports; items }
+  { Ast.name; ports; items; mspan = sp }
 
-let parse src =
-  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+let state_of ?(file = "<input>") src =
+  { toks = Array.of_list (Lexer.tokenize src); pos = 0; file }
+
+let parse ?file src =
+  let st = state_of ?file src in
   let rec go acc =
     match peek st with
     | Lexer.Eof -> List.rev acc
@@ -337,8 +371,8 @@ let parse src =
   in
   go []
 
-let parse_expr_string src =
-  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+let parse_expr_string ?file src =
+  let st = state_of ?file src in
   let e = parse_ternary st in
   (match peek st with
   | Lexer.Eof -> ()

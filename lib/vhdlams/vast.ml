@@ -1,3 +1,5 @@
+type span = Amsvp_diag.Diag.span
+
 type expr =
   | Number of float
   | Name of string
@@ -10,7 +12,7 @@ type expr =
   | Call of string * expr list
 
 type stmt =
-  | Simult of string * expr
+  | Simult of string * expr * span
   | If_use of expr * stmt list * stmt list
 
 type decl =
@@ -19,6 +21,7 @@ type decl =
       through : string option;
       pos : string;
       neg : string;
+      qspan : span;
     }
   | Terminal of string list
   | Constant of string * expr

@@ -9,7 +9,13 @@
     the ['dot] derivative attribute, conditional [if ... use]
     statements and component instantiation with generic/port maps —
     and elaborates onto the same flat model as the Verilog-AMS
-    elaborator, so every downstream step is shared. *)
+    elaborator, so every downstream step is shared.
+
+    Simultaneous statements and quantity declarations carry the
+    [file:line:col] span of their first token so diagnostics can point
+    back at the source. *)
+
+type span = Amsvp_diag.Diag.span
 
 type expr =
   | Number of float
@@ -23,7 +29,7 @@ type expr =
   | Call of string * expr list  (** [sin], [exp], ... *)
 
 type stmt =
-  | Simult of string * expr
+  | Simult of string * expr * span
       (** [q == rhs;] — a simultaneous statement defining quantity [q] *)
   | If_use of expr * stmt list * stmt list
       (** [if cond use ... else ... end use;] *)
@@ -34,6 +40,7 @@ type decl =
       through : string option;
       pos : string;
       neg : string;
+      qspan : span;
     }  (** [quantity v across i through p to n;] *)
   | Terminal of string list  (** [terminal a, b : electrical;] *)
   | Constant of string * expr  (** [constant k : real := 2.0;] *)

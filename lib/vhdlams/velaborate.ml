@@ -1,8 +1,10 @@
 module E = Amsvp_vams.Elaborate
+module Diag = Amsvp_diag.Diag
 
-exception Elab_error of string
+exception Elab_error of string * Diag.span option
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+let fail ?span fmt =
+  Printf.ksprintf (fun s -> raise (Elab_error (s, span))) fmt
 
 type qkind = Across | Through
 
@@ -14,7 +16,7 @@ type ctx = {
   bindings : (string * string) list;  (* formal terminal -> global net *)
   values : (string * float) list;  (* generics and constants *)
   quantities : (string * quantity) list;
-  mutable acc : (E.branch_ref * bool * Expr.t) list;
+  mutable acc : (E.branch_ref * bool * Expr.t * Diag.span) list;
 }
 
 let qualify ctx name = if ctx.path = "" then name else ctx.path ^ "." ^ name
@@ -103,11 +105,13 @@ let rec exec_stmts ctx guard stmts =
   List.iter
     (fun (s : Vast.stmt) ->
       match s with
-      | Vast.Simult (qname, rhs) ->
+      | Vast.Simult (qname, rhs, span) ->
           let q =
             match List.assoc_opt qname ctx.quantities with
             | Some q -> q
-            | None -> fail "simultaneous statement on unknown quantity %s" qname
+            | None ->
+                fail ~span "simultaneous statement on unknown quantity %s"
+                  qname
           in
           let rhs = expr_of_ast ctx rhs in
           let rhs =
@@ -115,7 +119,7 @@ let rec exec_stmts ctx guard stmts =
             | None -> rhs
             | Some c -> Expr.Cond (c, rhs, Expr.zero)
           in
-          ctx.acc <- (q.branch, q.kind = Through, rhs) :: ctx.acc
+          ctx.acc <- (q.branch, q.kind = Through, rhs, span) :: ctx.acc
       | Vast.If_use (c, then_b, else_b) ->
           let c = cond_of_ast ctx c in
           let combined g extra =
@@ -172,7 +176,7 @@ let rec elaborate design ~path ~bindings ~generic_values acc_sink entity_name =
         | Vast.Constant (name, e) ->
             { ctx with values = (name, const_eval ctx e) :: ctx.values }
         | Vast.Terminal _ -> ctx
-        | Vast.Quantity { across; through; pos; neg } ->
+        | Vast.Quantity { across; through; pos; neg; qspan = _ } ->
             let branch =
               {
                 E.flow_id =
@@ -244,19 +248,20 @@ let flatten design ~top ~inputs =
   let merged = Hashtbl.create 16 in
   let order = ref [] in
   List.iter
-    (fun ((br : E.branch_ref), is_flow, rhs) ->
+    (fun ((br : E.branch_ref), is_flow, rhs, span) ->
       let key = (br.E.flow_id, is_flow) in
       match Hashtbl.find_opt merged key with
-      | Some (br0, sum) -> Hashtbl.replace merged key (br0, Expr.( + ) sum rhs)
+      | Some (br0, sum, span0) ->
+          Hashtbl.replace merged key (br0, Expr.( + ) sum rhs, span0)
       | None ->
-          Hashtbl.replace merged key (br, rhs);
+          Hashtbl.replace merged key (br, rhs, span);
           order := key :: !order)
     raw;
   let contributions =
     List.rev_map
       (fun key ->
-        let br, rhs = Hashtbl.find merged key in
-        { E.branch = br; is_flow = snd key; rhs = Expr.simplify rhs })
+        let br, rhs, span = Hashtbl.find merged key in
+        { E.branch = br; is_flow = snd key; rhs = Expr.simplify rhs; span })
       !order
   in
   let nets =

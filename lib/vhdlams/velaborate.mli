@@ -13,7 +13,9 @@
     actual name [ground] (or [gnd]) in a port map denotes the reference
     node. *)
 
-exception Elab_error of string
+exception Elab_error of string * Amsvp_diag.Diag.span option
+(** message and, when the error traces back to a source construct, its
+    [file:line:col] span. *)
 
 val flatten :
   Vast.design -> top:string -> inputs:string list -> Amsvp_vams.Elaborate.flat

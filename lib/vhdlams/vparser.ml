@@ -1,8 +1,10 @@
-exception Parse_error of string * int
+module Diag = Amsvp_diag.Diag
+
+exception Parse_error of string * int * int
 
 type token = Ident of string | Number of float | Punct of string | Eof
 
-type ptok = { tok : token; line : int }
+type ptok = { tok : token; line : int; col : int }
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -14,13 +16,16 @@ let tokenize src =
   let n = String.length src in
   let out = ref [] in
   let line = ref 1 in
+  let bol = ref 0 in
   let i = ref 0 in
-  let emit tok = out := { tok; line = !line } :: !out in
   while !i < n do
     let c = src.[!i] in
+    let col = !i - !bol + 1 in
+    let emit tok = out := { tok; line = !line; col } :: !out in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then
@@ -56,7 +61,8 @@ let tokenize src =
       match float_of_string_opt (Buffer.contents b) with
       | Some f -> emit (Number f)
       | None ->
-          raise (Parse_error ("malformed number " ^ Buffer.contents b, !line))
+          raise
+            (Parse_error ("malformed number " ^ Buffer.contents b, !line, col))
     end
     else if is_ident_start c then begin
       let b = Buffer.create 8 in
@@ -82,18 +88,25 @@ let tokenize src =
               emit (Punct (String.make 1 c))
           | _ ->
               raise
-                (Parse_error (Printf.sprintf "unexpected character %c" c, !line))
-          )
+                (Parse_error
+                   (Printf.sprintf "unexpected character %c" c, !line, col)))
     end
   done;
-  emit Eof;
+  out := { tok = Eof; line = !line; col = n - !bol + 1 } :: !out;
   List.rev !out
 
-type state = { toks : ptok array; mutable pos : int }
+type state = { toks : ptok array; mutable pos : int; file : string }
 
 let peek st = st.toks.(st.pos).tok
-let line st = st.toks.(st.pos).line
-let fail st msg = raise (Parse_error (msg, line st))
+
+let here st =
+  let t = st.toks.(st.pos) in
+  Diag.span ~file:st.file t.line t.col
+
+let fail st msg =
+  let t = st.toks.(st.pos) in
+  raise (Parse_error (msg, t.line, t.col))
+
 let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
 
 let accept_punct st p =
@@ -232,11 +245,12 @@ let rec parse_stmt st =
     Vast.If_use (cond, then_b, else_b)
   end
   else begin
+    let span = here st in
     let q = eat_ident st in
     eat_punct st "==";
     let rhs = parse_or st in
     eat_punct st ";";
-    Vast.Simult (q, rhs)
+    Vast.Simult (q, rhs, span)
   end
 
 let parse_assoc_list st =
@@ -302,6 +316,7 @@ let parse_entity st =
 
 let parse_decl st =
   if accept_kw st "quantity" then begin
+    let span = here st in
     let across = eat_ident st in
     eat_kw st "across";
     (* either "i through p to n" or directly "p to n" *)
@@ -313,7 +328,7 @@ let parse_decl st =
     eat_kw st "to";
     let neg = eat_ident st in
     eat_punct st ";";
-    Some (Vast.Quantity { across; through; pos; neg })
+    Some (Vast.Quantity { across; through; pos; neg; qspan = span })
   end
   else if accept_kw st "terminal" then begin
     let names = ident_list st in
@@ -409,8 +424,11 @@ let parse_architecture st =
   eat_punct st ";";
   { Vast.aname; of_entity; decls = List.rev !decls; body = List.rev !body }
 
-let parse src =
-  let st = { toks = Array.of_list (tokenize src); pos = 0 } in
+let state_of ?(file = "<input>") src =
+  { toks = Array.of_list (tokenize src); pos = 0; file }
+
+let parse ?file src =
+  let st = state_of ?file src in
   let units = ref [] in
   let rec go () =
     match peek st with
@@ -445,8 +463,8 @@ let parse src =
   go ();
   List.rev !units
 
-let parse_expr_string src =
-  let st = { toks = Array.of_list (tokenize src); pos = 0 } in
+let parse_expr_string ?file src =
+  let st = state_of ?file src in
   let e = parse_or st in
   (match peek st with Eof -> () | _ -> fail st "trailing tokens");
   e

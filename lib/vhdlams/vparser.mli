@@ -4,11 +4,12 @@
     during lexing. [--] comments are skipped; [library]/[use] clauses
     are accepted and ignored. *)
 
-exception Parse_error of string * int
-(** message, 1-based source line *)
+exception Parse_error of string * int * int
+(** message, 1-based source line, 1-based column *)
 
-val parse : string -> Vast.design
-(** @raise Parse_error on malformed input. *)
+val parse : ?file:string -> string -> Vast.design
+(** @raise Parse_error on malformed input. [file] (default
+    ["<input>"]) names the source in AST spans. *)
 
-val parse_expr_string : string -> Vast.expr
+val parse_expr_string : ?file:string -> string -> Vast.expr
 (** Parse a single expression (for tests). *)

@@ -1,0 +1,338 @@
+(* Tests for the static analyzer: golden diagnostics per code, the
+   acceptance scenario (three distinct codes, each with a correct
+   source location, in text and JSON), the Flow pre-flight gates, and
+   the lint/abstract consistency property. *)
+
+module Diag = Amsvp_diag.Diag
+module Lint = Amsvp_analysis.Lint
+module Circuit = Amsvp_netlist.Circuit
+module Component = Amsvp_netlist.Component
+module Flow = Amsvp_core.Flow
+module Spec = Amsvp_sweep.Spec
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let lint ?lang ?inputs ?dt src = Lint.lint ?lang ?inputs ?dt ~file:"m.vams" src
+
+let codes fs = List.sort_uniq compare (List.map (fun f -> f.Diag.code) fs)
+
+let has code fs = List.exists (fun f -> f.Diag.code = code) fs
+
+let check_has src code =
+  let fs = lint src in
+  if not (has code fs) then
+    Alcotest.failf "expected %s, got: %s" code (String.concat "," (codes fs))
+
+(* Golden fixtures: each seeded defect reports its code. *)
+
+let test_frontend_codes () =
+  check_has "module m(); analog I(a,gnd) <+ 1.0 @ 2.0; endmodule" "AMS001";
+  check_has "module ;" "AMS002";
+  check_has "" "AMS003";
+  (* an instance of an unknown module is an elaboration error *)
+  check_has
+    "module m(); electrical a;\n  nosuch u1 (.p(a), .n(gnd));\nendmodule"
+    "AMS003"
+
+let test_ast_codes () =
+  check_has "module m(); analog I(x,gnd) <+ 1.0e-3; endmodule" "AMS010";
+  check_has
+    "module m(); electrical a; parameter real unused = 1;\n\
+     analog I(a,gnd) <+ 1.0e-3 * V(a,gnd); endmodule"
+    "AMS011";
+  check_has
+    "module m(in); input electrical in;\nanalog V(in,gnd) <+ 1.0; endmodule"
+    "AMS012";
+  check_has
+    "module m(); electrical a;\n\
+     analog begin\n\
+    \  I(a,gnd) <+ 1.0e-3 * V(a,gnd);\n\
+    \  I(a,gnd) <+ 2.0e-3 * V(a,gnd);\n\
+     end\n\
+     endmodule"
+    "AMS013";
+  check_has
+    "module m(); electrical a, b;\n\
+     analog begin\n\
+    \  I(b,gnd) <+ 1.0e-3 * V(b,gnd);\n\
+    \  V(a,gnd) <+ 2.0 * V(a,gnd) + V(b,gnd);\n\
+     end\n\
+     endmodule"
+    "AMS014";
+  check_has
+    "module m(); electrical a;\n\
+     analog I(a,gnd) <+ ddt(ddt(V(a,gnd)));\nendmodule"
+    "AMS015";
+  check_has
+    "module m(); electrical a; parameter real d = 0;\n\
+     analog I(a,gnd) <+ V(a,gnd) / d;\nendmodule"
+    "AMS016"
+
+let test_clean_models_lint_clean () =
+  let check_clean label fs =
+    Alcotest.(check (list string)) label [] (codes fs)
+  in
+  check_clean "rc ladder" (lint (Amsvp_vams.Sources.rc_ladder 3));
+  check_clean "signal flow" (lint Amsvp_vams.Sources.signal_flow_filter);
+  check_clean "two-input" (lint Amsvp_vams.Sources.two_input);
+  check_clean "vhdl rc"
+    (lint ~lang:`Vhdl_ams ~inputs:[ "tin" ]
+       (Amsvp_vhdlams.Vsources.rc_ladder 2))
+
+let test_signal_flow_codes () =
+  (* reading a never-assigned quantity *)
+  check_has
+    "module m(in, out); input electrical in; output electrical out;\n\
+     analog V(out) <+ V(in) + V(ghost);\nendmodule"
+    "AMS030";
+  (* zero-delay ordering violation: x is read before its assignment *)
+  check_has
+    "module m(in, out); input electrical in; output electrical out;\n\
+     electrical x;\n\
+     analog begin\n\
+    \  V(out) <+ 2.0 * V(x);\n\
+    \  V(x) <+ V(in);\n\
+     end\n\
+     endmodule"
+    "AMS040";
+  (* nonlinear self-reference is outside the linear direct conversion *)
+  check_has
+    "module m(in, out); input electrical in; output electrical out;\n\
+     analog V(out) <+ V(in) - V(out) * V(out);\nendmodule"
+    "AMS042"
+
+let test_stability_warning () =
+  (* tau = rc = 125us; dt = 1s is far beyond it *)
+  let src =
+    "module m(in, out); input electrical in; output electrical out;\n\
+     analog begin\n\
+    \  I(in,out) <+ V(in,out) / 5.0e3;\n\
+    \  I(out,gnd) <+ 25.0e-9 * ddt(V(out,gnd));\n\
+     end\n\
+     endmodule"
+  in
+  let fs = lint ~dt:1.0 src in
+  Alcotest.(check bool) "AMS041 at large dt" true (has "AMS041" fs);
+  let fs = lint ~dt:1.0e-6 src in
+  Alcotest.(check bool) "quiet at small dt" false (has "AMS041" fs)
+
+(* The acceptance scenario: one model with a floating island, an
+   under-determined sensed net and a zero-default divisor reports three
+   distinct codes, each anchored at the right source position. *)
+
+let showcase =
+  {|module helper(a, b);
+  inout electrical a, b;
+  parameter real div0 = 0;
+  analog begin
+    I(a,b) <+ V(a,b) / div0;
+  end
+endmodule
+
+module showcase(in, out);
+  input electrical in;
+  output electrical out;
+  electrical s;
+  electrical f1, f2;
+  analog begin
+    V(out,gnd) <+ 2.0 * V(s,gnd);
+    I(f1,f2) <+ 1.0e-3 * V(f1,f2);
+  end
+endmodule|}
+
+let find code fs =
+  match List.find_opt (fun f -> f.Diag.code = code) fs with
+  | Some f -> f
+  | None -> Alcotest.failf "missing %s" code
+
+let test_acceptance_scenario () =
+  let fs = Diag.apply Diag.default_config (lint showcase) in
+  let at code line col =
+    let f = find code fs in
+    match f.Diag.span with
+    | None -> Alcotest.failf "%s has no span" code
+    | Some sp ->
+        Alcotest.(check (pair int int))
+          (code ^ " position") (line, col)
+          (sp.Diag.line, sp.Diag.col)
+  in
+  (* the divisor itself; the sensing contribution; the island's one *)
+  at "AMS016" 5 24;
+  at "AMS030" 15 5;
+  at "AMS020" 16 5;
+  let text = Diag.report_to_text fs in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("text has " ^ needle) true
+        (contains_substring text needle))
+    [
+      "m.vams:5:24: error[AMS016]";
+      "m.vams:15:5: error[AMS030]";
+      "m.vams:16:5: error[AMS020]";
+      "V(s,gnd)";
+    ];
+  let json = Diag.report_to_json ~file:"m.vams" fs in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json has " ^ needle) true
+        (contains_substring json needle))
+    [
+      {|"code": "AMS016"|};
+      {|"code": "AMS030"|};
+      {|"code": "AMS020"|};
+      {|"line": 15|};
+      {|"subject": "V(s,gnd)"|};
+    ]
+
+let test_werror_and_suppression () =
+  let fs = lint showcase in
+  let upgraded = Diag.apply { Diag.werror = true; suppress = [] } fs in
+  Alcotest.(check bool) "werror leaves no warnings" false
+    (List.exists (fun f -> f.Diag.severity = Diag.Warning) upgraded);
+  let muted = Diag.apply { Diag.werror = false; suppress = [ "AMS020" ] } fs in
+  Alcotest.(check bool) "AMS020 suppressed" false (has "AMS020" muted);
+  Alcotest.(check bool) "others kept" true (has "AMS030" muted)
+
+(* Flow pre-flight gates: the same codes, raised as [Diag.Rejected]
+   instead of a deep solver exception. *)
+
+let rejected_code f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Diag.Rejected"
+  with Diag.Rejected finding -> finding.Diag.code
+
+let test_flow_gate_topology () =
+  let c = Circuit.create () in
+  Circuit.add_vsource c ~name:"v1" ~pos:"a" ~neg:"gnd" (Component.Dc 1.0);
+  Circuit.add_vsource c ~name:"v2" ~pos:"a" ~neg:"gnd" (Component.Dc 2.0);
+  Alcotest.(check string) "voltage-source loop" "AMS022"
+    (rejected_code (fun () ->
+         Flow.abstract_circuit c
+           ~outputs:[ Expr.potential "a" "gnd" ]
+           ~dt:50e-9))
+
+let test_flow_gate_solvability () =
+  (* a VCVS sensing a net no equation ever solves *)
+  let c = Circuit.create () in
+  Circuit.add_vsource c ~name:"v1" ~pos:"in" ~neg:"gnd" (Component.Dc 1.0);
+  Circuit.add_vcvs c ~name:"e1" ~pos:"out" ~neg:"gnd" ~gain:2.0 ~ctrl_pos:"s"
+    ~ctrl_neg:"gnd";
+  Circuit.add_resistor c ~name:"rl" ~pos:"out" ~neg:"gnd" 1.0e3;
+  let finding =
+    try
+      ignore
+        (Flow.abstract_circuit c
+           ~outputs:[ Expr.potential "out" "gnd" ]
+           ~dt:50e-9);
+      Alcotest.fail "expected Diag.Rejected"
+    with Diag.Rejected f -> f
+  in
+  Alcotest.(check string) "under-determined" "AMS030" finding.Diag.code;
+  (* which member of the deficient block ends unmatched is
+     order-dependent; the class of the message is what is stable *)
+  Alcotest.(check bool) "says under-determined" true
+    (contains_substring finding.Diag.message "under-determined")
+
+(* Sweep spec diagnosis *)
+
+let test_spec_diagnose () =
+  Alcotest.(check (list string)) "empty spec" [ "AMS050" ]
+    (codes (Spec.diagnose Spec.default));
+  let axis param range = { Spec.param; range } in
+  let s =
+    {
+      Spec.default with
+      Spec.axes =
+        [
+          axis "r1.r" (Spec.Grid { lo = 1.0; hi = 2.0; n = 3 });
+          axis "r1.r" (Spec.Values [ 1.0 ]);
+          axis "c1.c" (Spec.Grid { lo = 5.0; hi = 1.0; n = 2 });
+        ];
+      corners = [ { Spec.corner_name = "empty"; binds = [] } ];
+    }
+  in
+  let fs = Spec.diagnose s in
+  Alcotest.(check (list string)) "all defects" [ "AMS051"; "AMS052" ]
+    (codes fs);
+  Alcotest.(check bool) "validate mirrors diagnose" true
+    (match Spec.validate s with Error _ -> true | Ok () -> false);
+  Alcotest.(check bool) "good spec passes" true
+    (Spec.diagnose
+       { Spec.default with Spec.axes = [ axis "r1.r" (Spec.Values [ 1.0 ]) ] }
+     = [])
+
+(* Property: a random circuit that lints clean at error level abstracts
+   without raising — the gates and the deep flow agree on what is
+   malformed. *)
+
+let circuit_of_plan plan =
+  let c = Circuit.create () in
+  let node = function 0 -> "gnd" | i -> Printf.sprintf "n%d" i in
+  List.iteri
+    (fun i (kind, a, b) ->
+      let a = node a and b = node (if a = b then (b + 1) mod 4 else b) in
+      if a <> b then
+        let name = Printf.sprintf "d%d" i in
+        match kind mod 3 with
+        | 0 -> Circuit.add_resistor c ~name ~pos:a ~neg:b 1.0e3
+        | 1 -> Circuit.add_capacitor c ~name ~pos:a ~neg:b 1.0e-9
+        | _ -> Circuit.add_vsource c ~name ~pos:a ~neg:b (Component.Dc 1.0))
+    plan;
+  c
+
+let lint_clean_abstracts =
+  QCheck.Test.make ~name:"lint-clean circuits abstract without raising"
+    ~count:200
+    QCheck.(
+      small_list (triple (int_range 0 2) (int_range 0 3) (int_range 0 3)))
+    (fun plan ->
+      let circuit = circuit_of_plan plan in
+      match Circuit.devices circuit with
+      | [] -> true
+      | d0 :: _ -> (
+          let outputs = [ Expr.potential d0.Component.pos d0.Component.neg ] in
+          (* Every failure mode must surface as a located Diag
+             rejection, never as a raw solver exception. *)
+          try
+            Flow.(ignore (abstract_circuit circuit ~outputs ~dt:50e-9));
+            true
+          with
+          | Diag.Rejected _ -> true
+          | e ->
+              QCheck.Test.fail_reportf
+                "abstract raised %s instead of a Diag gate"
+                (Printexc.to_string e)))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "analysis"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "front-end codes" `Quick test_frontend_codes;
+          Alcotest.test_case "ast codes" `Quick test_ast_codes;
+          Alcotest.test_case "clean models" `Quick test_clean_models_lint_clean;
+          Alcotest.test_case "signal-flow codes" `Quick test_signal_flow_codes;
+          Alcotest.test_case "stability warning" `Quick test_stability_warning;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "three codes with spans" `Quick
+            test_acceptance_scenario;
+          Alcotest.test_case "werror and suppression" `Quick
+            test_werror_and_suppression;
+        ] );
+      ( "gates",
+        [
+          Alcotest.test_case "topology gate" `Quick test_flow_gate_topology;
+          Alcotest.test_case "solvability gate" `Quick
+            test_flow_gate_solvability;
+        ] );
+      ( "sweep-spec",
+        [ Alcotest.test_case "diagnose" `Quick test_spec_diagnose ] );
+      ("property", qt [ lint_clean_abstracts ]);
+    ]

@@ -78,18 +78,52 @@ let test_parse_module_structure () =
       Alcotest.(check (list string)) "ports" [ "p"; "n" ] m.Ast.ports;
       Alcotest.(check bool) "has analog item" true
         (List.exists
-           (fun it -> match it with Ast.Analog _ -> true | _ -> false)
+           (fun it ->
+             match it.Ast.idesc with Ast.Analog _ -> true | _ -> false)
            m.Ast.items)
 
 let test_parse_expression_precedence () =
-  match Parser.parse_expr_string "1 + 2 * 3" with
-  | Ast.Binop (Ast.Add, Ast.Number 1.0, Ast.Binop (Ast.Mul, _, _)) -> ()
-  | e -> Alcotest.failf "precedence broken: %s" (Format.asprintf "%a" Ast.pp_expr e)
+  let e = Parser.parse_expr_string "1 + 2 * 3" in
+  match e.Ast.edesc with
+  | Ast.Binop
+      ( Ast.Add,
+        { Ast.edesc = Ast.Number 1.0; _ },
+        { Ast.edesc = Ast.Binop (Ast.Mul, _, _); _ } ) ->
+      ()
+  | _ -> Alcotest.failf "precedence broken: %s" (Format.asprintf "%a" Ast.pp_expr e)
 
 let test_parse_ternary () =
-  match Parser.parse_expr_string "V(a) > 0 ? 1 : -1" with
-  | Ast.Ternary (Ast.Binop (Ast.Gt, _, _), Ast.Number 1.0, _) -> ()
+  let e = Parser.parse_expr_string "V(a) > 0 ? 1 : -1" in
+  match e.Ast.edesc with
+  | Ast.Ternary
+      ( { Ast.edesc = Ast.Binop (Ast.Gt, _, _); _ },
+        { Ast.edesc = Ast.Number 1.0; _ },
+        _ ) ->
+      ()
   | _ -> Alcotest.fail "ternary shape"
+
+let test_spans_recorded () =
+  (* "V(a) <+ r * I(a);" at line 5 of the resistor primitive: the
+     contribution's span must point into the analog block. *)
+  let design = Parser.parse ~file:"prim.vams" Sources.primitives in
+  match Ast.find_module design "resistor" with
+  | None -> Alcotest.fail "resistor module"
+  | Some m ->
+      Alcotest.(check string) "module file" "prim.vams"
+        m.Ast.mspan.Amsvp_diag.Diag.file;
+      let analog_spans =
+        List.concat_map
+          (fun it ->
+            match it.Ast.idesc with
+            | Ast.Analog stmts -> List.map (fun s -> s.Ast.sspan) stmts
+            | _ -> [])
+          m.Ast.items
+      in
+      Alcotest.(check bool) "has contribution span" true
+        (List.exists
+           (fun (s : Amsvp_diag.Diag.span) ->
+             s.Amsvp_diag.Diag.file = "prim.vams" && s.Amsvp_diag.Diag.line > 1)
+           analog_spans)
 
 let test_parse_error_reported () =
   try
@@ -446,6 +480,7 @@ let () =
           Alcotest.test_case "precedence" `Quick test_parse_expression_precedence;
           Alcotest.test_case "ternary" `Quick test_parse_ternary;
           Alcotest.test_case "parse error" `Quick test_parse_error_reported;
+          Alcotest.test_case "spans recorded" `Quick test_spans_recorded;
         ] );
       ( "elaboration",
         [

@@ -46,7 +46,7 @@ let test_parse_error_line () =
   try
     ignore (Vparser.parse "entity x is\n  port (oops);\nend entity;");
     Alcotest.fail "expected error"
-  with Vparser.Parse_error (_, line) ->
+  with Vparser.Parse_error (_, line, _) ->
     Alcotest.(check bool) "line recorded" true (line >= 2)
 
 (* Elaboration *)
