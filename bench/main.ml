@@ -60,6 +60,22 @@ let record ~table ~comp ~target ?(meth = "") ?nrmse time_s =
     }
     :: !bench_rows
 
+(* One row per circuit of the "engines" section: both per-step costs,
+   the compile cost they bought, and the worst ulp distance observed
+   between the two engines' traces (the identical-output evidence). *)
+type engine_row = {
+  e_circuit : string;
+  e_assignments : int;
+  e_instrs : int;
+  e_regs : int;
+  e_compile_s : float;
+  e_tree_step_ns : float;
+  e_byte_step_ns : float;
+  e_max_ulp : int64;
+}
+
+let engine_rows : engine_row list ref = ref []
+
 (* Per-section span accounting, written as "sections" in
    BENCH_results.json. The recorder runs for the whole harness; each
    section remembers the [Obs.span_count] interval it produced. Self
@@ -136,6 +152,22 @@ let results_json ~quick ~total_wall_s =
       Buffer.add_char b '}')
     (List.rev !bench_rows);
   Buffer.add_string b "\n  ]";
+  if !engine_rows <> [] then begin
+    Buffer.add_string b ",\n  \"engines\": [";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b
+          "\n    {\"circuit\": %S, \"assignments\": %d, \"instrs\": %d, \
+           \"regs\": %d, \"compile_s\": %.9g, \"tree_step_ns\": %.9g, \
+           \"bytecode_step_ns\": %.9g, \"speedup\": %.4g, \"max_ulp\": %Ld}"
+          r.e_circuit r.e_assignments r.e_instrs r.e_regs r.e_compile_s
+          r.e_tree_step_ns r.e_byte_step_ns
+          (r.e_tree_step_ns /. r.e_byte_step_ns)
+          r.e_max_ulp)
+      (List.rev !engine_rows);
+    Buffer.add_string b "\n  ]"
+  end;
   sections_json b;
   Buffer.add_string b "\n}\n";
   Buffer.contents b
@@ -789,6 +821,88 @@ let probe_overhead ~t_stop () =
     tc.Circuits.label t_off t_on
     ((t_on /. t_off -. 1.0) *. 100.0)
 
+(* ---- Execution engines: tree interpreter vs register bytecode ---- *)
+
+let engines ~t_stop () =
+  header
+    (Printf.sprintf
+       "ENGINES -- per-step cost of the abstracted models (simulated %g ms): \
+        tree interpreter vs register bytecode, identical outputs required"
+       (t_stop *. 1e3));
+  Printf.printf "%-6s %7s %7s %6s %12s %14s %14s %9s %8s\n" "" "assign"
+    "instrs" "regs" "compile(us)" "tree(ns/step)" "byte(ns/step)" "speedup"
+    "max-ulp";
+  List.iter
+    (fun label ->
+      let tc = Option.get (Circuits.by_name label) in
+      let p = (Flow.abstract_testcase tc ~dt).Flow.program in
+      let compiled, compile_s = wall (fun () -> Sfprogram.compile p) in
+      (* Identical outputs first: the speed comparison is meaningless
+         if the engines disagree anywhere along the trace. *)
+      let stimuli = Wrap.stimuli_for p tc.Circuits.stimuli in
+      let run runner = Sfprogram.Runner.run runner ~stimuli ~t_stop () in
+      let tr_tree = run (Sfprogram.Runner.create ~engine:`Tree p) in
+      let tr_byte = run (Sfprogram.Runner.create ~compiled p) in
+      let max_ulp = ref 0L in
+      for i = 0 to Trace.length tr_tree - 1 do
+        let d =
+          Metrics.ulp_distance (Trace.value tr_tree i) (Trace.value tr_byte i)
+        in
+        if Int64.compare d !max_ulp > 0 then max_ulp := d
+      done;
+      if Int64.compare !max_ulp 1L > 0 then
+        failwith
+          (Printf.sprintf "engines disagree on %s: max ulp distance %Ld" label
+             !max_ulp);
+      (* Per-step cost: the bare hot loop, stimulus sampling excluded,
+         input values toggled so piecewise-linear models exercise both
+         branches. Best-of-5 runs of the whole loop. *)
+      let steps = max 1000 (int_of_float (t_stop /. dt)) in
+      let n_inputs = List.length p.Sfprogram.inputs in
+      let time_engine runner =
+        let inputs = Array.make (max 1 n_inputs) 0.0 in
+        let pass () =
+          Sfprogram.Runner.reset runner;
+          for i = 1 to steps do
+            Array.fill inputs 0 (Array.length inputs)
+              (if i land 31 < 16 then 0.0 else 1.0);
+            Sfprogram.Runner.step runner ~inputs
+          done
+        in
+        let best = ref infinity in
+        for _ = 1 to 5 do
+          let (), d = wall pass in
+          if d < !best then best := d
+        done;
+        !best /. float_of_int steps
+      in
+      let tree_s = time_engine (Sfprogram.Runner.create ~engine:`Tree p) in
+      let byte_s = time_engine (Sfprogram.Runner.create ~compiled p) in
+      record ~table:"engines" ~comp:label ~target:"step" ~meth:"tree" tree_s;
+      record ~table:"engines" ~comp:label ~target:"step" ~meth:"bytecode"
+        byte_s;
+      record ~table:"engines" ~comp:label ~target:"compile" compile_s;
+      engine_rows :=
+        {
+          e_circuit = label;
+          e_assignments = List.length p.Sfprogram.assignments;
+          e_instrs = Amsvp_sf.Compile.n_instrs compiled;
+          e_regs = Amsvp_sf.Compile.n_regs compiled;
+          e_compile_s = compile_s;
+          e_tree_step_ns = tree_s *. 1e9;
+          e_byte_step_ns = byte_s *. 1e9;
+          e_max_ulp = !max_ulp;
+        }
+        :: !engine_rows;
+      Printf.printf "%-6s %7d %7d %6d %12.2f %14.1f %14.1f %8.2fx %8Ld\n"
+        label
+        (List.length p.Sfprogram.assignments)
+        (Amsvp_sf.Compile.n_instrs compiled)
+        (Amsvp_sf.Compile.n_regs compiled)
+        (compile_s *. 1e6) (tree_s *. 1e9) (byte_s *. 1e9) (tree_s /. byte_s)
+        !max_ulp)
+    [ "2IN"; "RC1"; "RC20"; "OA"; "RECT" ]
+
 type cli = {
   quick : bool;
   obs : bool;
@@ -802,7 +916,7 @@ type cli = {
 
 let all_sections =
   [ "table1"; "table2"; "table3"; "tooltime"; "ablation"; "sweep"; "probes";
-    "figures"; "micro" ]
+    "engines"; "figures"; "micro" ]
 
 let parse_cli argv =
   let usage () =
@@ -811,8 +925,8 @@ let parse_cli argv =
        FILE]\n\
       \             [--results-out FILE | --no-results] [--seed N] [--jobs N]\n\
       \             [SECTION...]\n\
-       sections: table1 table2 table3 tooltime ablation sweep probes figures \
-       micro";
+       sections: table1 table2 table3 tooltime ablation sweep probes engines \
+       figures micro";
     exit 2
   in
   let int_arg name v rest k =
@@ -892,6 +1006,7 @@ let () =
   section "sweep" (fun () ->
       sweep_bench ~t_stop:(scale 2e-3) ~seed:cli.seed ~jobs:cli.jobs ());
   section "probes" (fun () -> probe_overhead ~t_stop:(scale 50e-3) ());
+  section "engines" (fun () -> engines ~t_stop:t1 ());
   section "figures" (fun () -> figures ());
   section "micro" (fun () -> micro ());
   let total_wall_s = Unix.gettimeofday () -. wall_start in

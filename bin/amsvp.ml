@@ -253,6 +253,14 @@ let moc_arg =
        ~doc:"Model of computation: $(b,cpp), $(b,de), $(b,tdf), $(b,eln) or \
              $(b,vams).")
 
+let engine_arg =
+  let engines = [ ("bytecode", `Bytecode); ("tree", `Tree) ] in
+  Arg.(value & opt (enum engines) `Bytecode & info [ "engine" ]
+       ~doc:"Signal-flow execution engine for the abstracted model \
+             ($(b,cpp)/$(b,de)/$(b,tdf) MoCs): $(b,bytecode) (compiled \
+             register code, the default) or $(b,tree) (the reference \
+             interpreter). Both produce bit-identical traces.")
+
 let t_stop_arg =
   Arg.(value & opt float 2e-3 & info [ "t-stop" ] ~docv:"SECONDS"
        ~doc:"Simulated duration.")
@@ -332,7 +340,7 @@ let probe_export (_, vcd_out, wave_out, _) = function
 
 let simulate_cmd =
   let run obscfg file top output dt mode integration lang inputs from_program
-      moc t_stop (period, low, high) samples probecfg =
+      moc engine t_stop (period, low, high) samples probecfg =
     with_obs obscfg @@ fun () ->
     with_frontend_errors ~file (fun () ->
         let p =
@@ -352,9 +360,9 @@ let simulate_cmd =
         let stimuli = List.map (fun n -> (n, stim)) p.Sfprogram.inputs in
         let trace =
           match moc with
-          | `Cpp -> (Wrap.run_cpp ?observe p ~stimuli ~t_stop).Wrap.trace
-          | `De -> (Wrap.run_de ?observe p ~stimuli ~t_stop).Wrap.trace
-          | `Tdf -> (Wrap.run_tdf ?observe p ~stimuli ~t_stop).Wrap.trace
+          | `Cpp -> (Wrap.run_cpp ~engine ?observe p ~stimuli ~t_stop).Wrap.trace
+          | `De -> (Wrap.run_de ~engine ?observe p ~stimuli ~t_stop).Wrap.trace
+          | `Tdf -> (Wrap.run_tdf ~engine ?observe p ~stimuli ~t_stop).Wrap.trace
           | `Eln | `Vams -> (
               let flat = flatten_any lang (read_file file) ~file top inputs in
               match Elaborate.classify flat with
@@ -394,8 +402,8 @@ let simulate_cmd =
        ~doc:"Simulate a Verilog-AMS or VHDL-AMS model under a chosen MoC.")
     Term.(const run $ obs_flags $ file_arg $ top_arg $ out_arg $ dt_arg
           $ mode_arg $ integration_arg $ lang_arg $ inputs_arg
-          $ from_program_arg $ moc_arg $ t_stop_arg $ square_arg $ samples_arg
-          $ probe_args)
+          $ from_program_arg $ moc_arg $ engine_arg $ t_stop_arg $ square_arg
+          $ samples_arg $ probe_args)
 
 (* report *)
 

@@ -115,6 +115,15 @@ val size : t -> int
 
 (** {1 Evaluation} *)
 
+val apply_fun : unary_fun -> float -> float
+(** Pointwise semantics of the unary functions. Every execution engine
+    (interpreter, compiled closures, bytecode) must route through this
+    single definition so their results stay bit-identical. *)
+
+val apply_cmp : cmp -> float -> float -> bool
+(** Pointwise semantics of the comparison operators (IEEE semantics:
+    any comparison involving NaN is false). *)
+
 val eval : (var -> float) -> t -> float
 (** Evaluate under an environment.
     @raise Failure on [Ddt]/[Idt] nodes — continuous-time operators

@@ -1,0 +1,616 @@
+module Obs = Amsvp_obs.Obs
+
+type mode = [ `Optimize | `Template ]
+
+(* Three-address instructions over one float register file. All
+   operands are plain register indices, validated at build time, so
+   [exec] can use unchecked array accesses. Conditions are materialised
+   as 0.0 / 1.0 floats. *)
+type instr =
+  | Mov of int * int
+  | Neg of int * int
+  | Add of int * int * int
+  | Sub of int * int * int
+  | Mul of int * int * int
+  | Div of int * int * int
+  | App of Expr.unary_fun * int * int
+  | Cmp of Expr.cmp * int * int * int
+  | Andb of int * int * int
+  | Orb of int * int * int
+  | Notb of int * int
+  | Sel of int * int * int * int  (** dst, cond, then, else *)
+
+type t = {
+  mode : mode;
+  shape : string;
+      (** structural key: slot layout + expression structure, constants
+          elided — two programs with equal shapes share register
+          allocation and scheduling *)
+  n_slots : int;
+  n_regs : int;
+  consts : float array;  (** [consts.(i)] preloads register [n_slots + i] *)
+  code : instr array;
+}
+
+let n_slots t = t.n_slots
+let n_regs t = t.n_regs
+let n_instrs t = Array.length t.code
+let n_consts t = Array.length t.consts
+
+(* ---- observability ---- *)
+
+let c_programs =
+  Obs.Counter.make ~help:"signal-flow programs compiled to bytecode"
+    "amsvp_sf_compiled_programs_total"
+
+let c_instrs =
+  Obs.Counter.make ~help:"bytecode instructions emitted"
+    "amsvp_sf_compiled_instrs_total"
+
+let c_rebinds =
+  Obs.Counter.make ~help:"template artifacts re-targeted without recompiling"
+    "amsvp_sf_compile_rebinds_total"
+
+let h_compile_seconds =
+  Obs.Histogram.make ~help:"wall-clock seconds per bytecode compilation"
+    ~buckets:[| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1 |]
+    "amsvp_sf_compile_seconds"
+
+(* ---- value-numbering DAG ---- *)
+
+type op =
+  | Oneg
+  | Oadd
+  | Osub
+  | Omul
+  | Odiv
+  | Oapp of Expr.unary_fun
+  | Ocmp of Expr.cmp
+  | Oand
+  | Oor
+  | Onot
+  | Osel
+
+type node = Nconst of int  (** pool index *) | Nread of int  (** slot *) | Nop of op * int array
+
+(* Hash-consing key. Constants are keyed by their bit pattern in
+   [`Optimize] mode (0.0 and -0.0 stay distinct, every NaN payload is
+   its own value); in [`Template] mode every literal occurrence is a
+   fresh pool position and never unifies. Reads are keyed by (slot,
+   version) with the version bumped at each store, so a read before and
+   after an assignment to the same slot cannot unify. *)
+type key = Kconst of int64 | Kread of int * int | Kop of op * int list
+
+(* Exactly the IEEE operations the tree interpreter performs, so
+   compile-time folding is bit-identical to evaluating at run time.
+   The boolean connectives see only 0.0/1.0 operands here. *)
+let eval_op op (xs : float array) =
+  match (op, xs) with
+  | Oneg, [| a |] -> -.a
+  | Oadd, [| a; b |] -> a +. b
+  | Osub, [| a; b |] -> a -. b
+  | Omul, [| a; b |] -> a *. b
+  | Odiv, [| a; b |] -> a /. b
+  | Oapp f, [| a |] -> Expr.apply_fun f a
+  | Ocmp c, [| a; b |] -> if Expr.apply_cmp c a b then 1.0 else 0.0
+  | Oand, [| a; b |] -> if a <> 0.0 && b <> 0.0 then 1.0 else 0.0
+  | Oor, [| a; b |] -> if a <> 0.0 || b <> 0.0 then 1.0 else 0.0
+  | Onot, [| a |] -> if a <> 0.0 then 0.0 else 1.0
+  | Osel, [| c; a; b |] -> if c <> 0.0 then a else b
+  | _ -> invalid_arg "Compile.eval_op: arity"
+
+(* ---- structural shape ---- *)
+
+let fun_tag = function
+  | Expr.Sin -> "sin"
+  | Expr.Cos -> "cos"
+  | Expr.Exp -> "exp"
+  | Expr.Ln -> "ln"
+  | Expr.Sqrt -> "sqrt"
+  | Expr.Abs -> "abs"
+  | Expr.Tanh -> "tanh"
+
+let cmp_tag = function Expr.Lt -> "<" | Expr.Le -> "<=" | Expr.Gt -> ">" | Expr.Ge -> ">="
+
+let shape_of ~slot ~n_slots assigns =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "S%d" n_slots;
+  let rec walk e =
+    match e with
+    | Expr.Const _ -> Buffer.add_char b 'C'
+    | Expr.Var x -> Printf.bprintf b "v%d" (slot x)
+    | Expr.Neg a ->
+        Buffer.add_string b "(-";
+        walk a;
+        Buffer.add_char b ')'
+    | Expr.Add (x, y) -> bin "+" x y
+    | Expr.Sub (x, y) -> bin "-" x y
+    | Expr.Mul (x, y) -> bin "*" x y
+    | Expr.Div (x, y) -> bin "/" x y
+    | Expr.Ddt _ | Expr.Idt _ ->
+        invalid_arg "Compile: ddt/idt cannot be compiled"
+    | Expr.App (f, a) ->
+        Printf.bprintf b "(%s " (fun_tag f);
+        walk a;
+        Buffer.add_char b ')'
+    | Expr.Cond (c, x, y) ->
+        Buffer.add_string b "(?";
+        walk_cond c;
+        Buffer.add_char b ' ';
+        walk x;
+        Buffer.add_char b ' ';
+        walk y;
+        Buffer.add_char b ')'
+  and bin tag x y =
+    Buffer.add_char b '(';
+    Buffer.add_string b tag;
+    Buffer.add_char b ' ';
+    walk x;
+    Buffer.add_char b ' ';
+    walk y;
+    Buffer.add_char b ')'
+  and walk_cond c =
+    match c with
+    | Expr.Cmp (op, x, y) -> bin (cmp_tag op) x y
+    | Expr.And (c1, c2) ->
+        Buffer.add_string b "(&& ";
+        walk_cond c1;
+        Buffer.add_char b ' ';
+        walk_cond c2;
+        Buffer.add_char b ')'
+    | Expr.Or (c1, c2) ->
+        Buffer.add_string b "(|| ";
+        walk_cond c1;
+        Buffer.add_char b ' ';
+        walk_cond c2;
+        Buffer.add_char b ')'
+    | Expr.Not c ->
+        Buffer.add_string b "(! ";
+        walk_cond c;
+        Buffer.add_char b ')'
+  in
+  List.iter
+    (fun (tslot, e) ->
+      Printf.bprintf b "|%d:=" tslot;
+      walk e)
+    assigns;
+  Buffer.contents b
+
+(* Literal constants in the left-to-right traversal order used by the
+   lowering pass: the pool layout of a [`Template] artifact, so
+   {!rebind} can patch values positionally. *)
+let collect_consts assigns =
+  let acc = ref [] in
+  let rec walk e =
+    match e with
+    | Expr.Const c -> acc := c :: !acc
+    | Expr.Var _ -> ()
+    | Expr.Neg a | Expr.App (_, a) | Expr.Ddt a | Expr.Idt a -> walk a
+    | Expr.Add (x, y) | Expr.Sub (x, y) | Expr.Mul (x, y) | Expr.Div (x, y) ->
+        walk x;
+        walk y
+    | Expr.Cond (c, x, y) ->
+        walk_cond c;
+        walk x;
+        walk y
+  and walk_cond = function
+    | Expr.Cmp (_, x, y) ->
+        walk x;
+        walk y
+    | Expr.And (c1, c2) | Expr.Or (c1, c2) ->
+        walk_cond c1;
+        walk_cond c2
+    | Expr.Not c -> walk_cond c
+  in
+  List.iter (fun (_, e) -> walk e) assigns;
+  Array.of_list (List.rev !acc)
+
+(* ---- compilation ---- *)
+
+let compile_unobserved ~(mode : mode) ~slot ~n_slots assigns =
+  let shape = shape_of ~slot ~n_slots assigns in
+  (* checked [slot]: every variable register must stay below the slot
+     region so the unchecked accesses of [exec] are safe. *)
+  let slot v =
+    let s = slot v in
+    if s < 0 || s >= n_slots then
+      invalid_arg
+        (Printf.sprintf "Compile: slot %d of %s out of range [0,%d)" s
+           (Expr.var_name v) n_slots);
+    s
+  in
+  (* -- pass 1: lower to a value-numbered DAG -- *)
+  let nodes : (int, node) Hashtbl.t = Hashtbl.create 64 in
+  let keys : (key, int) Hashtbl.t = Hashtbl.create 64 in
+  let cval : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let pool = ref [] in
+  let pool_n = ref 0 in
+  let pool_ix : (int64, int) Hashtbl.t = Hashtbl.create 16 in
+  let version = Array.make (max 1 n_slots) 0 in
+  let next_id = ref 0 in
+  let fresh node =
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.add nodes id node;
+    id
+  in
+  let pool_slot c =
+    match mode with
+    | `Template ->
+        let i = !pool_n in
+        incr pool_n;
+        pool := c :: !pool;
+        i
+    | `Optimize -> (
+        let bits = Int64.bits_of_float c in
+        match Hashtbl.find_opt pool_ix bits with
+        | Some i -> i
+        | None ->
+            let i = !pool_n in
+            incr pool_n;
+            pool := c :: !pool;
+            Hashtbl.add pool_ix bits i;
+            i)
+  in
+  let mk_const c =
+    match mode with
+    | `Template ->
+        (* every occurrence is its own rebindable pool position *)
+        fresh (Nconst (pool_slot c))
+    | `Optimize -> (
+        let k = Kconst (Int64.bits_of_float c) in
+        match Hashtbl.find_opt keys k with
+        | Some id -> id
+        | None ->
+            let id = fresh (Nconst (pool_slot c)) in
+            Hashtbl.add keys k id;
+            Hashtbl.add cval id c;
+            id)
+  in
+  let mk_read s =
+    let k = Kread (s, version.(s)) in
+    match Hashtbl.find_opt keys k with
+    | Some id -> id
+    | None ->
+        let id = fresh (Nread s) in
+        Hashtbl.add keys k id;
+        id
+  in
+  let mk_op op args =
+    let folded =
+      if mode = `Template then None
+      else
+        let vals = Array.map (fun a -> Hashtbl.find_opt cval a) args in
+        if Array.for_all Option.is_some vals then
+          Some (mk_const (eval_op op (Array.map Option.get vals)))
+        else
+          match (op, vals) with
+          (* constant condition: the dead arm is never scheduled *)
+          | Osel, [| Some c; _; _ |] ->
+              Some (if c <> 0.0 then args.(1) else args.(2))
+          | _ -> None
+    in
+    match folded with
+    | Some id -> id
+    | None -> (
+        let k = Kop (op, Array.to_list args) in
+        match Hashtbl.find_opt keys k with
+        | Some id -> id
+        | None ->
+            let id = fresh (Nop (op, args)) in
+            Hashtbl.add keys k id;
+            id)
+  in
+  (* explicit left-to-right sequencing: template pool positions must
+     match the traversal order of [collect_consts] *)
+  let rec lower e =
+    match e with
+    | Expr.Const c -> mk_const c
+    | Expr.Var x -> mk_read (slot x)
+    | Expr.Neg a ->
+        let a' = lower a in
+        mk_op Oneg [| a' |]
+    | Expr.Add (x, y) ->
+        let x' = lower x in
+        let y' = lower y in
+        mk_op Oadd [| x'; y' |]
+    | Expr.Sub (x, y) ->
+        let x' = lower x in
+        let y' = lower y in
+        mk_op Osub [| x'; y' |]
+    | Expr.Mul (x, y) ->
+        let x' = lower x in
+        let y' = lower y in
+        mk_op Omul [| x'; y' |]
+    | Expr.Div (x, y) ->
+        let x' = lower x in
+        let y' = lower y in
+        mk_op Odiv [| x'; y' |]
+    | Expr.Ddt _ | Expr.Idt _ ->
+        invalid_arg "Compile: ddt/idt cannot be compiled"
+    | Expr.App (f, a) ->
+        let a' = lower a in
+        mk_op (Oapp f) [| a' |]
+    | Expr.Cond (c, x, y) ->
+        let c' = lower_cond c in
+        let x' = lower x in
+        let y' = lower y in
+        mk_op Osel [| c'; x'; y' |]
+  and lower_cond c =
+    match c with
+    | Expr.Cmp (op, x, y) ->
+        let x' = lower x in
+        let y' = lower y in
+        mk_op (Ocmp op) [| x'; y' |]
+    | Expr.And (c1, c2) ->
+        let a = lower_cond c1 in
+        let b = lower_cond c2 in
+        mk_op Oand [| a; b |]
+    | Expr.Or (c1, c2) ->
+        let a = lower_cond c1 in
+        let b = lower_cond c2 in
+        mk_op Oor [| a; b |]
+    | Expr.Not c ->
+        let a = lower_cond c in
+        mk_op Onot [| a |]
+  in
+  let roots =
+    List.map
+      (fun (tslot, e) ->
+        if tslot < 0 || tslot >= n_slots then
+          invalid_arg
+            (Printf.sprintf "Compile: target slot %d out of range [0,%d)"
+               tslot n_slots);
+        let r = lower e in
+        (* the store makes this value the current content of the
+           target slot: bump the version and let later reads of the
+           target reuse the computed node instead of re-loading *)
+        version.(tslot) <- version.(tslot) + 1;
+        Hashtbl.replace keys (Kread (tslot, version.(tslot))) r;
+        (tslot, r))
+      assigns
+  in
+  let consts = Array.of_list (List.rev !pool) in
+  let const_base = n_slots in
+  let temp_base = n_slots + Array.length consts in
+  (* -- pass 2: demand-driven scheduling over virtual registers.
+     Nodes never demanded from an assignment root are dead and emit
+     nothing. The first emission of a root lands directly in its
+     target slot (safe: each slot is stored at most once per step, and
+     validated programs cannot read a target before its assignment). -- *)
+  let vcode = ref [] in
+  let n_vinstr = ref 0 in
+  let push i =
+    vcode := i :: !vcode;
+    incr n_vinstr
+  in
+  let vreg : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_vtemp = ref temp_base in
+  let rec emit ?dst id =
+    match Hashtbl.find_opt vreg id with
+    | Some r -> r
+    | None -> (
+        match Hashtbl.find nodes id with
+        | Nconst pix ->
+            let r = const_base + pix in
+            Hashtbl.add vreg id r;
+            r
+        | Nread s ->
+            Hashtbl.add vreg id s;
+            s
+        | Nop (op, args) ->
+            let n = Array.length args in
+            let regs = Array.make n 0 in
+            for i = 0 to n - 1 do
+              regs.(i) <- emit args.(i)
+            done;
+            let d =
+              match dst with
+              | Some d -> d
+              | None ->
+                  let d = !next_vtemp in
+                  incr next_vtemp;
+                  d
+            in
+            (match (op, regs) with
+            | Oneg, [| a |] -> push (Neg (d, a))
+            | Oadd, [| a; b |] -> push (Add (d, a, b))
+            | Osub, [| a; b |] -> push (Sub (d, a, b))
+            | Omul, [| a; b |] -> push (Mul (d, a, b))
+            | Odiv, [| a; b |] -> push (Div (d, a, b))
+            | Oapp f, [| a |] -> push (App (f, d, a))
+            | Ocmp c, [| a; b |] -> push (Cmp (c, d, a, b))
+            | Oand, [| a; b |] -> push (Andb (d, a, b))
+            | Oor, [| a; b |] -> push (Orb (d, a, b))
+            | Onot, [| a |] -> push (Notb (d, a))
+            | Osel, [| c; a; b |] -> push (Sel (d, c, a, b))
+            | _ -> assert false);
+            Hashtbl.add vreg id d;
+            d)
+  in
+  List.iter
+    (fun (tslot, r) ->
+      match Hashtbl.find_opt vreg r with
+      | Some reg -> if reg <> tslot then push (Mov (tslot, reg))
+      | None -> (
+          match Hashtbl.find nodes r with
+          | Nop _ -> ignore (emit ~dst:tslot r)
+          | Nconst _ | Nread _ ->
+              let reg = emit r in
+              push (Mov (tslot, reg))))
+    roots;
+  let vcode = Array.of_list (List.rev !vcode) in
+  (* -- pass 3: collapse virtual temporaries onto a small physical
+     file. Last uses are computed over the whole program, so a value
+     shared across assignments (CSE) stays live until its final
+     reader; past it, the register returns to the free list. -- *)
+  let srcs = function
+    | Mov (_, s) | Neg (_, s) | Notb (_, s) -> [ s ]
+    | Add (_, a, b) | Sub (_, a, b) | Mul (_, a, b) | Div (_, a, b)
+    | Andb (_, a, b) | Orb (_, a, b) ->
+        [ a; b ]
+    | App (_, _, a) -> [ a ]
+    | Cmp (_, _, a, b) -> [ a; b ]
+    | Sel (_, c, a, b) -> [ c; a; b ]
+  in
+  let dst_of = function
+    | Mov (d, _) | Neg (d, _) | Notb (d, _)
+    | Add (d, _, _) | Sub (d, _, _) | Mul (d, _, _) | Div (d, _, _)
+    | Andb (d, _, _) | Orb (d, _, _)
+    | App (_, d, _)
+    | Cmp (_, d, _, _)
+    | Sel (d, _, _, _) ->
+        d
+  in
+  let last_use : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  Array.iteri
+    (fun i instr ->
+      List.iter
+        (fun s -> if s >= temp_base then Hashtbl.replace last_use s i)
+        (srcs instr))
+    vcode;
+  let phys : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let free = ref [] in
+  let n_temps = ref 0 in
+  let alloc () =
+    match !free with
+    | r :: rest ->
+        free := rest;
+        r
+    | [] ->
+        let r = temp_base + !n_temps in
+        incr n_temps;
+        r
+  in
+  let rename r = if r < temp_base then r else Hashtbl.find phys r in
+  let code =
+    Array.mapi
+      (fun i instr ->
+        let s = List.map rename (srcs instr) in
+        List.iter
+          (fun v ->
+            if v >= temp_base && Hashtbl.find_opt last_use v = Some i then
+              free := Hashtbl.find phys v :: !free)
+          (List.sort_uniq compare (srcs instr));
+        let d0 = dst_of instr in
+        let d =
+          if d0 < temp_base then d0
+          else begin
+            (* defined once, so the first (and only) def allocates;
+               a value never read keeps its register only for this
+               instruction *)
+            let p = alloc () in
+            Hashtbl.replace phys d0 p;
+            if not (Hashtbl.mem last_use d0) then free := p :: !free;
+            p
+          end
+        in
+        match (instr, s) with
+        | Mov _, [ a ] -> Mov (d, a)
+        | Neg _, [ a ] -> Neg (d, a)
+        | Notb _, [ a ] -> Notb (d, a)
+        | Add _, [ a; b ] -> Add (d, a, b)
+        | Sub _, [ a; b ] -> Sub (d, a, b)
+        | Mul _, [ a; b ] -> Mul (d, a, b)
+        | Div _, [ a; b ] -> Div (d, a, b)
+        | Andb _, [ a; b ] -> Andb (d, a, b)
+        | Orb _, [ a; b ] -> Orb (d, a, b)
+        | App (f, _, _), [ a ] -> App (f, d, a)
+        | Cmp (c, _, _, _), [ a; b ] -> Cmp (c, d, a, b)
+        | Sel _, [ c; a; b ] -> Sel (d, c, a, b)
+        | _ -> assert false)
+      vcode
+  in
+  { mode; shape; n_slots; n_regs = temp_base + !n_temps; consts; code }
+
+let compile ?(mode : mode = `Optimize) ~slot ~n_slots assigns =
+  Obs.with_span ~cat:"sf" "sf.compile" @@ fun () ->
+  let t0 = Obs.now_ns () in
+  let t = compile_unobserved ~mode ~slot ~n_slots assigns in
+  Obs.Counter.incr c_programs;
+  Obs.Counter.add c_instrs (Array.length t.code);
+  Obs.Histogram.observe h_compile_seconds
+    (float_of_int (Obs.now_ns () - t0) *. 1e-9);
+  t
+
+let rebind t ~slot ~n_slots assigns =
+  if t.mode <> `Template || n_slots <> t.n_slots then None
+  else if not (String.equal (shape_of ~slot ~n_slots assigns) t.shape) then
+    None
+  else
+    let consts = collect_consts assigns in
+    if Array.length consts <> Array.length t.consts then None
+    else begin
+      Obs.Counter.incr c_rebinds;
+      Some { t with consts }
+    end
+
+(* ---- execution ---- *)
+
+let load_consts t regs =
+  if Array.length regs < t.n_regs then
+    invalid_arg
+      (Printf.sprintf "Compile.load_consts: register file %d < %d"
+         (Array.length regs) t.n_regs);
+  Array.iteri (fun i c -> regs.(t.n_slots + i) <- c) t.consts
+
+(* All operand indices were validated below [n_regs] at build time and
+   [load_consts] checked the array length, so the hot loop can elide
+   bounds checks. *)
+let exec t (regs : float array) =
+  let code = t.code in
+  let get i = Array.unsafe_get regs i in
+  let set i v = Array.unsafe_set regs i v in
+  for i = 0 to Array.length code - 1 do
+    match Array.unsafe_get code i with
+    | Mov (d, s) -> set d (get s)
+    | Neg (d, a) -> set d (-.get a)
+    | Add (d, a, b) -> set d (get a +. get b)
+    | Sub (d, a, b) -> set d (get a -. get b)
+    | Mul (d, a, b) -> set d (get a *. get b)
+    | Div (d, a, b) -> set d (get a /. get b)
+    | App (f, d, a) -> set d (Expr.apply_fun f (get a))
+    | Cmp (c, d, a, b) ->
+        set d (if Expr.apply_cmp c (get a) (get b) then 1.0 else 0.0)
+    | Andb (d, a, b) ->
+        set d (if get a <> 0.0 && get b <> 0.0 then 1.0 else 0.0)
+    | Orb (d, a, b) ->
+        set d (if get a <> 0.0 || get b <> 0.0 then 1.0 else 0.0)
+    | Notb (d, a) -> set d (if get a <> 0.0 then 0.0 else 1.0)
+    | Sel (d, c, a, b) -> set d (if get c <> 0.0 then get a else get b)
+  done
+
+(* ---- disassembly ---- *)
+
+let pp ppf t =
+  let r i =
+    if i < t.n_slots then Printf.sprintf "s%d" i
+    else if i < t.n_slots + Array.length t.consts then
+      Printf.sprintf "c%d{%g}" (i - t.n_slots) t.consts.(i - t.n_slots)
+    else Printf.sprintf "t%d" (i - t.n_slots - Array.length t.consts)
+  in
+  Format.fprintf ppf "@[<v>bytecode: %d instr, %d regs (%d slots, %d consts)@,"
+    (Array.length t.code) t.n_regs t.n_slots (Array.length t.consts);
+  Array.iter
+    (fun instr ->
+      (match instr with
+      | Mov (d, s) -> Format.fprintf ppf "  %s := %s" (r d) (r s)
+      | Neg (d, a) -> Format.fprintf ppf "  %s := -%s" (r d) (r a)
+      | Add (d, a, b) -> Format.fprintf ppf "  %s := %s + %s" (r d) (r a) (r b)
+      | Sub (d, a, b) -> Format.fprintf ppf "  %s := %s - %s" (r d) (r a) (r b)
+      | Mul (d, a, b) -> Format.fprintf ppf "  %s := %s * %s" (r d) (r a) (r b)
+      | Div (d, a, b) -> Format.fprintf ppf "  %s := %s / %s" (r d) (r a) (r b)
+      | App (f, d, a) ->
+          Format.fprintf ppf "  %s := %s(%s)" (r d) (fun_tag f) (r a)
+      | Cmp (c, d, a, b) ->
+          Format.fprintf ppf "  %s := %s %s %s" (r d) (r a) (cmp_tag c) (r b)
+      | Andb (d, a, b) ->
+          Format.fprintf ppf "  %s := %s && %s" (r d) (r a) (r b)
+      | Orb (d, a, b) ->
+          Format.fprintf ppf "  %s := %s || %s" (r d) (r a) (r b)
+      | Notb (d, a) -> Format.fprintf ppf "  %s := !%s" (r d) (r a)
+      | Sel (d, c, a, b) ->
+          Format.fprintf ppf "  %s := %s ? %s : %s" (r d) (r c) (r a) (r b));
+      Format.fprintf ppf "@,")
+    t.code;
+  Format.fprintf ppf "@]"

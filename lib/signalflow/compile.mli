@@ -1,0 +1,99 @@
+(** Bytecode compilation of signal-flow programs.
+
+    The tree-walking interpreter ([Expr.compile]) evaluates one nested
+    closure per AST node and boxes every intermediate float at the
+    closure boundary; that allocation-per-node cost dominates the hot
+    loop of the abstracted models. This module lowers the equation
+    trees of a whole program into a flat, register-based bytecode: an
+    array of three-address instructions over a single unboxed [float
+    array] register file whose low registers alias the runner's
+    variable slots. Executing a step is then one tight match loop with
+    no allocation and no indirect calls (beyond [sin]/[exp]-style
+    primitives).
+
+    Lowering goes through a value-numbering DAG, which gives three
+    classic optimisations for free:
+
+    - {e constant folding}: an operation whose operands are all
+      constants is evaluated at compile time with exactly the IEEE
+      operations the interpreter would use, so results stay
+      bit-identical;
+    - {e common-subexpression elimination}, across all equations of the
+      program: slot reads are keyed by (slot, version), with the
+      version bumped at each store, so only genuinely unchanged
+      subexpressions unify;
+    - {e dead-register elimination}: instructions are emitted
+      demand-first from the assignment roots, so unreferenced nodes
+      are never scheduled, and temporaries are re-allocated from a
+      free list after their last use.
+
+    Conditionals are compiled eagerly ([Sel] evaluates both arms).
+    This is value-identical to the interpreter's lazy evaluation
+    because float operations cannot raise or trap here (division by
+    zero and domain errors produce inf/NaN in both engines), and
+    comparisons involving NaN are false in both.
+
+    {2 Templates}
+
+    A [`Template] artifact disables value-dependent folding and keys
+    every literal constant by its position, so two programs that differ
+    only in constant values (the situation created by the sweep
+    engine's rebind-and-re-solve plan replay) share one compilation:
+    {!rebind} checks the structural shape and patches the constant
+    pool without re-running lowering, scheduling or allocation. *)
+
+type mode =
+  [ `Optimize  (** fold constants; artifact is specific to the values *)
+  | `Template  (** positional constants; {!rebind} can re-target it *) ]
+
+type t
+(** A compiled program: immutable, shareable across runners. Registers
+    [0 .. n_slots-1] alias the runner's variable slots; constants and
+    temporaries live above. *)
+
+val compile :
+  ?mode:mode ->
+  slot:(Expr.var -> int) ->
+  n_slots:int ->
+  (int * Expr.t) list ->
+  t
+(** [compile ~slot ~n_slots assigns] lowers [assigns] (pairs of target
+    slot and right-hand side, in execution order) into bytecode.
+    [slot] must map every variable occurring in the right-hand sides to
+    a register below [n_slots]. Default mode is [`Optimize].
+    @raise Invalid_argument on a [ddt]/[idt] node (un-discretised
+    program) or a slot index out of range. *)
+
+val rebind : t -> slot:(Expr.var -> int) -> n_slots:int -> (int * Expr.t) list -> t option
+(** [rebind t ~slot ~n_slots assigns] re-targets a [`Template] artifact
+    at a program with the same shape (same slot layout, same expression
+    structure, same variable occurrences) but possibly different
+    constant values: the constant pool is replaced, everything else is
+    reused. [None] when [t] is not a template or the shape differs. *)
+
+val n_slots : t -> int
+(** Number of low registers aliasing runner slots. *)
+
+val n_regs : t -> int
+(** Total register file size ([n_slots] + constants + temporaries);
+    the runner must allocate its slot array this large. *)
+
+val n_instrs : t -> int
+(** Scheduled instruction count (after CSE and dead-code removal). *)
+
+val n_consts : t -> int
+(** Constant-pool size. *)
+
+val load_consts : t -> float array -> unit
+(** Preload the constant pool into its registers. Must be called once
+    after allocating the register file (constants are never written by
+    {!exec}, so one load survives any number of steps and resets).
+    @raise Invalid_argument if the array is shorter than {!n_regs}. *)
+
+val exec : t -> float array -> unit
+(** Execute one step: evaluate every assignment in order, writing each
+    target's register. The array must be the one prepared with
+    {!load_consts}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing, one instruction per line. *)

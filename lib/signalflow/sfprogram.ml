@@ -97,6 +97,93 @@ let pp ppf p =
     p.assignments;
   Format.fprintf ppf "@]"
 
+(* Slot layout, shared by both execution engines. The allocation order
+   is a deterministic function of the program structure alone (inputs
+   in declaration order, then targets, then history levels discovered
+   through the ordered [Var_set] of reads), so two programs with the
+   same shape — as produced by the sweep engine's plan replay — get
+   identical layouts, and a bytecode artifact compiled against one is
+   valid for the other. *)
+type layout = {
+  l_table : (Expr.var, int) Hashtbl.t;
+  l_count : int;
+  l_input_slots : int array;
+  l_output_slots : int array;
+  l_rotations : (int * int) array;
+}
+
+let layout_of (p : t) =
+  let table : (Expr.var, int) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 0 in
+  let slot v =
+    match Hashtbl.find_opt table v with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add table v i;
+        i
+  in
+  (* Reserve slots: inputs first, then every variable read or written,
+     then every intermediate delay level so histories can rotate. *)
+  let l_input_slots =
+    Array.of_list (List.map (fun s -> slot (Expr.signal s)) p.inputs)
+  in
+  List.iter (fun a -> ignore (slot a.target)) p.assignments;
+  let depth : (Expr.base, int) Hashtbl.t = Hashtbl.create 16 in
+  fold_read_vars p
+    (fun () v ->
+      if v.Expr.delay >= 1 then begin
+        let d =
+          match Hashtbl.find_opt depth v.Expr.base with
+          | Some d -> max d v.Expr.delay
+          | None -> v.Expr.delay
+        in
+        Hashtbl.replace depth v.Expr.base d
+      end)
+    ();
+  let rotations = ref [] in
+  Hashtbl.iter
+    (fun base d ->
+      for k = d downto 1 do
+        let dst = slot { Expr.base; delay = k }
+        and src = slot { Expr.base; delay = k - 1 } in
+        rotations := (dst, src) :: !rotations
+      done)
+    depth;
+  (* Rotation order: deepest level first for each base; the list was
+     built deepest-first per base, and bases are independent, but the
+     Hashtbl.iter interleaving preserves per-base order only if we
+     keep the construction order. Reversing restores it. *)
+  let l_rotations = Array.of_list (List.rev !rotations) in
+  let l_output_slots = Array.of_list (List.map slot p.outputs) in
+  {
+    l_table = table;
+    l_count = !next;
+    l_input_slots;
+    l_output_slots;
+    l_rotations;
+  }
+
+let layout_slot lay v =
+  match Hashtbl.find_opt lay.l_table v with
+  | Some i -> i
+  | None ->
+      invalid_arg ("Sfprogram: unknown variable " ^ Expr.var_name v)
+
+let assignment_slots lay (p : t) =
+  List.map (fun a -> (layout_slot lay a.target, a.expr)) p.assignments
+
+let compile ?mode (p : t) =
+  let lay = layout_of p in
+  Compile.compile ?mode ~slot:(layout_slot lay) ~n_slots:lay.l_count
+    (assignment_slots lay p)
+
+let rebind_compiled artifact (p : t) =
+  let lay = layout_of p in
+  Compile.rebind artifact ~slot:(layout_slot lay) ~n_slots:lay.l_count
+    (assignment_slots lay p)
+
 module Runner = struct
   module Obs = Amsvp_obs.Obs
 
@@ -110,86 +197,75 @@ module Runner = struct
     Obs.Counter.make ~help:"signal-flow assignments evaluated"
       "amsvp_sf_ops_total"
 
+  type engine = [ `Tree | `Bytecode ]
+
+  type impl =
+    | Tree_steps of (int * (float array -> float)) array
+        (** target slot, compiled closure per assignment *)
+    | Bytecode of Compile.t
+
   type t = {
     program : program;
     slots : float array;
+        (** for [Bytecode], the whole register file; variable slots are
+            the first [n_state] entries in both engines *)
+    n_state : int;
     slot_of : Expr.var -> int;
     input_slots : int array;
     output_slots : int array;
-    steps : (int * (float array -> float)) array;
-        (** target slot, compiled expression *)
+    impl : impl;
+    n_assign : int;
     rotations : (int * int) array;
         (** dst, src pairs applied (in order) after each step *)
   }
 
-  let create (p : program) =
-    let table : (Expr.var, int) Hashtbl.t = Hashtbl.create 64 in
-    let next = ref 0 in
-    let slot v =
-      match Hashtbl.find_opt table v with
-      | Some i -> i
-      | None ->
-          let i = !next in
-          incr next;
-          Hashtbl.add table v i;
-          i
-    in
-    (* Reserve slots: inputs first, then every variable read or written,
-       then every intermediate delay level so histories can rotate. *)
-    let input_slots =
-      Array.of_list (List.map (fun s -> slot (Expr.signal s)) p.inputs)
-    in
-    List.iter (fun a -> ignore (slot a.target)) p.assignments;
-    let depth : (Expr.base, int) Hashtbl.t = Hashtbl.create 16 in
-    fold_read_vars p
-      (fun () v ->
-        if v.Expr.delay >= 1 then begin
-          let d =
-            match Hashtbl.find_opt depth v.Expr.base with
-            | Some d -> max d v.Expr.delay
-            | None -> v.Expr.delay
+  let create ?(engine : engine = `Bytecode) ?compiled (p : program) =
+    let lay = layout_of p in
+    let impl, slots =
+      match engine with
+      | `Tree ->
+          let steps =
+            Array.of_list
+              (List.map
+                 (fun a ->
+                   (layout_slot lay a.target,
+                    Expr.compile (layout_slot lay) a.expr))
+                 p.assignments)
           in
-          Hashtbl.replace depth v.Expr.base d
-        end)
-      ();
-    let rotations = ref [] in
-    Hashtbl.iter
-      (fun base d ->
-        for k = d downto 1 do
-          let dst = slot { Expr.base; delay = k }
-          and src = slot { Expr.base; delay = k - 1 } in
-          rotations := (dst, src) :: !rotations
-        done)
-      depth;
-    (* Rotation order: deepest level first for each base; the list was
-       built deepest-first per base, and bases are independent, but the
-       Hashtbl.iter interleaving preserves per-base order only if we
-       keep the construction order. Reversing restores it. *)
-    let rotations = Array.of_list (List.rev !rotations) in
-    let steps =
-      Array.of_list
-        (List.map
-           (fun a -> (slot a.target, Expr.compile slot a.expr))
-           p.assignments)
+          (Tree_steps steps, Array.make (max 1 lay.l_count) 0.0)
+      | `Bytecode ->
+          let artifact =
+            match compiled with
+            | Some a ->
+                if Compile.n_slots a <> lay.l_count then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Sfprogram.Runner.create(%s): compiled artifact has \
+                        %d slots, program needs %d"
+                       p.name (Compile.n_slots a) lay.l_count)
+                else a
+            | None -> compile p
+          in
+          let slots = Array.make (max 1 (Compile.n_regs artifact)) 0.0 in
+          Compile.load_consts artifact slots;
+          (Bytecode artifact, slots)
     in
-    let output_slots = Array.of_list (List.map slot p.outputs) in
-    let slots = Array.make (max 1 !next) 0.0 in
     {
       program = p;
       slots;
-      slot_of =
-        (fun v ->
-          match Hashtbl.find_opt table v with
-          | Some i -> i
-          | None ->
-              invalid_arg ("Sfprogram.Runner: unknown variable " ^ Expr.var_name v));
-      input_slots;
-      output_slots;
-      steps;
-      rotations;
+      n_state = lay.l_count;
+      slot_of = layout_slot lay;
+      input_slots = lay.l_input_slots;
+      output_slots = lay.l_output_slots;
+      impl;
+      n_assign = List.length p.assignments;
+      rotations = lay.l_rotations;
     }
 
-  let reset r = Array.fill r.slots 0 (Array.length r.slots) 0.0
+  (* Only the variable slots are cleared: constant registers of the
+     bytecode engine are loaded once at [create] and must survive, and
+     temporaries are dead between steps by construction. *)
+  let reset r = Array.fill r.slots 0 r.n_state 0.0
 
   let step r ~inputs =
     if Array.length inputs <> Array.length r.input_slots then
@@ -202,16 +278,19 @@ module Runner = struct
     for i = 0 to Array.length inputs - 1 do
       r.slots.(r.input_slots.(i)) <- inputs.(i)
     done;
-    for i = 0 to Array.length r.steps - 1 do
-      let tgt, f = r.steps.(i) in
-      r.slots.(tgt) <- f r.slots
-    done;
+    (match r.impl with
+    | Tree_steps steps ->
+        for i = 0 to Array.length steps - 1 do
+          let tgt, f = steps.(i) in
+          r.slots.(tgt) <- f r.slots
+        done
+    | Bytecode artifact -> Compile.exec artifact r.slots);
     for i = 0 to Array.length r.rotations - 1 do
       let dst, src = r.rotations.(i) in
       r.slots.(dst) <- r.slots.(src)
     done;
     Obs.Counter.incr c_ticks;
-    Obs.Counter.add c_ops (Array.length r.steps)
+    Obs.Counter.add c_ops r.n_assign
 
   let output r i = r.slots.(r.output_slots.(i))
   let read r v = r.slots.(r.slot_of v)

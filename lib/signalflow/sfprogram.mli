@@ -43,16 +43,45 @@ val state_vars : t -> Expr.var list
 val pp : Format.formatter -> t -> unit
 (** Human-readable listing of the program. *)
 
+(** {1 Compilation}
+
+    Programs execute through one of two engines: the reference
+    tree-walking interpreter (one closure per AST node) and the
+    register bytecode of {!Compile} (a flat instruction array over an
+    unboxed float file — the default, measurably faster per step and
+    bit-identical in its results). *)
+
+val compile : ?mode:Compile.mode -> t -> Compile.t
+(** Lower the program to bytecode against its canonical slot layout
+    (the one {!Runner.create} uses). With [~mode:`Template] the
+    artifact can be {!rebind_compiled} onto same-shaped programs. *)
+
+val rebind_compiled : Compile.t -> t -> Compile.t option
+(** Re-target a [`Template] artifact at a program with the same shape
+    but different constant values (the sweep engine's plan-replay
+    case), skipping lowering, scheduling and register allocation.
+    [None] when the shapes differ; fall back to {!compile}. *)
+
 (** {1 Execution} *)
 
 module Runner : sig
   type program = t
 
+  type engine = [ `Tree | `Bytecode ]
+
   type t
   (** A compiled instance with its own mutable state, all slots
       preallocated; stepping allocates nothing. *)
 
-  val create : program -> t
+  val create : ?engine:engine -> ?compiled:Compile.t -> program -> t
+  (** [engine] selects the execution engine (default [`Bytecode]; the
+      interpreter remains available as [`Tree] for reference and
+      differential testing — both produce bit-identical traces).
+      [compiled] supplies a ready bytecode artifact (from
+      {!Sfprogram.compile} or {!Sfprogram.rebind_compiled}) to skip
+      compilation; it is ignored under [`Tree].
+      @raise Invalid_argument if [compiled] was built for a different
+      slot layout. *)
 
   val reset : t -> unit
   (** Zero all state (initial condition [X0 = 0]). *)

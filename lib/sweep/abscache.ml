@@ -4,6 +4,9 @@ module Enrich = Amsvp_core.Enrich
 module Eqmap = Amsvp_core.Eqmap
 module Assemble = Amsvp_core.Assemble
 module Solve = Amsvp_core.Solve
+module Check = Amsvp_core.Check
+module Sfprogram = Amsvp_sf.Sfprogram
+module Compile = Amsvp_sf.Compile
 
 type entry = { var : Expr.var; via : int; kind : [ `Cur | `Der ] }
 
@@ -18,13 +21,21 @@ type t = {
   n_dipoles : int;
   topo : Eqn.t array;  (** KCL/KVL origins; index is [class_id - n_dipoles] *)
   entries : entry list;  (** dependencies first, like [Assemble.defs] *)
+  template : Compile.t option;
+      (** bytecode compiled once from the representative's solved
+          program in [`Template] mode; {!compiled_for} re-targets it at
+          each rebound point so plan replay also skips compilation *)
 }
 
-let build ?(mode = `Auto) ?(integration = `Backward_euler) ~name ~dt circuit
-    ~outputs =
+let record_plan ?(mode = `Auto) ?(integration = `Backward_euler) ~name ~dt
+    circuit ~outputs =
   let inputs = Circuit.input_signals circuit in
   let acq = Acquisition.of_circuit circuit in
   let map, _stats = Enrich.enrich acq in
+  (* Same pre-flight gate as [Flow.abstract_circuit]: a structurally
+     unsolvable sweep model is rejected here, once, with a located
+     finding — before any scenario point is expanded. *)
+  Check.gate (Check.solvability map ~outputs);
   let asm = Assemble.assemble map ~inputs ~outputs in
   let n_dipoles = List.length acq.Acquisition.dipoles in
   let topo =
@@ -53,6 +64,7 @@ let build ?(mode = `Auto) ?(integration = `Backward_euler) ~name ~dt circuit
     n_dipoles;
     topo;
     entries;
+    template = None;
   }
 
 let key t = t.key
@@ -118,3 +130,21 @@ let rebind t circuit =
       ->
         None
   end
+
+let build ?mode ?integration ~name ~dt circuit ~outputs =
+  let t = record_plan ?mode ?integration ~name ~dt circuit ~outputs in
+  (* Solve the representative once so the plan also carries a compiled
+     template: rebound points share its schedule and registers and only
+     patch the constant pool. Computed here, before any worker domain
+     starts, so the cache stays immutable afterwards. *)
+  let template =
+    match rebind t circuit with
+    | Some p -> Some (Sfprogram.compile ~mode:`Template p)
+    | None -> None
+  in
+  { t with template }
+
+let compiled_for t program =
+  match t.template with
+  | None -> None
+  | Some tpl -> Sfprogram.rebind_compiled tpl program

@@ -1,6 +1,7 @@
 module Circuit = Amsvp_netlist.Circuit
 module Circuits = Amsvp_netlist.Circuits
 module Flow = Amsvp_core.Flow
+module Check = Amsvp_core.Check
 module Engine = Amsvp_mna.Engine
 module Sfprogram = Amsvp_sf.Sfprogram
 module Stimulus = Amsvp_util.Stimulus
@@ -102,6 +103,12 @@ let run ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
   let dt = Option.value spec.dt ~default:default_dt in
   let t_stop = Option.value spec.t_stop ~default:default_t_stop in
   let probed = Flow.insert_probes tc.Circuits.circuit ~outputs:[ output ] in
+  (* Fast-fail: lint the swept model once, before any scenario point is
+     expanded. Sweep points only change parameter values, so a
+     structural defect (floating node, short, unsolvable output) would
+     otherwise be rediscovered N times, one confusing failure per
+     point. *)
+  Check.gate (Circuit.diagnose probed);
   let input_names = Circuit.input_signals probed in
   let stim_of name =
     match spec.stimulus with
@@ -142,7 +149,14 @@ let run ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
           in
           (rep.Flow.program, false)
     in
-    let runner = Sfprogram.Runner.create program in
+    let runner =
+      (* On a plan replay the bytecode template re-targets for free;
+         cache misses (and shape drift) compile from scratch. *)
+      let compiled =
+        if cached then Abscache.compiled_for cache program else None
+      in
+      Sfprogram.Runner.create ?compiled program
+    in
     let stimuli =
       Array.of_list
         (List.map

@@ -25,18 +25,24 @@ type result = {
 }
 
 val run_cpp :
+  ?engine:Amsvp_sf.Sfprogram.Runner.engine ->
   ?observe:(float -> (Expr.var -> float) -> unit) ->
   Amsvp_sf.Sfprogram.t ->
   stimuli:(string * Amsvp_util.Stimulus.t) list ->
   t_stop:float ->
   result
-(** [observe] (on every runner) is called once per simulated step with
+(** [engine] (on every model runner) selects the signal-flow execution
+    engine — the default register bytecode or the reference [`Tree]
+    interpreter; both produce bit-identical traces.
+
+    [observe] (on every runner) is called once per simulated step with
     the current time and a reader over the model's quantities — the
     attachment point for [Amsvp_probe] waveform taps. It costs one
     branch per step when absent.
     @raise Invalid_argument if a program input has no stimulus. *)
 
 val run_de :
+  ?engine:Amsvp_sf.Sfprogram.Runner.engine ->
   ?observe:(float -> (Expr.var -> float) -> unit) ->
   Amsvp_sf.Sfprogram.t ->
   stimuli:(string * Amsvp_util.Stimulus.t) list ->
@@ -44,6 +50,7 @@ val run_de :
   result
 
 val run_tdf :
+  ?engine:Amsvp_sf.Sfprogram.Runner.engine ->
   ?observe:(float -> (Expr.var -> float) -> unit) ->
   Amsvp_sf.Sfprogram.t ->
   stimuli:(string * Amsvp_util.Stimulus.t) list ->

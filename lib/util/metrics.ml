@@ -43,3 +43,17 @@ let max_abs_error a b =
       if d > !m then m := d)
     a;
   !m
+
+let ulp_distance a b =
+  (* Map the IEEE-754 bit pattern onto a monotone integer line: for
+     non-negative floats the bits already order correctly; negative
+     floats order in reverse, so reflect them below the positives. On
+     that line adjacent representable floats differ by exactly 1. *)
+  let ordered f =
+    let bits = Int64.bits_of_float f in
+    if Int64.compare bits 0L >= 0 then bits
+    else Int64.sub Int64.min_int bits
+  in
+  let nan_a = Float.is_nan a and nan_b = Float.is_nan b in
+  if nan_a || nan_b then if nan_a && nan_b then 0L else Int64.max_int
+  else Int64.abs (Int64.sub (ordered a) (ordered b))

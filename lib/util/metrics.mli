@@ -21,3 +21,10 @@ val nrmse_traces :
 
 (** [max_abs_error a b] is the maximum pointwise absolute difference. *)
 val max_abs_error : float array -> float array -> float
+
+(** [ulp_distance a b] is the number of representable floats between
+    [a] and [b] (0 when bit-identical, 1 for adjacent floats). Signed
+    zeros are 0 apart; two NaNs are 0 apart regardless of payload; a
+    NaN against a non-NaN is [Int64.max_int]. Used by the differential
+    engine tests: "≤ 1 ulp" is the identical-output acceptance bar. *)
+val ulp_distance : float -> float -> int64

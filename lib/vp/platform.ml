@@ -118,7 +118,7 @@ module Channel = struct
     decoded
 end
 
-let run ?(cpu_hz = 20.0e6) ?(asm_src = default_program)
+let run ?(cpu_hz = 20.0e6) ?(asm_src = default_program) ?engine
     ~(testcase : Circuits.testcase) ~program ~binding ~dt ~t_stop () =
   if dt <= 0.0 || t_stop < dt then invalid_arg "Platform.run: bad timing";
   Obs.with_span ~cat:"vp"
@@ -172,7 +172,7 @@ let run ?(cpu_hz = 20.0e6) ?(asm_src = default_program)
              (fun n -> List.assoc n testcase.Circuits.stimuli)
              p.Sfprogram.inputs)
       in
-      let runner = Sfprogram.Runner.create p in
+      let runner = Sfprogram.Runner.create ?engine p in
       let instr_per_step =
         max 1 (int_of_float (Float.round (cpu_hz *. dt)))
       in
@@ -315,7 +315,7 @@ let run ?(cpu_hz = 20.0e6) ?(asm_src = default_program)
                  (fun n -> List.assoc n testcase.Circuits.stimuli)
                  p.Sfprogram.inputs)
           in
-          let runner = Sfprogram.Runner.create p in
+          let runner = Sfprogram.Runner.create ?engine p in
           let out_sig = De.Signal.float_signal kernel ~name:"analog.out" 0.0 in
           let tick = De.Event.create kernel "model.tick" in
           let step_index = ref 0 in
@@ -343,7 +343,7 @@ let run ?(cpu_hz = 20.0e6) ?(asm_src = default_program)
                  (fun n -> List.assoc n testcase.Circuits.stimuli)
                  p.Sfprogram.inputs)
           in
-          let runner = Sfprogram.Runner.create p in
+          let runner = Sfprogram.Runner.create ?engine p in
           let cluster =
             Tdf_moc.create_cluster kernel ~name:"analog" ~timestep_ps:dt_ps
           in

@@ -47,6 +47,7 @@ val default_program : string
 val run :
   ?cpu_hz:float ->
   ?asm_src:string ->
+  ?engine:Amsvp_sf.Sfprogram.Runner.engine ->
   testcase:Amsvp_netlist.Circuits.testcase ->
   program:Amsvp_sf.Sfprogram.t option ->
   binding:analog_binding ->
@@ -56,5 +57,6 @@ val run :
   result
 (** [program] is required for the [Tdf], [De_model] and [Cpp] bindings
     (the abstracted model); [Cosim]/[Eln] simulate the conservative
-    circuit directly.
+    circuit directly. [engine] selects the signal-flow execution
+    engine for those bindings (default: register bytecode).
     @raise Invalid_argument on a missing program or bad parameters. *)

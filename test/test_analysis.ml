@@ -119,6 +119,61 @@ let test_stability_warning () =
   let fs = lint ~dt:1.0e-6 src in
   Alcotest.(check bool) "quiet at small dt" false (has "AMS041" fs)
 
+(* Full-text golden baselines: every fixture under [fixtures/] is
+   linted and its complete [Diag.report_to_text] report — codes,
+   severities, positions, messages and the summary line — is diffed
+   against the checked-in [.golden] file, so any drift in wording or
+   location shows up as a test failure with both texts printed.
+
+   To regenerate after an intentional change:
+
+     AMSVP_GOLDEN_REGEN=1 dune exec test/test_analysis.exe -- test baselines
+     cp _build/default/test/fixtures/*.golden test/fixtures/
+*)
+
+let golden_fixtures = [ "lint_showcase"; "lint_unused"; "lint_ordering" ]
+
+(* [dune runtest] runs from the test directory, [dune exec] from the
+   project root: resolve fixtures next to the executable, where dune
+   placed the (deps) copies either way. *)
+let fixture_dir =
+  Filename.concat (Filename.dirname Sys.executable_name) "fixtures"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden_baselines () =
+  let regen = Sys.getenv_opt "AMSVP_GOLDEN_REGEN" = Some "1" in
+  List.iter
+    (fun base ->
+      let vams = Filename.concat fixture_dir (base ^ ".vams") in
+      let golden = Filename.concat fixture_dir (base ^ ".golden") in
+      let report =
+        Diag.report_to_text
+          (Lint.lint ~file:("fixtures/" ^ base ^ ".vams") (read_file vams))
+        ^ "\n"
+      in
+      if regen then begin
+        (* The previous golden arrives as a read-only copy of the
+           source file; unlink it before writing the fresh one. *)
+        (try Sys.remove golden with Sys_error _ -> ());
+        let oc = open_out_bin golden in
+        output_string oc report;
+        close_out oc
+      end
+      else if not (Sys.file_exists golden) then
+        Alcotest.failf "%s missing — run with AMSVP_GOLDEN_REGEN=1" golden
+      else
+        let expected = read_file golden in
+        if not (String.equal expected report) then
+          Alcotest.failf
+            "%s drifted from its baseline.\n--- expected\n%s--- got\n%s"
+            vams expected report)
+    golden_fixtures
+
 (* The acceptance scenario: one model with a floating island, an
    under-determined sensed net and a zero-default divisor reports three
    distinct codes, each anchored at the right source position. *)
@@ -319,6 +374,9 @@ let () =
           Alcotest.test_case "signal-flow codes" `Quick test_signal_flow_codes;
           Alcotest.test_case "stability warning" `Quick test_stability_warning;
         ] );
+      ( "baselines",
+        [ Alcotest.test_case "fixture reports" `Quick test_golden_baselines ]
+      );
       ( "acceptance",
         [
           Alcotest.test_case "three codes with spans" `Quick

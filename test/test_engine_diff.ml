@@ -1,0 +1,322 @@
+(* Differential tests for the two signal-flow execution engines: the
+   reference tree-walking interpreter and the register bytecode of
+   [Amsvp_sf.Compile] must produce identical traces — within 1 ulp,
+   and in practice bit-identical — on randomly generated programs, on
+   every built-in paper circuit, and on the checked-in example models,
+   including runs whose stimuli inject NaN and infinities. The
+   [`Template]/[rebind_compiled] path (what the sweep engine replays)
+   is exercised by re-targeting each random program's artifact at a
+   constant-perturbed sibling. *)
+
+module Sfprogram = Amsvp_sf.Sfprogram
+module Compile = Amsvp_sf.Compile
+module Flow = Amsvp_core.Flow
+module Circuits = Amsvp_netlist.Circuits
+module Metrics = Amsvp_util.Metrics
+module Trace = Amsvp_util.Trace
+module Stimulus = Amsvp_util.Stimulus
+module Wrap = Amsvp_sysc.Wrap
+module Parser = Amsvp_vams.Parser
+module Elaborate = Amsvp_vams.Elaborate
+
+let ulp_ok a b = Int64.compare (Metrics.ulp_distance a b) 1L <= 0
+
+let check_traces label a b =
+  Alcotest.(check int) (label ^ ": sample count") (Trace.length a)
+    (Trace.length b);
+  for i = 0 to Trace.length a - 1 do
+    let va = Trace.value a i and vb = Trace.value b i in
+    if not (ulp_ok va vb) then
+      Alcotest.failf "%s: sample %d differs: %h vs %h (t=%.9g)" label i va vb
+        (Trace.time a i)
+  done
+
+(* ---- Built-in circuits, both engines, explicit artifact path ---- *)
+
+let diff_circuit (tc : Circuits.testcase) =
+  let p = (Flow.abstract_testcase tc ~dt:1e-6).Flow.program in
+  let stimuli = Wrap.stimuli_for p tc.Circuits.stimuli in
+  let run runner = Sfprogram.Runner.run runner ~stimuli ~t_stop:2e-3 () in
+  let tree = run (Sfprogram.Runner.create ~engine:`Tree p) in
+  let byte = run (Sfprogram.Runner.create p) in
+  check_traces (tc.Circuits.label ^ " tree/bytecode") tree byte;
+  (* Same check through a pre-compiled artifact, as the sweep engine
+     and the VP hand one in. *)
+  let art = run (Sfprogram.Runner.create ~compiled:(Sfprogram.compile p) p) in
+  check_traces (tc.Circuits.label ^ " tree/artifact") tree art
+
+let test_paper_circuits () =
+  List.iter diff_circuit (Circuits.all_paper_cases ())
+
+let test_more_circuits () =
+  List.iter diff_circuit
+    [ Circuits.rc_ladder 4; Circuits.rlc_series (); Circuits.rectifier () ]
+
+let test_non_finite_stimulus () =
+  (* A stimulus that turns NaN, then infinite, mid-run: both engines
+     must poison the state identically, sample for sample. *)
+  List.iter
+    (fun label ->
+      let tc = Option.get (Circuits.by_name label) in
+      let p = (Flow.abstract_testcase tc ~dt:1e-6).Flow.program in
+      let stim t =
+        if t < 5e-4 then 1.0
+        else if t < 1e-3 then nan
+        else if t < 1.5e-3 then infinity
+        else 0.0
+      in
+      let stimuli =
+        Array.make (List.length p.Sfprogram.inputs) stim
+      in
+      let run engine =
+        Sfprogram.Runner.run
+          (Sfprogram.Runner.create ~engine p)
+          ~stimuli ~t_stop:2e-3 ()
+      in
+      check_traces (label ^ " non-finite") (run `Tree) (run `Bytecode))
+    [ "RC1"; "RECT"; "OA" ]
+
+(* ---- Example models through the Verilog-AMS front end ---- *)
+
+(* [dune runtest] runs from the test build directory, [dune exec] from
+   the project root: resolve the examples next to the executable, one
+   level up, where dune mirrors them either way. *)
+let example_dir =
+  Filename.concat (Filename.dirname Sys.executable_name) "../examples"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let program_of_example file ~top =
+  let src = read_file (Filename.concat example_dir file) in
+  let flat = Elaborate.flatten (Parser.parse ~file src) ~top in
+  let output = Expr.potential "out" "gnd" in
+  match Elaborate.classify flat with
+  | `Conservative ->
+      (Flow.abstract_circuit ~name:top
+         (Elaborate.to_circuit flat)
+         ~outputs:[ output ] ~dt:1e-6)
+        .Flow.program
+  | `Signal_flow ->
+      Flow.convert_signal_flow ~name:top ~inputs:flat.Elaborate.input_ports
+        ~outputs:[ output ]
+        ~contributions:(Elaborate.signal_flow_assignments flat)
+        ~dt:1e-6
+
+let test_example_models () =
+  List.iter
+    (fun (file, top) ->
+      let p = program_of_example file ~top in
+      let stimuli =
+        Array.make
+          (List.length p.Sfprogram.inputs)
+          (Stimulus.square ~period:1e-3 ~low:0.0 ~high:1.0)
+      in
+      let run engine =
+        Sfprogram.Runner.run
+          (Sfprogram.Runner.create ~engine p)
+          ~stimuli ~t_stop:2e-3 ()
+      in
+      check_traces (file ^ " tree/bytecode") (run `Tree) (run `Bytecode))
+    [ ("rc_lowpass.vams", "rc_lowpass"); ("sf_lowpass.vams", "sf_lowpass") ]
+
+(* ---- Random programs ---- *)
+
+(* The generator grows a valid program directly: assignment [i] may
+   read the inputs and targets [0..i-1] at the current time, and any
+   target up to [i] (itself included) or an input at delays 1..2 —
+   exactly what [Sfprogram.make] admits, so nothing is discarded. *)
+
+let inputs = [ "u0"; "u1" ]
+let input_vars = List.map Expr.signal inputs
+let target_var i = Expr.signal (Printf.sprintf "s%d" i)
+
+let interesting =
+  [|
+    0.0; -0.0; 1.0; -1.0; 0.5; -2.0; 3.141592653589793; 1e-12; -1e-12; 1e12;
+    1e300; -1e300; 1e-300; 7.25;
+  |]
+
+let gen_const =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun i -> interesting.(i mod Array.length interesting)) nat);
+        (2, float);
+      ])
+
+let gen_fun =
+  QCheck.Gen.oneofl
+    [ Expr.Sin; Expr.Cos; Expr.Exp; Expr.Ln; Expr.Sqrt; Expr.Abs; Expr.Tanh ]
+
+let gen_cmp = QCheck.Gen.oneofl [ Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ]
+
+let gen_expr ~cur ~hist =
+  let open QCheck.Gen in
+  let leaf =
+    let vars = Array.of_list (List.map Expr.var (cur @ hist)) in
+    frequency
+      [
+        (2, map Expr.const gen_const);
+        (3, map (fun i -> vars.(i mod Array.length vars)) nat);
+      ]
+  in
+  fix
+    (fun self n ->
+      if n <= 0 then leaf
+      else
+        let sub = self (n / 2) in
+        let cond =
+          (* one level of boolean structure over random comparisons *)
+          let cmp = map3 (fun c a b -> Expr.Cmp (c, a, b)) gen_cmp sub sub in
+          frequency
+            [
+              (4, cmp);
+              (1, map2 (fun a b -> Expr.And (a, b)) cmp cmp);
+              (1, map2 (fun a b -> Expr.Or (a, b)) cmp cmp);
+              (1, map (fun a -> Expr.Not a) cmp);
+            ]
+        in
+        frequency
+          [
+            (2, leaf);
+            (2, map2 Expr.( + ) sub sub);
+            (2, map2 Expr.( - ) sub sub);
+            (2, map2 Expr.( * ) sub sub);
+            (1, map2 Expr.( / ) sub sub);
+            (1, map Expr.neg sub);
+            (1, map2 (fun f a -> Expr.App (f, a)) gen_fun sub);
+            (1, map3 (fun c a b -> Expr.Cond (c, a, b)) cond sub sub);
+          ])
+    8
+
+let gen_program =
+  let open QCheck.Gen in
+  int_range 1 5 >>= fun n_assign ->
+  let rec build i acc =
+    if i >= n_assign then return (List.rev acc)
+    else
+      let prior = List.init i target_var in
+      let cur = input_vars @ prior in
+      let hist =
+        List.concat_map
+          (fun v -> [ Expr.delayed v 1; Expr.delayed v 2 ])
+          (input_vars @ prior @ [ target_var i ])
+      in
+      gen_expr ~cur ~hist >>= fun e ->
+      build (i + 1) ({ Sfprogram.target = target_var i; expr = e } :: acc)
+  in
+  build 0 [] >|= fun assignments ->
+  Sfprogram.make ~name:"rand" ~inputs
+    ~outputs:[ target_var (List.length assignments - 1) ]
+    ~assignments ~dt:1.0
+
+let gen_stimulus_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, gen_const);
+        (1, return nan);
+        (1, return infinity);
+        (1, return neg_infinity);
+      ])
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (p, _) -> Format.asprintf "%a" Sfprogram.pp p)
+    QCheck.Gen.(
+      pair gen_program (array_size (return 24) (pair gen_stimulus_value gen_stimulus_value)))
+
+(* Replace every constant (including those inside conditions) so the
+   perturbed program shares the original's shape but no values. *)
+let rec perturb_expr e =
+  match e with
+  | Expr.Const c -> Expr.Const ((c *. 1.5) +. 0.25)
+  | Expr.Var _ -> e
+  | Expr.Neg a -> Expr.Neg (perturb_expr a)
+  | Expr.Add (a, b) -> Expr.Add (perturb_expr a, perturb_expr b)
+  | Expr.Sub (a, b) -> Expr.Sub (perturb_expr a, perturb_expr b)
+  | Expr.Mul (a, b) -> Expr.Mul (perturb_expr a, perturb_expr b)
+  | Expr.Div (a, b) -> Expr.Div (perturb_expr a, perturb_expr b)
+  | Expr.Ddt a -> Expr.Ddt (perturb_expr a)
+  | Expr.Idt a -> Expr.Idt (perturb_expr a)
+  | Expr.App (f, a) -> Expr.App (f, perturb_expr a)
+  | Expr.Cond (c, a, b) ->
+      Expr.Cond (perturb_cond c, perturb_expr a, perturb_expr b)
+
+and perturb_cond = function
+  | Expr.Cmp (c, a, b) -> Expr.Cmp (c, perturb_expr a, perturb_expr b)
+  | Expr.And (a, b) -> Expr.And (perturb_cond a, perturb_cond b)
+  | Expr.Or (a, b) -> Expr.Or (perturb_cond a, perturb_cond b)
+  | Expr.Not a -> Expr.Not (perturb_cond a)
+
+let perturb (p : Sfprogram.t) =
+  {
+    p with
+    Sfprogram.assignments =
+      List.map
+        (fun (a : Sfprogram.assignment) ->
+          { a with Sfprogram.expr = perturb_expr a.Sfprogram.expr })
+        p.Sfprogram.assignments;
+  }
+
+(* Step two runners in lock-step and compare every assigned target
+   after every step — stricter than comparing output traces, since CSE
+   and dead-register elimination must not disturb intermediates. *)
+let lockstep label p stims ra rb =
+  let targets =
+    List.map (fun (a : Sfprogram.assignment) -> a.Sfprogram.target)
+      p.Sfprogram.assignments
+  in
+  Array.iteri
+    (fun t (a, b) ->
+      Sfprogram.Runner.step ra ~inputs:[| a; b |];
+      Sfprogram.Runner.step rb ~inputs:[| a; b |];
+      List.iter
+        (fun v ->
+          let va = Sfprogram.Runner.read ra v
+          and vb = Sfprogram.Runner.read rb v in
+          if not (ulp_ok va vb) then
+            QCheck.Test.fail_reportf "%s: step %d, %s: %h vs %h" label t
+              (Expr.var_name v) va vb)
+        targets)
+    stims
+
+let prop_random_programs =
+  QCheck.Test.make ~name:"random programs: tree = bytecode = rebound template"
+    ~count:300 arb_case (fun (p, stims) ->
+      lockstep "tree/bytecode" p stims
+        (Sfprogram.Runner.create ~engine:`Tree p)
+        (Sfprogram.Runner.create p);
+      (* The sweep replay path: a [`Template] artifact compiled from
+         [p], re-targeted at the constant-perturbed sibling. *)
+      let p2 = perturb p in
+      (match Sfprogram.rebind_compiled (Sfprogram.compile ~mode:`Template p) p2 with
+      | None ->
+          QCheck.Test.fail_reportf
+            "rebind refused a same-shape program:@ %a" Sfprogram.pp p2
+      | Some art ->
+          lockstep "tree/rebound" p2 stims
+            (Sfprogram.Runner.create ~engine:`Tree p2)
+            (Sfprogram.Runner.create ~compiled:art p2));
+      true)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine-diff"
+    [
+      ( "circuits",
+        [
+          Alcotest.test_case "paper circuits" `Quick test_paper_circuits;
+          Alcotest.test_case "ladder, rlc, rectifier" `Quick
+            test_more_circuits;
+          Alcotest.test_case "non-finite stimuli" `Quick
+            test_non_finite_stimulus;
+        ] );
+      ( "examples",
+        [ Alcotest.test_case "example models" `Quick test_example_models ] );
+      ("property", qt [ prop_random_programs ]);
+    ]

@@ -313,6 +313,27 @@ let test_histogram_boundaries () =
       Alcotest.(check int) "overflow gets the rest" 5 leinf
   | l -> Alcotest.failf "expected 3 buckets, got %d" (List.length l)
 
+let test_histogram_non_finite () =
+  (* Regression for the full non-finite family: -Inf satisfies every
+     [v <= bound] so it lands in the first bucket, +Inf and NaN walk
+     past all bounds into overflow, and [count] stays consistent with
+     the bucket totals — a monitoring read never sees a sample
+     "disappear" because it was not a number. *)
+  fresh ();
+  let h =
+    Obs.Histogram.make ~buckets:[| 1.0; 2.0 |] "test_obs_histogram_nonfinite"
+  in
+  List.iter (Obs.Histogram.observe h) [ neg_infinity; infinity; nan; 1.5 ];
+  Alcotest.(check int) "count includes non-finite" 4 (Obs.Histogram.count h);
+  (match Obs.Histogram.bucket_counts h with
+  | [ (_, le1); (_, le2); (_, leinf) ] ->
+      Alcotest.(check int) "-Inf in first bucket" 1 le1;
+      Alcotest.(check int) "1.5 joins cumulatively" 2 le2;
+      Alcotest.(check int) "+Inf and NaN in overflow" 4 leinf
+  | l -> Alcotest.failf "expected 3 buckets, got %d" (List.length l));
+  Alcotest.(check bool) "sum is poisoned, by design" true
+    (Float.is_nan (Obs.Histogram.sum h))
+
 let test_reset () =
   fresh ();
   Obs.enable ();
@@ -446,6 +467,8 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram_semantics;
           Alcotest.test_case "histogram boundaries" `Quick
             test_histogram_boundaries;
+          Alcotest.test_case "histogram non-finite" `Quick
+            test_histogram_non_finite;
           Alcotest.test_case "reset" `Quick test_reset;
         ] );
       ( "sinks",

@@ -170,6 +170,39 @@ let test_health_stuck () =
       Alcotest.(check (float 0.0)) "fires on 3rd repeat" 3.0 time
   | _ -> Alcotest.fail "expected one stuck issue"
 
+let test_health_stuck_edges () =
+  let config = { Health.default_config with stuck_after = Some 3 } in
+  (* Signed zero: 0.0 and -0.0 compare equal under (=), so a signal
+     flipping between them is still flat-lined and must fire. *)
+  let m = Health.create ~config "sig" in
+  Health.observe m ~time:0.0 0.0;
+  Health.observe m ~time:1.0 (-0.0);
+  Health.observe m ~time:2.0 0.0;
+  (match Health.issues m with
+  | [ { Health.kind = Health.Stuck; time; _ } ] ->
+      Alcotest.(check (float 0.0)) "signed zeros count as one level" 2.0 time
+  | _ -> Alcotest.fail "expected a stuck issue across signed zeros");
+  (* A NaN sample is the NaN watchdog's business: it must neither
+     extend nor reset the flat-line run it interrupts. *)
+  let m2 = Health.create ~config "sig" in
+  Health.observe m2 ~time:0.0 2.0;
+  Health.observe m2 ~time:1.0 2.0;
+  Health.observe m2 ~time:2.0 nan;
+  Health.observe m2 ~time:3.0 2.0;
+  (match Health.issues m2 with
+  | [
+   { Health.kind = Health.Nan_or_inf; _ };
+   { Health.kind = Health.Stuck; time; _ };
+  ] ->
+      Alcotest.(check (float 0.0)) "run survives the NaN gap" 3.0 time
+  | l -> Alcotest.failf "expected nan then stuck, got %d issue(s)"
+           (List.length l));
+  (* Both watchdogs latch: a longer flat-line with more NaN holes still
+     reports each kind exactly once. *)
+  Health.observe m2 ~time:4.0 nan;
+  Health.observe m2 ~time:5.0 2.0;
+  Alcotest.(check int) "one issue per kind" 2 (List.length (Health.issues m2))
+
 let test_health_nrmse_budget () =
   let config =
     { Health.default_config with nrmse_budget = Some 0.1; nrmse_warmup = 2 }
@@ -322,6 +355,7 @@ let () =
           Alcotest.test_case "nan watchdog" `Quick test_health_nan_watchdog;
           Alcotest.test_case "amplitude" `Quick test_health_amplitude;
           Alcotest.test_case "stuck-at" `Quick test_health_stuck;
+          Alcotest.test_case "stuck-at edges" `Quick test_health_stuck_edges;
           Alcotest.test_case "nrmse budget" `Quick test_health_nrmse_budget;
           Alcotest.test_case "config validation" `Quick
             test_health_config_validation;

@@ -15,6 +15,8 @@ module Runner = Amsvp_sweep.Runner
 module Report = Amsvp_sweep.Report
 module Obs = Amsvp_obs.Obs
 module Health = Amsvp_probe.Health
+module Component = Amsvp_netlist.Component
+module Diag = Amsvp_diag.Diag
 
 let rich_spec =
   {
@@ -435,6 +437,37 @@ let test_nan_point_flagged () =
     (contains csv ",health,");
   Alcotest.(check bool) "csv flags the nan" true (contains csv "nan@")
 
+let test_fast_fail_diagnoses_once () =
+  (* A structurally defective model must be rejected at sweep setup —
+     one located finding — not rediscovered by every scenario point.
+     The points counter proves no point was ever expanded or run. *)
+  let c = Circuit.create () in
+  Circuit.add_vsource c ~name:"v1" ~pos:"a" ~neg:"gnd" (Component.Dc 1.0);
+  Circuit.add_vsource c ~name:"v2" ~pos:"a" ~neg:"gnd" (Component.Dc 2.0);
+  let tc =
+    {
+      Circuits.label = "BAD";
+      circuit = c;
+      output = Expr.potential "a" "gnd";
+      stimuli = [];
+    }
+  in
+  let spec =
+    {
+      Spec.default with
+      Spec.name = "bad_sweep";
+      t_stop = Some 1e-4;
+      axes = [ { Spec.param = "v1.dc"; range = Spec.Values [ 1.0; 2.0; 3.0 ] } ];
+    }
+  in
+  let points = Obs.Counter.make "amsvp_sweep_points_total" in
+  let before = Obs.Counter.value points in
+  (match Runner.run spec tc with
+  | _ -> Alcotest.fail "expected Diag.Rejected"
+  | exception Diag.Rejected f ->
+      Alcotest.(check string) "voltage-source loop code" "AMS022" f.Diag.code);
+  Alcotest.(check int) "no point executed" before (Obs.Counter.value points)
+
 let test_nrmse_budget_watchdog () =
   (* With the reference on and a budget tighter than the actual error,
      every point trips the nrmse-budget watchdog; with a loose budget,
@@ -501,6 +534,8 @@ let () =
         [
           Alcotest.test_case "jobs invariant" `Quick test_runner_jobs_invariant;
           Alcotest.test_case "report outputs" `Quick test_report_outputs;
+          Alcotest.test_case "fast-fail on bad model" `Quick
+            test_fast_fail_diagnoses_once;
         ] );
       ( "health",
         [
