@@ -30,6 +30,7 @@ module Metrics = Amsvp_util.Metrics
 module Sources = Amsvp_vams.Sources
 module Elaborate = Amsvp_vams.Elaborate
 module Obs = Amsvp_obs.Obs
+module Journal = Amsvp_obs.Journal
 module Probe = Amsvp_probe.Probe
 
 let dt = 50e-9 (* the paper's time step (Section V-A) *)
@@ -75,6 +76,23 @@ type engine_row = {
 }
 
 let engine_rows : engine_row list ref = ref []
+
+(* The "convergence" block: journal overhead on the RC20 SPICE-like
+   run (off vs on) and the Newton telemetry of the journaled run. *)
+type convergence_block = {
+  cb_comp : string;
+  cb_off_s : float;
+  cb_on_s : float;
+  cb_overhead_pct : float;
+  cb_steps : int;
+  cb_total_iters : int;
+  cb_wasted_iters : int;
+  cb_max_residual : float;
+  cb_pivot_ratio : float;
+  cb_stressed_substeps : int;
+}
+
+let convergence_block : convergence_block option ref = ref None
 
 (* Per-section span accounting, written as "sections" in
    BENCH_results.json. The recorder runs for the whole harness; each
@@ -168,6 +186,17 @@ let results_json ~quick ~total_wall_s =
       (List.rev !engine_rows);
     Buffer.add_string b "\n  ]"
   end;
+  (match !convergence_block with
+  | Some c ->
+      Printf.bprintf b
+        ",\n  \"convergence\": {\"comp\": %S, \"journal_off_s\": %.9g, \
+         \"journal_on_s\": %.9g, \"overhead_pct\": %.4g, \"steps\": %d, \
+         \"total_iters\": %d, \"wasted_iters\": %d, \"max_residual\": %.9g, \
+         \"pivot_ratio\": %.9g, \"stressed_substeps\": %d}"
+        c.cb_comp c.cb_off_s c.cb_on_s c.cb_overhead_pct c.cb_steps
+        c.cb_total_iters c.cb_wasted_iters c.cb_max_residual c.cb_pivot_ratio
+        c.cb_stressed_substeps
+  | None -> ());
   sections_json b;
   Buffer.add_string b "\n}\n";
   Buffer.contents b
@@ -821,6 +850,84 @@ let probe_overhead ~t_stop () =
     tc.Circuits.label t_off t_on
     ((t_on /. t_off -. 1.0) *. 100.0)
 
+(* ---- Convergence telemetry: journal overhead + Newton stats ---- *)
+
+let convergence ~t_stop () =
+  header
+    (Printf.sprintf
+       "CONVERGENCE -- solver telemetry on the RC20 SPICE-like run \
+        (simulated %g ms): journal off vs on, Newton residual/waste stats \
+        from the journaled run (budget: <= 5%% overhead)"
+       (t_stop *. 1e3));
+  let tc = Circuits.rc_ladder 20 in
+  let was_enabled = Journal.enabled () in
+  let run () = Engine.run_testcase_spice tc ~dt ~t_stop in
+  ignore (run ());
+  (* Interleaved off/on pairs, overhead = median of the per-pair time
+     ratios: sequential best-of-N batches fold clock drift (thermal,
+     frequency scaling, heap growth) into whichever side runs second —
+     an off-vs-off control showed that bias alone can exceed the
+     budget — and pairing plus the median also discards the stray
+     scheduler hiccup a shared machine throws in. *)
+  let pairs = 11 in
+  let ratios = Array.make pairs 0.0 in
+  let t_off = ref infinity and t_on = ref infinity in
+  let last = ref None in
+  for i = 0 to pairs - 1 do
+    Journal.disable ();
+    let _, toff = wall (fun () -> ignore (run ())) in
+    if toff < !t_off then t_off := toff;
+    Journal.enable ();
+    let _, ton = wall (fun () -> last := Some (run ())) in
+    if ton < !t_on then t_on := ton;
+    ratios.(i) <- ton /. toff
+  done;
+  let t_off = !t_off and t_on = !t_on in
+  if not was_enabled then Journal.disable ();
+  Array.sort compare ratios;
+  let overhead = (ratios.(pairs / 2) -. 1.0) *. 100.0 in
+  record ~table:"convergence" ~comp:tc.Circuits.label ~target:"journal-off"
+    t_off;
+  record ~table:"convergence" ~comp:tc.Circuits.label ~target:"journal-on"
+    t_on;
+  Printf.printf
+    "%-6s journal off: %.4f s   journal on: %.4f s   overhead: %+.2f%% \
+     (budget 5%%: %s)\n"
+    tc.Circuits.label t_off t_on overhead
+    (if overhead <= 5.0 then "PASS" else "OVER");
+  match !last with
+  | Some { Engine.stats; newton = Some nw; _ } ->
+      let pivot_ratio =
+        if nw.Engine.pivot_min > 0.0 then
+          nw.Engine.pivot_max /. nw.Engine.pivot_min
+        else infinity
+      in
+      Printf.printf
+        "%-6s steps: %d   newton passes: %d   wasted: %d (%.1f%%)   max \
+         residual: %.2e   pivot ratio: %.2e   stressed substeps: %d\n"
+        tc.Circuits.label stats.Engine.steps nw.Engine.total_iters
+        nw.Engine.wasted_iters
+        (100.0
+        *. float_of_int nw.Engine.wasted_iters
+        /. float_of_int (max 1 nw.Engine.total_iters))
+        nw.Engine.max_residual pivot_ratio nw.Engine.stressed_substeps;
+      convergence_block :=
+        Some
+          {
+            cb_comp = tc.Circuits.label;
+            cb_off_s = t_off;
+            cb_on_s = t_on;
+            cb_overhead_pct = overhead;
+            cb_steps = stats.Engine.steps;
+            cb_total_iters = nw.Engine.total_iters;
+            cb_wasted_iters = nw.Engine.wasted_iters;
+            cb_max_residual = nw.Engine.max_residual;
+            cb_pivot_ratio = pivot_ratio;
+            cb_stressed_substeps = nw.Engine.stressed_substeps;
+          }
+  | Some _ | None ->
+      print_endline "convergence: no Newton telemetry captured (unexpected)"
+
 (* ---- Execution engines: tree interpreter vs register bytecode ---- *)
 
 let engines ~t_stop () =
@@ -908,6 +1015,7 @@ type cli = {
   obs : bool;
   trace_out : string option;
   metrics_out : string option;
+  journal_out : string option;
   results_out : string option;
   seed : int;
   jobs : int option;
@@ -916,17 +1024,17 @@ type cli = {
 
 let all_sections =
   [ "table1"; "table2"; "table3"; "tooltime"; "ablation"; "sweep"; "probes";
-    "engines"; "figures"; "micro" ]
+    "convergence"; "engines"; "figures"; "micro" ]
 
 let parse_cli argv =
   let usage () =
     prerr_endline
       "usage: bench [--quick] [--obs] [--trace-out FILE] [--metrics-out \
        FILE]\n\
-      \             [--results-out FILE | --no-results] [--seed N] [--jobs N]\n\
-      \             [SECTION...]\n\
-       sections: table1 table2 table3 tooltime ablation sweep probes engines \
-       figures micro";
+      \             [--journal-out FILE] [--results-out FILE | --no-results]\n\
+      \             [--seed N] [--jobs N] [SECTION...]\n\
+       sections: table1 table2 table3 tooltime ablation sweep probes \
+       convergence engines figures micro";
     exit 2
   in
   let int_arg name v rest k =
@@ -942,14 +1050,15 @@ let parse_cli argv =
     | "--obs" :: rest -> go { acc with obs = true } rest
     | "--trace-out" :: f :: rest -> go { acc with trace_out = Some f } rest
     | "--metrics-out" :: f :: rest -> go { acc with metrics_out = Some f } rest
+    | "--journal-out" :: f :: rest -> go { acc with journal_out = Some f } rest
     | "--results-out" :: f :: rest -> go { acc with results_out = Some f } rest
     | "--seed" :: v :: rest ->
         int_arg "--seed" v rest (fun n rest -> go { acc with seed = n } rest)
     | "--jobs" :: v :: rest ->
         int_arg "--jobs" v rest (fun n rest ->
             go { acc with jobs = Some n } rest)
-    | [ (("--trace-out" | "--metrics-out" | "--results-out" | "--seed"
-         | "--jobs") as a) ] ->
+    | [ (("--trace-out" | "--metrics-out" | "--journal-out" | "--results-out"
+         | "--seed" | "--jobs") as a) ] ->
         Printf.eprintf "bench: %s requires an argument\n" a;
         usage ()
     | "--no-results" :: rest -> go { acc with results_out = None } rest
@@ -969,6 +1078,7 @@ let parse_cli argv =
       obs = false;
       trace_out = None;
       metrics_out = None;
+      journal_out = None;
       results_out = Some "BENCH_results.json";
       seed = 0;
       jobs = None;
@@ -983,6 +1093,11 @@ let () =
      from recorded spans. Library spans are per run, not per step, so
      the recorder does not perturb the hot loops being measured. *)
   Obs.enable ();
+  (* The journal is opt-in: per-run solver events would be noise for a
+     plain bench run, but with --journal-out they become the raw input
+     of `amsvp report`. Enabled before any section so every run lands
+     in the ring (bounded: oldest events drop past the capacity). *)
+  if cli.journal_out <> None then Journal.enable ();
   let want s = cli.sections = [] || List.mem s cli.sections in
   let section name f =
     if want name then begin
@@ -1006,6 +1121,7 @@ let () =
   section "sweep" (fun () ->
       sweep_bench ~t_stop:(scale 2e-3) ~seed:cli.seed ~jobs:cli.jobs ());
   section "probes" (fun () -> probe_overhead ~t_stop:(scale 50e-3) ());
+  section "convergence" (fun () -> convergence ~t_stop:(scale 1e-3) ());
   section "engines" (fun () -> engines ~t_stop:t1 ());
   section "figures" (fun () -> figures ());
   section "micro" (fun () -> micro ());
@@ -1024,6 +1140,12 @@ let () =
   | Some path ->
       Obs.write_file path (Obs.prometheus ());
       Printf.printf "metrics written to %s\n" path
+  | None -> ());
+  (match cli.journal_out with
+  | Some path ->
+      Journal.write_jsonl path;
+      Printf.printf "journal written to %s (%d event(s), %d dropped)\n" path
+        (Journal.count ()) (Journal.dropped ())
   | None -> ());
   if cli.obs then prerr_string (Obs.summary ());
   print_newline ();

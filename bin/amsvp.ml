@@ -29,12 +29,17 @@ module Probe = Amsvp_probe.Probe
 module Stimulus = Amsvp_util.Stimulus
 module Trace = Amsvp_util.Trace
 module Obs = Amsvp_obs.Obs
+module Journal = Amsvp_obs.Journal
+module Json = Amsvp_util.Json
+module Runreport = Amsvp_report.Runreport
 module Diag = Amsvp_diag.Diag
 module Lint = Amsvp_analysis.Lint
 
 (* Observability flags, shared by the flow-running subcommands: --obs
    prints a summary to stderr on exit, --trace-out/--metrics-out write
-   the Chrome trace / Prometheus dumps (and imply recording). *)
+   the Chrome trace / Prometheus dumps, --journal-out writes the
+   structured run journal as JSONL (each implies recording its
+   layer). *)
 let obs_flags =
   let obs =
     Arg.(value & flag
@@ -54,11 +59,20 @@ let obs_flags =
              ~doc:"Write a Prometheus-style metrics dump to $(docv). Implies \
                    recording.")
   in
-  Term.(const (fun obs trace_out metrics_out -> (obs, trace_out, metrics_out))
-        $ obs $ trace_out $ metrics_out)
+  let journal_out =
+    Arg.(value & opt (some string) None
+         & info [ "journal-out" ] ~docv:"FILE"
+             ~doc:"Record the structured run journal (solver convergence, \
+                   sweep dispatch, health events) and write it as JSONL to \
+                   $(docv); render it with $(b,amsvp report --journal).")
+  in
+  Term.(const (fun obs trace_out metrics_out journal_out ->
+            (obs, trace_out, metrics_out, journal_out))
+        $ obs $ trace_out $ metrics_out $ journal_out)
 
-let with_obs (obs, trace_out, metrics_out) f =
+let with_obs (obs, trace_out, metrics_out, journal_out) f =
   if obs || trace_out <> None || metrics_out <> None then Obs.enable ();
+  if journal_out <> None then Journal.enable ();
   (* The sinks dump even when [f] fails, but a sink-write failure must
      not mask [f]'s outcome — report it cleanly and exit non-zero. *)
   let write_failed = ref false in
@@ -68,16 +82,29 @@ let with_obs (obs, trace_out, metrics_out) f =
       Printf.eprintf "amsvp: cannot write %s: %s\n" path msg;
       write_failed := true
   in
-  let result =
-    Fun.protect f ~finally:(fun () ->
-        (match trace_out with
-        | Some path -> dump path (Obs.chrome_trace ())
-        | None -> ());
-        (match metrics_out with
-        | Some path -> dump path (Obs.prometheus ())
-        | None -> ());
-        if obs then prerr_string (Obs.summary ()))
+  let dumped = ref false in
+  let flush_sinks () =
+    if not !dumped then begin
+      dumped := true;
+      (match trace_out with
+      | Some path -> dump path (Obs.chrome_trace ())
+      | None -> ());
+      (match metrics_out with
+      | Some path -> dump path (Obs.prometheus ())
+      | None -> ());
+      (match journal_out with
+      | Some path -> dump path (Journal.to_jsonl ())
+      | None -> ());
+      if obs then prerr_string (Obs.summary ())
+    end
   in
+  (* [Stdlib.exit] does not unwind the stack, so a rejection rendered
+     by [fatal_finding] mid-run would skip a [Fun.protect] finaliser
+     and lose everything recorded up to the defect — the sinks flush
+     from [at_exit] instead, which runs on every exit path; the
+     [dumped] flag keeps the normal path from dumping twice. *)
+  at_exit flush_sinks;
+  let result = Fun.protect f ~finally:flush_sinks in
   if !write_failed then exit 1;
   result
 
@@ -407,18 +434,149 @@ let simulate_cmd =
 
 (* report *)
 
+(* "--threshold 15%" or "--threshold 0.15" -> 0.15 *)
+let parse_threshold s =
+  let s = String.trim s in
+  let pct = String.length s > 0 && s.[String.length s - 1] = '%' in
+  let body = if pct then String.sub s 0 (String.length s - 1) else s in
+  match float_of_string_opt body with
+  | Some v when v >= 0.0 -> Ok (if pct then v /. 100.0 else v)
+  | Some _ | None ->
+      Error (`Msg (Printf.sprintf "cannot parse threshold %S" s))
+
+let threshold_conv =
+  Arg.conv
+    (parse_threshold, fun ppf v -> Format.fprintf ppf "%g%%" (v *. 100.0))
+
 let report_cmd =
-  let run obscfg file top output dt mode integration lang inputs =
-    with_obs obscfg (fun () ->
-        let report =
-          abstract_model file top output dt mode integration lang inputs
+  let parse_json path =
+    try Json.parse (read_file path) with
+    | Json.Parse_error (msg, off) ->
+        Printf.eprintf "%s: JSON parse error at offset %d: %s\n" path off msg;
+        exit 1
+    | Sys_error msg ->
+        Printf.eprintf "amsvp: %s\n" msg;
+        exit 1
+  in
+  let parse_journal path =
+    try Json.parse_lines (read_file path) with
+    | Json.Parse_error (msg, off) ->
+        Printf.eprintf "%s: journal parse error at offset %d: %s\n" path off
+          msg;
+        exit 1
+    | Sys_error msg ->
+        Printf.eprintf "amsvp: %s\n" msg;
+        exit 1
+  in
+  let run obscfg file top output dt mode integration lang inputs journal_file
+      bench_file compare_file threshold top_n json out_file =
+    let run_report =
+      journal_file <> None || bench_file <> None || compare_file <> None
+    in
+    match (run_report, compare_file, file) with
+    | false, _, Some file ->
+        (* Original form: the abstraction pipeline report of a model. *)
+        let top =
+          match top with
+          | Some t -> t
+          | None ->
+              Printf.eprintf "amsvp report: the pipeline report needs --top\n";
+              exit 2
         in
-        Format.printf "%a@." Flow.pp_report report)
+        with_obs obscfg (fun () ->
+            let report =
+              abstract_model file top output dt mode integration lang inputs
+            in
+            Format.printf "%a@." Flow.pp_report report)
+    | false, _, None ->
+        Printf.eprintf
+          "amsvp report: give a model FILE for the pipeline report, or \
+           --journal/--bench/--compare for a run report\n";
+        exit 2
+    | true, Some baseline_path, _ ->
+        (* Regression gate: compare the current bench results against a
+           committed baseline; non-zero exit when any per-section
+           metric regressed past the threshold. *)
+        let current =
+          match bench_file with
+          | Some p -> parse_json p
+          | None ->
+              Printf.eprintf
+                "amsvp report --compare: needs --bench CURRENT.json\n";
+              exit 2
+        in
+        let baseline = parse_json baseline_path in
+        let regs = Runreport.compare_bench ~baseline ~current ~threshold in
+        let compared = Runreport.compared_metrics ~baseline ~current in
+        print_string (Runreport.regressions_to_text ~threshold ~compared regs);
+        if regs <> [] then exit 1
+    | true, None, _ ->
+        let journal =
+          match journal_file with
+          | Some p -> parse_journal p
+          | None -> []
+        in
+        let bench = Option.map parse_json bench_file in
+        let r = Runreport.build ~top:top_n ~journal ?bench () in
+        let contents = if json then Runreport.to_json r else Runreport.to_text r in
+        (match out_file with
+        | Some path -> Obs.write_file path contents
+        | None -> print_string contents)
+  in
+  let report_file_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Verilog-AMS source file (pipeline-report form).")
+  in
+  let report_top_arg =
+    Arg.(value & opt (some string) None & info [ "top" ] ~docv:"MODULE"
+         ~doc:"Top module to elaborate (pipeline-report form).")
+  in
+  let journal_arg =
+    Arg.(value & opt (some file) None & info [ "journal" ] ~docv:"FILE"
+         ~doc:"Journal JSONL written by $(b,--journal-out): renders \
+               convergence histograms, sweep cache hit rates and the health \
+               rollup.")
+  in
+  let bench_arg =
+    Arg.(value & opt (some file) None & info [ "bench" ] ~docv:"FILE"
+         ~doc:"BENCH_results.json written by the bench harness: renders the \
+               self-time profile; with $(b,--compare), the current side of \
+               the regression check.")
+  in
+  let compare_arg =
+    Arg.(value & opt (some file) None & info [ "compare" ] ~docv:"BASELINE"
+         ~doc:"Compare $(b,--bench) against this baseline \
+               BENCH_results.json; exit non-zero when any per-section metric \
+               regressed past $(b,--threshold).")
+  in
+  let threshold_arg =
+    Arg.(value & opt threshold_conv 0.15 & info [ "threshold" ] ~docv:"PCT"
+         ~doc:"Regression threshold for $(b,--compare), e.g. $(b,15%) or \
+               $(b,0.15) (default 15%).")
+  in
+  let top_arg_n =
+    Arg.(value & opt int 15 & info [ "top-spans" ] ~docv:"N"
+         ~doc:"Number of hot spans in the self-time profile (run-report \
+               form).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the run report as JSON.")
+  in
+  let out_file_arg =
+    Arg.(value & opt (some string) None & info [ "out-file" ] ~docv:"FILE"
+         ~doc:"Write the run report to $(docv) instead of stdout.")
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Print the abstraction pipeline report.")
-    Term.(const run $ obs_flags $ file_arg $ top_arg $ out_arg $ dt_arg
-          $ mode_arg $ integration_arg $ lang_arg $ inputs_arg)
+    (Cmd.info "report"
+       ~doc:"Print the abstraction pipeline report of a model, render a \
+             run's journal and bench results into a profile (run-report \
+             form), or gate on per-section perf regressions with \
+             $(b,--compare).")
+    Term.(const run $ obs_flags $ report_file_arg $ report_top_arg $ out_arg
+          $ dt_arg $ mode_arg $ integration_arg $ lang_arg $ inputs_arg
+          $ journal_arg $ bench_arg $ compare_arg $ threshold_arg $ top_arg_n
+          $ json_arg $ out_file_arg)
 
 (* explain *)
 

@@ -1,6 +1,7 @@
 module Trace = Amsvp_util.Trace
 module Circuits = Amsvp_netlist.Circuits
 module Obs = Amsvp_obs.Obs
+module Journal = Amsvp_obs.Journal
 
 (* Registry-backed solver counters: the per-run [stats] record is still
    returned (tests and callers depend on the per-run values); the global
@@ -30,6 +31,20 @@ let g_matrix_dim =
   Obs.Gauge.make ~help:"dimension of the last MNA system built"
     "amsvp_mna_matrix_dim"
 
+(* Convergence telemetry — only advanced while the journal is enabled,
+   because the residual norms that feed them are not computed
+   otherwise (the fixed-budget inner loop has no other use for them). *)
+let c_newton_wasted =
+  Obs.Counter.make
+    ~help:"Newton passes taken after the update norm already met tolerance"
+    "amsvp_mna_wasted_newton_iters_total"
+
+let h_newton_residual =
+  Obs.Histogram.make
+    ~help:"final Newton update norm (inf-norm) per solver substep"
+    ~buckets:[| 1e-15; 1e-12; 1e-9; 1e-6; 1e-3; 1.0; 1e3 |]
+    "amsvp_mna_newton_residual"
+
 type stats = {
   steps : int;
   device_evals : int;
@@ -37,7 +52,33 @@ type stats = {
   solves : int;
 }
 
-type result = { trace : Trace.t; stats : stats; matrix_dim : int }
+type newton = {
+  total_iters : int;
+  wasted_iters : int;
+  max_residual : float;
+  pivot_min : float;
+  pivot_max : float;
+  dt_stress : float;
+  stressed_substeps : int;
+}
+
+type result = {
+  trace : Trace.t;
+  stats : stats;
+  matrix_dim : int;
+  newton : newton option;
+}
+
+(* Newton convergence test on the update norm: converged once
+   ||x_k - x_{k-1}||_inf <= rtol * ||x_k||_inf + atol. *)
+let newton_rtol = 1e-6
+let newton_atol = 1e-12
+
+(* A substep is dt-stressed when the state moves by more than half its
+   own magnitude within that single substep — for first-order dynamics
+   that means the internal step h is no longer small against the local
+   time constant. *)
+let stress_threshold = 0.5
 
 let check_args ~dt ~t_stop =
   if dt <= 0.0 then invalid_arg "Engine: dt must be positive";
@@ -66,11 +107,24 @@ let spice_like ?(substeps = 8) ?(iterations = 3) ?observe circuit ~inputs
   let rhs = Array.make n 0.0 in
   let trace = Trace.create ~capacity:(nsteps + 1) () in
   let device_evals = ref 0 and factorizations = ref 0 and solves = ref 0 in
+  (* Convergence telemetry, computed only while the journal records
+     events: the fixed Newton budget never reads the residual, so with
+     the journal off the inner loop runs exactly as before. *)
+  let jn = Journal.enabled () in
+  let total_iters = ref 0 and wasted_iters = ref 0 in
+  let max_residual = ref 0.0 in
+  let pivot_min = ref infinity and pivot_max = ref 0.0 in
+  let dt_stress = ref 0.0 and stressed_substeps = ref 0 in
   let reader v = System.output_value sys v !x in
   Trace.add trace ~time:0.0 ~value:(System.output_value sys output !x);
   (match observe with None -> () | Some f -> f 0.0 reader);
   for step = 1 to nsteps do
     let t_base = float_of_int (step - 1) *. dt in
+    (* Per-reporting-step journal aggregates. *)
+    let step_residual = ref 0.0 in
+    let step_converged_at = ref 0 in
+    let step_wasted = ref 0 in
+    let step_stress = ref 0.0 in
     for sub = 1 to substeps do
       (* The last substep lands exactly on the reporting instant so that
          stimulus edges are sampled at the same points as the
@@ -81,7 +135,9 @@ let spice_like ?(substeps = 8) ?(iterations = 3) ?observe circuit ~inputs
       in
       let input = input_at t in
       let x_next = ref !x in
-      for _iter = 1 to iterations do
+      let converged_at = ref 0 in
+      let last_delta = ref infinity in
+      for iter = 1 to iterations do
         (* Device evaluation: the full system is re-stamped (with
            piecewise-linear regions selected by the latest estimate),
            then re-factored, at every solver pass — the SPICE cost
@@ -89,16 +145,81 @@ let spice_like ?(substeps = 8) ?(iterations = 3) ?observe circuit ~inputs
         let m = System.stamp_matrix ~state:!x_next sys ~h in
         incr device_evals;
         System.stamp_rhs sys ~h ~state:!x ~input ~rhs;
-        let lu = Matrix.lu_factor m in
+        let lu =
+          try Matrix.lu_factor m
+          with Matrix.Singular k ->
+            if jn then
+              Journal.emit ~severity:Journal.Error ~step ~time:t ~cat:"mna"
+                "singular_pivot"
+                [ ("column", Journal.I k); ("dim", Journal.I n) ];
+            raise (Matrix.Singular k)
+        in
         incr factorizations;
+        let prev = !x_next in
         x_next := Matrix.lu_solve lu rhs;
-        incr solves
+        incr solves;
+        if jn then begin
+          incr total_iters;
+          (* Conditioning proxy sampled on the final pass only: the
+             re-stamped matrix drifts little between passes, and the
+             diagonal scan is a third of the telemetry's cost. *)
+          if iter = iterations then begin
+            let mn, mx = Matrix.pivot_range lu in
+            if mn < !pivot_min then pivot_min := mn;
+            if mx > !pivot_max then pivot_max := mx
+          end;
+          (* Update norm ||x_k - x_{k-1}||_inf against the iterate
+             scale; [prev] is the previous Newton iterate (the substep
+             start state on the first pass). *)
+          let delta = ref 0.0 and scale = ref 0.0 in
+          let xn = !x_next in
+          for i = 0 to n - 1 do
+            let d = abs_float (xn.(i) -. prev.(i)) in
+            if d > !delta then delta := d;
+            let m = abs_float xn.(i) in
+            if m > !scale then scale := m
+          done;
+          last_delta := !delta;
+          if !converged_at > 0 then begin
+            incr wasted_iters;
+            incr step_wasted
+          end
+          else if !delta <= (newton_rtol *. !scale) +. newton_atol then
+            converged_at := iter
+        end
       done;
+      if jn then begin
+        Obs.Histogram.observe h_newton_residual !last_delta;
+        if !last_delta > !max_residual then max_residual := !last_delta;
+        step_residual := !last_delta;
+        step_converged_at := !converged_at;
+        (* Relative state motion across this one substep. *)
+        let stress = ref 0.0 in
+        let x0 = !x and x1 = !x_next in
+        for i = 0 to n - 1 do
+          let m = Float.max (abs_float x0.(i)) (abs_float x1.(i)) in
+          if m > newton_atol then begin
+            let r = abs_float (x1.(i) -. x0.(i)) /. m in
+            if r > !stress then stress := r
+          end
+        done;
+        if !stress > !step_stress then step_stress := !stress;
+        if !stress > !dt_stress then dt_stress := !stress;
+        if !stress > stress_threshold then incr stressed_substeps
+      end;
       x := !x_next
     done;
     Obs.Histogram.observe h_solver_passes
       (float_of_int (substeps * iterations));
     let t_report = float_of_int step *. dt in
+    if jn then
+      Journal.emit ~step ~time:t_report ~cat:"mna" "newton.step"
+        [
+          ("residual", Journal.F !step_residual);
+          ("converged_at", Journal.I !step_converged_at);
+          ("wasted", Journal.I !step_wasted);
+          ("stress", Journal.F !step_stress);
+        ];
     Trace.add trace ~time:t_report
       ~value:(System.output_value sys output !x);
     match observe with None -> () | Some f -> f t_report reader
@@ -109,6 +230,53 @@ let spice_like ?(substeps = 8) ?(iterations = 3) ?observe circuit ~inputs
   Obs.Counter.add c_solves !solves;
   Obs.Counter.add c_rhs_builds !solves;
   Obs.Gauge.set g_matrix_dim (float_of_int n);
+  let newton =
+    if not jn then None
+    else begin
+      Obs.Counter.add c_newton_wasted !wasted_iters;
+      let pivot_ratio =
+        if !pivot_min > 0.0 && !pivot_min < infinity then
+          !pivot_max /. !pivot_min
+        else infinity
+      in
+      if pivot_ratio > 1e12 then
+        Journal.emit ~severity:Journal.Warn ~cat:"mna" "conditioning"
+          [
+            ("pivot_min", Journal.F !pivot_min);
+            ("pivot_max", Journal.F !pivot_max);
+            ("pivot_ratio", Journal.F pivot_ratio);
+          ];
+      if !stressed_substeps > 0 then
+        Journal.emit ~severity:Journal.Warn ~cat:"mna" "dt_stress"
+          [
+            ("max_rel_change", Journal.F !dt_stress);
+            ("stressed_substeps", Journal.I !stressed_substeps);
+            ("dt", Journal.F dt);
+            ("substeps", Journal.I substeps);
+          ];
+      Journal.emit ~cat:"mna" "newton.run"
+        [
+          ("steps", Journal.I nsteps);
+          ("total_iters", Journal.I !total_iters);
+          ("wasted_iters", Journal.I !wasted_iters);
+          ("max_residual", Journal.F !max_residual);
+          ("pivot_min", Journal.F !pivot_min);
+          ("pivot_max", Journal.F !pivot_max);
+          ("dt_stress", Journal.F !dt_stress);
+          ("dim", Journal.I n);
+        ];
+      Some
+        {
+          total_iters = !total_iters;
+          wasted_iters = !wasted_iters;
+          max_residual = !max_residual;
+          pivot_min = !pivot_min;
+          pivot_max = !pivot_max;
+          dt_stress = !dt_stress;
+          stressed_substeps = !stressed_substeps;
+        }
+    end
+  in
   {
     trace;
     stats =
@@ -119,6 +287,7 @@ let spice_like ?(substeps = 8) ?(iterations = 3) ?observe circuit ~inputs
         solves = !solves;
       };
     matrix_dim = n;
+    newton;
   }
 
 let eln_like ?(on_step = fun _ _ -> ()) ?observe circuit ~inputs ~output ~dt
@@ -160,11 +329,23 @@ let eln_like ?(on_step = fun _ _ -> ()) ?observe circuit ~inputs ~output ~dt
   Obs.Counter.add c_solves !solves;
   Obs.Counter.add c_rhs_builds !solves;
   Obs.Gauge.set g_matrix_dim (float_of_int n);
+  if Journal.enabled () then begin
+    let mn, mx = Matrix.pivot_range lu in
+    Journal.emit ~cat:"mna" "eln.run"
+      [
+        ("steps", Journal.I nsteps);
+        ("solves", Journal.I !solves);
+        ("pivot_min", Journal.F mn);
+        ("pivot_max", Journal.F mx);
+        ("dim", Journal.I n);
+      ]
+  end;
   {
     trace;
     stats =
       { steps = nsteps; device_evals = 1; factorizations = 1; solves = !solves };
     matrix_dim = n;
+    newton = None;
   }
 
 module Eln_stepper = struct

@@ -23,7 +23,33 @@ type stats = {
   solves : int;
 }
 
-type result = { trace : Amsvp_util.Trace.t; stats : stats; matrix_dim : int }
+type newton = {
+  total_iters : int;  (** Newton passes taken (fixed budget) *)
+  wasted_iters : int;
+      (** passes taken {e after} the update norm already met tolerance
+          — the budget an adaptive early-exit scheme would save *)
+  max_residual : float;  (** worst final update norm over all substeps *)
+  pivot_min : float;  (** smallest LU pivot magnitude seen *)
+  pivot_max : float;  (** largest LU pivot magnitude seen *)
+  dt_stress : float;
+      (** largest relative state change within one substep; values near
+          or above 1 mean the internal step is not small against the
+          local time constant *)
+  stressed_substeps : int;  (** substeps whose relative change > 0.5 *)
+}
+(** Solver-convergence telemetry for one {!spice_like} run. Only
+    computed while the {!Amsvp_obs.Journal} is enabled — the residual
+    norms have no other consumer, so with the journal off the inner
+    loop is byte-for-byte the pre-telemetry loop. *)
+
+type result = {
+  trace : Amsvp_util.Trace.t;
+  stats : stats;
+  matrix_dim : int;
+  newton : newton option;
+      (** [Some] iff the journal was enabled during the run (always
+          [None] for {!eln_like}, which has no Newton loop). *)
+}
 
 val spice_like :
   ?substeps:int ->

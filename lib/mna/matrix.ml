@@ -68,6 +68,20 @@ let lu_factor m =
   done;
   { ln = n; lu = a; perm }
 
+(* Smallest and largest pivot magnitude of a completed factorisation —
+   the U diagonal under partial pivoting. Their ratio is the cheap
+   conditioning proxy the solver telemetry reports: a ratio near
+   1/epsilon means the solve is running out of significant digits. *)
+let pivot_range f =
+  let n = f.ln in
+  let mn = ref infinity and mx = ref 0.0 in
+  for i = 0 to n - 1 do
+    let p = abs_float f.lu.((i * n) + i) in
+    if p < !mn then mn := p;
+    if p > !mx then mx := p
+  done;
+  (!mn, !mx)
+
 let lu_solve_into f ~b ~x =
   let n = f.ln in
   if Array.length b <> n || Array.length x <> n then

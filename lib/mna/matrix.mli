@@ -33,6 +33,12 @@ exception Singular of int
 val lu_factor : t -> lu
 (** Factor a copy of the matrix; the argument is not modified. *)
 
+val pivot_range : lu -> float * float
+(** [(min, max)] pivot magnitudes (the U diagonal) of a factorisation.
+    Their ratio is a cheap conditioning proxy used by the solver
+    telemetry: a ratio approaching [1/epsilon] means the solve has
+    little precision left. *)
+
 val lu_solve : lu -> float array -> float array
 (** [lu_solve lu b] solves [A x = b]; [b] is not modified. *)
 

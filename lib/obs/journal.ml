@@ -1,0 +1,225 @@
+(* Bounded, domain-safe structured event journal. See journal.mli for
+   the cost model.
+
+   Each domain owns one ring buffer, created through DLS on first emit
+   and registered in a global table so the merge can reach buffers of
+   domains that have since terminated. The emit path takes only the
+   owning domain's mutex — never contended except against a concurrent
+   [events]/[reset], both rare — and one global atomic fetch-and-add
+   for the sequence number, which is what makes the merged order a
+   total order consistent with every domain's program order. *)
+
+type severity = Debug | Info | Warn | Error
+
+let severity_label = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+type value = F of float | I of int | S of string | B of bool
+
+type event = {
+  seq : int;
+  dom : int;
+  cat : string;
+  name : string;
+  severity : severity;
+  step : int;
+  time : float;
+  wall_ns : int;
+  payload : (string * value) list;
+}
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let default_capacity = 65536
+let cap_cell = Atomic.make default_capacity
+let capacity () = Atomic.get cap_cell
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Journal.set_capacity: capacity must be positive";
+  Atomic.set cap_cell n
+
+let seq_counter = Atomic.make 0
+
+let dummy_event =
+  {
+    seq = 0;
+    dom = 0;
+    cat = "";
+    name = "";
+    severity = Info;
+    step = -1;
+    time = nan;
+    wall_ns = 0;
+    payload = [];
+  }
+
+type buffer = {
+  cap : int;
+  arr : event array;
+  lock : Mutex.t;
+  mutable start : int;  (* index of the oldest event *)
+  mutable len : int;
+  mutable b_dropped : int;
+}
+
+let reg_mutex = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | y ->
+      Mutex.unlock m;
+      y
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
+let make_buffer () =
+  let cap = capacity () in
+  let b =
+    {
+      cap;
+      arr = Array.make cap dummy_event;
+      lock = Mutex.create ();
+      start = 0;
+      len = 0;
+      b_dropped = 0;
+    }
+  in
+  with_lock reg_mutex (fun () -> buffers := b :: !buffers);
+  b
+
+let buffer_key = Domain.DLS.new_key make_buffer
+
+let emit ?(severity = Info) ?(step = -1) ?(time = nan) ~cat name payload =
+  if Atomic.get on then begin
+    let seq = Atomic.fetch_and_add seq_counter 1 in
+    let e =
+      {
+        seq;
+        dom = (Domain.self () :> int);
+        cat;
+        name;
+        severity;
+        step;
+        time;
+        wall_ns = Clock.now_ns ();
+        payload;
+      }
+    in
+    let b = Domain.DLS.get buffer_key in
+    with_lock b.lock (fun () ->
+        if b.len = b.cap then begin
+          (* Ring full: overwrite the oldest (recent telemetry is worth
+             more than start-up noise) and account for the loss. *)
+          b.arr.(b.start) <- e;
+          b.start <- (b.start + 1) mod b.cap;
+          b.b_dropped <- b.b_dropped + 1
+        end
+        else begin
+          b.arr.((b.start + b.len) mod b.cap) <- e;
+          b.len <- b.len + 1
+        end)
+  end
+
+let snapshot_buffers () = with_lock reg_mutex (fun () -> !buffers)
+
+let count () =
+  List.fold_left
+    (fun n b -> n + with_lock b.lock (fun () -> b.len))
+    0 (snapshot_buffers ())
+
+let dropped () =
+  List.fold_left
+    (fun n b -> n + with_lock b.lock (fun () -> b.b_dropped))
+    0 (snapshot_buffers ())
+
+let events () =
+  let per_buffer b =
+    with_lock b.lock (fun () ->
+        List.init b.len (fun i -> b.arr.((b.start + i) mod b.cap)))
+  in
+  List.concat_map per_buffer (snapshot_buffers ())
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let reset () =
+  List.iter
+    (fun b ->
+      with_lock b.lock (fun () ->
+          b.start <- 0;
+          b.len <- 0;
+          b.b_dropped <- 0))
+    (snapshot_buffers ())
+
+(* ---- JSONL sink ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no literal for non-finite floats, so they are emitted as
+   strings; readers treat "NaN"/"Infinity"/"-Infinity" payload values
+   as the floats they name. *)
+let add_float b v =
+  if Float.is_finite v then Printf.bprintf b "%.17g" v
+  else if Float.is_nan v then Buffer.add_string b "\"NaN\""
+  else if v > 0.0 then Buffer.add_string b "\"Infinity\""
+  else Buffer.add_string b "\"-Infinity\""
+
+let add_value b = function
+  | F v -> add_float b v
+  | I i -> Printf.bprintf b "%d" i
+  | S s -> Printf.bprintf b "\"%s\"" (json_escape s)
+  | B v -> Buffer.add_string b (if v then "true" else "false")
+
+let event_to_json e =
+  let b = Buffer.create 160 in
+  Printf.bprintf b "{\"seq\":%d,\"dom\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"sev\":\"%s\""
+    e.seq e.dom (json_escape e.cat) (json_escape e.name)
+    (severity_label e.severity);
+  if e.step >= 0 then Printf.bprintf b ",\"step\":%d" e.step;
+  if Float.is_finite e.time then Printf.bprintf b ",\"time\":%.17g" e.time;
+  Printf.bprintf b ",\"wall_ns\":%d" e.wall_ns;
+  Buffer.add_string b ",\"data\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\"%s\":" (json_escape k);
+      add_value b v)
+    e.payload;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let to_jsonl () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (event_to_json e);
+      Buffer.add_char b '\n')
+    (events ());
+  Buffer.contents b
+
+let write_jsonl path =
+  let oc = open_out_bin path in
+  output_string oc (to_jsonl ());
+  close_out oc

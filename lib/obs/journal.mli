@@ -1,0 +1,110 @@
+(** Structured run journal: a bounded, domain-safe buffer of typed
+    events, the third leg of the observability layer next to spans
+    (wall-clock intervals) and metrics (monotone aggregates).
+
+    A journal {e event} records something the solver decided or
+    observed — a Newton convergence record, a near-singular pivot, a
+    sweep point dispatched, a watchdog firing — with enough structure
+    (category, severity, step, simulated time, typed payload) that a
+    report tool can aggregate it without scraping logs.
+
+    Cost model, mirroring {!Obs}:
+
+    - Disabled (the default), {!emit} is one atomic load and a branch;
+      no payload should even be built (guard call sites with
+      {!enabled} when assembling the payload costs anything).
+    - Enabled, an event is one atomic fetch-and-add (the global
+      sequence number) plus stores into a {e domain-local} buffer
+      under that buffer's own mutex — only ever contended against a
+      concurrent {!events}/{!reset}, so worker domains never slow each
+      other down.
+
+    Each domain journals into its own bounded buffer (a ring keeping
+    the most recent [capacity] events; overwritten events are counted
+    in {!dropped}). Buffers register themselves in a global table on
+    first use and survive domain termination, so {!events} — typically
+    called after a {!Amsvp_sweep} pool join — merges every domain's
+    buffer. The merge is deterministic: events are ordered by their
+    global sequence number, a total order consistent with each
+    domain's program order. *)
+
+(** {1 Enable flag and bounds} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+val enable : unit -> unit
+val disable : unit -> unit
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Per-domain ring size (default 65536). Applies to buffers created
+    after the call; raise it before enabling on a long run.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+(** {1 Events} *)
+
+type severity = Debug | Info | Warn | Error
+
+val severity_label : severity -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+(** Typed payload values, so the JSONL sink needs no stringly-typed
+    round-trip and floats keep full precision. *)
+type value = F of float | I of int | S of string | B of bool
+
+type event = {
+  seq : int;  (** global sequence number; the merge key *)
+  dom : int;  (** recording domain ([Domain.self] as an int) *)
+  cat : string;  (** subsystem: ["mna"], ["sf"], ["sweep"], ["health"]... *)
+  name : string;  (** event kind within the category, e.g. ["newton.step"] *)
+  severity : severity;
+  step : int;  (** solver/reporting step, [-1] when not applicable *)
+  time : float;  (** simulated seconds, [nan] when not applicable *)
+  wall_ns : int;  (** {!Obs.now_ns} at record time *)
+  payload : (string * value) list;
+}
+
+val emit :
+  ?severity:severity ->
+  ?step:int ->
+  ?time:float ->
+  cat:string ->
+  string ->
+  (string * value) list ->
+  unit
+(** [emit ~cat name payload] records one event (no-op when disabled).
+    Defaults: [severity = Info], [step = -1], [time = nan]. *)
+
+(** {1 Reading back} *)
+
+val count : unit -> int
+(** Events currently buffered, across every domain. *)
+
+val dropped : unit -> int
+(** Events overwritten because a domain's ring was full. *)
+
+val events : unit -> event list
+(** Every buffered event from every domain that has journaled,
+    ordered by [seq]. Safe to call while other domains are still
+    emitting (a consistent snapshot per buffer). *)
+
+val reset : unit -> unit
+(** Clear all buffers and the dropped counter (the enable flag and
+    capacity are untouched). The global sequence keeps counting, so
+    events recorded after a reset still sort after everything that
+    came before. *)
+
+(** {1 JSONL sink} *)
+
+val event_to_json : event -> string
+(** One event as a single-line JSON object:
+    [{"seq":..,"dom":..,"cat":..,"name":..,"sev":..,"step":..,
+      "time":..,"wall_ns":..,"data":{...}}]. [step] is omitted when
+    [-1], [time] when not finite. *)
+
+val to_jsonl : unit -> string
+(** Every event of {!events}, one JSON object per line. *)
+
+val write_jsonl : string -> unit
+(** [write_jsonl path] dumps {!to_jsonl} to [path]. *)

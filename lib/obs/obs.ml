@@ -155,12 +155,24 @@ let instant ?(cat = "") ?(args = []) name =
 
 (* ---- metrics registry ---- *)
 
-type counter = { c_name : string; c_help : string; c_value : int Atomic.t }
-type gauge = { g_name : string; g_help : string; g_value : float Atomic.t }
+type counter = {
+  c_name : string;
+  c_help : string;
+  c_labels : (string * string) list;
+  c_value : int Atomic.t;
+}
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  g_labels : (string * string) list;
+  g_value : float Atomic.t;
+}
 
 type histogram = {
   h_name : string;
   h_help : string;
+  h_labels : (string * string) list;
   bounds : float array;  (* ascending upper bounds; +Inf is implicit *)
   counts : int Atomic.t array;  (* length = Array.length bounds + 1 *)
   h_sum : float Atomic.t;
@@ -198,8 +210,44 @@ let kind_clash name =
     (Printf.sprintf "Obs: metric %s is already registered with another kind"
        name)
 
+(* Exposition-format escaping. Label values escape backslash, double
+   quote and newline; HELP text escapes backslash and newline (a raw
+   newline would terminate the comment line mid-text and corrupt the
+   scrape). *)
+let prom_escape ~quote s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' when quote -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_escape_help = prom_escape ~quote:false
+let prom_escape_label = prom_escape ~quote:true
+
+(* {k="v",...} — empty for an unlabelled series. *)
+let label_suffix = function
+  | [] -> ""
+  | labels ->
+      let b = Buffer.create 32 in
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "%s=\"%s\"" k (prom_escape_label v))
+        labels;
+      Buffer.add_char b '}';
+      Buffer.contents b
+
 (* Find-or-create under the registry lock, so two domains racing on the
-   same name share one instance. *)
+   same name share one instance. Labelled series of one metric name are
+   distinct instances, keyed by name plus rendered labels. *)
+let series_key name labels = name ^ label_suffix labels
+
 let make_metric name ~fresh ~recover =
   reg_locked (fun () ->
       match Hashtbl.find_opt registry name with
@@ -213,10 +261,13 @@ let make_metric name ~fresh ~recover =
 module Counter = struct
   type t = counter
 
-  let make ?(help = "") name =
-    make_metric name
+  let make ?(help = "") ?(labels = []) name =
+    make_metric (series_key name labels)
       ~fresh:(fun () ->
-        let c = { c_name = name; c_help = help; c_value = Atomic.make 0 } in
+        let c =
+          { c_name = name; c_help = help; c_labels = labels;
+            c_value = Atomic.make 0 }
+        in
         (c, Counter c))
       ~recover:(function Counter c -> Some c | _ -> None)
 
@@ -233,10 +284,13 @@ end
 module Gauge = struct
   type t = gauge
 
-  let make ?(help = "") name =
-    make_metric name
+  let make ?(help = "") ?(labels = []) name =
+    make_metric (series_key name labels)
       ~fresh:(fun () ->
-        let g = { g_name = name; g_help = help; g_value = Atomic.make 0.0 } in
+        let g =
+          { g_name = name; g_help = help; g_labels = labels;
+            g_value = Atomic.make 0.0 }
+        in
         (g, Gauge g))
       ~recover:(function Gauge g -> Some g | _ -> None)
 
@@ -251,7 +305,7 @@ module Histogram = struct
   let default_buckets =
     [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 1e5; 1e6 |]
 
-  let make ?(help = "") ?(buckets = default_buckets) name =
+  let make ?(help = "") ?(labels = []) ?(buckets = default_buckets) name =
     if Array.length buckets = 0 then
       invalid_arg "Obs.Histogram.make: empty bucket list";
     Array.iteri
@@ -259,12 +313,13 @@ module Histogram = struct
         if i > 0 && b <= buckets.(i - 1) then
           invalid_arg "Obs.Histogram.make: buckets must be ascending")
       buckets;
-    make_metric name
+    make_metric (series_key name labels)
       ~fresh:(fun () ->
         let h =
           {
             h_name = name;
             h_help = help;
+            h_labels = labels;
             bounds = Array.copy buckets;
             counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
             h_sum = Atomic.make 0.0;
@@ -410,9 +465,17 @@ let registered_in_order () =
 
 let prometheus () =
   let b = Buffer.create 4096 in
+  (* HELP/TYPE comments belong to the metric name, not the series: the
+     first series of a labelled family writes them, later ones only add
+     their sample lines. *)
+  let seen_headers : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let header name help kind =
-    if help <> "" then Printf.bprintf b "# HELP %s %s\n" name help;
-    Printf.bprintf b "# TYPE %s %s\n" name kind
+    if not (Hashtbl.mem seen_headers name) then begin
+      Hashtbl.replace seen_headers name ();
+      if help <> "" then
+        Printf.bprintf b "# HELP %s %s\n" name (prom_escape_help help);
+      Printf.bprintf b "# TYPE %s %s\n" name kind
+    end
   in
   List.iter
     (fun (_, m) ->
@@ -421,11 +484,15 @@ let prometheus () =
       | Some (Counter c) ->
           let n = prom_name c.c_name in
           header n c.c_help "counter";
-          Printf.bprintf b "%s %d\n" n (Atomic.get c.c_value)
+          Printf.bprintf b "%s%s %d\n" n
+            (label_suffix c.c_labels)
+            (Atomic.get c.c_value)
       | Some (Gauge g) ->
           let n = prom_name g.g_name in
           header n g.g_help "gauge";
-          Printf.bprintf b "%s %.9g\n" n (Atomic.get g.g_value)
+          Printf.bprintf b "%s%s %.9g\n" n
+            (label_suffix g.g_labels)
+            (Atomic.get g.g_value)
       | Some (Histogram h) ->
           let n = prom_name h.h_name in
           header n h.h_help "histogram";
@@ -434,10 +501,16 @@ let prometheus () =
               let le_s =
                 if le = infinity then "+Inf" else Printf.sprintf "%.9g" le
               in
-              Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" n le_s count)
+              Printf.bprintf b "%s_bucket%s %d\n" n
+                (label_suffix (h.h_labels @ [ ("le", le_s) ]))
+                count)
             (Histogram.bucket_counts h);
-          Printf.bprintf b "%s_sum %.9g\n" n (Atomic.get h.h_sum);
-          Printf.bprintf b "%s_count %d\n" n (Atomic.get h.h_count))
+          Printf.bprintf b "%s_sum%s %.9g\n" n
+            (label_suffix h.h_labels)
+            (Atomic.get h.h_sum);
+          Printf.bprintf b "%s_count%s %d\n" n
+            (label_suffix h.h_labels)
+            (Atomic.get h.h_count))
     (registered_in_order ());
   (* Per-span-name aggregates, so flow-stage and kernel spans show up in
      the same scrape as the counters. *)
@@ -477,14 +550,18 @@ let summary () =
     Buffer.add_string b "counters:\n";
     List.iter
       (fun (c : counter) ->
-        Printf.bprintf b "  %-40s %12d\n" c.c_name (Atomic.get c.c_value))
+        Printf.bprintf b "  %-40s %12d\n"
+          (c.c_name ^ label_suffix c.c_labels)
+          (Atomic.get c.c_value))
       (List.rev !counters)
   end;
   if !gauges <> [] then begin
     Buffer.add_string b "gauges:\n";
     List.iter
       (fun (g : gauge) ->
-        Printf.bprintf b "  %-40s %12.6g\n" g.g_name (Atomic.get g.g_value))
+        Printf.bprintf b "  %-40s %12.6g\n"
+          (g.g_name ^ label_suffix g.g_labels)
+          (Atomic.get g.g_value))
       (List.rev !gauges)
   end;
   if !histos <> [] then begin
@@ -492,7 +569,9 @@ let summary () =
     List.iter
       (fun (h : histogram) ->
         let count = Atomic.get h.h_count and sum = Atomic.get h.h_sum in
-        Printf.bprintf b "  %-40s count %d sum %.6g mean %.6g\n" h.h_name count
+        Printf.bprintf b "  %-40s count %d sum %.6g mean %.6g\n"
+          (h.h_name ^ label_suffix h.h_labels)
+          count
           sum
           (if count = 0 then 0.0 else sum /. float_of_int count))
       (List.rev !histos)

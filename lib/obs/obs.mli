@@ -70,15 +70,22 @@ val spans : unit -> span list
 
 (** {1 Metrics registry}
 
-    Metrics are registered process-wide by name: [make] returns the
-    existing instance when called twice with the same name, and raises
-    [Invalid_argument] if the name is already bound to a different
-    metric kind. *)
+    Metrics are registered process-wide by series — name plus labels:
+    [make] returns the existing instance when called twice with the
+    same name and labels, and raises [Invalid_argument] if that series
+    is already bound to a different metric kind. Two label sets of one
+    name are distinct series of one metric family, Prometheus-style.
+
+    [labels] are emitted by the {!prometheus} sink as
+    [name{key="value"}]; values may contain any bytes — backslash,
+    double quote and newline are escaped per the exposition format.
+    Label {e keys} must be valid Prometheus label names; they are
+    emitted as given. *)
 
 module Counter : sig
   type t
 
-  val make : ?help:string -> string -> t
+  val make : ?help:string -> ?labels:(string * string) list -> string -> t
   val incr : t -> unit
 
   val add : t -> int -> unit
@@ -91,7 +98,7 @@ end
 module Gauge : sig
   type t
 
-  val make : ?help:string -> string -> t
+  val make : ?help:string -> ?labels:(string * string) list -> string -> t
   val set : t -> float -> unit
   val value : t -> float
   val name : t -> string
@@ -100,7 +107,12 @@ end
 module Histogram : sig
   type t
 
-  val make : ?help:string -> ?buckets:float array -> string -> t
+  val make :
+    ?help:string ->
+    ?labels:(string * string) list ->
+    ?buckets:float array ->
+    string ->
+    t
   (** [buckets] are ascending upper bounds (["le"] semantics, an
       implicit [+Inf] bucket is always appended). The default covers
       1 .. 10^6 in 1-2-5 steps.

@@ -93,7 +93,14 @@ let fire m kind ~time ~value =
           ("time", Printf.sprintf "%.9g" time);
           ("value", Printf.sprintf "%.9g" value);
         ]
-      ("health." ^ kind_label kind)
+      ("health." ^ kind_label kind);
+    if Amsvp_obs.Journal.enabled () then
+      Amsvp_obs.Journal.emit ~severity:Amsvp_obs.Journal.Warn ~time
+        ~cat:"health" (kind_label kind)
+        [
+          ("signal", Amsvp_obs.Journal.S m.signal);
+          ("value", Amsvp_obs.Journal.F value);
+        ]
   end
 
 let nrmse m =

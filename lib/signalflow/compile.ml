@@ -545,6 +545,49 @@ let rebind t ~slot ~n_slots assigns =
       Some { t with consts }
     end
 
+(* ---- traffic ---- *)
+
+type traffic = {
+  t_reads : int;
+  t_writes : int;
+  t_flops : int;
+  t_opcode_mix : (string * int) list;
+}
+
+(* The bytecode is straight-line (no branches), so one [exec] performs
+   exactly the instruction sequence: per-step register traffic and the
+   opcode mix are static properties of the artifact. *)
+let traffic t =
+  let reads = ref 0 and writes = ref 0 and flops = ref 0 in
+  let mix = Hashtbl.create 12 in
+  let count name n_src ~flop =
+    reads := !reads + n_src;
+    incr writes;
+    if flop then incr flops;
+    Hashtbl.replace mix name (1 + Option.value ~default:0 (Hashtbl.find_opt mix name))
+  in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Mov _ -> count "mov" 1 ~flop:false
+      | Neg _ -> count "neg" 1 ~flop:true
+      | Add _ -> count "add" 2 ~flop:true
+      | Sub _ -> count "sub" 2 ~flop:true
+      | Mul _ -> count "mul" 2 ~flop:true
+      | Div _ -> count "div" 2 ~flop:true
+      | App _ -> count "app" 1 ~flop:true
+      | Cmp _ -> count "cmp" 2 ~flop:true
+      | Andb _ -> count "and" 2 ~flop:false
+      | Orb _ -> count "or" 2 ~flop:false
+      | Notb _ -> count "not" 1 ~flop:false
+      | Sel _ -> count "sel" 3 ~flop:false)
+    t.code;
+  let t_opcode_mix =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) mix []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { t_reads = !reads; t_writes = !writes; t_flops = !flops; t_opcode_mix }
+
 (* ---- execution ---- *)
 
 let load_consts t regs =

@@ -84,6 +84,20 @@ val n_instrs : t -> int
 val n_consts : t -> int
 (** Constant-pool size. *)
 
+type traffic = {
+  t_reads : int;  (** register reads per executed step *)
+  t_writes : int;  (** register writes per executed step *)
+  t_flops : int;  (** arithmetic/transcendental operations per step *)
+  t_opcode_mix : (string * int) list;
+      (** instruction count per mnemonic, sorted by mnemonic *)
+}
+
+val traffic : t -> traffic
+(** Static per-step register/opcode traffic of the artifact. The
+    bytecode is straight-line, so these are exact per-[exec] counts,
+    computed without running anything — the runner multiplies by its
+    tick count for journal reporting. *)
+
 val load_consts : t -> float array -> unit
 (** Preload the constant pool into its registers. Must be called once
     after allocating the register file (constants are never written by

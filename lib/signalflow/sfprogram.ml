@@ -186,6 +186,7 @@ let rebind_compiled artifact (p : t) =
 
 module Runner = struct
   module Obs = Amsvp_obs.Obs
+  module Journal = Amsvp_obs.Journal
 
   type program = t
 
@@ -317,5 +318,35 @@ module Runner = struct
       Trace.add trace ~time:t ~value:(output r probe);
       match observe with None -> () | Some f -> f t reader
     done;
+    if Journal.enabled () then begin
+      (* Per-step traffic is a static property of the artifact; the
+         journal records it once per run, scaled by the tick count. *)
+      let base =
+        [
+          ("program", Journal.S r.program.name);
+          ("ticks", Journal.I nsteps);
+          ("assigns_per_tick", Journal.I r.n_assign);
+        ]
+      in
+      let payload =
+        match r.impl with
+        | Tree_steps _ -> ("engine", Journal.S "tree") :: base
+        | Bytecode artifact ->
+            let tr = Compile.traffic artifact in
+            ("engine", Journal.S "bytecode")
+            :: base
+            @ [
+                ("instrs_per_tick", Journal.I (Compile.n_instrs artifact));
+                ("reads_per_tick", Journal.I tr.Compile.t_reads);
+                ("writes_per_tick", Journal.I tr.Compile.t_writes);
+                ("flops_per_tick", Journal.I tr.Compile.t_flops);
+                ("regs", Journal.I (Compile.n_regs artifact));
+              ]
+            @ List.map
+                (fun (op, n) -> ("op." ^ op, Journal.I n))
+                tr.Compile.t_opcode_mix
+      in
+      Journal.emit ~time:t_stop ~cat:"sf" "run" payload
+    end;
     trace
 end

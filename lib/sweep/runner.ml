@@ -8,6 +8,7 @@ module Stimulus = Amsvp_util.Stimulus
 module Metrics = Amsvp_util.Metrics
 module Trace = Amsvp_util.Trace
 module Obs = Amsvp_obs.Obs
+module Journal = Amsvp_obs.Journal
 module Health = Amsvp_probe.Health
 
 type point_result = {
@@ -216,6 +217,18 @@ let run ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
     let wall_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
     Obs.Counter.incr c_points;
     Obs.Histogram.observe h_point_seconds wall_s;
+    if Journal.enabled () then
+      (* One event per dispatched point, recorded on the worker domain
+         that ran it — the journal's per-domain buffers make this safe
+         and the merge at collection keeps dispatch order readable. *)
+      Journal.emit ~cat:"sweep" "point"
+        [
+          ("point", Journal.S p.Sampler.label);
+          ("cached", Journal.B cached);
+          ("wall_s", Journal.F wall_s);
+          ("healthy", Journal.B health.Health.v_healthy);
+          ("out_final", Journal.F out_final);
+        ];
     { point = p; out_final; out_rms; nrmse; health; cached; wall_s }
   in
   let t0 = Obs.now_ns () in

@@ -1,0 +1,47 @@
+(** Minimal JSON reader for the observability tooling.
+
+    Parses the documents this repo itself writes — [BENCH_results.json],
+    sweep reports, journal JSONL lines — without pulling in an external
+    dependency. Full RFC 8259 value grammar (objects, arrays, strings
+    with escapes, numbers, booleans, null); numbers are all read as
+    OCaml floats, which is exact for the magnitudes the sinks emit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** fields in document order *)
+
+exception Parse_error of string * int
+(** [(message, byte offset)] of the first offending character. *)
+
+val parse : string -> t
+(** Parse one JSON document. Trailing whitespace is allowed; any other
+    trailing content raises.
+    @raise Parse_error on malformed input. *)
+
+val parse_lines : string -> t list
+(** Parse a JSONL document: one JSON value per non-empty line.
+    @raise Parse_error on the first malformed line (offset is within
+    that line's text). *)
+
+(** {1 Accessors} — total lookups returning [option]. *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on missing field or non-object). *)
+
+val to_float : t -> float option
+(** [Num] as float. Also accepts the journal's non-finite float
+    encoding: the strings ["NaN"], ["Infinity"], ["-Infinity"]. *)
+
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val mem_float : string -> t -> float option
+val mem_string : string -> t -> string option
+val mem_bool : string -> t -> bool option
+val mem_list : string -> t -> t list
+(** [mem_list k j] is the array at field [k], or [[]] when absent. *)

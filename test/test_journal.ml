@@ -1,0 +1,191 @@
+(* Journal: bounded, domain-safe structured event ring.
+
+   The concurrency tests pin down the merge contract the sweep pool
+   relies on: events emitted from N domains are all retained (within
+   capacity), merge into one total order consistent with every
+   domain's program order, and the merged order is deterministic —
+   reading twice gives the same sequence. *)
+
+module Journal = Amsvp_obs.Journal
+
+let fresh () =
+  Journal.reset ();
+  Journal.enable ()
+
+let teardown () = Journal.disable ()
+
+(* Events of one test, selected by category so tests sharing the
+   process-wide ring do not see each other. *)
+let mine cat = List.filter (fun e -> e.Journal.cat = cat) (Journal.events ())
+
+let strictly_increasing = function
+  | [] -> true
+  | seqs -> List.for_all2 ( < ) seqs (List.tl seqs @ [ max_int ])
+
+let test_disabled_noop () =
+  Journal.reset ();
+  Journal.disable ();
+  Journal.emit ~cat:"jt.noop" "nothing" [];
+  Alcotest.(check int) "no event recorded" 0 (List.length (mine "jt.noop"))
+
+let test_emit_fields () =
+  fresh ();
+  Journal.emit ~severity:Journal.Warn ~step:7 ~time:1.5e-3 ~cat:"jt.fields"
+    "evt"
+    [
+      ("f", Journal.F 2.5); ("i", Journal.I (-3)); ("s", Journal.S "a\"b");
+      ("b", Journal.B true);
+    ];
+  (match mine "jt.fields" with
+  | [ e ] ->
+      Alcotest.(check string) "name" "evt" e.Journal.name;
+      Alcotest.(check int) "step" 7 e.Journal.step;
+      Alcotest.(check (float 0.0)) "time" 1.5e-3 e.Journal.time;
+      Alcotest.(check bool) "severity" true (e.Journal.severity = Journal.Warn);
+      let j = Journal.event_to_json e in
+      let has s =
+        let n = String.length s and m = String.length j in
+        let rec go i = i + n <= m && (String.sub j i n = s || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "json has payload float" true (has "\"f\":2.5");
+      Alcotest.(check bool) "json escapes strings" true (has "a\\\"b");
+      Alcotest.(check bool) "json has step" true (has "\"step\":7")
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es));
+  (* step and time are omitted from JSON when left at their defaults. *)
+  Journal.emit ~cat:"jt.fields2" "bare" [];
+  (match mine "jt.fields2" with
+  | [ e ] ->
+      let j = Journal.event_to_json e in
+      let lacks s =
+        let n = String.length s and m = String.length j in
+        let rec go i = i + n > m || (String.sub j i n <> s && go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "no step key" true (lacks "\"step\"");
+      Alcotest.(check bool) "no time key" true (lacks "\"time\"")
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es));
+  teardown ()
+
+let test_ring_overwrites_oldest () =
+  fresh ();
+  (* Capacity is fixed when a domain's buffer is first created, so the
+     bounded behaviour is exercised in a fresh domain. *)
+  let old_cap = Journal.capacity () in
+  Journal.set_capacity 8;
+  let dropped0 = Journal.dropped () in
+  let d =
+    Domain.spawn (fun () ->
+        for i = 1 to 20 do
+          Journal.emit ~cat:"jt.ring" "e" [ ("i", Journal.I i) ]
+        done)
+  in
+  Domain.join d;
+  Journal.set_capacity old_cap;
+  let es = mine "jt.ring" in
+  Alcotest.(check int) "capacity retained" 8 (List.length es);
+  Alcotest.(check int) "losses accounted" 12 (Journal.dropped () - dropped0);
+  (* Oldest overwritten: the survivors are exactly the last 8 emits. *)
+  let is' =
+    List.map
+      (fun e ->
+        match e.Journal.payload with
+        | [ ("i", Journal.I i) ] -> i
+        | _ -> Alcotest.fail "payload shape")
+      es
+  in
+  Alcotest.(check (list int)) "last events retained" [ 13; 14; 15; 16; 17; 18; 19; 20 ] is';
+  teardown ()
+
+(* The tentpole concurrency contract, as a deterministic stress test:
+   4 domains x 500 events, no losses, one total order, program order
+   preserved per domain, merge stable across reads. *)
+let test_concurrent_merge () =
+  fresh ();
+  let n_dom = 4 and per_dom = 500 in
+  let dropped0 = Journal.dropped () in
+  let doms =
+    List.init n_dom (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_dom do
+              Journal.emit ~cat:"jt.conc" "e"
+                [ ("d", Journal.I d); ("i", Journal.I i) ]
+            done))
+  in
+  List.iter Domain.join doms;
+  let es = mine "jt.conc" in
+  Alcotest.(check int) "no event lost" (n_dom * per_dom) (List.length es);
+  Alcotest.(check int) "no drops" 0 (Journal.dropped () - dropped0);
+  let seqs = List.map (fun e -> e.Journal.seq) es in
+  Alcotest.(check bool) "seq strictly increasing" true
+    (strictly_increasing seqs);
+  (* Per-domain subsequences keep each domain's program order. *)
+  let last = Array.make n_dom 0 in
+  List.iter
+    (fun e ->
+      match e.Journal.payload with
+      | [ ("d", Journal.I d); ("i", Journal.I i) ] ->
+          Alcotest.(check bool) "program order preserved" true (i > last.(d));
+          last.(d) <- i
+      | _ -> Alcotest.fail "payload shape")
+    es;
+  Array.iteri
+    (fun d n -> Alcotest.(check int) (Printf.sprintf "domain %d complete" d) per_dom n)
+    last;
+  (* Deterministic merge: a second read yields the same sequence. *)
+  let seqs' = List.map (fun e -> e.Journal.seq) (mine "jt.conc") in
+  Alcotest.(check (list int)) "merge is stable" seqs seqs';
+  teardown ()
+
+(* Randomised version of the same property: arbitrary per-domain event
+   counts, same three invariants. *)
+let prop_concurrent_counts =
+  QCheck.Test.make ~count:25 ~name:"journal: concurrent emits merge losslessly"
+    QCheck.(list_of_size (Gen.int_range 1 4) (int_range 0 50))
+    (fun counts ->
+      fresh ();
+      let cat = "jt.prop" in
+      let doms =
+        List.mapi
+          (fun d k ->
+            Domain.spawn (fun () ->
+                for i = 1 to k do
+                  Journal.emit ~cat "e" [ ("d", Journal.I d); ("i", Journal.I i) ]
+                done))
+          counts
+      in
+      List.iter Domain.join doms;
+      let es = mine cat in
+      teardown ();
+      let total = List.fold_left ( + ) 0 counts in
+      let seq_sorted = strictly_increasing (List.map (fun e -> e.Journal.seq) es) in
+      let order_kept =
+        let last = Array.make (List.length counts) 0 in
+        List.for_all
+          (fun e ->
+            match e.Journal.payload with
+            | [ ("d", Journal.I d); ("i", Journal.I i) ] ->
+                let ok = i > last.(d) in
+                last.(d) <- i;
+                ok
+            | _ -> false)
+          es
+      in
+      List.length es = total && seq_sorted && order_kept)
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "emit fields and json" `Quick test_emit_fields;
+          Alcotest.test_case "ring overwrites oldest" `Quick
+            test_ring_overwrites_oldest;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "4-domain merge" `Quick test_concurrent_merge;
+          QCheck_alcotest.to_alcotest prop_concurrent_counts;
+        ] );
+    ]

@@ -437,6 +437,55 @@ let test_prometheus_output () =
   Alcotest.(check bool) "span aggregate seconds" true
     (contains out "amsvp_span_flow_solve_seconds_total")
 
+let test_prometheus_hostile_labels () =
+  fresh ();
+  (* Exposition-format escaping: label values may contain backslash,
+     double quote and newline, each of which must come out
+     backslash-escaped; HELP text escapes backslash and newline only.
+     A label value that merely LOOKS escaped must round-trip
+     unchanged. *)
+  let c =
+    Obs.Counter.make ~help:"line one\nline two \\ backslash"
+      ~labels:
+        [
+          ("path", "C:\\temp\\\"quoted\" file\nsecond line");
+          ("already", "looks \\n escaped");
+        ]
+      "test_obs_hostile_counter"
+  in
+  Obs.Counter.add c 3;
+  let g =
+    Obs.Gauge.make ~labels:[ ("k", "v\"\n\\") ] "test_obs_hostile_gauge"
+  in
+  Obs.Gauge.set g 1.0;
+  let out = Obs.prometheus () in
+  Alcotest.(check bool) "label value escaped" true
+    (contains out
+       "test_obs_hostile_counter{path=\"C:\\\\temp\\\\\\\"quoted\\\" \
+        file\\nsecond line\",already=\"looks \\\\n escaped\"} 3");
+  Alcotest.(check bool) "help escaped" true
+    (contains out
+       "# HELP test_obs_hostile_counter line one\\nline two \\\\ backslash");
+  Alcotest.(check bool) "gauge label escaped" true
+    (contains out "test_obs_hostile_gauge{k=\"v\\\"\\n\\\\\"} 1");
+  (* No raw newline may survive into the exposition: a torn sample
+     line corrupts every parser downstream. The hostile counter must
+     occupy exactly its HELP, TYPE and sample lines — a tear would
+     strand the value on a line without the metric name. *)
+  let lines = String.split_on_char '\n' out in
+  let named =
+    List.length
+      (List.filter (fun l -> contains l "test_obs_hostile_counter") lines)
+  in
+  Alcotest.(check int) "exactly HELP + TYPE + sample lines" 3 named;
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        ("no stray continuation line: " ^ l)
+        false
+        (contains l "second line" && not (contains l "test_obs_hostile")))
+    lines
+
 let test_summary_output () =
   fresh ();
   let c = Obs.Counter.make "test_obs_summary_counter" in
@@ -475,6 +524,8 @@ let () =
         [
           Alcotest.test_case "chrome trace json" `Quick test_chrome_trace_json;
           Alcotest.test_case "prometheus" `Quick test_prometheus_output;
+          Alcotest.test_case "prometheus hostile labels" `Quick
+            test_prometheus_hostile_labels;
           Alcotest.test_case "summary" `Quick test_summary_output;
         ] );
     ]
