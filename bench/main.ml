@@ -94,6 +94,19 @@ type convergence_block = {
 
 let convergence_block : convergence_block option ref = ref None
 
+(* The "serve" block: what keeping a prepared sweep warm across
+   requests buys — one request executed cold (prepare + run) vs warm
+   (run only, against the cached context), as the daemon does. *)
+type serve_block = {
+  sv_spec : string;
+  sv_points : int;
+  sv_prepare_s : float;
+  sv_cold_s : float;
+  sv_warm_s : float;
+}
+
+let serve_block : serve_block option ref = ref None
+
 (* Per-section span accounting, written as "sections" in
    BENCH_results.json. The recorder runs for the whole harness; each
    section remembers the [Obs.span_count] interval it produced. Self
@@ -196,6 +209,17 @@ let results_json ~quick ~total_wall_s =
         c.cb_comp c.cb_off_s c.cb_on_s c.cb_overhead_pct c.cb_steps
         c.cb_total_iters c.cb_wasted_iters c.cb_max_residual c.cb_pivot_ratio
         c.cb_stressed_substeps
+  | None -> ());
+  (match !serve_block with
+  | Some s ->
+      let per t = t /. float_of_int (max 1 s.sv_points) *. 1e3 in
+      Printf.bprintf b
+        ",\n  \"serve\": {\"spec\": %S, \"points\": %d, \"prepare_s\": %.9g, \
+         \"cold_s\": %.9g, \"warm_s\": %.9g, \"cold_point_ms\": %.6g, \
+         \"warm_point_ms\": %.6g, \"warm_speedup\": %.4g}"
+        s.sv_spec s.sv_points s.sv_prepare_s s.sv_cold_s s.sv_warm_s
+        (per s.sv_cold_s) (per s.sv_warm_s)
+        (s.sv_cold_s /. s.sv_warm_s)
   | None -> ());
   sections_json b;
   Buffer.add_string b "\n}\n";
@@ -757,6 +781,77 @@ let sweep_bench ~t_stop ~seed ~jobs () =
     (if values s1 = values sn then "byte-identical point results"
      else "MISMATCH")
 
+(* ---- Service mode: cold vs warm prepared-sweep request latency ---- *)
+
+let serve_bench ~t_stop ~seed () =
+  header
+    (Printf.sprintf
+       "SERVE -- request latency of the sweep service (simulated %g ms per \
+        point): a cold submit pays prepare (probe + gate + plan + compile + \
+        expand) before the first point; a warm resubmit replays the cached \
+        prepared sweep"
+       (t_stop *. 1e3));
+  (* RC20: the one circuit whose preparation (the full abstraction
+     flow) is expensive enough to matter per request. Reference off —
+     the serve block measures request overhead, not MNA cost. *)
+  let spec =
+    {
+      Spec.default with
+      Spec.name = "serve_mc";
+      circuit = Some "RC20";
+      t_stop = Some t_stop;
+      samples = 8;
+      seed;
+      reference = false;
+      axes =
+        [
+          { Spec.param = "r1.r";
+            range = Spec.Uniform { lo = 900.0; hi = 1100.0 } };
+        ];
+    }
+  in
+  let tc = Option.get (Circuits.by_name "RC20") in
+  let best n f =
+    let t = ref infinity in
+    for _ = 1 to n do
+      let (), ti = wall f in
+      if ti < !t then t := ti
+    done;
+    !t
+  in
+  let run_all ctx =
+    Array.iter
+      (fun p -> ignore (Sweep_runner.run_point ctx p))
+      (Sweep_runner.ctx_points ctx)
+  in
+  (* Cold request: prepare + execute, as the daemon's first submit of a
+     spec does. Best-of-2 so one allocator hiccup does not decide it. *)
+  let cold_s = best 2 (fun () -> run_all (Sweep_runner.prepare spec tc)) in
+  let ctx, prepare_s = wall (fun () -> Sweep_runner.prepare spec tc) in
+  let points = Array.length (Sweep_runner.ctx_points ctx) in
+  (* Warm request: same points against the kept context. *)
+  run_all ctx;
+  let warm_s = best 2 (fun () -> run_all ctx) in
+  record ~table:"serve" ~comp:"RC20" ~target:"request" ~meth:"cold" cold_s;
+  record ~table:"serve" ~comp:"RC20" ~target:"request" ~meth:"warm" warm_s;
+  record ~table:"serve" ~comp:"RC20" ~target:"prepare" prepare_s;
+  serve_block :=
+    Some
+      {
+        sv_spec = spec.Spec.name;
+        sv_points = points;
+        sv_prepare_s = prepare_s;
+        sv_cold_s = cold_s;
+        sv_warm_s = warm_s;
+      };
+  let per t = t /. float_of_int (max 1 points) *. 1e3 in
+  Printf.printf
+    "%-8s %3d points   prepare: %.4f s\n\
+     cold submit: %.4f s (%.3f ms/point)   warm resubmit: %.4f s (%.3f \
+     ms/point)   warm speedup: %.2fx\n"
+    "RC20" points prepare_s cold_s (per cold_s) warm_s (per warm_s)
+    (cold_s /. warm_s)
+
 let micro () =
   header "MICRO -- Bechamel per-step benchmarks (one group per table)";
   let tc = Circuits.rc_ladder 1 in
@@ -1024,7 +1119,7 @@ type cli = {
 
 let all_sections =
   [ "table1"; "table2"; "table3"; "tooltime"; "ablation"; "sweep"; "probes";
-    "convergence"; "engines"; "figures"; "micro" ]
+    "convergence"; "engines"; "serve"; "figures"; "micro" ]
 
 let parse_cli argv =
   let usage () =
@@ -1034,7 +1129,7 @@ let parse_cli argv =
       \             [--journal-out FILE] [--results-out FILE | --no-results]\n\
       \             [--seed N] [--jobs N] [SECTION...]\n\
        sections: table1 table2 table3 tooltime ablation sweep probes \
-       convergence engines figures micro";
+       convergence engines serve figures micro";
     exit 2
   in
   let int_arg name v rest k =
@@ -1123,6 +1218,10 @@ let () =
   section "probes" (fun () -> probe_overhead ~t_stop:(scale 50e-3) ());
   section "convergence" (fun () -> convergence ~t_stop:(scale 1e-3) ());
   section "engines" (fun () -> engines ~t_stop:t1 ());
+  (* Fixed simulated time: the serve block measures per-request
+     overhead (prepare vs replay), which scaling t_stop would only
+     dilute. *)
+  section "serve" (fun () -> serve_bench ~t_stop:1e-4 ~seed:cli.seed ());
   section "figures" (fun () -> figures ());
   section "micro" (fun () -> micro ());
   let total_wall_s = Unix.gettimeofday () -. wall_start in

@@ -663,6 +663,10 @@ let netlist_cmd =
 module Spec = Amsvp_sweep.Spec
 module Sweep_runner = Amsvp_sweep.Runner
 module Sweep_report = Amsvp_sweep.Report
+module Sweep_checkpoint = Amsvp_sweep.Checkpoint
+module Daemon = Amsvp_serve.Daemon
+module Serve_client = Amsvp_serve.Client
+module Serve_protocol = Amsvp_serve.Protocol
 
 (* "dev.p:grid:1e3,2e3,5" | "dev.p:values:1,2,3" | "dev.p:uniform:1,2"
    | "dev.p:normal:1e3,50" *)
@@ -695,7 +699,7 @@ let axis_conv =
 let sweep_cmd =
   let run obscfg spec_file circuit file top lang inputs out_str axes samples
       seed jobs t_stop dt square sine mode integration no_reference
-      report_out =
+      report_out checkpoint resume point_timeout =
     with_obs obscfg @@ fun () ->
     with_frontend_errors @@ fun () ->
     let spec =
@@ -733,9 +737,14 @@ let sweep_cmd =
         seed = (match seed with Some n -> n | None -> spec.Spec.seed);
         jobs = opt_override jobs spec.Spec.jobs;
         reference = (if no_reference then false else spec.Spec.reference);
+        point_timeout = opt_override point_timeout spec.Spec.point_timeout;
         axes = spec.Spec.axes @ axes;
       }
     in
+    if resume && checkpoint = None then begin
+      Printf.eprintf "error: --resume needs --checkpoint\n";
+      exit 1
+    end;
     let tc =
       match file with
       | Some path ->
@@ -780,7 +789,35 @@ let sweep_cmd =
               Printf.eprintf "error: %s\n" m;
               exit 1)
     in
-    let summary = Sweep_runner.run spec tc in
+    let completed, writer =
+      match checkpoint with
+      | None -> ([], None)
+      | Some path ->
+          let circuit = tc.Amsvp_netlist.Circuits.label in
+          let points = Spec.point_count spec in
+          if resume then begin
+            (* Refuse a foreign checkpoint explicitly instead of letting
+               open_resume silently truncate it. *)
+            match Sweep_checkpoint.load ~path spec ~circuit with
+            | Error m ->
+                Printf.eprintf "error: %s\n" m;
+                exit 1
+            | Ok _ ->
+                let completed, w =
+                  Sweep_checkpoint.open_resume ~path spec ~circuit ~points
+                in
+                (completed, Some w)
+          end
+          else ([], Some (Sweep_checkpoint.create ~path spec ~circuit ~points))
+    in
+    if completed <> [] then
+      Printf.printf "resuming: %d point(s) recovered from the checkpoint\n"
+        (List.length completed);
+    let on_point =
+      Option.map (fun w r -> Sweep_checkpoint.append w r) writer
+    in
+    let summary = Sweep_runner.run ?on_point ~completed spec tc in
+    Option.iter Sweep_checkpoint.close writer;
     (match report_out with
     | Some basename ->
         List.iter
@@ -887,6 +924,26 @@ let sweep_cmd =
     Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"BASE"
          ~doc:"Write $(docv).json and $(docv).csv reports.")
   in
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Append each completed point to $(docv) (JSONL) as it \
+               finishes, so a killed sweep can be picked up with \
+               $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Recover completed points from $(b,--checkpoint) and run \
+                   only the remainder; the merged report is identical to an \
+                   uninterrupted run.")
+  in
+  let point_timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "point-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-point wall-clock budget: a point still running past \
+                   it is aborted and flagged $(b,timeout) in the health \
+                   column instead of stalling its worker.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run a parameter sweep (grid, Monte Carlo, corners) over a \
@@ -895,7 +952,184 @@ let sweep_cmd =
           $ sweep_top_arg $ lang_arg $ inputs_arg $ sweep_out_arg $ params_arg
           $ samples_arg $ seed_arg $ jobs_arg $ t_stop_opt $ dt_opt
           $ square_opt $ sine_opt $ mode_opt $ integration_opt
-          $ no_reference_arg $ report_out_arg)
+          $ no_reference_arg $ report_out_arg $ checkpoint_arg $ resume_arg
+          $ point_timeout_arg)
+
+(* serve / submit *)
+
+let serve_cmd =
+  let run socket workers checkpoint_dir point_timeout retries journal_out
+      journal_max_bytes journal_keep obs =
+    if obs then Obs.enable ();
+    (match journal_out with
+    | Some path ->
+        Journal.enable ();
+        (* The daemon never exits in the at_exit sense, and its ring
+           buffers overwrite old events: attach the incremental,
+           size-rotated sink instead of the one-shot dump. *)
+        Journal.attach_sink ~max_bytes:journal_max_bytes ~keep:journal_keep
+          path
+    | None -> ());
+    (match checkpoint_dir with
+    | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+    | _ -> ());
+    let cfg =
+      {
+        Daemon.socket_path = socket;
+        workers;
+        checkpoint_dir;
+        point_timeout_s = point_timeout;
+        retries;
+        ctx_cache_max = 8;
+      }
+    in
+    Daemon.serve cfg;
+    if journal_out <> None then Journal.detach_sink ();
+    if obs then prerr_string (Obs.summary ())
+  in
+  let socket_arg =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket to listen on (created, unlinked on \
+               shutdown).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+         ~doc:"Point-worker processes forked per sweep; each inherits the \
+               warm abstraction cache.")
+  in
+  let checkpoint_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Checkpoint every sweep into $(docv) (created if missing); \
+                 a daemon killed mid-sweep resumes on resubmit.")
+  in
+  let point_timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "point-timeout" ] ~docv:"SECONDS"
+           ~doc:"Default per-point wall-clock budget for specs that set \
+                 none.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+         ~doc:"Re-dispatches per point whose worker crashed, before the \
+               point is reported with a $(b,crashed) verdict.")
+  in
+  let journal_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal-out" ] ~docv:"FILE"
+           ~doc:"Record the structured run journal and flush it to $(docv) \
+                 incrementally (per request and every 32 points).")
+  in
+  let journal_max_bytes_arg =
+    Arg.(value & opt int (8 * 1024 * 1024)
+         & info [ "journal-max-bytes" ] ~docv:"BYTES"
+           ~doc:"Rotate the journal once the live file passes $(docv).")
+  in
+  let journal_keep_arg =
+    Arg.(value & opt int 3 & info [ "journal-keep" ] ~docv:"N"
+         ~doc:"Rotated journal files kept ($(i,FILE.1) newest).")
+  in
+  let obs_arg =
+    Arg.(value & flag
+         & info [ "obs" ]
+             ~doc:"Record spans/metrics; print a summary to stderr on \
+                   shutdown.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the sweep service: a daemon on a Unix-domain socket that \
+             keeps abstraction plans and compiled bytecode warm across \
+             requests, shards points over worker processes, checkpoints \
+             progress and drains cleanly on SIGTERM.")
+    Term.(const run $ socket_arg $ workers_arg $ checkpoint_dir_arg
+          $ point_timeout_arg $ retries_arg $ journal_out_arg
+          $ journal_max_bytes_arg $ journal_keep_arg $ obs_arg)
+
+let submit_cmd =
+  let run socket spec_file jobs ping stats shutdown quiet =
+    let client =
+      try Serve_client.connect socket
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot connect to %s: %s\n" socket
+          (Unix.error_message e);
+        exit 1
+    in
+    let show resp =
+      if not quiet then
+        print_endline (Serve_protocol.encode_response resp)
+    in
+    let rc = ref 0 in
+    let simple req =
+      Serve_client.send client req;
+      match Serve_client.recv client with
+      | Ok resp -> show resp
+      | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          rc := 1
+    in
+    if ping then simple Serve_protocol.Ping;
+    if stats then simple Serve_protocol.Stats;
+    (match spec_file with
+    | Some path -> (
+        let spec_text = read_file path in
+        match
+          Serve_client.submit client ?jobs ~spec_text ~on_event:show ()
+        with
+        | Ok (Serve_protocol.Done { complete; points; unhealthy; _ }) ->
+            if quiet then
+              Printf.printf "done: %d point(s), %d unhealthy%s\n" points
+                unhealthy
+                (if complete then "" else " (INCOMPLETE: daemon drained)");
+            if not complete then rc := 4
+        | Ok _ -> ()
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            rc := 2)
+    | None -> ());
+    if shutdown then simple Serve_protocol.Shutdown;
+    Serve_client.close client;
+    if ping || stats || spec_file <> None || shutdown then exit !rc
+    else begin
+      Printf.eprintf
+        "error: nothing to do (want --spec, --ping, --stats or --shutdown)\n";
+      exit 1
+    end
+  in
+  let socket_arg =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Daemon socket to connect to.")
+  in
+  let spec_arg =
+    Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE"
+         ~doc:"Sweep specification to submit; every streamed frame is \
+               printed as one JSON line.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Override the spec's $(b,jobs) directive.")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Health-check the daemon.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print daemon statistics.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Ask the daemon to drain and exit (after any submit).")
+  in
+  let quiet_arg =
+    Arg.(value & flag
+         & info [ "quiet"; "q" ]
+             ~doc:"Suppress per-frame output; print a one-line summary.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a sweep to a running $(b,amsvp serve) daemon and stream \
+             its per-point results.")
+    Term.(const run $ socket_arg $ spec_arg $ jobs_arg $ ping_arg $ stats_arg
+          $ shutdown_arg $ quiet_arg)
 
 (* lint *)
 
@@ -1008,4 +1242,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "amsvp" ~version:"1.0.0" ~doc)
           [ abstract_cmd; simulate_cmd; report_cmd; explain_cmd; lint_cmd;
-            sweep_cmd; ac_cmd; op_cmd; netlist_cmd ]))
+            sweep_cmd; serve_cmd; submit_cmd; ac_cmd; op_cmd; netlist_cmd ]))

@@ -223,3 +223,83 @@ let write_jsonl path =
   let oc = open_out_bin path in
   output_string oc (to_jsonl ());
   close_out oc
+
+(* ---- incremental sink with rotation ----
+
+   [write_jsonl] rewrites the whole buffer and is fine for one-shot
+   CLI runs that dump once at exit. A daemon never exits, and its ring
+   buffers overwrite old events, so it instead attaches a sink and
+   flushes periodically: each flush appends only the events newer than
+   the previous flush, and the file rotates (path -> path.1 -> ... ->
+   path.keep) once it grows past [max_bytes]. *)
+
+type sink = {
+  s_path : string;
+  s_max_bytes : int option;
+  s_keep : int;
+  mutable s_last_seq : int;  (* highest seq already flushed *)
+  mutable s_bytes : int;  (* bytes written to the live file *)
+}
+
+let sink_lock = Mutex.create ()
+let sink : sink option ref = ref None
+
+let rotated path i = Printf.sprintf "%s.%d" path i
+
+let rotate s =
+  for i = s.s_keep - 1 downto 1 do
+    let src = rotated s.s_path i in
+    if Sys.file_exists src then Sys.rename src (rotated s.s_path (i + 1))
+  done;
+  if s.s_keep >= 1 && Sys.file_exists s.s_path then
+    Sys.rename s.s_path (rotated s.s_path 1)
+  else if Sys.file_exists s.s_path then Sys.remove s.s_path;
+  s.s_bytes <- 0
+
+let flush () =
+  with_lock sink_lock (fun () ->
+      match !sink with
+      | None -> ()
+      | Some s ->
+          let fresh =
+            List.filter (fun e -> e.seq > s.s_last_seq) (events ())
+          in
+          if fresh <> [] then begin
+            let oc =
+              open_out_gen
+                [ Open_append; Open_creat; Open_wronly; Open_binary ]
+                0o644 s.s_path
+            in
+            let b = Buffer.create 4096 in
+            List.iter
+              (fun e ->
+                Buffer.add_string b (event_to_json e);
+                Buffer.add_char b '\n';
+                if e.seq > s.s_last_seq then s.s_last_seq <- e.seq)
+              fresh;
+            output_string oc (Buffer.contents b);
+            close_out oc;
+            s.s_bytes <- s.s_bytes + Buffer.length b;
+            match s.s_max_bytes with
+            | Some limit when s.s_bytes >= limit -> rotate s
+            | _ -> ()
+          end)
+
+let attach_sink ?max_bytes ?(keep = 3) path =
+  (match max_bytes with
+  | Some n when n < 1 ->
+      invalid_arg "Journal.attach_sink: max_bytes must be positive"
+  | _ -> ());
+  if keep < 0 then invalid_arg "Journal.attach_sink: keep must be >= 0";
+  with_lock sink_lock (fun () ->
+      (* Attaching starts a fresh live file: a previous run's log is not
+         silently extended. *)
+      if Sys.file_exists path then Sys.remove path;
+      sink :=
+        Some
+          { s_path = path; s_max_bytes = max_bytes; s_keep = keep;
+            s_last_seq = -1; s_bytes = 0 })
+
+let detach_sink () =
+  flush ();
+  with_lock sink_lock (fun () -> sink := None)

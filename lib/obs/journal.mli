@@ -108,3 +108,30 @@ val to_jsonl : unit -> string
 
 val write_jsonl : string -> unit
 (** [write_jsonl path] dumps {!to_jsonl} to [path]. *)
+
+(** {1 Incremental sink}
+
+    {!write_jsonl} rewrites everything still buffered — right for a
+    one-shot CLI run dumping at exit, wrong for a daemon: it never
+    exits, and the bounded rings overwrite old events long before any
+    [at_exit] dump. A daemon {!attach_sink}s once and calls {!flush}
+    at natural barriers (end of request, end of point batch); each
+    flush appends only events newer than the previous one. *)
+
+val attach_sink : ?max_bytes:int -> ?keep:int -> string -> unit
+(** [attach_sink path] directs {!flush} to append to [path] (truncated
+    on attach — a previous run's log is not silently extended). When
+    [max_bytes] is given, a flush that leaves the file at or past the
+    limit rotates: [path] becomes [path.1], [path.1] becomes [path.2],
+    ... keeping [keep] (default 3) rotated files; the oldest is
+    dropped.
+    @raise Invalid_argument on a non-positive [max_bytes] or negative
+    [keep]. *)
+
+val flush : unit -> unit
+(** Append every event not yet written to the attached sink, then
+    rotate if over the size limit. No-op without a sink. Serialised
+    internally — callable from any domain. *)
+
+val detach_sink : unit -> unit
+(** Final {!flush}, then forget the sink. *)

@@ -1,12 +1,23 @@
 module Obs = Amsvp_obs.Obs
 
-type kind = Nan_or_inf | Amplitude | Stuck | Nrmse_budget
+type kind = Nan_or_inf | Amplitude | Stuck | Nrmse_budget | Timeout | Crashed
 
 let kind_label = function
   | Nan_or_inf -> "nan"
   | Amplitude -> "amplitude"
   | Stuck -> "stuck"
   | Nrmse_budget -> "nrmse-budget"
+  | Timeout -> "timeout"
+  | Crashed -> "crashed"
+
+let kind_of_label = function
+  | "nan" -> Some Nan_or_inf
+  | "amplitude" -> Some Amplitude
+  | "stuck" -> Some Stuck
+  | "nrmse-budget" -> Some Nrmse_budget
+  | "timeout" -> Some Timeout
+  | "crashed" -> Some Crashed
+  | _ -> None
 
 type issue = { kind : kind; time : float; value : float }
 

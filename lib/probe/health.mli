@@ -25,10 +25,25 @@
     (category ["health"], name ["health.<kind>"]) so breaches show up
     in Chrome traces next to the spans that produced them. *)
 
-type kind = Nan_or_inf | Amplitude | Stuck | Nrmse_budget
+type kind =
+  | Nan_or_inf
+  | Amplitude
+  | Stuck
+  | Nrmse_budget
+  | Timeout
+      (** the point's wall-clock budget expired before the simulation
+          finished (sweep worker pools; never fired by a monitor) *)
+  | Crashed
+      (** the worker executing the point died or raised (multi-process
+          sweep service; never fired by a monitor) *)
 
 val kind_label : kind -> string
-(** ["nan"], ["amplitude"], ["stuck"], ["nrmse-budget"]. *)
+(** ["nan"], ["amplitude"], ["stuck"], ["nrmse-budget"], ["timeout"],
+    ["crashed"]. *)
+
+val kind_of_label : string -> kind option
+(** Inverse of {!kind_label} — the checkpoint/protocol codecs read
+    verdicts back from their serialised form. *)
 
 type issue = { kind : kind; time : float; value : float }
 (** [value] is the offending sample (for [Nrmse_budget], the streaming

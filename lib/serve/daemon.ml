@@ -1,0 +1,337 @@
+module Spec = Amsvp_sweep.Spec
+module Runner = Amsvp_sweep.Runner
+module Checkpoint = Amsvp_sweep.Checkpoint
+module Circuits = Amsvp_netlist.Circuits
+module Obs = Amsvp_obs.Obs
+module Journal = Amsvp_obs.Journal
+
+type config = {
+  socket_path : string;
+  workers : int;
+  checkpoint_dir : string option;
+  point_timeout_s : float option;
+  retries : int;
+  ctx_cache_max : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = 2;
+    checkpoint_dir = None;
+    point_timeout_s = None;
+    retries = 1;
+    ctx_cache_max = 8;
+  }
+
+let c_requests =
+  Obs.Counter.make ~help:"serve requests handled" "amsvp_serve_requests_total"
+
+let c_ctx_hits =
+  Obs.Counter.make ~help:"submits served by a warm prepared sweep"
+    "amsvp_serve_ctx_hits_total"
+
+let c_ctx_misses =
+  Obs.Counter.make ~help:"submits that had to prepare from cold"
+    "amsvp_serve_ctx_misses_total"
+
+(* Daemon state. One instance per [serve] call; the signal handlers
+   write only the [draining] flag (the single async-signal-safe thing
+   to do), the main loop polls it. *)
+type state = {
+  cfg : config;
+  draining : bool ref;
+  (* warm prepared sweeps, keyed by canonical spec text + circuit; LRU
+     by re-insertion order in [ctx_order] *)
+  ctxs : (string, Runner.ctx) Hashtbl.t;
+  mutable ctx_order : string list;
+  mutable requests : int;
+  mutable points_run : int;
+  mutable ctx_hits : int;
+  mutable ctx_misses : int;
+  started_ns : int;
+}
+
+let jlog st name payload =
+  ignore st;
+  if Journal.enabled () then Journal.emit ~cat:"serve" name payload
+
+let send conn resp =
+  try Lineio.write_line conn (Protocol.encode_response resp)
+  with Unix.Unix_error _ -> ()
+(* client gone mid-stream: the sweep still runs to the checkpoint, the
+   sends just stop landing anywhere *)
+
+let ctx_key spec circuit = Spec.to_string spec ^ "@" ^ circuit
+
+let ctx_for st spec (tc : Circuits.testcase) =
+  let key = ctx_key spec tc.Circuits.label in
+  match Hashtbl.find_opt st.ctxs key with
+  | Some ctx ->
+      st.ctx_hits <- st.ctx_hits + 1;
+      Obs.Counter.incr c_ctx_hits;
+      jlog st "ctx.hit" [ ("sweep", Journal.S spec.Spec.name) ];
+      ctx
+  | None ->
+      st.ctx_misses <- st.ctx_misses + 1;
+      Obs.Counter.incr c_ctx_misses;
+      jlog st "ctx.miss" [ ("sweep", Journal.S spec.Spec.name) ];
+      let ctx =
+        Obs.with_span ~cat:"serve" "serve.prepare" @@ fun () ->
+        Runner.prepare spec tc
+      in
+      Hashtbl.replace st.ctxs key ctx;
+      st.ctx_order <- key :: List.filter (( <> ) key) st.ctx_order;
+      (if List.length st.ctx_order > st.cfg.ctx_cache_max then
+         match List.rev st.ctx_order with
+         | oldest :: _ ->
+             Hashtbl.remove st.ctxs oldest;
+             st.ctx_order <- List.filter (( <> ) oldest) st.ctx_order
+         | [] -> ());
+      ctx
+
+let checkpoint_path st spec ~circuit =
+  Option.map
+    (fun dir ->
+      Filename.concat dir
+        (Printf.sprintf "%s-%s.ckpt.jsonl" spec.Spec.name
+           (Checkpoint.digest spec ~circuit)))
+    st.cfg.checkpoint_dir
+
+let handle_submit st conn ~id ~spec_text ~jobs =
+  match Spec.of_string spec_text with
+  | Error m -> send conn (Protocol.Failed { message = "bad spec: " ^ m })
+  | Ok spec -> (
+      let spec =
+        match jobs with Some j -> { spec with Spec.jobs = Some j } | None -> spec
+      in
+      match Runner.resolve spec with
+      | Error m -> send conn (Protocol.Failed { message = m })
+      | Ok tc -> (
+          match ctx_for st spec tc with
+          | exception e ->
+              send conn
+                (Protocol.Failed { message = Printexc.to_string e })
+          | ctx ->
+              Obs.with_span ~cat:"serve"
+                ~args:[ ("sweep", spec.Spec.name) ]
+                "serve.request"
+              @@ fun () ->
+              let circuit = tc.Circuits.label in
+              let points = Runner.ctx_points ctx in
+              let total = Array.length points in
+              let ckpt = checkpoint_path st spec ~circuit in
+              let completed, writer =
+                match ckpt with
+                | None -> ([], None)
+                | Some path ->
+                    let completed, w =
+                      Checkpoint.open_resume ~path spec ~circuit ~points:total
+                    in
+                    (completed, Some w)
+              in
+              send conn
+                (Protocol.Accepted
+                   {
+                     id;
+                     sweep = spec.Spec.name;
+                     circuit;
+                     points = total;
+                     resumed = List.length completed;
+                   });
+              (* Recovered points stream first, so the client always
+                 sees the full result set in one session. *)
+              List.iter
+                (fun r -> send conn (Protocol.Point { id; result = r }))
+                completed;
+              let done_idx = Hashtbl.create 16 in
+              List.iter
+                (fun (r : Runner.point_result) ->
+                  Hashtbl.replace done_idx r.Runner.point.index r)
+                completed;
+              let pending =
+                Array.of_list
+                  (List.filter
+                     (fun (p : Amsvp_sweep.Sampler.point) ->
+                       not (Hashtbl.mem done_idx p.index))
+                     (Array.to_list points))
+              in
+              let timeout_s =
+                match spec.Spec.point_timeout with
+                | Some _ as t -> t
+                | None -> st.cfg.point_timeout_s
+              in
+              let signal =
+                match spec.Spec.output with
+                | Some s -> s
+                | None -> Expr.var_name tc.Circuits.output
+              in
+              let executed = ref 0 in
+              let t0 = Obs.now_ns () in
+              let fresh =
+                Procpool.run ~workers:st.cfg.workers ?timeout_s
+                  ~retries:st.cfg.retries ~signal
+                  ~on_result:(fun r ->
+                    incr executed;
+                    st.points_run <- st.points_run + 1;
+                    (match writer with
+                    | Some w -> Checkpoint.append w r
+                    | None -> ());
+                    send conn (Protocol.Point { id; result = r });
+                    (* The worker's own journal events die with its
+                       address space; re-emit the per-point record on
+                       the parent so the sink sees every dispatch. *)
+                    jlog st "shard.result"
+                      [
+                        ("point",
+                         Journal.S r.Runner.point.Amsvp_sweep.Sampler.label);
+                        ("cached", Journal.B r.Runner.cached);
+                        ("healthy",
+                         Journal.B
+                           r.Runner.health.Amsvp_probe.Health.v_healthy);
+                        ("wall_s", Journal.F r.Runner.wall_s);
+                      ];
+                    if !executed land 31 = 0 then Journal.flush ())
+                  ~should_stop:(fun () -> !(st.draining))
+                  (fun ~retry:_ p -> Runner.run_point ?timeout_s ctx p)
+                  pending
+              in
+              let total_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
+              Option.iter Checkpoint.close writer;
+              let delivered =
+                completed
+                @ List.filter_map Fun.id (Array.to_list fresh)
+              in
+              let n_delivered = List.length delivered in
+              let complete = n_delivered = total in
+              (* A finished sweep's checkpoint has served its purpose;
+                 dropping it keeps a resubmit a fresh (warm-ctx) run
+                 rather than an instant replay of stale results. *)
+              (match ckpt with
+              | Some path when complete && Sys.file_exists path ->
+                  Sys.remove path
+              | _ -> ());
+              let count f = List.length (List.filter f delivered) in
+              send conn
+                (Protocol.Done
+                   {
+                     id;
+                     points = n_delivered;
+                     unhealthy =
+                       count (fun (r : Runner.point_result) ->
+                           not r.Runner.health.Amsvp_probe.Health.v_healthy);
+                     cache_hits =
+                       count (fun (r : Runner.point_result) -> r.Runner.cached);
+                     cache_misses =
+                       count (fun (r : Runner.point_result) ->
+                           not r.Runner.cached);
+                     total_s;
+                     complete;
+                   });
+              jlog st "request.done"
+                [
+                  ("sweep", Journal.S spec.Spec.name);
+                  ("points", Journal.I n_delivered);
+                  ("complete", Journal.B complete);
+                  ("total_s", Journal.F total_s);
+                ];
+              Journal.flush ()))
+
+let stats_reply st =
+  Protocol.Stats_reply
+    {
+      st_requests = st.requests;
+      st_points = st.points_run;
+      st_ctx_hits = st.ctx_hits;
+      st_ctx_misses = st.ctx_misses;
+      st_uptime_s = float_of_int (Obs.now_ns () - st.started_ns) *. 1e-9;
+    }
+
+let serve_client st fd =
+  let conn = Lineio.make fd in
+  let rec loop () =
+    if !(st.draining) then ()
+    else
+      match Lineio.read_line conn with
+      | `Eof -> ()
+      | `Eof_partial ->
+          send conn (Protocol.Failed { message = "truncated frame at EOF" })
+      | `Intr -> loop ()
+      | `Line line ->
+          st.requests <- st.requests + 1;
+          Obs.Counter.incr c_requests;
+          (match Protocol.decode_request line with
+          | Error m -> send conn (Protocol.Failed { message = m })
+          | Ok Protocol.Ping -> send conn Protocol.Pong
+          | Ok Protocol.Stats -> send conn (stats_reply st)
+          | Ok Protocol.Shutdown ->
+              send conn Protocol.Bye;
+              st.draining := true
+          | Ok (Protocol.Submit { spec_text; jobs }) ->
+              let id = st.requests in
+              handle_submit st conn ~id ~spec_text ~jobs);
+          loop ()
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve cfg =
+  if cfg.workers < 1 then invalid_arg "Daemon.serve: workers < 1";
+  let draining = ref false in
+  let st =
+    {
+      cfg;
+      draining;
+      ctxs = Hashtbl.create 8;
+      ctx_order = [];
+      requests = 0;
+      points_run = 0;
+      ctx_hits = 0;
+      ctx_misses = 0;
+      started_ns = Obs.now_ns ();
+    }
+  in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> draining := true))
+  in
+  let prev_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> draining := true))
+  in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+      Journal.flush ();
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigpipe prev_pipe)
+  @@ fun () ->
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  Unix.bind sock (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen sock 8;
+  jlog st "up"
+    [
+      ("socket", Journal.S cfg.socket_path);
+      ("workers", Journal.I cfg.workers);
+    ];
+  Journal.flush ();
+  (* One client at a time: requests are serialised, parallelism lives
+     in the per-sweep worker processes. The accept loop polls the
+     drain flag between (short) select timeouts. *)
+  let rec accept_loop () =
+    if !draining then ()
+    else begin
+      (match Unix.select [ sock ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept sock with
+          | fd, _ -> serve_client st fd
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  jlog st "down" [ ("requests", Journal.I st.requests) ]

@@ -1,0 +1,44 @@
+(** The sweep service: a long-running daemon on a Unix-domain socket.
+
+    One-shot [amsvp sweep] pays the whole Fig.-4 abstraction flow —
+    acquisition, enrichment, assembly, bytecode compilation — on every
+    invocation. The daemon pays it once: prepared sweeps
+    ({!Amsvp_sweep.Runner.ctx}, which bundle the recorded plan and the
+    compiled template) stay warm in an LRU cache keyed by the canonical
+    spec text, so a repeated request skips straight to point execution,
+    and the forked {!Procpool} workers inherit the warm cache
+    copy-on-write.
+
+    Requests are served one client at a time over the line-delimited
+    JSON {!Protocol}; within a sweep, points are sharded across
+    [workers] processes. With [checkpoint_dir] set, every completed
+    point is appended to a per-sweep checkpoint file, so a daemon
+    killed mid-sweep resumes on resubmit, streaming recovered points
+    first and executing only the remainder.
+
+    SIGTERM / SIGINT (or a [Shutdown] request) drain gracefully: no new
+    point is dispatched, in-flight points finish and are checkpointed,
+    the client gets a [Done] with [complete = false], the journal sink
+    is flushed and the socket unlinked.
+
+    The caller must keep the process single-domain: the point workers
+    are forked, and fork and live domains do not mix. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** forked point-worker processes per sweep *)
+  checkpoint_dir : string option;
+  point_timeout_s : float option;
+      (** default per-point budget for specs that set none *)
+  retries : int;  (** re-dispatches per crashed point *)
+  ctx_cache_max : int;  (** warm prepared sweeps kept *)
+}
+
+val default_config : socket_path:string -> config
+(** 2 workers, no checkpointing, no timeout, 1 retry, 8 cached
+    sweeps. *)
+
+val serve : config -> unit
+(** Bind, listen and serve until drained. Blocks.
+    @raise Unix.Unix_error when the socket cannot be bound,
+    @raise Invalid_argument on [workers < 1]. *)

@@ -1,0 +1,58 @@
+(** Process-sharded point execution.
+
+    The {!Amsvp_sweep.Pool} runs points on domains inside one runtime;
+    this pool forks {e worker processes} instead, which buys the
+    service three things domains cannot give it: a crashed point
+    (segfault, OOM kill, stack overflow) takes down only its worker,
+    a hung point can be SIGKILLed, and forked children inherit the
+    parent's warm abstraction cache copy-on-write for free.
+
+    Each worker is a line-driven slave on a pipe pair: the parent
+    writes one task line (point + retry count), the child answers one
+    result line in the checkpoint codec, EOF on the task pipe shuts it
+    down. The parent multiplexes all workers with [select] — it stays
+    single-threaded and, critically for fork safety, must not be
+    running other domains.
+
+    Failure handling, per point:
+    - worker death mid-point (EOF / signal) — re-dispatched to a fresh
+      worker up to [retries] times, then reported with a [Crashed]
+      health verdict;
+    - kill-deadline expiry (the in-child cooperative timeout is the
+      primary mechanism; this slack parent-side backstop catches a
+      worker hung outside the stepping loop) — worker SIGKILLed, point
+      reported with a [Timeout] verdict, {e not} retried.
+
+    Dispatch/kill/re-dispatch decisions are journaled in category
+    ["serve"] (["shard.redispatch"], ["shard.kill"],
+    ["shard.crashed"]). *)
+
+val encode_task : Amsvp_sweep.Sampler.point -> retry:int -> string
+(** Exposed for tests. *)
+
+val decode_task : string -> (Amsvp_sweep.Sampler.point * int) option
+
+val run :
+  workers:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?signal:string ->
+  ?on_result:(Amsvp_sweep.Runner.point_result -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  (retry:int -> Amsvp_sweep.Sampler.point -> Amsvp_sweep.Runner.point_result) ->
+  Amsvp_sweep.Sampler.point array ->
+  Amsvp_sweep.Runner.point_result option array
+(** [run ~workers f points] executes every point through [f] in forked
+    workers and returns results indexed like [points]. [f] receives the
+    point's dispatch attempt as [retry] (0 first time) — production
+    callers ignore it; tests use it to crash deterministically. [f]
+    should apply the cooperative timeout itself (e.g.
+    [Runner.run_point ?timeout_s]); [timeout_s] here only arms the
+    parent's kill-deadline backstop. [retries] (default 1) bounds
+    re-dispatches per point. [signal] names the swept output in
+    synthesised [Timeout]/[Crashed] verdicts. [on_result] runs in the
+    parent as each result arrives (checkpoint append / streaming).
+    [should_stop] is polled between dispatches: once true, no new point
+    is dispatched, in-flight points finish, and undispatched slots come
+    back [None].
+    @raise Invalid_argument on [workers < 1]. *)

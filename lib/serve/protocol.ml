@@ -1,0 +1,175 @@
+module Json = Amsvp_util.Json
+module Checkpoint = Amsvp_sweep.Checkpoint
+module Runner = Amsvp_sweep.Runner
+
+let version = 1
+
+type request =
+  | Submit of { spec_text : string; jobs : int option }
+  | Ping
+  | Stats
+  | Shutdown
+
+type stats = {
+  st_requests : int;
+  st_points : int;
+  st_ctx_hits : int;
+  st_ctx_misses : int;
+  st_uptime_s : float;
+}
+
+type response =
+  | Accepted of {
+      id : int;
+      sweep : string;
+      circuit : string;
+      points : int;
+      resumed : int;
+    }
+  | Point of { id : int; result : Runner.point_result }
+  | Done of {
+      id : int;
+      points : int;
+      unhealthy : int;
+      cache_hits : int;
+      cache_misses : int;
+      total_s : float;
+      complete : bool;
+    }
+  | Failed of { message : string }
+  | Pong
+  | Stats_reply of stats
+  | Bye
+
+let jstr = Checkpoint.jstr
+let jnum = Checkpoint.jnum
+
+(* ---- encoders: one line, no trailing newline ---- *)
+
+let encode_request = function
+  | Submit { spec_text; jobs } ->
+      Printf.sprintf "{\"v\":%d,\"req\":\"submit\",\"spec\":%s%s}" version
+        (jstr spec_text)
+        (match jobs with
+        | Some j -> Printf.sprintf ",\"jobs\":%d" j
+        | None -> "")
+  | Ping -> Printf.sprintf "{\"v\":%d,\"req\":\"ping\"}" version
+  | Stats -> Printf.sprintf "{\"v\":%d,\"req\":\"stats\"}" version
+  | Shutdown -> Printf.sprintf "{\"v\":%d,\"req\":\"shutdown\"}" version
+
+let encode_response = function
+  | Accepted { id; sweep; circuit; points; resumed } ->
+      Printf.sprintf
+        "{\"v\":%d,\"ev\":\"accepted\",\"id\":%d,\"sweep\":%s,\"circuit\":%s,\"points\":%d,\"resumed\":%d}"
+        version id (jstr sweep) (jstr circuit) points resumed
+  | Point { id; result } ->
+      Printf.sprintf "{\"v\":%d,\"ev\":\"point\",\"id\":%d,\"result\":%s}"
+        version id
+        (Checkpoint.result_to_json result)
+  | Done { id; points; unhealthy; cache_hits; cache_misses; total_s; complete }
+    ->
+      Printf.sprintf
+        "{\"v\":%d,\"ev\":\"done\",\"id\":%d,\"points\":%d,\"unhealthy\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"total_s\":%s,\"complete\":%b}"
+        version id points unhealthy cache_hits cache_misses (jnum total_s)
+        complete
+  | Failed { message } ->
+      Printf.sprintf "{\"v\":%d,\"ev\":\"error\",\"message\":%s}" version
+        (jstr message)
+  | Pong -> Printf.sprintf "{\"v\":%d,\"ev\":\"pong\"}" version
+  | Stats_reply s ->
+      Printf.sprintf
+        "{\"v\":%d,\"ev\":\"stats\",\"requests\":%d,\"points\":%d,\"ctx_hits\":%d,\"ctx_misses\":%d,\"uptime_s\":%s}"
+        version s.st_requests s.st_points s.st_ctx_hits s.st_ctx_misses
+        (jnum s.st_uptime_s)
+  | Bye -> Printf.sprintf "{\"v\":%d,\"ev\":\"bye\"}" version
+
+(* ---- decoders: total, never raise ---- *)
+
+let parse_frame line =
+  match Json.parse line with
+  | j -> (
+      match Json.mem_float "v" j with
+      | Some v when int_of_float v = version -> Ok j
+      | Some v ->
+          Error
+            (Printf.sprintf "unsupported protocol version %d (want %d)"
+               (int_of_float v) version)
+      | None -> Error "frame has no \"v\" field")
+  | exception Json.Parse_error (m, off) ->
+      Error (Printf.sprintf "malformed frame at offset %d: %s" off m)
+
+let decode_request line =
+  match parse_frame line with
+  | Error _ as e -> e
+  | Ok j -> (
+      match Json.mem_string "req" j with
+      | Some "submit" -> (
+          match Json.mem_string "spec" j with
+          | Some spec_text ->
+              let jobs = Option.map int_of_float (Json.mem_float "jobs" j) in
+              Ok (Submit { spec_text; jobs })
+          | None -> Error "submit frame has no \"spec\" field")
+      | Some "ping" -> Ok Ping
+      | Some "stats" -> Ok Stats
+      | Some "shutdown" -> Ok Shutdown
+      | Some other -> Error (Printf.sprintf "unknown request %S" other)
+      | None -> Error "frame has no \"req\" field")
+
+let decode_response line =
+  let ( let* ) o f =
+    match o with Some v -> f v | None -> Error "malformed response frame"
+  in
+  let int k j = Option.map int_of_float (Json.mem_float k j) in
+  match parse_frame line with
+  | Error _ as e -> e
+  | Ok j -> (
+      match Json.mem_string "ev" j with
+      | Some "accepted" ->
+          let* id = int "id" j in
+          let* sweep = Json.mem_string "sweep" j in
+          let* circuit = Json.mem_string "circuit" j in
+          let* points = int "points" j in
+          let* resumed = int "resumed" j in
+          Ok (Accepted { id; sweep; circuit; points; resumed })
+      | Some "point" -> (
+          let* id = int "id" j in
+          let* rj = Json.member "result" j in
+          match Checkpoint.result_of_json rj with
+          | Ok result -> Ok (Point { id; result })
+          | Error _ as e -> e)
+      | Some "done" ->
+          let* id = int "id" j in
+          let* points = int "points" j in
+          let* unhealthy = int "unhealthy" j in
+          let* cache_hits = int "cache_hits" j in
+          let* cache_misses = int "cache_misses" j in
+          let* total_s = Json.mem_float "total_s" j in
+          let* complete = Json.mem_bool "complete" j in
+          Ok
+            (Done
+               {
+                 id;
+                 points;
+                 unhealthy;
+                 cache_hits;
+                 cache_misses;
+                 total_s;
+                 complete;
+               })
+      | Some "error" ->
+          let* message = Json.mem_string "message" j in
+          Ok (Failed { message })
+      | Some "pong" -> Ok Pong
+      | Some "stats" ->
+          let* st_requests = int "requests" j in
+          let* st_points = int "points" j in
+          let* st_ctx_hits = int "ctx_hits" j in
+          let* st_ctx_misses = int "ctx_misses" j in
+          let* st_uptime_s = Json.mem_float "uptime_s" j in
+          Ok
+            (Stats_reply
+               { st_requests; st_points; st_ctx_hits; st_ctx_misses;
+                 st_uptime_s })
+      | Some "bye" -> Ok Bye
+      | Some other -> Error (Printf.sprintf "unknown event %S" other)
+      | None -> Error "frame has no \"ev\" field")

@@ -1,0 +1,61 @@
+(** Wire protocol of the sweep service: versioned line-delimited JSON.
+
+    Every frame is one JSON object on one line, carrying [{"v":1}].
+    Requests name an operation in ["req"]; responses name an event in
+    ["ev"]. Point results reuse the checkpoint codec
+    ({!Amsvp_sweep.Checkpoint.result_to_json}) verbatim as the
+    ["result"] payload, so a client that can read a checkpoint file can
+    read the stream.
+
+    Decoders are total: a malformed, truncated or wrong-version frame
+    yields [Error] with a human-readable reason, never an exception —
+    a confused client cannot take the daemon down. *)
+
+val version : int
+(** Current protocol version, [1]. *)
+
+type request =
+  | Submit of { spec_text : string; jobs : int option }
+      (** run a sweep; [spec_text] is the {!Amsvp_sweep.Spec} text form *)
+  | Ping
+  | Stats
+  | Shutdown  (** answer [Bye], then drain and exit *)
+
+type stats = {
+  st_requests : int;
+  st_points : int;  (** points executed since start (resumed excluded) *)
+  st_ctx_hits : int;  (** submits served by a warm prepared sweep *)
+  st_ctx_misses : int;
+  st_uptime_s : float;
+}
+
+type response =
+  | Accepted of {
+      id : int;  (** request id; echoed on every event of this sweep *)
+      sweep : string;
+      circuit : string;
+      points : int;  (** full expansion size *)
+      resumed : int;  (** recovered from the checkpoint, streamed first *)
+    }
+  | Point of { id : int; result : Amsvp_sweep.Runner.point_result }
+  | Done of {
+      id : int;
+      points : int;  (** results delivered (= expansion when complete) *)
+      unhealthy : int;
+      cache_hits : int;
+      cache_misses : int;
+      total_s : float;
+      complete : bool;  (** [false] when a drain interrupted the sweep *)
+    }
+  | Failed of { message : string }
+  | Pong
+  | Stats_reply of stats
+  | Bye
+
+val encode_request : request -> string
+(** One line, no trailing newline. *)
+
+val encode_response : response -> string
+
+val decode_request : string -> (request, string) result
+val decode_response : string -> (response, string) result

@@ -1,0 +1,74 @@
+(** Durable per-point progress for sweeps, and the point-result wire
+    codec.
+
+    A checkpoint is a JSONL file: a header line binding the file to one
+    spec + circuit (via an MD5 of the spec's canonical text form), then
+    one self-contained JSON object per {e completed} point, appended and
+    flushed as points finish.  Killing the process — SIGKILL included —
+    loses at most the line being written; {!load} recovers every intact
+    result and a resumed run ({!Runner.run}'s [completed] argument)
+    reruns only the missing points.
+
+    Floats round-trip byte-exactly (%.17g; non-finite values use the
+    journal's ["NaN"]/["Infinity"] string encoding), so a resumed
+    sweep's report equals the uninterrupted one's.
+
+    The per-result codec ({!result_to_json} / {!result_of_json}) is also
+    the payload format the {e serve} protocol streams to clients. *)
+
+val digest : Spec.t -> circuit:string -> string
+(** Hex MD5 of the spec's canonical text form plus the circuit label —
+    the identity a checkpoint header records. *)
+
+(** {1 Point-result codec} *)
+
+val jnum : float -> string
+(** A float as JSON, exact round-trip: [%.17g] when finite, the strings
+    ["NaN"] / ["Infinity"] / ["-Infinity"] otherwise (read back by
+    [Amsvp_util.Json.to_float]). *)
+
+val jstr : string -> string
+(** A quoted, escaped JSON string literal. *)
+
+val result_to_json : Runner.point_result -> string
+(** One-line JSON object (no trailing newline). *)
+
+val result_of_json : Amsvp_util.Json.t -> (Runner.point_result, string) result
+
+val result_of_line : string -> (Runner.point_result, string) result
+(** Parse + decode one line; total. *)
+
+(** {1 Checkpoint files} *)
+
+type writer
+
+val create :
+  path:string -> Spec.t -> circuit:string -> points:int -> writer
+(** Truncate [path] and write the header line. *)
+
+val append : writer -> Runner.point_result -> unit
+(** Append one result line and flush. Serialised internally — safe to
+    call from {!Runner.run}'s [on_point] on any worker domain. *)
+
+val close : writer -> unit
+
+val load :
+  path:string ->
+  Spec.t ->
+  circuit:string ->
+  (Runner.point_result list, string) result
+(** Recovered results, in file order. [Ok []] when the file is missing
+    or empty; [Error] when it exists but its header does not match this
+    spec + circuit. A torn final line (kill mid-write) is silently
+    dropped. *)
+
+val open_resume :
+  path:string ->
+  Spec.t ->
+  circuit:string ->
+  points:int ->
+  Runner.point_result list * writer
+(** [load] then reopen for appending: recovered results plus a writer
+    positioned after them. A missing, empty or {e mismatched} file is
+    truncated to a fresh checkpoint (callers wanting to refuse a
+    mismatch should {!load} first and check). *)

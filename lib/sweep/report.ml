@@ -26,7 +26,7 @@ let jstats (s : Stats.t) =
     s.n (jfloat s.min) (jfloat s.max) (jfloat s.mean) (jfloat s.stddev)
     (jfloat s.p50) (jfloat s.p95)
 
-let json (s : Runner.summary) =
+let json ?(timings = true) (s : Runner.summary) =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
@@ -38,14 +38,14 @@ let json (s : Runner.summary) =
   add "  \"unhealthy\": %d,\n" s.unhealthy;
   add "  \"cache_hits\": %d,\n" s.cache_hits;
   add "  \"cache_misses\": %d,\n" s.cache_misses;
-  add "  \"total_s\": %s,\n" (jfloat s.total_s);
+  add "  \"total_s\": %s,\n" (if timings then jfloat s.total_s else "0");
   add "  \"stats\": {";
   let stats =
     List.filter_map
       (fun (k, v) -> Option.map (fun st -> (k, st)) v)
       [
         ("nrmse", s.nrmse_stats);
-        ("wall_s", s.wall_stats);
+        ("wall_s", if timings then s.wall_stats else None);
         ("out_rms", s.rms_stats);
       ]
   in
@@ -84,7 +84,8 @@ let json (s : Runner.summary) =
                      (jstr (Health.kind_label i.Health.kind))
                      (jfloat i.Health.time) (jfloat i.Health.value))
                  v.Health.v_issues)));
-      add ",\"cached\":%b,\"wall_s\":%s}" r.cached (jfloat r.wall_s))
+      add ",\"cached\":%b,\"wall_s\":%s}" r.cached
+        (if timings then jfloat r.wall_s else "0"))
     s.points;
   add "\n  ]\n}\n";
   Buffer.contents b
@@ -111,7 +112,7 @@ let csv_escape s =
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
-let csv (s : Runner.summary) =
+let csv ?(timings = true) (s : Runner.summary) =
   let b = Buffer.create 4096 in
   let cols = override_columns s in
   let cell v = if Float.is_finite v then Printf.sprintf "%.17g" v else "" in
@@ -150,17 +151,20 @@ let csv (s : Runner.summary) =
                               i.Health.time)
                           r.health.Health.v_issues)));
                string_of_bool r.cached;
-               cell r.wall_s;
+               (if timings then cell r.wall_s else "");
              ]));
       Buffer.add_char b '\n')
     s.points;
   Buffer.contents b
 
-let write ~basename s =
+let write ?timings ~basename s =
   let out path contents =
     let oc = open_out path in
     output_string oc contents;
     close_out oc;
     path
   in
-  [ out (basename ^ ".json") (json s); out (basename ^ ".csv") (csv s) ]
+  [
+    out (basename ^ ".json") (json ?timings s);
+    out (basename ^ ".csv") (csv ?timings s);
+  ]

@@ -5,11 +5,21 @@
     per-point result, and a flat CSV table (one row per point, one
     column per overridden parameter) for spreadsheet-side analysis.
     Non-finite numbers are emitted as [null] in JSON and as empty cells
-    in CSV. *)
+    in CSV.
 
-val json : Runner.summary -> string
-val csv : Runner.summary -> string
+    [timings] (default [true]) controls the volatile wall-clock fields
+    ([total_s], per-point [wall_s] and the [wall_s] stats block): with
+    [~timings:false] they are scrubbed (zeroed / omitted), making the
+    report a pure function of the point values — two runs of the same
+    spec, including a checkpoint-resumed one, compare byte-for-byte. *)
 
-val write : basename:string -> Runner.summary -> string list
+val json_escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control characters) —
+    shared with the checkpoint and service-protocol writers. *)
+
+val json : ?timings:bool -> Runner.summary -> string
+val csv : ?timings:bool -> Runner.summary -> string
+
+val write : ?timings:bool -> basename:string -> Runner.summary -> string list
 (** [write ~basename summary] writes [basename ^ ".json"] and
     [basename ^ ".csv"]; returns the paths written. *)

@@ -49,6 +49,10 @@ let c_cache_misses =
   Obs.Counter.make ~help:"sweep points needing a full per-point abstraction"
     "amsvp_sweep_cache_misses_total"
 
+let c_timeouts =
+  Obs.Counter.make ~help:"sweep points aborted by the per-point timeout"
+    "amsvp_sweep_point_timeouts_total"
+
 let h_point_seconds =
   Obs.Histogram.make ~help:"wall-clock seconds per sweep point"
     ~buckets:[| 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
@@ -82,7 +86,30 @@ let stimulus_fn = function
   | Spec.Square { period; low; high } -> Stimulus.square ~period ~low ~high
   | Spec.Sine { freq; amplitude } -> Stimulus.sine ~freq ~amplitude ()
 
-let run ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
+(* A prepared sweep: everything shared by every point — the probed
+   circuit, stimuli, the recorded abstraction plan and its compiled
+   bytecode template — computed once.  The one-shot [run] builds one
+   and discards it; the serve daemon keeps it warm across requests and
+   forked worker shards inherit it for free. *)
+type ctx = {
+  c_spec : Spec.t;
+  c_tc : Circuits.testcase;
+  c_jobs : int;
+  c_output : Expr.var;
+  c_dt : float;
+  c_t_stop : float;
+  c_probed : Circuit.t;
+  c_stim_assoc : (string * Stimulus.t) list;
+  c_cache : Abscache.t;
+  c_points : Sampler.point array;
+}
+
+let ctx_spec c = c.c_spec
+let ctx_label c = c.c_tc.Circuits.label
+let ctx_jobs c = c.c_jobs
+let ctx_points c = c.c_points
+
+let prepare ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
   (match Spec.validate spec with
   | Ok () -> ()
   | Error m -> invalid_arg ("Sweep: " ^ m));
@@ -122,118 +149,190 @@ let run ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
   let stim_assoc = List.map (fun n -> (n, stim_of n)) input_names in
   (* The plan is recorded once, on this domain, before any worker
      starts: the cache is immutable afterwards, so replaying it from
-     several domains needs no synchronisation and every point sees the
-     same plan no matter the schedule. *)
+     several domains (or forked worker processes) needs no
+     synchronisation and every point sees the same plan no matter the
+     schedule. *)
   let cache =
     Abscache.build ~mode:spec.mode ~integration:spec.integration
       ~name:(tc.Circuits.label ^ "_sweep") ~dt probed ~outputs:[ output ]
   in
   let points = Array.of_list (Sampler.points spec) in
-  let exec (p : Sampler.point) =
-    Obs.with_span ~cat:"sweep" ~args:[ ("point", p.Sampler.label) ]
-      "sweep.point"
-    @@ fun () ->
-    let t0 = Obs.now_ns () in
-    let circuit = Circuit.override probed p.Sampler.overrides in
-    let program, cached =
-      match Abscache.rebind cache circuit with
-      | Some program ->
-          Obs.Counter.incr c_cache_hits;
-          (program, true)
-      | None ->
-          Obs.Counter.incr c_cache_misses;
-          let rep =
-            Flow.abstract_circuit
-              ~name:(tc.Circuits.label ^ "_sweep")
-              ~mode:spec.mode ~integration:spec.integration circuit
-              ~outputs:[ output ] ~dt
-          in
-          (rep.Flow.program, false)
-    in
+  {
+    c_spec = spec;
+    c_tc = tc;
+    c_jobs = jobs;
+    c_output = output;
+    c_dt = dt;
+    c_t_stop = t_stop;
+    c_probed = probed;
+    c_stim_assoc = stim_assoc;
+    c_cache = cache;
+    c_points = points;
+  }
+
+(* Cooperative per-point timeout: the runners' [?observe] hook fires
+   once per step, so a deadline check there aborts a runaway point from
+   inside the loop without preemption.  The clock read is amortised
+   over 64 steps — the hook itself is otherwise one branch. *)
+exception Timed_out of float (* simulated seconds at abort *)
+
+let deadline_observe ~deadline_ns =
+  let k = ref 0 in
+  fun time (_ : Expr.var -> float) ->
+    incr k;
+    if !k land 63 = 0 && Obs.now_ns () > deadline_ns then
+      raise (Timed_out time)
+
+let timeout_result ctx (p : Sampler.point) ~cached ~sim_time ~wall_s =
+  Obs.Counter.incr c_timeouts;
+  if Journal.enabled () then
+    Journal.emit ~severity:Journal.Warn ~cat:"sweep" "point.timeout"
+      [
+        ("point", Journal.S p.Sampler.label);
+        ("wall_s", Journal.F wall_s);
+        ("sim_time", Journal.F sim_time);
+      ];
+  {
+    point = p;
+    out_final = nan;
+    out_rms = nan;
+    nrmse = None;
+    health =
+      {
+        Health.v_signal = Expr.var_name ctx.c_output;
+        v_healthy = false;
+        v_issues =
+          [ { Health.kind = Health.Timeout; time = sim_time; value = wall_s } ];
+      };
+    cached;
+    wall_s;
+  }
+
+let run_point ?timeout_s ctx (p : Sampler.point) =
+  Obs.with_span ~cat:"sweep" ~args:[ ("point", p.Sampler.label) ] "sweep.point"
+  @@ fun () ->
+  let spec = ctx.c_spec in
+  let timeout_s =
+    match timeout_s with Some _ -> timeout_s | None -> spec.Spec.point_timeout
+  in
+  let t0 = Obs.now_ns () in
+  let observe =
+    Option.map
+      (fun t -> deadline_observe ~deadline_ns:(t0 + int_of_float (t *. 1e9)))
+      timeout_s
+  in
+  let circuit = Circuit.override ctx.c_probed p.Sampler.overrides in
+  let program, cached =
+    match Abscache.rebind ctx.c_cache circuit with
+    | Some program ->
+        Obs.Counter.incr c_cache_hits;
+        (program, true)
+    | None ->
+        Obs.Counter.incr c_cache_misses;
+        let rep =
+          Flow.abstract_circuit
+            ~name:(ctx.c_tc.Circuits.label ^ "_sweep")
+            ~mode:spec.mode ~integration:spec.integration circuit
+            ~outputs:[ ctx.c_output ] ~dt:ctx.c_dt
+        in
+        (rep.Flow.program, false)
+  in
+  match
     let runner =
       (* On a plan replay the bytecode template re-targets for free;
          cache misses (and shape drift) compile from scratch. *)
       let compiled =
-        if cached then Abscache.compiled_for cache program else None
+        if cached then Abscache.compiled_for ctx.c_cache program else None
       in
       Sfprogram.Runner.create ?compiled program
     in
     let stimuli =
       Array.of_list
         (List.map
-           (fun n -> List.assoc n stim_assoc)
+           (fun n -> List.assoc n ctx.c_stim_assoc)
            program.Sfprogram.inputs)
     in
-    let trace = Sfprogram.Runner.run runner ~stimuli ~t_stop () in
-    let values = Trace.values trace in
-    let n = Array.length values in
-    let out_final = if n = 0 then 0.0 else values.(n - 1) in
-    let out_rms =
-      if n = 0 then 0.0
-      else
-        sqrt
-          (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 values
-          /. float_of_int n)
+    let trace =
+      Sfprogram.Runner.run runner ~stimuli ~t_stop:ctx.c_t_stop ?observe ()
     in
     let reference =
       if not spec.reference then None
       else
         Some
-          (Engine.spice_like ~substeps:1 ~iterations:3 circuit
-             ~inputs:stim_assoc ~output ~dt ~t_stop)
+          (Engine.spice_like ~substeps:1 ~iterations:3 ?observe circuit
+             ~inputs:ctx.c_stim_assoc ~output:ctx.c_output ~dt:ctx.c_dt
+             ~t_stop:ctx.c_t_stop)
     in
-    let nrmse =
-      match reference with
-      | None -> None
-      | Some r ->
-          Some
-            (Metrics.nrmse_traces ~reference:r.Engine.trace trace ~t0:0.0
-               ~dt:(t_stop /. 1000.0) ~n:999)
-    in
-    (* The recorded trace is replayed through a health monitor after the
-       run: same verdict as a live probe would give, with zero cost on
-       the stepping loop. With a reference engine on, the monitor also
-       streams the NRMSE watchdog against the interpolated reference. *)
-    let health =
-      let config =
-        { Health.default_config with nrmse_budget = spec.nrmse_budget }
+    (trace, reference)
+  with
+  | exception Timed_out sim_time ->
+      let wall_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
+      Obs.Counter.incr c_points;
+      Obs.Histogram.observe h_point_seconds wall_s;
+      timeout_result ctx p ~cached ~sim_time ~wall_s
+  | trace, reference ->
+      let t_stop = ctx.c_t_stop in
+      let values = Trace.values trace in
+      let n = Array.length values in
+      let out_final = if n = 0 then 0.0 else values.(n - 1) in
+      let out_rms =
+        if n = 0 then 0.0
+        else
+          sqrt
+            (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 values
+            /. float_of_int n)
       in
-      let mon = Health.create ~config (Expr.var_name output) in
-      let n = Trace.length trace in
-      (match reference with
-      | None ->
-          for i = 0 to n - 1 do
-            Health.observe mon ~time:(Trace.time trace i)
-              (Trace.value trace i)
-          done
-      | Some r ->
-          for i = 0 to n - 1 do
-            let t = Trace.time trace i in
-            Health.observe_ref mon ~time:t ~value:(Trace.value trace i)
-              ~reference:(Trace.sample_at r.Engine.trace t)
-          done);
-      Health.verdict mon
-    in
-    let wall_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
-    Obs.Counter.incr c_points;
-    Obs.Histogram.observe h_point_seconds wall_s;
-    if Journal.enabled () then
-      (* One event per dispatched point, recorded on the worker domain
-         that ran it — the journal's per-domain buffers make this safe
-         and the merge at collection keeps dispatch order readable. *)
-      Journal.emit ~cat:"sweep" "point"
-        [
-          ("point", Journal.S p.Sampler.label);
-          ("cached", Journal.B cached);
-          ("wall_s", Journal.F wall_s);
-          ("healthy", Journal.B health.Health.v_healthy);
-          ("out_final", Journal.F out_final);
-        ];
-    { point = p; out_final; out_rms; nrmse; health; cached; wall_s }
-  in
-  let t0 = Obs.now_ns () in
-  let results = Pool.run ~jobs exec points in
-  let total_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
+      let nrmse =
+        match reference with
+        | None -> None
+        | Some r ->
+            Some
+              (Metrics.nrmse_traces ~reference:r.Engine.trace trace ~t0:0.0
+                 ~dt:(t_stop /. 1000.0) ~n:999)
+      in
+      (* The recorded trace is replayed through a health monitor after
+         the run: same verdict as a live probe would give, with zero
+         cost on the stepping loop. With a reference engine on, the
+         monitor also streams the NRMSE watchdog against the
+         interpolated reference. *)
+      let health =
+        let config =
+          { Health.default_config with nrmse_budget = spec.nrmse_budget }
+        in
+        let mon = Health.create ~config (Expr.var_name ctx.c_output) in
+        let n = Trace.length trace in
+        (match reference with
+        | None ->
+            for i = 0 to n - 1 do
+              Health.observe mon ~time:(Trace.time trace i)
+                (Trace.value trace i)
+            done
+        | Some r ->
+            for i = 0 to n - 1 do
+              let t = Trace.time trace i in
+              Health.observe_ref mon ~time:t ~value:(Trace.value trace i)
+                ~reference:(Trace.sample_at r.Engine.trace t)
+            done);
+        Health.verdict mon
+      in
+      let wall_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
+      Obs.Counter.incr c_points;
+      Obs.Histogram.observe h_point_seconds wall_s;
+      if Journal.enabled () then
+        (* One event per dispatched point, recorded on the worker domain
+           that ran it — the journal's per-domain buffers make this safe
+           and the merge at collection keeps dispatch order readable. *)
+        Journal.emit ~cat:"sweep" "point"
+          [
+            ("point", Journal.S p.Sampler.label);
+            ("cached", Journal.B cached);
+            ("wall_s", Journal.F wall_s);
+            ("healthy", Journal.B health.Health.v_healthy);
+            ("out_final", Journal.F out_final);
+          ];
+      { point = p; out_final; out_rms; nrmse; health; cached; wall_s }
+
+let summarize ctx (results : point_result array) ~total_s =
   let series f =
     Stats.of_array
       (Array.of_list (List.filter_map f (Array.to_list results)))
@@ -242,9 +341,9 @@ let run ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
     Array.fold_left (fun n r -> if r.cached then n + 1 else n) 0 results
   in
   {
-    spec;
-    label = tc.Circuits.label;
-    jobs;
+    spec = ctx.c_spec;
+    label = ctx.c_tc.Circuits.label;
+    jobs = ctx.c_jobs;
     points = results;
     nrmse_stats = series (fun r -> r.nrmse);
     wall_stats = series (fun r -> Some r.wall_s);
@@ -257,3 +356,45 @@ let run ?jobs (spec : Spec.t) (tc : Circuits.testcase) =
     cache_misses = Array.length results - hits;
     total_s;
   }
+
+let run ?jobs ?timeout_s ?on_point ?(completed = []) (spec : Spec.t)
+    (tc : Circuits.testcase) =
+  let ctx = prepare ?jobs spec tc in
+  let total = Array.length ctx.c_points in
+  (* Checkpointed results replace execution for their points: the merge
+     below reassembles expansion order, so a resumed sweep reports
+     exactly as an uninterrupted one (modulo wall clocks). *)
+  let prior : (int, point_result) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : point_result) ->
+      let i = r.point.Sampler.index in
+      if i < 0 || i >= total then
+        invalid_arg
+          (Printf.sprintf "Sweep: completed point index %d outside 0..%d" i
+             (total - 1));
+      Hashtbl.replace prior i r)
+    completed;
+  let pending =
+    Array.of_list
+      (List.filter
+         (fun (p : Sampler.point) -> not (Hashtbl.mem prior p.Sampler.index))
+         (Array.to_list ctx.c_points))
+  in
+  let exec p =
+    let r = run_point ?timeout_s ctx p in
+    (match on_point with Some f -> f r | None -> ());
+    r
+  in
+  let t0 = Obs.now_ns () in
+  let fresh = Pool.run ~jobs:ctx.c_jobs exec pending in
+  let total_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
+  let merged =
+    if Hashtbl.length prior = 0 then fresh
+    else begin
+      Array.iter (fun r -> Hashtbl.replace prior r.point.Sampler.index r) fresh;
+      Array.map
+        (fun (p : Sampler.point) -> Hashtbl.find prior p.Sampler.index)
+        ctx.c_points
+    end
+  in
+  summarize ctx merged ~total_s

@@ -10,7 +10,12 @@
     Points are executed by a {!Pool} of worker domains.  All inputs to
     a point (its overrides, the shared plan, the stimuli) are computed
     upfront on the calling domain, so the per-point value results are a
-    pure function of the spec: identical for any [jobs]. *)
+    pure function of the spec: identical for any [jobs].
+
+    The per-point machinery is also exposed piecewise — {!prepare} once,
+    {!run_point} many — so a long-running service can keep the prepared
+    sweep (probed circuit, recorded plan, compiled bytecode template)
+    warm across requests and dispatch points from its own scheduler. *)
 
 type point_result = {
   point : Sampler.point;
@@ -22,7 +27,9 @@ type point_result = {
           amplitude and stuck-at detection always run; the NRMSE-budget
           watchdog additionally runs when the spec enables the reference
           and sets [nrmse_budget].  A single bad Monte-Carlo point is
-          identifiable from the report without rerunning. *)
+          identifiable from the report without rerunning.  A point
+          aborted by the wall-clock budget carries a single [Timeout]
+          issue (and NaN values) instead. *)
   cached : bool;  (** program obtained by cache replay *)
   wall_s : float;  (** wall-clock seconds for this point *)
 }
@@ -51,8 +58,58 @@ val resolve : Spec.t -> (Amsvp_netlist.Circuits.testcase, string) result
 (** The built-in test case named by the spec ([circuit] directive,
     default ["RECT"]). *)
 
+(** {1 Prepared sweeps} *)
+
+type ctx
+(** A validated, fully prepared sweep over one test case: the probed
+    circuit, resolved stimuli, the recorded abstraction plan with its
+    compiled bytecode template, and the materialised point list.
+    Immutable once built — safe to share across domains and inherited
+    for free by forked worker processes. *)
+
+val prepare : ?jobs:int -> Spec.t -> Amsvp_netlist.Circuits.testcase -> ctx
+(** Validate the spec, lint the circuit once, record the abstraction
+    plan and expand the scenario points.  [jobs] defaults to the spec's
+    [jobs] directive, then to 1.
+    @raise Invalid_argument on an invalid spec or output, and whatever
+    the circuit lint gate raises on a structurally broken circuit. *)
+
+val ctx_spec : ctx -> Spec.t
+val ctx_label : ctx -> string
+val ctx_jobs : ctx -> int
+
+val ctx_points : ctx -> Sampler.point array
+(** Points in expansion order; [point.index] is the slot in this
+    array. *)
+
+val run_point : ?timeout_s:float -> ctx -> Sampler.point -> point_result
+(** Execute one point.  [timeout_s] (defaulting to the spec's
+    [point_timeout]) bounds the point's wall clock: the simulation
+    loops are aborted cooperatively once it expires and the result
+    carries a [Timeout] health issue with NaN values instead of
+    stalling the caller. *)
+
+val summarize : ctx -> point_result array -> total_s:float -> summary
+(** Aggregate per-point results (expected in expansion order) into the
+    report-ready summary. *)
+
 val run :
-  ?jobs:int -> Spec.t -> Amsvp_netlist.Circuits.testcase -> summary
-(** Execute the sweep over the given test case.  [jobs] defaults to the
-    spec's [jobs] directive, then to 1.
-    @raise Invalid_argument on an invalid spec or output. *)
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?on_point:(point_result -> unit) ->
+  ?completed:point_result list ->
+  Spec.t ->
+  Amsvp_netlist.Circuits.testcase ->
+  summary
+(** Execute the sweep over the given test case: {!prepare}, a {!Pool}
+    dispatch of {!run_point} over every pending point, {!summarize}.
+
+    [completed] injects results recovered from a checkpoint: their
+    points are skipped and the recovered results merged back in
+    expansion order, so a resumed sweep summarises exactly like an
+    uninterrupted one (wall clocks aside).  [on_point] is invoked once
+    per freshly executed point as it finishes — on the worker domain
+    that ran it, so the callback must be domain-safe; checkpoint
+    appends and service streaming hang off it.
+    @raise Invalid_argument on an invalid spec or output, or on a
+    [completed] point index outside the expansion. *)

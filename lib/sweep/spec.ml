@@ -26,6 +26,7 @@ type t = {
   jobs : int option;
   reference : bool;
   nrmse_budget : float option;
+  point_timeout : float option;
   axes : axis list;
   corners : corner list;
 }
@@ -45,6 +46,7 @@ let default =
     jobs = None;
     reference = true;
     nrmse_budget = None;
+    point_timeout = None;
     axes = [];
     corners = [];
   }
@@ -87,6 +89,10 @@ let diagnose s =
       (match s.nrmse_budget with
       | Some b when not (b > 0.0) ->
           err "AMS051" "nrmse_budget must be positive"
+      | Some _ | None -> None);
+      (match s.point_timeout with
+      | Some t when not (t > 0.0) ->
+          err "AMS051" "point_timeout must be positive"
       | Some _ | None -> None);
     ]
   in
@@ -184,6 +190,9 @@ let to_string s =
   (match s.nrmse_budget with
   | Some v -> line "nrmse_budget %s" (fl v)
   | None -> ());
+  (match s.point_timeout with
+  | Some v -> line "point_timeout %s" (fl v)
+  | None -> ());
   List.iter
     (fun a -> line "param %s %s" a.param (range_to_string a.range))
     s.axes;
@@ -279,6 +288,8 @@ let parse_line spec tokens =
       in
       { spec with reference }
   | "nrmse_budget" :: v :: [] -> { spec with nrmse_budget = Some (float_of v) }
+  | "point_timeout" :: v :: [] ->
+      { spec with point_timeout = Some (float_of v) }
   | "param" :: param :: range ->
       { spec with axes = spec.axes @ [ { param; range = parse_range range } ] }
   | "corner" :: corner_name :: (_ :: _ as binds) ->

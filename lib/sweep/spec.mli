@@ -46,6 +46,10 @@ type t = {
       (** accuracy watchdog: a point whose streaming NRMSE against the
           reference exceeds this budget is flagged unhealthy in the
           report (needs [reference]) *)
+  point_timeout : float option;
+      (** per-point wall-clock budget in seconds: a point still running
+          past it is aborted and flagged with a [Timeout] verdict
+          instead of stalling its worker (CLI pool and serve shards) *)
   axes : axis list;
   corners : corner list;
 }

@@ -1,0 +1,509 @@
+(* Tests for the sweep service: protocol codec round-trips and
+   malformed-frame rejection, checkpoint recovery and resume
+   determinism, the forked worker pool's crash re-dispatch and timeout
+   kill paths, and a fork-the-daemon end-to-end session. *)
+
+module Spec = Amsvp_sweep.Spec
+module Sampler = Amsvp_sweep.Sampler
+module Runner = Amsvp_sweep.Runner
+module Report = Amsvp_sweep.Report
+module Checkpoint = Amsvp_sweep.Checkpoint
+module Protocol = Amsvp_serve.Protocol
+module Procpool = Amsvp_serve.Procpool
+module Daemon = Amsvp_serve.Daemon
+module Client = Amsvp_serve.Client
+module Health = Amsvp_probe.Health
+module Json = Amsvp_util.Json
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+(* ---- generators ---- *)
+
+let hostile_floats =
+  [| nan; infinity; neg_infinity; 0.0; -0.0; 1e-300; -1.5e300; 0.1 |]
+
+let gen_float =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, float);
+        (2, map (fun i -> hostile_floats.(i mod Array.length hostile_floats))
+             nat);
+      ])
+
+let hostile_strings =
+  [ ""; "plain"; "\"quoted\""; "back\\slash"; "new\nline"; "tab\there";
+    "\x01control"; "V(out,gnd)"; "caf\xc3\xa9" ]
+
+let gen_string =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, oneofl hostile_strings);
+        (1, string_size ~gen:printable (int_bound 20));
+      ])
+
+let gen_issue =
+  QCheck.Gen.(
+    let kind =
+      oneofl
+        [ Health.Nan_or_inf; Health.Amplitude; Health.Stuck;
+          Health.Nrmse_budget; Health.Timeout; Health.Crashed ]
+    in
+    map3 (fun kind time value -> { Health.kind; time; value }) kind gen_float
+      gen_float)
+
+let gen_result =
+  let open QCheck.Gen in
+  int_bound 5000 >>= fun index ->
+  gen_string >>= fun label ->
+  list_size (int_bound 4)
+    (pair (oneofl [ "r1.r"; "d1.g_on"; "weird\"key" ]) gen_float)
+  >>= fun overrides ->
+  gen_float >>= fun out_final ->
+  gen_float >>= fun out_rms ->
+  opt gen_float >>= fun nrmse ->
+  gen_string >>= fun signal ->
+  bool >>= fun healthy ->
+  list_size (int_bound 3) gen_issue >>= fun issues ->
+  bool >>= fun cached ->
+  gen_float >|= fun wall_s ->
+  {
+    Runner.point = { Sampler.index; label; overrides };
+    out_final;
+    out_rms;
+    nrmse;
+    health = { Health.v_signal = signal; v_healthy = healthy; v_issues = issues };
+    cached;
+    wall_s;
+  }
+
+(* Encoded-form equality sidesteps NaN <> NaN: the codec is canonical,
+   so equal encodings mean equal values. *)
+let reencodes_to_same to_json of_json r =
+  let line = to_json r in
+  match of_json line with
+  | Error m -> QCheck.Test.fail_reportf "decode failed on %s: %s" line m
+  | Ok r' ->
+      let line' = to_json r' in
+      if line <> line' then
+        QCheck.Test.fail_reportf "not canonical:\n  %s\n  %s" line line'
+      else true
+
+(* ---- protocol ---- *)
+
+let prop_result_roundtrip =
+  QCheck.Test.make ~name:"point-result codec round-trips" ~count:300
+    (QCheck.make gen_result)
+    (reencodes_to_same Checkpoint.result_to_json Checkpoint.result_of_line)
+
+let prop_point_frame_roundtrip =
+  QCheck.Test.make ~name:"point frames round-trip" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_bound 99) gen_result))
+    (fun (id, result) ->
+      reencodes_to_same
+        (fun (id, result) ->
+          Protocol.encode_response (Protocol.Point { id; result }))
+        (fun line ->
+          match Protocol.decode_response line with
+          | Ok (Protocol.Point { id; result }) -> Ok (id, result)
+          | Ok _ -> Error "wrong constructor"
+          | Error _ as e -> e)
+        (id, result))
+
+let prop_submit_roundtrip =
+  QCheck.Test.make ~name:"submit frames round-trip" ~count:200
+    (QCheck.make QCheck.Gen.(pair gen_string (opt (int_bound 64))))
+    (fun (spec_text, jobs) ->
+      let req = Protocol.Submit { spec_text; jobs } in
+      match Protocol.decode_request (Protocol.encode_request req) with
+      | Ok (Protocol.Submit { spec_text = st; jobs = j }) ->
+          st = spec_text && j = jobs
+      | _ -> false)
+
+let test_simple_frames_roundtrip () =
+  let reqs = [ Protocol.Ping; Protocol.Stats; Protocol.Shutdown ] in
+  List.iter
+    (fun r ->
+      match Protocol.decode_request (Protocol.encode_request r) with
+      | Ok r' -> Alcotest.(check bool) "request" true (r = r')
+      | Error m -> Alcotest.failf "decode: %s" m)
+    reqs;
+  let resps =
+    [
+      Protocol.Accepted
+        { id = 3; sweep = "mc"; circuit = "RECT"; points = 66; resumed = 2 };
+      Protocol.Done
+        {
+          id = 3;
+          points = 66;
+          unhealthy = 1;
+          cache_hits = 60;
+          cache_misses = 6;
+          total_s = 1.25;
+          complete = false;
+        };
+      Protocol.Failed { message = "bad spec: line 2" };
+      Protocol.Pong;
+      Protocol.Stats_reply
+        {
+          st_requests = 9;
+          st_points = 120;
+          st_ctx_hits = 7;
+          st_ctx_misses = 2;
+          st_uptime_s = 3.5;
+        };
+      Protocol.Bye;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.decode_response (Protocol.encode_response r) with
+      | Ok r' -> Alcotest.(check bool) "response" true (r = r')
+      | Error m -> Alcotest.failf "decode: %s" m)
+    resps
+
+let test_malformed_frames_rejected () =
+  let assert_err what = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should have been rejected" what
+  in
+  let bad =
+    [
+      ("empty", "");
+      ("not json", "hello");
+      ("wrong version", "{\"v\":2,\"req\":\"ping\"}");
+      ("no version", "{\"req\":\"ping\"}");
+      ("unknown req", "{\"v\":1,\"req\":\"explode\"}");
+      ("submit without spec", "{\"v\":1,\"req\":\"submit\"}");
+      ("array frame", "[1,2,3]");
+    ]
+  in
+  List.iter (fun (what, line) -> assert_err what (Protocol.decode_request line)) bad;
+  (* Truncations of a valid frame must all be rejected, never raise. *)
+  let whole =
+    Protocol.encode_response
+      (Protocol.Accepted
+         { id = 1; sweep = "s\"weird"; circuit = "RECT"; points = 5;
+           resumed = 0 })
+  in
+  for n = 0 to String.length whole - 1 do
+    assert_err
+      (Printf.sprintf "truncated at %d" n)
+      (Protocol.decode_response (String.sub whole 0 n))
+  done;
+  assert_err "unknown event" (Protocol.decode_response "{\"v\":1,\"ev\":\"nope\"}")
+
+(* ---- checkpoint files ---- *)
+
+let small_spec =
+  {
+    Spec.default with
+    name = "srv";
+    circuit = Some "RECT";
+    t_stop = Some 2e-4;
+    dt = Some 1e-6;
+    samples = 4;
+    seed = 11;
+    axes =
+      [ { Spec.param = "d1.g_on"; range = Spec.Uniform { lo = 5e-3; hi = 2e-2 } } ];
+    corners =
+      [ { Spec.corner_name = "worst"; binds = [ ("r1.r", 2.2e3) ] } ];
+  }
+
+let resolve_exn spec =
+  match Runner.resolve spec with
+  | Ok tc -> tc
+  | Error m -> Alcotest.failf "resolve: %s" m
+
+let test_checkpoint_roundtrip () =
+  let path = tmp "amsvp_ckpt_rt.jsonl" in
+  let tc = resolve_exn small_spec in
+  let summary = Runner.run small_spec tc in
+  let w =
+    Checkpoint.create ~path small_spec ~circuit:"RECT"
+      ~points:(Array.length summary.Runner.points)
+  in
+  Array.iter (Checkpoint.append w) summary.Runner.points;
+  Checkpoint.close w;
+  (match Checkpoint.load ~path small_spec ~circuit:"RECT" with
+  | Error m -> Alcotest.failf "load: %s" m
+  | Ok rs ->
+      Alcotest.(check int) "count" (Array.length summary.Runner.points)
+        (List.length rs);
+      List.iteri
+        (fun i (r : Runner.point_result) ->
+          let orig = summary.Runner.points.(i) in
+          Alcotest.(check string)
+            "identical line"
+            (Checkpoint.result_to_json orig)
+            (Checkpoint.result_to_json r))
+        rs);
+  Sys.remove path
+
+let test_checkpoint_mismatch_and_torn_tail () =
+  let path = tmp "amsvp_ckpt_mm.jsonl" in
+  let tc = resolve_exn small_spec in
+  let ctx = Runner.prepare small_spec tc in
+  let p0 = Runner.run_point ctx (Runner.ctx_points ctx).(0) in
+  let w = Checkpoint.create ~path small_spec ~circuit:"RECT" ~points:5 in
+  Checkpoint.append w p0;
+  Checkpoint.append w p0;
+  Checkpoint.close w;
+  (* Foreign spec: same file, different seed -> digest mismatch. *)
+  let other = { small_spec with Spec.seed = 99 } in
+  (match Checkpoint.load ~path other ~circuit:"RECT" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mismatched header should be rejected");
+  (* Torn tail: a kill mid-write leaves a partial line; recovery keeps
+     the intact prefix. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"index\":4,\"label\":\"p00";
+  close_out oc;
+  (match Checkpoint.load ~path small_spec ~circuit:"RECT" with
+  | Error m -> Alcotest.failf "torn load: %s" m
+  | Ok rs -> Alcotest.(check int) "torn tail dropped" 2 (List.length rs));
+  Sys.remove path
+
+let test_resume_determinism () =
+  let path = tmp "amsvp_ckpt_resume.jsonl" in
+  if Sys.file_exists path then Sys.remove path;
+  let tc = resolve_exn small_spec in
+  (* Uninterrupted reference run. *)
+  let full = Runner.run small_spec tc in
+  let report_a = Report.json ~timings:false full in
+  let total = Array.length full.Runner.points in
+  (* Interrupted run: checkpoint every point, die after the second. *)
+  let w = Checkpoint.create ~path small_spec ~circuit:"RECT" ~points:total in
+  let seen = ref 0 in
+  (try
+     ignore
+       (Runner.run
+          ~on_point:(fun r ->
+            Checkpoint.append w r;
+            incr seen;
+            if !seen = 2 then failwith "simulated kill")
+          small_spec tc)
+   with Failure _ -> ());
+  Checkpoint.close w;
+  (* Resume: recover, execute only the remainder, merge. *)
+  let completed =
+    match Checkpoint.load ~path small_spec ~circuit:"RECT" with
+    | Ok rs -> rs
+    | Error m -> Alcotest.failf "load: %s" m
+  in
+  Alcotest.(check int) "recovered" 2 (List.length completed);
+  let executed = ref 0 in
+  let resumed =
+    Runner.run ~on_point:(fun _ -> incr executed) ~completed small_spec tc
+  in
+  Alcotest.(check int) "only the remainder ran" (total - 2) !executed;
+  let report_b = Report.json ~timings:false resumed in
+  Alcotest.(check string) "byte-identical reports" report_a report_b;
+  Sys.remove path
+
+(* ---- forked worker pool ---- *)
+
+(* A synthetic work function: no simulation, so pool mechanics are the
+   only thing under test. [wall_s] smuggles the retry count out. *)
+let mk ?(retry = 0) (p : Sampler.point) =
+  {
+    Runner.point = p;
+    out_final = float_of_int p.Sampler.index;
+    out_rms = 0.0;
+    nrmse = None;
+    health = { Health.v_signal = "t"; v_healthy = true; v_issues = [] };
+    cached = true;
+    wall_s = float_of_int retry;
+  }
+
+let pool_points n =
+  Array.init n (fun i ->
+      { Sampler.index = i; label = Printf.sprintf "p%04d" i; overrides = [] })
+
+let test_pool_exactly_once () =
+  let points = pool_points 9 in
+  let results =
+    Procpool.run ~workers:3 (fun ~retry p -> mk ~retry p) points
+  in
+  Alcotest.(check int) "all slots" 9 (Array.length results);
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None -> Alcotest.failf "slot %d missing" i
+      | Some (r : Runner.point_result) ->
+          Alcotest.(check int) "slot order" i r.Runner.point.Sampler.index;
+          Alcotest.(check (float 0.0)) "value" (float_of_int i)
+            r.Runner.out_final)
+    results
+
+let test_pool_crash_redispatch () =
+  let points = pool_points 6 in
+  let results =
+    Procpool.run ~workers:2 ~retries:1
+      (fun ~retry p ->
+        if p.Sampler.index = 2 && retry = 0 then Unix._exit 9 else mk ~retry p)
+      points
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None -> Alcotest.failf "slot %d missing" i
+      | Some (r : Runner.point_result) ->
+          Alcotest.(check bool) "healthy" true
+            r.Runner.health.Health.v_healthy;
+          if i = 2 then
+            Alcotest.(check (float 0.0)) "ran on retry 1" 1.0 r.Runner.wall_s)
+    results
+
+let test_pool_crash_exhausted () =
+  let points = pool_points 4 in
+  let results =
+    Procpool.run ~workers:2 ~retries:1 ~signal:"V(out,gnd)"
+      (fun ~retry p ->
+        ignore retry;
+        if p.Sampler.index = 1 then Unix._exit 9 else mk p)
+      points
+  in
+  match results.(1) with
+  | None -> Alcotest.fail "crashed slot missing"
+  | Some r -> (
+      Alcotest.(check bool) "unhealthy" false r.Runner.health.Health.v_healthy;
+      Alcotest.(check string) "signal" "V(out,gnd)"
+        r.Runner.health.Health.v_signal;
+      match r.Runner.health.Health.v_issues with
+      | [ { Health.kind = Health.Crashed; _ } ] -> ()
+      | _ -> Alcotest.fail "expected a crashed verdict")
+
+let test_pool_timeout_kill () =
+  let points = pool_points 3 in
+  let results =
+    Procpool.run ~workers:2 ~timeout_s:0.05
+      (fun ~retry p ->
+        ignore retry;
+        if p.Sampler.index = 0 then Unix.sleepf 30.0;
+        mk p)
+      points
+  in
+  (match results.(0) with
+  | Some r -> (
+      Alcotest.(check bool) "unhealthy" false r.Runner.health.Health.v_healthy;
+      match r.Runner.health.Health.v_issues with
+      | [ { Health.kind = Health.Timeout; _ } ] -> ()
+      | _ -> Alcotest.fail "expected a timeout verdict")
+  | None -> Alcotest.fail "timed-out slot missing");
+  (match results.(1) with
+  | Some r -> Alcotest.(check bool) "others fine" true r.Runner.health.Health.v_healthy
+  | None -> Alcotest.fail "slot 1 missing")
+
+let test_pool_drain () =
+  let points = pool_points 8 in
+  let served = ref 0 in
+  let results =
+    Procpool.run ~workers:1
+      ~on_result:(fun _ -> incr served)
+      ~should_stop:(fun () -> !served >= 2)
+      (fun ~retry p ->
+        ignore retry;
+        mk p)
+      points
+  in
+  let some = Array.to_list results |> List.filter_map Fun.id in
+  Alcotest.(check bool) "stopped early" true (List.length some < 8);
+  Alcotest.(check bool) "served at least 2" true (List.length some >= 2)
+
+(* ---- end-to-end daemon session ---- *)
+
+let wait_for_socket path =
+  let rec go n =
+    if n = 0 then Alcotest.fail "daemon socket never appeared"
+    else if Sys.file_exists path then ()
+    else begin
+      Unix.sleepf 0.05;
+      go (n - 1)
+    end
+  in
+  go 100
+
+let test_daemon_session () =
+  let sock = tmp (Printf.sprintf "amsvp_serve_%d.sock" (Unix.getpid ())) in
+  if Sys.file_exists sock then Sys.remove sock;
+  match Unix.fork () with
+  | 0 ->
+      (* Daemon process; _exit so the test runner's state is not
+         flushed twice. *)
+      (try
+         Daemon.serve
+           { (Daemon.default_config ~socket_path:sock) with workers = 2 }
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      wait_for_socket sock;
+      let c = Client.connect sock in
+      Client.send c Protocol.Ping;
+      (match Client.recv c with
+      | Ok Protocol.Pong -> ()
+      | other ->
+          Alcotest.failf "expected pong, got %s"
+            (match other with Ok r -> Protocol.encode_response r | Error m -> m));
+      let spec_text = Spec.to_string small_spec in
+      let expected = Spec.point_count small_spec in
+      let streamed = ref 0 in
+      (match
+         Client.submit c ~spec_text
+           ~on_event:(fun resp ->
+             match resp with Protocol.Point _ -> incr streamed | _ -> ())
+           ()
+       with
+      | Ok (Protocol.Done { points; complete; _ }) ->
+          Alcotest.(check int) "streamed" expected !streamed;
+          Alcotest.(check int) "done count" expected points;
+          Alcotest.(check bool) "complete" true complete
+      | Ok r ->
+          Alcotest.failf "unexpected final frame %s" (Protocol.encode_response r)
+      | Error m -> Alcotest.failf "submit: %s" m);
+      Client.send c Protocol.Shutdown;
+      (match Client.recv c with
+      | Ok Protocol.Bye -> ()
+      | _ -> Alcotest.fail "expected bye");
+      Client.close c;
+      let _, status = Unix.waitpid [] pid in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED n -> Alcotest.failf "daemon exited %d" n
+      | _ -> Alcotest.fail "daemon killed");
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        qt [ prop_result_roundtrip; prop_point_frame_roundtrip;
+             prop_submit_roundtrip ]
+        @ [
+            Alcotest.test_case "simple frames round-trip" `Quick
+              test_simple_frames_roundtrip;
+            Alcotest.test_case "malformed frames rejected" `Quick
+              test_malformed_frames_rejected;
+          ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "round-trip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "mismatch and torn tail" `Quick
+            test_checkpoint_mismatch_and_torn_tail;
+          Alcotest.test_case "resume determinism" `Quick
+            test_resume_determinism;
+        ] );
+      ( "procpool",
+        [
+          Alcotest.test_case "exactly once" `Quick test_pool_exactly_once;
+          Alcotest.test_case "crash re-dispatch" `Quick
+            test_pool_crash_redispatch;
+          Alcotest.test_case "crash exhausted" `Quick test_pool_crash_exhausted;
+          Alcotest.test_case "timeout kill" `Quick test_pool_timeout_kill;
+          Alcotest.test_case "drain stops dispatch" `Quick test_pool_drain;
+        ] );
+      ( "daemon",
+        [ Alcotest.test_case "end-to-end session" `Quick test_daemon_session ] );
+    ]

@@ -33,6 +33,7 @@ let rich_spec =
     jobs = Some 2;
     reference = false;
     nrmse_budget = Some 0.25;
+    point_timeout = Some 30.0;
     axes =
       [
         { Spec.param = "r1.r"; range = Spec.Grid { lo = 0.5e3; hi = 2e3; n = 3 } };
