@@ -107,6 +107,20 @@ type serve_block = {
 
 let serve_block : serve_block option ref = ref None
 
+(* The "obs_serve" block: what the cross-process telemetry pipeline
+   costs per point — the same forked-pool sweep run with the journal
+   (and therefore worker event/span shipping and parent ingestion) off
+   vs on. The budget is 5%: past that the always-on service telemetry
+   would not be free enough to leave on. *)
+type obs_serve_block = {
+  ob_points : int;
+  ob_off_s : float;
+  ob_on_s : float;
+  ob_overhead_pct : float;
+}
+
+let obs_serve_block : obs_serve_block option ref = ref None
+
 (* Per-section span accounting, written as "sections" in
    BENCH_results.json. The recorder runs for the whole harness; each
    section remembers the [Obs.span_count] interval it produced. Self
@@ -220,6 +234,16 @@ let results_json ~quick ~total_wall_s =
         s.sv_spec s.sv_points s.sv_prepare_s s.sv_cold_s s.sv_warm_s
         (per s.sv_cold_s) (per s.sv_warm_s)
         (s.sv_cold_s /. s.sv_warm_s)
+  | None -> ());
+  (match !obs_serve_block with
+  | Some o ->
+      let per t = t /. float_of_int (max 1 o.ob_points) *. 1e3 in
+      Printf.bprintf b
+        ",\n  \"obs_serve\": {\"points\": %d, \"telemetry_off_s\": %.9g, \
+         \"telemetry_on_s\": %.9g, \"off_point_ms\": %.6g, \"on_point_ms\": \
+         %.6g, \"overhead_pct\": %.4g}"
+        o.ob_points o.ob_off_s o.ob_on_s (per o.ob_off_s) (per o.ob_on_s)
+        o.ob_overhead_pct
   | None -> ());
   sections_json b;
   Buffer.add_string b "\n}\n";
@@ -713,6 +737,7 @@ let figures () =
 
 module Spec = Amsvp_sweep.Spec
 module Sweep_runner = Amsvp_sweep.Runner
+module Procpool = Amsvp_serve.Procpool
 module Sweep_stats = Amsvp_sweep.Stats
 
 let sweep_bench ~t_stop ~seed ~jobs () =
@@ -851,6 +876,95 @@ let serve_bench ~t_stop ~seed () =
      ms/point)   warm speedup: %.2fx\n"
     "RC20" points prepare_s cold_s (per cold_s) warm_s (per warm_s)
     (cold_s /. warm_s)
+
+(* Per-point cost of the cross-process telemetry pipeline: the same
+   forked-pool sweep with the journal off (workers ship nothing) vs on
+   (every worker drains its events/spans over the result pipe and the
+   parent ingests them). Fork/dispatch cost is identical in both runs,
+   so the delta isolates the telemetry. *)
+let obs_serve_bench ~t_stop ~seed () =
+  header
+    "OBS_SERVE -- telemetry shipping overhead (forked pool, journal off vs \
+     on; budget 5%)";
+  let spec =
+    {
+      Spec.default with
+      Spec.name = "obs_serve_mc";
+      circuit = Some "RC20";
+      t_stop = Some t_stop;
+      samples = 48;
+      seed;
+      reference = false;
+      axes =
+        [
+          { Spec.param = "r1.r";
+            range = Spec.Uniform { lo = 900.0; hi = 1100.0 } };
+        ];
+    }
+  in
+  let tc = Option.get (Circuits.by_name "RC20") in
+  let ctx = Sweep_runner.prepare spec tc in
+  let points = Sweep_runner.ctx_points ctx in
+  let n_points = Array.length points in
+  let run_pool () =
+    ignore
+      (Procpool.run ~workers:2
+         (fun ~retry:_ p -> Sweep_runner.run_point ctx p)
+         points)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let journal_was = Journal.enabled () in
+  Journal.disable ();
+  run_pool () (* warm-up: page in the pool machinery once *);
+  (* Paired rounds, alternating which side goes first each round: a
+     pool run is ~0.2 s, and fork cost grows with the parent heap, so
+     any fixed ordering would charge whichever side consistently ran
+     later for GC drift. Each round times off and on back-to-back in
+     the same window, so ambient load shifts both sides of a pair
+     together; the median per-round ratio then discards rounds where a
+     burst landed between the two samples — unlike min-of-each-side,
+     which compares floors from two different windows. *)
+  let rounds = 7 in
+  let sample enabled =
+    Journal.set_enabled enabled;
+    time run_pool
+  in
+  let pairs =
+    Array.init rounds (fun round ->
+        if round land 1 = 0 then
+          let o = sample false in
+          let n = sample true in
+          (o, n)
+        else
+          let n = sample true in
+          let o = sample false in
+          (o, n))
+  in
+  Journal.set_enabled journal_was;
+  let ranked =
+    Array.to_list pairs
+    |> List.map (fun (o, n) -> ((n -. o) /. o, o, n))
+    |> List.sort compare
+  in
+  let ratio, off_s, on_s = List.nth ranked (rounds / 2) in
+  let overhead_pct = ratio *. 100.0 in
+  record ~table:"obs_serve" ~comp:"RC20" ~target:"pool" ~meth:"telemetry_off"
+    off_s;
+  record ~table:"obs_serve" ~comp:"RC20" ~target:"pool" ~meth:"telemetry_on"
+    on_s;
+  obs_serve_block :=
+    Some { ob_points = n_points; ob_off_s = off_s; ob_on_s = on_s;
+           ob_overhead_pct = overhead_pct };
+  let per t = t /. float_of_int (max 1 n_points) *. 1e3 in
+  Printf.printf
+    "%-8s %3d points   telemetry off: %.4f s (%.3f ms/point)   on: %.4f s \
+     (%.3f ms/point)   overhead: %+.2f%% %s\n"
+    "RC20" n_points off_s (per off_s) on_s (per on_s) overhead_pct
+    (if overhead_pct <= 5.0 then "(within budget)" else "(OVER 5% BUDGET)")
 
 let micro () =
   header "MICRO -- Bechamel per-step benchmarks (one group per table)";
@@ -1119,7 +1233,7 @@ type cli = {
 
 let all_sections =
   [ "table1"; "table2"; "table3"; "tooltime"; "ablation"; "sweep"; "probes";
-    "convergence"; "engines"; "serve"; "figures"; "micro" ]
+    "convergence"; "engines"; "serve"; "obs_serve"; "figures"; "micro" ]
 
 let parse_cli argv =
   let usage () =
@@ -1129,7 +1243,7 @@ let parse_cli argv =
       \             [--journal-out FILE] [--results-out FILE | --no-results]\n\
       \             [--seed N] [--jobs N] [SECTION...]\n\
        sections: table1 table2 table3 tooltime ablation sweep probes \
-       convergence engines serve figures micro";
+       convergence engines serve obs_serve figures micro";
     exit 2
   in
   let int_arg name v rest k =
@@ -1222,6 +1336,12 @@ let () =
      overhead (prepare vs replay), which scaling t_stop would only
      dilute. *)
   section "serve" (fun () -> serve_bench ~t_stop:1e-4 ~seed:cli.seed ());
+  (* Fixed simulated time, like "serve": the telemetry cost per task
+     is fixed (a few frames), so the budget is judged against a
+     realistically sized point (the sweep section's t_stop), not
+     against fork overhead on a toy point. *)
+  section "obs_serve" (fun () ->
+      obs_serve_bench ~t_stop:2e-3 ~seed:cli.seed ());
   section "figures" (fun () -> figures ());
   section "micro" (fun () -> micro ());
   let total_wall_s = Unix.gettimeofday () -. wall_start in

@@ -959,8 +959,8 @@ let sweep_cmd =
 
 let serve_cmd =
   let run socket workers checkpoint_dir point_timeout retries journal_out
-      journal_max_bytes journal_keep obs =
-    if obs then Obs.enable ();
+      journal_max_bytes journal_keep obs metrics_out metrics_every trace_out =
+    if obs || metrics_out <> None || trace_out <> None then Obs.enable ();
     (match journal_out with
     | Some path ->
         Journal.enable ();
@@ -981,6 +981,9 @@ let serve_cmd =
         point_timeout_s = point_timeout;
         retries;
         ctx_cache_max = 8;
+        metrics_out;
+        metrics_every_s = metrics_every;
+        trace_out;
       }
     in
     Daemon.serve cfg;
@@ -1035,6 +1038,27 @@ let serve_cmd =
              ~doc:"Record spans/metrics; print a summary to stderr on \
                    shutdown.")
   in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Rewrite a Prometheus textfile at $(docv) atomically every \
+                 $(b,--metrics-every) seconds, after each request, and at \
+                 startup/shutdown (node_exporter textfile-collector style). \
+                 Implies span/metric recording.")
+  in
+  let metrics_every_arg =
+    Arg.(value & opt float 2.0
+         & info [ "metrics-every" ] ~docv:"SECONDS"
+           ~doc:"Minimum interval between $(b,--metrics-out) rewrites.")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace to $(docv) on shutdown: daemon \
+                 request spans plus worker solver spans shipped over the \
+                 telemetry frames, one process track each. Implies \
+                 recording.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the sweep service: a daemon on a Unix-domain socket that \
@@ -1043,16 +1067,35 @@ let serve_cmd =
              progress and drains cleanly on SIGTERM.")
     Term.(const run $ socket_arg $ workers_arg $ checkpoint_dir_arg
           $ point_timeout_arg $ retries_arg $ journal_out_arg
-          $ journal_max_bytes_arg $ journal_keep_arg $ obs_arg)
+          $ journal_max_bytes_arg $ journal_keep_arg $ obs_arg
+          $ metrics_out_arg $ metrics_every_arg $ trace_out_arg)
 
 let submit_cmd =
-  let run socket spec_file jobs ping stats shutdown quiet =
+  (* One human-readable status line from a stats reply, for --watch. *)
+  let status_line (s : Serve_protocol.stats) =
+    Printf.sprintf
+      "up %7.1fs | req %d | pts %d (%d in flight) | ctx %d/%d hit/miss | \
+       workers %d (spawned %d, crashed %d, timeout %d, redisp %d) | \
+       torn %d, jdrop %d | heap %.1f MB"
+      s.Serve_protocol.st_uptime_s s.Serve_protocol.st_requests
+      s.Serve_protocol.st_points s.Serve_protocol.st_in_flight
+      s.Serve_protocol.st_ctx_hits s.Serve_protocol.st_ctx_misses
+      s.Serve_protocol.st_workers s.Serve_protocol.st_spawned
+      s.Serve_protocol.st_crashed s.Serve_protocol.st_timeouts
+      s.Serve_protocol.st_redispatched s.Serve_protocol.st_telemetry_torn
+      s.Serve_protocol.st_journal_dropped
+      (float_of_int s.Serve_protocol.st_heap_words *. 8.0 /. 1048576.0)
+  in
+  let run socket spec_file jobs ping stats shutdown watch every quiet =
+    let connect () =
+      try Some (Serve_client.connect socket) with Unix.Unix_error _ -> None
+    in
     let client =
-      try Serve_client.connect socket
-      with Unix.Unix_error (e, _, _) ->
-        Printf.eprintf "error: cannot connect to %s: %s\n" socket
-          (Unix.error_message e);
-        exit 1
+      match connect () with
+      | Some c -> c
+      | None ->
+          Printf.eprintf "error: cannot connect to %s\n" socket;
+          exit 1
     in
     let show resp =
       if not quiet then
@@ -1068,12 +1111,82 @@ let submit_cmd =
           rc := 1
     in
     if ping then simple Serve_protocol.Ping;
+    if stats && watch && spec_file = None then begin
+      (* Live status: one sample per refresh over a fresh connection —
+         the daemon serves one client at a time, so holding the
+         connection open between refreshes would starve real work. *)
+      let sample c =
+        Serve_client.send c Serve_protocol.Stats;
+        match Serve_client.recv c with
+        | Ok (Serve_protocol.Stats_reply s) ->
+            print_endline (status_line s);
+            true
+        | Ok _ | Error _ -> false
+      in
+      let first = sample client in
+      Serve_client.close client;
+      if not first then begin
+        Printf.eprintf "error: no stats reply from %s\n" socket;
+        exit 1
+      end;
+      let rec loop () =
+        Unix.sleepf every;
+        match connect () with
+        | None -> prerr_endline "watch: daemon gone"
+        | Some c ->
+            let ok = sample c in
+            Serve_client.close c;
+            if ok then loop () else prerr_endline "watch: daemon gone"
+      in
+      loop ();
+      exit 0
+    end;
     if stats then simple Serve_protocol.Stats;
     (match spec_file with
     | Some path -> (
         let spec_text = read_file path in
+        (* --watch on a submit: a throttled progress line on stderr,
+           fed from the same streamed frames that (unless --quiet) are
+           still printed to stdout. *)
+        let progress =
+          if not watch then fun _ -> ()
+          else begin
+            let total = ref 0 and got = ref 0 and bad = ref 0 in
+            let t0 = Unix.gettimeofday () in
+            let last = ref 0.0 in
+            fun resp ->
+              (match resp with
+              | Serve_protocol.Accepted { points; resumed; _ } ->
+                  total := points;
+                  got := resumed
+              | Serve_protocol.Point { result; _ } ->
+                  incr got;
+                  if
+                    not
+                      result.Sweep_runner.health
+                        .Amsvp_probe.Health.v_healthy
+                  then incr bad
+              | _ -> ());
+              let now = Unix.gettimeofday () in
+              let final =
+                match resp with Serve_protocol.Done _ -> true | _ -> false
+              in
+              if final || now -. !last >= 0.5 then begin
+                last := now;
+                let dt = now -. t0 in
+                Printf.eprintf "\r%d/%d points, %d unhealthy, %.1f pt/s%!"
+                  !got !total !bad
+                  (if dt > 0.0 then float_of_int !got /. dt else 0.0);
+                if final then prerr_newline ()
+              end
+          end
+        in
+        let on_event resp =
+          show resp;
+          progress resp
+        in
         match
-          Serve_client.submit client ?jobs ~spec_text ~on_event:show ()
+          Serve_client.submit client ?jobs ~spec_text ~on_event ()
         with
         | Ok (Serve_protocol.Done { complete; points; unhealthy; _ }) ->
             if quiet then
@@ -1119,6 +1232,20 @@ let submit_cmd =
          & info [ "shutdown" ]
              ~doc:"Ask the daemon to drain and exit (after any submit).")
   in
+  let watch_arg =
+    Arg.(value & flag
+         & info [ "watch"; "w" ]
+             ~doc:"With $(b,--stats): refresh the daemon status every \
+                   $(b,--every) seconds (one line per sample, fresh \
+                   connection each time) until the daemon goes away. With \
+                   $(b,--spec): show a live progress line on stderr while \
+                   the sweep streams.")
+  in
+  let every_arg =
+    Arg.(value & opt float 2.0
+         & info [ "every" ] ~docv:"SECONDS"
+             ~doc:"Refresh interval for $(b,--watch).")
+  in
   let quiet_arg =
     Arg.(value & flag
          & info [ "quiet"; "q" ]
@@ -1129,7 +1256,7 @@ let submit_cmd =
        ~doc:"Submit a sweep to a running $(b,amsvp serve) daemon and stream \
              its per-point results.")
     Term.(const run $ socket_arg $ spec_arg $ jobs_arg $ ping_arg $ stats_arg
-          $ shutdown_arg $ quiet_arg)
+          $ shutdown_arg $ watch_arg $ every_arg $ quiet_arg)
 
 (* lint *)
 

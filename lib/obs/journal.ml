@@ -21,6 +21,7 @@ type value = F of float | I of int | S of string | B of bool
 
 type event = {
   seq : int;
+  origin : string;
   dom : int;
   cat : string;
   name : string;
@@ -30,6 +31,14 @@ type event = {
   wall_ns : int;
   payload : (string * value) list;
 }
+
+(* The process's origin tag, stamped on every event it emits. "" is the
+   anonymous single-process default; the daemon sets "daemon" and each
+   forked point-worker sets "w<slot>:<pid>" right after the fork, so a
+   merged multi-process journal attributes every event. *)
+let origin_cell = Atomic.make ""
+let origin () = Atomic.get origin_cell
+let set_origin o = Atomic.set origin_cell o
 
 let on = Atomic.make false
 let enabled () = Atomic.get on
@@ -50,6 +59,7 @@ let seq_counter = Atomic.make 0
 let dummy_event =
   {
     seq = 0;
+    origin = "";
     dom = 0;
     cat = "";
     name = "";
@@ -99,12 +109,27 @@ let make_buffer () =
 
 let buffer_key = Domain.DLS.new_key make_buffer
 
+let push b e =
+  with_lock b.lock (fun () ->
+      if b.len = b.cap then begin
+        (* Ring full: overwrite the oldest (recent telemetry is worth
+           more than start-up noise) and account for the loss. *)
+        b.arr.(b.start) <- e;
+        b.start <- (b.start + 1) mod b.cap;
+        b.b_dropped <- b.b_dropped + 1
+      end
+      else begin
+        b.arr.((b.start + b.len) mod b.cap) <- e;
+        b.len <- b.len + 1
+      end)
+
 let emit ?(severity = Info) ?(step = -1) ?(time = nan) ~cat name payload =
   if Atomic.get on then begin
     let seq = Atomic.fetch_and_add seq_counter 1 in
     let e =
       {
         seq;
+        origin = Atomic.get origin_cell;
         dom = (Domain.self () :> int);
         cat;
         name;
@@ -115,19 +140,30 @@ let emit ?(severity = Info) ?(step = -1) ?(time = nan) ~cat name payload =
         payload;
       }
     in
-    let b = Domain.DLS.get buffer_key in
-    with_lock b.lock (fun () ->
-        if b.len = b.cap then begin
-          (* Ring full: overwrite the oldest (recent telemetry is worth
-             more than start-up noise) and account for the loss. *)
-          b.arr.(b.start) <- e;
-          b.start <- (b.start + 1) mod b.cap;
-          b.b_dropped <- b.b_dropped + 1
-        end
-        else begin
-          b.arr.((b.start + b.len) mod b.cap) <- e;
-          b.len <- b.len + 1
-        end)
+    push (Domain.DLS.get buffer_key) e
+  end
+
+let next_seq () = Atomic.get seq_counter
+
+(* Events ingested from other processes go into a dedicated ring so a
+   foreign burst cannot evict this process's own events, and so their
+   seq numbers (from the sender's counter) never touch ours. *)
+let foreign_lock = Mutex.create ()
+let foreign : buffer option ref = ref None
+
+let foreign_buffer () =
+  with_lock foreign_lock (fun () ->
+      match !foreign with
+      | Some b -> b
+      | None ->
+          let b = make_buffer () in
+          foreign := Some b;
+          b)
+
+let ingest evs =
+  if Atomic.get on && evs <> [] then begin
+    let b = foreign_buffer () in
+    List.iter (push b) evs
   end
 
 let snapshot_buffers () = with_lock reg_mutex (fun () -> !buffers)
@@ -142,10 +178,54 @@ let dropped () =
     (fun n b -> n + with_lock b.lock (fun () -> b.b_dropped))
     0 (snapshot_buffers ())
 
-let events () =
+let raw_events () =
   let per_buffer b =
     with_lock b.lock (fun () ->
         List.init b.len (fun i -> b.arr.((b.start + i) mod b.cap)))
+  in
+  List.concat_map per_buffer (snapshot_buffers ())
+
+(* Merged order: wall-clock first so a multi-process merge reads as a
+   timeline, then (origin, seq) so identical timestamps — common when
+   two workers share a coarse clock tick — order deterministically
+   regardless of arrival order. Within one origin wall_ns and seq are
+   both nondecreasing in program order, so this preserves each
+   process's own ordering. *)
+let event_order a b =
+  compare (a.wall_ns, a.origin, a.seq) (b.wall_ns, b.origin, b.seq)
+
+let events () = List.sort event_order (raw_events ())
+
+let events_after n =
+  let me = Atomic.get origin_cell in
+  (* Only locally emitted events can match: the foreign ring holds other
+     processes' seq numbers, so it is skipped wholesale. Within each
+     local ring insertion order is seq order (every [emit] draws a fresh
+     global seq before pushing), so walking back from the newest entry
+     and stopping at the first seq below [n] costs O(matches), not
+     O(ring) — which matters when a worker drains after every task from
+     a ring it inherited nearly full from a long-lived parent. *)
+  let is_foreign =
+    match with_lock foreign_lock (fun () -> !foreign) with
+    | Some fb -> fun b -> b == fb
+    | None -> fun _ -> false
+  in
+  let per_buffer b =
+    if is_foreign b then []
+    else
+      with_lock b.lock (fun () ->
+          let acc = ref [] in
+          let i = ref (b.len - 1) in
+          let scanning = ref true in
+          while !scanning && !i >= 0 do
+            let e = b.arr.((b.start + !i) mod b.cap) in
+            if e.seq >= n then begin
+              if String.equal e.origin me then acc := e :: !acc;
+              decr i
+            end
+            else scanning := false
+          done;
+          !acc)
   in
   List.concat_map per_buffer (snapshot_buffers ())
   |> List.sort (fun a b -> compare a.seq b.seq)
@@ -197,6 +277,8 @@ let event_to_json e =
   Printf.bprintf b "{\"seq\":%d,\"dom\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"sev\":\"%s\""
     e.seq e.dom (json_escape e.cat) (json_escape e.name)
     (severity_label e.severity);
+  if e.origin <> "" then
+    Printf.bprintf b ",\"origin\":\"%s\"" (json_escape e.origin);
   if e.step >= 0 then Printf.bprintf b ",\"step\":%d" e.step;
   if Float.is_finite e.time then Printf.bprintf b ",\"time\":%.17g" e.time;
   Printf.bprintf b ",\"wall_ns\":%d" e.wall_ns;
@@ -237,7 +319,7 @@ type sink = {
   s_path : string;
   s_max_bytes : int option;
   s_keep : int;
-  mutable s_last_seq : int;  (* highest seq already flushed *)
+  s_marks : (string, int) Hashtbl.t;  (* origin -> highest seq flushed *)
   mutable s_bytes : int;  (* bytes written to the live file *)
 }
 
@@ -261,8 +343,14 @@ let flush () =
       match !sink with
       | None -> ()
       | Some s ->
+          (* Seq counters are per-process, so the "already flushed"
+             watermark is kept per origin: a worker's seq 3 arriving
+             after the daemon's seq 900 is still fresh. *)
+          let mark origin =
+            Option.value ~default:(-1) (Hashtbl.find_opt s.s_marks origin)
+          in
           let fresh =
-            List.filter (fun e -> e.seq > s.s_last_seq) (events ())
+            List.filter (fun e -> e.seq > mark e.origin) (events ())
           in
           if fresh <> [] then begin
             let oc =
@@ -275,7 +363,8 @@ let flush () =
               (fun e ->
                 Buffer.add_string b (event_to_json e);
                 Buffer.add_char b '\n';
-                if e.seq > s.s_last_seq then s.s_last_seq <- e.seq)
+                if e.seq > mark e.origin then
+                  Hashtbl.replace s.s_marks e.origin e.seq)
               fresh;
             output_string oc (Buffer.contents b);
             close_out oc;
@@ -298,7 +387,7 @@ let attach_sink ?max_bytes ?(keep = 3) path =
       sink :=
         Some
           { s_path = path; s_max_bytes = max_bytes; s_keep = keep;
-            s_last_seq = -1; s_bytes = 0 })
+            s_marks = Hashtbl.create 7; s_bytes = 0 })
 
 let detach_sink () =
   flush ();

@@ -24,9 +24,10 @@
     in {!dropped}). Buffers register themselves in a global table on
     first use and survive domain termination, so {!events} — typically
     called after a {!Amsvp_sweep} pool join — merges every domain's
-    buffer. The merge is deterministic: events are ordered by their
-    global sequence number, a total order consistent with each
-    domain's program order. *)
+    buffer. The merge is deterministic: events are ordered by wall
+    clock with [(origin, seq)] breaking ties, a total order that is
+    stable across processes and consistent with each process's own
+    program order. *)
 
 (** {1 Enable flag and bounds} *)
 
@@ -54,7 +55,10 @@ val severity_label : severity -> string
 type value = F of float | I of int | S of string | B of bool
 
 type event = {
-  seq : int;  (** global sequence number; the merge key *)
+  seq : int;  (** sequence number, global within the emitting process *)
+  origin : string;
+      (** emitting process tag (see {!set_origin}); [""] for the
+          anonymous single-process default *)
   dom : int;  (** recording domain ([Domain.self] as an int) *)
   cat : string;  (** subsystem: ["mna"], ["sf"], ["sweep"], ["health"]... *)
   name : string;  (** event kind within the category, e.g. ["newton.step"] *)
@@ -85,9 +89,43 @@ val dropped : unit -> int
 (** Events overwritten because a domain's ring was full. *)
 
 val events : unit -> event list
-(** Every buffered event from every domain that has journaled,
-    ordered by [seq]. Safe to call while other domains are still
-    emitting (a consistent snapshot per buffer). *)
+(** Every buffered event from every domain that has journaled —
+    including events {!ingest}ed from other processes — merged into
+    one deterministic order: [wall_ns] first, ties broken by
+    [(origin, seq)]. Within a single origin this is consistent with
+    program order (both keys are nondecreasing per process), and the
+    tie-break makes the merge independent of arrival order. Safe to
+    call while other domains are still emitting (a consistent
+    snapshot per buffer). *)
+
+(** {1 Cross-process telemetry}
+
+    A forked worker journals into its own copy of these buffers; the
+    serve layer drains them with {!events_after}, ships them over the
+    worker pipe, and the parent {!ingest}s them so {!events} and the
+    sink see one whole-service journal. *)
+
+val set_origin : string -> unit
+(** Tag every event this process emits from now on. The daemon sets
+    ["daemon"]; each point-worker sets ["w<slot>:<pid>"] right after
+    the fork. Default [""]. *)
+
+val origin : unit -> string
+
+val next_seq : unit -> int
+(** The sequence number the next {!emit} will take — a drain
+    watermark: record it, run work, then ship {!events_after} it. *)
+
+val events_after : int -> event list
+(** [events_after n]: this process's own events (origin equal to
+    {!origin}, so inherited or ingested foreign events are never
+    re-shipped) with [seq >= n], in seq order. *)
+
+val ingest : event list -> unit
+(** Push events received from another process into a dedicated
+    foreign ring (so a burst cannot evict local events), preserving
+    their [seq]/[origin]/[dom]. No-op when disabled. Overflow counts
+    toward {!dropped}. *)
 
 val reset : unit -> unit
 (** Clear all buffers and the dropped counter (the enable flag and
@@ -99,9 +137,10 @@ val reset : unit -> unit
 
 val event_to_json : event -> string
 (** One event as a single-line JSON object:
-    [{"seq":..,"dom":..,"cat":..,"name":..,"sev":..,"step":..,
-      "time":..,"wall_ns":..,"data":{...}}]. [step] is omitted when
-    [-1], [time] when not finite. *)
+    [{"seq":..,"dom":..,"cat":..,"name":..,"sev":..,"origin":..,
+      "step":..,"time":..,"wall_ns":..,"data":{...}}]. [origin] is
+    omitted when [""] (so single-process output is unchanged), [step]
+    when [-1], [time] when not finite. *)
 
 val to_jsonl : unit -> string
 (** Every event of {!events}, one JSON object per line. *)

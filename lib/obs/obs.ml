@@ -17,6 +17,7 @@ type span = {
   dur_ns : int;
   depth : int;
   dom : int;
+  proc : string;  (* "" = recorded in this process; else the origin tag *)
   args : (string * string) list;
 }
 
@@ -32,7 +33,8 @@ let now_ns = Clock.now_ns
 (* ---- span storage: a growable buffer of completed spans ---- *)
 
 let dummy_span =
-  { name = ""; cat = ""; start_ns = 0; dur_ns = 0; depth = 0; dom = 0; args = [] }
+  { name = ""; cat = ""; start_ns = 0; dur_ns = 0; depth = 0; dom = 0;
+    proc = ""; args = [] }
 
 let self_dom () = (Domain.self () :> int)
 
@@ -68,6 +70,17 @@ let push s =
 let span_count () = locked (fun () -> !len)
 let spans () = locked (fun () -> Array.to_list (Array.sub !buf 0 !len))
 
+let spans_from n =
+  locked (fun () ->
+      if n >= !len then []
+      else Array.to_list (Array.sub !buf n (!len - n)))
+
+let ingest_spans ~proc spans =
+  if Atomic.get on then
+    List.iter
+      (fun s -> push (if s.proc = "" then { s with proc } else s))
+      spans
+
 (* A consistent snapshot for the sinks (they iterate while other
    domains may still be recording). *)
 let span_snapshot () = locked (fun () -> Array.sub !buf 0 !len)
@@ -84,6 +97,7 @@ let close ~cat ~args name t0 =
       dur_ns = t1 - t0;
       depth = !d;
       dom = self_dom ();
+      proc = "";
       args;
     }
 
@@ -119,6 +133,7 @@ let timed ?(cat = "") name f =
             dur_ns = t1 - t0;
             depth = !d;
             dom = self_dom ();
+            proc = "";
             args = [];
           }
       end;
@@ -135,6 +150,7 @@ let timed ?(cat = "") name f =
             dur_ns = now_ns () - t0;
             depth = !d;
             dom = self_dom ();
+            proc = "";
             args = [];
           }
       end;
@@ -150,6 +166,7 @@ let instant ?(cat = "") ?(args = []) name =
         dur_ns = 0;
         depth = !(depth ());
         dom = self_dom ();
+        proc = "";
         args;
       }
 
@@ -359,6 +376,19 @@ module Histogram = struct
   let name h = h.h_name
 end
 
+(* Every registered counter as (name, labels, value) — the worker-side
+   snapshot/delta basis for shipping counter increments to the daemon. *)
+let counter_values () =
+  reg_locked (fun () ->
+      List.rev
+        (List.filter_map
+           (fun key ->
+             match Hashtbl.find_opt registry key with
+             | Some (Counter c) ->
+                 Some (c.c_name, c.c_labels, Atomic.get c.c_value)
+             | _ -> None)
+           !reg_order))
+
 let reset () =
   locked (fun () ->
       len := 0;
@@ -412,27 +442,53 @@ let json_escape s =
 
 let chrome_trace () =
   let snapshot = span_snapshot () in
+  (* Each span-recording process gets its own trace pid so daemon and
+     worker spans land on separate tracks: pid 1 is this process
+     ("amsvp"), ingested origins get pid 2, 3, ... in sorted order. *)
+  let origins =
+    Array.fold_left
+      (fun acc s -> if s.proc = "" || List.mem s.proc acc then acc
+                    else s.proc :: acc)
+      [] snapshot
+    |> List.sort compare
+  in
+  let pid_of p =
+    if p = "" then 1
+    else
+      let rec find i = function
+        | [] -> 1
+        | o :: tl -> if String.equal o p then i else find (i + 1) tl
+      in
+      find 2 origins
+  in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   Buffer.add_string b
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"amsvp\"}}";
+  List.iteri
+    (fun i o ->
+      Printf.bprintf b
+        ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":1,\"args\":{\"name\":\"%s\"}}"
+        (i + 2) (json_escape o))
+    origins;
   Array.iter
     (fun s ->
       let cat = if s.cat = "" then "amsvp" else s.cat in
+      let pid = pid_of s.proc in
       Buffer.add_char b ',';
       if s.dur_ns = 0 then
         Printf.bprintf b
-          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d"
           (json_escape s.name) (json_escape cat)
           (float_of_int s.start_ns /. 1e3)
-          (s.dom + 1)
+          pid (s.dom + 1)
       else
         Printf.bprintf b
-          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d"
           (json_escape s.name) (json_escape cat)
           (float_of_int s.start_ns /. 1e3)
           (float_of_int s.dur_ns /. 1e3)
-          (s.dom + 1);
+          pid (s.dom + 1);
       if s.args <> [] then begin
         Buffer.add_string b ",\"args\":{";
         List.iteri

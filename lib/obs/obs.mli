@@ -44,6 +44,11 @@ type span = {
           int). [depth] is only meaningful between spans with the same
           [dom]; the Chrome sink maps [dom] to the trace [tid] so each
           worker domain gets its own row. *)
+  proc : string;
+      (** [""] for spans recorded in this process; spans received from
+          another process via {!ingest_spans} carry that process's
+          origin tag and get their own [pid] track in the Chrome
+          sink. *)
   args : (string * string) list;
 }
 
@@ -67,6 +72,16 @@ val span_count : unit -> int
 val spans : unit -> span list
 (** Completed spans, in completion order (a nested span precedes its
     parent). *)
+
+val spans_from : int -> span list
+(** [spans_from n]: spans recorded at buffer index [n] and later — a
+    drain watermark for cross-process shipping: record {!span_count},
+    run work, ship [spans_from] it. *)
+
+val ingest_spans : proc:string -> span list -> unit
+(** Push spans received from another process into the buffer (no-op
+    when the recorder is disabled). Spans whose [proc] is [""] are
+    stamped with [proc]. *)
 
 (** {1 Metrics registry}
 
@@ -141,6 +156,11 @@ module Histogram : sig
   val name : t -> string
 end
 
+val counter_values : unit -> (string * (string * string) list * int) list
+(** Every registered counter as [(name, labels, value)], in
+    registration order — snapshot basis for shipping counter deltas
+    across processes. *)
+
 val reset : unit -> unit
 (** Clear all recorded spans and zero every registered metric (the
     registrations themselves persist). Does not change the enable
@@ -150,8 +170,12 @@ val reset : unit -> unit
 
 val chrome_trace : unit -> string
 (** The recorded spans as a Chrome trace-event JSON document
-    ([{"traceEvents": [...]}]), timestamps in microseconds. Open in
-    Perfetto ({:https://ui.perfetto.dev}) or chrome://tracing. *)
+    ([{"traceEvents": [...]}]), timestamps in microseconds. Spans of
+    this process render under pid 1 ("amsvp"); spans ingested from
+    other processes get one pid (and a [process_name] metadata record
+    naming their origin) per distinct [proc], so daemon and worker
+    activity appear as separate tracks. Open in Perfetto
+    ({:https://ui.perfetto.dev}) or chrome://tracing. *)
 
 val prometheus : unit -> string
 (** Every registered metric in the Prometheus text exposition format,

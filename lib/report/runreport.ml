@@ -42,6 +42,12 @@ type traffic = {
   tf_flops : int;
 }
 
+type origin_row = {
+  og_origin : string;
+  og_events : int;
+  og_points : int;
+}
+
 type t = {
   r_journal_events : int;
   r_profile : span_profile list;
@@ -49,6 +55,7 @@ type t = {
   r_cache : cache option;
   r_health : health option;
   r_traffic : traffic option;
+  r_origins : origin_row list;
 }
 
 (* ---- journal helpers ---- *)
@@ -205,6 +212,33 @@ let build_traffic events =
       }
   end
 
+(* Per-process breakdown of a merged journal. A single-process journal
+   (no event carries an origin tag) yields [] so old reports are
+   unchanged. *)
+let build_origins events =
+  let ev_origin e = Option.value ~default:"" (Json.mem_string "origin" e) in
+  if List.for_all (fun e -> ev_origin e = "") events then []
+  else begin
+    let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let o = ev_origin e in
+        let evs, pts = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl o) in
+        let is_point = ev_cat e = "sweep" && ev_name e = "point" in
+        Hashtbl.replace tbl o (evs + 1, if is_point then pts + 1 else pts))
+      events;
+    Hashtbl.fold
+      (fun o (evs, pts) acc ->
+        {
+          og_origin = (if o = "" then "main" else o);
+          og_events = evs;
+          og_points = pts;
+        }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b -> Stdlib.compare a.og_origin b.og_origin)
+  end
+
 let build_profile ~top bench =
   match bench with
   | None -> []
@@ -245,6 +279,7 @@ let build ?(top = 15) ?(journal = []) ?bench () =
     r_cache = build_cache journal;
     r_health = build_health journal;
     r_traffic = build_traffic journal;
+    r_origins = build_origins journal;
   }
 
 (* ---- text rendering ---- *)
@@ -326,6 +361,16 @@ let to_text r =
       Printf.bprintf b
         "  %d run(s), %d ticks: %d reg reads, %d reg writes, %d flops\n"
         tf.tf_runs tf.tf_ticks tf.tf_reads tf.tf_writes tf.tf_flops);
+  if r.r_origins <> [] then begin
+    Printf.bprintf b "\nPER-ORIGIN (%d process(es))\n"
+      (List.length r.r_origins);
+    Printf.bprintf b "  %-20s %10s %10s\n" "origin" "events" "points";
+    List.iter
+      (fun og ->
+        Printf.bprintf b "  %-20s %10d %10d\n" og.og_origin og.og_events
+          og.og_points)
+      r.r_origins
+  end;
   (match r.r_health with
   | None -> ()
   | Some he ->
@@ -336,7 +381,7 @@ let to_text r =
         he.he_kinds);
   if
     r.r_profile = [] && r.r_convergence = None && r.r_cache = None
-    && r.r_traffic = None && r.r_health = None
+    && r.r_traffic = None && r.r_health = None && r.r_origins = []
   then Buffer.add_string b "nothing to report (empty journal, no bench)\n";
   Buffer.contents b
 
@@ -422,6 +467,17 @@ let to_json r =
         ",\n  \"traffic\": {\"runs\": %d, \"ticks\": %d, \"reads\": %d, \
          \"writes\": %d, \"flops\": %d}"
         tf.tf_runs tf.tf_ticks tf.tf_reads tf.tf_writes tf.tf_flops);
+  if r.r_origins <> [] then begin
+    Buffer.add_string b ",\n  \"origins\": [";
+    List.iteri
+      (fun i og ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b
+          "\n    {\"origin\": \"%s\", \"events\": %d, \"points\": %d}"
+          (json_escape og.og_origin) og.og_events og.og_points)
+      r.r_origins;
+    Buffer.add_string b "\n  ]"
+  end;
   (match r.r_health with
   | None -> ()
   | Some he ->

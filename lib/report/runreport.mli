@@ -57,6 +57,13 @@ type traffic = {
   tf_flops : int;
 }
 
+type origin_row = {
+  og_origin : string;
+      (** journal origin tag; untagged events render as ["main"] *)
+  og_events : int;
+  og_points : int;  (** [sweep]/[point] events from this process *)
+}
+
 type t = {
   r_journal_events : int;
   r_profile : span_profile list;  (** sorted by self time, descending *)
@@ -64,6 +71,9 @@ type t = {
   r_cache : cache option;
   r_health : health option;
   r_traffic : traffic option;
+  r_origins : origin_row list;
+      (** per-process breakdown of a merged multi-process journal,
+          sorted by origin; [[]] when no event carries an origin tag *)
 }
 
 val build : ?top:int -> ?journal:Json.t list -> ?bench:Json.t -> unit -> t

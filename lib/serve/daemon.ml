@@ -12,6 +12,9 @@ type config = {
   point_timeout_s : float option;
   retries : int;
   ctx_cache_max : int;
+  metrics_out : string option;
+  metrics_every_s : float;
+  trace_out : string option;
 }
 
 let default_config ~socket_path =
@@ -22,6 +25,9 @@ let default_config ~socket_path =
     point_timeout_s = None;
     retries = 1;
     ctx_cache_max = 8;
+    metrics_out = None;
+    metrics_every_s = 2.0;
+    trace_out = None;
   }
 
 let c_requests =
@@ -34,6 +40,10 @@ let c_ctx_hits =
 let c_ctx_misses =
   Obs.Counter.make ~help:"submits that had to prepare from cold"
     "amsvp_serve_ctx_misses_total"
+
+let g_in_flight =
+  Obs.Gauge.make ~help:"points dispatched but not yet resolved"
+    "amsvp_serve_in_flight"
 
 (* Daemon state. One instance per [serve] call; the signal handlers
    write only the [draining] flag (the single async-signal-safe thing
@@ -49,12 +59,45 @@ type state = {
   mutable points_run : int;
   mutable ctx_hits : int;
   mutable ctx_misses : int;
+  (* worker outcomes, from point verdicts (covers in-child cooperative
+     timeouts and parent-synthesised kills alike) *)
+  mutable crashed : int;
+  mutable timeouts : int;
+  mutable in_flight : int;
+  tally : Procpool.tally;
+  mutable metrics_last_ns : int;
   started_ns : int;
 }
 
-let jlog st name payload =
+let jlog ?req st name payload =
   ignore st;
-  if Journal.enabled () then Journal.emit ~cat:"serve" name payload
+  if Journal.enabled () then
+    let payload =
+      match req with
+      | Some id -> ("id", Journal.I id) :: payload
+      | None -> payload
+    in
+    Journal.emit ~cat:"serve" name payload
+
+(* Rewrite the Prometheus textfile atomically: a scraper (or the CI
+   assertion) must never read a half-written exposition. *)
+let write_metrics_file path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Obs.prometheus ());
+  close_out oc;
+  Sys.rename tmp path
+
+let tick_metrics ?(force = false) st =
+  match st.cfg.metrics_out with
+  | None -> ()
+  | Some path ->
+      let now = Obs.now_ns () in
+      let every_ns = int_of_float (st.cfg.metrics_every_s *. 1e9) in
+      if force || now - st.metrics_last_ns >= every_ns then begin
+        st.metrics_last_ns <- now;
+        try write_metrics_file path with Sys_error _ -> ()
+      end
 
 let send conn resp =
   try Lineio.write_line conn (Protocol.encode_response resp)
@@ -64,18 +107,18 @@ let send conn resp =
 
 let ctx_key spec circuit = Spec.to_string spec ^ "@" ^ circuit
 
-let ctx_for st spec (tc : Circuits.testcase) =
+let ctx_for ~id st spec (tc : Circuits.testcase) =
   let key = ctx_key spec tc.Circuits.label in
   match Hashtbl.find_opt st.ctxs key with
   | Some ctx ->
       st.ctx_hits <- st.ctx_hits + 1;
       Obs.Counter.incr c_ctx_hits;
-      jlog st "ctx.hit" [ ("sweep", Journal.S spec.Spec.name) ];
+      jlog ~req:id st "ctx.hit" [ ("sweep", Journal.S spec.Spec.name) ];
       ctx
   | None ->
       st.ctx_misses <- st.ctx_misses + 1;
       Obs.Counter.incr c_ctx_misses;
-      jlog st "ctx.miss" [ ("sweep", Journal.S spec.Spec.name) ];
+      jlog ~req:id st "ctx.miss" [ ("sweep", Journal.S spec.Spec.name) ];
       let ctx =
         Obs.with_span ~cat:"serve" "serve.prepare" @@ fun () ->
         Runner.prepare spec tc
@@ -108,13 +151,13 @@ let handle_submit st conn ~id ~spec_text ~jobs =
       match Runner.resolve spec with
       | Error m -> send conn (Protocol.Failed { message = m })
       | Ok tc -> (
-          match ctx_for st spec tc with
+          match ctx_for ~id st spec tc with
           | exception e ->
               send conn
                 (Protocol.Failed { message = Printexc.to_string e })
           | ctx ->
               Obs.with_span ~cat:"serve"
-                ~args:[ ("sweep", spec.Spec.name) ]
+                ~args:[ ("sweep", spec.Spec.name); ("id", string_of_int id) ]
                 "serve.request"
               @@ fun () ->
               let circuit = tc.Circuits.label in
@@ -168,20 +211,37 @@ let handle_submit st conn ~id ~spec_text ~jobs =
               in
               let executed = ref 0 in
               let t0 = Obs.now_ns () in
+              st.in_flight <- Array.length pending;
+              Obs.Gauge.set g_in_flight (float_of_int st.in_flight);
               let fresh =
                 Procpool.run ~workers:st.cfg.workers ?timeout_s
-                  ~retries:st.cfg.retries ~signal
+                  ~retries:st.cfg.retries ~signal ~request_id:id
+                  ~tally:st.tally
                   ~on_result:(fun r ->
                     incr executed;
                     st.points_run <- st.points_run + 1;
+                    st.in_flight <- st.in_flight - 1;
+                    Obs.Gauge.set g_in_flight (float_of_int st.in_flight);
+                    let issues =
+                      r.Runner.health.Amsvp_probe.Health.v_issues
+                    in
+                    let has k =
+                      List.exists
+                        (fun i -> i.Amsvp_probe.Health.kind = k)
+                        issues
+                    in
+                    if has Amsvp_probe.Health.Timeout then
+                      st.timeouts <- st.timeouts + 1
+                    else if has Amsvp_probe.Health.Crashed then
+                      st.crashed <- st.crashed + 1;
                     (match writer with
                     | Some w -> Checkpoint.append w r
                     | None -> ());
                     send conn (Protocol.Point { id; result = r });
-                    (* The worker's own journal events die with its
-                       address space; re-emit the per-point record on
-                       the parent so the sink sees every dispatch. *)
-                    jlog st "shard.result"
+                    (* The worker streams its own journal through the
+                       telemetry frames; this parent-side record is the
+                       dispatch bookkeeping view of the same point. *)
+                    jlog ~req:id st "shard.result"
                       [
                         ("point",
                          Journal.S r.Runner.point.Amsvp_sweep.Sampler.label);
@@ -191,11 +251,14 @@ let handle_submit st conn ~id ~spec_text ~jobs =
                            r.Runner.health.Amsvp_probe.Health.v_healthy);
                         ("wall_s", Journal.F r.Runner.wall_s);
                       ];
+                    tick_metrics st;
                     if !executed land 31 = 0 then Journal.flush ())
                   ~should_stop:(fun () -> !(st.draining))
                   (fun ~retry:_ p -> Runner.run_point ?timeout_s ctx p)
                   pending
               in
+              st.in_flight <- 0;
+              Obs.Gauge.set g_in_flight 0.0;
               let total_s = float_of_int (Obs.now_ns () - t0) *. 1e-9 in
               Option.iter Checkpoint.close writer;
               let delivered =
@@ -228,14 +291,15 @@ let handle_submit st conn ~id ~spec_text ~jobs =
                      total_s;
                      complete;
                    });
-              jlog st "request.done"
+              jlog ~req:id st "request.done"
                 [
                   ("sweep", Journal.S spec.Spec.name);
                   ("points", Journal.I n_delivered);
                   ("complete", Journal.B complete);
                   ("total_s", Journal.F total_s);
                 ];
-              Journal.flush ()))
+              Journal.flush ();
+              tick_metrics ~force:true st))
 
 let stats_reply st =
   Protocol.Stats_reply
@@ -245,6 +309,15 @@ let stats_reply st =
       st_ctx_hits = st.ctx_hits;
       st_ctx_misses = st.ctx_misses;
       st_uptime_s = float_of_int (Obs.now_ns () - st.started_ns) *. 1e-9;
+      st_in_flight = st.in_flight;
+      st_workers = st.cfg.workers;
+      st_spawned = st.tally.Procpool.t_spawned;
+      st_crashed = st.crashed;
+      st_timeouts = st.timeouts;
+      st_redispatched = st.tally.Procpool.t_redispatched;
+      st_telemetry_torn = st.tally.Procpool.t_torn;
+      st_journal_dropped = Journal.dropped ();
+      st_heap_words = (Gc.quick_stat ()).Gc.heap_words;
     }
 
 let serve_client st fd =
@@ -277,6 +350,7 @@ let serve_client st fd =
 
 let serve cfg =
   if cfg.workers < 1 then invalid_arg "Daemon.serve: workers < 1";
+  Journal.set_origin "daemon";
   let draining = ref false in
   let st =
     {
@@ -288,6 +362,11 @@ let serve cfg =
       points_run = 0;
       ctx_hits = 0;
       ctx_misses = 0;
+      crashed = 0;
+      timeouts = 0;
+      in_flight = 0;
+      tally = Procpool.make_tally ();
+      metrics_last_ns = 0;
       started_ns = Obs.now_ns ();
     }
   in
@@ -304,6 +383,12 @@ let serve cfg =
       (try Unix.close sock with Unix.Unix_error _ -> ());
       (try Sys.remove cfg.socket_path with Sys_error _ -> ());
       Journal.flush ();
+      tick_metrics ~force:true st;
+      (match cfg.trace_out with
+      | Some path -> (
+          try Obs.write_file path (Obs.chrome_trace ())
+          with Sys_error _ -> ())
+      | None -> ());
       Sys.set_signal Sys.sigterm prev_term;
       Sys.set_signal Sys.sigint prev_int;
       Sys.set_signal Sys.sigpipe prev_pipe)
@@ -317,6 +402,7 @@ let serve cfg =
       ("workers", Journal.I cfg.workers);
     ];
   Journal.flush ();
+  tick_metrics ~force:true st;
   (* One client at a time: requests are serialised, parallelism lives
      in the per-sweep worker processes. The accept loop polls the
      drain flag between (short) select timeouts. *)
@@ -330,6 +416,7 @@ let serve cfg =
           | fd, _ -> serve_client st fd
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      tick_metrics st;
       accept_loop ()
     end
   in

@@ -16,6 +16,14 @@
     killed mid-sweep resumes on resubmit, streaming recovered points
     first and executing only the remainder.
 
+    The daemon journals under origin ["daemon"] and ingests each
+    worker's journal events, spans, and counter deltas shipped over
+    the {!Protocol} telemetry frames, so the attached journal sink
+    and the shutdown trace cover the whole service; worker outcome
+    counters (spawned/crashed/timeouts/re-dispatches/torn telemetry),
+    in-flight points, journal drops, and GC heap words are surfaced in
+    the [Stats] reply.
+
     SIGTERM / SIGINT (or a [Shutdown] request) drain gracefully: no new
     point is dispatched, in-flight points finish and are checkpointed,
     the client gets a [Done] with [complete = false], the journal sink
@@ -32,11 +40,20 @@ type config = {
       (** default per-point budget for specs that set none *)
   retries : int;  (** re-dispatches per crashed point *)
   ctx_cache_max : int;  (** warm prepared sweeps kept *)
+  metrics_out : string option;
+      (** Prometheus textfile the daemon rewrites atomically
+          (write-to-temp + rename) every [metrics_every_s], on each
+          completed request, and at startup/shutdown *)
+  metrics_every_s : float;
+  trace_out : string option;
+      (** Chrome trace written at shutdown: daemon request spans plus
+          every worker span ingested over the telemetry frames, one
+          [pid] track per process *)
 }
 
 val default_config : socket_path:string -> config
-(** 2 workers, no checkpointing, no timeout, 1 retry, 8 cached
-    sweeps. *)
+(** 2 workers, no checkpointing, no timeout, 1 retry, 8 cached sweeps,
+    no metrics/trace files, metrics every 2 s. *)
 
 val serve : config -> unit
 (** Bind, listen and serve until drained. Blocks.

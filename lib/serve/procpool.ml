@@ -3,7 +3,45 @@ module Sampler = Amsvp_sweep.Sampler
 module Checkpoint = Amsvp_sweep.Checkpoint
 module Json = Amsvp_util.Json
 module Journal = Amsvp_obs.Journal
+module Obs = Amsvp_obs.Obs
 module Health = Amsvp_probe.Health
+
+(* Worker lifecycle counters: always live (metrics are unconditional),
+   aggregated service-wide because worker deltas ingested from
+   telemetry frames land in this same registry. *)
+let c_spawned =
+  Obs.Counter.make ~help:"worker processes forked"
+    "amsvp_procpool_spawned_total"
+
+let c_crashed =
+  Obs.Counter.make ~help:"points resolved with a crashed verdict"
+    "amsvp_procpool_crashed_total"
+
+let c_kills =
+  Obs.Counter.make ~help:"workers SIGKILLed past the parent deadline"
+    "amsvp_procpool_kills_total"
+
+let c_redispatch =
+  Obs.Counter.make ~help:"points re-dispatched after a worker death"
+    "amsvp_procpool_redispatch_total"
+
+let c_torn =
+  Obs.Counter.make ~help:"telemetry frames dropped as torn"
+    "amsvp_procpool_telemetry_torn_total"
+
+(* Per-run outcome tally a caller (the daemon) can hand in to surface
+   worker outcomes in its status reply without scraping the journal. *)
+type tally = {
+  mutable t_spawned : int;
+  mutable t_crashed : int;
+  mutable t_timeouts : int;
+  mutable t_redispatched : int;
+  mutable t_torn : int;
+}
+
+let make_tally () =
+  { t_spawned = 0; t_crashed = 0; t_timeouts = 0; t_redispatched = 0;
+    t_torn = 0 }
 
 (* ---- task codec (parent -> child), one line per dispatch ---- *)
 
@@ -39,13 +77,75 @@ let decode_task line =
 
 (* ---- child side ---- *)
 
+(* ---- child-side telemetry shipping ----
+
+   A worker inherits the parent's journal rings, span buffer, and
+   counters copy-on-write, so cross-process observability is a drain
+   problem: after each task the child ships everything it produced
+   since its previous ship — its own journal events (the origin filter
+   in [events_after] keeps inherited parent events from being
+   re-shipped), newly completed spans, and positive counter deltas —
+   as telemetry lines on the result pipe, before the result line, in
+   one flush. *)
+
+let counter_lookup base (name, labels, _) =
+  match
+    List.find_opt (fun (n, ls, _) -> n = name && ls = labels) base
+  with
+  | Some (_, _, v) -> v
+  | None -> 0
+
+let make_shipper oc =
+  let jmark = ref (Journal.next_seq ()) in
+  let smark = ref (Obs.span_count ()) in
+  let cbase = ref (Obs.counter_values ()) in
+  fun () ->
+    let send t =
+      output_string oc (Protocol.encode_telemetry t);
+      output_char oc '\n'
+    in
+    if Journal.enabled () then begin
+      match Journal.events_after !jmark with
+      | [] -> ()
+      | evs ->
+          jmark :=
+            1 + List.fold_left (fun m e -> max m e.Journal.seq) !jmark evs;
+          send (Protocol.Tel_journal evs)
+    end;
+    if Obs.enabled () then begin
+      let origin = Journal.origin () in
+      (match Obs.spans_from !smark with
+      | [] -> ()
+      | spans ->
+          smark := !smark + List.length spans;
+          send (Protocol.Tel_spans { origin; spans }));
+      let current = Obs.counter_values () in
+      let deltas =
+        List.filter_map
+          (fun ((name, labels, v) as c) ->
+            let d = v - counter_lookup !cbase c in
+            if d > 0 then Some (name, labels, d) else None)
+          current
+      in
+      cbase := current;
+      if deltas <> [] then
+        send (Protocol.Tel_counters { origin; counters = deltas })
+    end
+
 (* The child is a line-driven slave: read one task, run it, write one
    result, repeat; EOF on the task pipe is the shutdown signal. All
    exits go through [Unix._exit] — the fork duplicated the parent's
    buffered channels and an [exit] would flush them a second time. *)
-let child_loop f task_r res_w =
+let child_loop ~slot ?request_id f task_r res_w =
   let ic = Unix.in_channel_of_descr task_r in
   let oc = Unix.out_channel_of_descr res_w in
+  Journal.set_origin (Printf.sprintf "w%d:%d" slot (Unix.getpid ()));
+  let ship = make_shipper oc in
+  let req_payload =
+    match request_id with
+    | Some id -> [ ("id", Journal.I id) ]
+    | None -> []
+  in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> Unix._exit 0
@@ -53,6 +153,14 @@ let child_loop f task_r res_w =
         match decode_task line with
         | None -> Unix._exit 3
         | Some (point, retry) ->
+            if Journal.enabled () then
+              Journal.emit ~cat:"serve" "task.begin"
+                (req_payload
+                @ [
+                    ("point", Journal.S point.Sampler.label);
+                    ("index", Journal.I point.Sampler.index);
+                    ("retry", Journal.I retry);
+                  ]);
             let result =
               try f ~retry point
               with e ->
@@ -77,6 +185,7 @@ let child_loop f task_r res_w =
                   wall_s = 0.0;
                 }
             in
+            ship ();
             output_string oc (Checkpoint.result_to_json result);
             output_char oc '\n';
             flush oc;
@@ -87,6 +196,7 @@ let child_loop f task_r res_w =
 (* ---- parent side ---- *)
 
 type worker = {
+  slot : int;  (* stable position in the pool; part of the origin tag *)
   mutable pid : int;
   mutable to_child : Unix.file_descr;
   mutable from_child : Unix.file_descr;
@@ -100,7 +210,7 @@ type worker = {
    task-pipe write end would keep that sibling alive past the parent's
    close (no EOF), deadlocking shutdown — so each child closes them
    first thing. *)
-let spawn ~sibling_fds f =
+let spawn ~slot ?request_id ~sibling_fds f =
   let task_r, task_w = Unix.pipe ~cloexec:false () in
   let res_r, res_w = Unix.pipe ~cloexec:false () in
   match Unix.fork () with
@@ -110,11 +220,12 @@ let spawn ~sibling_fds f =
         sibling_fds;
       Unix.close task_w;
       Unix.close res_r;
-      child_loop f task_r res_w
+      child_loop ~slot ?request_id f task_r res_w
   | pid ->
       Unix.close task_r;
       Unix.close res_w;
       {
+        slot;
         pid;
         to_child = task_w;
         from_child = res_r;
@@ -149,12 +260,50 @@ let synth ctx_signal (p : Sampler.point) kind ~wall_s =
     wall_s;
   }
 
-let jlog name payload =
+let jlog ?req name payload =
   if Journal.enabled () then
+    let payload =
+      match req with
+      | Some id -> ("id", Journal.I id) :: payload
+      | None -> payload
+    in
     Journal.emit ~severity:Journal.Warn ~cat:"serve" name payload
 
-let run ~workers ?timeout_s ?(retries = 1) ?(signal = "") ?on_result
-    ?(should_stop = fun () -> false) f (points : Sampler.point array) =
+(* Classify and absorb one pipe line if it is telemetry. Returns false
+   when the line is not a telemetry frame (the caller then treats it
+   as a result line). A torn frame is absorbed too — dropped, counted,
+   journaled — because a worker that managed to write a recognisable
+   telemetry prefix is still alive and its connection still carries
+   ordered lines; only result-line corruption implies death. *)
+let ingest_telemetry_line ?tally ?request_id line =
+  match Protocol.decode_telemetry line with
+  | `Telemetry (Protocol.Tel_journal evs) ->
+      Journal.ingest evs;
+      true
+  | `Telemetry (Protocol.Tel_spans { origin; spans }) ->
+      Obs.ingest_spans ~proc:origin spans;
+      true
+  | `Telemetry (Protocol.Tel_counters { origin = _; counters }) ->
+      List.iter
+        (fun (name, labels, d) ->
+          (* A kind clash (the name is a gauge here) or a hostile
+             negative delta must not take the pool down: telemetry is
+             advisory. *)
+          match Obs.Counter.make ~labels name with
+          | c -> ( try Obs.Counter.add c d with Invalid_argument _ -> ())
+          | exception Invalid_argument _ -> ())
+        counters;
+      true
+  | `Torn reason ->
+      (match tally with Some t -> t.t_torn <- t.t_torn + 1 | None -> ());
+      Obs.Counter.incr c_torn;
+      jlog ?req:request_id "telemetry.torn" [ ("reason", Journal.S reason) ];
+      true
+  | `Not_telemetry -> false
+
+let run ~workers ?timeout_s ?(retries = 1) ?(signal = "") ?request_id ?tally
+    ?on_result ?(should_stop = fun () -> false) f
+    (points : Sampler.point array) =
   if workers < 1 then invalid_arg "Procpool.run: workers < 1";
   let n = Array.length points in
   let results : Runner.point_result option array = Array.make n None in
@@ -170,8 +319,10 @@ let run ~workers ?timeout_s ?(retries = 1) ?(signal = "") ?on_result
     let done_count = ref 0 in
     let stop = ref false in
     let live_fds = ref [] in
-    let spawn_tracked () =
-      let w = spawn ~sibling_fds:!live_fds f in
+    let spawn_tracked slot =
+      let w = spawn ~slot ?request_id ~sibling_fds:!live_fds f in
+      Obs.Counter.incr c_spawned;
+      (match tally with Some t -> t.t_spawned <- t.t_spawned + 1 | None -> ());
       live_fds := w.to_child :: w.from_child :: !live_fds;
       w
     in
@@ -181,7 +332,7 @@ let run ~workers ?timeout_s ?(retries = 1) ?(signal = "") ?on_result
           (fun fd -> fd <> w.to_child && fd <> w.from_child)
           !live_fds
     in
-    let ws = Array.init (min workers n) (fun _ -> spawn_tracked ()) in
+    let ws = Array.init (min workers n) (fun i -> spawn_tracked i) in
     let dispatch_times = Array.make n 0.0 in
     (* The child runs the cooperative in-simulation timeout itself; the
        parent's kill deadline is the backstop for a worker that hangs
@@ -217,7 +368,7 @@ let run ~workers ?timeout_s ?(retries = 1) ?(signal = "") ?on_result
       w.alive <- false
     in
     let respawn w =
-      let fresh = spawn_tracked () in
+      let fresh = spawn_tracked w.slot in
       w.pid <- fresh.pid;
       w.to_child <- fresh.to_child;
       w.from_child <- fresh.from_child;
@@ -235,7 +386,11 @@ let run ~workers ?timeout_s ?(retries = 1) ?(signal = "") ?on_result
           let wall_s = Unix.gettimeofday () -. dispatch_times.(slot) in
           let p = points.(slot) in
           if timed_out then begin
-            jlog "shard.kill"
+            Obs.Counter.incr c_kills;
+            (match tally with
+            | Some t -> t.t_timeouts <- t.t_timeouts + 1
+            | None -> ());
+            jlog ?req:request_id "shard.kill"
               [
                 ("point", Journal.S p.Sampler.label);
                 ("wall_s", Journal.F wall_s);
@@ -244,7 +399,11 @@ let run ~workers ?timeout_s ?(retries = 1) ?(signal = "") ?on_result
           end
           else if retry_count.(slot) < retries then begin
             retry_count.(slot) <- retry_count.(slot) + 1;
-            jlog "shard.redispatch"
+            Obs.Counter.incr c_redispatch;
+            (match tally with
+            | Some t -> t.t_redispatched <- t.t_redispatched + 1
+            | None -> ());
+            jlog ?req:request_id "shard.redispatch"
               [
                 ("point", Journal.S p.Sampler.label);
                 ("retry", Journal.I retry_count.(slot));
@@ -252,7 +411,11 @@ let run ~workers ?timeout_s ?(retries = 1) ?(signal = "") ?on_result
             Queue.push slot requeue
           end
           else begin
-            jlog "shard.crashed"
+            Obs.Counter.incr c_crashed;
+            (match tally with
+            | Some t -> t.t_crashed <- t.t_crashed + 1
+            | None -> ());
+            jlog ?req:request_id "shard.crashed"
               [
                 ("point", Journal.S p.Sampler.label);
                 ("retries", Journal.I retry_count.(slot));
@@ -264,17 +427,19 @@ let run ~workers ?timeout_s ?(retries = 1) ?(signal = "") ?on_result
       if (not !stop) && pending_available () then respawn w
     in
     let handle_line w line =
-      match Checkpoint.result_of_line line with
-      | Ok r -> (
-          match w.current with
-          | Some (slot, _) ->
-              w.current <- None;
-              finish slot r
-          | None -> () (* stray line after a re-dispatch; drop *))
-      | Error _ ->
-          (* A torn result is indistinguishable from a crash. *)
-          (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
-          handle_death w
+      if ingest_telemetry_line ?tally ?request_id line then ()
+      else
+        match Checkpoint.result_of_line line with
+        | Ok r -> (
+            match w.current with
+            | Some (slot, _) ->
+                w.current <- None;
+                finish slot r
+            | None -> () (* stray line after a re-dispatch; drop *))
+        | Error _ ->
+            (* A torn result is indistinguishable from a crash. *)
+            (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+            handle_death w
     in
     let handle_readable w =
       let chunk = Bytes.create 4096 in

@@ -25,18 +25,49 @@
 
     Dispatch/kill/re-dispatch decisions are journaled in category
     ["serve"] (["shard.redispatch"], ["shard.kill"],
-    ["shard.crashed"]). *)
+    ["shard.crashed"]), tagged with the request id when one is given.
+
+    {b Telemetry.} Each child tags its process with the journal origin
+    ["w<slot>:<pid>"] and, after every task, ships its new journal
+    events, completed spans, and positive counter deltas as
+    {!Protocol.telemetry} lines on the result pipe (before the result
+    line). The parent ingests them into its own journal/span
+    buffer/metric registry, so after [run] the parent's
+    {!Amsvp_obs.Journal.events} and {!Amsvp_obs.Obs.chrome_trace}
+    cover the whole pool. Torn telemetry frames are dropped and
+    counted, never fatal to the connection. *)
 
 val encode_task : Amsvp_sweep.Sampler.point -> retry:int -> string
 (** Exposed for tests. *)
 
 val decode_task : string -> (Amsvp_sweep.Sampler.point * int) option
 
+(** Worker-outcome tally for one [run], mutated as events happen; hand
+    the same record to successive runs to accumulate service totals. *)
+type tally = {
+  mutable t_spawned : int;  (** worker processes forked *)
+  mutable t_crashed : int;  (** points exhausted their retries *)
+  mutable t_timeouts : int;  (** parent kill-deadline expiries *)
+  mutable t_redispatched : int;  (** re-dispatches after worker death *)
+  mutable t_torn : int;  (** telemetry frames dropped as torn *)
+}
+
+val make_tally : unit -> tally
+
+val ingest_telemetry_line : ?tally:tally -> ?request_id:int -> string -> bool
+(** Absorb one pipe line if it is a telemetry frame: well-formed
+    frames are ingested into this process's journal / span buffer /
+    counters, torn frames are dropped, counted in [tally] and
+    journaled (["telemetry.torn"]). Returns [false] iff the line is
+    not telemetry at all. Exposed for tests. *)
+
 val run :
   workers:int ->
   ?timeout_s:float ->
   ?retries:int ->
   ?signal:string ->
+  ?request_id:int ->
+  ?tally:tally ->
   ?on_result:(Amsvp_sweep.Runner.point_result -> unit) ->
   ?should_stop:(unit -> bool) ->
   (retry:int -> Amsvp_sweep.Sampler.point -> Amsvp_sweep.Runner.point_result) ->
@@ -54,5 +85,7 @@ val run :
     parent as each result arrives (checkpoint append / streaming).
     [should_stop] is polled between dispatches: once true, no new point
     is dispatched, in-flight points finish, and undispatched slots come
-    back [None].
+    back [None]. [request_id] is stamped on the children's
+    ["task.begin"] journal events and the parent's shard events;
+    [tally] receives worker-outcome counts as they happen.
     @raise Invalid_argument on [workers < 1]. *)

@@ -1,6 +1,8 @@
 module Json = Amsvp_util.Json
 module Checkpoint = Amsvp_sweep.Checkpoint
 module Runner = Amsvp_sweep.Runner
+module Journal = Amsvp_obs.Journal
+module Obs = Amsvp_obs.Obs
 
 let version = 1
 
@@ -16,6 +18,15 @@ type stats = {
   st_ctx_hits : int;
   st_ctx_misses : int;
   st_uptime_s : float;
+  st_in_flight : int;
+  st_workers : int;
+  st_spawned : int;
+  st_crashed : int;
+  st_timeouts : int;
+  st_redispatched : int;
+  st_telemetry_torn : int;
+  st_journal_dropped : int;
+  st_heap_words : int;
 }
 
 type response =
@@ -78,9 +89,11 @@ let encode_response = function
   | Pong -> Printf.sprintf "{\"v\":%d,\"ev\":\"pong\"}" version
   | Stats_reply s ->
       Printf.sprintf
-        "{\"v\":%d,\"ev\":\"stats\",\"requests\":%d,\"points\":%d,\"ctx_hits\":%d,\"ctx_misses\":%d,\"uptime_s\":%s}"
+        "{\"v\":%d,\"ev\":\"stats\",\"requests\":%d,\"points\":%d,\"ctx_hits\":%d,\"ctx_misses\":%d,\"uptime_s\":%s,\"in_flight\":%d,\"workers\":%d,\"spawned\":%d,\"crashed\":%d,\"timeouts\":%d,\"redispatched\":%d,\"telemetry_torn\":%d,\"journal_dropped\":%d,\"heap_words\":%d}"
         version s.st_requests s.st_points s.st_ctx_hits s.st_ctx_misses
-        (jnum s.st_uptime_s)
+        (jnum s.st_uptime_s) s.st_in_flight s.st_workers s.st_spawned
+        s.st_crashed s.st_timeouts s.st_redispatched s.st_telemetry_torn
+        s.st_journal_dropped s.st_heap_words
   | Bye -> Printf.sprintf "{\"v\":%d,\"ev\":\"bye\"}" version
 
 (* ---- decoders: total, never raise ---- *)
@@ -166,10 +179,231 @@ let decode_response line =
           let* st_ctx_hits = int "ctx_hits" j in
           let* st_ctx_misses = int "ctx_misses" j in
           let* st_uptime_s = Json.mem_float "uptime_s" j in
+          let* st_in_flight = int "in_flight" j in
+          let* st_workers = int "workers" j in
+          let* st_spawned = int "spawned" j in
+          let* st_crashed = int "crashed" j in
+          let* st_timeouts = int "timeouts" j in
+          let* st_redispatched = int "redispatched" j in
+          let* st_telemetry_torn = int "telemetry_torn" j in
+          let* st_journal_dropped = int "journal_dropped" j in
+          let* st_heap_words = int "heap_words" j in
           Ok
             (Stats_reply
                { st_requests; st_points; st_ctx_hits; st_ctx_misses;
-                 st_uptime_s })
+                 st_uptime_s; st_in_flight; st_workers; st_spawned;
+                 st_crashed; st_timeouts; st_redispatched;
+                 st_telemetry_torn; st_journal_dropped; st_heap_words })
       | Some "bye" -> Ok Bye
       | Some other -> Error (Printf.sprintf "unknown event %S" other)
       | None -> Error "frame has no \"ev\" field")
+
+(* ---- telemetry frames (worker -> parent, on the result pipe) ----
+
+   A worker interleaves telemetry lines with result lines on its one
+   pipe. Telemetry is advisory: the parent must be able to tell "this
+   is telemetry, possibly torn" from "this is (supposed to be) a
+   result line", because a torn result still means the worker died
+   mid-write whereas a torn telemetry frame must never cost a point.
+   The discriminator is the frame prefix [telemetry_prefix]: the
+   encoders below always start a telemetry line with it, and the task
+   codec / checkpoint result codec never emit a "tel" key. *)
+
+type telemetry =
+  | Tel_journal of Journal.event list
+  | Tel_spans of { origin : string; spans : Obs.span list }
+  | Tel_counters of {
+      origin : string;
+      counters : (string * (string * string) list * int) list;
+    }
+
+let telemetry_prefix = Printf.sprintf "{\"v\":%d,\"tel\":\"" version
+
+let span_to_json (s : Obs.span) =
+  let b = Buffer.create 128 in
+  Printf.bprintf b
+    "{\"name\":%s,\"cat\":%s,\"start_ns\":%d,\"dur_ns\":%d,\"depth\":%d,\"dom\":%d"
+    (jstr s.Obs.name) (jstr s.Obs.cat) s.Obs.start_ns s.Obs.dur_ns
+    s.Obs.depth s.Obs.dom;
+  if s.Obs.proc <> "" then Printf.bprintf b ",\"proc\":%s" (jstr s.Obs.proc);
+  if s.Obs.args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b "%s:%s" (jstr k) (jstr v))
+      s.Obs.args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let counter_to_json (name, labels, value) =
+  let b = Buffer.create 64 in
+  Printf.bprintf b "{\"name\":%s" (jstr name);
+  if labels <> [] then begin
+    Buffer.add_string b ",\"labels\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b "%s:%s" (jstr k) (jstr v))
+      labels;
+    Buffer.add_char b '}'
+  end;
+  Printf.bprintf b ",\"value\":%d}" value;
+  Buffer.contents b
+
+let encode_telemetry = function
+  | Tel_journal events ->
+      Printf.sprintf "%sjournal\",\"events\":[%s]}" telemetry_prefix
+        (String.concat "," (List.map Journal.event_to_json events))
+  | Tel_spans { origin; spans } ->
+      Printf.sprintf "%sspans\",\"origin\":%s,\"spans\":[%s]}" telemetry_prefix
+        (jstr origin)
+        (String.concat "," (List.map span_to_json spans))
+  | Tel_counters { origin; counters } ->
+      Printf.sprintf "%scounters\",\"origin\":%s,\"counters\":[%s]}"
+        telemetry_prefix (jstr origin)
+        (String.concat "," (List.map counter_to_json counters))
+
+(* Decoding back into journal values. Numbers decode to [I] when they
+   are integral and inside the range the [I] encoder can have produced
+   (so the round-trip is canonical: what re-encodes identically);
+   everything else stays [F]. The journal's non-finite string encoding
+   maps back to the floats it names — a payload [S "NaN"] encodes to
+   the same bytes as [F nan], so decoding either spelling to [F nan]
+   keeps re-encoding stable. *)
+let value_of_json = function
+  | Json.Bool b -> Some (Journal.B b)
+  | Json.Num v ->
+      if
+        Float.is_integer v
+        && Float.abs v <= 1e15
+        && not (v = 0.0 && 1.0 /. v < 0.0) (* -0. must stay a float *)
+      then Some (Journal.I (int_of_float v))
+      else Some (Journal.F v)
+  | Json.Str "NaN" -> Some (Journal.F nan)
+  | Json.Str "Infinity" -> Some (Journal.F infinity)
+  | Json.Str "-Infinity" -> Some (Journal.F neg_infinity)
+  | Json.Str s -> Some (Journal.S s)
+  | _ -> None
+
+let severity_of_label = function
+  | "debug" -> Some Journal.Debug
+  | "info" -> Some Journal.Info
+  | "warn" -> Some Journal.Warn
+  | "error" -> Some Journal.Error
+  | _ -> None
+
+let opt_all f l =
+  List.fold_right
+    (fun x acc ->
+      match (f x, acc) with Some y, Some tl -> Some (y :: tl) | _ -> None)
+    l (Some [])
+
+let string_pairs = function
+  | Json.Obj fields ->
+      opt_all
+        (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_string v))
+        fields
+  | _ -> None
+
+let event_of_json j =
+  let ( let* ) = Option.bind in
+  let int k = Option.map int_of_float (Json.mem_float k j) in
+  let* seq = int "seq" in
+  let* dom = int "dom" in
+  let* cat = Json.mem_string "cat" j in
+  let* name = Json.mem_string "name" j in
+  let* severity = Option.bind (Json.mem_string "sev" j) severity_of_label in
+  let* wall_ns = int "wall_ns" in
+  let origin = Option.value ~default:"" (Json.mem_string "origin" j) in
+  let step = Option.value ~default:(-1) (int "step") in
+  let time = Option.value ~default:nan (Json.mem_float "time" j) in
+  let* payload =
+    match Json.member "data" j with
+    | Some (Json.Obj fields) ->
+        opt_all
+          (fun (k, v) -> Option.map (fun x -> (k, x)) (value_of_json v))
+          fields
+    | _ -> None
+  in
+  Some
+    { Journal.seq; origin; dom; cat; name; severity; step; time; wall_ns;
+      payload }
+
+let span_of_json j =
+  let ( let* ) = Option.bind in
+  let int k = Option.map int_of_float (Json.mem_float k j) in
+  let* name = Json.mem_string "name" j in
+  let* cat = Json.mem_string "cat" j in
+  let* start_ns = int "start_ns" in
+  let* dur_ns = int "dur_ns" in
+  let* depth = int "depth" in
+  let* dom = int "dom" in
+  let proc = Option.value ~default:"" (Json.mem_string "proc" j) in
+  let* args =
+    match Json.member "args" j with
+    | None -> Some []
+    | Some o -> string_pairs o
+  in
+  Some { Obs.name; cat; start_ns; dur_ns; depth; dom; proc; args }
+
+let counter_of_json j =
+  let ( let* ) = Option.bind in
+  let* name = Json.mem_string "name" j in
+  let* value = Option.map int_of_float (Json.mem_float "value" j) in
+  let* labels =
+    match Json.member "labels" j with
+    | None -> Some []
+    | Some o -> string_pairs o
+  in
+  Some (name, labels, value)
+
+let is_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let decode_telemetry line =
+  if is_prefix ~prefix:telemetry_prefix line then begin
+    let torn reason = `Torn reason in
+    match Json.parse line with
+    | exception Json.Parse_error (m, off) ->
+        torn (Printf.sprintf "torn telemetry frame at offset %d: %s" off m)
+    | j -> (
+        let decoded =
+          let ( let* ) = Option.bind in
+          let* kind = Json.mem_string "tel" j in
+          match kind with
+          | "journal" ->
+              let* events =
+                opt_all event_of_json (Json.mem_list "events" j)
+              in
+              Some (Tel_journal events)
+          | "spans" ->
+              let* origin = Json.mem_string "origin" j in
+              let* spans = opt_all span_of_json (Json.mem_list "spans" j) in
+              Some (Tel_spans { origin; spans })
+          | "counters" ->
+              let* origin = Json.mem_string "origin" j in
+              let* counters =
+                opt_all counter_of_json (Json.mem_list "counters" j)
+              in
+              Some (Tel_counters { origin; counters })
+          | _ -> None
+        in
+        match decoded with
+        | Some t -> `Telemetry t
+        | None -> torn "malformed telemetry frame")
+  end
+  else if
+    line <> ""
+    && String.length line < String.length telemetry_prefix
+    && is_prefix ~prefix:line telemetry_prefix
+  then
+    (* The line is a proper prefix of the telemetry prefix itself: a
+       telemetry frame cut off before it even finished announcing — a
+       truncated result line can never look like this because result
+       lines never start with the prefix. *)
+    `Torn "truncated telemetry frame"
+  else `Not_telemetry

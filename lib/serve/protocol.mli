@@ -27,6 +27,15 @@ type stats = {
   st_ctx_hits : int;  (** submits served by a warm prepared sweep *)
   st_ctx_misses : int;
   st_uptime_s : float;
+  st_in_flight : int;  (** points dispatched but not yet resolved *)
+  st_workers : int;  (** configured worker count *)
+  st_spawned : int;  (** worker processes forked since start *)
+  st_crashed : int;  (** points resolved with a [Crashed] verdict *)
+  st_timeouts : int;  (** points resolved with a [Timeout] verdict *)
+  st_redispatched : int;  (** re-dispatches after a worker death *)
+  st_telemetry_torn : int;  (** telemetry frames dropped as torn *)
+  st_journal_dropped : int;  (** journal ring overwrites ({!Amsvp_obs.Journal.dropped}) *)
+  st_heap_words : int;  (** [Gc.quick_stat] major heap words *)
 }
 
 type response =
@@ -59,3 +68,41 @@ val encode_response : response -> string
 
 val decode_request : string -> (request, string) result
 val decode_response : string -> (response, string) result
+
+(** {1 Telemetry frames}
+
+    Point-workers interleave telemetry lines with result lines on
+    their pipe back to the daemon: drained journal events, completed
+    spans, and counter deltas, each tagged with the worker's origin.
+    The frames are self-announcing — every telemetry line starts with
+    {!telemetry_prefix}, which no task or result line can produce — so
+    the pool can classify a line {e before} parsing it and a torn
+    telemetry frame is dropped (and counted) without costing the
+    worker its connection, while a torn result line still means the
+    worker died mid-write. *)
+
+type telemetry =
+  | Tel_journal of Amsvp_obs.Journal.event list
+      (** events carry their own [origin]/[seq] *)
+  | Tel_spans of { origin : string; spans : Amsvp_obs.Obs.span list }
+  | Tel_counters of {
+      origin : string;
+      counters : (string * (string * string) list * int) list;
+          (** [(name, labels, delta)] — positive increments since the
+              worker's previous ship *)
+    }
+
+val telemetry_prefix : string
+(** The byte prefix every encoded telemetry line starts with. *)
+
+val encode_telemetry : telemetry -> string
+(** One line, no trailing newline; starts with {!telemetry_prefix}. *)
+
+val decode_telemetry :
+  string -> [ `Telemetry of telemetry | `Torn of string | `Not_telemetry ]
+(** Total classifier for one pipe line. [`Telemetry] — a well-formed
+    frame. [`Torn] — the line announces itself as telemetry (it starts
+    with {!telemetry_prefix}, or is a nonempty prefix of it) but does
+    not decode; the connection is still healthy, drop and count it.
+    [`Not_telemetry] — not a telemetry line at all (e.g. a result
+    line); hand it to the next codec. *)

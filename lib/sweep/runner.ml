@@ -189,6 +189,7 @@ let timeout_result ctx (p : Sampler.point) ~cached ~sim_time ~wall_s =
     Journal.emit ~severity:Journal.Warn ~cat:"sweep" "point.timeout"
       [
         ("point", Journal.S p.Sampler.label);
+        ("index", Journal.I p.Sampler.index);
         ("wall_s", Journal.F wall_s);
         ("sim_time", Journal.F sim_time);
       ];
@@ -325,6 +326,7 @@ let run_point ?timeout_s ctx (p : Sampler.point) =
         Journal.emit ~cat:"sweep" "point"
           [
             ("point", Journal.S p.Sampler.label);
+            ("index", Journal.I p.Sampler.index);
             ("cached", Journal.B cached);
             ("wall_s", Journal.F wall_s);
             ("healthy", Journal.B health.Health.v_healthy);

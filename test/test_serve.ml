@@ -14,6 +14,8 @@ module Daemon = Amsvp_serve.Daemon
 module Client = Amsvp_serve.Client
 module Health = Amsvp_probe.Health
 module Json = Amsvp_util.Json
+module Journal = Amsvp_obs.Journal
+module Obs = Amsvp_obs.Obs
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
 
@@ -152,6 +154,15 @@ let test_simple_frames_roundtrip () =
           st_ctx_hits = 7;
           st_ctx_misses = 2;
           st_uptime_s = 3.5;
+          st_in_flight = 4;
+          st_workers = 2;
+          st_spawned = 11;
+          st_crashed = 1;
+          st_timeouts = 2;
+          st_redispatched = 3;
+          st_telemetry_torn = 0;
+          st_journal_dropped = 17;
+          st_heap_words = 1_000_003;
         };
       Protocol.Bye;
     ]
@@ -193,6 +204,190 @@ let test_malformed_frames_rejected () =
       (Protocol.decode_response (String.sub whole 0 n))
   done;
   assert_err "unknown event" (Protocol.decode_response "{\"v\":1,\"ev\":\"nope\"}")
+
+(* ---- telemetry frames ---- *)
+
+(* Journal payloads / span args / counter labels are keyed lists; JSON
+   objects with duplicate keys are not guaranteed to survive a parse
+   intact, and real emitters never produce them, so generators dedupe. *)
+let dedupe_keys kvs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    kvs
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun f -> Journal.F f) gen_float);
+        (2, map (fun i -> Journal.I (i - 500)) (int_bound 1000));
+        (3, map (fun s -> Journal.S s) gen_string);
+        (1, map (fun b -> Journal.B b) bool);
+      ])
+
+let gen_event =
+  let open QCheck.Gen in
+  nat >>= fun seq ->
+  gen_string >>= fun origin ->
+  int_bound 8 >>= fun dom ->
+  gen_string >>= fun cat ->
+  gen_string >>= fun name ->
+  oneofl [ Journal.Debug; Journal.Info; Journal.Warn; Journal.Error ]
+  >>= fun severity ->
+  int_range (-1) 99 >>= fun step ->
+  gen_float >>= fun time ->
+  nat >>= fun wall_ns ->
+  list_size (int_bound 4) (pair gen_string gen_value) >|= fun payload ->
+  {
+    Journal.seq;
+    origin;
+    dom;
+    cat;
+    name;
+    severity;
+    step;
+    time;
+    wall_ns;
+    payload = dedupe_keys payload;
+  }
+
+let gen_span =
+  let open QCheck.Gen in
+  gen_string >>= fun name ->
+  gen_string >>= fun cat ->
+  nat >>= fun start_ns ->
+  nat >>= fun dur_ns ->
+  int_bound 4 >>= fun depth ->
+  int_bound 8 >>= fun dom ->
+  gen_string >>= fun proc ->
+  list_size (int_bound 3) (pair gen_string gen_string) >|= fun args ->
+  { Obs.name; cat; start_ns; dur_ns; depth; dom; proc;
+    args = dedupe_keys args }
+
+let gen_counter_row =
+  QCheck.Gen.(
+    map3
+      (fun name labels delta -> (name, dedupe_keys labels, delta + 1))
+      gen_string
+      (list_size (int_bound 2) (pair gen_string gen_string))
+      (int_bound 10_000))
+
+let gen_telemetry =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun evs -> Protocol.Tel_journal evs)
+             (list_size (int_bound 5) gen_event));
+        ( 2,
+          map2
+            (fun origin spans -> Protocol.Tel_spans { origin; spans })
+            gen_string
+            (list_size (int_bound 5) gen_span) );
+        ( 2,
+          map2
+            (fun origin counters -> Protocol.Tel_counters { origin; counters })
+            gen_string
+            (list_size (int_bound 4) gen_counter_row) );
+      ])
+
+let prop_telemetry_roundtrip =
+  QCheck.Test.make ~name:"telemetry frames round-trip" ~count:300
+    (QCheck.make gen_telemetry)
+    (reencodes_to_same Protocol.encode_telemetry (fun line ->
+         match Protocol.decode_telemetry line with
+         | `Telemetry t -> Ok t
+         | `Torn m -> Error ("torn: " ^ m)
+         | `Not_telemetry -> Error "not telemetry"))
+
+let test_telemetry_truncation () =
+  let ev =
+    {
+      Journal.seq = 3;
+      origin = "w1:4242";
+      dom = 0;
+      cat = "serve";
+      name = "task.begin";
+      severity = Journal.Info;
+      step = -1;
+      time = nan;
+      wall_ns = 123_456;
+      payload = [ ("id", Journal.I 7); ("label", Journal.S "p0001") ];
+    }
+  in
+  let whole = Protocol.encode_telemetry (Protocol.Tel_journal [ ev ]) in
+  (match Protocol.decode_telemetry whole with
+  | `Telemetry _ -> ()
+  | `Torn m -> Alcotest.failf "whole frame torn: %s" m
+  | `Not_telemetry -> Alcotest.fail "whole frame not recognised");
+  (* Every proper truncation must classify as torn (never raise, never
+     parse) — except the empty line, which is simply not telemetry. *)
+  for n = 0 to String.length whole - 1 do
+    match Protocol.decode_telemetry (String.sub whole 0 n) with
+    | `Torn _ when n > 0 -> ()
+    | `Not_telemetry when n = 0 -> ()
+    | `Telemetry _ -> Alcotest.failf "truncation at %d parsed" n
+    | `Torn _ -> Alcotest.failf "empty line reported torn"
+    | `Not_telemetry -> Alcotest.failf "truncation at %d not flagged" n
+  done;
+  (* Result and task lines must fall through untouched. *)
+  List.iter
+    (fun line ->
+      match Protocol.decode_telemetry line with
+      | `Not_telemetry -> ()
+      | _ -> Alcotest.failf "misclassified line: %s" line)
+    [
+      "{\"index\":0,\"label\":\"p0000\"}";
+      "hello";
+      "{\"v\":1,\"req\":\"ping\"}";
+    ]
+
+let test_ingest_telemetry_line () =
+  Journal.enable ();
+  Journal.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Journal.reset ();
+      Journal.disable ())
+    (fun () ->
+      let tally = Procpool.make_tally () in
+      let ev =
+        {
+          Journal.seq = 9;
+          origin = "w0:777";
+          dom = 2;
+          cat = "mna";
+          name = "newton.run";
+          severity = Journal.Info;
+          step = 4;
+          time = 1e-5;
+          wall_ns = 42;
+          payload = [ ("total_iters", Journal.I 12) ];
+        }
+      in
+      let line = Protocol.encode_telemetry (Protocol.Tel_journal [ ev ]) in
+      Alcotest.(check bool) "valid frame absorbed" true
+        (Procpool.ingest_telemetry_line ~tally line);
+      let got =
+        List.filter
+          (fun e -> e.Journal.origin = "w0:777")
+          (Journal.events ())
+      in
+      Alcotest.(check int) "foreign event ingested" 1 (List.length got);
+      Alcotest.(check int) "seq preserved" 9 (List.hd got).Journal.seq;
+      (* A torn frame is absorbed (true) but only counted, never fatal. *)
+      Alcotest.(check bool) "torn frame absorbed" true
+        (Procpool.ingest_telemetry_line ~tally
+           (Protocol.telemetry_prefix ^ "journal\",\"events\":[{boom"));
+      Alcotest.(check int) "torn counted" 1 tally.Procpool.t_torn;
+      (* A result line is not telemetry. *)
+      Alcotest.(check bool) "result line falls through" false
+        (Procpool.ingest_telemetry_line ~tally "{\"index\":0}"))
 
 (* ---- checkpoint files ---- *)
 
@@ -339,12 +534,16 @@ let test_pool_exactly_once () =
 
 let test_pool_crash_redispatch () =
   let points = pool_points 6 in
+  let tally = Procpool.make_tally () in
   let results =
-    Procpool.run ~workers:2 ~retries:1
+    Procpool.run ~workers:2 ~retries:1 ~tally
       (fun ~retry p ->
         if p.Sampler.index = 2 && retry = 0 then Unix._exit 9 else mk ~retry p)
       points
   in
+  Alcotest.(check int) "one re-dispatch" 1 tally.Procpool.t_redispatched;
+  Alcotest.(check int) "replacement spawned" 3 tally.Procpool.t_spawned;
+  Alcotest.(check int) "no exhausted point" 0 tally.Procpool.t_crashed;
   Array.iteri
     (fun i r ->
       match r with
@@ -358,13 +557,17 @@ let test_pool_crash_redispatch () =
 
 let test_pool_crash_exhausted () =
   let points = pool_points 4 in
+  let tally = Procpool.make_tally () in
   let results =
-    Procpool.run ~workers:2 ~retries:1 ~signal:"V(out,gnd)"
+    Procpool.run ~workers:2 ~retries:1 ~signal:"V(out,gnd)" ~tally
       (fun ~retry p ->
         ignore retry;
         if p.Sampler.index = 1 then Unix._exit 9 else mk p)
       points
   in
+  Alcotest.(check int) "retries exhausted once" 1 tally.Procpool.t_crashed;
+  Alcotest.(check int) "one re-dispatch before giving up" 1
+    tally.Procpool.t_redispatched;
   match results.(1) with
   | None -> Alcotest.fail "crashed slot missing"
   | Some r -> (
@@ -377,14 +580,16 @@ let test_pool_crash_exhausted () =
 
 let test_pool_timeout_kill () =
   let points = pool_points 3 in
+  let tally = Procpool.make_tally () in
   let results =
-    Procpool.run ~workers:2 ~timeout_s:0.05
+    Procpool.run ~workers:2 ~timeout_s:0.05 ~tally
       (fun ~retry p ->
         ignore retry;
         if p.Sampler.index = 0 then Unix.sleepf 30.0;
         mk p)
       points
   in
+  Alcotest.(check int) "kill counted" 1 tally.Procpool.t_timeouts;
   (match results.(0) with
   | Some r -> (
       Alcotest.(check bool) "unhealthy" false r.Runner.health.Health.v_healthy;
@@ -395,6 +600,58 @@ let test_pool_timeout_kill () =
   (match results.(1) with
   | Some r -> Alcotest.(check bool) "others fine" true r.Runner.health.Health.v_healthy
   | None -> Alcotest.fail "slot 1 missing")
+
+(* With the journal on, each child tags itself "w<slot>:<pid>" and
+   ships its events back over the result pipe — so after [run] the
+   parent's merged journal must contain events from every worker
+   process that handled a task. *)
+let test_pool_telemetry_ship () =
+  Journal.enable ();
+  Journal.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Journal.reset ();
+      Journal.disable ())
+    (fun () ->
+      let tally = Procpool.make_tally () in
+      let points = pool_points 8 in
+      let results =
+        Procpool.run ~workers:2 ~request_id:7 ~tally
+          (fun ~retry p ->
+            ignore retry;
+            Unix.sleepf 0.01;
+            mk p)
+          points
+      in
+      Array.iteri
+        (fun i r -> if r = None then Alcotest.failf "slot %d missing" i)
+        results;
+      let events = Journal.events () in
+      let origins =
+        List.filter_map
+          (fun e ->
+            let o = e.Journal.origin in
+            if String.length o > 0 && o.[0] = 'w' then Some o else None)
+          events
+        |> List.sort_uniq Stdlib.compare
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "two worker origins (got %d)" (List.length origins))
+        true
+        (List.length origins >= 2);
+      let begins =
+        List.filter (fun e -> e.Journal.name = "task.begin") events
+      in
+      Alcotest.(check int) "every task journaled its begin" 8
+        (List.length begins);
+      List.iter
+        (fun e ->
+          match List.assoc_opt "id" e.Journal.payload with
+          | Some (Journal.I 7) -> ()
+          | _ -> Alcotest.fail "task.begin missing the request id")
+        begins;
+      Alcotest.(check int) "no torn frames" 0 tally.Procpool.t_torn;
+      Alcotest.(check int) "spawned" 2 tally.Procpool.t_spawned)
 
 let test_pool_drain () =
   let points = pool_points 8 in
@@ -427,14 +684,24 @@ let wait_for_socket path =
 
 let test_daemon_session () =
   let sock = tmp (Printf.sprintf "amsvp_serve_%d.sock" (Unix.getpid ())) in
-  if Sys.file_exists sock then Sys.remove sock;
+  let metrics = tmp (Printf.sprintf "amsvp_serve_%d.prom" (Unix.getpid ())) in
+  let trace = tmp (Printf.sprintf "amsvp_serve_%d.trace" (Unix.getpid ())) in
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ sock; metrics; trace ];
   match Unix.fork () with
   | 0 ->
       (* Daemon process; _exit so the test runner's state is not
          flushed twice. *)
       (try
+         Obs.enable ();
+         Journal.enable ();
          Daemon.serve
-           { (Daemon.default_config ~socket_path:sock) with workers = 2 }
+           {
+             (Daemon.default_config ~socket_path:sock) with
+             workers = 2;
+             metrics_out = Some metrics;
+             trace_out = Some trace;
+           }
        with _ -> Unix._exit 1);
       Unix._exit 0
   | pid ->
@@ -462,6 +729,22 @@ let test_daemon_session () =
       | Ok r ->
           Alcotest.failf "unexpected final frame %s" (Protocol.encode_response r)
       | Error m -> Alcotest.failf "submit: %s" m);
+      Client.send c Protocol.Stats;
+      (match Client.recv c with
+      | Ok (Protocol.Stats_reply st) ->
+          Alcotest.(check bool) "requests counted" true (st.st_requests >= 1);
+          Alcotest.(check int) "points counted" expected st.st_points;
+          Alcotest.(check int) "workers" 2 st.st_workers;
+          Alcotest.(check bool) "workers spawned" true (st.st_spawned >= 2);
+          Alcotest.(check int) "nothing in flight" 0 st.st_in_flight;
+          Alcotest.(check bool) "uptime sane" true (st.st_uptime_s >= 0.0);
+          Alcotest.(check bool) "heap words sane" true (st.st_heap_words > 0);
+          Alcotest.(check int) "no crashes" 0 st.st_crashed
+      | other ->
+          Alcotest.failf "expected stats, got %s"
+            (match other with
+            | Ok r -> Protocol.encode_response r
+            | Error m -> m));
       Client.send c Protocol.Shutdown;
       (match Client.recv c with
       | Ok Protocol.Bye -> ()
@@ -472,7 +755,81 @@ let test_daemon_session () =
       | Unix.WEXITED 0 -> ()
       | Unix.WEXITED n -> Alcotest.failf "daemon exited %d" n
       | _ -> Alcotest.fail "daemon killed");
-      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock)
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock);
+      (* The shutdown path must leave a parseable metrics textfile and
+         a trace document behind. *)
+      Alcotest.(check bool) "metrics written" true (Sys.file_exists metrics);
+      let slurp p =
+        let ic = open_in_bin p in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          if i + nn > nh then false
+          else String.sub hay i nn = needle || go (i + 1)
+        in
+        go 0
+      in
+      let prom = slurp metrics in
+      Alcotest.(check bool) "metrics mention the service" true
+        (contains prom "amsvp_serve_in_flight");
+      Alcotest.(check bool) "trace written" true (Sys.file_exists trace);
+      let tr = slurp trace in
+      Alcotest.(check bool) "trace is a trace document" true
+        (contains tr "\"traceEvents\"");
+      List.iter Sys.remove [ metrics; trace ]
+
+(* Induce per-point timeouts with a microscopic default budget: every
+   point must come back with a Timeout verdict and the stats reply must
+   surface the count. *)
+let test_daemon_timeout_counters () =
+  let sock = tmp (Printf.sprintf "amsvp_serve_to_%d.sock" (Unix.getpid ())) in
+  if Sys.file_exists sock then Sys.remove sock;
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Daemon.serve
+           {
+             (Daemon.default_config ~socket_path:sock) with
+             workers = 2;
+             point_timeout_s = Some 1e-9;
+           }
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      wait_for_socket sock;
+      let c = Client.connect sock in
+      let spec_text = Spec.to_string small_spec in
+      let expected = Spec.point_count small_spec in
+      (match Client.submit c ~spec_text () with
+      | Ok (Protocol.Done { points; unhealthy; complete; _ }) ->
+          Alcotest.(check int) "all points resolved" expected points;
+          Alcotest.(check bool) "timeouts flagged unhealthy" true
+            (unhealthy > 0);
+          Alcotest.(check bool) "complete" true complete
+      | Ok r ->
+          Alcotest.failf "unexpected final frame %s" (Protocol.encode_response r)
+      | Error m -> Alcotest.failf "submit: %s" m);
+      Client.send c Protocol.Stats;
+      (match Client.recv c with
+      | Ok (Protocol.Stats_reply st) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "timeouts surfaced (got %d)" st.st_timeouts)
+            true (st.st_timeouts > 0)
+      | _ -> Alcotest.fail "expected stats");
+      Client.send c Protocol.Shutdown;
+      (match Client.recv c with
+      | Ok Protocol.Bye -> ()
+      | _ -> Alcotest.fail "expected bye");
+      Client.close c;
+      let _, status = Unix.waitpid [] pid in
+      match status with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED n -> Alcotest.failf "daemon exited %d" n
+      | _ -> Alcotest.fail "daemon killed"
 
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
@@ -486,6 +843,14 @@ let () =
               test_simple_frames_roundtrip;
             Alcotest.test_case "malformed frames rejected" `Quick
               test_malformed_frames_rejected;
+          ] );
+      ( "telemetry",
+        qt [ prop_telemetry_roundtrip ]
+        @ [
+            Alcotest.test_case "truncated frames torn, results untouched"
+              `Quick test_telemetry_truncation;
+            Alcotest.test_case "ingest_telemetry_line" `Quick
+              test_ingest_telemetry_line;
           ] );
       ( "checkpoint",
         [
@@ -503,7 +868,13 @@ let () =
           Alcotest.test_case "crash exhausted" `Quick test_pool_crash_exhausted;
           Alcotest.test_case "timeout kill" `Quick test_pool_timeout_kill;
           Alcotest.test_case "drain stops dispatch" `Quick test_pool_drain;
+          Alcotest.test_case "workers ship telemetry" `Quick
+            test_pool_telemetry_ship;
         ] );
       ( "daemon",
-        [ Alcotest.test_case "end-to-end session" `Quick test_daemon_session ] );
+        [
+          Alcotest.test_case "end-to-end session" `Quick test_daemon_session;
+          Alcotest.test_case "timeout counters surfaced" `Quick
+            test_daemon_timeout_counters;
+        ] );
     ]
