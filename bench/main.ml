@@ -121,6 +121,20 @@ type obs_serve_block = {
 
 let obs_serve_block : obs_serve_block option ref = ref None
 
+(* The "absint" block: the static-pruning economics on a poisoned
+   sweep -- a grid whose high-resistance corner provably breaches the
+   amplitude budget, run in full vs with the MUST-proof pruner. The
+   per-circuit analysis wall lands in the rows ("absint" table). *)
+type absint_block = {
+  ai_spec : string;
+  ai_points : int;
+  ai_pruned : int;
+  ai_plain_s : float;
+  ai_pruned_s : float;
+}
+
+let absint_block : absint_block option ref = ref None
+
 (* Per-section span accounting, written as "sections" in
    BENCH_results.json. The recorder runs for the whole harness; each
    section remembers the [Obs.span_count] interval it produced. Self
@@ -244,6 +258,17 @@ let results_json ~quick ~total_wall_s =
          %.6g, \"overhead_pct\": %.4g}"
         o.ob_points o.ob_off_s o.ob_on_s (per o.ob_off_s) (per o.ob_on_s)
         o.ob_overhead_pct
+  | None -> ());
+  (match !absint_block with
+  | Some a ->
+      Printf.bprintf b
+        ",\n  \"absint\": {\"spec\": %S, \"points\": %d, \"pruned\": %d, \
+         \"prune_ratio\": %.4g, \"plain_s\": %.9g, \"pruned_s\": %.9g, \
+         \"speedup\": %.4g}"
+        a.ai_spec a.ai_points a.ai_pruned
+        (float_of_int a.ai_pruned /. float_of_int (max 1 a.ai_points))
+        a.ai_plain_s a.ai_pruned_s
+        (a.ai_plain_s /. a.ai_pruned_s)
   | None -> ());
   sections_json b;
   Buffer.add_string b "\n}\n";
@@ -966,6 +991,94 @@ let obs_serve_bench ~t_stop ~seed () =
     "RC20" n_points off_s (per off_s) on_s (per on_s) overhead_pct
     (if overhead_pct <= 5.0 then "(within budget)" else "(OVER 5% BUDGET)")
 
+module Absint = Amsvp_analysis.Absint
+module Lint = Amsvp_analysis.Lint
+
+(* The "absint" section: what the value-range engine costs and what it
+   buys. Costs: the MAY fixpoint per circuit (the pass every lint run
+   and daemon screen pays) and a full source-to-findings lint of the
+   shipped Verilog-AMS example. Buys: a poisoned RC1 grid -- the
+   high-resistance decades provably breach a 0.5 amplitude budget on a
+   unit sine -- run in full vs with static pruning, same spec. *)
+let absint_bench ~t_stop () =
+  header "ABSINT -- value-range analysis wall and static-prune economics";
+  let best n f =
+    let t = ref infinity in
+    for _ = 1 to n do
+      let (), ti = wall f in
+      if ti < !t then t := ti
+    done;
+    !t
+  in
+  List.iter
+    (fun label ->
+      let tc = Option.get (Circuits.by_name label) in
+      let p = (Flow.abstract_testcase tc ~dt).Flow.program in
+      let analyze_s = best 3 (fun () -> ignore (Absint.analyze p)) in
+      let a = Absint.analyze p in
+      record ~table:"absint" ~comp:label ~target:"analyze" analyze_s;
+      Printf.printf
+        "%-8s analyze: %8.4f ms   abstract steps: %2d%s   constant facts: %d\n"
+        label (analyze_s *. 1e3) a.Absint.a_steps
+        (if a.Absint.a_widened then " (widened)" else "")
+        (List.length (Absint.constant_facts a)))
+    [ "2IN"; "RC1"; "RC20"; "OA" ];
+  (* Full front-end wall (parse + elaborate + every pass) on the
+     shipped example, when run from the repo root where it lives. *)
+  let example = "examples/rc_lowpass.vams" in
+  if Sys.file_exists example then begin
+    let src = In_channel.with_open_text example In_channel.input_all in
+    let lint_s = best 3 (fun () -> ignore (Lint.lint ~file:example src)) in
+    record ~table:"absint" ~comp:"rc_lowpass" ~target:"lint" lint_s;
+    Printf.printf "%-8s full lint: %8.4f ms\n" "rc_low" (lint_s *. 1e3)
+  end
+  else Printf.printf "(%s not found -- lint row skipped)\n" example;
+  (* RC1 is a 5 kOhm / 25 nF lowpass (f_c ~ 1.27 kHz). On a 2 kHz unit
+     sine, grid points below ~5.5 kOhm provably exceed a 0.5 amplitude
+     budget -- half this grid. Reference on: a pruned point skips the
+     MNA reference too, which is where a sweep's wall clock actually
+     goes. *)
+  let spec =
+    {
+      Spec.default with
+      Spec.name = "rc_poison";
+      circuit = Some "RC1";
+      stimulus = Some (Spec.Sine { freq = 2e3; amplitude = 1.0 });
+      t_stop = Some t_stop;
+      reference = true;
+      amplitude_limit = Some 0.5;
+      axes =
+        [
+          { Spec.param = "r1.r";
+            range = Spec.Grid { lo = 1e3; hi = 1e4; n = 10 } };
+        ];
+    }
+  in
+  let tc = Option.get (Circuits.by_name "RC1") in
+  let plain, plain_s = wall (fun () -> Sweep_runner.run ~jobs:1 spec tc) in
+  let pruned, pruned_s =
+    wall (fun () -> Sweep_runner.run ~jobs:1 ~prune:true spec tc)
+  in
+  let points = Array.length plain.Sweep_runner.points in
+  let n_pruned = pruned.Sweep_runner.pruned in
+  record ~table:"absint" ~comp:"RC1" ~target:"poisoned-sweep" ~meth:"plain"
+    plain_s;
+  record ~table:"absint" ~comp:"RC1" ~target:"poisoned-sweep" ~meth:"pruned"
+    pruned_s;
+  absint_block :=
+    Some
+      {
+        ai_spec = spec.Spec.name;
+        ai_points = points;
+        ai_pruned = n_pruned;
+        ai_plain_s = plain_s;
+        ai_pruned_s = pruned_s;
+      };
+  Printf.printf
+    "%-8s %2d points   plain: %.4f s   with --prune-static: %.4f s   (%d/%d \
+     points proven unhealthy, %.2fx)\n"
+    "RC1" points plain_s pruned_s n_pruned points (plain_s /. pruned_s)
+
 let micro () =
   header "MICRO -- Bechamel per-step benchmarks (one group per table)";
   let tc = Circuits.rc_ladder 1 in
@@ -1233,7 +1346,8 @@ type cli = {
 
 let all_sections =
   [ "table1"; "table2"; "table3"; "tooltime"; "ablation"; "sweep"; "probes";
-    "convergence"; "engines"; "serve"; "obs_serve"; "figures"; "micro" ]
+    "convergence"; "engines"; "serve"; "obs_serve"; "absint"; "figures";
+    "micro" ]
 
 let parse_cli argv =
   let usage () =
@@ -1243,7 +1357,7 @@ let parse_cli argv =
       \             [--journal-out FILE] [--results-out FILE | --no-results]\n\
       \             [--seed N] [--jobs N] [SECTION...]\n\
        sections: table1 table2 table3 tooltime ablation sweep probes \
-       convergence engines serve obs_serve figures micro";
+       convergence engines serve obs_serve absint figures micro";
     exit 2
   in
   let int_arg name v rest k =
@@ -1342,6 +1456,10 @@ let () =
      against fork overhead on a toy point. *)
   section "obs_serve" (fun () ->
       obs_serve_bench ~t_stop:2e-3 ~seed:cli.seed ());
+  (* Fixed simulated time: the prune economics depend on where the
+     breach lands in the horizon, so scaling t_stop would change the
+     story, not just its magnitude. *)
+  section "absint" (fun () -> absint_bench ~t_stop:2e-3 ());
   section "figures" (fun () -> figures ());
   section "micro" (fun () -> micro ());
   let total_wall_s = Unix.gettimeofday () -. wall_start in

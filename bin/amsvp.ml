@@ -699,7 +699,8 @@ let axis_conv =
 let sweep_cmd =
   let run obscfg spec_file circuit file top lang inputs out_str axes samples
       seed jobs t_stop dt square sine mode integration no_reference
-      report_out checkpoint resume point_timeout =
+      report_out checkpoint resume point_timeout prune_static amplitude_limit
+      =
     with_obs obscfg @@ fun () ->
     with_frontend_errors @@ fun () ->
     let spec =
@@ -737,6 +738,8 @@ let sweep_cmd =
         seed = (match seed with Some n -> n | None -> spec.Spec.seed);
         jobs = opt_override jobs spec.Spec.jobs;
         reference = (if no_reference then false else spec.Spec.reference);
+        amplitude_limit =
+          opt_override amplitude_limit spec.Spec.amplitude_limit;
         point_timeout = opt_override point_timeout spec.Spec.point_timeout;
         axes = spec.Spec.axes @ axes;
       }
@@ -816,7 +819,9 @@ let sweep_cmd =
     let on_point =
       Option.map (fun w r -> Sweep_checkpoint.append w r) writer
     in
-    let summary = Sweep_runner.run ?on_point ~completed spec tc in
+    let summary =
+      Sweep_runner.run ~prune:prune_static ?on_point ~completed spec tc
+    in
     Option.iter Sweep_checkpoint.close writer;
     (match report_out with
     | Some basename ->
@@ -831,6 +836,10 @@ let sweep_cmd =
       (Array.length summary.Sweep_runner.points)
       summary.Sweep_runner.jobs summary.Sweep_runner.total_s
       summary.Sweep_runner.cache_hits summary.Sweep_runner.cache_misses;
+    if summary.Sweep_runner.pruned > 0 then
+      Printf.printf
+        "  pruned: %d point(s) proven unhealthy statically and skipped\n"
+        summary.Sweep_runner.pruned;
     if summary.Sweep_runner.unhealthy > 0 then
       Printf.printf "  UNHEALTHY: %d point(s) flagged by the watchdogs (see \
                      the report's health column)\n"
@@ -944,6 +953,22 @@ let sweep_cmd =
                    it is aborted and flagged $(b,timeout) in the health \
                    column instead of stalling its worker.")
   in
+  let prune_static_arg =
+    Arg.(value & flag
+         & info [ "prune-static" ]
+             ~doc:"Pre-flight static pruning: the abstract interpreter \
+                   proves parameter sub-regions unhealthy (non-finite \
+                   output, or beyond $(b,--amplitude-limit)) and their \
+                   points are skipped with a $(b,pruned) verdict instead \
+                   of being simulated. Surviving points are untouched.")
+  in
+  let amplitude_limit_arg =
+    Arg.(value & opt (some float) None
+         & info [ "amplitude-limit" ] ~docv:"V"
+             ~doc:"Amplitude watchdog: flag a point whose |output| exceeds \
+                   $(docv); also the budget $(b,--prune-static) proves \
+                   against.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run a parameter sweep (grid, Monte Carlo, corners) over a \
@@ -953,13 +978,14 @@ let sweep_cmd =
           $ samples_arg $ seed_arg $ jobs_arg $ t_stop_opt $ dt_opt
           $ square_opt $ sine_opt $ mode_opt $ integration_opt
           $ no_reference_arg $ report_out_arg $ checkpoint_arg $ resume_arg
-          $ point_timeout_arg)
+          $ point_timeout_arg $ prune_static_arg $ amplitude_limit_arg)
 
 (* serve / submit *)
 
 let serve_cmd =
   let run socket workers checkpoint_dir point_timeout retries journal_out
-      journal_max_bytes journal_keep obs metrics_out metrics_every trace_out =
+      journal_max_bytes journal_keep obs metrics_out metrics_every trace_out
+      werror =
     if obs || metrics_out <> None || trace_out <> None then Obs.enable ();
     (match journal_out with
     | Some path ->
@@ -984,6 +1010,7 @@ let serve_cmd =
         metrics_out;
         metrics_every_s = metrics_every;
         trace_out;
+        werror;
       }
     in
     Daemon.serve cfg;
@@ -1059,6 +1086,14 @@ let serve_cmd =
                  telemetry frames, one process track each. Implies \
                  recording.")
   in
+  let serve_werror_arg =
+    Arg.(value & flag
+         & info [ "werror" ]
+             ~doc:"Treat value-range screen warnings (AMS061/AMS063) as \
+                   errors: submits whose screen then errors are answered \
+                   with a structured $(b,rejected) reply instead of \
+                   running.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the sweep service: a daemon on a Unix-domain socket that \
@@ -1068,7 +1103,8 @@ let serve_cmd =
     Term.(const run $ socket_arg $ workers_arg $ checkpoint_dir_arg
           $ point_timeout_arg $ retries_arg $ journal_out_arg
           $ journal_max_bytes_arg $ journal_keep_arg $ obs_arg
-          $ metrics_out_arg $ metrics_every_arg $ trace_out_arg)
+          $ metrics_out_arg $ metrics_every_arg $ trace_out_arg
+          $ serve_werror_arg)
 
 let submit_cmd =
   (* One human-readable status line from a stats reply, for --watch. *)
@@ -1194,6 +1230,13 @@ let submit_cmd =
                 unhealthy
                 (if complete then "" else " (INCOMPLETE: daemon drained)");
             if not complete then rc := 4
+        | Ok (Serve_protocol.Rejected { message; findings }) ->
+            Printf.eprintf "rejected: %s\n" message;
+            List.iter
+              (fun (f : Diag.finding) ->
+                Printf.eprintf "  %s\n" (Diag.to_text f))
+              findings;
+            rc := 3
         | Ok _ -> ()
         | Error m ->
             Printf.eprintf "error: %s\n" m;
@@ -1261,16 +1304,21 @@ let submit_cmd =
 (* lint *)
 
 let lint_cmd =
-  let run file top lang inputs dt format werror suppress =
+  let run file top lang inputs dt format werror suppress amplitude_budget
+      input_bound =
     let lang =
       match lang with `Verilog -> `Verilog_ams | `Vhdl -> `Vhdl_ams
     in
-    let findings = Lint.lint ~lang ?top ~inputs ~dt ~file (read_file file) in
+    let findings =
+      Lint.lint ~lang ?top ~inputs ~dt ?amplitude_budget ?input_bound ~file
+        (read_file file)
+    in
     let config = { Diag.werror; suppress } in
     let findings = Diag.apply config findings in
     (match format with
     | `Text -> print_string (Diag.report_to_text findings)
-    | `Json -> print_string (Diag.report_to_json ~file findings));
+    | `Json -> print_string (Diag.report_to_json ~file findings)
+    | `Sarif -> print_string (Diag.report_to_sarif findings));
     if Diag.error_count findings > 0 then exit 1
   in
   let top_opt =
@@ -1280,10 +1328,11 @@ let lint_cmd =
                module.")
   in
   let format_arg =
-    let formats = [ ("text", `Text); ("json", `Json) ] in
+    let formats = [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ] in
     Arg.(value & opt (enum formats) `Text & info [ "format" ]
-         ~doc:"Report format: $(b,text) (compiler-style lines) or \
-               $(b,json).")
+         ~doc:"Report format: $(b,text) (compiler-style lines), \
+               $(b,json), or $(b,sarif) (SARIF 2.1.0 for code-scanning \
+               upload).")
   in
   let werror_arg =
     Arg.(value & flag
@@ -1294,14 +1343,27 @@ let lint_cmd =
          & info [ "suppress" ] ~docv:"CODE"
              ~doc:"Drop findings with this code (e.g. AMS011). Repeatable.")
   in
+  let amplitude_budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "amplitude-budget" ] ~docv:"V"
+             ~doc:"Declared |output| budget for the value-range pass: \
+                   AMS063 fires when a proven output bound exceeds it.")
+  in
+  let input_bound_arg =
+    Arg.(value & opt (some float) None
+         & info [ "input-bound" ] ~docv:"V"
+             ~doc:"Confine every input signal to [-V, V] for the \
+                   value-range pass (default 1).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyse an AMS model: front-end, AST, topology, \
-             structural-solvability and abstraction-safety passes, \
-             reported as source-located diagnostics. Exits non-zero when \
-             any error-severity finding remains.")
+             structural-solvability, abstraction-safety and value-range \
+             passes, reported as source-located diagnostics. Exits \
+             non-zero when any error-severity finding remains.")
     Term.(const run $ file_arg $ top_opt $ lang_arg $ inputs_arg $ dt_arg
-          $ format_arg $ werror_arg $ suppress_arg)
+          $ format_arg $ werror_arg $ suppress_arg $ amplitude_budget_arg
+          $ input_bound_arg)
 
 (* ac *)
 

@@ -1,0 +1,845 @@
+module Sfprogram = Amsvp_sf.Sfprogram
+module Compile = Amsvp_sf.Compile
+
+(* ---- the interval-with-flags domain ---- *)
+
+type itv = {
+  lo : float;  (** finite lower bound; [lo > hi] encodes "no finite value" *)
+  hi : float;
+  nan : bool;
+  pinf : bool;
+  ninf : bool;
+}
+
+let bot = { lo = infinity; hi = neg_infinity; nan = false; pinf = false; ninf = false }
+let top = { lo = -.max_float; hi = max_float; nan = true; pinf = true; ninf = true }
+
+let no_finite i = i.lo > i.hi
+let has_finite i = i.lo <= i.hi
+let has_flag i = i.nan || i.pinf || i.ninf
+let is_bot i = no_finite i && not (has_flag i)
+
+let fin lo hi = { lo; hi; nan = false; pinf = false; ninf = false }
+
+let const c =
+  if Float.is_nan c then { bot with nan = true }
+  else if c = infinity then { bot with pinf = true }
+  else if c = neg_infinity then { bot with ninf = true }
+  else fin c c
+
+let interval lo hi =
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+    invalid_arg "Absint.interval: need lo <= hi, non-NaN";
+  let ninf = lo = neg_infinity and pinf = hi = infinity in
+  let lo = if lo = neg_infinity then -.max_float else lo in
+  let hi = if hi = infinity then max_float else hi in
+  { lo; hi; nan = false; pinf; ninf }
+
+let join a b =
+  {
+    lo = min a.lo b.lo;
+    hi = max a.hi b.hi;
+    nan = a.nan || b.nan;
+    pinf = a.pinf || b.pinf;
+    ninf = a.ninf || b.ninf;
+  }
+
+let leq a b =
+  (no_finite a || (has_finite b && a.lo >= b.lo && a.hi <= b.hi))
+  && ((not a.nan) || b.nan)
+  && ((not a.pinf) || b.pinf)
+  && ((not a.ninf) || b.ninf)
+
+let mem v i =
+  if Float.is_nan v then i.nan
+  else if v = infinity then i.pinf
+  else if v = neg_infinity then i.ninf
+  else has_finite i && i.lo <= v && v <= i.hi
+
+let singleton i =
+  if has_flag i || no_finite i || i.lo <> i.hi then None else Some i.lo
+
+let may_non_finite i = has_flag i
+let may_zero i = has_finite i && i.lo <= 0.0 && 0.0 <= i.hi
+
+let definitely_non_finite i = no_finite i && has_flag i
+
+let definitely_unhealthy ?amplitude i =
+  if is_bot i then None
+  else
+    let fin_bad =
+      no_finite i
+      ||
+      match amplitude with
+      | Some l -> i.lo > l || i.hi < -.l
+      | None -> false
+    in
+    if not fin_bad then None
+    else if has_flag i then Some `Nonfinite
+    else Some `Amplitude
+
+let to_string i =
+  if is_bot i then "⊥"
+  else
+    let flags =
+      (if i.nan then ["NaN"] else [])
+      @ (if i.pinf then ["+inf"] else [])
+      @ if i.ninf then ["-inf"] else []
+    in
+    let fin_s =
+      if no_finite i then []
+      else if i.lo = i.hi then [ Printf.sprintf "{%.17g}" i.lo ]
+      else [ Printf.sprintf "[%.17g, %.17g]" i.lo i.hi ]
+    in
+    String.concat " ∪ " (fin_s @ flags)
+
+let pp ppf i = Format.pp_print_string ppf (to_string i)
+
+(* ---- outward rounding ----
+
+   Endpoint candidates are computed with ordinary round-to-nearest
+   float operations and then nudged one representable value outward per
+   rounding step involved, so the abstract bound always brackets the
+   exact real result the hardware approximated. Nudging past the finite
+   range clamps to ±max_float: finite IEEE values cannot exceed it, and
+   overflow to an infinity is tracked by the flags instead. *)
+
+let next_up x =
+  if x <> x || x = infinity then x
+  else if x = 0.0 then Int64.float_of_bits 1L
+  else if x > 0.0 then Int64.float_of_bits (Int64.add (Int64.bits_of_float x) 1L)
+  else Int64.float_of_bits (Int64.sub (Int64.bits_of_float x) 1L)
+
+let next_down x = -.next_up (-.x)
+
+let nudge_up n x =
+  let r = ref x in
+  for _ = 1 to n do
+    r := next_up !r
+  done;
+  if !r = infinity then max_float else !r
+
+let nudge_down n x =
+  let r = ref x in
+  for _ = 1 to n do
+    r := next_down !r
+  done;
+  if !r = neg_infinity then -.max_float else !r
+
+(* Build a finite range (plus overflow flags) from endpoint candidates.
+   A candidate that overflowed to ±inf contributes the flag and extends
+   the finite bound to ±max_float (values just short of overflow are
+   reachable). [slack] ulps absorb round-to-nearest error. *)
+let of_cands ~slack cands =
+  let nan = ref false and pinf = ref false and ninf = ref false in
+  let lo = ref infinity and hi = ref neg_infinity in
+  List.iter
+    (fun c ->
+      if Float.is_nan c then nan := true
+      else
+        let c =
+          if c = infinity then begin
+            pinf := true;
+            max_float
+          end
+          else if c = neg_infinity then begin
+            ninf := true;
+            -.max_float
+          end
+          else c
+        in
+        if c < !lo then lo := c;
+        if c > !hi then hi := c)
+    cands;
+  if !lo > !hi then { bot with nan = !nan; pinf = !pinf; ninf = !ninf }
+  else
+    {
+      lo = nudge_down slack !lo;
+      hi = nudge_up slack !hi;
+      nan = !nan;
+      pinf = !pinf;
+      ninf = !ninf;
+    }
+
+(* ---- transfer functions ---- *)
+
+let neg a =
+  {
+    lo = -.a.hi;
+    hi = -.a.lo;
+    nan = a.nan;
+    pinf = a.ninf;
+    ninf = a.pinf;
+  }
+
+(* Both operands proven to a single finite value: apply exactly the
+   IEEE operation the engines perform, keeping folded constants
+   bit-compatible with [Compile]'s own folding. Not used for division
+   (the sign of a zero denominator flips the infinity). *)
+let exact2 f a b =
+  if
+    has_finite a && has_finite b && a.lo = a.hi && b.lo = b.hi
+    && (not (has_flag a))
+    && not (has_flag b)
+  then Some (const (f a.lo b.lo))
+  else None
+
+let add a b =
+  if is_bot a || is_bot b then bot
+  else
+    match exact2 ( +. ) a b with
+    | Some r -> r
+    | None ->
+        let fa = has_finite a and fb = has_finite b in
+        let nan = a.nan || b.nan || (a.pinf && b.ninf) || (a.ninf && b.pinf) in
+        let pinf = (a.pinf && (fb || b.pinf)) || (b.pinf && (fa || a.pinf)) in
+        let ninf = (a.ninf && (fb || b.ninf)) || (b.ninf && (fa || a.ninf)) in
+        let finp =
+          if fa && fb then of_cands ~slack:1 [ a.lo +. b.lo; a.hi +. b.hi ]
+          else bot
+        in
+        join finp { bot with nan; pinf; ninf }
+
+let sub a b =
+  if is_bot a || is_bot b then bot
+  else
+    match exact2 ( -. ) a b with
+    | Some r -> r
+    | None ->
+        let fa = has_finite a and fb = has_finite b in
+        let nan = a.nan || b.nan || (a.pinf && b.pinf) || (a.ninf && b.ninf) in
+        let pinf = (a.pinf && (fb || b.ninf)) || (b.ninf && (fa || a.pinf)) in
+        let ninf = (a.ninf && (fb || b.pinf)) || (b.pinf && (fa || a.ninf)) in
+        let finp =
+          if fa && fb then of_cands ~slack:1 [ a.lo -. b.hi; a.hi -. b.lo ]
+          else bot
+        in
+        join finp { bot with nan; pinf; ninf }
+
+let has_pos i = (has_finite i && i.hi > 0.0) || i.pinf
+let has_neg i = (has_finite i && i.lo < 0.0) || i.ninf
+
+let mul a b =
+  if is_bot a || is_bot b then bot
+  else
+    match exact2 ( *. ) a b with
+    | Some r -> r
+    | None ->
+        let a_inf = a.pinf || a.ninf and b_inf = b.pinf || b.ninf in
+        let nan =
+          a.nan || b.nan || (a_inf && may_zero b) || (b_inf && may_zero a)
+        in
+        let pinf =
+          (a.pinf && has_pos b) || (b.pinf && has_pos a)
+          || (a.ninf && has_neg b)
+          || (b.ninf && has_neg a)
+        in
+        let ninf =
+          (a.pinf && has_neg b) || (b.pinf && has_neg a)
+          || (a.ninf && has_pos b)
+          || (b.ninf && has_pos a)
+        in
+        let finp =
+          if has_finite a && has_finite b then
+            of_cands ~slack:1
+              [ a.lo *. b.lo; a.lo *. b.hi; a.hi *. b.lo; a.hi *. b.hi ]
+          else bot
+        in
+        join finp { bot with nan; pinf; ninf }
+
+let div a b =
+  if is_bot a || is_bot b then bot
+  else
+    let fa = has_finite a and fb = has_finite b in
+    let a_inf = a.pinf || a.ninf and b_inf = b.pinf || b.ninf in
+    let a_nonzero = (fa && (a.hi > 0.0 || a.lo < 0.0)) || a_inf in
+    let nan =
+      a.nan || b.nan || (a_inf && b_inf) || (may_zero a && may_zero b)
+    in
+    (* infinite numerator over ordered denominator; an abstract zero
+       divisor carries both signs, so both infinities appear *)
+    let p_num =
+      (a.pinf && (has_pos b || may_zero b))
+      || (a.ninf && (has_neg b || may_zero b))
+    in
+    let n_num =
+      (a.pinf && (has_neg b || may_zero b))
+      || (a.ninf && (has_pos b || may_zero b))
+    in
+    (* finite numerator over a denominator that can be (close to) zero *)
+    let div0 = fb && may_zero b && a_nonzero in
+    let pinf = p_num || div0 in
+    let ninf = n_num || div0 in
+    let finp =
+      if not (fa && fb) then bot
+      else if may_zero b then
+        if b.lo = 0.0 && b.hi = 0.0 then bot
+          (* nothing finite out of a provably-zero denominator *)
+        else if a.lo = 0.0 && a.hi = 0.0 then const 0.0
+        else fin (-.max_float) max_float
+      else
+        of_cands ~slack:1
+          [ a.lo /. b.lo; a.lo /. b.hi; a.hi /. b.lo; a.hi /. b.hi ]
+    in
+    (* finite numerator over an infinite denominator underflows to zero *)
+    let finp = if fa && b_inf then join finp (const 0.0) else finp in
+    join finp { bot with nan; pinf; ninf }
+
+let tiny = Int64.float_of_bits 1L
+
+let clamp lo hi i =
+  if no_finite i then i
+  else { i with lo = max lo i.lo; hi = min hi i.hi }
+
+let app f a =
+  if is_bot a then bot
+  else
+    match
+      if has_finite a && a.lo = a.hi && not (has_flag a) then
+        Some (const (Expr.apply_fun f a.lo))
+      else None
+    with
+    | Some r -> r
+    | None -> (
+        let fa = has_finite a in
+        match f with
+        | Expr.Sin | Expr.Cos ->
+            (* |sin|,|cos| <= 1 for every finite argument *)
+            let nan = a.nan || a.pinf || a.ninf in
+            let finp = if fa then fin (-1.0) 1.0 else bot in
+            join finp { bot with nan }
+        | Expr.Exp ->
+            let pinf = a.pinf in
+            let zero = if a.ninf then const 0.0 else bot in
+            let finp =
+              if fa then
+                clamp 0.0 max_float
+                  (of_cands ~slack:2 [ exp a.lo; exp a.hi ])
+              else bot
+            in
+            join (join finp zero) { bot with nan = a.nan; pinf }
+        | Expr.Ln ->
+            let nan = a.nan || (fa && a.lo < 0.0) || a.ninf in
+            let ninf = fa && a.lo <= 0.0 && 0.0 <= a.hi in
+            let pinf = a.pinf in
+            let finp =
+              if fa && a.hi > 0.0 then
+                let lo_arg = if a.lo > 0.0 then a.lo else tiny in
+                of_cands ~slack:2 [ log lo_arg; log a.hi ]
+              else bot
+            in
+            join finp { bot with nan; pinf; ninf }
+        | Expr.Sqrt ->
+            let nan = a.nan || (fa && a.lo < 0.0) || a.ninf in
+            let pinf = a.pinf in
+            let finp =
+              if fa && a.hi >= 0.0 then
+                (* sqrt is correctly rounded: endpoints are exact *)
+                fin (sqrt (max a.lo 0.0)) (sqrt a.hi)
+              else bot
+            in
+            join finp { bot with nan; pinf }
+        | Expr.Abs ->
+            let nan = a.nan in
+            let pinf = a.pinf || a.ninf in
+            let finp =
+              if not fa then bot
+              else if a.lo >= 0.0 then fin a.lo a.hi
+              else if a.hi <= 0.0 then fin (-.a.hi) (-.a.lo)
+              else fin 0.0 (max (-.a.lo) a.hi)
+            in
+            join finp { bot with nan; pinf }
+        | Expr.Tanh ->
+            let nan = a.nan in
+            let edges =
+              join
+                (if a.pinf then const 1.0 else bot)
+                (if a.ninf then const (-1.0) else bot)
+            in
+            let finp =
+              if fa then
+                clamp (-1.0) 1.0 (of_cands ~slack:2 [ tanh a.lo; tanh a.hi ])
+              else bot
+            in
+            join (join finp edges) { bot with nan })
+
+(* ---- three-valued conditions ---- *)
+
+type tbool = { may_t : bool; may_f : bool }
+
+let cmp_abs c a b =
+  if is_bot a || is_bot b then { may_t = false; may_f = false }
+  else
+    let ord x = has_finite x || x.pinf || x.ninf in
+    let xmin x =
+      if x.ninf then neg_infinity
+      else if has_finite x then x.lo
+      else infinity
+    in
+    let xmax x =
+      if x.pinf then infinity
+      else if has_finite x then x.hi
+      else neg_infinity
+    in
+    let o = ord a && ord b in
+    let t, f =
+      match c with
+      | Expr.Lt -> ((o && xmin a < xmax b), o && xmax a >= xmin b)
+      | Expr.Le -> ((o && xmin a <= xmax b), o && xmax a > xmin b)
+      | Expr.Gt -> ((o && xmax a > xmin b), o && xmin a <= xmax b)
+      | Expr.Ge -> ((o && xmax a >= xmin b), o && xmin a < xmax b)
+    in
+    { may_t = t; may_f = f || a.nan || b.nan }
+
+(* ---- widening ---- *)
+
+let thresholds =
+  [| -.max_float; -1e100; -1e9; -1e3; -1.0; 0.0; 1.0; 1e3; 1e9; 1e100; max_float |]
+
+let widen old nw =
+  let j = join old nw in
+  if leq j old then old
+  else
+    let lo =
+      if j.lo >= old.lo then old.lo
+      else begin
+        let r = ref (-.max_float) in
+        Array.iter (fun t -> if t <= j.lo && t > !r then r := t) thresholds;
+        !r
+      end
+    in
+    let hi =
+      if j.hi <= old.hi then old.hi
+      else begin
+        let r = ref max_float in
+        Array.iter (fun t -> if t >= j.hi && t < !r then r := t) thresholds;
+        !r
+      end
+    in
+    { lo; hi; nan = j.nan; pinf = j.pinf; ninf = j.ninf }
+
+(* ---- abstract evaluation of expression trees ----
+
+   [pool], when given, overrides literal constants positionally in the
+   left-to-right traversal order of [Compile.collect_consts] — the
+   layout of a [`Template] constant pool — so one abstract run can
+   cover a whole family of rebound programs at once. Both arms of a
+   conditional are always walked (positions must stay aligned, and it
+   matches the bytecode's eager [Sel]). *)
+
+type eval_ctx = {
+  env : itv array;
+  e_slot : Expr.var -> int;
+  pool : itv array option;
+  mutable cpos : int;
+  mutable on_div : itv -> unit;
+}
+
+let rec eval_expr ctx e =
+  match e with
+  | Expr.Const c -> (
+      match ctx.pool with
+      | Some pool ->
+          let i = ctx.cpos in
+          ctx.cpos <- i + 1;
+          pool.(i)
+      | None -> const c)
+  | Expr.Var x -> ctx.env.(ctx.e_slot x)
+  | Expr.Neg a -> neg (eval_expr ctx a)
+  | Expr.Add (x, y) ->
+      let vx = eval_expr ctx x in
+      let vy = eval_expr ctx y in
+      add vx vy
+  | Expr.Sub (x, y) ->
+      let vx = eval_expr ctx x in
+      let vy = eval_expr ctx y in
+      (* cancellation: e - e is +0 for every finite value of e (only
+         valid without a positional pool — overridden constants may
+         differ between the two occurrences) *)
+      if ctx.pool = None && Stdlib.compare x y = 0 then
+        let z = if has_finite vx then const 0.0 else bot in
+        if has_flag vx then join z { bot with nan = true } else z
+      else sub vx vy
+  | Expr.Mul (x, y) ->
+      let vx = eval_expr ctx x in
+      let vy = eval_expr ctx y in
+      mul vx vy
+  | Expr.Div (x, y) ->
+      let vx = eval_expr ctx x in
+      let vy = eval_expr ctx y in
+      ctx.on_div vy;
+      div vx vy
+  | Expr.Ddt _ | Expr.Idt _ ->
+      invalid_arg "Absint: ddt/idt cannot be analyzed (discretise first)"
+  | Expr.App (f, a) -> app f (eval_expr ctx a)
+  | Expr.Cond (c, x, y) -> (
+      let tb = eval_cond ctx c in
+      let vx = eval_expr ctx x in
+      let vy = eval_expr ctx y in
+      match tb with
+      | { may_t = true; may_f = false } -> vx
+      | { may_t = false; may_f = true } -> vy
+      | { may_t = true; may_f = true } -> join vx vy
+      | { may_t = false; may_f = false } -> bot)
+
+and eval_cond ctx c =
+  match c with
+  | Expr.Cmp (op, x, y) ->
+      let vx = eval_expr ctx x in
+      let vy = eval_expr ctx y in
+      cmp_abs op vx vy
+  | Expr.And (c1, c2) ->
+      let a = eval_cond ctx c1 in
+      let b = eval_cond ctx c2 in
+      { may_t = a.may_t && b.may_t; may_f = a.may_f || b.may_f }
+  | Expr.Or (c1, c2) ->
+      let a = eval_cond ctx c1 in
+      let b = eval_cond ctx c2 in
+      { may_t = a.may_t || b.may_t; may_f = a.may_f && b.may_f }
+  | Expr.Not c ->
+      let a = eval_cond ctx c in
+      { may_t = a.may_f; may_f = a.may_t }
+
+let eval env e =
+  let tbl = Hashtbl.create 16 in
+  let next = ref 0 in
+  let vals = ref [] in
+  Expr.Var_set.iter
+    (fun v ->
+      Hashtbl.replace tbl v !next;
+      vals := env v :: !vals;
+      incr next)
+    (Expr.vars e);
+  let ctx =
+    {
+      env = Array.of_list (List.rev !vals);
+      e_slot = (fun v -> Hashtbl.find tbl v);
+      pool = None;
+      cpos = 0;
+      on_div = ignore;
+    }
+  in
+  eval_expr ctx e
+
+(* ---- whole-program analysis ---- *)
+
+type prog = {
+  program : Sfprogram.t;
+  lay : Sfprogram.layout;
+  assigns : (int * Expr.t) list;
+  n : int;
+  input_slots : int array;
+  rotations : (int * int) array;
+}
+
+let prog_of p =
+  let lay = Sfprogram.layout_of p in
+  {
+    program = p;
+    lay;
+    assigns = Sfprogram.assignment_slots lay p;
+    n = Sfprogram.layout_count lay;
+    input_slots = Sfprogram.layout_input_slots lay;
+    rotations = Sfprogram.layout_rotations lay;
+  }
+
+(* One abstract step over a slot-state: inputs, assignments in source
+   order, then the history rotations — exactly the runner's step. *)
+let abstract_step pr ?pool ?(on_div = fun _ _ -> ()) ?(on_assign = fun _ _ -> ())
+    ~inputs (st : itv array) =
+  Array.iteri (fun i s -> st.(s) <- inputs.(i)) pr.input_slots;
+  let ctx =
+    {
+      env = st;
+      e_slot = (fun v -> Sfprogram.layout_slot pr.lay v);
+      pool;
+      cpos = 0;
+      on_div = ignore;
+    }
+  in
+  List.iter
+    (fun (tslot, e) ->
+      ctx.on_div <- (fun d -> on_div tslot d);
+      let v = eval_expr ctx e in
+      on_assign tslot v;
+      st.(tslot) <- v)
+    pr.assigns;
+  Array.iter (fun (dst, src) -> st.(dst) <- st.(src)) pr.rotations
+
+(* Transitive demand from the outputs: an assignment whose target is
+   never read (at any delay) on a path to an output contributes
+   nothing to the observable trace. *)
+let dead_targets (p : Sfprogram.t) =
+  let rhs : (Expr.base, Expr.Var_set.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Sfprogram.assignment) ->
+      Hashtbl.replace rhs a.Sfprogram.target.Expr.base (Expr.vars a.Sfprogram.expr))
+    p.Sfprogram.assignments;
+  let demanded : (Expr.base, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec demand b =
+    if not (Hashtbl.mem demanded b) then begin
+      Hashtbl.add demanded b ();
+      match Hashtbl.find_opt rhs b with
+      | None -> ()
+      | Some vars ->
+          Expr.Var_set.iter (fun v -> demand v.Expr.base) vars
+    end
+  in
+  List.iter (fun (o : Expr.var) -> demand o.Expr.base) p.Sfprogram.outputs;
+  List.filter_map
+    (fun (a : Sfprogram.assignment) ->
+      if Hashtbl.mem demanded a.Sfprogram.target.Expr.base then None
+      else Some a.Sfprogram.target)
+    p.Sfprogram.assignments
+
+type analysis = {
+  a_program : Sfprogram.t;
+  a_inputs : (string * itv) list;  (** the box the analysis assumed *)
+  a_targets : (Expr.var * itv) list;
+      (** per-assignment value range, joined over every step *)
+  a_outputs : (Expr.var * itv) list;
+      (** per-output trace range (includes the initial 0 sample) *)
+  a_div_sure : Expr.var list;
+      (** assignments containing a division whose divisor is provably
+          zero at every step *)
+  a_div_may : Expr.var list;
+  a_dead : Expr.var list;
+  a_steps : int;  (** exact abstract steps before stabilisation *)
+  a_widened : bool;
+}
+
+let default_input_box = fin (-1.0) 1.0
+
+let analyze ?(max_steps = 64) ?(inputs = []) p =
+  let pr = prog_of p in
+  let input_box =
+    List.map
+      (fun name ->
+        match List.assoc_opt name inputs with
+        | Some i -> (name, i)
+        | None -> (name, default_input_box))
+      p.Sfprogram.inputs
+  in
+  let in_itv = Array.of_list (List.map snd input_box) in
+  let st = Array.make (max 1 pr.n) (const 0.0) in
+  let acc = Array.copy st in
+  let joined_into_acc cur =
+    let changed = ref false in
+    Array.iteri
+      (fun i v ->
+        if not (leq v acc.(i)) then begin
+          changed := true;
+          acc.(i) <- join acc.(i) v
+        end)
+      cur;
+    !changed
+  in
+  (* exact warm-up: follow the real step sequence while it still
+     discovers new states *)
+  let steps = ref 0 in
+  (try
+     for k = 1 to max_steps do
+       abstract_step pr ~inputs:in_itv st;
+       steps := k;
+       if not (joined_into_acc st) then raise Exit
+     done
+   with Exit -> ());
+  (* stabilise: iterate the transfer function on the accumulated state,
+     widening until it is inductive (monotone transfer functions make
+     an inductive [acc] cover every reachable state) *)
+  let widened = ref false in
+  let stable = ref false in
+  let rounds = ref 0 in
+  while (not !stable) && !rounds < 40 do
+    incr rounds;
+    let nxt = Array.copy acc in
+    abstract_step pr ~inputs:in_itv nxt;
+    let covered = ref true in
+    Array.iteri (fun i v -> if not (leq v acc.(i)) then covered := false) nxt;
+    if !covered then stable := true
+    else begin
+      widened := true;
+      Array.iteri (fun i v -> acc.(i) <- widen acc.(i) v) nxt
+    end
+  done;
+  if not !stable then begin
+    widened := true;
+    Array.fill acc 0 (Array.length acc) top
+  end;
+  (* report pass at the fixpoint: per-assignment ranges and division
+     sites, each sound for every step of any concrete run *)
+  let tvals : (int, itv) Hashtbl.t = Hashtbl.create 16 in
+  let div_sure : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let div_may : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let final = Array.copy acc in
+  abstract_step pr ~inputs:in_itv final
+    ~on_assign:(fun tslot v -> Hashtbl.replace tvals tslot v)
+    ~on_div:(fun tslot d ->
+      if has_finite d && d.lo = 0.0 && d.hi = 0.0 && not (has_flag d) then
+        Hashtbl.replace div_sure tslot ()
+      else if may_zero d then Hashtbl.replace div_may tslot ());
+  let a_targets =
+    List.map
+      (fun (a : Sfprogram.assignment) ->
+        let s = Sfprogram.layout_slot pr.lay a.Sfprogram.target in
+        (a.Sfprogram.target, Option.value ~default:bot (Hashtbl.find_opt tvals s)))
+      p.Sfprogram.assignments
+  in
+  let a_outputs =
+    List.map
+      (fun o ->
+        match List.assoc_opt o a_targets with
+        | Some v -> (o, join (const 0.0) v)
+        | None -> (o, join (const 0.0) acc.(Sfprogram.layout_slot pr.lay o)))
+      p.Sfprogram.outputs
+  in
+  let of_slots tbl =
+    List.filter_map
+      (fun (a : Sfprogram.assignment) ->
+        let s = Sfprogram.layout_slot pr.lay a.Sfprogram.target in
+        if Hashtbl.mem tbl s then Some a.Sfprogram.target else None)
+      p.Sfprogram.assignments
+  in
+  {
+    a_program = p;
+    a_inputs = input_box;
+    a_targets;
+    a_outputs;
+    a_div_sure = of_slots div_sure;
+    a_div_may = of_slots div_may;
+    a_dead = dead_targets p;
+    a_steps = !steps;
+    a_widened = !widened;
+  }
+
+(* ---- facts for the bytecode compiler ---- *)
+
+let constant_facts analysis =
+  let lay = Sfprogram.layout_of analysis.a_program in
+  List.filter_map
+    (fun (target, v) ->
+      match singleton v with
+      | Some c when c <> 0.0 ->
+          (* signed zeros are indistinguishable in the domain, so a
+             proven 0 is never folded *)
+          Some (Sfprogram.layout_slot lay target, c)
+      | _ -> None)
+    analysis.a_targets
+
+(* ---- step-accurate proofs of unhealthiness ---- *)
+
+type bad = {
+  b_kind : [ `Nonfinite | `Amplitude ];
+  b_step : int;
+  b_time : float;
+}
+
+let check_bad ?amplitude ~dt ~step out =
+  match definitely_unhealthy ?amplitude out with
+  | Some k ->
+      Some { b_kind = k; b_step = step; b_time = float_of_int step *. dt }
+  | None -> None
+
+let prove_unhealthy ?(max_steps = 256) ?amplitude ?pool ?(output = 0) ~inputs p
+    =
+  let pr = prog_of p in
+  let out_slot = (Sfprogram.layout_output_slots pr.lay).(output) in
+  let st = Array.make (max 1 pr.n) (const 0.0) in
+  let dt = p.Sfprogram.dt in
+  let found = ref None in
+  (try
+     for k = 1 to max_steps do
+       abstract_step pr ?pool ~inputs:(inputs k) st;
+       match check_bad ?amplitude ~dt ~step:k st.(out_slot) with
+       | Some b ->
+           found := Some b;
+           raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  !found
+
+(* The same proof over a compiled artifact: the interval interpretation
+   runs the very bytecode the sweep engine executes (template pools
+   included), through [Compile.exec_with]. *)
+
+let bool_itv { may_t; may_f } =
+  match (may_t, may_f) with
+  | true, true -> fin 0.0 1.0
+  | true, false -> const 1.0
+  | false, true -> const 0.0
+  | false, false -> bot
+
+let truthy i = has_flag i || (has_finite i && (i.hi > 0.0 || i.lo < 0.0))
+let falsy i = may_zero i
+
+let interp : itv Compile.interp =
+  {
+    Compile.i_neg = neg;
+    i_add = add;
+    i_sub = sub;
+    i_mul = mul;
+    i_div = div;
+    i_app = app;
+    i_cmp = (fun c a b -> bool_itv (cmp_abs c a b));
+    i_and =
+      (fun a b ->
+        if is_bot a || is_bot b then bot
+        else
+          join
+            (if truthy a && truthy b then const 1.0 else bot)
+            (if falsy a || falsy b then const 0.0 else bot));
+    i_or =
+      (fun a b ->
+        if is_bot a || is_bot b then bot
+        else
+          join
+            (if truthy a || truthy b then const 1.0 else bot)
+            (if falsy a && falsy b then const 0.0 else bot));
+    i_not =
+      (fun a ->
+        if is_bot a then bot
+        else
+          join
+            (if falsy a then const 1.0 else bot)
+            (if truthy a then const 0.0 else bot));
+    i_sel =
+      (fun c a b ->
+        if is_bot c then bot
+        else
+          join (if truthy c then a else bot) (if falsy c then b else bot));
+  }
+
+let prove_unhealthy_compiled ?(max_steps = 256) ?amplitude ?pool ?(output = 0)
+    ~inputs p artifact =
+  let pr = prog_of p in
+  let out_slot = (Sfprogram.layout_output_slots pr.lay).(output) in
+  let n_regs = Compile.n_regs artifact in
+  let n_slots = Compile.n_slots artifact in
+  if n_slots <> pr.n then
+    invalid_arg "Absint.prove_unhealthy_compiled: artifact/program mismatch";
+  let regs = Array.make (max 1 n_regs) (const 0.0) in
+  let cpool =
+    match pool with
+    | Some p -> p
+    | None -> Array.map const (Compile.const_pool artifact)
+  in
+  if Array.length cpool <> Compile.n_consts artifact then
+    invalid_arg "Absint.prove_unhealthy_compiled: pool size mismatch";
+  Array.iteri (fun i c -> regs.(n_slots + i) <- c) cpool;
+  let dt = p.Sfprogram.dt in
+  let found = ref None in
+  (try
+     for k = 1 to max_steps do
+       let inp = inputs k in
+       Array.iteri (fun i s -> regs.(s) <- inp.(i)) pr.input_slots;
+       Compile.exec_with interp artifact regs;
+       Array.iter (fun (dst, src) -> regs.(dst) <- regs.(src)) pr.rotations;
+       match check_bad ?amplitude ~dt ~step:k regs.(out_slot) with
+       | Some b ->
+           found := Some b;
+           raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  !found

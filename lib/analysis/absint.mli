@@ -1,0 +1,187 @@
+(** Sound abstract interpretation of signal-flow programs.
+
+    The domain is an interval over the {e finite} doubles extended with
+    three independent possibility flags for NaN, [+inf] and [-inf]: the
+    concretisation of [{lo; hi; nan; pinf; ninf}] is
+    [[lo, hi] ∪ {NaN if nan} ∪ {+inf if pinf} ∪ {-inf if ninf}].
+    Endpoints are computed with ordinary round-to-nearest operations
+    and nudged outward by the involved rounding steps, so every value
+    either execution engine can produce is inside the abstraction.
+
+    Two analyses are built on the domain:
+
+    - {!analyze} runs the program's step function abstractly (inputs,
+      assignments in order, history rotations) to a widened fixpoint —
+      a MAY analysis whose per-target ranges over-approximate every
+      reachable value, powering the AMS06x lint passes and the
+      proven-constant facts {!Amsvp_sf.Compile} folds;
+    - {!prove_unhealthy} follows the exact step sequence without
+      joining across steps — a MUST analysis: when the whole abstract
+      output at some step is non-finite (or finite but beyond the
+      amplitude budget), {e every} concrete run in the analysed box
+      trips the corresponding health watchdog, which is what lets the
+      sweep engine skip provably-bad parameter sub-regions. *)
+
+module Sfprogram = Amsvp_sf.Sfprogram
+module Compile = Amsvp_sf.Compile
+
+(** {1 Domain} *)
+
+type itv = {
+  lo : float;  (** finite lower bound; [lo > hi] encodes "no finite value" *)
+  hi : float;  (** finite upper bound *)
+  nan : bool;  (** NaN is a possible value *)
+  pinf : bool;  (** [+inf] is a possible value *)
+  ninf : bool;  (** [-inf] is a possible value *)
+}
+
+val bot : itv
+(** The empty set (unreachable). *)
+
+val top : itv
+(** Every double. *)
+
+val const : float -> itv
+(** The singleton — non-finite values land in the flags. *)
+
+val interval : float -> float -> itv
+(** [interval lo hi]: all values in the closed range; infinite
+    endpoints set the corresponding flag.
+    @raise Invalid_argument on NaN endpoints or [lo > hi]. *)
+
+val fin : float -> float -> itv
+(** Unchecked finite range (internal constructor, exposed for tests). *)
+
+val join : itv -> itv -> itv
+val widen : itv -> itv -> itv
+(** [widen old next] jumps unstable bounds to the next magnitude
+    threshold, guaranteeing fixpoint termination. *)
+
+val leq : itv -> itv -> bool
+val mem : float -> itv -> bool
+(** [mem v i]: is the concrete value [v] (NaN and infinities included)
+    inside the concretisation of [i]? The soundness relation. *)
+
+val is_bot : itv -> bool
+val has_finite : itv -> bool
+val has_flag : itv -> bool
+(** Some non-finite value (NaN or an infinity) is possible. *)
+
+val singleton : itv -> float option
+(** [Some c] when the abstraction proves the value is exactly the
+    finite constant [c] (no flags, [lo = hi]). *)
+
+val may_non_finite : itv -> bool
+val may_zero : itv -> bool
+
+val definitely_non_finite : itv -> bool
+(** No finite value is possible, yet some value is — every concrete
+    outcome is NaN or an infinity. *)
+
+val definitely_unhealthy :
+  ?amplitude:float -> itv -> [ `Nonfinite | `Amplitude ] option
+(** Every concrete value in the abstraction would trip a health
+    watchdog: it is non-finite, or finite with magnitude strictly
+    above [amplitude]. [None] on [bot] (no value — nothing provable)
+    or whenever a healthy value remains possible. *)
+
+val to_string : itv -> string
+val pp : Format.formatter -> itv -> unit
+
+(** {1 Transfer functions} *)
+
+val neg : itv -> itv
+val add : itv -> itv -> itv
+val sub : itv -> itv -> itv
+val mul : itv -> itv -> itv
+val div : itv -> itv -> itv
+val app : Expr.unary_fun -> itv -> itv
+
+val eval : (Expr.var -> itv) -> Expr.t -> itv
+(** Abstract evaluation of one expression under an environment.
+    @raise Invalid_argument on [ddt]/[idt] nodes. *)
+
+(** {1 Whole-program MAY analysis} *)
+
+type analysis = {
+  a_program : Sfprogram.t;
+  a_inputs : (string * itv) list;  (** the input box the analysis assumed *)
+  a_targets : (Expr.var * itv) list;
+      (** per-assignment value range, sound for every step of every
+          concrete run with inputs inside the box *)
+  a_outputs : (Expr.var * itv) list;
+      (** per-output trace range (includes the initial 0 sample) *)
+  a_div_sure : Expr.var list;
+      (** assignments containing a division whose divisor is provably
+          zero at every step *)
+  a_div_may : Expr.var list;
+      (** assignments containing a division whose divisor may be zero *)
+  a_dead : Expr.var list;
+      (** assignment targets with no path to any output *)
+  a_steps : int;  (** exact abstract steps taken before stabilisation *)
+  a_widened : bool;  (** widening (or the top fallback) was needed *)
+}
+
+val default_input_box : itv
+(** [[-1, 1]] — the unit box assumed for inputs not named by the
+    caller, keeping AMS061 about structural hazards rather than
+    unbounded-stimulus overflow. *)
+
+val analyze :
+  ?max_steps:int -> ?inputs:(string * itv) list -> Sfprogram.t -> analysis
+(** Fixpoint analysis: exact abstract steps while new states appear
+    (at most [max_steps], default 64), then widening iterations until
+    the accumulated state is inductive. Inputs default to
+    {!default_input_box} per input signal. *)
+
+val dead_targets : Sfprogram.t -> Expr.var list
+(** The demand analysis of {!analysis.a_dead} alone (no fixpoint). *)
+
+val constant_facts : analysis -> (int * float) list
+(** Slots proven to hold one finite nonzero constant at every step —
+    the [?facts] input of {!Amsvp_sf.Sfprogram.compile} /
+    {!Amsvp_sf.Compile.compile}. Zero is excluded: the domain cannot
+    distinguish signed zeros, and the engines' folding must stay
+    bit-identical. *)
+
+(** {1 Step-accurate MUST proofs} *)
+
+type bad = {
+  b_kind : [ `Nonfinite | `Amplitude ];
+  b_step : int;  (** first step whose output is provably unhealthy *)
+  b_time : float;  (** [b_step * dt] *)
+}
+
+val prove_unhealthy :
+  ?max_steps:int ->
+  ?amplitude:float ->
+  ?pool:itv array ->
+  ?output:int ->
+  inputs:(int -> itv array) ->
+  Sfprogram.t ->
+  bad option
+(** Follow the exact abstract step sequence (no joins across steps,
+    at most [max_steps], default 256) and return the first step at
+    which output [output] (default 0) is {!definitely_unhealthy}.
+    [inputs k] gives the abstract inputs of step [k] (1-based) —
+    exact singletons when the stimulus is known. [pool] positionally
+    overrides literal constants in [Compile.collect_consts] order
+    (a [`Template] pool hull), letting one run cover a whole family
+    of rebound programs. [Some _] is a proof that {e every} concrete
+    run in the box is reported unhealthy; [None] proves nothing. *)
+
+val prove_unhealthy_compiled :
+  ?max_steps:int ->
+  ?amplitude:float ->
+  ?pool:itv array ->
+  ?output:int ->
+  inputs:(int -> itv array) ->
+  Sfprogram.t ->
+  Compile.t ->
+  bad option
+(** The same proof executed over the compiled bytecode through
+    {!Compile.exec_with} — the very artifact (template pools included)
+    the sweep engine runs. [pool] defaults to the artifact's own
+    constants.
+    @raise Invalid_argument on an artifact/program slot mismatch or a
+    wrong pool size. *)

@@ -102,6 +102,26 @@ let codes =
       default_severity = Error;
       title = "duplicate sweep axis parameter";
     };
+    {
+      id = "AMS060";
+      default_severity = Error;
+      title = "guaranteed division by zero";
+    };
+    {
+      id = "AMS061";
+      default_severity = Warning;
+      title = "possible non-finite value reaches an output";
+    };
+    {
+      id = "AMS062";
+      default_severity = Info;
+      title = "proven-constant or dead contribution";
+    };
+    {
+      id = "AMS063";
+      default_severity = Warning;
+      title = "proven output bound exceeds amplitude budget";
+    };
   ]
 
 let is_code id = List.exists (fun c -> c.id = id) codes
@@ -230,6 +250,71 @@ let report_to_json ?file findings =
   Buffer.add_string b
     (Printf.sprintf "], \"errors\": %d, \"warnings\": %d}" (count Error)
        (count Warning));
+  Buffer.contents b
+
+let report_to_sarif ?(tool_version = "0.1.0") findings =
+  let level = function
+    | Error -> "error"
+    | Warning -> "warning"
+    | Info -> "note"
+  in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"version\": \"2.1.0\",\n";
+  Buffer.add_string b
+    "  \"$schema\": \
+     \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  Buffer.add_string b "  \"runs\": [\n    {\n";
+  Buffer.add_string b "      \"tool\": {\n        \"driver\": {\n";
+  Buffer.add_string b "          \"name\": \"amsvp\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "          \"version\": %s,\n" (jstr tool_version));
+  Buffer.add_string b "          \"rules\": [\n";
+  (* Only the rules actually fired, sorted by id, each once. *)
+  let fired =
+    List.sort_uniq compare (List.map (fun f -> f.code) findings)
+  in
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let title =
+        match List.find_opt (fun c -> c.id = id) codes with
+        | Some c -> c.title
+        | None -> id
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "            {\"id\": %s, \"shortDescription\": {\"text\": %s}}"
+           (jstr id) (jstr title)))
+    fired;
+  Buffer.add_string b "\n          ]\n        }\n      },\n";
+  Buffer.add_string b "      \"results\": [\n";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "        {\n";
+      Buffer.add_string b
+        (Printf.sprintf "          \"ruleId\": %s,\n" (jstr f.code));
+      Buffer.add_string b
+        (Printf.sprintf "          \"level\": %s,\n"
+           (jstr (level f.severity)));
+      Buffer.add_string b
+        (Printf.sprintf "          \"message\": {\"text\": %s}"
+           (jstr f.message));
+      (match f.span with
+      | Some s ->
+          Buffer.add_string b ",\n          \"locations\": [\n";
+          Buffer.add_string b
+            (Printf.sprintf
+               "            {\"physicalLocation\": {\"artifactLocation\": \
+                {\"uri\": %s}, \"region\": {\"startLine\": %d, \
+                \"startColumn\": %d}}}\n"
+               (jstr s.file) s.line s.col);
+          Buffer.add_string b "          ]"
+      | None -> ());
+      Buffer.add_string b "\n        }")
+    findings;
+  Buffer.add_string b "\n      ]\n    }\n  ]\n}\n";
   Buffer.contents b
 
 let pp ppf f = Format.pp_print_string ppf (to_text f)

@@ -84,4 +84,12 @@ val report_to_json : ?file:string -> finding list -> string
 (** [{ "file": ..., "findings": [ {code, severity, message, file, line,
     col, subject} ], "errors": n, "warnings": n }]. *)
 
+val report_to_sarif : ?tool_version:string -> finding list -> string
+(** SARIF 2.1.0 ([amsvp lint --format sarif]): one run, the fired rule
+    ids with their registry titles under [tool.driver.rules], one
+    result per finding with severity mapped to
+    [error]/[warning]/[note] and the span (when known) as a
+    [physicalLocation]. Findings should already be ordered by
+    {!apply}. *)
+
 val pp : Format.formatter -> finding -> unit

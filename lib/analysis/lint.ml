@@ -331,6 +331,114 @@ let has_error fs = List.exists (fun f -> f.Diag.severity = Diag.Error) fs
 
 let ams003 (msg, sp) = Diag.finding ?span:sp Diag.Error "AMS003" msg
 
+(* ------------------------------------------------------------------ *)
+(* Semantic value-range passes (abstract interpretation)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Once a route produced a signal-flow program, run the abstract
+   interpreter over it with every input confined to ±input_bound (the
+   unit box by default, so AMS061 reports structural hazards rather
+   than unbounded-stimulus overflow) and turn the proven facts into
+   findings. *)
+let absint_findings ?amplitude_budget ?(input_bound = 1.0)
+    ?(report_dead = true) ~span_of_target (program : Amsvp_sf.Sfprogram.t) =
+  match
+    Absint.analyze
+      ~inputs:
+        (List.map
+           (fun s -> (s, Absint.interval (-.input_bound) input_bound))
+           program.Amsvp_sf.Sfprogram.inputs)
+      program
+  with
+  | exception _ -> []
+  | a ->
+      let add_span (v : Expr.var) f =
+        match span_of_target v with
+        | Some sp -> Diag.with_span f sp
+        | None -> f
+      in
+      (* Generated helper quantities (observation probes and the like)
+         carry a [__] prefix; their values are machinery, not model. *)
+      let internal (v : Expr.var) =
+        let pre s = String.length s >= 2 && s.[0] = '_' && s.[1] = '_' in
+        match v.Expr.base with
+        | Expr.Potential (a, b) | Expr.Flow (a, b) -> pre a || pre b
+        | Expr.Signal s | Expr.Param s -> pre s
+      in
+      let div60 =
+        List.filter (fun v -> not (internal v)) a.Absint.a_div_sure
+        |> List.map (fun (v : Expr.var) ->
+               add_span v
+                 (Diag.error ~subject:(Expr.var_name v) "AMS060"
+                    (Printf.sprintf
+                       "division by zero is guaranteed in the definition of \
+                        %s (the divisor is provably zero at every step)"
+                       (Expr.var_name v))))
+      in
+      let nonfinite61 =
+        List.filter_map
+          (fun ((o : Expr.var), itv) ->
+            if Absint.may_non_finite itv then
+              Some
+                (add_span o
+                   (Diag.warning ~subject:(Expr.var_name o) "AMS061"
+                      (Printf.sprintf
+                         "output %s may reach a non-finite value (proven \
+                          range: %s)"
+                         (Expr.var_name o) (Absint.to_string itv))))
+            else None)
+          a.Absint.a_outputs
+      in
+      let is_output t =
+        List.exists (Expr.equal_var t) program.Amsvp_sf.Sfprogram.outputs
+      in
+      let const62 =
+        List.filter_map
+          (fun ((t : Expr.var), itv) ->
+            match Absint.singleton itv with
+            | Some c when (not (is_output t)) && not (internal t) ->
+                Some
+                  (add_span t
+                     (Diag.info ~subject:(Expr.var_name t) "AMS062"
+                        (Printf.sprintf
+                           "%s is provably the constant %g at every step"
+                           (Expr.var_name t) c)))
+            | _ -> None)
+          a.Absint.a_targets
+      in
+      let dead62 =
+        if not report_dead then []
+        else
+          List.filter (fun v -> not (internal v)) a.Absint.a_dead
+          |> List.map (fun (t : Expr.var) ->
+                 add_span t
+                   (Diag.info ~subject:(Expr.var_name t) "AMS062"
+                      (Printf.sprintf
+                         "%s contributes to no output (dead definition)"
+                         (Expr.var_name t))))
+      in
+      let budget63 =
+        match amplitude_budget with
+        | None -> []
+        | Some b ->
+            List.filter_map
+              (fun ((o : Expr.var), itv) ->
+                if
+                  Absint.has_finite itv
+                  && (itv.Absint.hi > b || itv.Absint.lo < -.b)
+                then
+                  Some
+                    (add_span o
+                       (Diag.warning ~subject:(Expr.var_name o) "AMS063"
+                          (Printf.sprintf
+                             "proven bound of output %s is [%g, %g], \
+                              exceeding the amplitude budget %g"
+                             (Expr.var_name o) itv.Absint.lo itv.Absint.hi b)))
+                else None)
+              a.Absint.a_outputs
+      in
+      div60 @ nonfinite61 @ const62 @ dead62 @ budget63
+
 (* The ground-connected part of a circuit: devices with both terminals
    reachable from ground. Lets the deeper passes run even when a
    floating island was diagnosed. *)
@@ -367,7 +475,8 @@ let grounded_subcircuit circuit =
     c
   end
 
-let conservative_findings ~outputs ~dt (flat : Elaborate.flat) =
+let conservative_findings ?amplitude_budget ?input_bound ~outputs ~dt
+    (flat : Elaborate.flat) =
   match Elaborate.to_circuit flat with
   | exception Elaborate.Elab_error (msg, sp) -> [ ams003 (msg, sp) ]
   | circuit ->
@@ -504,15 +613,38 @@ let conservative_findings ~outputs ~dt (flat : Elaborate.flat) =
                              (Expr.var_name v));
                       ]
                 in
-                solv @ late
-                @ Check.abstraction_safety ~span_of:span_of_var ~dt asm
+                let base =
+                  solv @ late
+                  @ Check.abstraction_safety ~span_of:span_of_var ~dt asm
+                in
+                (* value-range passes, on the very program the flow
+                   would hand the execution engines *)
+                let sem =
+                  if has_error base then []
+                  else
+                    match
+                      Flow.abstract_circuit ~name:"lint" probed
+                        ~outputs:asm_outputs ~dt
+                    with
+                    | report ->
+                        (* the solver emits auxiliary definitions (branch
+                           currents, potential differences) that are
+                           legitimately unused — dead-code reporting is
+                           for user-written assignments only *)
+                        absint_findings ?amplitude_budget ?input_bound
+                          ~report_dead:false ~span_of_target:span_of_var
+                          report.Flow.program
+                    | exception _ -> []
+                in
+                base @ sem
           end
         with
         | deep -> topo @ deep
         | exception Invalid_argument msg -> topo @ [ Diag.error "AMS030" msg ]
       end
 
-let signal_flow_findings ~outputs ~dt top (flat : Elaborate.flat) =
+let signal_flow_findings ?amplitude_budget ?input_bound ~outputs ~dt top
+    (flat : Elaborate.flat) =
   match Elaborate.signal_flow_assignments flat with
   | exception Elaborate.Elab_error (msg, sp) -> [ ams003 (msg, sp) ]
   | assigns ->
@@ -552,12 +684,42 @@ let signal_flow_findings ~outputs ~dt top (flat : Elaborate.flat) =
       in
       if undefined <> [] then undefined
       else begin
-        let outs = if outputs <> [] then outputs else List.map fst assigns in
+        (* Outputs of the converted program: the caller's choice, else
+           the targets driving declared output ports, else everything —
+           the narrower the output set, the more the value-range passes
+           can say about interior quantities (constants, dead code). *)
+        let drives_port (v : Expr.var) =
+          let port n = List.mem n flat.Elaborate.output_ports in
+          match v.Expr.base with
+          | Expr.Potential (a, b) | Expr.Flow (a, b) -> port a || port b
+          | Expr.Signal s -> port s
+          | Expr.Param _ -> false
+        in
+        let port_outs =
+          List.filter_map
+            (fun ((t : Expr.var), _) -> if drives_port t then Some t else None)
+            assigns
+        in
+        let outs =
+          if outputs <> [] then outputs
+          else if port_outs <> [] then port_outs
+          else List.map fst assigns
+        in
         match
           Flow.convert_signal_flow ~name:top ~inputs ~outputs:outs
             ~contributions:assigns ~dt
         with
-        | _program -> []
+        | program ->
+            (* value-range passes over the converted program; span each
+               finding at the contribution that defined its target *)
+            let span_of_target (v : Expr.var) =
+              List.find_map
+                (fun (((t : Expr.var), _), sp) ->
+                  if Expr.equal_var t v then Some sp else None)
+                pairs
+            in
+            absint_findings ?amplitude_budget ?input_bound ~span_of_target
+              program
         | exception Solve.Nonlinear v ->
             [
               Diag.error ~subject:(Expr.var_name v) "AMS042"
@@ -580,17 +742,20 @@ let signal_flow_findings ~outputs ~dt top (flat : Elaborate.flat) =
             [ Diag.error code msg ]
       end
 
-let flat_findings ~outputs ~dt top (flat : Elaborate.flat) =
+let flat_findings ?amplitude_budget ?input_bound ~outputs ~dt top
+    (flat : Elaborate.flat) =
   match Elaborate.classify flat with
-  | `Conservative -> conservative_findings ~outputs ~dt flat
-  | `Signal_flow -> signal_flow_findings ~outputs ~dt top flat
+  | `Conservative ->
+      conservative_findings ?amplitude_budget ?input_bound ~outputs ~dt flat
+  | `Signal_flow ->
+      signal_flow_findings ?amplitude_budget ?input_bound ~outputs ~dt top flat
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let lint ?(lang = `Verilog_ams) ?top ?(inputs = []) ?(outputs = [])
-    ?(dt = 50e-9) ~file src =
+    ?(dt = 50e-9) ?amplitude_budget ?input_bound ~file src =
   match lang with
   | `Verilog_ams -> (
       match Parser.parse ~file src with
@@ -609,7 +774,9 @@ let lint ?(lang = `Verilog_ams) ?top ?(inputs = []) ?(outputs = [])
           let deep =
             match Elaborate.flatten design ~top with
             | exception Elaborate.Elab_error (msg, sp) -> [ ams003 (msg, sp) ]
-            | flat -> flat_findings ~outputs ~dt top flat
+            | flat ->
+                flat_findings ?amplitude_budget ?input_bound ~outputs ~dt top
+                  flat
           in
           ast @ deep)
   | `Vhdl_ams -> (
@@ -634,4 +801,6 @@ let lint ?(lang = `Verilog_ams) ?top ?(inputs = []) ?(outputs = [])
               match Velaborate.flatten design ~top ~inputs with
               | exception Velaborate.Elab_error (msg, sp) ->
                   [ ams003 (msg, sp) ]
-              | flat -> flat_findings ~outputs ~dt top flat)))
+              | flat ->
+                  flat_findings ?amplitude_budget ?input_bound ~outputs ~dt
+                    top flat)))

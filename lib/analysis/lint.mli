@@ -24,7 +24,13 @@
       over the assembled definitions ([AMS040]/[AMS041]); on the
       signal-flow route, reads of never-defined quantities are
       [AMS030] and zero-delay ordering violations are [AMS040] errors
-      (they are fatal to the direct conversion).
+      (they are fatal to the direct conversion);
+    + {b value ranges} — once a route yields a signal-flow program
+      with no errors, {!Absint} analyses it to a widened fixpoint with
+      inputs confined to [±input_bound]: guaranteed division by zero
+      ([AMS060]), possible NaN/infinity at an output ([AMS061]),
+      proven-constant or dead definitions ([AMS062]) and proven output
+      bounds beyond the declared amplitude budget ([AMS063]).
 
     Passes degrade gracefully: an error at one stage skips the stages
     that depend on it but never the independent ones, so one run
@@ -32,18 +38,39 @@
 
 type lang = [ `Verilog_ams | `Vhdl_ams ]
 
+val absint_findings :
+  ?amplitude_budget:float ->
+  ?input_bound:float ->
+  ?report_dead:bool ->
+  span_of_target:(Expr.var -> Amsvp_diag.Diag.span option) ->
+  Amsvp_sf.Sfprogram.t ->
+  Amsvp_diag.Diag.finding list
+(** The value-range pass alone, over an already-obtained signal-flow
+    program: AMS060–AMS063 as in {!lint}. [report_dead] (default true)
+    controls the dead-definition half of AMS062 — turn it off for
+    solver-generated programs whose auxiliary definitions are
+    legitimately unused. [span_of_target] anchors findings to source
+    spans when the caller knows them ([fun _ -> None] otherwise). The
+    sweep service uses this to screen a prepared sweep without
+    re-parsing any source. *)
+
 val lint :
   ?lang:lang ->
   ?top:string ->
   ?inputs:string list ->
   ?outputs:Expr.var list ->
   ?dt:float ->
+  ?amplitude_budget:float ->
+  ?input_bound:float ->
   file:string ->
   string ->
   Amsvp_diag.Diag.finding list
 (** [lint ~file src] analyses the source text. [lang] defaults to
     [`Verilog_ams]; [top] to the last module (entity) of the design;
     [inputs] (VHDL-AMS only) to []]; [outputs] to every branch
-    potential of the recognised network; [dt] to [50e-9]. The result is
-    unfiltered and unsorted — pass it through {!Amsvp_diag.Diag.apply}
-    with the desired configuration. *)
+    potential of the recognised network; [dt] to [50e-9].
+    [amplitude_budget] declares the |output| budget [AMS063] checks
+    (absent: the pass is off); [input_bound] confines every input
+    signal to [±input_bound] for the value-range passes (default 1).
+    The result is unfiltered and unsorted — pass it through
+    {!Amsvp_diag.Diag.apply} with the desired configuration. *)

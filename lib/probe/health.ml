@@ -1,6 +1,13 @@
 module Obs = Amsvp_obs.Obs
 
-type kind = Nan_or_inf | Amplitude | Stuck | Nrmse_budget | Timeout | Crashed
+type kind =
+  | Nan_or_inf
+  | Amplitude
+  | Stuck
+  | Nrmse_budget
+  | Timeout
+  | Crashed
+  | Pruned
 
 let kind_label = function
   | Nan_or_inf -> "nan"
@@ -9,6 +16,7 @@ let kind_label = function
   | Nrmse_budget -> "nrmse-budget"
   | Timeout -> "timeout"
   | Crashed -> "crashed"
+  | Pruned -> "pruned"
 
 let kind_of_label = function
   | "nan" -> Some Nan_or_inf
@@ -17,6 +25,7 @@ let kind_of_label = function
   | "nrmse-budget" -> Some Nrmse_budget
   | "timeout" -> Some Timeout
   | "crashed" -> Some Crashed
+  | "pruned" -> Some Pruned
   | _ -> None
 
 type issue = { kind : kind; time : float; value : float }

@@ -36,10 +36,14 @@ type kind =
   | Crashed
       (** the worker executing the point died or raised (multi-process
           sweep service; never fired by a monitor) *)
+  | Pruned
+      (** the point was skipped: the abstract interpreter proved every
+          run at its parameters trips a watchdog (sweep pre-flight
+          pruning; never fired by a monitor) *)
 
 val kind_label : kind -> string
 (** ["nan"], ["amplitude"], ["stuck"], ["nrmse-budget"], ["timeout"],
-    ["crashed"]. *)
+    ["crashed"], ["pruned"]. *)
 
 val kind_of_label : string -> kind option
 (** Inverse of {!kind_label} — the checkpoint/protocol codecs read

@@ -28,7 +28,7 @@ let submit t ?jobs ~spec_text ?(on_event = fun (_ : Protocol.response) -> ())
     | Ok resp -> (
         on_event resp;
         match resp with
-        | Protocol.Done _ -> Ok resp
+        | Protocol.Done _ | Protocol.Rejected _ -> Ok resp
         | Protocol.Failed { message } -> Error message
         | _ -> drain ())
   in

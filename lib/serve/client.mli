@@ -22,4 +22,5 @@ val submit :
   (Protocol.response, string) result
 (** Submit a sweep and stream it: [on_event] sees every frame
     ([Accepted], each [Point], the [Done]) as it arrives; returns the
-    final [Done] response, or [Error] on a protocol failure. *)
+    final [Done] — or the [Rejected] carrying the diagnostics that
+    refused the submit — or [Error] on a protocol failure. *)

@@ -1,5 +1,6 @@
 module Spec = Amsvp_sweep.Spec
 module Runner = Amsvp_sweep.Runner
+module Diag = Amsvp_diag.Diag
 module Checkpoint = Amsvp_sweep.Checkpoint
 module Circuits = Amsvp_netlist.Circuits
 module Obs = Amsvp_obs.Obs
@@ -15,6 +16,7 @@ type config = {
   metrics_out : string option;
   metrics_every_s : float;
   trace_out : string option;
+  werror : bool;
 }
 
 let default_config ~socket_path =
@@ -28,6 +30,7 @@ let default_config ~socket_path =
     metrics_out = None;
     metrics_every_s = 2.0;
     trace_out = None;
+    werror = false;
   }
 
 let c_requests =
@@ -152,9 +155,45 @@ let handle_submit st conn ~id ~spec_text ~jobs =
       | Error m -> send conn (Protocol.Failed { message = m })
       | Ok tc -> (
           match ctx_for ~id st spec tc with
+          | exception Diag.Rejected f ->
+              (* The lint gate inside [Runner.prepare] refused the
+                 circuit: a structured reply, not a dead worker. *)
+              jlog ~req:id st "submit.rejected"
+                [ ("sweep", Journal.S spec.Spec.name);
+                  ("code", Journal.S f.Diag.code) ];
+              send conn
+                (Protocol.Rejected { message = f.Diag.message; findings = [ f ] })
           | exception e ->
               send conn
                 (Protocol.Failed { message = Printexc.to_string e })
+          | ctx
+            when List.exists
+                   (fun (f : Diag.finding) -> f.Diag.severity = Diag.Error)
+                   (Runner.screen ~werror:st.cfg.werror ctx) ->
+              (* Value-range screen (AMS06x): errors — native AMS060 or
+                 anything upgraded by the daemon's [werror] — reject the
+                 submit with the full diagnostics list.  (The screen is
+                 a pure function of the warm ctx, so re-running it here
+                 is cheap and keeps the guard side-effect free.) *)
+              let findings = Runner.screen ~werror:st.cfg.werror ctx in
+              let errors =
+                List.length
+                  (List.filter
+                     (fun (f : Diag.finding) -> f.Diag.severity = Diag.Error)
+                     findings)
+              in
+              jlog ~req:id st "submit.rejected"
+                [ ("sweep", Journal.S spec.Spec.name);
+                  ("errors", Journal.I errors) ];
+              send conn
+                (Protocol.Rejected
+                   {
+                     message =
+                       Printf.sprintf
+                         "value-range screen rejected the sweep: %d error(s)"
+                         errors;
+                     findings;
+                   })
           | ctx ->
               Obs.with_span ~cat:"serve"
                 ~args:[ ("sweep", spec.Spec.name); ("id", string_of_int id) ]

@@ -49,11 +49,15 @@ type config = {
       (** Chrome trace written at shutdown: daemon request spans plus
           every worker span ingested over the telemetry frames, one
           [pid] track per process *)
+  werror : bool;
+      (** upgrade value-range screen warnings (AMS061/AMS063…) to
+          errors: a submit whose screen then contains any error is
+          answered with [Protocol.Rejected] instead of running *)
 }
 
 val default_config : socket_path:string -> config
 (** 2 workers, no checkpointing, no timeout, 1 retry, 8 cached sweeps,
-    no metrics/trace files, metrics every 2 s. *)
+    no metrics/trace files, metrics every 2 s, no [werror]. *)
 
 val serve : config -> unit
 (** Bind, listen and serve until drained. Blocks.

@@ -48,6 +48,10 @@ type response =
       complete : bool;
     }
   | Failed of { message : string }
+  | Rejected of {
+      message : string;
+      findings : Amsvp_diag.Diag.finding list;
+    }
   | Pong
   | Stats_reply of stats
   | Bye
@@ -86,6 +90,29 @@ let encode_response = function
   | Failed { message } ->
       Printf.sprintf "{\"v\":%d,\"ev\":\"error\",\"message\":%s}" version
         (jstr message)
+  | Rejected { message; findings } ->
+      let module Diag = Amsvp_diag.Diag in
+      let finding_json (f : Diag.finding) =
+        let b = Buffer.create 128 in
+        Printf.bprintf b "{\"code\":%s,\"severity\":%s,\"message\":%s"
+          (jstr f.Diag.code)
+          (jstr (Diag.severity_name f.Diag.severity))
+          (jstr f.Diag.message);
+        (match f.Diag.span with
+        | Some s ->
+            Printf.bprintf b ",\"file\":%s,\"line\":%d,\"col\":%d"
+              (jstr s.Diag.file) s.Diag.line s.Diag.col
+        | None -> ());
+        (match f.Diag.subject with
+        | Some s -> Printf.bprintf b ",\"subject\":%s" (jstr s)
+        | None -> ());
+        Buffer.add_char b '}';
+        Buffer.contents b
+      in
+      Printf.sprintf
+        "{\"v\":%d,\"ev\":\"rejected\",\"message\":%s,\"findings\":[%s]}"
+        version (jstr message)
+        (String.concat "," (List.map finding_json findings))
   | Pong -> Printf.sprintf "{\"v\":%d,\"ev\":\"pong\"}" version
   | Stats_reply s ->
       Printf.sprintf
@@ -172,6 +199,51 @@ let decode_response line =
       | Some "error" ->
           let* message = Json.mem_string "message" j in
           Ok (Failed { message })
+      | Some "rejected" -> (
+          let module Diag = Amsvp_diag.Diag in
+          let severity_of_name = function
+            | "error" -> Some Diag.Error
+            | "warning" -> Some Diag.Warning
+            | "info" -> Some Diag.Info
+            | _ -> None
+          in
+          let finding_of_json fj =
+            let ( let* ) = Option.bind in
+            let* code = Json.mem_string "code" fj in
+            let* severity =
+              Option.bind (Json.mem_string "severity" fj) severity_of_name
+            in
+            let* message = Json.mem_string "message" fj in
+            let span =
+              match
+                ( Json.mem_string "file" fj,
+                  Json.mem_float "line" fj,
+                  Json.mem_float "col" fj )
+              with
+              | Some file, Some line, Some col ->
+                  Some
+                    {
+                      Diag.file;
+                      line = int_of_float line;
+                      col = int_of_float col;
+                    }
+              | _ -> None
+            in
+            let subject = Json.mem_string "subject" fj in
+            Some { Diag.code; severity; message; span; subject }
+          in
+          let* message = Json.mem_string "message" j in
+          match
+            List.fold_right
+              (fun fj acc ->
+                match (finding_of_json fj, acc) with
+                | Some f, Some tl -> Some (f :: tl)
+                | _ -> None)
+              (Json.mem_list "findings" j)
+              (Some [])
+          with
+          | Some findings -> Ok (Rejected { message; findings })
+          | None -> Error "malformed response frame")
       | Some "pong" -> Ok Pong
       | Some "stats" ->
           let* st_requests = int "requests" j in

@@ -57,6 +57,14 @@ type response =
       complete : bool;  (** [false] when a drain interrupted the sweep *)
     }
   | Failed of { message : string }
+  | Rejected of {
+      message : string;
+      findings : Amsvp_diag.Diag.finding list;
+          (** the diagnostics that rejected the submit: pre-flight gate
+              findings ([Diag.Rejected]) or value-range screen errors
+              (AMS06x, upgraded under the daemon's [werror]); each
+              carries its code, severity, message and span *)
+    }
   | Pong
   | Stats_reply of stats
   | Bye

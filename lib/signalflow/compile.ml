@@ -207,7 +207,29 @@ let collect_consts assigns =
 
 (* ---- compilation ---- *)
 
-let compile_unobserved ~(mode : mode) ~slot ~n_slots assigns =
+let compile_unobserved ~(mode : mode) ~facts ~slot ~n_slots assigns =
+  (* Facts are externally proven invariants "this slot holds exactly
+     the finite nonzero constant c after every store". They only make
+     sense under value folding, and zero is refused because the domain
+     that proves facts cannot tell the signed zeros apart. With no
+     facts the artifact is bit-identical to one compiled without the
+     parameter. *)
+  let facts_tbl : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  if mode = `Optimize then
+    List.iter
+      (fun (s, c) ->
+        if c <> 0.0 && not (Float.is_nan c) then Hashtbl.replace facts_tbl s c)
+      facts;
+  let assigns =
+    if Hashtbl.length facts_tbl = 0 then assigns
+    else
+      List.map
+        (fun (tslot, e) ->
+          match Hashtbl.find_opt facts_tbl tslot with
+          | Some c -> (tslot, Expr.Const c)
+          | None -> (tslot, e))
+        assigns
+  in
   let shape = shape_of ~slot ~n_slots assigns in
   (* checked [slot]: every variable register must stay below the slot
      region so the unchecked accesses of [exec] are safe. *)
@@ -268,13 +290,18 @@ let compile_unobserved ~(mode : mode) ~slot ~n_slots assigns =
             id)
   in
   let mk_read s =
-    let k = Kread (s, version.(s)) in
-    match Hashtbl.find_opt keys k with
-    | Some id -> id
-    | None ->
-        let id = fresh (Nread s) in
-        Hashtbl.add keys k id;
-        id
+    (* a slot with a proven-constant fact always reads that value
+       (validated programs never read a target before its store) *)
+    match Hashtbl.find_opt facts_tbl s with
+    | Some c -> mk_const c
+    | None -> (
+        let k = Kread (s, version.(s)) in
+        match Hashtbl.find_opt keys k with
+        | Some id -> id
+        | None ->
+            let id = fresh (Nread s) in
+            Hashtbl.add keys k id;
+            id)
   in
   let mk_op op args =
     let folded =
@@ -523,10 +550,10 @@ let compile_unobserved ~(mode : mode) ~slot ~n_slots assigns =
   in
   { mode; shape; n_slots; n_regs = temp_base + !n_temps; consts; code }
 
-let compile ?(mode : mode = `Optimize) ~slot ~n_slots assigns =
+let compile ?(mode : mode = `Optimize) ?(facts = []) ~slot ~n_slots assigns =
   Obs.with_span ~cat:"sf" "sf.compile" @@ fun () ->
   let t0 = Obs.now_ns () in
-  let t = compile_unobserved ~mode ~slot ~n_slots assigns in
+  let t = compile_unobserved ~mode ~facts ~slot ~n_slots assigns in
   Obs.Counter.incr c_programs;
   Obs.Counter.add c_instrs (Array.length t.code);
   Obs.Histogram.observe h_compile_seconds
@@ -621,6 +648,46 @@ let exec t (regs : float array) =
         set d (if get a <> 0.0 || get b <> 0.0 then 1.0 else 0.0)
     | Notb (d, a) -> set d (if get a <> 0.0 then 0.0 else 1.0)
     | Sel (d, c, a, b) -> set d (if get c <> 0.0 then get a else get b)
+  done
+
+(* ---- generic (abstract) execution ---- *)
+
+type 'a interp = {
+  i_neg : 'a -> 'a;
+  i_add : 'a -> 'a -> 'a;
+  i_sub : 'a -> 'a -> 'a;
+  i_mul : 'a -> 'a -> 'a;
+  i_div : 'a -> 'a -> 'a;
+  i_app : Expr.unary_fun -> 'a -> 'a;
+  i_cmp : Expr.cmp -> 'a -> 'a -> 'a;
+  i_and : 'a -> 'a -> 'a;
+  i_or : 'a -> 'a -> 'a;
+  i_not : 'a -> 'a;
+  i_sel : 'a -> 'a -> 'a -> 'a;
+}
+
+let const_pool t = Array.copy t.consts
+
+let exec_with (ip : 'a interp) t (regs : 'a array) =
+  if Array.length regs < t.n_regs then
+    invalid_arg
+      (Printf.sprintf "Compile.exec_with: register file %d < %d"
+         (Array.length regs) t.n_regs);
+  let code = t.code in
+  for i = 0 to Array.length code - 1 do
+    match code.(i) with
+    | Mov (d, s) -> regs.(d) <- regs.(s)
+    | Neg (d, a) -> regs.(d) <- ip.i_neg regs.(a)
+    | Add (d, a, b) -> regs.(d) <- ip.i_add regs.(a) regs.(b)
+    | Sub (d, a, b) -> regs.(d) <- ip.i_sub regs.(a) regs.(b)
+    | Mul (d, a, b) -> regs.(d) <- ip.i_mul regs.(a) regs.(b)
+    | Div (d, a, b) -> regs.(d) <- ip.i_div regs.(a) regs.(b)
+    | App (f, d, a) -> regs.(d) <- ip.i_app f regs.(a)
+    | Cmp (c, d, a, b) -> regs.(d) <- ip.i_cmp c regs.(a) regs.(b)
+    | Andb (d, a, b) -> regs.(d) <- ip.i_and regs.(a) regs.(b)
+    | Orb (d, a, b) -> regs.(d) <- ip.i_or regs.(a) regs.(b)
+    | Notb (d, a) -> regs.(d) <- ip.i_not regs.(a)
+    | Sel (d, c, a, b) -> regs.(d) <- ip.i_sel regs.(c) regs.(a) regs.(b)
   done
 
 (* ---- disassembly ---- *)

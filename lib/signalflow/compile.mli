@@ -53,6 +53,7 @@ type t
 
 val compile :
   ?mode:mode ->
+  ?facts:(int * float) list ->
   slot:(Expr.var -> int) ->
   n_slots:int ->
   (int * Expr.t) list ->
@@ -61,6 +62,17 @@ val compile :
     slot and right-hand side, in execution order) into bytecode.
     [slot] must map every variable occurring in the right-hand sides to
     a register below [n_slots]. Default mode is [`Optimize].
+
+    [facts] are externally proven invariants (from
+    [Amsvp_analysis.Absint]): slot [s] holds exactly the finite
+    nonzero constant [c] after every store. The whole right-hand side
+    of a fact slot and every read of it fold to the constant,
+    strengthening constant propagation and letting demand-driven
+    scheduling drop the computation entirely. Facts with a zero or NaN
+    value are ignored (signed zeros are indistinguishable to the
+    prover), as is the whole list under [`Template] (positional pools
+    must keep every literal). An empty [facts] yields an artifact
+    bit-identical to compiling without the parameter.
     @raise Invalid_argument on a [ddt]/[idt] node (un-discretised
     program) or a slot index out of range. *)
 
@@ -108,6 +120,39 @@ val exec : t -> float array -> unit
 (** Execute one step: evaluate every assignment in order, writing each
     target's register. The array must be the one prepared with
     {!load_consts}. *)
+
+(** {2 Generic execution}
+
+    The bytecode is straight-line, so it can be executed over any
+    value domain by supplying the operations — this is how the
+    abstract interpreter ([Amsvp_analysis.Absint]) runs the very
+    artifact the sweep engine executes, template pools included. *)
+
+type 'a interp = {
+  i_neg : 'a -> 'a;
+  i_add : 'a -> 'a -> 'a;
+  i_sub : 'a -> 'a -> 'a;
+  i_mul : 'a -> 'a -> 'a;
+  i_div : 'a -> 'a -> 'a;
+  i_app : Expr.unary_fun -> 'a -> 'a;
+  i_cmp : Expr.cmp -> 'a -> 'a -> 'a;
+  i_and : 'a -> 'a -> 'a;
+  i_or : 'a -> 'a -> 'a;
+  i_not : 'a -> 'a;
+  i_sel : 'a -> 'a -> 'a -> 'a;  (** condition, then-value, else-value *)
+}
+
+val const_pool : t -> float array
+(** A copy of the constant pool; [const_pool t].(i) preloads register
+    [n_slots t + i] (positional — a [`Template] artifact's pool lines
+    up with [rebind]'s collect order). *)
+
+val exec_with : 'a interp -> t -> 'a array -> unit
+(** One step over an arbitrary domain: the caller preloads constants
+    (mapped from {!const_pool}) at registers [n_slots t ..] and input
+    slots, then each instruction applies the supplied operation.
+    @raise Invalid_argument if the register file is shorter than
+    {!n_regs}. *)
 
 val pp : Format.formatter -> t -> unit
 (** Disassembly listing, one instruction per line. *)

@@ -171,12 +171,17 @@ let layout_slot lay v =
   | None ->
       invalid_arg ("Sfprogram: unknown variable " ^ Expr.var_name v)
 
+let layout_count lay = lay.l_count
+let layout_input_slots lay = Array.copy lay.l_input_slots
+let layout_output_slots lay = Array.copy lay.l_output_slots
+let layout_rotations lay = Array.copy lay.l_rotations
+
 let assignment_slots lay (p : t) =
   List.map (fun a -> (layout_slot lay a.target, a.expr)) p.assignments
 
-let compile ?mode (p : t) =
+let compile ?mode ?facts (p : t) =
   let lay = layout_of p in
-  Compile.compile ?mode ~slot:(layout_slot lay) ~n_slots:lay.l_count
+  Compile.compile ?mode ?facts ~slot:(layout_slot lay) ~n_slots:lay.l_count
     (assignment_slots lay p)
 
 let rebind_compiled artifact (p : t) =

@@ -51,10 +51,43 @@ val pp : Format.formatter -> t -> unit
     unboxed float file — the default, measurably faster per step and
     bit-identical in its results). *)
 
-val compile : ?mode:Compile.mode -> t -> Compile.t
+(** {2 Slot layout}
+
+    The canonical slot layout both engines and the abstract
+    interpreter share: a deterministic function of the program
+    structure alone (inputs in declaration order, then targets, then
+    history levels), so same-shaped programs get identical layouts. *)
+
+type layout
+
+val layout_of : t -> layout
+
+val layout_slot : layout -> Expr.var -> int
+(** @raise Invalid_argument on a variable the program never touches. *)
+
+val layout_count : layout -> int
+(** Number of slots (the [n_slots] of {!Compile}). *)
+
+val layout_input_slots : layout -> int array
+(** Slot of each input, in declaration order. *)
+
+val layout_output_slots : layout -> int array
+(** Slot of each output, in declaration order. *)
+
+val layout_rotations : layout -> (int * int) array
+(** History rotations [(dst, src)] applied in order after each step
+    ([x@-k] receives [x@-(k-1)], deepest level first per quantity). *)
+
+val assignment_slots : layout -> t -> (int * Expr.t) list
+(** The (target slot, right-hand side) pairs {!Compile.compile}
+    consumes, in execution order. *)
+
+val compile : ?mode:Compile.mode -> ?facts:(int * float) list -> t -> Compile.t
 (** Lower the program to bytecode against its canonical slot layout
     (the one {!Runner.create} uses). With [~mode:`Template] the
-    artifact can be {!rebind_compiled} onto same-shaped programs. *)
+    artifact can be {!rebind_compiled} onto same-shaped programs.
+    [facts] are proven-constant slot invariants forwarded to
+    {!Compile.compile}. *)
 
 val rebind_compiled : Compile.t -> t -> Compile.t option
 (** Re-target a [`Template] artifact at a program with the same shape

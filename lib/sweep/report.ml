@@ -36,6 +36,7 @@ let json ?(timings = true) (s : Runner.summary) =
   add "  \"jobs\": %d,\n" s.jobs;
   add "  \"points\": %d,\n" (Array.length s.points);
   add "  \"unhealthy\": %d,\n" s.unhealthy;
+  add "  \"pruned\": %d,\n" s.pruned;
   add "  \"cache_hits\": %d,\n" s.cache_hits;
   add "  \"cache_misses\": %d,\n" s.cache_misses;
   add "  \"total_s\": %s,\n" (if timings then jfloat s.total_s else "0");

@@ -30,6 +30,7 @@ type summary = {
   wall_stats : Stats.t option;
   rms_stats : Stats.t option;
   unhealthy : int;
+  pruned : int;
   cache_hits : int;
   cache_misses : int;
   total_s : float;
@@ -52,6 +53,10 @@ let c_cache_misses =
 let c_timeouts =
   Obs.Counter.make ~help:"sweep points aborted by the per-point timeout"
     "amsvp_sweep_point_timeouts_total"
+
+let c_pruned =
+  Obs.Counter.make ~help:"sweep points skipped by the static pruner"
+    "amsvp_sweep_points_pruned_total"
 
 let h_point_seconds =
   Obs.Histogram.make ~help:"wall-clock seconds per sweep point"
@@ -209,6 +214,85 @@ let timeout_result ctx (p : Sampler.point) ~cached ~sim_time ~wall_s =
     wall_s;
   }
 
+let pruned_result ctx (p : Sampler.point) (bad : Amsvp_analysis.Absint.bad) =
+  Obs.Counter.incr c_pruned;
+  let value =
+    match bad.Amsvp_analysis.Absint.b_kind with
+    | `Nonfinite -> nan
+    | `Amplitude ->
+        Option.value ctx.c_spec.Spec.amplitude_limit ~default:nan
+  in
+  if Journal.enabled () then
+    Journal.emit ~cat:"sweep" "point.pruned"
+      [
+        ("point", Journal.S p.Sampler.label);
+        ("index", Journal.I p.Sampler.index);
+        ( "reason",
+          Journal.S
+            (match bad.Amsvp_analysis.Absint.b_kind with
+            | `Nonfinite -> "nan"
+            | `Amplitude -> "amplitude") );
+        ("step", Journal.I bad.Amsvp_analysis.Absint.b_step);
+        ("sim_time", Journal.F bad.Amsvp_analysis.Absint.b_time);
+      ];
+  {
+    point = p;
+    out_final = nan;
+    out_rms = nan;
+    nrmse = None;
+    health =
+      {
+        Health.v_signal = Expr.var_name ctx.c_output;
+        v_healthy = false;
+        v_issues =
+          [
+            {
+              Health.kind = Health.Pruned;
+              time = bad.Amsvp_analysis.Absint.b_time;
+              value;
+            };
+          ];
+      };
+    cached = true;
+    wall_s = 0.0;
+  }
+
+(* Static screen of a prepared sweep: the absint value-range pass over
+   the representative program (the probed circuit with its nominal
+   parameter values). The serve daemon rejects a submit whose screen
+   reports errors — guaranteed division by zero always is one; the
+   possible-non-finite and amplitude-budget warnings become errors
+   under [werror]. *)
+let screen ?(werror = false) ctx =
+  let module Diag = Amsvp_diag.Diag in
+  let spec = ctx.c_spec in
+  let program =
+    match Abscache.rebind ctx.c_cache ctx.c_probed with
+    | Some p -> Some p
+    | None -> (
+        match
+          Flow.abstract_circuit
+            ~name:(ctx.c_tc.Circuits.label ^ "_screen")
+            ~mode:spec.Spec.mode ~integration:spec.Spec.integration
+            ctx.c_probed ~outputs:[ ctx.c_output ] ~dt:ctx.c_dt
+        with
+        | rep -> Some rep.Flow.program
+        | exception _ -> None)
+  in
+  match program with
+  | None -> []
+  | Some program ->
+      Amsvp_analysis.Lint.absint_findings
+        ?amplitude_budget:spec.Spec.amplitude_limit ~report_dead:false
+        ~span_of_target:(fun _ -> None)
+        program
+      |> Diag.apply { Diag.werror; suppress = [] }
+
+let prune_static ?max_steps ctx points =
+  Prune.plan ~cache:ctx.c_cache ~probed:ctx.c_probed
+    ~stimuli:ctx.c_stim_assoc ~t_stop:ctx.c_t_stop
+    ?amplitude:ctx.c_spec.Spec.amplitude_limit ?max_steps points
+
 let run_point ?timeout_s ctx (p : Sampler.point) =
   Obs.with_span ~cat:"sweep" ~args:[ ("point", p.Sampler.label) ] "sweep.point"
   @@ fun () ->
@@ -298,7 +382,11 @@ let run_point ?timeout_s ctx (p : Sampler.point) =
          interpolated reference. *)
       let health =
         let config =
-          { Health.default_config with nrmse_budget = spec.nrmse_budget }
+          {
+            Health.default_config with
+            nrmse_budget = spec.nrmse_budget;
+            amplitude_limit = spec.amplitude_limit;
+          }
         in
         let mon = Health.create ~config (Expr.var_name ctx.c_output) in
         let n = Trace.length trace in
@@ -354,13 +442,23 @@ let summarize ctx (results : point_result array) ~total_s =
       Array.fold_left
         (fun n r -> if r.health.Health.v_healthy then n else n + 1)
         0 results;
+    pruned =
+      Array.fold_left
+        (fun n r ->
+          if
+            List.exists
+              (fun (i : Health.issue) -> i.Health.kind = Health.Pruned)
+              r.health.Health.v_issues
+          then n + 1
+          else n)
+        0 results;
     cache_hits = hits;
     cache_misses = Array.length results - hits;
     total_s;
   }
 
-let run ?jobs ?timeout_s ?on_point ?(completed = []) (spec : Spec.t)
-    (tc : Circuits.testcase) =
+let run ?jobs ?timeout_s ?(prune = false) ?on_point ?(completed = [])
+    (spec : Spec.t) (tc : Circuits.testcase) =
   let ctx = prepare ?jobs spec tc in
   let total = Array.length ctx.c_points in
   (* Checkpointed results replace execution for their points: the merge
@@ -381,6 +479,28 @@ let run ?jobs ?timeout_s ?on_point ?(completed = []) (spec : Spec.t)
       (List.filter
          (fun (p : Sampler.point) -> not (Hashtbl.mem prior p.Sampler.index))
          (Array.to_list ctx.c_points))
+  in
+  (* Pre-flight static pruning: points the abstract interpreter proves
+     unhealthy are answered without simulation (their [Pruned] results
+     go through [on_point] like any other, so checkpoints and service
+     streams see them) and removed from the dispatch set. *)
+  let pending =
+    if not prune then pending
+    else begin
+      let decisions = prune_static ctx pending in
+      let skip = Hashtbl.create 16 in
+      List.iter
+        (fun (d : Prune.decision) ->
+          let r = pruned_result ctx d.Prune.d_point d.Prune.d_bad in
+          Hashtbl.replace skip d.Prune.d_point.Sampler.index ();
+          Hashtbl.replace prior r.point.Sampler.index r;
+          match on_point with Some f -> f r | None -> ())
+        decisions;
+      Array.of_list
+        (List.filter
+           (fun (p : Sampler.point) -> not (Hashtbl.mem skip p.Sampler.index))
+           (Array.to_list pending))
+    end
   in
   let exec p =
     let r = run_point ?timeout_s ctx p in

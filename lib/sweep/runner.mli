@@ -43,6 +43,9 @@ type summary = {
   wall_stats : Stats.t option;
   rms_stats : Stats.t option;
   unhealthy : int;  (** points whose health verdict flagged an issue *)
+  pruned : int;
+      (** points skipped by the static pruner (a subset of [unhealthy]:
+          each carries a single [Pruned] issue) *)
   cache_hits : int;
   cache_misses : int;
   total_s : float;  (** wall-clock seconds for the whole sweep *)
@@ -82,6 +85,28 @@ val ctx_points : ctx -> Sampler.point array
 (** Points in expansion order; [point.index] is the slot in this
     array. *)
 
+val screen : ?werror:bool -> ctx -> Amsvp_diag.Diag.finding list
+(** Value-range screen of the prepared sweep's representative program
+    ({!Amsvp_analysis.Lint.absint_findings} with the spec's
+    [amplitude_limit] as the AMS063 budget), sorted and upgraded by
+    [Diag.apply { werror; suppress = [] }].  The serve daemon rejects
+    a submit whose screen contains errors. *)
+
+val prune_static :
+  ?max_steps:int -> ctx -> Sampler.point array -> Prune.decision list
+(** Run the {!Prune} pre-flight over the given points (normally a
+    subset of {!ctx_points}): the abstract interpreter proves
+    sub-regions of parameter space unhealthy against the spec's
+    [amplitude_limit] and the structural non-finite hazard.  Returns
+    the provably-unhealthy points; the caller decides whether to skip
+    them ({!run} with [~prune:true] does). *)
+
+val pruned_result :
+  ctx -> Sampler.point -> Amsvp_analysis.Absint.bad -> point_result
+(** The result recorded for a statically pruned point: NaN values, a
+    single [Pruned] health issue timed at the first provably-bad step,
+    zero wall clock.  Journals a [point.pruned] event. *)
+
 val run_point : ?timeout_s:float -> ctx -> Sampler.point -> point_result
 (** Execute one point.  [timeout_s] (defaulting to the spec's
     [point_timeout]) bounds the point's wall clock: the simulation
@@ -96,6 +121,7 @@ val summarize : ctx -> point_result array -> total_s:float -> summary
 val run :
   ?jobs:int ->
   ?timeout_s:float ->
+  ?prune:bool ->
   ?on_point:(point_result -> unit) ->
   ?completed:point_result list ->
   Spec.t ->
@@ -104,12 +130,17 @@ val run :
 (** Execute the sweep over the given test case: {!prepare}, a {!Pool}
     dispatch of {!run_point} over every pending point, {!summarize}.
 
-    [completed] injects results recovered from a checkpoint: their
-    points are skipped and the recovered results merged back in
-    expansion order, so a resumed sweep summarises exactly like an
-    uninterrupted one (wall clocks aside).  [on_point] is invoked once
-    per freshly executed point as it finishes — on the worker domain
-    that ran it, so the callback must be domain-safe; checkpoint
-    appends and service streaming hang off it.
+    [prune] (default false) runs {!prune_static} first: provably
+    unhealthy points are answered with {!pruned_result} instead of
+    being simulated, leaving every surviving point's result untouched
+    (the proof is a MUST analysis, so nothing healthy is ever
+    skipped).  [completed] injects results recovered from a
+    checkpoint: their points are skipped and the recovered results
+    merged back in expansion order, so a resumed sweep summarises
+    exactly like an uninterrupted one (wall clocks aside).  [on_point]
+    is invoked once per freshly executed (or pruned) point as it
+    finishes — on the worker domain that ran it, so the callback must
+    be domain-safe; checkpoint appends and service streaming hang off
+    it.
     @raise Invalid_argument on an invalid spec or output, or on a
     [completed] point index outside the expansion. *)

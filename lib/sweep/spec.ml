@@ -26,6 +26,7 @@ type t = {
   jobs : int option;
   reference : bool;
   nrmse_budget : float option;
+  amplitude_limit : float option;
   point_timeout : float option;
   axes : axis list;
   corners : corner list;
@@ -46,6 +47,7 @@ let default =
     jobs = None;
     reference = true;
     nrmse_budget = None;
+    amplitude_limit = None;
     point_timeout = None;
     axes = [];
     corners = [];
@@ -89,6 +91,10 @@ let diagnose s =
       (match s.nrmse_budget with
       | Some b when not (b > 0.0) ->
           err "AMS051" "nrmse_budget must be positive"
+      | Some _ | None -> None);
+      (match s.amplitude_limit with
+      | Some l when not (l > 0.0) ->
+          err "AMS051" "amplitude_limit must be positive"
       | Some _ | None -> None);
       (match s.point_timeout with
       | Some t when not (t > 0.0) ->
@@ -190,6 +196,9 @@ let to_string s =
   (match s.nrmse_budget with
   | Some v -> line "nrmse_budget %s" (fl v)
   | None -> ());
+  (match s.amplitude_limit with
+  | Some v -> line "amplitude_limit %s" (fl v)
+  | None -> ());
   (match s.point_timeout with
   | Some v -> line "point_timeout %s" (fl v)
   | None -> ());
@@ -288,6 +297,8 @@ let parse_line spec tokens =
       in
       { spec with reference }
   | "nrmse_budget" :: v :: [] -> { spec with nrmse_budget = Some (float_of v) }
+  | "amplitude_limit" :: v :: [] ->
+      { spec with amplitude_limit = Some (float_of v) }
   | "point_timeout" :: v :: [] ->
       { spec with point_timeout = Some (float_of v) }
   | "param" :: param :: range ->

@@ -46,6 +46,10 @@ type t = {
       (** accuracy watchdog: a point whose streaming NRMSE against the
           reference exceeds this budget is flagged unhealthy in the
           report (needs [reference]) *)
+  amplitude_limit : float option;
+      (** amplitude watchdog: a point whose output exceeds this |value|
+          is flagged unhealthy; it is also the budget the pre-flight
+          static pruner proves against ([--prune-static]) *)
   point_timeout : float option;
       (** per-point wall-clock budget in seconds: a point still running
           past it is aborted and flagged with a [Timeout] verdict

@@ -1,0 +1,274 @@
+(* Tests for the abstract interpreter: the soundness property (every
+   concrete trace value of a random program lies inside the proven
+   interval of its target, non-finite values only where the flags
+   allow them), the step-accurate MUST proof (whenever
+   [prove_unhealthy] claims a step, the concrete run really trips the
+   watchdog there), and the proven-constant facts pipeline into the
+   bytecode compiler (no facts — bit-identical; real facts — still
+   bit-identical, by the nonzero-constants-only rule). *)
+
+module Sfprogram = Amsvp_sf.Sfprogram
+module Compile = Amsvp_sf.Compile
+module Absint = Amsvp_analysis.Absint
+
+(* ---- random signal-flow programs ----
+
+   Shape: one input [u], targets [x0 .. x(k-1)] assigned in order.
+   Assignment [i] may read [u], earlier targets of the same step, and
+   1- or 2-delayed samples of any target — exactly the reference set
+   {!Sfprogram.make} validates, so generation never raises. *)
+
+let gen_const =
+  QCheck.Gen.oneofl
+    [ 0.0; 1.0; -1.0; 0.5; -0.75; 2.0; 1.0e-3; -1.0e-3; 12.5; 1.0e3;
+      -3.0e3; 1.0e10; -1.0e10; 0.1 ]
+
+let gen_fun =
+  QCheck.Gen.oneofl
+    [ Expr.Sin; Expr.Cos; Expr.Exp; Expr.Ln; Expr.Sqrt; Expr.Abs; Expr.Tanh ]
+
+(* [i] is the index of the assignment under construction; [k] the
+   total target count. *)
+let gen_expr ~i ~k =
+  let open QCheck.Gen in
+  let target j = Expr.signal (Printf.sprintf "x%d" j) in
+  let leaf =
+    frequency
+      [
+        (3, map Expr.const gen_const);
+        (2, return (Expr.var (Expr.signal "u")));
+        ( (if i > 0 then 2 else 0),
+          map (fun j -> Expr.var (target (j mod max 1 i))) (int_bound 7) );
+        ( 2,
+          map2
+            (fun j d -> Expr.var (Expr.delayed (target (j mod k)) (1 + (d mod 2))))
+            (int_bound 7) (int_bound 1) );
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            (2, map2 Expr.( + ) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 Expr.( - ) (self (depth - 1)) (self (depth - 1)));
+            (2, map2 Expr.( * ) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 Expr.( / ) (self (depth - 1)) (self (depth - 1)));
+            (1, map Expr.neg (self (depth - 1)));
+            (1, map2 (fun f a -> Expr.App (f, a)) gen_fun (self (depth - 1)));
+          ])
+    2
+
+let gen_program =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun k ->
+  let rec exprs i acc =
+    if i = k then return (List.rev acc)
+    else gen_expr ~i ~k >>= fun e -> exprs (i + 1) (e :: acc)
+  in
+  exprs 0 [] >|= fun es ->
+  let assignments =
+    List.mapi
+      (fun i e ->
+        { Sfprogram.target = Expr.signal (Printf.sprintf "x%d" i); expr = e })
+      es
+  in
+  Sfprogram.make ~name:"rand" ~inputs:[ "u" ]
+    ~outputs:[ Expr.signal (Printf.sprintf "x%d" (k - 1)) ]
+    ~assignments ~dt:1e-6
+
+(* A fixed input sequence inside the default [-1, 1] box. *)
+let gen_stimulus = QCheck.Gen.(array_size (return 48) (float_range (-1.0) 1.0))
+
+let gen_case =
+  QCheck.Gen.pair gen_program gen_stimulus
+  |> QCheck.make ~print:(fun (p, us) ->
+         Format.asprintf "%a@.inputs: %s" Sfprogram.pp p
+           (String.concat ", "
+              (Array.to_list (Array.map string_of_float us))))
+
+let nsteps = 48
+
+(* Run [p] concretely for [nsteps], returning per-step target values
+   (in assignment order) and the output trace. *)
+let concrete_trace p (us : float array) =
+  let r = Sfprogram.Runner.create p in
+  let targets = List.map (fun a -> a.Sfprogram.target) p.Sfprogram.assignments in
+  let rows = ref [] in
+  for k = 0 to nsteps - 1 do
+    Sfprogram.Runner.step r ~inputs:[| us.(k) |];
+    let row = List.map (fun t -> (t, Sfprogram.Runner.read r t)) targets in
+    rows := row :: !rows
+  done;
+  List.rev !rows
+
+let itv_of tgt (a : Absint.analysis) =
+  match List.assoc_opt tgt a.Absint.a_targets with
+  | Some i -> i
+  | None -> Alcotest.failf "no interval for %s" (Expr.var_name tgt)
+
+(* Soundness: every value a concrete run produces is inside the proven
+   interval of its target — NaN and infinities included, which is what
+   [Absint.mem] checks (a non-finite value is a member only when the
+   matching flag is set). *)
+let prop_analysis_sound =
+  QCheck.Test.make ~name:"analyze is sound on concrete traces" ~count:300
+    gen_case (fun (p, us) ->
+      let a = Absint.analyze p in
+      let rows = concrete_trace p us in
+      List.iter
+        (List.iter (fun (tgt, v) ->
+             let itv = itv_of tgt a in
+             if not (Absint.mem v itv) then
+               QCheck.Test.fail_reportf
+                 "%s produced %h outside its proven interval %s"
+                 (Expr.var_name tgt) v (Absint.to_string itv)))
+        rows;
+      (* the output interval additionally covers the initial 0 sample *)
+      let out = List.hd p.Sfprogram.outputs in
+      (match List.assoc_opt out a.Absint.a_outputs with
+      | Some itv when not (Absint.mem 0.0 itv) ->
+          QCheck.Test.fail_reportf
+            "output interval %s misses the initial sample"
+            (Absint.to_string itv)
+      | _ -> ());
+      true)
+
+(* MUST-proof soundness: when [prove_unhealthy] (fed the exact
+   singleton stimulus) claims step [b], the concrete run is really
+   unhealthy at step [b]. *)
+let prop_must_proof_sound =
+  QCheck.Test.make ~name:"prove_unhealthy never claims a healthy run"
+    ~count:300 gen_case (fun (p, us) ->
+      let amplitude = 1.0e6 in
+      let inputs k = [| Absint.const us.(min (k - 1) (nsteps - 1)) |] in
+      match
+        Absint.prove_unhealthy ~max_steps:nsteps ~amplitude ~inputs p
+      with
+      | None -> true
+      | Some bad ->
+          let rows = concrete_trace p us in
+          let out = List.hd p.Sfprogram.outputs in
+          let v = List.assoc out (List.nth rows (bad.Absint.b_step - 1)) in
+          let tripped =
+            match bad.Absint.b_kind with
+            | `Nonfinite -> not (Float.is_finite v)
+            | `Amplitude ->
+                (not (Float.is_finite v)) || Float.abs v > amplitude
+          in
+          if not tripped then
+            QCheck.Test.fail_reportf
+              "claimed %s at step %d but the concrete output is %h"
+              (match bad.Absint.b_kind with
+              | `Nonfinite -> "nonfinite"
+              | `Amplitude -> "amplitude")
+              bad.Absint.b_step v;
+          true)
+
+(* ---- proven-constant facts into the bytecode compiler ---- *)
+
+let same_float a b =
+  (Float.is_nan a && Float.is_nan b) || Float.equal a b
+
+let trace_with ?facts p us =
+  let compiled = Sfprogram.compile ?facts p in
+  let r = Sfprogram.Runner.create ~compiled p in
+  Array.map
+    (fun u ->
+      Sfprogram.Runner.step r ~inputs:[| u |];
+      Sfprogram.Runner.output r 0)
+    us
+
+(* Strengthening the compiler with the facts the analysis proved must
+   not move a single bit of the trace: facts are finite nonzero
+   constants, so every fold the optimizer performs computes the very
+   double the runtime would have. *)
+let prop_facts_bit_identical =
+  QCheck.Test.make ~name:"constant facts leave traces bit-identical"
+    ~count:300 gen_case (fun (p, us) ->
+      let base = trace_with p us in
+      let empty = trace_with ~facts:[] p us in
+      let facts = Absint.constant_facts (Absint.analyze p) in
+      let strengthened = trace_with ~facts p us in
+      Array.iteri
+        (fun i v ->
+          if not (same_float v empty.(i)) then
+            QCheck.Test.fail_reportf "empty facts moved step %d: %h vs %h" i v
+              empty.(i);
+          if not (same_float v strengthened.(i)) then
+            QCheck.Test.fail_reportf
+              "facts %s moved step %d: %h vs %h"
+              (String.concat ","
+                 (List.map
+                    (fun (s, c) -> Printf.sprintf "%d=%g" s c)
+                    facts))
+              i v strengthened.(i))
+        base;
+      true)
+
+(* ---- domain unit checks ---- *)
+
+let test_domain_basics () =
+  let open Absint in
+  Alcotest.(check bool) "const 1 is singleton" true
+    (singleton (const 1.0) = Some 1.0);
+  Alcotest.(check bool) "nan const has flag" true (const Float.nan).nan;
+  Alcotest.(check bool) "div by zero-crossing may blow up" true
+    (may_non_finite (div (const 1.0) (interval (-1.0) 1.0)));
+  Alcotest.(check bool) "div by zero is definitely non-finite" true
+    (definitely_non_finite (div (const 1.0) (const 0.0)));
+  Alcotest.(check bool) "join covers both" true
+    (let j = join (const 1.0) (const 3.0) in
+     mem 1.0 j && mem 3.0 j && mem 2.0 j);
+  Alcotest.(check bool) "widen is extensive" true
+    (leq (join (const 1.0) (const 3.0))
+       (widen (const 1.0) (join (const 1.0) (const 3.0))));
+  (match definitely_unhealthy ~amplitude:10.0 (interval 20.0 30.0) with
+  | Some `Amplitude -> ()
+  | _ -> Alcotest.fail "amplitude breach not proven");
+  (match definitely_unhealthy ~amplitude:10.0 (interval 5.0 30.0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "healthy value still possible — nothing provable");
+  Alcotest.(check bool) "mem respects flags" false
+    (mem Float.infinity (interval 0.0 1.0))
+
+let test_constant_facts_exclude_zero () =
+  (* x0 = 0 constant must not become a fact (signed-zero hazard); a
+     nonzero constant must. *)
+  let p =
+    Sfprogram.make ~name:"c" ~inputs:[ "u" ]
+      ~outputs:[ Expr.signal "x1" ]
+      ~assignments:
+        [
+          { Sfprogram.target = Expr.signal "x0"; expr = Expr.const 0.0 };
+          {
+            Sfprogram.target = Expr.signal "x1";
+            expr = Expr.(const 2.5 + var (Expr.signal "u") * const 0.0);
+          };
+        ]
+      ~dt:1e-6
+  in
+  let facts = Absint.constant_facts (Absint.analyze p) in
+  let layout = Sfprogram.layout_of p in
+  let slot v = Sfprogram.layout_slot layout v in
+  Alcotest.(check bool) "x0 = 0 excluded" false
+    (List.mem_assoc (slot (Expr.signal "x0")) facts);
+  Alcotest.(check bool) "x1 = 2.5 proven" true
+    (List.assoc_opt (slot (Expr.signal "x1")) facts = Some 2.5)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "absint"
+    [
+      ("domain",
+        [
+          Alcotest.test_case "basics" `Quick test_domain_basics;
+          Alcotest.test_case "facts exclude zero" `Quick
+            test_constant_facts_exclude_zero;
+        ] );
+      ( "soundness",
+        qt [ prop_analysis_sound; prop_must_proof_sound ] );
+      ("facts", qt [ prop_facts_bit_identical ]);
+    ]

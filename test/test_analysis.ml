@@ -131,7 +131,18 @@ let test_stability_warning () =
      cp _build/default/test/fixtures/*.golden test/fixtures/
 *)
 
-let golden_fixtures = [ "lint_showcase"; "lint_unused"; "lint_ordering" ]
+(* [(base, amplitude_budget)] — the budget feeds the AMS063 pass for
+   the fixtures that exercise it. *)
+let golden_fixtures =
+  [
+    ("lint_showcase", None);
+    ("lint_unused", None);
+    ("lint_ordering", None);
+    ("absint_div0", None);
+    ("absint_nonfinite", None);
+    ("absint_const", None);
+    ("absint_amplitude", Some 5.0);
+  ]
 
 (* [dune runtest] runs from the test directory, [dune exec] from the
    project root: resolve fixtures next to the executable, where dune
@@ -148,12 +159,14 @@ let read_file path =
 let test_golden_baselines () =
   let regen = Sys.getenv_opt "AMSVP_GOLDEN_REGEN" = Some "1" in
   List.iter
-    (fun base ->
+    (fun (base, amplitude_budget) ->
       let vams = Filename.concat fixture_dir (base ^ ".vams") in
       let golden = Filename.concat fixture_dir (base ^ ".golden") in
       let report =
         Diag.report_to_text
-          (Lint.lint ~file:("fixtures/" ^ base ^ ".vams") (read_file vams))
+          (Lint.lint ?amplitude_budget
+             ~file:("fixtures/" ^ base ^ ".vams")
+             (read_file vams))
         ^ "\n"
       in
       if regen then begin

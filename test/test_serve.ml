@@ -13,6 +13,7 @@ module Procpool = Amsvp_serve.Procpool
 module Daemon = Amsvp_serve.Daemon
 module Client = Amsvp_serve.Client
 module Health = Amsvp_probe.Health
+module Diag = Amsvp_diag.Diag
 module Json = Amsvp_util.Json
 module Journal = Amsvp_obs.Journal
 module Obs = Amsvp_obs.Obs
@@ -146,6 +147,28 @@ let test_simple_frames_roundtrip () =
           complete = false;
         };
       Protocol.Failed { message = "bad spec: line 2" };
+      Protocol.Rejected
+        {
+          message = "value-range screen rejected the sweep: 1 error(s)";
+          findings =
+            [
+              {
+                Diag.code = "AMS060";
+                severity = Diag.Error;
+                message = "division by a provably-zero quantity";
+                span = Some (Diag.span ~file:"m.vams" 4 12);
+                subject = Some "V(out,gnd)";
+              };
+              {
+                Diag.code = "AMS063";
+                severity = Diag.Warning;
+                message = "bound exceeds the amplitude budget";
+                span = None;
+                subject = None;
+              };
+            ];
+        };
+      Protocol.Rejected { message = "gate refused"; findings = [] };
       Protocol.Pong;
       Protocol.Stats_reply
         {
@@ -831,6 +854,76 @@ let test_daemon_timeout_counters () =
       | Unix.WEXITED n -> Alcotest.failf "daemon exited %d" n
       | _ -> Alcotest.fail "daemon killed"
 
+(* A daemon under --werror must answer a submit whose value-range
+   screen errors with a structured [Rejected] frame carrying the
+   diagnostics — and keep serving: the worker never crashes, later
+   requests (including a clean sweep) still succeed. *)
+let test_daemon_werror_rejection () =
+  let sock = tmp (Printf.sprintf "amsvp_serve_we_%d.sock" (Unix.getpid ())) in
+  if Sys.file_exists sock then Sys.remove sock;
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Daemon.serve
+           {
+             (Daemon.default_config ~socket_path:sock) with
+             workers = 2;
+             werror = true;
+           }
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      wait_for_socket sock;
+      let c = Client.connect sock in
+      (* An absurdly small amplitude budget: the interpreter proves the
+         output bound exceeds it (AMS063, a warning), werror upgrades
+         it to an error, the screen rejects the submit. *)
+      let doomed =
+        { small_spec with Spec.name = "doomed"; amplitude_limit = Some 1e-9 }
+      in
+      (match Client.submit c ~spec_text:(Spec.to_string doomed) () with
+      | Ok (Protocol.Rejected { message; findings }) ->
+          Alcotest.(check bool) "message names the screen" true
+            (String.length message > 0);
+          Alcotest.(check bool) "findings delivered" true (findings <> []);
+          Alcotest.(check bool) "AMS063 among them" true
+            (List.exists (fun f -> f.Diag.code = "AMS063") findings);
+          List.iter
+            (fun f ->
+              Alcotest.(check bool) "every finding has a registered code"
+                true
+                (Diag.is_code f.Diag.code))
+            findings
+      | Ok r ->
+          Alcotest.failf "expected rejection, got %s"
+            (Protocol.encode_response r)
+      | Error m -> Alcotest.failf "submit: %s" m);
+      (* Daemon must still be alive and serving. *)
+      Client.send c Protocol.Ping;
+      (match Client.recv c with
+      | Ok Protocol.Pong -> ()
+      | _ -> Alcotest.fail "daemon dead after rejection");
+      (* A clean spec (no amplitude budget ⇒ no AMS063) still runs. *)
+      let expected = Spec.point_count small_spec in
+      (match Client.submit c ~spec_text:(Spec.to_string small_spec) () with
+      | Ok (Protocol.Done { points; complete; _ }) ->
+          Alcotest.(check int) "clean sweep ran" expected points;
+          Alcotest.(check bool) "complete" true complete
+      | Ok r ->
+          Alcotest.failf "unexpected final frame %s"
+            (Protocol.encode_response r)
+      | Error m -> Alcotest.failf "clean submit: %s" m);
+      Client.send c Protocol.Shutdown;
+      (match Client.recv c with
+      | Ok Protocol.Bye -> ()
+      | _ -> Alcotest.fail "expected bye");
+      Client.close c;
+      let _, status = Unix.waitpid [] pid in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED n -> Alcotest.failf "daemon exited %d" n
+      | _ -> Alcotest.fail "daemon killed")
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "serve"
@@ -876,5 +969,7 @@ let () =
           Alcotest.test_case "end-to-end session" `Quick test_daemon_session;
           Alcotest.test_case "timeout counters surfaced" `Quick
             test_daemon_timeout_counters;
+          Alcotest.test_case "werror rejection is structured, daemon survives"
+            `Quick test_daemon_werror_rejection;
         ] );
     ]

@@ -33,6 +33,7 @@ let rich_spec =
     jobs = Some 2;
     reference = false;
     nrmse_budget = Some 0.25;
+    amplitude_limit = Some 50.0;
     point_timeout = Some 30.0;
     axes =
       [
@@ -495,6 +496,90 @@ let test_nrmse_budget_watchdog () =
   let loose = run 0.5 in
   Alcotest.(check int) "loose budget is quiet" 0 loose.Runner.unhealthy
 
+(* Static pruning: on an RC low-pass swept across a resistance decade,
+   a 0.5 V amplitude limit is provably breached at the low-R end. The
+   pruned run must (a) skip exactly the points the unpruned run flags
+   amplitude-unhealthy — the proof is MUST, never a guess — and (b)
+   leave every surviving point's result byte-identical. *)
+let prune_spec =
+  {
+    Spec.default with
+    Spec.name = "rc_prune";
+    circuit = Some "RC1";
+    stimulus = Some (Spec.Sine { freq = 2e3; amplitude = 1.0 });
+    t_stop = Some 2e-3;
+    reference = false;
+    amplitude_limit = Some 0.5;
+    axes =
+      [
+        { Spec.param = "r1.r"; range = Spec.Grid { lo = 1e3; hi = 1e6; n = 6 } };
+      ];
+  }
+
+let test_prune_static_sound_and_deterministic () =
+  let tc = Option.get (Circuits.by_name "RC1") in
+  let plain = Runner.run prune_spec tc in
+  let pruned = Runner.run ~prune:true prune_spec tc in
+  Alcotest.(check int) "same expansion" (Array.length plain.Runner.points)
+    (Array.length pruned.Runner.points);
+  Alcotest.(check int) "nothing pruned without the flag" 0
+    plain.Runner.pruned;
+  Alcotest.(check bool) "something was pruned" true (pruned.Runner.pruned > 0);
+  let is_pruned (r : Runner.point_result) =
+    List.exists
+      (fun (i : Health.issue) -> i.Health.kind = Health.Pruned)
+      r.Runner.health.Health.v_issues
+  in
+  let amplitude_unhealthy (r : Runner.point_result) =
+    List.exists
+      (fun (i : Health.issue) -> i.Health.kind = Health.Amplitude)
+      r.Runner.health.Health.v_issues
+  in
+  Array.iteri
+    (fun i (r : Runner.point_result) ->
+      let full = plain.Runner.points.(i) in
+      if is_pruned r then begin
+        (* soundness: the simulated run really trips the watchdog *)
+        Alcotest.(check bool)
+          (Printf.sprintf "pruned point %d is truly unhealthy" i)
+          true
+          (amplitude_unhealthy full);
+        Alcotest.(check bool) "pruned verdict is distinct" false
+          (amplitude_unhealthy r)
+      end
+      else begin
+        (* survivors: value results byte-identical to the plain run *)
+        Alcotest.(check bool)
+          (Printf.sprintf "survivor %d 's values untouched" i)
+          true
+          (Float.equal full.Runner.out_final r.Runner.out_final
+          && Float.equal full.Runner.out_rms r.Runner.out_rms
+          && full.Runner.health.Health.v_healthy
+             = r.Runner.health.Health.v_healthy)
+      end)
+    pruned.Runner.points;
+  (* summary accounting: pruned points are a subset of unhealthy *)
+  Alcotest.(check bool) "pruned counted unhealthy" true
+    (pruned.Runner.unhealthy >= pruned.Runner.pruned);
+  (* determinism: pruning twice gives the identical report *)
+  let again = Runner.run ~prune:true prune_spec tc in
+  Alcotest.(check string) "prune is deterministic"
+    (Report.json ~timings:false pruned)
+    (Report.json ~timings:false again);
+  (* the report surfaces the verdict and the counter *)
+  let json = Report.json ~timings:false pruned in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json counts pruned" true
+    (contains json (Printf.sprintf "\"pruned\": %d" pruned.Runner.pruned));
+  Alcotest.(check bool) "json carries the verdict" true
+    (contains json "\"kind\":\"pruned\"");
+  Alcotest.(check bool) "csv carries the verdict" true
+    (contains (Report.csv ~timings:false pruned) "pruned@")
+
 let () =
   Alcotest.run "sweep"
     [
@@ -537,6 +622,8 @@ let () =
           Alcotest.test_case "report outputs" `Quick test_report_outputs;
           Alcotest.test_case "fast-fail on bad model" `Quick
             test_fast_fail_diagnoses_once;
+          Alcotest.test_case "static pruning sound and deterministic" `Quick
+            test_prune_static_sound_and_deterministic;
         ] );
       ( "health",
         [
