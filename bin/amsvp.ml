@@ -154,6 +154,14 @@ let integration_arg =
   Arg.(value & opt (enum kinds) `Backward_euler & info [ "integration" ]
        ~doc:"Integration rule: $(b,backward-euler) or $(b,trapezoidal).")
 
+let fidelity_arg =
+  let kinds = [ ("paper", `Paper); ("fast", `Fast) ] in
+  Arg.(value & opt (enum kinds) `Paper & info [ "fidelity" ]
+       ~doc:"Conservative solver cost model: $(b,paper) (faithful SPICE \
+             structure, bit-identical to previous releases) or $(b,fast) \
+             (reused sparse factors, Newton early-exit, adaptive \
+             substepping; bounded error, much faster).")
+
 let lang_arg =
   let langs = [ ("verilog-ams", `Verilog); ("vhdl-ams", `Vhdl) ] in
   Arg.(value & opt (enum langs) `Verilog & info [ "lang" ]
@@ -231,6 +239,7 @@ let abstract_model file top output dt mode integration lang inputs =
             nodes = List.length flat.Elaborate.nets;
             branches = List.length flat.Elaborate.contributions;
             classes = 0;
+            fidelity = `Paper;
             variants = 0;
             definitions = List.length contributions;
             explain = Explain.of_signal_flow program;
@@ -366,8 +375,8 @@ let probe_export (_, vcd_out, wave_out, _) = function
       | None -> ())
 
 let simulate_cmd =
-  let run obscfg file top output dt mode integration lang inputs from_program
-      moc engine t_stop (period, low, high) samples probecfg =
+  let run obscfg file top output dt mode integration fidelity lang inputs
+      from_program moc engine t_stop (period, low, high) samples probecfg =
     with_obs obscfg @@ fun () ->
     with_frontend_errors ~file (fun () ->
         let p =
@@ -413,8 +422,8 @@ let simulate_cmd =
                          ~t_stop)
                         .Wrap.trace
                   | _ ->
-                      (Engine.spice_like ?observe circuit ~inputs ~output ~dt
-                         ~t_stop)
+                      (Engine.spice_like ~fidelity ?observe circuit ~inputs
+                         ~output ~dt ~t_stop)
                         .Engine.trace))
         in
         probe_export probecfg probes;
@@ -428,7 +437,7 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Simulate a Verilog-AMS or VHDL-AMS model under a chosen MoC.")
     Term.(const run $ obs_flags $ file_arg $ top_arg $ out_arg $ dt_arg
-          $ mode_arg $ integration_arg $ lang_arg $ inputs_arg
+          $ mode_arg $ integration_arg $ fidelity_arg $ lang_arg $ inputs_arg
           $ from_program_arg $ moc_arg $ engine_arg $ t_stop_arg $ square_arg
           $ samples_arg $ probe_args)
 
@@ -696,9 +705,17 @@ let axis_conv =
     ( parse_axis,
       fun ppf (a : Spec.axis) -> Format.pp_print_string ppf a.Spec.param )
 
+let fidelity_opt_arg =
+  let kinds = [ ("paper", `Paper); ("fast", `Fast) ] in
+  Arg.(value & opt (some (enum kinds)) None & info [ "fidelity" ]
+       ~doc:"Reference-engine cost model: $(b,paper) (faithful) or $(b,fast) \
+             (reused sparse factors, Newton early-exit; bounded error). \
+             Overrides the spec's $(b,fidelity) directive; defaults to the \
+             spec (and ultimately to paper).")
+
 let sweep_cmd =
   let run obscfg spec_file circuit file top lang inputs out_str axes samples
-      seed jobs t_stop dt square sine mode integration no_reference
+      seed jobs t_stop dt square sine mode integration fidelity no_reference
       report_out checkpoint resume point_timeout prune_static amplitude_limit
       =
     with_obs obscfg @@ fun () ->
@@ -738,6 +755,7 @@ let sweep_cmd =
         seed = (match seed with Some n -> n | None -> spec.Spec.seed);
         jobs = opt_override jobs spec.Spec.jobs;
         reference = (if no_reference then false else spec.Spec.reference);
+        fidelity = opt_override fidelity spec.Spec.fidelity;
         amplitude_limit =
           opt_override amplitude_limit spec.Spec.amplitude_limit;
         point_timeout = opt_override point_timeout spec.Spec.point_timeout;
@@ -977,15 +995,16 @@ let sweep_cmd =
           $ sweep_top_arg $ lang_arg $ inputs_arg $ sweep_out_arg $ params_arg
           $ samples_arg $ seed_arg $ jobs_arg $ t_stop_opt $ dt_opt
           $ square_opt $ sine_opt $ mode_opt $ integration_opt
-          $ no_reference_arg $ report_out_arg $ checkpoint_arg $ resume_arg
-          $ point_timeout_arg $ prune_static_arg $ amplitude_limit_arg)
+          $ fidelity_opt_arg $ no_reference_arg $ report_out_arg
+          $ checkpoint_arg $ resume_arg $ point_timeout_arg $ prune_static_arg
+          $ amplitude_limit_arg)
 
 (* serve / submit *)
 
 let serve_cmd =
   let run socket workers checkpoint_dir point_timeout retries journal_out
       journal_max_bytes journal_keep obs metrics_out metrics_every trace_out
-      werror =
+      werror fidelity =
     if obs || metrics_out <> None || trace_out <> None then Obs.enable ();
     (match journal_out with
     | Some path ->
@@ -1011,6 +1030,7 @@ let serve_cmd =
         metrics_every_s = metrics_every;
         trace_out;
         werror;
+        fidelity;
       }
     in
     Daemon.serve cfg;
@@ -1094,6 +1114,13 @@ let serve_cmd =
                    with a structured $(b,rejected) reply instead of \
                    running.")
   in
+  let serve_fidelity_arg =
+    let kinds = [ ("paper", `Paper); ("fast", `Fast) ] in
+    Arg.(value & opt (some (enum kinds)) None & info [ "fidelity" ]
+         ~doc:"Default reference-engine cost model for submitted specs that \
+               carry no $(b,fidelity) directive of their own (the directive \
+               always wins): $(b,paper) or $(b,fast).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the sweep service: a daemon on a Unix-domain socket that \
@@ -1104,7 +1131,7 @@ let serve_cmd =
           $ point_timeout_arg $ retries_arg $ journal_out_arg
           $ journal_max_bytes_arg $ journal_keep_arg $ obs_arg
           $ metrics_out_arg $ metrics_every_arg $ trace_out_arg
-          $ serve_werror_arg)
+          $ serve_werror_arg $ serve_fidelity_arg)
 
 let submit_cmd =
   (* One human-readable status line from a stats reply, for --watch. *)

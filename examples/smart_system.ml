@@ -74,7 +74,7 @@ let () =
         (if String.length bytes > 60 then String.sub bytes 0 60 ^ "..."
          else bytes))
     [
-      Platform.Cosim { rtl_grain = false; substeps = 8; iterations = 3 };
+      Platform.Cosim { rtl_grain = false; substeps = 8; iterations = 3; fidelity = `Paper };
       Platform.Eln;
       Platform.Tdf;
       Platform.De_model;

@@ -2,6 +2,15 @@ type mode = [ `Exact | `Relaxed | `Auto ]
 
 type integration = [ `Backward_euler | `Trapezoidal ]
 
+type fidelity = [ `Paper | `Fast ]
+
+let fidelity_to_string = function `Paper -> "paper" | `Fast -> "fast"
+
+let fidelity_of_string = function
+  | "paper" -> Ok `Paper
+  | "fast" -> Ok `Fast
+  | s -> Error (Printf.sprintf "unknown fidelity %S (expected paper or fast)" s)
+
 let auto_threshold = 16
 
 exception Nonlinear of Expr.var

@@ -47,6 +47,20 @@ exception Nonlinear of Expr.var
 exception Underdetermined of string
 (** The assembled system is numerically singular. *)
 
+type fidelity = [ `Paper | `Fast ]
+(** Cost model of the conservative reference engine downstream stages
+    simulate against (the structural vocabulary shared by the flow
+    report, sweep specs, the daemon and the CLI): [`Paper] reproduces
+    the SPICE cost structure of the source paper bit-identically;
+    [`Fast] solves the same equations with reused sparse factors,
+    Newton early-exit and adaptive substepping — bounded-error, much
+    faster (see {!Amsvp_mna.Engine.spice_like}). *)
+
+val fidelity_to_string : fidelity -> string
+(** ["paper"] / ["fast"] — the sweep-spec and CLI spelling. *)
+
+val fidelity_of_string : string -> (fidelity, string) result
+
 type integration = [ `Backward_euler | `Trapezoidal ]
 (** Integration rule used when discretising (default backward Euler).
     Trapezoidal integration gives second-order accuracy: state updates

@@ -10,9 +10,14 @@
 type solution
 
 val operating_point :
-  ?inputs:(string * float) list -> Amsvp_netlist.Circuit.t -> solution
+  ?solver:[ `Dense | `Sparse ] ->
+  ?inputs:(string * float) list ->
+  Amsvp_netlist.Circuit.t ->
+  solution
 (** [inputs] gives the DC level of each external input signal
-    (default 0).
+    (default 0). [solver] selects the linear-algebra back-end
+    (default [`Dense]; [`Sparse] factors with {!Sparse} and must
+    agree with the dense path to rounding).
     @raise Invalid_argument on invalid circuits or missing inputs
     @raise Matrix.Singular on ill-posed networks
     @raise Failure if the piecewise-linear region iteration does not

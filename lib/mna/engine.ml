@@ -92,7 +92,9 @@ let input_fun inputs =
     | Some f -> f t
     | None -> invalid_arg ("Engine: no stimulus bound to input " ^ name)
 
-let spice_like ?(substeps = 8) ?(iterations = 3) ?observe circuit ~inputs
+(* The faithful paper-cost-model path. This body is kept byte-for-byte
+   the pre-fidelity [spice_like]: `Paper must stay bit-identical. *)
+let spice_like_paper ?(substeps = 8) ?(iterations = 3) ?observe circuit ~inputs
     ~output ~dt ~t_stop =
   check_args ~dt ~t_stop;
   if substeps < 1 || iterations < 1 then
@@ -290,6 +292,344 @@ let spice_like ?(substeps = 8) ?(iterations = 3) ?observe circuit ~inputs
     newton;
   }
 
+(* Shared factor cache of the fast fidelity path: the sparse symbolic
+   factorisation is computed once per topology, and the numeric factors
+   are reused across Newton passes and substeps until the timestep or
+   the piecewise-linear region selection changes. A numerically stale
+   pivot (Sparse.Singular out of [refactor]) triggers one re-analysis
+   with fresh pivoting before the failure is surfaced with the same
+   [Matrix.Singular] diagnostics as the paper path. *)
+module Fast_cache = struct
+  type t = {
+    n : int;
+    sys : System.t;
+    npwl : int;
+    mutable symbolic : Sparse.symbolic option;
+    mutable lu : Sparse.lu option;
+    mutable h : float;
+    regions : bool array;  (* region selection the cached LU was stamped with *)
+    scratch : bool array;
+  }
+
+  let create sys =
+    {
+      n = System.size sys;
+      sys;
+      npwl = System.pwl_count sys;
+      symbolic = None;
+      lu = None;
+      h = nan;
+      regions = Array.make (System.pwl_count sys) false;
+      scratch = Array.make (System.pwl_count sys) false;
+    }
+
+  let bools_equal a b npwl =
+    let ok = ref true in
+    for i = 0 to npwl - 1 do
+      if a.(i) <> b.(i) then ok := false
+    done;
+    !ok
+
+  let refactor_with c triplets =
+    match c.symbolic with
+    | Some sym -> (
+        try Sparse.refactor sym triplets
+        with Sparse.Singular _ ->
+          (* Reused pivots went numerically stale: re-analyze with
+             fresh pivoting and retry once. *)
+          let sym = Sparse.analyze ~n:c.n triplets in
+          c.symbolic <- Some sym;
+          Sparse.refactor sym triplets)
+    | None ->
+        let sym = Sparse.analyze ~n:c.n triplets in
+        c.symbolic <- Some sym;
+        Sparse.refactor sym triplets
+
+  (* Factors for the system stamped at [state] with timestep [h],
+     reusing the cached LU when neither changed anything the stamp
+     depends on. [on_stamp] is the device-evaluation counter hook;
+     [on_singular] runs before the error is re-raised. *)
+  let factor c ~state ~h ~on_stamp ~on_factor ~on_singular =
+    System.pwl_regions_into c.sys state ~regions:c.scratch;
+    match c.lu with
+    | Some lu when c.h = h && bools_equal c.scratch c.regions c.npwl -> lu
+    | _ ->
+        let triplets = System.stamp_triplets ~state c.sys ~h in
+        on_stamp ();
+        let lu =
+          try refactor_with c triplets
+          with Sparse.Singular k ->
+            on_singular k;
+            raise (Matrix.Singular k)
+        in
+        on_factor ();
+        c.h <- h;
+        Array.blit c.scratch 0 c.regions 0 c.npwl;
+        c.lu <- Some lu;
+        lu
+
+  (* Does [state] select the same regions as the cached LU was stamped
+     with? Vacuously true for a linear network. *)
+  let regions_stable c state =
+    if c.npwl = 0 then true
+    else begin
+      System.pwl_regions_into c.sys state ~regions:c.scratch;
+      bools_equal c.scratch c.regions c.npwl
+    end
+end
+
+(* Substep controller thresholds for the fast path: refine (double the
+   substep count and redo the reporting step) when the second-difference
+   LTE proxy crosses [lte_refine] or a substep is dt-stressed; relax
+   (halve) when the whole step stayed comfortably below the band. *)
+let lte_refine = 0.05
+let lte_relax = lte_refine /. 8.0
+
+let spice_like_fast ~substeps ~iterations ?observe circuit ~inputs ~output ~dt
+    ~t_stop =
+  check_args ~dt ~t_stop;
+  Obs.with_span ~cat:"mna" "mna.spice_like" @@ fun () ->
+  let sys = System.build circuit in
+  let n = System.size sys in
+  let input_at = input_fun inputs in
+  let nsteps = int_of_float (Float.round (t_stop /. dt)) in
+  let nonlinear = System.has_pwl sys in
+  let x = ref (Array.make n 0.0) in
+  (* State one substep back, for the second-difference LTE estimate. *)
+  let xm1 = ref (Array.make n 0.0) in
+  let rhs = Array.make n 0.0 in
+  let trace = Trace.create ~capacity:(nsteps + 1) () in
+  let device_evals = ref 0 and factorizations = ref 0 and solves = ref 0 in
+  let rhs_builds = ref 0 in
+  let jn = Journal.enabled () in
+  (* Unlike the paper path, every control quantity here (update norm,
+     stress, LTE, pivot range) is computed unconditionally: the update
+     norm is the early-exit test and stress/LTE drive the substep
+     controller, so the journal can only change what is emitted, never
+     the numerics — journal-off runs are step-identical to journal-on. *)
+  let total_iters = ref 0 in
+  let max_residual = ref 0.0 in
+  let pivot_min = ref infinity and pivot_max = ref 0.0 in
+  let dt_stress = ref 0.0 and stressed_substeps = ref 0 in
+  let cache = Fast_cache.create sys in
+  let nsub = ref substeps in
+  let reader v = System.output_value sys v !x in
+  Trace.add trace ~time:0.0 ~value:(System.output_value sys output !x);
+  (match observe with None -> () | Some f -> f 0.0 reader);
+  for step = 1 to nsteps do
+    let t_base = float_of_int (step - 1) *. dt in
+    let x_save = !x and xm1_save = !xm1 in
+    let step_residual = ref 0.0 in
+    let step_converged_at = ref 0 in
+    let step_passes = ref 0 in
+    let step_stress = ref 0.0 in
+    let step_lte = ref 0.0 in
+    let step_nsub = ref !nsub in
+    let retry = ref true in
+    while !retry do
+      retry := false;
+      step_residual := 0.0;
+      step_converged_at := 0;
+      step_stress := 0.0;
+      step_lte := 0.0;
+      let ns = !nsub in
+      step_nsub := ns;
+      let h = dt /. float_of_int ns in
+      let aborted = ref false in
+      let sub = ref 1 in
+      while (not !aborted) && !sub <= ns do
+        (* As in the paper path, the last substep lands exactly on the
+           reporting instant. *)
+        let t =
+          if !sub = ns then float_of_int step *. dt
+          else t_base +. (float_of_int !sub *. h)
+        in
+        let input = input_at t in
+        (* The RHS depends only on the substep-start state and the
+           input, so one build serves every Newton pass. *)
+        System.stamp_rhs sys ~h ~state:!x ~input ~rhs;
+        incr rhs_builds;
+        let x_next = ref !x in
+        let converged_at = ref 0 in
+        let last_delta = ref infinity in
+        (* A linear network needs exactly one pass: the matrix does not
+           depend on the state, so the first solve is the solution. *)
+        let max_iters = if nonlinear then iterations else 1 in
+        let iter = ref 0 in
+        let stop = ref false in
+        while (not !stop) && !iter < max_iters do
+          incr iter;
+          let lu =
+            Fast_cache.factor cache ~state:!x_next ~h
+              ~on_stamp:(fun () -> incr device_evals)
+              ~on_factor:(fun () -> incr factorizations)
+              ~on_singular:(fun k ->
+                if jn then
+                  Journal.emit ~severity:Journal.Error ~step ~time:t
+                    ~cat:"mna" "singular_pivot"
+                    [ ("column", Journal.I k); ("dim", Journal.I n) ])
+          in
+          let prev = !x_next in
+          x_next := Sparse.lu_solve lu rhs;
+          incr solves;
+          incr total_iters;
+          incr step_passes;
+          let mn, mx = Sparse.pivot_range lu in
+          if mn < !pivot_min then pivot_min := mn;
+          if mx > !pivot_max then pivot_max := mx;
+          let delta = ref 0.0 and scale = ref 0.0 in
+          let xn = !x_next in
+          for i = 0 to n - 1 do
+            let d = abs_float (xn.(i) -. prev.(i)) in
+            if d > !delta then delta := d;
+            let m = abs_float xn.(i) in
+            if m > !scale then scale := m
+          done;
+          last_delta := !delta;
+          (* Early exit: update norm inside tolerance AND the region
+             selection the LU was stamped with still matches the new
+             iterate — otherwise another pass re-stamps. *)
+          if
+            !delta <= (newton_rtol *. !scale) +. newton_atol
+            && Fast_cache.regions_stable cache xn
+          then begin
+            converged_at := !iter;
+            stop := true
+          end
+        done;
+        if jn then Obs.Histogram.observe h_newton_residual !last_delta;
+        if !last_delta > !max_residual then max_residual := !last_delta;
+        step_residual := !last_delta;
+        step_converged_at := !converged_at;
+        (* Stress (relative motion over this substep) and the LTE proxy
+           (scaled second difference, ~ h^2/2 * |x''|). *)
+        let stress = ref 0.0 and lte = ref 0.0 in
+        let x0 = !x and x1 = !x_next and xm = !xm1 in
+        for i = 0 to n - 1 do
+          let m = Float.max (abs_float x0.(i)) (abs_float x1.(i)) in
+          if m > newton_atol then begin
+            let r = abs_float (x1.(i) -. x0.(i)) /. m in
+            if r > !stress then stress := r;
+            let l =
+              abs_float (x1.(i) -. (2.0 *. x0.(i)) +. xm.(i)) /. (2.0 *. m)
+            in
+            if l > !lte then lte := l
+          end
+        done;
+        if !stress > !step_stress then step_stress := !stress;
+        if !lte > !step_lte then step_lte := !lte;
+        if (!lte > lte_refine || !stress > stress_threshold) && ns < substeps
+        then
+          (* Over the error band and refinement headroom remains: abort
+             and redo the whole reporting step with more substeps. *)
+          aborted := true
+        else begin
+          if !stress > !dt_stress then dt_stress := !stress;
+          if !stress > stress_threshold then incr stressed_substeps;
+          xm1 := !x;
+          x := !x_next;
+          incr sub
+        end
+      done;
+      if !aborted then begin
+        x := x_save;
+        xm1 := xm1_save;
+        nsub := min substeps (ns * 2);
+        retry := true
+      end
+      else if
+        !step_lte < lte_relax
+        && !step_stress < stress_threshold /. 2.0
+        && ns > 1
+      then nsub := ns / 2
+    done;
+    Obs.Histogram.observe h_solver_passes (float_of_int !step_passes);
+    let t_report = float_of_int step *. dt in
+    if jn then
+      Journal.emit ~step ~time:t_report ~cat:"mna" "newton.step"
+        [
+          ("residual", Journal.F !step_residual);
+          ("converged_at", Journal.I !step_converged_at);
+          ("wasted", Journal.I 0);
+          ("stress", Journal.F !step_stress);
+          ("nsub", Journal.I !step_nsub);
+        ];
+    Trace.add trace ~time:t_report ~value:(System.output_value sys output !x);
+    match observe with None -> () | Some f -> f t_report reader
+  done;
+  Obs.Counter.add c_steps nsteps;
+  Obs.Counter.add c_device_evals !device_evals;
+  Obs.Counter.add c_factorizations !factorizations;
+  Obs.Counter.add c_solves !solves;
+  Obs.Counter.add c_rhs_builds !rhs_builds;
+  Obs.Gauge.set g_matrix_dim (float_of_int n);
+  let pivot_ratio =
+    if !pivot_min > 0.0 && !pivot_min < infinity then !pivot_max /. !pivot_min
+    else infinity
+  in
+  if jn then begin
+    if pivot_ratio > 1e12 then
+      Journal.emit ~severity:Journal.Warn ~cat:"mna" "conditioning"
+        [
+          ("pivot_min", Journal.F !pivot_min);
+          ("pivot_max", Journal.F !pivot_max);
+          ("pivot_ratio", Journal.F pivot_ratio);
+        ];
+    if !stressed_substeps > 0 then
+      Journal.emit ~severity:Journal.Warn ~cat:"mna" "dt_stress"
+        [
+          ("max_rel_change", Journal.F !dt_stress);
+          ("stressed_substeps", Journal.I !stressed_substeps);
+          ("dt", Journal.F dt);
+          ("substeps", Journal.I substeps);
+        ];
+    Journal.emit ~cat:"mna" "newton.run"
+      [
+        ("steps", Journal.I nsteps);
+        ("total_iters", Journal.I !total_iters);
+        ("wasted_iters", Journal.I 0);
+        ("max_residual", Journal.F !max_residual);
+        ("pivot_min", Journal.F !pivot_min);
+        ("pivot_max", Journal.F !pivot_max);
+        ("dt_stress", Journal.F !dt_stress);
+        ("dim", Journal.I n);
+      ]
+  end;
+  {
+    trace;
+    stats =
+      {
+        steps = nsteps;
+        device_evals = !device_evals;
+        factorizations = !factorizations;
+        solves = !solves;
+      };
+    matrix_dim = n;
+    newton =
+      Some
+        {
+          total_iters = !total_iters;
+          wasted_iters = 0;
+          max_residual = !max_residual;
+          pivot_min = !pivot_min;
+          pivot_max = !pivot_max;
+          dt_stress = !dt_stress;
+          stressed_substeps = !stressed_substeps;
+        };
+  }
+
+let spice_like ?(substeps = 8) ?(iterations = 3) ?(fidelity = `Paper) ?observe
+    circuit ~inputs ~output ~dt ~t_stop =
+  match fidelity with
+  | `Paper ->
+      spice_like_paper ~substeps ~iterations ?observe circuit ~inputs ~output
+        ~dt ~t_stop
+  | `Fast ->
+      if substeps < 1 || iterations < 1 then
+        invalid_arg "Engine.spice_like: substeps and iterations must be >= 1";
+      spice_like_fast ~substeps ~iterations ?observe circuit ~inputs ~output
+        ~dt ~t_stop
+
 let eln_like ?(on_step = fun _ _ -> ()) ?observe circuit ~inputs ~output ~dt
     ~t_stop =
   check_args ~dt ~t_stop;
@@ -422,6 +762,15 @@ module Eln_stepper = struct
 end
 
 module Spice_stepper = struct
+  (* Persistent fast-fidelity state: the factor cache survives across
+     ticks (the whole point of symbolic reuse in lock-step
+     co-simulation) and so does the adaptive substep count. *)
+  type fast = {
+    cache : Fast_cache.t;
+    mutable nsub : int;
+    mutable xm1 : float array;
+  }
+
   type t = {
     sys : System.t;
     dt : float;
@@ -433,14 +782,27 @@ module Spice_stepper = struct
     mutable x : float array;
     rhs : float array;
     mutable out : float;
+    fast : fast option;  (* [None] = paper fidelity *)
   }
 
-  let create ?(substeps = 8) ?(iterations = 3) circuit ~inputs ~output ~dt =
+  let create ?(substeps = 8) ?(iterations = 3) ?(fidelity = `Paper) circuit
+      ~inputs ~output ~dt =
     if dt <= 0.0 then invalid_arg "Spice_stepper: dt must be positive";
     if substeps < 1 || iterations < 1 then
       invalid_arg "Spice_stepper: substeps and iterations must be >= 1";
     let sys = System.build circuit in
     let n = System.size sys in
+    let fast =
+      match fidelity with
+      | `Paper -> None
+      | `Fast ->
+          Some
+            {
+              cache = Fast_cache.create sys;
+              nsub = substeps;
+              xm1 = Array.make n 0.0;
+            }
+    in
     {
       sys;
       dt;
@@ -452,7 +814,99 @@ module Spice_stepper = struct
       x = Array.make n 0.0;
       rhs = Array.make n 0.0;
       out = 0.0;
+      fast;
     }
+
+  (* One fast-fidelity tick: same controller as the fast engine path —
+     early-exit Newton over reused factors, adaptive substep count with
+     refine-and-retry — minus the journal (steppers run inside a DE
+     kernel; the host owns observability). *)
+  let step_fast st fs ~input =
+    let n = Array.length st.x in
+    let nonlinear = System.has_pwl st.sys in
+    let passes = ref 0 and stamps = ref 0 and factors = ref 0 in
+    let x_save = st.x and xm1_save = fs.xm1 in
+    let retry = ref true in
+    while !retry do
+      retry := false;
+      let ns = fs.nsub in
+      let h = st.dt /. float_of_int ns in
+      let step_stress = ref 0.0 and step_lte = ref 0.0 in
+      let aborted = ref false in
+      let sub = ref 1 in
+      while (not !aborted) && !sub <= ns do
+        System.stamp_rhs st.sys ~h ~state:st.x ~input ~rhs:st.rhs;
+        let x_next = ref st.x in
+        let max_iters = if nonlinear then st.iterations else 1 in
+        let iter = ref 0 in
+        let stop = ref false in
+        while (not !stop) && !iter < max_iters do
+          incr iter;
+          let lu =
+            Fast_cache.factor fs.cache ~state:!x_next ~h
+              ~on_stamp:(fun () -> incr stamps)
+              ~on_factor:(fun () -> incr factors)
+              ~on_singular:(fun _ -> ())
+          in
+          let prev = !x_next in
+          x_next := Sparse.lu_solve lu st.rhs;
+          incr passes;
+          let delta = ref 0.0 and scale = ref 0.0 in
+          let xn = !x_next in
+          for i = 0 to n - 1 do
+            let d = abs_float (xn.(i) -. prev.(i)) in
+            if d > !delta then delta := d;
+            let m = abs_float xn.(i) in
+            if m > !scale then scale := m
+          done;
+          if
+            !delta <= (newton_rtol *. !scale) +. newton_atol
+            && Fast_cache.regions_stable fs.cache xn
+          then stop := true
+        done;
+        let stress = ref 0.0 and lte = ref 0.0 in
+        let x0 = st.x and x1 = !x_next and xm = fs.xm1 in
+        for i = 0 to n - 1 do
+          let m = Float.max (abs_float x0.(i)) (abs_float x1.(i)) in
+          if m > newton_atol then begin
+            let r = abs_float (x1.(i) -. x0.(i)) /. m in
+            if r > !stress then stress := r;
+            let l =
+              abs_float (x1.(i) -. (2.0 *. x0.(i)) +. xm.(i)) /. (2.0 *. m)
+            in
+            if l > !lte then lte := l
+          end
+        done;
+        if !stress > !step_stress then step_stress := !stress;
+        if !lte > !step_lte then step_lte := !lte;
+        if (!lte > lte_refine || !stress > stress_threshold) && ns < st.substeps
+        then aborted := true
+        else begin
+          fs.xm1 <- st.x;
+          st.x <- !x_next;
+          incr sub
+        end
+      done;
+      if !aborted then begin
+        st.x <- x_save;
+        fs.xm1 <- xm1_save;
+        fs.nsub <- min st.substeps (ns * 2);
+        retry := true
+      end
+      else if
+        !step_lte < lte_relax
+        && !step_stress < stress_threshold /. 2.0
+        && ns > 1
+      then fs.nsub <- ns / 2
+    done;
+    Obs.Counter.incr c_steps;
+    Obs.Counter.add c_device_evals !stamps;
+    Obs.Counter.add c_factorizations !factors;
+    Obs.Counter.add c_solves !passes;
+    Obs.Counter.add c_rhs_builds !passes;
+    Obs.Histogram.observe h_solver_passes (float_of_int !passes);
+    st.out <- System.output_value st.sys st.output_var st.x;
+    st.out
 
   let step st ~input_values =
     if Array.length input_values <> Array.length st.inputs then
@@ -469,6 +923,9 @@ module Spice_stepper = struct
       in
       find 0
     in
+    match st.fast with
+    | Some fs -> step_fast st fs ~input
+    | None ->
     for _sub = 1 to st.substeps do
       let x_next = ref st.x in
       for _iter = 1 to st.iterations do
@@ -494,12 +951,17 @@ module Spice_stepper = struct
 
   let reset st =
     Array.fill st.x 0 (Array.length st.x) 0.0;
+    (match st.fast with
+    | Some fs ->
+        fs.nsub <- st.substeps;
+        fs.xm1 <- Array.make (Array.length st.x) 0.0
+    | None -> ());
     st.out <- 0.0
 end
 
-let run_testcase_spice ?substeps ?iterations (tc : Circuits.testcase) ~dt
-    ~t_stop =
-  spice_like ?substeps ?iterations tc.circuit ~inputs:tc.stimuli
+let run_testcase_spice ?substeps ?iterations ?fidelity
+    (tc : Circuits.testcase) ~dt ~t_stop =
+  spice_like ?substeps ?iterations ?fidelity tc.circuit ~inputs:tc.stimuli
     ~output:tc.output ~dt ~t_stop
 
 let run_testcase_eln (tc : Circuits.testcase) ~dt ~t_stop =

@@ -135,3 +135,168 @@ let lu_solve f b =
   x
 
 let nnz f = f.nnz
+
+let pivot_range f =
+  let mn = ref infinity and mx = ref 0.0 in
+  for i = 0 to f.n - 1 do
+    let d = abs_float f.diag.(i) in
+    if d < !mn then mn := d;
+    if d > !mx then mx := d
+  done;
+  (!mn, !mx)
+
+(* Symbolic factorisation: the pivot order and the fill pattern of L and
+   U depend only on the sparsity structure once the pivot sequence is
+   fixed, so both can be computed once per topology and reused by a
+   cheap numeric refactor at every subsequent (h, region) change. The
+   analysis is the same Markowitz elimination as [lu_factor] except that
+   structural zeros are retained: zero-valued inserts stay in the row
+   and entries that cancel numerically are kept, making the recorded
+   pattern a superset of the fill of any matrix with this structure. *)
+
+type symbolic = {
+  sn : int;
+  sperm : int array;          (* permuted row i came from original sperm.(i) *)
+  spos : int array;           (* inverse of sperm *)
+  slpat : int array array;    (* strictly-lower pattern, ascending columns *)
+  supat : int array array;    (* strictly-upper pattern, ascending columns *)
+}
+
+let analyze ~n triplets =
+  let rows = Array.init n (fun _ -> Hashtbl.create 8) in
+  List.iter
+    (fun (i, j, v) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Sparse.analyze: index out of range";
+      let cur = try Hashtbl.find rows.(i) j with Not_found -> 0.0 in
+      Hashtbl.replace rows.(i) j (cur +. v))
+    triplets;
+  let perm = Array.init n (fun i -> i) in
+  let lcols = Array.make n [] in
+  for k = 0 to n - 1 do
+    let colmax = ref 0.0 in
+    for i = k to n - 1 do
+      match Hashtbl.find_opt rows.(i) k with
+      | Some v -> if abs_float v > !colmax then colmax := abs_float v
+      | None -> ()
+    done;
+    if !colmax < 1e-300 then raise (Singular k);
+    let best = ref (-1) and best_nnz = ref max_int in
+    for i = k to n - 1 do
+      match Hashtbl.find_opt rows.(i) k with
+      | Some v
+        when abs_float v >= pivot_threshold *. !colmax
+             && Hashtbl.length rows.(i) < !best_nnz ->
+          best := i;
+          best_nnz := Hashtbl.length rows.(i)
+      | Some _ | None -> ()
+    done;
+    let r = !best in
+    if r <> k then begin
+      let t = rows.(k) in
+      rows.(k) <- rows.(r);
+      rows.(r) <- t;
+      let t = perm.(k) in
+      perm.(k) <- perm.(r);
+      perm.(r) <- t;
+      let t = lcols.(k) in
+      lcols.(k) <- lcols.(r);
+      lcols.(r) <- t
+    end;
+    let pivot_row = rows.(k) in
+    let pivot = Hashtbl.find pivot_row k in
+    for i = k + 1 to n - 1 do
+      match Hashtbl.find_opt rows.(i) k with
+      | None -> ()
+      | Some a_ik ->
+          let f = a_ik /. pivot in
+          Hashtbl.remove rows.(i) k;
+          lcols.(i) <- k :: lcols.(i);
+          Hashtbl.iter
+            (fun j v ->
+              if j > k then begin
+                let cur = try Hashtbl.find rows.(i) j with Not_found -> 0.0 in
+                (* Keep cancelled entries: the pattern must stay valid
+                   for other values on the same structure. *)
+                Hashtbl.replace rows.(i) j (cur -. (f *. v))
+              end)
+            pivot_row
+    done
+  done;
+  let sort_cols l =
+    let arr = Array.of_list l in
+    Array.sort compare arr;
+    arr
+  in
+  let slpat = Array.map sort_cols lcols in
+  let supat =
+    Array.init n (fun i ->
+        let items =
+          Hashtbl.fold (fun j _ acc -> if j > i then j :: acc else acc)
+            rows.(i) []
+        in
+        if not (Hashtbl.mem rows.(i) i) then raise (Singular i);
+        sort_cols items)
+  in
+  let spos = Array.make n 0 in
+  Array.iteri (fun i p -> spos.(p) <- i) perm;
+  { sn = n; sperm = perm; spos; slpat; supat }
+
+let refactor sym triplets =
+  let n = sym.sn in
+  (* Bucket the entries into permuted rows. *)
+  let buckets = Array.make n [] in
+  List.iter
+    (fun (i, j, v) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Sparse.refactor: index out of range";
+      let pi = sym.spos.(i) in
+      buckets.(pi) <- (j, v) :: buckets.(pi))
+    triplets;
+  let diag = Array.make n 0.0 in
+  let lrows =
+    Array.init n (fun i -> Array.map (fun j -> (j, 0.0)) sym.slpat.(i))
+  in
+  let urows =
+    Array.init n (fun i -> Array.map (fun j -> (j, 0.0)) sym.supat.(i))
+  in
+  (* Up-looking row elimination over the fixed pattern: scatter the row
+     into a dense workspace, eliminate against already-finished U rows
+     in ascending pivot order, gather L/U values back out. Every column
+     touched lies inside the recorded pattern because the structure is
+     unchanged, so clearing the workspace by pattern is exact. *)
+  let w = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    List.iter (fun (j, v) -> w.(j) <- w.(j) +. v) buckets.(i);
+    let lp = sym.slpat.(i) in
+    let lrow = lrows.(i) in
+    for e = 0 to Array.length lp - 1 do
+      let j = lp.(e) in
+      let f = w.(j) /. diag.(j) in
+      lrow.(e) <- (j, f);
+      let urow = urows.(j) in
+      for u = 0 to Array.length urow - 1 do
+        let k, uv = urow.(u) in
+        w.(k) <- w.(k) -. (f *. uv)
+      done
+    done;
+    let d = w.(i) in
+    if abs_float d < 1e-300 then raise (Singular i);
+    diag.(i) <- d;
+    let up = sym.supat.(i) in
+    let urow = urows.(i) in
+    for e = 0 to Array.length up - 1 do
+      let k = up.(e) in
+      urow.(e) <- (k, w.(k))
+    done;
+    (* Clear the workspace along the row pattern. *)
+    Array.iter (fun j -> w.(j) <- 0.0) lp;
+    w.(i) <- 0.0;
+    Array.iter (fun j -> w.(j) <- 0.0) up
+  done;
+  let nnz =
+    n
+    + Array.fold_left (fun acc r -> acc + Array.length r) 0 lrows
+    + Array.fold_left (fun acc r -> acc + Array.length r) 0 urows
+  in
+  { n; perm = Array.copy sym.sperm; lrows; urows; diag; nnz }

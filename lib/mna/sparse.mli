@@ -31,3 +31,32 @@ val lu_solve : lu -> float array -> float array
 
 val nnz : lu -> int
 (** Stored nonzeros of [L] + [U] (fill-in included), for reporting. *)
+
+val pivot_range : lu -> float * float
+(** [(min, max)] absolute value over the U diagonal — the same
+    conditioning proxy as {!Matrix.pivot_range}. *)
+
+(** {1 Symbolic-factorisation reuse}
+
+    MNA stamps change their {e values} every Newton pass but their
+    {e structure} never changes for a fixed topology. [analyze] runs
+    the Markowitz elimination once, retaining structural zeros so the
+    recorded pivot order and fill pattern stay valid for any numeric
+    values on the same structure; [refactor] then redoes only the
+    numeric work along that fixed pattern — no pivot search, no
+    hash tables — which is what makes per-step refactorisation cheap
+    in the fast engine path. *)
+
+type symbolic
+
+val analyze : n:int -> triplet list -> symbolic
+(** Compute pivot order and fill pattern from a representative stamped
+    matrix. Zero-valued entries are kept as structural.
+    @raise Singular when no admissible pivot exists
+    @raise Invalid_argument on out-of-range indices. *)
+
+val refactor : symbolic -> triplet list -> lu
+(** Numeric refactorisation over the fixed pattern. The triplets must
+    have the same structure (a subset of the analyzed one is fine).
+    @raise Singular when a reused pivot has gone numerically stale
+    (|pivot| < 1e-300) — callers should re-[analyze] and retry. *)

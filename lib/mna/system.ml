@@ -116,6 +116,24 @@ let stamp_into ?state s ~h ~add =
           add k k (-.(l /. h)))
     s.devices
 
+let pwl_count s =
+  Array.fold_left
+    (fun acc (d : Component.t) ->
+      match d.kind with Pwl_conductance _ -> acc + 1 | _ -> acc)
+    0 s.devices
+
+let pwl_regions_into s state ~regions =
+  let k = ref 0 in
+  Array.iter
+    (fun (d : Component.t) ->
+      match d.kind with
+      | Pwl_conductance { threshold; _ } ->
+          let v = node_value s state d.pos -. node_value s state d.neg in
+          regions.(!k) <- v >= threshold;
+          incr k
+      | _ -> ())
+    s.devices
+
 let stamp_matrix ?state s ~h =
   let m = Matrix.create s.size in
   stamp_into ?state s ~h ~add:(fun i j v -> Matrix.add_to m i j v);

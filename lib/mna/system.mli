@@ -26,6 +26,15 @@ val stamp_matrix : ?state:float array -> t -> h:float -> Matrix.t
 
 val has_pwl : t -> bool
 
+val pwl_count : t -> int
+(** Number of piecewise-linear devices in stamp order. *)
+
+val pwl_regions_into : t -> float array -> regions:bool array -> unit
+(** Write each piecewise-linear device's region selection under the
+    given solution estimate ([true] when on) into [regions], in stamp
+    order. The matrix stamp is fully determined by [(h, regions)], which
+    is what lets the fast engine reuse an LU across Newton passes. *)
+
 val stamp_triplets :
   ?state:float array -> t -> h:float -> (int * int * float) list
 (** The same stamps as {!stamp_matrix}, as sparse triplets for

@@ -17,6 +17,10 @@ type config = {
   metrics_every_s : float;
   trace_out : string option;
   werror : bool;
+  fidelity : Amsvp_core.Solve.fidelity option;
+      (* default reference fidelity injected into submitted specs that
+         do not pin one themselves (a spec-level [fidelity] directive
+         always wins) *)
 }
 
 let default_config ~socket_path =
@@ -31,6 +35,7 @@ let default_config ~socket_path =
     metrics_every_s = 2.0;
     trace_out = None;
     werror = false;
+    fidelity = None;
   }
 
 let c_requests =
@@ -150,6 +155,13 @@ let handle_submit st conn ~id ~spec_text ~jobs =
   | Ok spec -> (
       let spec =
         match jobs with Some j -> { spec with Spec.jobs = Some j } | None -> spec
+      in
+      let spec =
+        (* The daemon default applies only when the spec itself does not
+           pin a fidelity, so submitted spec texts stay authoritative. *)
+        match (spec.Spec.fidelity, st.cfg.fidelity) with
+        | None, (Some _ as f) -> { spec with Spec.fidelity = f }
+        | _ -> spec
       in
       match Runner.resolve spec with
       | Error m -> send conn (Protocol.Failed { message = m })

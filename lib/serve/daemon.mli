@@ -53,6 +53,10 @@ type config = {
       (** upgrade value-range screen warnings (AMS061/AMS063…) to
           errors: a submit whose screen then contains any error is
           answered with [Protocol.Rejected] instead of running *)
+  fidelity : Amsvp_core.Solve.fidelity option;
+      (** default reference-engine fidelity for submitted specs that do
+          not carry a [fidelity] directive themselves (the directive
+          always wins); [None] keeps the paper default *)
 }
 
 val default_config : socket_path:string -> config

@@ -343,9 +343,12 @@ let run_point ?timeout_s ctx (p : Sampler.point) =
     let reference =
       if not spec.reference then None
       else
+        let fidelity =
+          match spec.Spec.fidelity with Some f -> f | None -> `Paper
+        in
         Some
-          (Engine.spice_like ~substeps:1 ~iterations:3 ?observe circuit
-             ~inputs:ctx.c_stim_assoc ~output:ctx.c_output ~dt:ctx.c_dt
+          (Engine.spice_like ~substeps:1 ~iterations:3 ~fidelity ?observe
+             circuit ~inputs:ctx.c_stim_assoc ~output:ctx.c_output ~dt:ctx.c_dt
              ~t_stop:ctx.c_t_stop)
     in
     (trace, reference)

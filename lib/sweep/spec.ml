@@ -25,6 +25,11 @@ type t = {
   seed : int;
   jobs : int option;
   reference : bool;
+  fidelity : Amsvp_core.Solve.fidelity option;
+      (* reference-engine cost model; [None] keeps the paper default and
+         is omitted from the text form, so existing spec texts (and the
+         daemon context keys / checkpoint digests derived from them)
+         are unchanged *)
   nrmse_budget : float option;
   amplitude_limit : float option;
   point_timeout : float option;
@@ -46,6 +51,7 @@ let default =
     seed = 0;
     jobs = None;
     reference = true;
+    fidelity = None;
     nrmse_budget = None;
     amplitude_limit = None;
     point_timeout = None;
@@ -193,6 +199,9 @@ let to_string s =
   (match s.jobs with Some j -> line "jobs %d" j | None -> ());
   if s.reference <> default.reference then
     line "reference %s" (if s.reference then "on" else "off");
+  (match s.fidelity with
+  | Some f -> line "fidelity %s" (Amsvp_core.Solve.fidelity_to_string f)
+  | None -> ());
   (match s.nrmse_budget with
   | Some v -> line "nrmse_budget %s" (fl v)
   | None -> ());
@@ -296,6 +305,10 @@ let parse_line spec tokens =
         | _ -> failf "bad reference %S (on|off)" v
       in
       { spec with reference }
+  | "fidelity" :: f :: [] -> (
+      match Amsvp_core.Solve.fidelity_of_string f with
+      | Ok fidelity -> { spec with fidelity = Some fidelity }
+      | Error _ -> failf "bad fidelity %S (paper|fast)" f)
   | "nrmse_budget" :: v :: [] -> { spec with nrmse_budget = Some (float_of v) }
   | "amplitude_limit" :: v :: [] ->
       { spec with amplitude_limit = Some (float_of v) }

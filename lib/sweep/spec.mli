@@ -42,6 +42,13 @@ type t = {
   seed : int;
   jobs : int option;  (** worker domains; CLI/runner may override *)
   reference : bool;  (** run the MNA reference and report NRMSE *)
+  fidelity : Amsvp_core.Solve.fidelity option;
+      (** reference-engine cost model ([fidelity paper|fast]): [`Fast]
+          runs the reference with reused sparse factors and Newton
+          early-exit — bounded-error, much faster on big sweeps.
+          [None] (the default) means [`Paper] and is omitted from the
+          text form, keeping existing spec texts, daemon context keys
+          and checkpoint digests unchanged *)
   nrmse_budget : float option;
       (** accuracy watchdog: a point whose streaming NRMSE against the
           reference exceeds this budget is flagged unhealthy in the

@@ -31,7 +31,12 @@ let c_uart_bytes =
     "amsvp_vp_uart_bytes_total"
 
 type analog_binding =
-  | Cosim of { rtl_grain : bool; substeps : int; iterations : int }
+  | Cosim of {
+      rtl_grain : bool;
+      substeps : int;
+      iterations : int;
+      fidelity : [ `Paper | `Fast ];
+    }
   | Eln
   | Tdf
   | De_model
@@ -257,9 +262,9 @@ let run ?(cpu_hz = 20.0e6) ?(asm_src = default_program) ?engine
       (* Analog side. *)
       Trace.add trace ~time:0.0 ~value:0.0;
       (match binding with
-      | Cosim { substeps; iterations; _ } ->
+      | Cosim { substeps; iterations; fidelity; _ } ->
           let stepper =
-            Engine.Spice_stepper.create ~substeps ~iterations
+            Engine.Spice_stepper.create ~substeps ~iterations ~fidelity
               testcase.Circuits.circuit ~inputs:input_names
               ~output:testcase.Circuits.output ~dt
           in

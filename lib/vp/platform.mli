@@ -20,7 +20,16 @@
     - [Cpp] — the whole platform as a plain loop, no kernel ("C++"). *)
 
 type analog_binding =
-  | Cosim of { rtl_grain : bool; substeps : int; iterations : int }
+  | Cosim of {
+      rtl_grain : bool;
+      substeps : int;
+      iterations : int;
+      fidelity : [ `Paper | `Fast ];
+          (** solver cost model of the analog stepper: [`Paper] is the
+              faithful re-stamp/re-factor SPICE structure, [`Fast]
+              reuses sparse factors with Newton early-exit (see
+              {!Amsvp_mna.Engine.spice_like}) *)
+    }
   | Eln
   | Tdf
   | De_model

@@ -32,6 +32,7 @@ let rich_spec =
     seed = 42;
     jobs = Some 2;
     reference = false;
+    fidelity = None;
     nrmse_budget = Some 0.25;
     amplitude_limit = Some 50.0;
     point_timeout = Some 30.0;

@@ -324,12 +324,12 @@ let test_platform_rtl_uart_decodes () =
   let tc, program = rc1_setup () in
   let rtl =
     Platform.run ~cpu_hz:20e6 ~testcase:tc ~program
-      ~binding:(Platform.Cosim { rtl_grain = true; substeps = 2; iterations = 1 })
+      ~binding:(Platform.Cosim { rtl_grain = true; substeps = 2; iterations = 1; fidelity = `Paper })
       ~dt:1e-6 ~t_stop:2e-3 ()
   in
   let tlm =
     Platform.run ~cpu_hz:20e6 ~testcase:tc ~program
-      ~binding:(Platform.Cosim { rtl_grain = false; substeps = 2; iterations = 1 })
+      ~binding:(Platform.Cosim { rtl_grain = false; substeps = 2; iterations = 1; fidelity = `Paper })
       ~dt:1e-6 ~t_stop:2e-3 ()
   in
   let r = rtl.Platform.uart_output and t = tlm.Platform.uart_output in
@@ -363,7 +363,7 @@ let test_platform_cosim_syncs () =
   let tc, program = rc1_setup () in
   let r =
     Platform.run ~cpu_hz:20e6 ~testcase:tc ~program
-      ~binding:(Platform.Cosim { rtl_grain = false; substeps = 2; iterations = 1 })
+      ~binding:(Platform.Cosim { rtl_grain = false; substeps = 2; iterations = 1; fidelity = `Paper })
       ~dt:1e-6 ~t_stop:1e-4 ()
   in
   (* Two marshalled exchanges per analog step (in and out). *)
